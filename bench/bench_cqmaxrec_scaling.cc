@@ -1,0 +1,74 @@
+// E3 — CQ-MaximumRecovery cost is dominated by the EliminateEqualities
+// partition expansion: Bell(frontier width) dependencies per input tgd
+// (Section 4.1).
+//
+// Workload: copy tgds R(x₁..x_w) → T(x₁..x_w) with growing width w. The
+// `deps_out` counter should track Bell(w) = 1, 2, 5, 15, 52, 203, ...
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/maximum_recovery.h"
+#include "inversion/partitions.h"
+#include "mapgen/generators.h"
+
+namespace mapinv {
+namespace {
+
+void BM_CqMaxRecovery_FrontierWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TgdMapping mapping = CopyMapping(1, width);
+  size_t deps = 0, atoms = 0;
+  for (auto _ : state) {
+    ReverseMapping rec = CqMaximumRecovery(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(rec);
+    deps = rec.deps.size();
+    atoms = ReverseMappingAtoms(rec);
+  }
+  state.counters["width"] = width;
+  state.counters["bell"] = static_cast<double>(BellNumber(width));
+  state.counters["deps_out"] = static_cast<double>(deps);
+  state.counters["output_size"] = static_cast<double>(atoms);
+}
+
+void BM_CqMaxRecovery_NumTgds(benchmark::State& state) {
+  // With fixed narrow frontiers, cost grows linearly in the tgd count.
+  const int tgds = static_cast<int>(state.range(0));
+  TgdMapping mapping = CopyMapping(tgds, 2);
+  size_t deps = 0;
+  for (auto _ : state) {
+    ReverseMapping rec = CqMaximumRecovery(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(rec);
+    deps = rec.deps.size();
+  }
+  state.counters["tgds"] = tgds;
+  state.counters["deps_out"] = static_cast<double>(deps);
+}
+
+void BM_EliminateEqualities_Alone(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  TgdMapping mapping = CopyMapping(1, width);
+  ReverseMapping rec = MaximumRecovery(mapping).ValueOrDie();
+  size_t deps = 0;
+  for (auto _ : state) {
+    ReverseMapping out = EliminateEqualities(rec).ValueOrDie();
+    benchmark::DoNotOptimize(out);
+    deps = out.deps.size();
+  }
+  state.counters["width"] = width;
+  state.counters["deps_out"] = static_cast<double>(deps);
+}
+
+BENCHMARK(BM_CqMaxRecovery_FrontierWidth)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CqMaxRecovery_NumTgds)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EliminateEqualities_Alone)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mapinv

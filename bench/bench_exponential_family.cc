@@ -1,0 +1,72 @@
+// E1 — The exponential-size inverse family (paper §1, §5; [2]-extended).
+//
+// Workload: ExponentialFamilyMapping(n, k) = { A_{j,i}(x) → T_j(x) } ∪
+// { B(x) → T_0(x) ∧ ... ∧ T_{k-1}(x) }. The Section 4 pipeline must rewrite
+// the k-atom conclusion, giving (n+1)^k disjuncts, so its output (and time)
+// grows exponentially in k; PolySOInverse (Section 5) stays polynomial.
+// Claim reproduced: "these algorithms work in exponential time and produce
+// inverse mappings of exponential size ... the first polynomial time
+// algorithm" — compare the `output_size` counters of the two benchmarks as
+// k grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/maximum_recovery.h"
+#include "inversion/polyso.h"
+#include "mapgen/generators.h"
+
+namespace mapinv {
+namespace {
+
+void BM_MaximumRecovery_ExpFamily(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  TgdMapping mapping = ExponentialFamilyMapping(n, k);
+  RewriteOptions options;
+  options.minimize = false;  // measure the raw rewriting blow-up
+  size_t disjuncts = 0, atoms = 0;
+  for (auto _ : state) {
+    ReverseMapping rec = MaximumRecovery(mapping, options).ValueOrDie();
+    benchmark::DoNotOptimize(rec);
+    disjuncts = ReverseMappingDisjuncts(rec);
+    atoms = ReverseMappingAtoms(rec);
+  }
+  state.counters["n"] = n;
+  state.counters["k"] = k;
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+  state.counters["output_size"] = static_cast<double>(atoms);
+}
+
+void BM_PolySOInverse_ExpFamily(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  TgdMapping mapping = ExponentialFamilyMapping(n, k);
+  size_t size = 0, rules = 0;
+  for (auto _ : state) {
+    SOInverseMapping inv = PolySOInverseOfTgds(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(inv);
+    size = SOInverseSize(inv);
+    rules = inv.inverse.rules.size();
+  }
+  state.counters["n"] = n;
+  state.counters["k"] = k;
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["output_size"] = static_cast<double>(size);
+}
+
+void ExpFamilyArgs(benchmark::internal::Benchmark* b) {
+  for (int k = 1; k <= 6; ++k) b->Args({2, k});
+  for (int n = 1; n <= 4; ++n) b->Args({n, 4});
+}
+
+BENCHMARK(BM_MaximumRecovery_ExpFamily)
+    ->Apply(ExpFamilyArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PolySOInverse_ExpFamily)
+    ->Apply(ExpFamilyArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,74 @@
+// E2 — PolySOInverse is polynomial in mapping size (Theorem 5.3).
+//
+// Sweeps: (a) the number of tgds at fixed shape, (b) premise width, (c)
+// arity. Time and `output_size` should grow polynomially (at most
+// quadratically in the rule count via the subsumption pairing).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "inversion/polyso.h"
+#include "mapgen/generators.h"
+
+namespace mapinv {
+namespace {
+
+void BM_PolySO_NumTgds(benchmark::State& state) {
+  RandomMappingConfig config;
+  config.seed = 7;
+  config.num_tgds = static_cast<int>(state.range(0));
+  config.source_relations = config.num_tgds;
+  config.target_relations = std::max(2, config.num_tgds / 2);
+  TgdMapping mapping = GenerateRandomMapping(config);
+  size_t size = 0;
+  for (auto _ : state) {
+    SOInverseMapping inv = PolySOInverseOfTgds(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(inv);
+    size = SOInverseSize(inv);
+  }
+  state.counters["tgds"] = static_cast<double>(config.num_tgds);
+  state.counters["output_size"] = static_cast<double>(size);
+}
+
+void BM_PolySO_PremiseWidth(benchmark::State& state) {
+  RandomMappingConfig config;
+  config.seed = 11;
+  config.num_tgds = 8;
+  config.premise_atoms = static_cast<int>(state.range(0));
+  config.premise_vars = config.premise_atoms + 1;
+  TgdMapping mapping = GenerateRandomMapping(config);
+  size_t size = 0;
+  for (auto _ : state) {
+    SOInverseMapping inv = PolySOInverseOfTgds(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(inv);
+    size = SOInverseSize(inv);
+  }
+  state.counters["premise_atoms"] = static_cast<double>(config.premise_atoms);
+  state.counters["output_size"] = static_cast<double>(size);
+}
+
+void BM_PolySO_Arity(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  TgdMapping mapping = CopyMapping(8, arity);
+  size_t size = 0;
+  for (auto _ : state) {
+    SOInverseMapping inv = PolySOInverseOfTgds(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(inv);
+    size = SOInverseSize(inv);
+  }
+  state.counters["arity"] = static_cast<double>(arity);
+  state.counters["output_size"] = static_cast<double>(size);
+}
+
+BENCHMARK(BM_PolySO_NumTgds)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PolySO_PremiseWidth)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PolySO_Arity)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,80 @@
+// E7 — The conjunctive-query product (Section 4.1's EliminateDisjunctions
+// core). The product of k disjuncts with a atoms each has up to a^k atoms;
+// this is the residual cost of disjunction elimination after the rewriting.
+
+#include <benchmark/benchmark.h>
+
+#include "inversion/query_product.h"
+
+namespace mapinv {
+namespace {
+
+// k disjuncts over one binary relation E, each a path of `atoms` edges with
+// disjunct-local existential midpoints sharing the free endpoints x, y.
+std::vector<std::vector<Atom>> PathDisjuncts(int k, int atoms) {
+  std::vector<std::vector<Atom>> out;
+  for (int d = 0; d < k; ++d) {
+    std::vector<Atom> path;
+    std::string prev = "x";
+    for (int a = 0; a < atoms; ++a) {
+      std::string next = (a + 1 == atoms)
+                             ? "y"
+                             : "m" + std::to_string(d) + "_" + std::to_string(a);
+      path.push_back(Atom::Vars("E", {prev, next}));
+      prev = next;
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+void BM_Product_TwoQueries(benchmark::State& state) {
+  const int atoms = static_cast<int>(state.range(0));
+  std::vector<std::vector<Atom>> qs = PathDisjuncts(2, atoms);
+  std::vector<VarId> shared = {InternVar("x"), InternVar("y")};
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    std::vector<Atom> prod = ProductOfDisjuncts(shared, qs[0], qs[1]);
+    out_atoms = prod.size();
+    benchmark::DoNotOptimize(prod);
+  }
+  state.counters["atoms_per_disjunct"] = atoms;
+  state.counters["product_atoms"] = static_cast<double>(out_atoms);
+}
+
+void BM_Product_ManyDisjuncts(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::vector<Atom>> qs = PathDisjuncts(k, 3);
+  std::vector<VarId> shared = {InternVar("x"), InternVar("y")};
+  size_t out_atoms = 0;
+  for (auto _ : state) {
+    std::vector<Atom> prod = ProductOfMany(shared, qs);
+    out_atoms = prod.size();
+    benchmark::DoNotOptimize(prod);
+  }
+  state.counters["k"] = k;
+  state.counters["product_atoms"] = static_cast<double>(out_atoms);
+}
+
+void BM_Product_Empty(benchmark::State& state) {
+  // Disjuncts over different relations: the product is empty (and cheap) —
+  // the dependency-dropping path of EliminateDisjunctions.
+  std::vector<Atom> q1 = {Atom::Vars("A", {"x"})};
+  std::vector<Atom> q2 = {Atom::Vars("B", {"x"})};
+  std::vector<VarId> shared = {InternVar("x")};
+  for (auto _ : state) {
+    std::vector<Atom> prod = ProductOfDisjuncts(shared, q1, q2);
+    benchmark::DoNotOptimize(prod);
+  }
+}
+
+BENCHMARK(BM_Product_TwoQueries)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Product_ManyDisjuncts)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Product_Empty)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,85 @@
+// E8 — Query rewriting, the Section 4 black box. Cost is Π over query atoms
+// of the number of matching rule heads: exponential in the query size,
+// polynomial in the mapping size for fixed queries.
+
+#include <benchmark/benchmark.h>
+
+#include "mapgen/generators.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+namespace {
+
+void BM_Rewrite_QueryAtoms(benchmark::State& state) {
+  // n = 2 producers per relation, query with k atoms: (n+1)^k combinations.
+  const int k = static_cast<int>(state.range(0));
+  TgdMapping mapping = ExponentialFamilyMapping(2, k);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  for (int j = 0; j < k; ++j) {
+    q.atoms.push_back(Atom::Vars("T" + std::to_string(j), {"x"}));
+  }
+  RewriteOptions options;
+  options.minimize = false;
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnionCq rewriting = RewriteOverSource(mapping, q, options).ValueOrDie();
+    disjuncts = rewriting.disjuncts.size();
+    benchmark::DoNotOptimize(rewriting);
+  }
+  state.counters["query_atoms"] = k;
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+
+void BM_Rewrite_MappingSize(benchmark::State& state) {
+  // Fixed one-atom query, growing number of (mostly irrelevant) tgds.
+  const int tgds = static_cast<int>(state.range(0));
+  TgdMapping mapping = CopyMapping(tgds, 2);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("T0", {"x", "y"})};
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnionCq rewriting = RewriteOverSource(mapping, q).ValueOrDie();
+    disjuncts = rewriting.disjuncts.size();
+    benchmark::DoNotOptimize(rewriting);
+  }
+  state.counters["tgds"] = tgds;
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+
+void BM_Rewrite_MinimizationCost(benchmark::State& state) {
+  // Minimisation prunes subsumed disjuncts with pairwise containment
+  // checks; duplicated tgds maximise the pruning work.
+  const int copies = static_cast<int>(state.range(0));
+  std::vector<Tgd> tgds;
+  Tgd t;
+  t.premise = {Atom::Vars("A", {"x"})};
+  t.conclusion = {Atom::Vars("D", {"x"})};
+  for (int i = 0; i < copies; ++i) tgds.push_back(t);
+  TgdMapping mapping(Schema{{"A", 1}}, Schema{{"D", 1}}, tgds);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("D", {"x"}), Atom::Vars("D", {"x"})};
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    UnionCq rewriting = RewriteOverSource(mapping, q).ValueOrDie();
+    disjuncts = rewriting.disjuncts.size();
+    benchmark::DoNotOptimize(rewriting);
+  }
+  state.counters["copies"] = copies;
+  state.counters["disjuncts_after_min"] = static_cast<double>(disjuncts);
+}
+
+BENCHMARK(BM_Rewrite_QueryAtoms)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Rewrite_MappingSize)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Rewrite_MinimizationCost)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,55 @@
+// E5 — tgds → plain SO-tgd translation is linear time (Section 5.1).
+//
+// Sweeps the tgd count and the per-tgd size; time per tgd should stay flat.
+
+#include <benchmark/benchmark.h>
+
+#include "mapgen/generators.h"
+#include "rewrite/skolemize.h"
+
+namespace mapinv {
+namespace {
+
+void BM_Translation_NumTgds(benchmark::State& state) {
+  RandomMappingConfig config;
+  config.seed = 13;
+  config.num_tgds = static_cast<int>(state.range(0));
+  config.source_relations = config.num_tgds;
+  config.target_relations = config.num_tgds;
+  config.existential_vars = 2;
+  TgdMapping mapping = GenerateRandomMapping(config);
+  for (auto _ : state) {
+    SOTgdMapping so = TgdsToPlainSOTgd(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(so);
+  }
+  state.counters["tgds"] = static_cast<double>(config.num_tgds);
+  state.counters["ns_per_tgd"] = benchmark::Counter(
+      static_cast<double>(config.num_tgds),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void BM_Translation_TgdSize(benchmark::State& state) {
+  RandomMappingConfig config;
+  config.seed = 17;
+  config.num_tgds = 8;
+  config.premise_atoms = static_cast<int>(state.range(0));
+  config.conclusion_atoms = static_cast<int>(state.range(0));
+  config.premise_vars = config.premise_atoms + 2;
+  TgdMapping mapping = GenerateRandomMapping(config);
+  for (auto _ : state) {
+    SOTgdMapping so = TgdsToPlainSOTgd(mapping).ValueOrDie();
+    benchmark::DoNotOptimize(so);
+  }
+  state.counters["atoms_per_side"] = static_cast<double>(config.premise_atoms);
+}
+
+BENCHMARK(BM_Translation_NumTgds)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Translation_TgdSize)
+    ->DenseRange(1, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,46 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harness (EXPERIMENTS.md).
+
+#ifndef MAPINV_BENCH_BENCH_UTIL_H_
+#define MAPINV_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// Total atom count across a reverse mapping (premises + all disjuncts) —
+/// the size measure used for the Section 4 outputs.
+inline size_t ReverseMappingAtoms(const ReverseMapping& m) {
+  size_t atoms = 0;
+  for (const ReverseDependency& dep : m.deps) {
+    atoms += dep.premise.size();
+    for (const ReverseDisjunct& d : dep.disjuncts) atoms += d.atoms.size();
+  }
+  return atoms;
+}
+
+/// Total disjunct count across a reverse mapping.
+inline size_t ReverseMappingDisjuncts(const ReverseMapping& m) {
+  size_t disjuncts = 0;
+  for (const ReverseDependency& dep : m.deps) disjuncts += dep.disjuncts.size();
+  return disjuncts;
+}
+
+/// Size measure for PolySOInverse output: atoms plus (in)equality conjuncts
+/// across all rules and disjuncts.
+inline size_t SOInverseSize(const SOInverseMapping& m) {
+  size_t size = 0;
+  for (const SOInverseRule& rule : m.inverse.rules) {
+    size += 1;  // premise atom
+    for (const SOInvDisjunct& d : rule.disjuncts) {
+      size += d.atoms.size() + d.equalities.size() + d.inequalities.size();
+    }
+  }
+  return size;
+}
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BENCH_BENCH_UTIL_H_

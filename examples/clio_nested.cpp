@@ -1,0 +1,80 @@
+// Nested mappings à la Clio and their polynomial-time inversion.
+//
+// Section 5.1 of the paper points out that nested mappings [15] — the
+// language Clio (the IBM data exchange tool) emits — translate in
+// polynomial time into plain SO-tgds, so PolySOInverse can invert mappings
+// "most commonly used in practice". This example builds the classic
+// department/employee nested mapping, exchanges data with one consistent
+// invented key per department, inverts the mapping, and shows that the
+// membership structure survives the round trip.
+
+#include <cstdio>
+
+#include "chase/chase_so.h"
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/polyso.h"
+#include "logic/nested.h"
+#include "parser/parser.h"
+
+using namespace mapinv;  // NOLINT — example brevity
+
+namespace {
+
+void Section(const char* title) { std::printf("\n== %s ==\n", title); }
+
+}  // namespace
+
+int main() {
+  Section("A nested mapping (Clio-style)");
+  // Dept(d, mgr) -> DeptT(d, k)          [k: invented department key]
+  //   Emp(d, e)  -> EmpT(e, k)           [the same k: correlation]
+  NestedRule child;
+  child.premise = {Atom::Vars("Emp", {"d", "e"})};
+  child.conclusion = {Atom::Vars("EmpT", {"e", "k"})};
+  NestedRule root;
+  root.premise = {Atom::Vars("Dept", {"d", "mgr"})};
+  root.conclusion = {Atom::Vars("DeptT", {"d", "k"})};
+  root.children = {child};
+  NestedMapping nested(Schema{{"Dept", 2}, {"Emp", 2}},
+                       Schema{{"DeptT", 2}, {"EmpT", 2}}, {root});
+  std::printf("%s", nested.ToString().c_str());
+  std::printf("(the child shares the parent's invented key k — the feature "
+              "flat tgds cannot express)\n");
+
+  Section("Translation to a plain SO-tgd (Section 5.1, linear time)");
+  SOTgdMapping so = NestedToPlainSOTgd(nested).ValueOrDie();
+  std::printf("%s", so.ToString().c_str());
+
+  Section("Exchange");
+  Instance source = ParseInstance(R"({
+    Dept('cs','alice'), Dept('ee','bob'),
+    Emp('cs','carol'), Emp('cs','dan'), Emp('ee','eve')
+  })", *so.source).ValueOrDie();
+  std::printf("source = %s\n", source.ToString().c_str());
+  Instance target = ChaseSOTgd(so, source).ValueOrDie();
+  std::printf("target = %s\n", target.ToString().c_str());
+
+  Section("PolySOInverse");
+  SOInverseMapping inverse = PolySOInverse(so).ValueOrDie();
+  std::printf("%s", inverse.ToString().c_str());
+
+  Section("Round trip: membership survives");
+  for (const char* text :
+       {"Q(d) :- Dept(d,m)",
+        "Q(e1,e2) :- Emp(d,e1), Emp(d,e2)",
+        "Q(d,e) :- Emp(d,e)"}) {
+    ConjunctiveQuery q = ParseCq(text).ValueOrDie();
+    AnswerSet direct = EvaluateCq(q, source).ValueOrDie();
+    AnswerSet certain =
+        RoundTripCertainSO(so, inverse, source, q).ValueOrDie();
+    std::printf("%-36s direct |%zu| recovered |%zu| %s\n", text,
+                direct.tuples.size(), certain.tuples.size(),
+                certain.tuples == direct.tuples ? "(exact)" : "(partial)");
+  }
+  std::printf("\nColleague pairs (same-department joins) are recovered "
+              "exactly; Emp(d,e) pairs\nare recovered exactly too because "
+              "the department name is a constant carried by\nDeptT and "
+              "pinned through the shared key.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Peer data management: answering queries against the *source* peer using
+// only the data materialised at the *target* peer.
+//
+// The paper's PDMS motivation (Section 1): mappings between peers are
+// directional. A mapping M from peer P1 to peer P2 reformulates P2-queries
+// over P1; the inverse of M lets the system reformulate P1-queries over P2,
+// treating P2 as the data source. Here P1 publishes a people directory, P2
+// materialises two derived views, the original P1 data is gone, and we
+// answer P1 queries from P2 alone through the CQ-maximum recovery.
+
+#include <cstdio>
+
+#include "chase/chase_reverse.h"
+#include "chase/chase_tgd.h"
+#include "eval/query_eval.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "parser/parser.h"
+
+using namespace mapinv;  // NOLINT — example brevity
+
+namespace {
+
+void Section(const char* title) { std::printf("\n== %s ==\n", title); }
+
+}  // namespace
+
+int main() {
+  Section("Peer mapping M : P1 -> P2");
+  // P1: Person(name, city), WorksAt(name, company)
+  // P2: CityIndex(city, name), Employment(name, company, dept?)
+  TgdMapping mapping = ParseTgdMapping(R"(
+    Person(n, c)   -> CityIndex(c, n)
+    WorksAt(n, co) -> EXISTS d . Employment(n, co, d)
+  )").ValueOrDie();
+  std::printf("%s", mapping.ToString().c_str());
+
+  Section("P1 published this data once (then went offline)");
+  Instance p1 = ParseInstance(R"({
+    Person('ada', 'london'), Person('erd', 'budapest'),
+    WorksAt('ada', 'analytical-engines'), WorksAt('erd', 'oeis')
+  })", *mapping.source).ValueOrDie();
+  std::printf("P1 = %s\n", p1.ToString().c_str());
+
+  Instance p2 = ChaseTgds(mapping, p1).ValueOrDie();
+  Section("P2 materialised views");
+  std::printf("P2 = %s\n", p2.ToString().c_str());
+
+  Section("Inverse mapping M* : P2 -> P1 (CQ-maximum recovery)");
+  ReverseMapping inverse = CqMaximumRecovery(mapping).ValueOrDie();
+  std::printf("%s", inverse.ToString().c_str());
+
+  Section("Reformulating P1 queries against P2");
+  // The PDMS evaluates P1 queries by chasing P2's data through M* and
+  // taking certain answers — no access to P1 needed.
+  for (const char* text :
+       {"Q(n) :- Person(n, c)",
+        "Q(n, co) :- WorksAt(n, co)",
+        "Q(n) :- Person(n, c), WorksAt(n, co)"}) {
+    ConjunctiveQuery q = ParseCq(text).ValueOrDie();
+    AnswerSet from_p2 = CertainAnswersReverse(inverse, p2, q).ValueOrDie();
+    AnswerSet ground_truth = EvaluateCq(q, p1).ValueOrDie();
+    std::printf("%-38s from P2 %-34s (P1 truth %s)\n", text,
+                from_p2.ToString().c_str(), ground_truth.ToString().c_str());
+  }
+
+  std::printf(
+      "\nEvery certain answer computed from P2 is sound with respect to the\n"
+      "original P1 data (Definition 3.2), and no sound reverse mapping can\n"
+      "recover more (Definition 3.4).\n");
+  return 0;
+}

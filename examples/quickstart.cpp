@@ -1,0 +1,80 @@
+// Quickstart: invert a schema mapping and bring exchanged data home.
+//
+// Walks the paper's running example (Examples 3.1 / 3.3): a mapping that
+// stores the join of R and S in a target relation T, three candidate
+// reverse mappings of increasing quality, and the CQ-maximum recovery
+// computed by the Section 4 algorithm.
+
+#include <cstdio>
+
+#include "chase/chase_tgd.h"
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "parser/parser.h"
+
+using namespace mapinv;  // NOLINT — example brevity
+
+namespace {
+
+void Section(const char* title) { std::printf("\n== %s ==\n", title); }
+
+}  // namespace
+
+int main() {
+  Section("The mapping M (Example 3.1)");
+  // Target relation T stores the join of source relations R and S.
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  std::printf("%s", mapping.ToString().c_str());
+
+  Section("A source instance and its canonical exchange");
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4), S(2,5) }", *mapping.source)
+          .ValueOrDie();
+  std::printf("I        = %s\n", source.ToString().c_str());
+  Instance target = ChaseTgds(mapping, source).ValueOrDie();
+  std::printf("chase(I) = %s\n", target.ToString().c_str());
+
+  Section("Computing the CQ-maximum recovery (Section 4)");
+  ReverseMapping recovery = CqMaximumRecovery(mapping).ValueOrDie();
+  std::printf("%s", recovery.ToString().c_str());
+
+  Section("Round trip: chase back with the recovery");
+  std::vector<Instance> worlds =
+      RoundTripWorlds(mapping, recovery, source).ValueOrDie();
+  for (const Instance& world : worlds) {
+    std::printf("recovered world: %s\n", world.ToString().c_str());
+  }
+
+  Section("What queries can still see (certain answers)");
+  for (const char* text :
+       {"Q(x) :- R(x,y)", "Q(x,y) :- R(x,z), S(z,y)", "Q(x) :- S(x,y)"}) {
+    ConjunctiveQuery q = ParseCq(text).ValueOrDie();
+    AnswerSet direct = EvaluateCq(q, source).ValueOrDie();
+    AnswerSet certain =
+        RoundTripCertain(mapping, recovery, source, q).ValueOrDie();
+    std::printf("%-28s direct %-18s recovered %s\n", text,
+                direct.ToString().c_str(), certain.ToString().c_str());
+  }
+
+  Section("Compare with the naive recovery M' of Example 3.1");
+  ReverseMapping parsed =
+      ParseReverseMapping("T(x,y), C(x), C(y) -> EXISTS u . R(x,u)")
+          .ValueOrDie();
+  // Rebind the parsed dependencies to the full schemas of M (the inferred
+  // target schema only mentions R, but recovered worlds must carry S too).
+  ReverseMapping naive(mapping.target, mapping.source, parsed.deps);
+  ConjunctiveQuery join = ParseCq("Q(x,y) :- R(x,z), S(z,y)").ValueOrDie();
+  AnswerSet via_naive =
+      RoundTripCertain(mapping, naive, source, join).ValueOrDie();
+  AnswerSet via_max =
+      RoundTripCertain(mapping, recovery, source, join).ValueOrDie();
+  std::printf("join via naive recovery:      %s\n",
+              via_naive.ToString().c_str());
+  std::printf("join via CQ-maximum recovery: %s\n",
+              via_max.ToString().c_str());
+  std::printf("\nThe CQ-maximum recovery retrieves the full join pattern; "
+              "the naive reverse\nmapping loses it (Example 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Schema evolution: maintain a mapping when the source schema evolves.
+//
+// The paper's Section 1 scenario: a mapping M relates schema A to schema B.
+// Schema A evolves into A', expressed as a mapping M' : A -> A'. The
+// relationship between the *new* schema A' and B is (M')⁻¹ ∘ M. This
+// example computes the inverse of the evolution mapping with the Section 4
+// algorithm and runs the composed pipeline on data that only exists in the
+// evolved schema, landing it in B without ever reconstructing A by hand.
+
+#include <cstdio>
+
+#include "chase/chase_reverse.h"
+#include "chase/chase_tgd.h"
+#include "eval/query_eval.h"
+#include "inversion/compose.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "parser/parser.h"
+
+using namespace mapinv;  // NOLINT — example brevity
+
+namespace {
+
+void Section(const char* title) { std::printf("\n== %s ==\n", title); }
+
+}  // namespace
+
+int main() {
+  Section("Original mapping M : A -> B");
+  // A: Emp(name, city, salary). B: Payroll(name, salary).
+  TgdMapping m = ParseTgdMapping(R"(
+    Emp(n, c, s) -> Payroll(n, s)
+  )").ValueOrDie();
+  std::printf("%s", m.ToString().c_str());
+
+  Section("Evolution mapping M' : A -> A' (vertical partitioning)");
+  // A evolves into A': the Emp table is split into EmpCity and EmpSal.
+  TgdMapping evolution = ParseTgdMapping(R"(
+    Emp(n, c, s) -> EmpCity(n, c), EmpSal(n, s)
+  )").ValueOrDie();
+  std::printf("%s", evolution.ToString().c_str());
+
+  Section("Inverting the evolution: (M')* : A' -> A");
+  ReverseMapping back = CqMaximumRecovery(evolution).ValueOrDie();
+  std::printf("%s", back.ToString().c_str());
+
+  Section("New data lives only in A'");
+  Instance evolved = ParseInstance(R"({
+    EmpCity('ada', 'london'), EmpSal('ada', 90),
+    EmpCity('erd', 'budapest'), EmpSal('erd', 60)
+  })", *back.source).ValueOrDie();
+  std::printf("A' = %s\n", evolved.ToString().c_str());
+
+  Section("Composed pipeline (M')* then M : A' -> B");
+  Instance recovered_a = ChaseReverse(back, evolved).ValueOrDie();
+  std::printf("recovered A = %s\n", recovered_a.ToString().c_str());
+  Instance b = ChaseTgds(m, recovered_a).ValueOrDie();
+  std::printf("B           = %s\n", b.ToString().c_str());
+
+  Section("Certain answers over B");
+  ConjunctiveQuery q = ParseCq("Q(n, s) :- Payroll(n, s)").ValueOrDie();
+  AnswerSet payroll = EvaluateCq(q, b).ValueOrDie();
+  std::printf("Payroll(n,s): %s\n", payroll.CertainOnly().ToString().c_str());
+
+  Section("Syntactic composition (SO-tgd algebra)");
+  // Forward mappings compose syntactically (the Section 5.1 language is
+  // closed under composition by unfolding): evolve A -> A', then publish
+  // A' -> B2. The inverse hop above stays operational because its language
+  // (premise C(·), ≠) lives outside plain SO-tgds.
+  TgdMapping publish = ParseTgdMapping(R"(
+    EmpSal(n, s) -> Payroll2(n, s)
+  )").ValueOrDie();
+  SOTgdMapping composed = ComposeTgdMappings(evolution, publish).ValueOrDie();
+  std::printf("M' ∘ publish (A -> B2, computed by unfolding):\n%s",
+              composed.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Student ids: plain SO-tgds and the polynomial-time inverse (Section 5).
+//
+// Example 5.1 of the paper: translating Takes(name, course) into
+// Enrollment(studentId, course) needs one *consistent* id per student name —
+// expressible with the plain SO-tgd Takes(n,c) -> Enrollment(f(n),c) but by
+// no set of tgds. PolySOInverse inverts it in polynomial time; the round
+// trip recovers the enrolment structure exactly, with student names
+// abstracted into one labelled null per id.
+
+#include <cstdio>
+
+#include "chase/chase_so.h"
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/polyso.h"
+#include "parser/parser.h"
+
+using namespace mapinv;  // NOLINT — example brevity
+
+namespace {
+
+void Section(const char* title) { std::printf("\n== %s ==\n", title); }
+
+}  // namespace
+
+int main() {
+  Section("Plain SO-tgd (Example 5.1)");
+  SOTgdMapping mapping =
+      ParseSOTgdMapping("Takes(n, c) -> Enrollment(f(n), c)").ValueOrDie();
+  std::printf("%s", mapping.ToString().c_str());
+
+  Section("Source data");
+  Instance source = ParseInstance(R"({
+    Takes('ann', 'db'), Takes('ann', 'os'), Takes('bob', 'db')
+  })", *mapping.source).ValueOrDie();
+  std::printf("I = %s\n", source.ToString().c_str());
+
+  Section("Exchange: one fresh id per student (Skolem semantics)");
+  Instance target = ChaseSOTgd(mapping, source).ValueOrDie();
+  std::printf("J = %s\n", target.ToString().c_str());
+  std::printf("(ann's two courses share the id f('ann'))\n");
+
+  Section("PolySOInverse (Section 5.2, polynomial time)");
+  SOInverseMapping inverse = PolySOInverse(mapping).ValueOrDie();
+  std::printf("%s", inverse.ToString().c_str());
+
+  Section("Round trip");
+  std::vector<Instance> worlds =
+      RoundTripWorldsSO(mapping, inverse, source).ValueOrDie();
+  for (const Instance& world : worlds) {
+    std::printf("recovered: %s\n", world.ToString().c_str());
+  }
+  std::printf("(names return as labelled nulls; co-enrolment is preserved "
+              "because f#1\ninverts f consistently)\n");
+
+  Section("Certain answers survive the trip");
+  for (const char* text :
+       {"Q(c) :- Takes(n, c)",
+        "Q(c1, c2) :- Takes(n, c1), Takes(n, c2)"}) {
+    ConjunctiveQuery q = ParseCq(text).ValueOrDie();
+    AnswerSet direct = EvaluateCq(q, source).ValueOrDie();
+    AnswerSet certain =
+        RoundTripCertainSO(mapping, inverse, source, q).ValueOrDie();
+    std::printf("%-36s direct %-30s recovered %s\n", text,
+                direct.ToString().c_str(), certain.ToString().c_str());
+  }
+  std::printf("\nThe self-join query (same student, two courses) is fully "
+              "recovered even\nthough the student names themselves are "
+              "gone.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file interner.h
+/// \brief String interning: maps strings to dense 32-bit ids and back.
+///
+/// mapinv identifies relation names, variable names, constant spellings and
+/// function symbols by dense ids so that hot paths (homomorphism search, the
+/// chase) compare integers rather than strings. Each id space has its own
+/// Interner instance; see symbols.h for the process-wide pools.
+
+#ifndef MAPINV_BASE_INTERNER_H_
+#define MAPINV_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mapinv {
+
+/// \brief A thread-safe append-only string <-> id bijection.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for `text`, inserting it if new.
+  uint32_t Intern(std::string_view text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(texts_.size());
+    texts_.emplace_back(text);
+    ids_.emplace(texts_.back(), id);
+    return id;
+  }
+
+  /// Returns the text for a previously interned id.
+  std::string Text(uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= texts_.size()) return "<bad-id:" + std::to_string(id) + ">";
+    return texts_[id];
+  }
+
+  /// Returns the id for `text` if present, or UINT32_MAX otherwise.
+  uint32_t Lookup(std::string_view text) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(std::string(text));
+    return it == ids_.end() ? UINT32_MAX : it->second;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return texts_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> texts_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_INTERNER_H_

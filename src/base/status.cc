@@ -1,0 +1,35 @@
+#include "base/status.h"
+
+namespace mapinv {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kMalformed:
+      return "malformed";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,176 @@
+/// \file status.h
+/// \brief Error model for mapinv: Status and Result<T>, no exceptions.
+///
+/// The library follows the Arrow/RocksDB convention: fallible operations
+/// return a Status (or Result<T> when they also produce a value). Statuses
+/// carry an error code and a human-readable message. Successful statuses are
+/// cheap to construct and copy (no allocation).
+
+#ifndef MAPINV_BASE_STATUS_H_
+#define MAPINV_BASE_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mapinv {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller supplied an argument that violates the function contract.
+  kInvalidArgument,
+  /// Input text failed to parse (see parser/).
+  kParseError,
+  /// A well-formedness condition on a logical object was violated
+  /// (e.g. a tgd whose conclusion mentions a relation of the wrong arity).
+  kMalformed,
+  /// A configured resource limit was exceeded (chase steps, worlds, ...).
+  kResourceExhausted,
+  /// The requested object does not exist (unknown relation, variable, ...).
+  kNotFound,
+  /// An internal invariant failed; indicates a bug in mapinv itself.
+  kInternal,
+  /// The operation is not supported for this input class.
+  kUnsupported,
+};
+
+/// \brief Returns a stable lower-case name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief The result of a fallible operation without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a non-OK status with the given code and message.
+  Status(StatusCode code, std::string message) {
+    assert(code != StatusCode::kOk);
+    state_ = std::make_shared<State>(State{code, std::move(message)});
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Malformed(std::string msg) {
+    return Status(StatusCode::kMalformed, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if the status is not OK. Use only where an error
+  /// indicates a programming bug (tests, examples, benches).
+  void Check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "mapinv fatal status: %s\n", ToString().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status copies are cheap; null means OK.
+  std::shared_ptr<const State> state_;
+};
+
+/// \brief A value-or-error sum type, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; the result must be OK.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "mapinv fatal result: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define MAPINV_RETURN_NOT_OK(expr)              \
+  do {                                          \
+    ::mapinv::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define MAPINV_CONCAT_IMPL(a, b) a##b
+#define MAPINV_CONCAT(a, b) MAPINV_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error status from the current function.
+#define MAPINV_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto MAPINV_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!MAPINV_CONCAT(_res_, __LINE__).ok())                       \
+    return MAPINV_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(MAPINV_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_STATUS_H_

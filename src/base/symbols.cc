@@ -1,0 +1,51 @@
+#include "base/symbols.h"
+
+namespace mapinv {
+
+Interner& VariablePool() {
+  static Interner* pool = new Interner();
+  return *pool;
+}
+
+Interner& ConstantPool() {
+  static Interner* pool = new Interner();
+  return *pool;
+}
+
+Interner& FunctionPool() {
+  static Interner* pool = new Interner();
+  return *pool;
+}
+
+Interner& RelationNamePool() {
+  static Interner* pool = new Interner();
+  return *pool;
+}
+
+RelName InternRelation(std::string_view name) {
+  return RelationNamePool().Intern(name);
+}
+
+std::string RelationText(RelName r) { return RelationNamePool().Text(r); }
+
+VarId InternVar(std::string_view name) { return VariablePool().Intern(name); }
+
+std::string VarName(VarId v) { return VariablePool().Text(v); }
+
+FunctionId InternFunction(std::string_view name) {
+  return FunctionPool().Intern(name);
+}
+
+std::string FunctionName(FunctionId f) { return FunctionPool().Text(f); }
+
+std::atomic<uint64_t>& FreshVarGen::counter() {
+  static std::atomic<uint64_t> c{0};
+  return c;
+}
+
+std::atomic<uint64_t>& FreshFunctionGen::counter() {
+  static std::atomic<uint64_t> c{0};
+  return c;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,110 @@
+/// \file symbols.h
+/// \brief Process-wide symbol pools and fresh-symbol generation.
+///
+/// Four independent id spaces are used throughout mapinv:
+///   * variables        (VarId)      — "x", "y", fresh "?v17"
+///   * constant values  (see data/value.h; spellings interned here)
+///   * relation symbols (managed per-Schema in data/schema.h)
+///   * function symbols (FunctionId) — "f", Skolem "sk_3", inverse "f#1"
+///
+/// Variable and function names are global pools: formulas from different
+/// mappings may share variable names, and identity of a variable is always
+/// relative to the formula it appears in, so a global name pool is safe and
+/// keeps printing trivial.
+
+#ifndef MAPINV_BASE_SYMBOLS_H_
+#define MAPINV_BASE_SYMBOLS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/interner.h"
+
+namespace mapinv {
+
+/// Identifier of a (first-order) variable in the global variable pool.
+using VarId = uint32_t;
+/// Identifier of a function symbol in the global function pool.
+using FunctionId = uint32_t;
+
+/// Pool of variable names.
+Interner& VariablePool();
+/// Pool of constant spellings (used by data/value.h).
+Interner& ConstantPool();
+/// Pool of function-symbol names.
+Interner& FunctionPool();
+/// Pool of relation names as used inside formulas (atoms store interned
+/// names; resolution against a concrete Schema happens at eval/chase time).
+Interner& RelationNamePool();
+
+/// Interns a variable name.
+VarId InternVar(std::string_view name);
+/// Returns a variable's name.
+std::string VarName(VarId v);
+/// Interns a function-symbol name.
+FunctionId InternFunction(std::string_view name);
+/// Returns a function symbol's name.
+std::string FunctionName(FunctionId f);
+
+/// Identifier of a relation name inside formulas.
+using RelName = uint32_t;
+/// Interns a relation name.
+RelName InternRelation(std::string_view name);
+/// Returns a relation name's text.
+std::string RelationText(RelName r);
+
+/// \brief Generates globally fresh variables "?<prefix><n>".
+///
+/// The '?' sigil cannot be produced by the parser, so generated variables can
+/// never collide with user-written ones.
+class FreshVarGen {
+ public:
+  explicit FreshVarGen(std::string prefix = "v") : prefix_(std::move(prefix)) {}
+
+  /// Returns a fresh variable never seen before in this process.
+  VarId Next() {
+    uint64_t n = counter().fetch_add(1, std::memory_order_relaxed);
+    return InternVar("?" + prefix_ + std::to_string(n));
+  }
+
+  /// Ensures future Next() calls use numbers strictly above `n`. The parser
+  /// calls this when it reads a '?'-prefixed variable, so re-parsing printed
+  /// output can never capture later generated variables.
+  static void BumpPast(uint64_t n) {
+    uint64_t current = counter().load(std::memory_order_relaxed);
+    while (current <= n && !counter().compare_exchange_weak(
+                               current, n + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  static std::atomic<uint64_t>& counter();
+  std::string prefix_;
+};
+
+/// \brief Generates globally fresh function symbols "<prefix>%<n>".
+class FreshFunctionGen {
+ public:
+  explicit FreshFunctionGen(std::string prefix = "sk")
+      : prefix_(std::move(prefix)) {}
+
+  FunctionId Next() {
+    uint64_t n = counter().fetch_add(1, std::memory_order_relaxed);
+    return InternFunction(prefix_ + "%" + std::to_string(n));
+  }
+
+ private:
+  static std::atomic<uint64_t>& counter();
+  std::string prefix_;
+};
+
+/// Combines a hash into a seed (boost::hash_combine recipe, 64-bit variant).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_SYMBOLS_H_

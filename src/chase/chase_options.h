@@ -1,0 +1,28 @@
+/// \file chase_options.h
+/// \brief Resource limits shared by all chase engines.
+
+#ifndef MAPINV_CHASE_CHASE_OPTIONS_H_
+#define MAPINV_CHASE_CHASE_OPTIONS_H_
+
+#include <cstddef>
+
+namespace mapinv {
+
+/// \brief Limits guarding chase runs. Source-to-target chases always
+/// terminate, but adversarial inputs can still be quadratically large; the
+/// limits turn runaways into clean kResourceExhausted errors.
+struct ChaseOptions {
+  /// If true, fire every trigger without checking whether the conclusion is
+  /// already satisfied (the *oblivious* / naive chase). The oblivious chase
+  /// gives the canonical instance used for data-exchange equivalence tests;
+  /// the standard chase (false) gives smaller universal solutions.
+  bool oblivious = false;
+  /// Maximum number of facts a chase may create.
+  size_t max_new_facts = 4u << 20;
+  /// Maximum number of worlds a disjunctive chase may track.
+  size_t max_worlds = 4096;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_CHASE_OPTIONS_H_

@@ -1,0 +1,189 @@
+#include "chase/chase_reverse.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "eval/hom.h"
+
+namespace mapinv {
+
+namespace {
+
+// True if every conclusion equality of the disjunct holds under the trigger
+// bindings (equality endpoints are premise variables by validation).
+bool EqualitiesHold(const ReverseDisjunct& disjunct, const Assignment& h) {
+  for (const VarPair& eq : disjunct.equalities) {
+    if (h.at(eq.first) != h.at(eq.second)) return false;
+  }
+  return true;
+}
+
+// One chase world: a heap-stable instance plus an incremental search over
+// it (HomSearch indexes catch up as the instance grows).
+struct WorldState {
+  std::unique_ptr<Instance> instance;
+  std::unique_ptr<HomSearch> search;
+
+  explicit WorldState(Instance inst)
+      : instance(std::make_unique<Instance>(std::move(inst))),
+        search(std::make_unique<HomSearch>(*instance)) {}
+
+  WorldState Fork() const { return WorldState(*instance); }
+};
+
+// True if the disjunct is already satisfied in the world by an extension of
+// the trigger bindings restricted to the variables the disjunct shares with
+// the premise.
+Result<bool> DisjunctSatisfied(const ReverseDisjunct& disjunct,
+                               const Assignment& h, const WorldState& world) {
+  Assignment fixed;
+  for (VarId v : CollectDistinctVars(disjunct.atoms)) {
+    auto it = h.find(v);
+    if (it != h.end()) fixed.emplace(v, it->second);
+  }
+  return world.search->ExistsHom(disjunct.atoms, HomConstraints{}, fixed);
+}
+
+// Adds the instantiated disjunct atoms to `world`; existential variables get
+// fresh nulls.
+Status FireDisjunct(const ReverseDisjunct& disjunct, const Assignment& h,
+                    Instance* world, size_t* created) {
+  Assignment extended = h;
+  for (VarId v : CollectDistinctVars(disjunct.atoms)) {
+    if (!extended.contains(v)) extended.emplace(v, Value::FreshNull());
+  }
+  for (const Atom& atom : disjunct.atoms) {
+    Tuple t;
+    t.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) t.push_back(extended.at(term.var()));
+    MAPINV_ASSIGN_OR_RETURN(
+        bool added, world->Add(RelationText(atom.relation), std::move(t)));
+    if (added) ++*created;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
+                                                 const Instance& input,
+                                                 const ChaseOptions& options) {
+  if (!mapping.source->DisjointFrom(*mapping.target)) {
+    return Status::Unsupported(
+        "reverse chase requires disjoint premise/conclusion schemas");
+  }
+  HomSearch search(input);
+  std::vector<WorldState> worlds;
+  worlds.emplace_back(Instance(mapping.target));
+  size_t created = 0;
+  for (const ReverseDependency& dep : mapping.deps) {
+    HomConstraints constraints;
+    constraints.constant_vars.insert(dep.constant_vars.begin(),
+                                     dep.constant_vars.end());
+    constraints.inequalities = dep.inequalities;
+    std::vector<Assignment> triggers;
+    MAPINV_RETURN_NOT_OK(search.ForEachHom(dep.premise, constraints,
+                                           Assignment{},
+                                           [&](const Assignment& h) {
+                                             triggers.push_back(h);
+                                             return true;
+                                           }));
+    for (const Assignment& h : triggers) {
+      // Disjuncts whose equalities are consistent with the trigger.
+      std::vector<const ReverseDisjunct*> applicable;
+      for (const ReverseDisjunct& d : dep.disjuncts) {
+        if (EqualitiesHold(d, h)) applicable.push_back(&d);
+      }
+      std::vector<WorldState> next;
+      for (WorldState& world : worlds) {
+        if (applicable.empty()) continue;  // world dies
+        if (!options.oblivious) {
+          bool satisfied = false;
+          for (const ReverseDisjunct* d : applicable) {
+            MAPINV_ASSIGN_OR_RETURN(bool sat, DisjunctSatisfied(*d, h, world));
+            if (sat) {
+              satisfied = true;
+              break;
+            }
+          }
+          if (satisfied) {
+            next.push_back(std::move(world));
+            continue;
+          }
+        }
+        // The last applicable disjunct reuses the world in place; earlier
+        // ones fork a copy.
+        for (size_t di = 0; di < applicable.size(); ++di) {
+          WorldState fork = (di + 1 == applicable.size())
+                                ? std::move(world)
+                                : world.Fork();
+          MAPINV_RETURN_NOT_OK(
+              FireDisjunct(*applicable[di], h, fork.instance.get(), &created));
+          if (created > options.max_new_facts) {
+            return Status::ResourceExhausted(
+                "reverse chase exceeded max_new_facts");
+          }
+          next.push_back(std::move(fork));
+          if (next.size() > options.max_worlds) {
+            return Status::ResourceExhausted(
+                "disjunctive chase exceeded max_worlds = " +
+                std::to_string(options.max_worlds));
+          }
+        }
+      }
+      worlds = std::move(next);
+      if (worlds.empty()) return std::vector<Instance>{};  // unsatisfiable
+    }
+  }
+  std::vector<Instance> out;
+  out.reserve(worlds.size());
+  for (WorldState& world : worlds) out.push_back(std::move(*world.instance));
+  return out;
+}
+
+Result<Instance> ChaseReverse(const ReverseMapping& mapping,
+                              const Instance& input,
+                              const ChaseOptions& options) {
+  for (const ReverseDependency& dep : mapping.deps) {
+    if (dep.disjuncts.size() != 1) {
+      return Status::Unsupported(
+          "one-world reverse chase requires disjunction-free dependencies; "
+          "use ChaseReverseWorlds");
+    }
+  }
+  MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
+                          ChaseReverseWorlds(mapping, input, options));
+  if (worlds.empty()) {
+    return Status::Malformed(
+        "reverse dependencies are unsatisfiable on the given input "
+        "(a conclusion equality failed for every trigger disjunct)");
+  }
+  return std::move(worlds.front());
+}
+
+Result<AnswerSet> CertainAnswersReverse(const ReverseMapping& mapping,
+                                        const Instance& input,
+                                        const ConjunctiveQuery& query,
+                                        const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
+                          ChaseReverseWorlds(mapping, input, options));
+  if (worlds.empty()) {
+    return Status::Malformed(
+        "no world: reverse dependencies unsatisfiable on input");
+  }
+  bool first = true;
+  AnswerSet certain;
+  for (const Instance& world : worlds) {
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(query, world));
+    AnswerSet c = answers.CertainOnly();
+    if (first) {
+      certain = std::move(c);
+      first = false;
+    } else {
+      certain = certain.Intersect(c);
+    }
+  }
+  return certain;
+}
+
+}  // namespace mapinv

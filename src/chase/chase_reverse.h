@@ -1,0 +1,57 @@
+/// \file chase_reverse.h
+/// \brief Chasing reverse dependencies (the Section 4 inverse languages).
+///
+/// Reverse dependencies carry C(·) and inequalities in their premises —
+/// handled as homomorphism side constraints — and, before
+/// EliminateDisjunctions has run, disjunctive conclusions with equalities.
+/// The *disjunctive chase* therefore produces a set of worlds: firing a
+/// dependency whose conclusion has k applicable disjuncts forks the current
+/// world k ways. Certain answers over the result are the intersection of the
+/// per-world certain answers.
+///
+/// For the equality-and-disjunction-free output of CqMaximumRecovery (a
+/// single conjunctive conclusion), the chase degenerates to the ordinary
+/// one-world tgd chase — this is the paper's "same good properties for data
+/// exchange as tgds" (Theorem 4.5 (1)).
+
+#ifndef MAPINV_CHASE_CHASE_REVERSE_H_
+#define MAPINV_CHASE_CHASE_REVERSE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase_options.h"
+#include "data/instance.h"
+#include "eval/query_eval.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief Disjunctive chase of `input` (an instance of mapping.source, i.e.
+/// the original target schema; nulls allowed) with the reverse dependencies.
+///
+/// Returns the resulting worlds over mapping.target (the original source
+/// schema). An empty vector means the dependencies are unsatisfiable on
+/// `input` (some trigger had no consistent disjunct in any world).
+Result<std::vector<Instance>> ChaseReverseWorlds(
+    const ReverseMapping& mapping, const Instance& input,
+    const ChaseOptions& options = {});
+
+/// \brief One-world chase for disjunction-free reverse mappings (each
+/// dependency has exactly one disjunct). Conclusion equalities are checked
+/// against the trigger bindings; a violated equality makes the input
+/// unsatisfiable (kMalformed).
+Result<Instance> ChaseReverse(const ReverseMapping& mapping,
+                              const Instance& input,
+                              const ChaseOptions& options = {});
+
+/// \brief Certain answers of `query` over the worlds of the disjunctive
+/// chase: ∩ over worlds of the null-free answers.
+Result<AnswerSet> CertainAnswersReverse(const ReverseMapping& mapping,
+                                        const Instance& input,
+                                        const ConjunctiveQuery& query,
+                                        const ChaseOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_CHASE_REVERSE_H_

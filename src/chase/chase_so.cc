@@ -1,0 +1,362 @@
+#include "chase/chase_so.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "eval/hom.h"
+
+namespace mapinv {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Forward chase: plain SO-tgds with Skolem semantics.
+// --------------------------------------------------------------------------
+
+class SkolemTable {
+ public:
+  Value Get(FunctionId fn, const Tuple& args) {
+    auto key = std::make_pair(fn, args);
+    auto it = table_.find(key);
+    if (it == table_.end()) {
+      it = table_.emplace(std::move(key), Value::FreshNull()).first;
+    }
+    return it->second;
+  }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<FunctionId, Tuple>& k) const {
+      size_t seed = k.first;
+      HashCombine(seed, TupleHash()(k.second));
+      return seed;
+    }
+  };
+  std::unordered_map<std::pair<FunctionId, Tuple>, Value, KeyHash> table_;
+};
+
+// Evaluates a conclusion term under `h`, inventing Skolem nulls per distinct
+// (function, argument-values) pair. Handles nested applications, which arise
+// from SO-tgd composition.
+Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
+                                 SkolemTable* skolems) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable: {
+      auto it = h.find(term.var());
+      if (it == h.end()) {
+        return Status::Malformed("unbound conclusion variable " +
+                                 VarName(term.var()));
+      }
+      return it->second;
+    }
+    case Term::Kind::kConstant:
+      return Status::Malformed("constant in SO-tgd conclusion: " +
+                               term.ToString());
+    case Term::Kind::kFunction: {
+      Tuple args;
+      args.reserve(term.args().size());
+      for (const Term& a : term.args()) {
+        MAPINV_ASSIGN_OR_RETURN(Value v, EvalConclusionTerm(a, h, skolems));
+        args.push_back(v);
+      }
+      return skolems->Get(term.fn(), args);
+    }
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+}  // namespace
+
+Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
+                            const ChaseOptions& options) {
+  Instance target(mapping.target);
+  SkolemTable skolems;
+  HomSearch search(source);
+  size_t created = 0;
+  for (const SORule& rule : mapping.so.rules) {
+    std::vector<Assignment> triggers;
+    MAPINV_RETURN_NOT_OK(search.ForEachHom(rule.premise, HomConstraints{},
+                                           Assignment{},
+                                           [&](const Assignment& h) {
+                                             triggers.push_back(h);
+                                             return true;
+                                           }));
+    for (const Assignment& h : triggers) {
+      for (const Atom& atom : rule.conclusion) {
+        Tuple t;
+        t.reserve(atom.terms.size());
+        for (const Term& term : atom.terms) {
+          MAPINV_ASSIGN_OR_RETURN(Value v,
+                                  EvalConclusionTerm(term, h, &skolems));
+          t.push_back(v);
+        }
+        MAPINV_ASSIGN_OR_RETURN(
+            bool added, target.Add(RelationText(atom.relation), std::move(t)));
+        if (added && ++created > options.max_new_facts) {
+          return Status::ResourceExhausted("SO chase exceeded max_new_facts");
+        }
+      }
+    }
+  }
+  return target;
+}
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Reverse chase: the PolySOInverse output language.
+// --------------------------------------------------------------------------
+
+// Union-find over nodes that stand for input values and for inverse-function
+// applications f_j(v). Invariant: a class holds at most one Value (two
+// distinct input values are distinct domain elements and can never be
+// identified by choosing function interpretations).
+class TermStore {
+ public:
+  uint32_t NodeForValue(Value v) {
+    auto it = value_nodes_.find(v);
+    if (it != value_nodes_.end()) return it->second;
+    uint32_t n = NewNode(v);
+    value_nodes_.emplace(v, n);
+    return n;
+  }
+
+  uint32_t NodeForFn(FunctionId fn, Value arg) {
+    auto key = std::make_pair(fn, arg);
+    auto it = fn_nodes_.find(key);
+    if (it != fn_nodes_.end()) return it->second;
+    uint32_t n = NewNode(std::nullopt);
+    fn_nodes_.emplace(key, n);
+    return n;
+  }
+
+  uint32_t FreshNode() { return NewNode(std::nullopt); }
+
+  uint32_t Find(uint32_t n) const {
+    while (parent_[n] != n) n = parent_[n];
+    return n;
+  }
+
+  /// Merges two classes; fails (returns false, store unchanged in terms of
+  /// consistency) if that would identify two distinct values or violate a
+  /// recorded disequality.
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (class_value_[a].has_value() && class_value_[b].has_value() &&
+        *class_value_[a] != *class_value_[b]) {
+      return false;
+    }
+    // Union by size.
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    if (!class_value_[a].has_value()) class_value_[a] = class_value_[b];
+    for (const auto& [x, y] : disequalities_) {
+      if (Find(x) == Find(y)) return false;
+    }
+    return true;
+  }
+
+  /// Records a ≠ b; fails if they are already identified.
+  bool AddDisequality(uint32_t a, uint32_t b) {
+    if (Find(a) == Find(b)) return false;
+    disequalities_.emplace_back(a, b);
+    return true;
+  }
+
+  /// The unique value of the node's class, if any.
+  std::optional<Value> ClassValue(uint32_t n) const {
+    return class_value_[Find(n)];
+  }
+
+ private:
+  uint32_t NewNode(std::optional<Value> v) {
+    uint32_t n = static_cast<uint32_t>(parent_.size());
+    parent_.push_back(n);
+    size_.push_back(1);
+    class_value_.push_back(v);
+    return n;
+  }
+
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  std::vector<std::optional<Value>> class_value_;
+  std::unordered_map<Value, uint32_t, ValueHash> value_nodes_;
+  std::map<std::pair<FunctionId, Value>, uint32_t> fn_nodes_;
+  std::vector<std::pair<uint32_t, uint32_t>> disequalities_;
+};
+
+struct SymFact {
+  RelName relation;
+  std::vector<uint32_t> nodes;
+};
+
+struct World {
+  TermStore store;
+  std::vector<SymFact> facts;
+};
+
+// Evaluates a conclusion term to a node. `h` binds the premise variables ū;
+// `local` binds this firing's existential variables ȳ.
+Result<uint32_t> TermNode(const Term& term, const Assignment& h,
+                          std::unordered_map<VarId, uint32_t>* local,
+                          TermStore* store) {
+  switch (term.kind()) {
+    case Term::Kind::kVariable: {
+      auto it = h.find(term.var());
+      if (it != h.end()) return store->NodeForValue(it->second);
+      auto [lit, inserted] = local->emplace(term.var(), 0);
+      if (inserted) lit->second = store->FreshNode();
+      return lit->second;
+    }
+    case Term::Kind::kConstant:
+      return store->NodeForValue(term.value());
+    case Term::Kind::kFunction: {
+      if (term.args().size() != 1 || !term.args()[0].is_variable()) {
+        return Status::Unsupported(
+            "SO-inverse chase supports unary inverse functions applied to "
+            "premise variables; got " + term.ToString());
+      }
+      auto it = h.find(term.args()[0].var());
+      if (it == h.end()) {
+        return Status::Unsupported("inverse function applied to existential "
+                                   "variable: " + term.ToString());
+      }
+      return store->NodeForFn(term.fn(), it->second);
+    }
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+// Tries to apply `disjunct` under trigger `h` in `world`; on success returns
+// the extended world, otherwise nullopt.
+Result<std::optional<World>> ApplyDisjunct(const SOInvDisjunct& disjunct,
+                                           const Assignment& h, World world) {
+  std::unordered_map<VarId, uint32_t> local;
+  for (const TermEq& eq : disjunct.equalities) {
+    MAPINV_ASSIGN_OR_RETURN(uint32_t a,
+                            TermNode(eq.lhs, h, &local, &world.store));
+    MAPINV_ASSIGN_OR_RETURN(uint32_t b,
+                            TermNode(eq.rhs, h, &local, &world.store));
+    if (!world.store.Union(a, b)) return std::optional<World>{};
+  }
+  for (const TermEq& ne : disjunct.inequalities) {
+    MAPINV_ASSIGN_OR_RETURN(uint32_t a,
+                            TermNode(ne.lhs, h, &local, &world.store));
+    MAPINV_ASSIGN_OR_RETURN(uint32_t b,
+                            TermNode(ne.rhs, h, &local, &world.store));
+    if (!world.store.AddDisequality(a, b)) return std::optional<World>{};
+  }
+  for (const Atom& atom : disjunct.atoms) {
+    SymFact f;
+    f.relation = atom.relation;
+    f.nodes.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      MAPINV_ASSIGN_OR_RETURN(uint32_t n, TermNode(t, h, &local, &world.store));
+      f.nodes.push_back(n);
+    }
+    world.facts.push_back(std::move(f));
+  }
+  return std::optional<World>(std::move(world));
+}
+
+Result<Instance> Materialize(const World& world,
+                             std::shared_ptr<const Schema> schema) {
+  Instance out(std::move(schema));
+  std::unordered_map<uint32_t, Value> null_of_class;
+  for (const SymFact& f : world.facts) {
+    Tuple t;
+    t.reserve(f.nodes.size());
+    for (uint32_t n : f.nodes) {
+      std::optional<Value> v = world.store.ClassValue(n);
+      if (v.has_value()) {
+        t.push_back(*v);
+      } else {
+        uint32_t root = world.store.Find(n);
+        auto [it, inserted] = null_of_class.emplace(root, Value());
+        if (inserted) it->second = Value::FreshNull();
+        t.push_back(it->second);
+      }
+    }
+    MAPINV_ASSIGN_OR_RETURN(bool added,
+                            out.Add(RelationText(f.relation), std::move(t)));
+    (void)added;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Instance>> ChaseSOInverseWorlds(
+    const SOInverseMapping& mapping, const Instance& input,
+    const ChaseOptions& options) {
+  HomSearch search(input);
+  std::vector<World> worlds(1);
+  for (const SOInverseRule& rule : mapping.inverse.rules) {
+    HomConstraints constraints;
+    constraints.constant_vars.insert(rule.constant_vars.begin(),
+                                     rule.constant_vars.end());
+    std::vector<Assignment> triggers;
+    MAPINV_RETURN_NOT_OK(search.ForEachHom({rule.premise}, constraints,
+                                           Assignment{},
+                                           [&](const Assignment& h) {
+                                             triggers.push_back(h);
+                                             return true;
+                                           }));
+    for (const Assignment& h : triggers) {
+      std::vector<World> next;
+      for (World& world : worlds) {
+        for (const SOInvDisjunct& d : rule.disjuncts) {
+          MAPINV_ASSIGN_OR_RETURN(std::optional<World> applied,
+                                  ApplyDisjunct(d, h, world));
+          if (applied.has_value()) {
+            next.push_back(std::move(*applied));
+            if (next.size() > options.max_worlds) {
+              return Status::ResourceExhausted(
+                  "SO-inverse chase exceeded max_worlds = " +
+                  std::to_string(options.max_worlds));
+            }
+          }
+        }
+      }
+      worlds = std::move(next);
+      if (worlds.empty()) return std::vector<Instance>{};
+    }
+  }
+  std::vector<Instance> out;
+  out.reserve(worlds.size());
+  for (const World& w : worlds) {
+    MAPINV_ASSIGN_OR_RETURN(Instance inst, Materialize(w, mapping.target));
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+Result<AnswerSet> CertainAnswersSOInverse(const SOInverseMapping& mapping,
+                                          const Instance& input,
+                                          const ConjunctiveQuery& query,
+                                          const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
+                          ChaseSOInverseWorlds(mapping, input, options));
+  if (worlds.empty()) {
+    return Status::Malformed("SO-inverse chase: no consistent world");
+  }
+  bool first = true;
+  AnswerSet certain;
+  for (const Instance& world : worlds) {
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(query, world));
+    AnswerSet c = answers.CertainOnly();
+    if (first) {
+      certain = std::move(c);
+      first = false;
+    } else {
+      certain = certain.Intersect(c);
+    }
+  }
+  return certain;
+}
+
+}  // namespace mapinv

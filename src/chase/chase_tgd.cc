@@ -1,0 +1,80 @@
+#include "chase/chase_tgd.h"
+
+#include "eval/hom.h"
+
+namespace mapinv {
+
+namespace {
+
+// True if the tgd conclusion is satisfied in `target` by some extension of
+// the frontier bindings in `h`. `target_search` is the incremental search
+// over the growing target instance.
+Result<bool> ConclusionSatisfied(const Tgd& tgd, const Assignment& h,
+                                 const HomSearch& target_search) {
+  Assignment frontier_bindings;
+  for (VarId v : tgd.FrontierVars()) frontier_bindings.emplace(v, h.at(v));
+  return target_search.ExistsHom(tgd.conclusion, HomConstraints{},
+                                 frontier_bindings);
+}
+
+}  // namespace
+
+Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
+                           const ChaseOptions& options) {
+  Instance target(mapping.target);
+  HomSearch search(source);
+  HomSearch target_search(target);
+  size_t created = 0;
+  for (const Tgd& tgd : mapping.tgds) {
+    // Collect triggers first: firing only adds target facts, so the trigger
+    // set over the (source-only) premise is not affected by firing order.
+    std::vector<Assignment> triggers;
+    MAPINV_RETURN_NOT_OK(search.ForEachHom(tgd.premise, HomConstraints{},
+                                           Assignment{},
+                                           [&](const Assignment& h) {
+                                             triggers.push_back(h);
+                                             return true;
+                                           }));
+    for (const Assignment& h : triggers) {
+      if (!options.oblivious) {
+        MAPINV_ASSIGN_OR_RETURN(bool satisfied,
+                                ConclusionSatisfied(tgd, h, target_search));
+        if (satisfied) continue;
+      }
+      // Fire: frontier variables keep their bindings, existential variables
+      // get fresh nulls (fresh per firing).
+      Assignment extended = h;
+      for (VarId v : tgd.ExistentialVars()) {
+        extended.emplace(v, Value::FreshNull());
+      }
+      for (const Atom& atom : tgd.conclusion) {
+        Tuple t;
+        t.reserve(atom.terms.size());
+        for (const Term& term : atom.terms) {
+          t.push_back(extended.at(term.var()));
+        }
+        MAPINV_ASSIGN_OR_RETURN(
+            bool added, target.Add(RelationText(atom.relation), std::move(t)));
+        if (added && ++created > options.max_new_facts) {
+          return Status::ResourceExhausted(
+              "chase exceeded max_new_facts = " +
+              std::to_string(options.max_new_facts));
+        }
+      }
+    }
+  }
+  return target;
+}
+
+Result<AnswerSet> CertainAnswersTgd(const TgdMapping& mapping,
+                                    const Instance& source,
+                                    const ConjunctiveQuery& target_query,
+                                    const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical,
+                          ChaseTgds(mapping, source, options));
+  MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
+                          EvaluateCq(target_query, canonical));
+  return answers.CertainOnly();
+}
+
+}  // namespace mapinv

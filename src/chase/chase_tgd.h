@@ -1,0 +1,39 @@
+/// \file chase_tgd.h
+/// \brief The chase for source-to-target tgds (data exchange, Section 2).
+///
+/// Given a TgdMapping M and a source instance I, the chase computes a
+/// *canonical universal solution* J: a target instance such that (I, J) ∈ M
+/// and every solution of I admits a homomorphism from J. Certain answers of
+/// conjunctive queries are then the null-free tuples of Q(J) [11].
+///
+/// Because the dependencies are source-to-target, the chase is a single pass
+/// over all triggers and always terminates.
+
+#ifndef MAPINV_CHASE_CHASE_TGD_H_
+#define MAPINV_CHASE_CHASE_TGD_H_
+
+#include "base/status.h"
+#include "chase/chase_options.h"
+#include "data/instance.h"
+#include "eval/query_eval.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief Chases `source` with the mapping's tgds; returns the canonical
+/// target instance. With options.oblivious every trigger fires (fresh nulls
+/// per firing); otherwise a trigger is skipped when its conclusion is
+/// already satisfied by an extension of the trigger homomorphism.
+Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
+                           const ChaseOptions& options = {});
+
+/// \brief Certain answers of a conjunctive query over the target:
+/// null-free tuples of Q(chase(I)).
+Result<AnswerSet> CertainAnswersTgd(const TgdMapping& mapping,
+                                    const Instance& source,
+                                    const ConjunctiveQuery& target_query,
+                                    const ChaseOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_CHASE_TGD_H_

@@ -1,0 +1,64 @@
+#include "chase/round_trip.h"
+
+namespace mapinv {
+
+Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
+                                              const ReverseMapping& reverse,
+                                              const Instance& source,
+                                              const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical,
+                          ChaseTgds(mapping, source, options));
+  return ChaseReverseWorlds(reverse, canonical, options);
+}
+
+Result<AnswerSet> RoundTripCertain(const TgdMapping& mapping,
+                                   const ReverseMapping& reverse,
+                                   const Instance& source,
+                                   const ConjunctiveQuery& query,
+                                   const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
+                          RoundTripWorlds(mapping, reverse, source, options));
+  return CertainOverWorlds(worlds, query);
+}
+
+Result<std::vector<Instance>> RoundTripWorldsSO(const SOTgdMapping& mapping,
+                                                const SOInverseMapping& inverse,
+                                                const Instance& source,
+                                                const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical,
+                          ChaseSOTgd(mapping, source, options));
+  return ChaseSOInverseWorlds(inverse, canonical, options);
+}
+
+Result<AnswerSet> RoundTripCertainSO(const SOTgdMapping& mapping,
+                                     const SOInverseMapping& inverse,
+                                     const Instance& source,
+                                     const ConjunctiveQuery& query,
+                                     const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(
+      std::vector<Instance> worlds,
+      RoundTripWorldsSO(mapping, inverse, source, options));
+  return CertainOverWorlds(worlds, query);
+}
+
+Result<AnswerSet> CertainOverWorlds(const std::vector<Instance>& worlds,
+                                    const ConjunctiveQuery& query) {
+  if (worlds.empty()) {
+    return Status::Malformed("certain answers over an empty world set");
+  }
+  bool first = true;
+  AnswerSet certain;
+  for (const Instance& world : worlds) {
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(query, world));
+    AnswerSet c = answers.CertainOnly();
+    if (first) {
+      certain = std::move(c);
+      first = false;
+    } else {
+      certain = certain.Intersect(c);
+    }
+  }
+  return certain;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,150 @@
+#include "check/properties.h"
+
+#include <algorithm>
+
+#include "chase/chase_tgd.h"
+#include "eval/hom.h"
+#include "eval/query_eval.h"
+
+namespace mapinv {
+
+Result<std::optional<PropertyViolation>> CheckCRecovery(
+    const TgdMapping& mapping, const ReverseMapping& reverse,
+    const std::vector<Instance>& sources,
+    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+  for (const Instance& source : sources) {
+    for (const ConjunctiveQuery& q : queries) {
+      MAPINV_ASSIGN_OR_RETURN(
+          AnswerSet certain, RoundTripCertain(mapping, reverse, source, q,
+                                              options));
+      MAPINV_ASSIGN_OR_RETURN(AnswerSet direct, EvaluateCq(q, source));
+      if (!certain.SubsetOf(direct)) {
+        return std::optional<PropertyViolation>(PropertyViolation{
+            "C-recovery violated for query " + q.ToString() + " on " +
+            source.ToString() + ": certain " + certain.ToString() +
+            " ⊄ direct " + direct.ToString()});
+      }
+    }
+  }
+  return std::optional<PropertyViolation>{};
+}
+
+Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
+    const TgdMapping& mapping, const ReverseMapping& better,
+    const ReverseMapping& worse, const std::vector<Instance>& sources,
+    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+  for (const Instance& source : sources) {
+    for (const ConjunctiveQuery& q : queries) {
+      MAPINV_ASSIGN_OR_RETURN(
+          AnswerSet via_worse,
+          RoundTripCertain(mapping, worse, source, q, options));
+      MAPINV_ASSIGN_OR_RETURN(
+          AnswerSet via_better,
+          RoundTripCertain(mapping, better, source, q, options));
+      if (!via_worse.SubsetOf(via_better)) {
+        return std::optional<PropertyViolation>(PropertyViolation{
+            "dominance violated for query " + q.ToString() + " on " +
+            source.ToString() + ": " + via_worse.ToString() + " ⊄ " +
+            via_better.ToString()});
+      }
+    }
+  }
+  return std::optional<PropertyViolation>{};
+}
+
+Result<bool> RoundTripIsIdentity(const TgdMapping& mapping,
+                                 const ReverseMapping& reverse,
+                                 const Instance& source,
+                                 const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(
+      std::vector<Instance> worlds,
+      RoundTripWorlds(mapping, reverse, source, options));
+  if (worlds.empty()) return false;
+  // For every source relation, compare the null-free facts shared by all
+  // worlds against the source facts, via per-relation identity queries.
+  for (const ConjunctiveQuery& q : PerRelationQueries(*mapping.source)) {
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet certain, CertainOverWorlds(worlds, q));
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet direct, EvaluateCq(q, source));
+    if (!(certain.tuples == direct.tuples)) return false;
+  }
+  return true;
+}
+
+Result<bool> SolutionsContained(const TgdMapping& mapping, const Instance& i1,
+                                const Instance& i2,
+                                const ChaseOptions& options) {
+  ChaseOptions oblivious = options;
+  oblivious.oblivious = true;
+  MAPINV_ASSIGN_OR_RETURN(Instance c1, ChaseTgds(mapping, i1, oblivious));
+  MAPINV_ASSIGN_OR_RETURN(Instance c2, ChaseTgds(mapping, i2, oblivious));
+  // Sol(I) = { J : canonical(I) → J }; hence Sol(I₂) ⊆ Sol(I₁) iff
+  // canonical(I₁) → canonical(I₂).
+  return InstanceHomExists(c1, c2);
+}
+
+Result<bool> SubsetPropertyHolds(const TgdMapping& mapping, const Instance& i1,
+                                 const Instance& i2,
+                                 const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(bool contained,
+                          SolutionsContained(mapping, i1, i2, options));
+  if (!contained) return true;  // antecedent false
+  return i1.SubsetOf(i2);
+}
+
+Result<bool> UniqueSolutionsPropertyHolds(const TgdMapping& mapping,
+                                          const Instance& i1,
+                                          const Instance& i2,
+                                          const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(bool equivalent,
+                          DataExchangeEquivalent(mapping, i1, i2, options));
+  if (!equivalent) return true;  // antecedent false
+  return i1.EqualTo(i2);
+}
+
+Result<bool> DataExchangeEquivalent(const TgdMapping& mapping,
+                                    const Instance& i1, const Instance& i2,
+                                    const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(bool fwd, SolutionsContained(mapping, i1, i2, options));
+  if (!fwd) return false;
+  return SolutionsContained(mapping, i2, i1, options);
+}
+
+Result<std::optional<PropertyViolation>> CheckCqEquivalentReverse(
+    const ReverseMapping& m1, const ReverseMapping& m2,
+    const std::vector<Instance>& inputs,
+    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+  for (const Instance& input : inputs) {
+    for (const ConjunctiveQuery& q : queries) {
+      MAPINV_ASSIGN_OR_RETURN(AnswerSet a1,
+                              CertainAnswersReverse(m1, input, q, options));
+      MAPINV_ASSIGN_OR_RETURN(AnswerSet a2,
+                              CertainAnswersReverse(m2, input, q, options));
+      if (!(a1.tuples == a2.tuples)) {
+        return std::optional<PropertyViolation>(PropertyViolation{
+            "certain answers differ for " + q.ToString() + " on " +
+            input.ToString() + ": " + a1.ToString() + " vs " +
+            a2.ToString()});
+      }
+    }
+  }
+  return std::optional<PropertyViolation>{};
+}
+
+std::vector<ConjunctiveQuery> PerRelationQueries(const Schema& schema) {
+  std::vector<ConjunctiveQuery> out;
+  for (const RelationSymbol& rel : schema.relations()) {
+    ConjunctiveQuery q;
+    q.name = "Probe_" + rel.name;
+    std::vector<Term> terms;
+    for (uint32_t i = 0; i < rel.arity; ++i) {
+      VarId v = InternVar("?probe" + std::to_string(i));
+      q.head.push_back(v);
+      terms.push_back(Term::Var(v));
+    }
+    q.atoms = {Atom(rel.name, std::move(terms))};
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,109 @@
+/// \file properties.h
+/// \brief Semantic checkers for the paper's inverse notions.
+///
+/// Deciding the defining conditions exactly (e.g. M ∘ M' = Id⊆ over *all*
+/// instance pairs) involves second-order quantification, so this module
+/// provides the operational checks used throughout the literature, all built
+/// on canonical chase instances:
+///
+///  * C-recovery soundness (Definition 3.2) on concrete instances/queries:
+///    certain_{M∘M'}(Q, I) ⊆ Q(I), with the composition's certain answers
+///    computed through the canonical round trip.
+///  * Recovery dominance (Definition 3.4's comparison): certain answers of
+///    one recovery contain the other's, per query and instance.
+///  * Fagin-identity round trip: the null-free certain part of
+///    chase-back(chase-forward(I)) equals I — the operational form of
+///    M ∘ M' = Id⊆ on I [10].
+///  * Subset / unique-solutions properties of tgd mappings [10]: checked
+///    through homomorphisms between oblivious-chase canonical instances
+///    (Sol(I₂) ⊆ Sol(I₁) ⟺ chase(I₁) → chase(I₂)).
+///  * Data-exchange equivalence I₁ ~_M I₂ (Section 3.1): homomorphic
+///    equivalence of the oblivious-chase canonical instances.
+///  * Conjunctive-query equivalence of reverse mappings (Lemma 4.1/4.3) on
+///    sampled inputs and query sets.
+
+#ifndef MAPINV_CHECK_PROPERTIES_H_
+#define MAPINV_CHECK_PROPERTIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/round_trip.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief A witness that some checked property failed.
+struct PropertyViolation {
+  std::string description;
+};
+
+/// \brief Checks Definition 3.2 on the given instances and source queries:
+/// certain_{M∘M'}(Q, I) ⊆ Q(I). Returns a violation witness or nullopt.
+Result<std::optional<PropertyViolation>> CheckCRecovery(
+    const TgdMapping& mapping, const ReverseMapping& reverse,
+    const std::vector<Instance>& sources,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ChaseOptions& options = {});
+
+/// \brief Checks that `better` dominates `worse` as a recovery of `mapping`
+/// on the samples: certain_{M∘worse}(Q,I) ⊆ certain_{M∘better}(Q,I).
+Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
+    const TgdMapping& mapping, const ReverseMapping& better,
+    const ReverseMapping& worse, const std::vector<Instance>& sources,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ChaseOptions& options = {});
+
+/// \brief Operational Fagin-identity check on one instance: the facts
+/// shared by all round-trip worlds, restricted to null-free tuples, must be
+/// exactly the facts of `source`. True for every source instance iff M' acts
+/// as a Fagin-inverse along canonical exchanges.
+Result<bool> RoundTripIsIdentity(const TgdMapping& mapping,
+                                 const ReverseMapping& reverse,
+                                 const Instance& source,
+                                 const ChaseOptions& options = {});
+
+/// \brief Sol(I₂) ⊆ Sol(I₁) for a tgd mapping — decided via a homomorphism
+/// from the oblivious chase of I₁ into the oblivious chase of I₂.
+Result<bool> SolutionsContained(const TgdMapping& mapping, const Instance& i1,
+                                const Instance& i2,
+                                const ChaseOptions& options = {});
+
+/// \brief The subset property of [10] on a pair: Sol(I₂) ⊆ Sol(I₁) implies
+/// I₁ ⊆ I₂. A tgd mapping is Fagin-invertible iff this holds for all pairs.
+Result<bool> SubsetPropertyHolds(const TgdMapping& mapping, const Instance& i1,
+                                 const Instance& i2,
+                                 const ChaseOptions& options = {});
+
+/// \brief The unique-solutions property of [10] on a pair: Sol(I₁) = Sol(I₂)
+/// implies I₁ = I₂.
+Result<bool> UniqueSolutionsPropertyHolds(const TgdMapping& mapping,
+                                          const Instance& i1,
+                                          const Instance& i2,
+                                          const ChaseOptions& options = {});
+
+/// \brief Data-exchange equivalence I₁ ~_M I₂ (Section 3.1): the two
+/// instances have the same space of solutions under the tgd mapping.
+Result<bool> DataExchangeEquivalent(const TgdMapping& mapping,
+                                    const Instance& i1, const Instance& i2,
+                                    const ChaseOptions& options = {});
+
+/// \brief Conjunctive-query equivalence of two reverse mappings on sampled
+/// inputs (instances over their shared premise schema) and target queries
+/// (over their shared conclusion schema): certain answers must coincide.
+Result<std::optional<PropertyViolation>> CheckCqEquivalentReverse(
+    const ReverseMapping& m1, const ReverseMapping& m2,
+    const std::vector<Instance>& inputs,
+    const std::vector<ConjunctiveQuery>& queries,
+    const ChaseOptions& options = {});
+
+/// \brief Builds, for every relation of `schema`, the identity projection
+/// query R(x₁,...,x_k) with all positions free — the standard probe set for
+/// recovery checks.
+std::vector<ConjunctiveQuery> PerRelationQueries(const Schema& schema);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHECK_PROPERTIES_H_

@@ -1,0 +1,81 @@
+#include "check/solutions.h"
+
+#include "chase/chase_tgd.h"
+#include "eval/hom.h"
+
+namespace mapinv {
+
+Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
+                           const Instance& target) {
+  HomSearch premise_search(source);
+  HomSearch conclusion_search(target);
+  for (const Tgd& tgd : mapping.tgds) {
+    bool all_extend = true;
+    MAPINV_RETURN_NOT_OK(premise_search.ForEachHom(
+        tgd.premise, HomConstraints{}, Assignment{},
+        [&](const Assignment& h) {
+          Assignment frontier;
+          for (VarId v : tgd.FrontierVars()) frontier.emplace(v, h.at(v));
+          Result<bool> extends =
+              conclusion_search.ExistsHom(tgd.conclusion, HomConstraints{},
+                                          frontier);
+          if (!extends.ok() || !*extends) {
+            all_extend = false;
+            return false;  // stop enumeration
+          }
+          return true;
+        }));
+    if (!all_extend) return false;
+  }
+  return true;
+}
+
+Result<bool> SatisfiesReverseDeps(const ReverseMapping& mapping,
+                                  const Instance& input,
+                                  const Instance& output) {
+  HomSearch premise_search(input);
+  HomSearch conclusion_search(output);
+  for (const ReverseDependency& dep : mapping.deps) {
+    HomConstraints constraints;
+    constraints.constant_vars.insert(dep.constant_vars.begin(),
+                                     dep.constant_vars.end());
+    constraints.inequalities = dep.inequalities;
+    bool all_satisfied = true;
+    MAPINV_RETURN_NOT_OK(premise_search.ForEachHom(
+        dep.premise, constraints, Assignment{}, [&](const Assignment& h) {
+          for (const ReverseDisjunct& d : dep.disjuncts) {
+            bool equalities_hold = true;
+            for (const VarPair& eq : d.equalities) {
+              if (h.at(eq.first) != h.at(eq.second)) {
+                equalities_hold = false;
+                break;
+              }
+            }
+            if (!equalities_hold) continue;
+            Assignment fixed;
+            for (VarId v : CollectDistinctVars(d.atoms)) {
+              auto it = h.find(v);
+              if (it != h.end()) fixed.emplace(v, it->second);
+            }
+            Result<bool> embeds =
+                conclusion_search.ExistsHom(d.atoms, HomConstraints{}, fixed);
+            if (embeds.ok() && *embeds) return true;  // this trigger is fine
+          }
+          all_satisfied = false;
+          return false;  // violated trigger: stop
+        }));
+    if (!all_satisfied) return false;
+  }
+  return true;
+}
+
+Result<bool> InCompositionViaCanonicalWitness(const TgdMapping& mapping,
+                                              const ReverseMapping& reverse,
+                                              const Instance& i1,
+                                              const Instance& i2,
+                                              const ChaseOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical, ChaseTgds(mapping, i1, options));
+  return SatisfiesReverseDeps(reverse, canonical, i2);
+}
+
+}  // namespace mapinv

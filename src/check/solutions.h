@@ -1,0 +1,52 @@
+/// \file solutions.h
+/// \brief Direct satisfaction checks: is (I, J) in the mapping?
+///
+/// The chase *constructs* solutions; these helpers *verify* them, which is
+/// what the semantic definitions of Section 2 need: (I, J) ∈ M iff the pair
+/// satisfies every dependency of M. For tgds and reverse dependencies this
+/// is decidable by homomorphism search; for plain SO-tgds it requires
+/// guessing function interpretations and is implemented through the Skolem
+/// chase (J is a solution iff the canonical instance maps into it *and*
+/// J's interpretation choice exists — we expose the standard sufficient
+/// check via universality).
+///
+/// These are the building blocks for the Fagin-identity witness checks:
+/// Id⊆ ⊆ M∘M' holds on a pair (I₁, I₂) whenever the canonical solution K of
+/// I₁ satisfies (K, I₂) ∈ M' — a sound (canonical-witness) test.
+
+#ifndef MAPINV_CHECK_SOLUTIONS_H_
+#define MAPINV_CHECK_SOLUTIONS_H_
+
+#include "base/status.h"
+#include "chase/chase_options.h"
+#include "data/instance.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief True iff (source, target) satisfies every tgd of the mapping:
+/// each premise homomorphism extends to a conclusion homomorphism.
+Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
+                           const Instance& target);
+
+/// \brief True iff (input, output) satisfies every reverse dependency:
+/// each guarded premise homomorphism (C(·), ≠ respected) has some disjunct
+/// whose equalities hold and whose atoms embed into `output`.
+Result<bool> SatisfiesReverseDeps(const ReverseMapping& mapping,
+                                  const Instance& input,
+                                  const Instance& output);
+
+/// \brief Sound canonical-witness check that (i1, i2) ∈ M ∘ M': chases i1
+/// forward to the canonical solution K and tests (K, i2) ∈ M'. "true" is
+/// definitive; "false" only means the canonical witness fails (some other
+/// solution of i1 could still work — does not occur for the maximum
+/// recoveries produced by this library, which are monotone in K).
+Result<bool> InCompositionViaCanonicalWitness(const TgdMapping& mapping,
+                                              const ReverseMapping& reverse,
+                                              const Instance& i1,
+                                              const Instance& i2,
+                                              const ChaseOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHECK_SOLUTIONS_H_

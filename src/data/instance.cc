@@ -1,0 +1,153 @@
+#include "data/instance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mapinv {
+
+Instance::Instance(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  EnsureSlots();
+}
+
+void Instance::EnsureSlots() const {
+  if (relations_.size() < schema_->size()) relations_.resize(schema_->size());
+}
+
+const std::vector<Tuple>& Instance::tuples(RelationId relation) const {
+  EnsureSlots();
+  return relations_[relation].tuples;
+}
+
+Result<bool> Instance::AddTuple(RelationId relation, Tuple tuple) {
+  EnsureSlots();
+  if (relation >= schema_->size()) {
+    return Status::NotFound("relation id " + std::to_string(relation) +
+                            " not in schema");
+  }
+  if (tuple.size() != schema_->arity(relation)) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + schema_->name(relation) + ": got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(schema_->arity(relation)));
+  }
+  RelationData& data = relations_[relation];
+  if (data.set.contains(tuple)) return false;
+  data.set.insert(tuple);
+  data.tuples.push_back(std::move(tuple));
+  return true;
+}
+
+Result<bool> Instance::Add(std::string_view relation, Tuple tuple) {
+  MAPINV_ASSIGN_OR_RETURN(RelationId id, schema_->Require(relation));
+  return AddTuple(id, std::move(tuple));
+}
+
+Result<bool> Instance::AddInts(std::string_view relation,
+                               const std::vector<int64_t>& values) {
+  Tuple tuple;
+  tuple.reserve(values.size());
+  for (int64_t v : values) tuple.push_back(Value::Int(v));
+  return Add(relation, std::move(tuple));
+}
+
+bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
+  EnsureSlots();
+  if (relation >= relations_.size()) return false;
+  return relations_[relation].set.contains(tuple);
+}
+
+size_t Instance::TotalSize() const {
+  EnsureSlots();
+  size_t n = 0;
+  for (const auto& r : relations_) n += r.tuples.size();
+  return n;
+}
+
+bool Instance::IsNullFree() const {
+  EnsureSlots();
+  for (const auto& r : relations_) {
+    for (const Tuple& t : r.tuples) {
+      for (Value v : t) {
+        if (v.is_null()) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  EnsureSlots();
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const auto& r : relations_) {
+    for (const Tuple& t : r.tuples) {
+      for (Value v : t) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Fact> Instance::AllFacts() const {
+  EnsureSlots();
+  std::vector<Fact> out;
+  for (RelationId r = 0; r < relations_.size(); ++r) {
+    for (const Tuple& t : relations_[r].tuples) out.push_back(Fact{r, t});
+  }
+  return out;
+}
+
+bool Instance::SubsetOf(const Instance& other) const {
+  EnsureSlots();
+  for (RelationId r = 0; r < relations_.size(); ++r) {
+    if (relations_[r].tuples.empty()) continue;
+    RelationId other_id = other.schema().Find(schema_->name(r));
+    if (other_id == kInvalidRelation) return false;
+    for (const Tuple& t : relations_[r].tuples) {
+      if (!other.Contains(other_id, t)) return false;
+    }
+  }
+  return true;
+}
+
+Status Instance::UnionWith(const Instance& other) {
+  for (RelationId r = 0; r < other.schema().size(); ++r) {
+    const auto& ts = other.tuples(r);
+    if (ts.empty()) continue;
+    MAPINV_ASSIGN_OR_RETURN(RelationId mine,
+                            schema_->Require(other.schema().name(r)));
+    for (const Tuple& t : ts) {
+      MAPINV_ASSIGN_OR_RETURN(bool added, AddTuple(mine, t));
+      (void)added;
+    }
+  }
+  return Status::OK();
+}
+
+std::string Instance::ToString() const {
+  EnsureSlots();
+  std::vector<std::string> rendered;
+  for (RelationId r = 0; r < relations_.size(); ++r) {
+    for (const Tuple& t : relations_[r].tuples) {
+      std::string s = schema_->name(r) + "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) s += ",";
+        s += t[i].ToString();
+      }
+      s += ")";
+      rendered.push_back(std::move(s));
+    }
+  }
+  std::sort(rendered.begin(), rendered.end());
+  std::string out = "{ ";
+  for (size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rendered[i];
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace mapinv

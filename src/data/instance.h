@@ -1,0 +1,121 @@
+/// \file instance.h
+/// \brief Database instances: finite sets of tuples per relation symbol.
+///
+/// An Instance is bound to a Schema (shared ownership) and stores, for each
+/// relation, a duplicate-free sequence of tuples. Tuples keep insertion
+/// order, which makes chase output deterministic; set-semantics operations
+/// (containment, equality, union) ignore order.
+
+#ifndef MAPINV_DATA_INSTANCE_H_
+#define MAPINV_DATA_INSTANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace mapinv {
+
+/// \brief A database tuple: a fixed-length sequence of values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (Value v : t) HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// \brief A fact: a relation id together with a tuple.
+struct Fact {
+  RelationId relation;
+  Tuple tuple;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation == b.relation && a.tuple == b.tuple;
+  }
+};
+
+/// \brief An instance of a relational schema.
+class Instance {
+ public:
+  /// Creates an empty instance of `schema`.
+  explicit Instance(std::shared_ptr<const Schema> schema);
+
+  /// Convenience: copies the schema into shared ownership.
+  explicit Instance(const Schema& schema)
+      : Instance(std::make_shared<const Schema>(schema)) {}
+
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
+
+  /// Inserts a tuple; returns true if it was new. Fails on arity mismatch or
+  /// unknown relation.
+  Result<bool> AddTuple(RelationId relation, Tuple tuple);
+
+  /// Inserts a tuple by relation name.
+  Result<bool> Add(std::string_view relation, Tuple tuple);
+
+  /// Inserts a tuple whose values are the decimal constants of `values`.
+  Result<bool> AddInts(std::string_view relation,
+                       const std::vector<int64_t>& values);
+
+  /// True if the instance contains the fact.
+  bool Contains(RelationId relation, const Tuple& tuple) const;
+
+  /// All tuples of one relation, in insertion order.
+  const std::vector<Tuple>& tuples(RelationId relation) const;
+
+  /// Total number of tuples across all relations.
+  size_t TotalSize() const;
+
+  /// True if no tuple contains a labelled null.
+  bool IsNullFree() const;
+
+  /// All values occurring in the instance (deduplicated, unspecified order).
+  std::vector<Value> ActiveDomain() const;
+
+  /// All facts, relation-major in insertion order.
+  std::vector<Fact> AllFacts() const;
+
+  /// True if every fact of this instance occurs in `other` (schemas must
+  /// agree on the relations used).
+  bool SubsetOf(const Instance& other) const;
+
+  /// Set-semantics equality.
+  bool EqualTo(const Instance& other) const {
+    return SubsetOf(other) && other.SubsetOf(*this);
+  }
+
+  /// Adds every fact of `other` into this instance; relation names are
+  /// resolved against this instance's schema.
+  Status UnionWith(const Instance& other);
+
+  /// Deterministic rendering: relations and tuples sorted lexicographically,
+  /// e.g. "{ R(1,2), R(3,4), S(2,5) }".
+  std::string ToString() const;
+
+ private:
+  struct RelationData {
+    std::vector<Tuple> tuples;
+    std::unordered_set<Tuple, TupleHash> set;
+  };
+
+  std::shared_ptr<const Schema> schema_;
+  // Indexed by RelationId; grown when the schema has more relations than
+  // were present at construction (schemas are append-only).
+  mutable std::vector<RelationData> relations_;
+
+  void EnsureSlots() const;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_DATA_INSTANCE_H_

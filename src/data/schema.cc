@@ -1,0 +1,56 @@
+#include "data/schema.h"
+
+namespace mapinv {
+
+Result<RelationId> Schema::AddRelation(std::string_view name, uint32_t arity) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (symbols_[it->second].arity != arity) {
+      return Status::InvalidArgument(
+          "relation '" + std::string(name) + "' re-declared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(symbols_[it->second].arity) + ")");
+    }
+    return it->second;
+  }
+  RelationId id = static_cast<RelationId>(symbols_.size());
+  symbols_.push_back(RelationSymbol{std::string(name), arity});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<RelationId> Schema::Require(std::string_view name) const {
+  RelationId id = Find(name);
+  if (id == kInvalidRelation) {
+    return Status::NotFound("unknown relation '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+bool Schema::DisjointFrom(const Schema& other) const {
+  for (const auto& s : symbols_) {
+    if (other.Find(s.name) != kInvalidRelation) return false;
+  }
+  return true;
+}
+
+Result<Schema> Schema::Union(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (const auto& s : b.relations()) {
+    MAPINV_ASSIGN_OR_RETURN(RelationId id, out.AddRelation(s.name, s.arity));
+    (void)id;
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{ ";
+  for (size_t i = 0; i < symbols_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += symbols_[i].name + "/" + std::to_string(symbols_[i].arity);
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,81 @@
+/// \file schema.h
+/// \brief Relational schemas: named relation symbols with fixed arities.
+///
+/// A Schema is a finite set of relation symbols. Relation symbols are
+/// identified within a schema by dense RelationId indexes; mappings carry a
+/// source and a target Schema and all formulas refer to relations by name,
+/// resolved against the appropriate schema at validation time.
+
+#ifndef MAPINV_DATA_SCHEMA_H_
+#define MAPINV_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+/// Index of a relation symbol within one Schema.
+using RelationId = uint32_t;
+
+/// Sentinel for "no such relation".
+inline constexpr RelationId kInvalidRelation = UINT32_MAX;
+
+/// \brief A relation symbol: a name plus an arity.
+struct RelationSymbol {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+/// \brief An ordered set of relation symbols with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Constructs a schema from (name, arity) pairs; duplicate names must not
+  /// occur (asserted in debug builds, last-wins otherwise).
+  Schema(std::initializer_list<RelationSymbol> symbols) {
+    for (const auto& s : symbols) AddRelation(s.name, s.arity);
+  }
+
+  /// Adds a relation; returns its id. Re-adding an existing name with the
+  /// same arity returns the existing id.
+  Result<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Returns the id of `name`, or kInvalidRelation.
+  RelationId Find(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? kInvalidRelation : it->second;
+  }
+
+  /// Returns the id of `name` or an error.
+  Result<RelationId> Require(std::string_view name) const;
+
+  const RelationSymbol& relation(RelationId id) const { return symbols_[id]; }
+  uint32_t arity(RelationId id) const { return symbols_[id].arity; }
+  const std::string& name(RelationId id) const { return symbols_[id].name; }
+  size_t size() const { return symbols_.size(); }
+  const std::vector<RelationSymbol>& relations() const { return symbols_; }
+
+  /// True if the two schemas have disjoint relation-name sets.
+  bool DisjointFrom(const Schema& other) const;
+
+  /// Returns the union of two schemas; fails on a name clash with differing
+  /// arities.
+  static Result<Schema> Union(const Schema& a, const Schema& b);
+
+  /// "S { R/2, T/3 }"-style rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSymbol> symbols_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_DATA_SCHEMA_H_

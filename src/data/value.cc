@@ -1,0 +1,10 @@
+#include "data/value.h"
+
+namespace mapinv {
+
+std::atomic<uint32_t>& Value::next_null_label() {
+  static std::atomic<uint32_t> label{0};
+  return label;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,89 @@
+/// \file value.h
+/// \brief Database values: constants and labelled nulls.
+///
+/// As in the data-exchange literature [Fagin-Kolaitis-Miller-Popa, TCS'05],
+/// instances contain two kinds of values. *Constants* come from a fixed
+/// domain (interned spellings: "1", "alice", ...). *Labelled nulls* are
+/// placeholders invented by the chase; two nulls are equal iff they carry the
+/// same label. Source instances must be null-free; target instances may mix
+/// both. The built-in predicate C(x) of the paper holds exactly on constants.
+
+#ifndef MAPINV_DATA_VALUE_H_
+#define MAPINV_DATA_VALUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "base/symbols.h"
+
+namespace mapinv {
+
+/// \brief A single database value: either a constant or a labelled null.
+class Value {
+ public:
+  /// Default-constructed value: the constant with interned id 0 if any; do
+  /// not rely on this — present only so Value is usable in containers.
+  Value() : bits_(0) {}
+
+  /// Returns the constant with the given spelling (interned).
+  static Value MakeConstant(std::string_view spelling) {
+    return Value(ConstantPool().Intern(spelling), /*is_null=*/false);
+  }
+
+  /// Returns the constant spelling the decimal form of `n` (convenience).
+  static Value Int(int64_t n) { return MakeConstant(std::to_string(n)); }
+
+  /// Returns a labelled null with a process-unique fresh label.
+  static Value FreshNull() {
+    return Value(next_null_label().fetch_add(1, std::memory_order_relaxed),
+                 /*is_null=*/true);
+  }
+
+  /// Returns the labelled null with the given explicit label. Intended for
+  /// tests and parsers; labels below 2^31 never collide with FreshNull()
+  /// output only if FreshNull has not issued them — prefer FreshNull in
+  /// library code.
+  static Value NullWithLabel(uint32_t label) {
+    return Value(label, /*is_null=*/true);
+  }
+
+  bool is_constant() const { return (bits_ & kNullFlag) == 0; }
+  bool is_null() const { return !is_constant(); }
+
+  /// Raw id: interned-spelling id for constants, label for nulls.
+  uint32_t id() const { return static_cast<uint32_t>(bits_ & 0xffffffffu); }
+
+  /// Constant spelling, or "_N<label>" for nulls.
+  std::string ToString() const {
+    if (is_constant()) return ConstantPool().Text(id());
+    return "_N" + std::to_string(id());
+  }
+
+  friend bool operator==(Value a, Value b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Value a, Value b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Value a, Value b) { return a.bits_ < b.bits_; }
+
+  /// Stable hash of the value.
+  size_t Hash() const { return std::hash<uint64_t>()(bits_); }
+
+ private:
+  static constexpr uint64_t kNullFlag = 1ULL << 32;
+
+  Value(uint32_t id, bool is_null)
+      : bits_(static_cast<uint64_t>(id) | (is_null ? kNullFlag : 0)) {}
+
+  static std::atomic<uint32_t>& next_null_label();
+
+  uint64_t bits_;
+};
+
+struct ValueHash {
+  size_t operator()(Value v) const { return v.Hash(); }
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_DATA_VALUE_H_

@@ -1,0 +1,225 @@
+#include "eval/containment.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/query_eval.h"
+
+namespace mapinv {
+
+namespace {
+
+// Builds a schema covering all relations mentioned by `atoms` (arity taken
+// from the atoms themselves; consistent arities are required).
+Result<Schema> SchemaFromAtoms(const std::vector<Atom>& atoms) {
+  Schema s;
+  for (const Atom& a : atoms) {
+    MAPINV_ASSIGN_OR_RETURN(
+        RelationId id,
+        s.AddRelation(RelationText(a.relation),
+                      static_cast<uint32_t>(a.terms.size())));
+    (void)id;
+  }
+  return s;
+}
+
+// Freezes atoms into an instance: every variable becomes a distinct fresh
+// constant (via `frozen`), existing constants stay themselves.
+Result<Instance> Freeze(const std::vector<Atom>& atoms,
+                        const std::vector<Atom>& extra_schema_atoms,
+                        std::unordered_map<VarId, Value>* frozen) {
+  std::vector<Atom> all = atoms;
+  all.insert(all.end(), extra_schema_atoms.begin(), extra_schema_atoms.end());
+  MAPINV_ASSIGN_OR_RETURN(Schema schema, SchemaFromAtoms(all));
+  Instance inst(schema);
+  uint64_t counter = frozen->size();
+  auto freeze_var = [&](VarId v) {
+    auto it = frozen->find(v);
+    if (it == frozen->end()) {
+      Value c = Value::MakeConstant("!frz" + std::to_string(counter++) + "_" +
+                                    VarName(v));
+      it = frozen->emplace(v, c).first;
+    }
+    return it->second;
+  };
+  for (const Atom& a : atoms) {
+    Tuple t;
+    t.reserve(a.terms.size());
+    for (const Term& term : a.terms) {
+      if (term.is_variable()) {
+        t.push_back(freeze_var(term.var()));
+      } else if (term.is_constant()) {
+        t.push_back(term.value());
+      } else {
+        return Status::Malformed("cannot freeze function term " +
+                                 term.ToString());
+      }
+    }
+    MAPINV_ASSIGN_OR_RETURN(bool added,
+                            inst.Add(RelationText(a.relation), std::move(t)));
+    (void)added;
+  }
+  return inst;
+}
+
+// Representative map for a disjunct's head-equality classes.
+std::map<VarId, VarId> EqualityReps(const std::vector<VarId>& head,
+                                    const std::vector<VarPair>& equalities) {
+  std::map<VarId, VarId> rep;
+  std::function<VarId(VarId)> find = [&](VarId v) {
+    while (rep.contains(v) && rep[v] != v) v = rep[v];
+    return v;
+  };
+  for (VarId h : head) rep.emplace(h, h);
+  for (const VarPair& eq : equalities) {
+    rep.emplace(eq.first, eq.first);
+    rep.emplace(eq.second, eq.second);
+    VarId a = find(eq.first);
+    VarId b = find(eq.second);
+    if (a != b) rep[std::max(a, b)] = std::min(a, b);
+  }
+  // Flatten.
+  for (auto& [v, r] : rep) r = find(v);
+  return rep;
+}
+
+std::vector<Atom> ApplyReps(const std::vector<Atom>& atoms,
+                            const std::map<VarId, VarId>& rep) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    Atom b;
+    b.relation = a.relation;
+    b.terms.reserve(a.terms.size());
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) {
+        auto it = rep.find(t.var());
+        b.terms.push_back(Term::Var(it == rep.end() ? t.var() : it->second));
+      } else {
+        b.terms.push_back(t);
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2) {
+  if (q1.head.size() != q2.head.size()) {
+    return Status::InvalidArgument("containment between queries of arity " +
+                                   std::to_string(q1.head.size()) + " and " +
+                                   std::to_string(q2.head.size()));
+  }
+  std::unordered_map<VarId, Value> frozen;
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical,
+                          Freeze(q1.atoms, q2.atoms, &frozen));
+  ConjunctiveQuery q2_renamed = q2;
+  MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(q2_renamed, canonical));
+  Tuple head;
+  head.reserve(q1.head.size());
+  for (VarId v : q1.head) {
+    auto it = frozen.find(v);
+    if (it == frozen.end()) {
+      return Status::Malformed("unsafe head variable " + VarName(v) +
+                               " in containment check");
+    }
+    head.push_back(it->second);
+  }
+  return answers.Contains(head);
+}
+
+Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
+                                 const CqDisjunct& d1, const CqDisjunct& d2) {
+  if (!d1.inequalities.empty() || !d2.inequalities.empty()) {
+    return Status::Unsupported(
+        "containment of UCQ≠ disjuncts is not implemented (the freeze "
+        "technique is incomplete with inequalities)");
+  }
+  // Merge d1's equality classes, freeze, then evaluate d2 over the frozen
+  // instance: d1 ⊆ d2 iff d2 returns d1's frozen head tuple.
+  std::map<VarId, VarId> rep = EqualityReps(head, d1.equalities);
+  std::vector<Atom> atoms = ApplyReps(d1.atoms, rep);
+  std::unordered_map<VarId, Value> frozen;
+  MAPINV_ASSIGN_OR_RETURN(Instance canonical, Freeze(atoms, d2.atoms, &frozen));
+  Tuple head_tuple;
+  head_tuple.reserve(head.size());
+  for (VarId v : head) {
+    auto it = frozen.find(rep.at(v));
+    if (it == frozen.end()) {
+      // Head variable not grounded by d1's atoms even through equalities:
+      // d1 is unsafe; treat as empty (contained in anything).
+      return true;
+    }
+    head_tuple.push_back(it->second);
+  }
+  MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
+                          EvaluateDisjunct(head, d2, canonical));
+  return answers.Contains(head_tuple);
+}
+
+Result<UnionCq> MinimizeUnionCq(const UnionCq& query) {
+  const size_t n = query.disjuncts.size();
+  std::vector<bool> dropped(n, false);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n && !dropped[j]; ++i) {
+      if (i == j || dropped[i]) continue;
+      MAPINV_ASSIGN_OR_RETURN(
+          bool j_in_i, DisjunctContainedIn(query.head, query.disjuncts[j],
+                                           query.disjuncts[i]));
+      if (!j_in_i) continue;
+      MAPINV_ASSIGN_OR_RETURN(
+          bool i_in_j, DisjunctContainedIn(query.head, query.disjuncts[i],
+                                           query.disjuncts[j]));
+      if (i_in_j) {
+        // Mutually equivalent: keep the lower index.
+        dropped[std::max(i, j)] = true;
+      } else {
+        dropped[j] = true;  // strictly subsumed
+      }
+    }
+  }
+  UnionCq out;
+  out.name = query.name;
+  out.head = query.head;
+  for (size_t i = 0; i < n; ++i) {
+    if (!dropped[i]) out.disjuncts.push_back(query.disjuncts[i]);
+  }
+  return out;
+}
+
+Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.atoms.size(); ++i) {
+      if (current.atoms.size() == 1) break;
+      ConjunctiveQuery candidate = current;
+      candidate.atoms.erase(candidate.atoms.begin() + i);
+      // Head variables must remain grounded.
+      std::vector<VarId> body = candidate.BodyVars();
+      std::unordered_set<VarId> body_set(body.begin(), body.end());
+      bool safe = std::all_of(candidate.head.begin(), candidate.head.end(),
+                              [&](VarId v) { return body_set.contains(v); });
+      if (!safe) continue;
+      // candidate ⊆ current always (it has fewer atoms ⇒ more answers ⇒
+      // actually superset); equivalence needs candidate ⊆ current.
+      MAPINV_ASSIGN_OR_RETURN(bool equivalent,
+                              CqContainedIn(candidate, current));
+      if (equivalent) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,41 @@
+/// \file containment.h
+/// \brief Conjunctive-query containment and UCQ= minimisation.
+///
+/// Containment Q₁ ⊆ Q₂ is decided by the classical freezing argument
+/// (Chandra–Merlin): freeze Q₁'s variables into distinct fresh constants,
+/// evaluate Q₂ over the frozen body, and check that the frozen head tuple is
+/// among the answers. The same construction handles UCQ= disjuncts after
+/// merging their head-equality classes. Minimisation drops every disjunct
+/// that is contained in another disjunct of the same union — used to keep
+/// rewritings (Section 4) small and deterministic.
+
+#ifndef MAPINV_EVAL_CONTAINMENT_H_
+#define MAPINV_EVAL_CONTAINMENT_H_
+
+#include "base/status.h"
+#include "logic/cq.h"
+
+namespace mapinv {
+
+/// \brief True iff Q₁ ⊆ Q₂ (every answer of Q₁ is an answer of Q₂ on all
+/// instances). Heads must have equal arity.
+Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2);
+
+/// \brief Containment of UCQ= disjuncts sharing the head tuple `head`.
+Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
+                                 const CqDisjunct& d1, const CqDisjunct& d2);
+
+/// \brief Removes disjuncts subsumed by other disjuncts of the union, and
+/// exact duplicates. Keeps the first (lowest-index) representative of each
+/// equivalence class, preserving order — deterministic output.
+Result<UnionCq> MinimizeUnionCq(const UnionCq& query);
+
+/// \brief Core minimisation of a single CQ: repeatedly drops atoms whose
+/// removal preserves equivalence. The result is the standard core, unique up
+/// to isomorphism.
+Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_EVAL_CONTAINMENT_H_

@@ -1,0 +1,236 @@
+#include "eval/hom.h"
+
+#include <algorithm>
+
+namespace mapinv {
+
+namespace {
+
+// Checks the constraints that are decidable under the partial assignment:
+// a newly bound variable's constant requirement, and inequalities whose two
+// endpoints are both bound.
+bool ConstraintsHold(const HomConstraints& constraints,
+                     const Assignment& assignment) {
+  for (VarId v : constraints.constant_vars) {
+    auto it = assignment.find(v);
+    if (it != assignment.end() && !it->second.is_constant()) return false;
+  }
+  for (const VarPair& ne : constraints.inequalities) {
+    auto a = assignment.find(ne.first);
+    auto b = assignment.find(ne.second);
+    if (a != assignment.end() && b != assignment.end() &&
+        a->second == b->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const HomSearch::RelationIndex& HomSearch::IndexFor(RelationId relation) const {
+  RelationIndex& idx = indexes_[relation];
+  const auto& tuples = instance_.tuples(relation);
+  if (idx.positions.size() < instance_.schema().arity(relation)) {
+    idx.positions.resize(instance_.schema().arity(relation));
+  }
+  if (idx.indexed_count < tuples.size()) {
+    const uint32_t arity = instance_.schema().arity(relation);
+    for (size_t i = idx.indexed_count; i < tuples.size(); ++i) {
+      for (uint32_t p = 0; p < arity; ++p) {
+        idx.positions[p].buckets[tuples[i][p]].push_back(
+            static_cast<uint32_t>(i));
+      }
+    }
+    idx.indexed_count = tuples.size();
+  }
+  return idx;
+}
+
+Status HomSearch::ForEachHom(
+    const std::vector<Atom>& atoms, const HomConstraints& constraints,
+    const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& callback) const {
+  // Resolve relations and validate argument shapes once.
+  struct ResolvedAtom {
+    const Atom* atom;
+    RelationId relation;
+    bool done = false;
+  };
+  std::vector<ResolvedAtom> resolved;
+  resolved.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    MAPINV_ASSIGN_OR_RETURN(RelationId id,
+                            instance_.schema().Require(RelationText(a.relation)));
+    if (instance_.schema().arity(id) != a.terms.size()) {
+      return Status::Malformed("atom " + a.ToString() +
+                               " arity mismatch with instance schema");
+    }
+    for (const Term& t : a.terms) {
+      if (t.is_function()) {
+        return Status::Malformed("cannot match function term " + t.ToString() +
+                                 " against an instance");
+      }
+    }
+    resolved.push_back(ResolvedAtom{&a, id});
+  }
+
+  Assignment assignment = fixed;
+  if (!ConstraintsHold(constraints, assignment)) return Status::OK();
+
+  // Recursive backtracking: pick the most-bound unprocessed atom each step.
+  std::function<bool()> recurse = [&]() -> bool {
+    // Returning false means "stop the whole enumeration".
+    ResolvedAtom* best = nullptr;
+    int best_bound = -1;
+    for (ResolvedAtom& ra : resolved) {
+      if (ra.done) continue;
+      int bound = 0;
+      for (const Term& t : ra.atom->terms) {
+        if (t.is_constant() ||
+            (t.is_variable() && assignment.contains(t.var()))) {
+          ++bound;
+        }
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = &ra;
+      }
+    }
+    if (best == nullptr) {
+      return callback(assignment);
+    }
+    best->done = true;
+    const Atom& atom = *best->atom;
+    const auto& tuples = instance_.tuples(best->relation);
+
+    // Candidate tuples: use the index bucket of the first bound position,
+    // else scan the whole relation.
+    const std::vector<uint32_t>* bucket = nullptr;
+    std::vector<uint32_t> all;
+    for (uint32_t p = 0; p < atom.terms.size(); ++p) {
+      const Term& t = atom.terms[p];
+      Value bound_value;
+      bool have = false;
+      if (t.is_constant()) {
+        bound_value = t.value();
+        have = true;
+      } else if (assignment.contains(t.var())) {
+        bound_value = assignment.at(t.var());
+        have = true;
+      }
+      if (have) {
+        const auto& buckets = IndexFor(best->relation).positions[p].buckets;
+        auto it = buckets.find(bound_value);
+        if (it == buckets.end()) {
+          bucket = &all;  // empty
+        } else {
+          bucket = &it->second;
+        }
+        break;
+      }
+    }
+    if (bucket == nullptr) {
+      all.resize(tuples.size());
+      for (uint32_t i = 0; i < tuples.size(); ++i) all[i] = i;
+      bucket = &all;
+    }
+
+    bool keep_going = true;
+    for (uint32_t idx : *bucket) {
+      const Tuple& tuple = tuples[idx];
+      std::vector<VarId> newly_bound;
+      bool ok = true;
+      for (uint32_t p = 0; p < atom.terms.size() && ok; ++p) {
+        const Term& t = atom.terms[p];
+        if (t.is_constant()) {
+          ok = (t.value() == tuple[p]);
+        } else {
+          auto it = assignment.find(t.var());
+          if (it == assignment.end()) {
+            // Constant constraint applied eagerly.
+            if (constraints.constant_vars.contains(t.var()) &&
+                !tuple[p].is_constant()) {
+              ok = false;
+            } else {
+              assignment.emplace(t.var(), tuple[p]);
+              newly_bound.push_back(t.var());
+            }
+          } else {
+            ok = (it->second == tuple[p]);
+          }
+        }
+      }
+      if (ok) {
+        // Inequalities involving newly bound variables.
+        for (const VarPair& ne : constraints.inequalities) {
+          auto a = assignment.find(ne.first);
+          auto b = assignment.find(ne.second);
+          if (a != assignment.end() && b != assignment.end() &&
+              a->second == b->second) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) keep_going = recurse();
+      for (VarId v : newly_bound) assignment.erase(v);
+      if (!keep_going) break;
+    }
+    best->done = false;
+    return keep_going;
+  };
+
+  recurse();
+  return Status::OK();
+}
+
+Result<bool> HomSearch::ExistsHom(const std::vector<Atom>& atoms,
+                                  const HomConstraints& constraints,
+                                  const Assignment& fixed) const {
+  bool found = false;
+  MAPINV_RETURN_NOT_OK(ForEachHom(atoms, constraints, fixed,
+                                  [&](const Assignment&) {
+                                    found = true;
+                                    return false;  // stop
+                                  }));
+  return found;
+}
+
+Result<bool> InstanceHomExists(const Instance& from, const Instance& to) {
+  // Encode `from` as an atom conjunction: nulls become variables, constants
+  // become constant terms; then ask for a homomorphism into `to`.
+  std::vector<Atom> atoms;
+  FreshVarGen gen("h");
+  std::unordered_map<Value, VarId, ValueHash> null_vars;
+  for (const Fact& f : from.AllFacts()) {
+    // A fact over a relation absent from `to`'s schema can never be mapped.
+    if (to.schema().Find(from.schema().name(f.relation)) == kInvalidRelation) {
+      return false;
+    }
+    Atom a;
+    a.relation = InternRelation(from.schema().name(f.relation));
+    a.terms.reserve(f.tuple.size());
+    for (Value v : f.tuple) {
+      if (v.is_constant()) {
+        a.terms.push_back(Term::Const(v));
+      } else {
+        auto [it, inserted] = null_vars.emplace(v, 0);
+        if (inserted) it->second = gen.Next();
+        a.terms.push_back(Term::Var(it->second));
+      }
+    }
+    atoms.push_back(std::move(a));
+  }
+  if (atoms.empty()) return true;
+  HomSearch search(to);
+  return search.ExistsHom(atoms, HomConstraints{});
+}
+
+Result<bool> InstancesHomEquivalent(const Instance& a, const Instance& b) {
+  MAPINV_ASSIGN_OR_RETURN(bool ab, InstanceHomExists(a, b));
+  if (!ab) return false;
+  return InstanceHomExists(b, a);
+}
+
+}  // namespace mapinv

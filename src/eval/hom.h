@@ -1,0 +1,99 @@
+/// \file hom.h
+/// \brief Backtracking homomorphism search from atom conjunctions into
+/// instances.
+///
+/// This is the workhorse shared by query evaluation, the chase (premise
+/// matching), CQ containment and instance homomorphism tests. A
+/// *homomorphism* assigns a value to every variable of the atom conjunction
+/// such that every atom maps to a fact of the instance; optional side
+/// constraints restrict assignments:
+///   * constant_vars — the variable must map to a constant (the paper's C(·))
+///   * inequalities  — the two variables must map to distinct values.
+///
+/// Atom arguments may be variables or constants (constants must match
+/// exactly); function terms are rejected — they never reach evaluation in
+/// any of the paper's algorithms.
+
+#ifndef MAPINV_EVAL_HOM_H_
+#define MAPINV_EVAL_HOM_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "logic/cq.h"
+
+namespace mapinv {
+
+/// A partial or total variable assignment.
+using Assignment = std::unordered_map<VarId, Value>;
+
+/// \brief Side constraints on homomorphisms.
+struct HomConstraints {
+  /// Variables that must be assigned constant (non-null) values.
+  std::unordered_set<VarId> constant_vars;
+  /// Pairs of variables that must be assigned distinct values.
+  std::vector<VarPair> inequalities;
+};
+
+/// \brief Homomorphism enumerator over one instance.
+///
+/// Builds per-relation, per-position value indexes lazily and *extends them
+/// incrementally*: the instance may grow (append-only — Instance never
+/// removes or reorders tuples) between calls and the index catches up on
+/// the next use. This is what lets the chase engines keep one HomSearch on
+/// the instance they are extending. The instance must outlive the search
+/// object.
+class HomSearch {
+ public:
+  explicit HomSearch(const Instance& instance) : instance_(instance) {}
+
+  /// Enumerates every homomorphism extending `fixed` from `atoms` into the
+  /// instance under `constraints`. The callback receives each total
+  /// assignment; returning false stops the enumeration early.
+  ///
+  /// Fails with kNotFound if an atom's relation is missing from the
+  /// instance's schema, and with kMalformed on function-term arguments.
+  Status ForEachHom(const std::vector<Atom>& atoms,
+                    const HomConstraints& constraints, const Assignment& fixed,
+                    const std::function<bool(const Assignment&)>& callback) const;
+
+  /// True if at least one homomorphism exists.
+  Result<bool> ExistsHom(const std::vector<Atom>& atoms,
+                         const HomConstraints& constraints,
+                         const Assignment& fixed = {}) const;
+
+ private:
+  struct PositionIndex {
+    // value at position -> indexes into Instance::tuples(relation)
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
+  };
+  struct RelationIndex {
+    // Number of tuples of the relation already reflected in the buckets;
+    // tuples at indexes >= indexed_count are appended on the next IndexFor.
+    size_t indexed_count = 0;
+    std::vector<PositionIndex> positions;
+  };
+
+  const RelationIndex& IndexFor(RelationId relation) const;
+
+  const Instance& instance_;
+  mutable std::unordered_map<RelationId, RelationIndex> indexes_;
+};
+
+/// \brief True if there is a homomorphism from instance `from` into instance
+/// `to`: a value map that is the identity on constants, maps nulls anywhere,
+/// and sends every fact of `from` to a fact of `to`. This is the standard
+/// instance-homomorphism notion used for universality and data-exchange
+/// equivalence (Section 3.1).
+Result<bool> InstanceHomExists(const Instance& from, const Instance& to);
+
+/// \brief Homomorphic equivalence of instances (maps in both directions).
+Result<bool> InstancesHomEquivalent(const Instance& a, const Instance& b);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_EVAL_HOM_H_

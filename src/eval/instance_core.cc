@@ -1,0 +1,130 @@
+#include "eval/instance_core.h"
+
+#include <unordered_map>
+
+#include "eval/hom.h"
+
+namespace mapinv {
+
+namespace {
+
+// Encodes the instance as an atom conjunction: nulls become variables (one
+// per label), constants become constant terms. Returns the null->variable
+// map through `null_vars`.
+std::vector<Atom> InstanceAsAtoms(
+    const Instance& instance,
+    std::unordered_map<Value, VarId, ValueHash>* null_vars) {
+  std::vector<Atom> atoms;
+  FreshVarGen gen("core");
+  for (const Fact& f : instance.AllFacts()) {
+    Atom a;
+    a.relation = InternRelation(instance.schema().name(f.relation));
+    a.terms.reserve(f.tuple.size());
+    for (Value v : f.tuple) {
+      if (v.is_constant()) {
+        a.terms.push_back(Term::Const(v));
+      } else {
+        auto [it, inserted] = null_vars->emplace(v, 0);
+        if (inserted) it->second = gen.Next();
+        a.terms.push_back(Term::Var(it->second));
+      }
+    }
+    atoms.push_back(std::move(a));
+  }
+  return atoms;
+}
+
+// Looks for an endomorphism of `instance` whose image avoids `target_null`
+// entirely (no null maps to it — in particular the null itself moves).
+// This is the progress condition that makes the greedy fold terminate: a
+// mere automorphism (e.g. swapping two interchangeable nulls) is not a
+// fold, and if a proper retract C exists then some null n is outside C and
+// the retraction is an endomorphism avoiding n. Returns the full value map
+// on success.
+Result<bool> FindFoldingEndomorphism(
+    const Instance& instance, Value target_null,
+    std::unordered_map<Value, Value, ValueHash>* out_map) {
+  std::unordered_map<Value, VarId, ValueHash> null_vars;
+  std::vector<Atom> atoms = InstanceAsAtoms(instance, &null_vars);
+  // An image fact avoids `target_null` iff it lives in the sub-instance of
+  // facts not containing it, so search homomorphisms into that restriction
+  // — the search then prunes eagerly instead of post-filtering assignments.
+  Instance restricted(instance.schema_ptr());
+  for (const Fact& f : instance.AllFacts()) {
+    bool mentions = false;
+    for (Value v : f.tuple) {
+      if (v == target_null) mentions = true;
+    }
+    if (!mentions) {
+      MAPINV_ASSIGN_OR_RETURN(bool added,
+                              restricted.AddTuple(f.relation, f.tuple));
+      (void)added;
+    }
+  }
+  HomSearch search(restricted);
+  bool found = false;
+  MAPINV_RETURN_NOT_OK(search.ForEachHom(
+      atoms, HomConstraints{}, Assignment{}, [&](const Assignment& h) {
+        out_map->clear();
+        for (const auto& [null_value, var] : null_vars) {
+          out_map->emplace(null_value, h.at(var));
+        }
+        found = true;
+        return false;  // stop
+      }));
+  return found;
+}
+
+Instance ApplyValueMap(
+    const Instance& instance,
+    const std::unordered_map<Value, Value, ValueHash>& map) {
+  Instance out(instance.schema_ptr());
+  for (const Fact& f : instance.AllFacts()) {
+    Tuple t;
+    t.reserve(f.tuple.size());
+    for (Value v : f.tuple) {
+      auto it = map.find(v);
+      t.push_back(it == map.end() ? v : it->second);
+    }
+    out.AddTuple(f.relation, std::move(t)).ValueOrDie();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Instance> CoreOfInstance(const Instance& instance) {
+  Instance current = instance;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Value> nulls;
+    for (Value v : current.ActiveDomain()) {
+      if (v.is_null()) nulls.push_back(v);
+    }
+    for (Value null_value : nulls) {
+      std::unordered_map<Value, Value, ValueHash> map;
+      MAPINV_ASSIGN_OR_RETURN(
+          bool found, FindFoldingEndomorphism(current, null_value, &map));
+      if (found) {
+        current = ApplyValueMap(current, map);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Result<bool> IsCore(const Instance& instance) {
+  for (Value v : instance.ActiveDomain()) {
+    if (!v.is_null()) continue;
+    std::unordered_map<Value, Value, ValueHash> map;
+    MAPINV_ASSIGN_OR_RETURN(bool found,
+                            FindFoldingEndomorphism(instance, v, &map));
+    if (found) return false;
+  }
+  return true;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,36 @@
+/// \file instance_core.h
+/// \brief Cores of instances with labelled nulls.
+///
+/// The *core* of an instance is its smallest retract: the unique (up to
+/// isomorphism) sub-instance C ⊆ I with a homomorphism I → C and no proper
+/// retract of its own [Fagin-Kolaitis-Popa]. In data exchange the core of
+/// the canonical universal solution is the preferred materialisation — it
+/// is the smallest universal solution — and the same holds for the
+/// recovered source worlds produced by the reverse chase: folding redundant
+/// nulls makes recovered instances canonical and comparable.
+///
+/// The computation here is the classical greedy fold: repeatedly look for
+/// an endomorphism that is the identity on constants and maps some null to
+/// a different value, replace the instance by its image, and stop when no
+/// null can be folded. Worst-case exponential (core computation is NP-hard
+/// in general) but fast on chase outputs, whose null blocks are small.
+
+#ifndef MAPINV_EVAL_INSTANCE_CORE_H_
+#define MAPINV_EVAL_INSTANCE_CORE_H_
+
+#include "base/status.h"
+#include "data/instance.h"
+
+namespace mapinv {
+
+/// \brief Computes the core of `instance`. Constants are fixed; labelled
+/// nulls may fold onto other values. Null-free instances are their own
+/// cores and are returned unchanged.
+Result<Instance> CoreOfInstance(const Instance& instance);
+
+/// \brief True if no proper fold exists (the instance is its own core).
+Result<bool> IsCore(const Instance& instance);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_EVAL_INSTANCE_CORE_H_

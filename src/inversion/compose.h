@@ -1,0 +1,45 @@
+/// \file compose.h
+/// \brief Composition of schema mappings specified by (plain) SO-tgds.
+///
+/// The composition M₁₂ ∘ M₂₃ (Section 2) of mappings given by SO-tgds is
+/// again definable by an SO-tgd [Fagin-Kolaitis-Popa-Tan, TODS'05 — the
+/// paper's reference 13]: every premise atom of an M₂₃ rule is resolved
+/// against the conclusion atoms of M₁₂ rules in all possible ways, and the
+/// unifier is pushed through. Function terms may nest in the result (e.g.
+/// g(f(x))), which is why Term supports nesting while *plain* SO-tgds do
+/// not; IsPlain()/Validate() report whether the composition stayed plain
+/// (and hence invertible with PolySOInverse).
+///
+/// This is the algebra behind the paper's schema-evolution use case (§1):
+/// invert the evolution mapping and compose with the original mapping.
+
+#ifndef MAPINV_INVERSION_COMPOSE_H_
+#define MAPINV_INVERSION_COMPOSE_H_
+
+#include "base/status.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+struct ComposeOptions {
+  /// Abort beyond this many result rules (the unfolding is exponential in
+  /// the premise size of M₂₃'s rules).
+  size_t max_rules = 1u << 16;
+};
+
+/// \brief Composes two SO-tgd mappings; `first` maps A→B, `second` maps
+/// B→C, the result maps A→C. Fails unless first.target and second.source
+/// agree on the relations the rules use.
+Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
+                                   const SOTgdMapping& second,
+                                   const ComposeOptions& options = {});
+
+/// \brief Convenience: composes two tgd mappings by translating both to
+/// plain SO-tgds first (Section 5.1) and unfolding.
+Result<SOTgdMapping> ComposeTgdMappings(const TgdMapping& first,
+                                        const TgdMapping& second,
+                                        const ComposeOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_COMPOSE_H_

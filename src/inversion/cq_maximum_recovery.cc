@@ -1,0 +1,18 @@
+#include "inversion/cq_maximum_recovery.h"
+
+#include "inversion/eliminate_disjunctions.h"
+#include "inversion/maximum_recovery.h"
+
+namespace mapinv {
+
+Result<ReverseMapping> CqMaximumRecovery(
+    const TgdMapping& mapping, const CqMaximumRecoveryOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_prime,
+                          MaximumRecovery(mapping, options.rewrite));
+  MAPINV_ASSIGN_OR_RETURN(
+      ReverseMapping sigma_double_prime,
+      EliminateEqualities(sigma_prime, options.eliminate_equalities));
+  return EliminateDisjunctions(sigma_double_prime);
+}
+
+}  // namespace mapinv

@@ -1,0 +1,34 @@
+/// \file cq_maximum_recovery.h
+/// \brief Algorithm CQ-MAXIMUMRECOVERY(Σ) — the complete Section 4 pipeline.
+///
+/// MaximumRecovery → EliminateEqualities → EliminateDisjunctions. By Lemmas
+/// 4.1–4.3 (Theorem 4.4) the output specifies a CQ-maximum recovery of the
+/// input mapping, expressed as tgds extended with inequalities and the
+/// constant predicate C(·) in their premises — a language with the same good
+/// data-exchange properties as tgds (single-world chase; see
+/// chase/chase_reverse.h).
+
+#ifndef MAPINV_INVERSION_CQ_MAXIMUM_RECOVERY_H_
+#define MAPINV_INVERSION_CQ_MAXIMUM_RECOVERY_H_
+
+#include "base/status.h"
+#include "inversion/eliminate_equalities.h"
+#include "logic/mapping.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+
+struct CqMaximumRecoveryOptions {
+  RewriteOptions rewrite;
+  EliminateEqualitiesOptions eliminate_equalities;
+};
+
+/// \brief Computes a CQ-maximum recovery of `mapping` in the Theorem 4.5
+/// language: every output dependency has a single, equality-free conjunctive
+/// conclusion, and C(·) / ≠ appear in premises only.
+Result<ReverseMapping> CqMaximumRecovery(
+    const TgdMapping& mapping, const CqMaximumRecoveryOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_CQ_MAXIMUM_RECOVERY_H_

@@ -1,0 +1,37 @@
+#include "inversion/eliminate_disjunctions.h"
+
+#include "inversion/query_product.h"
+
+namespace mapinv {
+
+Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery) {
+  MAPINV_RETURN_NOT_OK(recovery.Validate());
+  if (!recovery.IsEqualityFree()) {
+    return Status::InvalidArgument(
+        "EliminateDisjunctions expects equality-free disjuncts; run "
+        "EliminateEqualities first");
+  }
+  ReverseMapping out(recovery.source, recovery.target, {});
+  for (const ReverseDependency& dep : recovery.deps) {
+    std::vector<std::vector<Atom>> disjunct_atoms;
+    disjunct_atoms.reserve(dep.disjuncts.size());
+    for (const ReverseDisjunct& d : dep.disjuncts) {
+      disjunct_atoms.push_back(d.atoms);
+    }
+    std::vector<Atom> product =
+        ProductOfMany(dep.constant_vars, disjunct_atoms);
+    if (product.empty()) continue;  // empty product: drop the dependency
+    ReverseDependency nd;
+    nd.premise = dep.premise;
+    nd.constant_vars = dep.constant_vars;
+    nd.inequalities = dep.inequalities;
+    ReverseDisjunct single;
+    single.atoms = std::move(product);
+    nd.disjuncts = {std::move(single)};
+    out.deps.push_back(std::move(nd));
+  }
+  MAPINV_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace mapinv

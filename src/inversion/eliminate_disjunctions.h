@@ -1,0 +1,26 @@
+/// \file eliminate_disjunctions.h
+/// \brief Algorithm ELIMINATEDISJUNCTIONS(Σ'') of Section 4.1.
+///
+/// Input dependencies have the EliminateEqualities shape
+///     ψ(x̄) ∧ C(x̄) ∧ δ(x̄) → β₁(x̄) ∨ ... ∨ β_k(x̄)
+/// with equality-free conjunctive disjuncts. Each disjunction is replaced by
+/// the single conjunctive query β₁ × ... × β_k (the CQ product); empty
+/// products drop the dependency. The result is conjunctive-query equivalent
+/// to the input (Lemma 4.3) and lies in the chaseable language of
+/// Theorem 4.5: tgds with inequalities and C(·) in premises only.
+
+#ifndef MAPINV_INVERSION_ELIMINATE_DISJUNCTIONS_H_
+#define MAPINV_INVERSION_ELIMINATE_DISJUNCTIONS_H_
+
+#include "base/status.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief Replaces every disjunctive conclusion by the product of its
+/// disjuncts. Input must be equality-free (run EliminateEqualities first).
+Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_ELIMINATE_DISJUNCTIONS_H_

@@ -1,0 +1,107 @@
+#include "inversion/eliminate_equalities.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "inversion/partitions.h"
+#include "logic/substitution.h"
+
+namespace mapinv {
+
+namespace {
+
+// Applies a variable->variable map to the atoms (identity on unmapped vars).
+std::vector<Atom> ApplyVarMap(const std::vector<Atom>& atoms,
+                              const std::unordered_map<VarId, VarId>& map) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    Atom b;
+    b.relation = a.relation;
+    b.terms.reserve(a.terms.size());
+    for (const Term& t : a.terms) {
+      auto it = map.find(t.var());
+      b.terms.push_back(Term::Var(it == map.end() ? t.var() : it->second));
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ReverseMapping> EliminateEqualities(
+    const ReverseMapping& recovery,
+    const EliminateEqualitiesOptions& options) {
+  MAPINV_RETURN_NOT_OK(recovery.Validate());
+  ReverseMapping out(recovery.source, recovery.target, {});
+  for (const ReverseDependency& dep : recovery.deps) {
+    if (!dep.inequalities.empty()) {
+      return Status::InvalidArgument(
+          "EliminateEqualities expects raw MaximumRecovery output "
+          "(no premise inequalities yet)");
+    }
+    const std::vector<VarId>& frontier = dep.constant_vars;
+    if (frontier.size() > options.max_frontier_width) {
+      return Status::ResourceExhausted(
+          "frontier of width " + std::to_string(frontier.size()) +
+          " exceeds max_frontier_width = " +
+          std::to_string(options.max_frontier_width) + " (Bell-number guard)");
+    }
+
+    Status inner_status;
+    ForEachPartition(frontier.size(), [&](const SetPartition& pi) {
+      // f_π: every frontier variable maps to the minimum-index member of its
+      // block (the paper's representative choice).
+      std::unordered_map<uint32_t, VarId> block_rep;
+      std::unordered_map<VarId, VarId> f_pi;
+      std::vector<VarId> representatives;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        auto [it, inserted] = block_rep.emplace(pi[i], frontier[i]);
+        if (inserted) representatives.push_back(frontier[i]);
+        f_pi[frontier[i]] = it->second;
+      }
+
+      // δ_π: pairwise inequalities between distinct representatives.
+      std::vector<VarPair> delta_pi;
+      for (size_t i = 0; i < representatives.size(); ++i) {
+        for (size_t j = i + 1; j < representatives.size(); ++j) {
+          delta_pi.emplace_back(representatives[i], representatives[j]);
+        }
+      }
+
+      // Keep each disjunct whose equalities are consistent with δ_π. After
+      // applying f_π, an equality relates two representatives; since δ_π
+      // asserts all representatives pairwise distinct, consistency is
+      // exactly "every equality became trivial".
+      std::vector<ReverseDisjunct> survivors;
+      for (const ReverseDisjunct& d : dep.disjuncts) {
+        bool consistent = true;
+        for (const VarPair& eq : d.equalities) {
+          if (f_pi.at(eq.first) != f_pi.at(eq.second)) {
+            consistent = false;
+            break;
+          }
+        }
+        if (!consistent) continue;
+        ReverseDisjunct nd;
+        nd.atoms = ApplyVarMap(d.atoms, f_pi);
+        survivors.push_back(std::move(nd));
+      }
+      if (survivors.empty()) return true;  // no dependency for this partition
+
+      ReverseDependency nd;
+      nd.premise = ApplyVarMap(dep.premise, f_pi);
+      nd.constant_vars = representatives;
+      nd.inequalities = std::move(delta_pi);
+      nd.disjuncts = std::move(survivors);
+      out.deps.push_back(std::move(nd));
+      return true;
+    });
+    MAPINV_RETURN_NOT_OK(inner_status);
+  }
+  MAPINV_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,39 @@
+/// \file eliminate_equalities.h
+/// \brief Algorithm ELIMINATEEQUALITIES(Σ') of Section 4.1.
+///
+/// Input dependencies have the MaximumRecovery shape
+///     ψ(x̄) ∧ C(x̄) → α(x̄)           (α a UCQ= over the source);
+/// for every partition π of x̄ the algorithm specialises the dependency to
+/// the equality type "variables in the same π-block are equal, blocks are
+/// pairwise distinct": variables are collapsed to block representatives
+/// (f_π), the premise gains the pairwise inequalities δ_π, and each disjunct
+/// survives iff its equalities are consistent with δ_π, with the equalities
+/// then dropped. The output specifies the same maximum recovery (Lemma 4.2)
+/// in the equality-free language
+///     ρ(ȳ) ∧ C(ȳ) ∧ δ(ȳ) → γ(ȳ)      (γ a UCQ without equalities).
+///
+/// The partition enumeration is the Bell-number blow-up benchmarked by E3.
+
+#ifndef MAPINV_INVERSION_ELIMINATE_EQUALITIES_H_
+#define MAPINV_INVERSION_ELIMINATE_EQUALITIES_H_
+
+#include "base/status.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+struct EliminateEqualitiesOptions {
+  /// Refuse frontiers wider than this (Bell(13) ≈ 2.7e7 dependencies).
+  size_t max_frontier_width = 12;
+};
+
+/// \brief Runs the partition expansion on every dependency of `recovery`
+/// (the output of MaximumRecovery). The result is equality-free; premises
+/// carry C(·) on block representatives and all pairwise inequalities.
+Result<ReverseMapping> EliminateEqualities(
+    const ReverseMapping& recovery,
+    const EliminateEqualitiesOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_ELIMINATE_EQUALITIES_H_

@@ -1,0 +1,36 @@
+#include "inversion/maximum_recovery.h"
+
+namespace mapinv {
+
+Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
+                                       const RewriteOptions& rewrite_options) {
+  MAPINV_RETURN_NOT_OK(mapping.Validate());
+  ReverseMapping out(mapping.target, mapping.source, {});
+  for (const Tgd& tgd : mapping.tgds) {
+    // ψ(x̄) as a conjunctive query over the target with the frontier free.
+    ConjunctiveQuery psi;
+    psi.name = "psi";
+    psi.head = tgd.FrontierVars();
+    psi.atoms = tgd.conclusion;
+
+    MAPINV_ASSIGN_OR_RETURN(UnionCq alpha,
+                            RewriteOverSource(mapping, psi, rewrite_options));
+    if (alpha.disjuncts.empty()) {
+      // Cannot happen for well-formed tgds: ψ can always be matched against
+      // the conclusion of its own tgd, and frontier head variables never
+      // resolve to Skolem terms in that self-match.
+      return Status::Internal("empty rewriting for tgd conclusion " +
+                              tgd.ToString());
+    }
+
+    ReverseDependency dep;
+    dep.premise = tgd.conclusion;
+    dep.constant_vars = psi.head;
+    dep.disjuncts = std::move(alpha.disjuncts);
+    out.deps.push_back(std::move(dep));
+  }
+  MAPINV_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace mapinv

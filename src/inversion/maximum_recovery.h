@@ -1,0 +1,32 @@
+/// \file maximum_recovery.h
+/// \brief Algorithm MAXIMUMRECOVERY(Σ) of [Arenas-Pérez-Riveros, PODS'08],
+/// as restated in Section 4.1 of the paper.
+///
+/// For every tgd φ(x̄) → ψ(x̄) in Σ, the algorithm computes the source
+/// rewriting α(x̄) = REWRITE(Σ, ψ(x̄)) and emits the reverse dependency
+///     ψ(x̄) ∧ C(x̄) → α(x̄),
+/// where C(·) restricts the frontier to constants (only constant values may
+/// be returned to the source). The output mapping is a maximum recovery of
+/// the mapping specified by Σ — hence also an ALL-maximum recovery and a
+/// CQ-maximum recovery (Section 3.1) — but its conclusions may contain
+/// disjunctions and equalities, which the rest of the Section 4 pipeline
+/// eliminates.
+
+#ifndef MAPINV_INVERSION_MAXIMUM_RECOVERY_H_
+#define MAPINV_INVERSION_MAXIMUM_RECOVERY_H_
+
+#include "base/status.h"
+#include "logic/mapping.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+
+/// \brief Computes a maximum recovery of `mapping`. The result maps the
+/// original target schema back to the original source schema; dependency i
+/// corresponds to tgd i of the input.
+Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
+                                       const RewriteOptions& rewrite_options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_MAXIMUM_RECOVERY_H_

@@ -1,0 +1,53 @@
+#include "inversion/partitions.h"
+
+#include <algorithm>
+
+namespace mapinv {
+
+void ForEachPartition(size_t n,
+                      const std::function<bool(const SetPartition&)>& fn) {
+  SetPartition block(n, 0);
+  if (n == 0) {
+    fn(block);
+    return;
+  }
+  bool stopped = false;
+  // Recursive restricted-growth-string generation: position 0 is always
+  // block 0; position i may use any existing block or open a new one.
+  std::function<void(size_t, uint32_t)> recurse = [&](size_t i,
+                                                      uint32_t max_block) {
+    if (stopped) return;
+    if (i == n) {
+      if (!fn(block)) stopped = true;
+      return;
+    }
+    for (uint32_t b = 0; b <= max_block + 1 && !stopped; ++b) {
+      block[i] = b;
+      recurse(i + 1, std::max(max_block, b));
+    }
+  };
+  recurse(1, 0);
+}
+
+uint64_t BellNumber(size_t n) {
+  // Bell triangle with saturation.
+  std::vector<uint64_t> row{1};
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint64_t> next;
+    next.reserve(row.size() + 1);
+    next.push_back(row.back());
+    for (uint64_t v : row) {
+      uint64_t sum = next.back();
+      if (sum > UINT64_MAX - v) {
+        sum = UINT64_MAX;
+      } else {
+        sum += v;
+      }
+      next.push_back(sum);
+    }
+    row = std::move(next);
+  }
+  return row.front();
+}
+
+}  // namespace mapinv

@@ -1,0 +1,36 @@
+/// \file partitions.h
+/// \brief Enumeration of set partitions (restricted growth strings).
+///
+/// EliminateEqualities (Section 4.1) iterates over every partition π of the
+/// frontier tuple x̄. The number of partitions of an n-set is the Bell
+/// number B(n) (1, 1, 2, 5, 15, 52, 203, ...), which is the intrinsic
+/// exponential cost of the Section 4 pipeline — benchmarked by E3.
+
+#ifndef MAPINV_INVERSION_PARTITIONS_H_
+#define MAPINV_INVERSION_PARTITIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+/// \brief A partition of {0, ..., n-1} in restricted-growth form:
+/// block[i] is the block index of element i, block[0] = 0, and
+/// block[i] <= max(block[0..i-1]) + 1.
+using SetPartition = std::vector<uint32_t>;
+
+/// \brief Calls `fn` for every partition of an n-element set, in restricted-
+/// growth-string lexicographic order (the single partition of the empty set
+/// is the empty string). `fn` returning false stops the enumeration.
+void ForEachPartition(size_t n, const std::function<bool(const SetPartition&)>& fn);
+
+/// \brief The Bell number B(n) (number of partitions); saturates at
+/// UINT64_MAX. Used for limit checks and bench reporting.
+uint64_t BellNumber(size_t n);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_PARTITIONS_H_

@@ -1,0 +1,83 @@
+/// \file polyso.h
+/// \brief Algorithm POLYSOINVERSE(λ) — Section 5.2's polynomial-time
+/// computation of maximum recoveries for plain SO-tgds.
+///
+/// Given a plain SO-tgd λ, the algorithm emits, for every normalised rule
+/// σ : φ(x̄) → R(t̄), one inverse rule
+///     prem_σ(ū) → ∨ { ∃ȳ (ψ(ȳ) ∧ Q_e ∧ Q_s) :  ψ(ȳ) → R(s̄) ∈ Σ,
+///                                               s̄ subsumes t̄ }
+/// where ū = CREATETUPLE(t̄) mirrors the equality pattern of t̄, prem_σ adds
+/// C(u_i) for positions whose original term is a variable, Q_e =
+/// ENSUREINV(λ, ū, s̄) constrains the unary inverse functions f₁,...,f_k of
+/// each k-ary f, and Q_s = SAFE(λ, ū, s̄) uses the extra function f★ to rule
+/// out a target value being produced by two distinct functions.
+///
+/// By Theorem 5.3 the output specifies a maximum recovery of λ; by
+/// Corollary 5.4 it is also a Fagin-inverse / quasi-inverse whenever λ has
+/// one, and it is always a CQ-maximum recovery. Everything runs in
+/// polynomial time and produces polynomial-size output — benchmarked
+/// against the exponential Section 4 pipeline in E1/E2.
+
+#ifndef MAPINV_INVERSION_POLYSO_H_
+#define MAPINV_INVERSION_POLYSO_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief CREATETUPLE(t̄): a tuple of variables mirroring the equality
+/// pattern of the plain terms t̄ (equal terms ⇒ same variable). Fresh
+/// variables are drawn from `gen`.
+std::vector<VarId> CreateTuple(const std::vector<Term>& terms,
+                               FreshVarGen* gen);
+
+/// \brief The unary inverse-function family of λ: for every k-ary f in λ,
+/// functions f#1,...,f#k, plus the global f★. Deterministic naming so tests
+/// can assert on shapes.
+struct InverseFunctions {
+  /// inverse_of[f] = the ids of f#1..f#k.
+  std::map<FunctionId, std::vector<FunctionId>> inverse_of;
+  FunctionId f_star = 0;
+};
+
+/// \brief Builds the inverse-function family for the SO-tgd.
+Result<InverseFunctions> MakeInverseFunctions(const SOTgd& so);
+
+/// \brief ENSUREINV(λ, ū, s̄): equalities tying the inverse functions to the
+/// original terms (u_i = y for variable positions, f#j(u_i) = y_j for
+/// function positions).
+Result<std::vector<TermEq>> EnsureInv(const InverseFunctions& inv,
+                                      const std::vector<VarId>& u,
+                                      const std::vector<Term>& s);
+
+/// \brief SAFE(λ, ū, s̄): for every function position i with term f(...),
+/// the equality f★(u_i) = f#1(u_i) and inequalities f★(u_i) ≠ g#1(u_i) for
+/// every other function symbol g of λ. Returns (equalities, inequalities).
+struct SafeFormula {
+  std::vector<TermEq> equalities;
+  std::vector<TermEq> inequalities;
+};
+Result<SafeFormula> Safe(const InverseFunctions& inv,
+                         const std::vector<VarId>& u,
+                         const std::vector<Term>& s);
+
+/// \brief True if t̄ is subsumed by s̄: wherever t̄ has a variable, s̄ has a
+/// variable too (Section 5.2).
+bool Subsumes(const std::vector<Term>& s, const std::vector<Term>& t);
+
+/// \brief Runs POLYSOINVERSE on a plain SO-tgd mapping. The result maps the
+/// original target schema back to the original source schema and specifies
+/// a maximum recovery of `mapping` (Theorem 5.3).
+Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping);
+
+/// \brief Convenience: tgds → plain SO-tgd (linear time, Section 5.1)
+/// followed by POLYSOINVERSE. This is the paper's polynomial-time inversion
+/// path for ordinary tgd mappings.
+Result<SOInverseMapping> PolySOInverseOfTgds(const TgdMapping& mapping);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_INVERSION_POLYSO_H_

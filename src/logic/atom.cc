@@ -1,0 +1,51 @@
+#include "logic/atom.h"
+
+#include <unordered_set>
+
+namespace mapinv {
+
+Status Atom::Validate(const Schema& schema) const {
+  RelationId id = schema.Find(RelationText(relation));
+  if (id == kInvalidRelation) {
+    return Status::NotFound("atom uses unknown relation '" +
+                            RelationText(relation) + "'");
+  }
+  if (schema.arity(id) != terms.size()) {
+    return Status::Malformed("atom " + ToString() + " has arity " +
+                             std::to_string(terms.size()) + ", schema wants " +
+                             std::to_string(schema.arity(id)));
+  }
+  return Status::OK();
+}
+
+std::string Atom::ToString() const {
+  std::string out = RelationText(relation) + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<VarId> CollectDistinctVars(const std::vector<Atom>& atoms) {
+  std::vector<VarId> all;
+  for (const Atom& a : atoms) a.CollectVars(&all);
+  std::unordered_set<VarId> seen;
+  std::vector<VarId> out;
+  for (VarId v : all) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,88 @@
+/// \file atom.h
+/// \brief Relational atoms over terms.
+
+#ifndef MAPINV_LOGIC_ATOM_H_
+#define MAPINV_LOGIC_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/symbols.h"
+#include "data/schema.h"
+#include "logic/term.h"
+
+namespace mapinv {
+
+/// \brief A relational atom R(t1, ..., tk). The relation is stored as an
+/// interned name; it is resolved against a concrete Schema only when the
+/// atom is evaluated or chased.
+struct Atom {
+  RelName relation = 0;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(RelName r, std::vector<Term> ts) : relation(r), terms(std::move(ts)) {}
+  Atom(std::string_view name, std::vector<Term> ts)
+      : relation(InternRelation(name)), terms(std::move(ts)) {}
+
+  /// Convenience constructor from variable names.
+  static Atom Vars(std::string_view name,
+                   const std::vector<std::string>& var_names) {
+    std::vector<Term> ts;
+    ts.reserve(var_names.size());
+    for (const auto& v : var_names) ts.push_back(Term::Var(v));
+    return Atom(name, std::move(ts));
+  }
+
+  size_t arity() const { return terms.size(); }
+
+  /// True if every argument is a variable.
+  bool AllVariables() const {
+    for (const Term& t : terms) {
+      if (!t.is_variable()) return false;
+    }
+    return true;
+  }
+
+  /// Appends each variable occurrence (with repeats) to `out`.
+  void CollectVars(std::vector<VarId>* out) const {
+    for (const Term& t : terms) t.CollectVars(out);
+  }
+
+  /// Checks that the relation exists in `schema` with matching arity.
+  Status Validate(const Schema& schema) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return std::lexicographical_compare(a.terms.begin(), a.terms.end(),
+                                        b.terms.begin(), b.terms.end());
+  }
+
+  size_t Hash() const {
+    size_t seed = relation;
+    for (const Term& t : terms) HashCombine(seed, t.Hash());
+    return seed;
+  }
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// Deduplicated, order-preserving list of all variables in a sequence of
+/// atoms.
+std::vector<VarId> CollectDistinctVars(const std::vector<Atom>& atoms);
+
+/// Renders a comma-separated conjunction of atoms.
+std::string AtomsToString(const std::vector<Atom>& atoms);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_ATOM_H_

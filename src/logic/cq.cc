@@ -1,0 +1,157 @@
+#include "logic/cq.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mapinv {
+
+std::vector<VarId> ConjunctiveQuery::ExistentialVars() const {
+  std::unordered_set<VarId> head_set(head.begin(), head.end());
+  std::vector<VarId> out;
+  for (VarId v : BodyVars()) {
+    if (!head_set.contains(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Status ConjunctiveQuery::Validate(const Schema& schema) const {
+  for (const Atom& a : atoms) {
+    MAPINV_RETURN_NOT_OK(a.Validate(schema));
+    if (!a.AllVariables()) {
+      return Status::Malformed("conjunctive query atom " + a.ToString() +
+                               " has a non-variable argument");
+    }
+  }
+  std::vector<VarId> body = BodyVars();
+  std::unordered_set<VarId> body_set(body.begin(), body.end());
+  for (VarId v : head) {
+    if (!body_set.contains(v)) {
+      return Status::Malformed("head variable " + VarName(v) +
+                               " of query '" + name +
+                               "' does not occur in the body");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ",";
+    out += VarName(head[i]);
+  }
+  out += ") :- " + AtomsToString(atoms);
+  return out;
+}
+
+std::string CqDisjunct::ToString() const {
+  std::string out = AtomsToString(atoms);
+  if (!equalities.empty()) {
+    if (!out.empty()) out += ", ";
+    out += EqualitiesToString(equalities);
+  }
+  if (!inequalities.empty()) {
+    if (!out.empty()) out += ", ";
+    out += EqualitiesToString(inequalities, " != ");
+  }
+  return out;
+}
+
+Status UnionCq::Validate(const Schema& schema) const {
+  std::unordered_set<VarId> head_set(head.begin(), head.end());
+  for (const CqDisjunct& d : disjuncts) {
+    for (const Atom& a : d.atoms) {
+      MAPINV_RETURN_NOT_OK(a.Validate(schema));
+      if (!a.AllVariables()) {
+        return Status::Malformed("UCQ disjunct atom " + a.ToString() +
+                                 " has a non-variable argument");
+      }
+    }
+    std::unordered_set<VarId> atom_vars;
+    {
+      std::vector<VarId> vs = CollectDistinctVars(d.atoms);
+      atom_vars.insert(vs.begin(), vs.end());
+    }
+    for (const VarPair& eq : d.equalities) {
+      if (!head_set.contains(eq.first) || !head_set.contains(eq.second)) {
+        return Status::Malformed(
+            "UCQ= equality " + VarName(eq.first) + " = " + VarName(eq.second) +
+            " relates a non-head variable (paper normal form violated)");
+      }
+    }
+    {
+      std::unordered_set<VarId> body_vars;
+      std::vector<VarId> vs = CollectDistinctVars(d.atoms);
+      body_vars.insert(vs.begin(), vs.end());
+      for (const VarPair& ne : d.inequalities) {
+        if (!body_vars.contains(ne.first) || !body_vars.contains(ne.second)) {
+          return Status::Malformed("UCQ≠ inequality " + VarName(ne.first) +
+                                   " != " + VarName(ne.second) +
+                                   " mentions a variable outside the atoms");
+        }
+      }
+    }
+    // Safety: every head variable must be grounded by an atom, directly or
+    // through the disjunct's equality closure.
+    for (VarId h : head) {
+      if (atom_vars.contains(h)) continue;
+      bool linked = false;
+      constexpr VarId kNoVar = UINT32_MAX;
+      // One-step closure suffices after normalisation, but take the full
+      // closure to be safe.
+      std::unordered_set<VarId> cls{h};
+      bool changed = true;
+      while (changed && !linked) {
+        changed = false;
+        for (const VarPair& eq : d.equalities) {
+          VarId other = kNoVar;
+          if (cls.contains(eq.first) && !cls.contains(eq.second)) {
+            other = eq.second;
+          } else if (cls.contains(eq.second) && !cls.contains(eq.first)) {
+            other = eq.first;
+          }
+          if (other != kNoVar) {
+            cls.insert(other);
+            changed = true;
+            if (atom_vars.contains(other)) {
+              linked = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!linked) {
+        return Status::Malformed("unsafe head variable " + VarName(h) +
+                                 " in UCQ disjunct { " + d.ToString() + " }");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string UnionCq::ToString() const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ",";
+    out += VarName(head[i]);
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += disjuncts[i].ToString();
+  }
+  if (disjuncts.empty()) out += "<empty>";
+  return out;
+}
+
+std::string EqualitiesToString(const std::vector<VarPair>& eqs,
+                               const char* op) {
+  std::string out;
+  for (size_t i = 0; i < eqs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += VarName(eqs[i].first) + op + VarName(eqs[i].second);
+  }
+  return out;
+}
+
+}  // namespace mapinv

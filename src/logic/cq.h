@@ -1,0 +1,99 @@
+/// \file cq.h
+/// \brief Conjunctive queries and unions of conjunctive queries (UCQ, UCQ=).
+///
+/// A ConjunctiveQuery has a head (tuple of free variables, repeats allowed)
+/// and a body of relational atoms; body variables not in the head are
+/// implicitly existentially quantified. UCQ= disjuncts additionally carry
+/// equalities between *free* variables — the paper (Section 4) normalises
+/// UCQ= rewritings so that equalities between existential variables have been
+/// substituted away, and we maintain that invariant.
+
+#ifndef MAPINV_LOGIC_CQ_H_
+#define MAPINV_LOGIC_CQ_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+
+namespace mapinv {
+
+/// An unordered equality/inequality between two variables.
+using VarPair = std::pair<VarId, VarId>;
+
+/// \brief A conjunctive query Q(x̄) :- body.
+struct ConjunctiveQuery {
+  /// Head predicate name, for printing.
+  std::string name = "Q";
+  /// Free variables, in answer-tuple order (repeats allowed).
+  std::vector<VarId> head;
+  /// Body atoms. Terms must be variables (validated); constants are not
+  /// needed by any algorithm in the paper and are rejected for clarity.
+  std::vector<Atom> atoms;
+
+  /// All distinct variables in the body, in order of first occurrence.
+  std::vector<VarId> BodyVars() const { return CollectDistinctVars(atoms); }
+
+  /// Body variables that are not free.
+  std::vector<VarId> ExistentialVars() const;
+
+  /// Checks: atoms valid against `schema`, every atom argument a variable,
+  /// and every head variable occurs in the body (safety).
+  Status Validate(const Schema& schema) const;
+
+  /// "Q(x) :- R(x,y), S(y,z)".
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.head == b.head && a.atoms == b.atoms;
+  }
+};
+
+/// \brief One disjunct of a UCQ= / UCQ≠ query: atoms plus equalities
+/// between free variables and (for the UCQ≠ class used by Theorem 3.5)
+/// inequalities between body variables. Free variables are supplied by the
+/// enclosing UCQ's head. Rewriting outputs (Section 4) never carry
+/// inequalities; reverse-dependency conclusions must not either
+/// (ReverseDependency::Validate enforces this).
+struct CqDisjunct {
+  std::vector<Atom> atoms;
+  std::vector<VarPair> equalities;
+  std::vector<VarPair> inequalities;
+
+  friend bool operator==(const CqDisjunct& a, const CqDisjunct& b) {
+    return a.atoms == b.atoms && a.equalities == b.equalities &&
+           a.inequalities == b.inequalities;
+  }
+
+  /// "R(x,y), x = z, x != w" (no head).
+  std::string ToString() const;
+};
+
+/// \brief A union of conjunctive queries with equalities (UCQ=). All
+/// disjuncts share the head tuple.
+struct UnionCq {
+  std::string name = "Q";
+  std::vector<VarId> head;
+  std::vector<CqDisjunct> disjuncts;
+
+  /// Checks each disjunct: atoms valid against `schema`, all-variable
+  /// arguments; every head variable occurs in the disjunct's atoms or is
+  /// linked by its equalities to a variable that does (paper's safety
+  /// condition); equality endpoints are head variables.
+  Status Validate(const Schema& schema) const;
+
+  bool empty() const { return disjuncts.empty(); }
+
+  /// "Q(x,y) :- A(x,y) | B(x), x = y".
+  std::string ToString() const;
+};
+
+/// Renders "x = y" pairs.
+std::string EqualitiesToString(const std::vector<VarPair>& eqs,
+                               const char* op = " = ");
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_CQ_H_

@@ -1,0 +1,148 @@
+#include "logic/dependency.h"
+
+#include <unordered_set>
+
+namespace mapinv {
+
+namespace {
+
+Status ValidateVariableAtoms(const std::vector<Atom>& atoms,
+                             const Schema& schema, const char* side) {
+  if (atoms.empty()) {
+    return Status::Malformed(std::string("dependency has an empty ") + side);
+  }
+  for (const Atom& a : atoms) {
+    MAPINV_RETURN_NOT_OK(a.Validate(schema));
+    if (!a.AllVariables()) {
+      return Status::Malformed(std::string(side) + " atom " + a.ToString() +
+                               " has a non-variable argument");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ExistsPrefix(const std::vector<VarId>& vars) {
+  if (vars.empty()) return "";
+  std::string out = "EXISTS ";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ",";
+    out += VarName(vars[i]);
+  }
+  out += " . ";
+  return out;
+}
+
+}  // namespace
+
+std::vector<VarId> Tgd::FrontierVars() const {
+  std::vector<VarId> conclusion_vars = CollectDistinctVars(conclusion);
+  std::unordered_set<VarId> cset(conclusion_vars.begin(),
+                                 conclusion_vars.end());
+  std::vector<VarId> out;
+  for (VarId v : PremiseVars()) {
+    if (cset.contains(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VarId> Tgd::ExistentialVars() const {
+  std::vector<VarId> premise_vars = PremiseVars();
+  std::unordered_set<VarId> pset(premise_vars.begin(), premise_vars.end());
+  std::vector<VarId> out;
+  for (VarId v : CollectDistinctVars(conclusion)) {
+    if (!pset.contains(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Status Tgd::Validate(const Schema& source, const Schema& target) const {
+  MAPINV_RETURN_NOT_OK(ValidateVariableAtoms(premise, source, "premise"));
+  MAPINV_RETURN_NOT_OK(ValidateVariableAtoms(conclusion, target, "conclusion"));
+  return Status::OK();
+}
+
+std::string Tgd::ToString() const {
+  return AtomsToString(premise) + " -> " + ExistsPrefix(ExistentialVars()) +
+         AtomsToString(conclusion);
+}
+
+Status ReverseDependency::Validate(const Schema& premise_schema,
+                                   const Schema& conclusion_schema) const {
+  MAPINV_RETURN_NOT_OK(
+      ValidateVariableAtoms(premise, premise_schema, "premise"));
+  if (disjuncts.empty()) {
+    return Status::Malformed("reverse dependency has no conclusion disjunct");
+  }
+  std::vector<VarId> pvars = PremiseVars();
+  std::unordered_set<VarId> pset(pvars.begin(), pvars.end());
+  for (VarId v : constant_vars) {
+    if (!pset.contains(v)) {
+      return Status::Malformed("C(" + VarName(v) +
+                               ") constrains a variable not in the premise");
+    }
+  }
+  for (const VarPair& ne : inequalities) {
+    if (!pset.contains(ne.first) || !pset.contains(ne.second)) {
+      return Status::Malformed("inequality " + VarName(ne.first) + " != " +
+                               VarName(ne.second) +
+                               " mentions a variable not in the premise");
+    }
+  }
+  for (const ReverseDisjunct& d : disjuncts) {
+    MAPINV_RETURN_NOT_OK(
+        ValidateVariableAtoms(d.atoms, conclusion_schema, "conclusion"));
+    if (!d.inequalities.empty()) {
+      return Status::Malformed(
+          "reverse-dependency conclusions must not contain inequalities "
+          "(the Section 4 languages place != in premises only)");
+    }
+    for (const VarPair& eq : d.equalities) {
+      if (!pset.contains(eq.first) || !pset.contains(eq.second)) {
+        return Status::Malformed("conclusion equality " + VarName(eq.first) +
+                                 " = " + VarName(eq.second) +
+                                 " mentions a variable not in the premise");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ReverseDependency::ToString() const {
+  std::string out = AtomsToString(premise);
+  for (VarId v : constant_vars) out += ", C(" + VarName(v) + ")";
+  if (!inequalities.empty()) {
+    out += ", " + EqualitiesToString(inequalities, " != ");
+  }
+  out += " -> ";
+  std::vector<VarId> pvars = PremiseVars();
+  std::unordered_set<VarId> pset(pvars.begin(), pvars.end());
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " | ";
+    std::vector<VarId> exist;
+    for (VarId v : CollectDistinctVars(disjuncts[i].atoms)) {
+      if (!pset.contains(v)) exist.push_back(v);
+    }
+    out += ExistsPrefix(exist) + disjuncts[i].ToString();
+  }
+  return out;
+}
+
+std::string TgdsToString(const std::vector<Tgd>& tgds) {
+  std::string out;
+  for (const Tgd& t : tgds) {
+    out += t.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ReverseDepsToString(const std::vector<ReverseDependency>& deps) {
+  std::string out;
+  for (const ReverseDependency& d : deps) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,107 @@
+/// \file dependency.h
+/// \brief Tuple-generating dependencies and the paper's inverse languages.
+///
+/// Three first-order dependency classes appear in the paper:
+///
+///  * Tgd — a source-to-target tgd  φ(x̄) → ∃ȳ ψ(x̄, ȳ)  (Section 2).
+///  * ReverseDependency — the output language of the Section 4 pipeline:
+///      ψ(x̄) ∧ C(x̄) [∧ x≠x' ...]  →  β₁(x̄) ∨ ... ∨ β_k(x̄)
+///    where each β_i is a conjunctive query possibly carrying equalities
+///    between frontier variables. MaximumRecovery emits equalities and
+///    disjunctions; EliminateEqualities removes the equalities and adds the
+///    premise inequalities; EliminateDisjunctions leaves a single disjunct.
+///    A ReverseDependency with one equality-free disjunct is exactly a "tgd
+///    with inequalities and predicate C in its premise" — the chaseable
+///    language of Theorem 4.5.
+///
+/// Second-order dependencies (plain SO-tgds and the PolySOInverse output
+/// language) live in so_tgd.h.
+
+#ifndef MAPINV_LOGIC_DEPENDENCY_H_
+#define MAPINV_LOGIC_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/cq.h"
+
+namespace mapinv {
+
+/// \brief A source-to-target tuple-generating dependency.
+struct Tgd {
+  /// Conjunction of relational atoms over the source schema; all arguments
+  /// must be variables.
+  std::vector<Atom> premise;
+  /// Conjunction of relational atoms over the target schema; variables not
+  /// occurring in the premise are existentially quantified.
+  std::vector<Atom> conclusion;
+
+  /// Premise variables, in order of first occurrence.
+  std::vector<VarId> PremiseVars() const { return CollectDistinctVars(premise); }
+
+  /// Frontier: premise variables that also occur in the conclusion — the x̄
+  /// of φ(x̄) → ψ(x̄) in the paper's Section 4 notation.
+  std::vector<VarId> FrontierVars() const;
+
+  /// Conclusion variables that do not occur in the premise (the ∃ȳ).
+  std::vector<VarId> ExistentialVars() const;
+
+  /// Checks both sides against their schemas: known relations, matching
+  /// arities, variable-only arguments, non-empty premise and conclusion.
+  Status Validate(const Schema& source, const Schema& target) const;
+
+  /// "R(x,y), S(y,z) -> EXISTS u . T(x,z,u)".
+  std::string ToString() const;
+
+  friend bool operator==(const Tgd& a, const Tgd& b) {
+    return a.premise == b.premise && a.conclusion == b.conclusion;
+  }
+};
+
+/// \brief One conclusion disjunct of a ReverseDependency.
+using ReverseDisjunct = CqDisjunct;
+
+/// \brief A reverse dependency (target-to-source), Section 4 languages.
+struct ReverseDependency {
+  /// Conjunction of relational atoms over the (original) target schema.
+  std::vector<Atom> premise;
+  /// Variables constrained by the constant predicate C(·). In the paper this
+  /// is always the frontier x̄ of the originating tgd.
+  std::vector<VarId> constant_vars;
+  /// Premise inequalities between frontier variables (EliminateEqualities
+  /// output; empty for raw MaximumRecovery output).
+  std::vector<VarPair> inequalities;
+  /// Conclusion disjuncts over the (original) source schema. Variables not
+  /// occurring in the premise are existentially quantified per disjunct;
+  /// equalities relate frontier variables only.
+  std::vector<ReverseDisjunct> disjuncts;
+
+  std::vector<VarId> PremiseVars() const { return CollectDistinctVars(premise); }
+
+  /// Checks the dependency: premise over `premise_schema` (the original
+  /// target), disjuncts over `conclusion_schema` (the original source),
+  /// variable-only arguments, constant/inequality variables drawn from the
+  /// premise, equality endpoints drawn from the premise.
+  Status Validate(const Schema& premise_schema,
+                  const Schema& conclusion_schema) const;
+
+  /// "T(x,y), C(x), C(y), x != y -> R(x,u) | S(x,y), x = y".
+  std::string ToString() const;
+
+  friend bool operator==(const ReverseDependency& a,
+                         const ReverseDependency& b) {
+    return a.premise == b.premise && a.constant_vars == b.constant_vars &&
+           a.inequalities == b.inequalities && a.disjuncts == b.disjuncts;
+  }
+};
+
+/// Renders a set of tgds, one per line.
+std::string TgdsToString(const std::vector<Tgd>& tgds);
+
+/// Renders a set of reverse dependencies, one per line.
+std::string ReverseDepsToString(const std::vector<ReverseDependency>& deps);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_DEPENDENCY_H_

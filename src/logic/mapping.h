@@ -1,0 +1,133 @@
+/// \file mapping.h
+/// \brief Schema mappings: a source schema, a target schema, and a
+/// specification in one of the dependency languages.
+///
+/// A mapping M from R₁ to R₂ is semantically a set of instance pairs (I, J)
+/// (Section 2); syntactically we carry the defining dependencies. Each
+/// concrete class states which language specifies it:
+///
+///  * TgdMapping       — a finite set of s-t tgds (the paper's main input).
+///  * ReverseMapping   — target-to-source dependencies in the Section 4
+///                       languages (C(·), ≠ in premises; disjunctions and
+///                       equalities in conclusions until eliminated).
+///  * SOTgdMapping     — a plain SO-tgd (Section 5.1).
+///  * SOInverseMapping — the PolySOInverse output language (Section 5.2).
+
+#ifndef MAPINV_LOGIC_MAPPING_H_
+#define MAPINV_LOGIC_MAPPING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/schema.h"
+#include "logic/dependency.h"
+#include "logic/so_tgd.h"
+
+namespace mapinv {
+
+/// \brief A mapping specified by source-to-target tgds.
+struct TgdMapping {
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  std::vector<Tgd> tgds;
+
+  TgdMapping() = default;
+  TgdMapping(Schema src, Schema tgt, std::vector<Tgd> deps)
+      : source(std::make_shared<const Schema>(std::move(src))),
+        target(std::make_shared<const Schema>(std::move(tgt))),
+        tgds(std::move(deps)) {}
+
+  Status Validate() const {
+    if (!source || !target) {
+      return Status::InvalidArgument("mapping has null schema");
+    }
+    for (const Tgd& t : tgds) MAPINV_RETURN_NOT_OK(t.Validate(*source, *target));
+    return Status::OK();
+  }
+
+  std::string ToString() const { return TgdsToString(tgds); }
+};
+
+/// \brief A target-to-source mapping in the Section 4 inverse languages.
+///
+/// `source` is the premise-side schema (the original mapping's target) and
+/// `target` is the conclusion-side schema (the original mapping's source):
+/// a ReverseMapping is itself a mapping from its own source to its own
+/// target, so composition and exchange read naturally.
+struct ReverseMapping {
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  std::vector<ReverseDependency> deps;
+
+  ReverseMapping() = default;
+  ReverseMapping(std::shared_ptr<const Schema> src,
+                 std::shared_ptr<const Schema> tgt,
+                 std::vector<ReverseDependency> ds)
+      : source(std::move(src)), target(std::move(tgt)), deps(std::move(ds)) {}
+
+  Status Validate() const {
+    if (!source || !target) {
+      return Status::InvalidArgument("mapping has null schema");
+    }
+    for (const ReverseDependency& d : deps) {
+      MAPINV_RETURN_NOT_OK(d.Validate(*source, *target));
+    }
+    return Status::OK();
+  }
+
+  /// True if no dependency uses a disjunctive conclusion.
+  bool IsDisjunctionFree() const {
+    for (const ReverseDependency& d : deps) {
+      if (d.disjuncts.size() > 1) return false;
+    }
+    return true;
+  }
+
+  /// True if no conclusion disjunct carries equalities.
+  bool IsEqualityFree() const {
+    for (const ReverseDependency& d : deps) {
+      for (const ReverseDisjunct& dj : d.disjuncts) {
+        if (!dj.equalities.empty()) return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToString() const { return ReverseDepsToString(deps); }
+};
+
+/// \brief A mapping specified by a plain SO-tgd.
+struct SOTgdMapping {
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  SOTgd so;
+
+  SOTgdMapping() = default;
+  SOTgdMapping(std::shared_ptr<const Schema> src,
+               std::shared_ptr<const Schema> tgt, SOTgd tgd)
+      : source(std::move(src)), target(std::move(tgt)), so(std::move(tgd)) {}
+
+  Status Validate() const {
+    if (!source || !target) {
+      return Status::InvalidArgument("mapping has null schema");
+    }
+    return so.Validate(*source, *target);
+  }
+
+  std::string ToString() const { return so.ToString(); }
+};
+
+/// \brief A target-to-source mapping in the PolySOInverse output language.
+struct SOInverseMapping {
+  std::shared_ptr<const Schema> source;  ///< original target schema
+  std::shared_ptr<const Schema> target;  ///< original source schema
+  SOInverse inverse;
+
+  std::string ToString() const { return inverse.ToString(); }
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_MAPPING_H_

@@ -1,0 +1,145 @@
+#include "logic/nested.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mapinv {
+
+namespace {
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+Status ValidateAtoms(const std::vector<Atom>& atoms, const Schema& schema,
+                     const char* side) {
+  for (const Atom& a : atoms) {
+    MAPINV_RETURN_NOT_OK(a.Validate(schema));
+    if (!a.AllVariables()) {
+      return Status::Malformed(std::string(side) + " atom " + a.ToString() +
+                               " has a non-variable argument");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const NestedRule& rule, const Schema& source,
+                    const Schema& target, bool is_root) {
+  if (is_root && rule.premise.empty()) {
+    return Status::Malformed("nested root rule with empty premise");
+  }
+  if (rule.conclusion.empty() && rule.children.empty()) {
+    return Status::Malformed(
+        "nested rule with neither conclusion nor children");
+  }
+  MAPINV_RETURN_NOT_OK(ValidateAtoms(rule.premise, source, "premise"));
+  MAPINV_RETURN_NOT_OK(ValidateAtoms(rule.conclusion, target, "conclusion"));
+  for (const NestedRule& child : rule.children) {
+    MAPINV_RETURN_NOT_OK(ValidateNode(child, source, target, /*is_root=*/false));
+  }
+  return Status::OK();
+}
+
+// Depth-first translation context.
+struct TranslationContext {
+  std::vector<Atom> premise;                    // accumulated source atoms
+  std::vector<VarId> premise_vars;              // accumulated, in order
+  std::unordered_map<VarId, Term> skolems;      // existential -> Skolem term
+};
+
+Status TranslateNode(const NestedRule& rule, TranslationContext context,
+                     FreshFunctionGen* gen, SOTgd* out) {
+  // Extend the premise.
+  context.premise.insert(context.premise.end(), rule.premise.begin(),
+                         rule.premise.end());
+  {
+    std::unordered_set<VarId> seen(context.premise_vars.begin(),
+                                   context.premise_vars.end());
+    for (VarId v : CollectDistinctVars(rule.premise)) {
+      if (seen.insert(v).second) context.premise_vars.push_back(v);
+    }
+  }
+
+  // Skolemise the existentials introduced by this node's conclusion: a
+  // conclusion variable that is neither a premise variable of the path nor
+  // an ancestor existential gets f(x̄) over the path's premise variables —
+  // descendants inherit the same term (correlation).
+  std::vector<Term> args;
+  args.reserve(context.premise_vars.size());
+  for (VarId v : context.premise_vars) args.push_back(Term::Var(v));
+  std::unordered_set<VarId> premise_set(context.premise_vars.begin(),
+                                        context.premise_vars.end());
+  for (VarId v : CollectDistinctVars(rule.conclusion)) {
+    if (premise_set.contains(v) || context.skolems.contains(v)) continue;
+    context.skolems.emplace(v, Term::Fn(gen->Next(), args));
+  }
+
+  if (!rule.conclusion.empty()) {
+    SORule so_rule;
+    so_rule.premise = context.premise;
+    so_rule.conclusion.reserve(rule.conclusion.size());
+    for (const Atom& atom : rule.conclusion) {
+      Atom translated;
+      translated.relation = atom.relation;
+      translated.terms.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        auto it = context.skolems.find(t.var());
+        translated.terms.push_back(it == context.skolems.end() ? t
+                                                               : it->second);
+      }
+      so_rule.conclusion.push_back(std::move(translated));
+    }
+    out->rules.push_back(std::move(so_rule));
+  }
+
+  for (const NestedRule& child : rule.children) {
+    MAPINV_RETURN_NOT_OK(TranslateNode(child, context, gen, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string NestedRule::ToString(int indent) const {
+  std::string out = Indent(indent) + AtomsToString(premise) + " -> " +
+                    (conclusion.empty() ? std::string("[]")
+                                        : AtomsToString(conclusion));
+  out += "\n";
+  for (const NestedRule& child : children) {
+    out += child.ToString(indent + 2);
+  }
+  return out;
+}
+
+Status NestedMapping::Validate() const {
+  if (!source || !target) {
+    return Status::InvalidArgument("nested mapping has null schema");
+  }
+  if (roots.empty()) {
+    return Status::Malformed("nested mapping has no rules");
+  }
+  for (const NestedRule& rule : roots) {
+    MAPINV_RETURN_NOT_OK(ValidateNode(rule, *source, *target, /*is_root=*/true));
+  }
+  return Status::OK();
+}
+
+std::string NestedMapping::ToString() const {
+  std::string out;
+  for (const NestedRule& rule : roots) out += rule.ToString();
+  return out;
+}
+
+Result<SOTgdMapping> NestedToPlainSOTgd(const NestedMapping& mapping) {
+  MAPINV_RETURN_NOT_OK(mapping.Validate());
+  SOTgdMapping out;
+  out.source = mapping.source;
+  out.target = mapping.target;
+  FreshFunctionGen gen("nk");
+  for (const NestedRule& rule : mapping.roots) {
+    MAPINV_RETURN_NOT_OK(TranslateNode(rule, TranslationContext{}, &gen,
+                                       &out.so));
+  }
+  MAPINV_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,77 @@
+/// \file nested.h
+/// \brief Nested mappings [Fuxman et al., VLDB'06 — the paper's ref 15] and
+/// their polynomial-time translation to plain SO-tgds (Section 5.1).
+///
+/// A nested mapping is a tree of rules. A child rule extends its parent's
+/// premise (it may reuse parent variables — the correlation join) and may
+/// reuse the parent's *existential* conclusion variables: the invented value
+/// is shared between parent and child conclusions. This is exactly the
+/// feature flat tgds cannot express (one invented department key used by
+/// the department atom and by every employee atom of that department), and
+/// the reason Clio emits nested mappings.
+///
+/// Translation (the paper's §5.1 claim "every nested mapping can be
+/// translated in polynomial time into a plain SO-tgd"): walk the tree
+/// accumulating premises; the first time an existential variable y appears
+/// on the path, Skolemise it as f_y(x̄) over the premise variables
+/// accumulated *up to that level* — so every descendant sees the same term,
+/// which is precisely the correlation semantics. Each tree node with a
+/// non-empty conclusion yields one plain SO-tgd rule.
+///
+/// The translated mapping is then invertible with PolySOInverse, which is
+/// how "our algorithm can compute inverses for nested mappings" is realised
+/// in this library.
+
+#ifndef MAPINV_LOGIC_NESTED_H_
+#define MAPINV_LOGIC_NESTED_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "data/schema.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief One node of a nested mapping.
+struct NestedRule {
+  /// Source atoms added at this level; may reuse ancestor variables.
+  std::vector<Atom> premise;
+  /// Target atoms emitted at this level; may use ancestor variables,
+  /// ancestor existentials (shared invented values) and fresh existentials.
+  std::vector<Atom> conclusion;
+  /// Correlated sub-rules.
+  std::vector<NestedRule> children;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// \brief A nested mapping: a forest of nested rules between two schemas.
+struct NestedMapping {
+  std::shared_ptr<const Schema> source;
+  std::shared_ptr<const Schema> target;
+  std::vector<NestedRule> roots;
+
+  NestedMapping() = default;
+  NestedMapping(Schema src, Schema tgt, std::vector<NestedRule> rules)
+      : source(std::make_shared<const Schema>(std::move(src))),
+        target(std::make_shared<const Schema>(std::move(tgt))),
+        roots(std::move(rules)) {}
+
+  /// Structural validation: atoms resolve against the schemas with
+  /// variable-only arguments; every root has a non-empty premise; every
+  /// conclusion variable is reachable (an ancestor-or-self premise variable
+  /// or an existential introduced on the path).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Translates a nested mapping into an equivalent plain SO-tgd
+/// mapping (linear in the tree size; one rule per node with a conclusion).
+Result<SOTgdMapping> NestedToPlainSOTgd(const NestedMapping& mapping);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_NESTED_H_

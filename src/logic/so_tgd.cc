@@ -1,0 +1,120 @@
+#include "logic/so_tgd.h"
+
+#include <unordered_set>
+
+namespace mapinv {
+
+std::string SORule::ToString() const {
+  return AtomsToString(premise) + " -> " + AtomsToString(conclusion);
+}
+
+Result<std::map<FunctionId, uint32_t>> SOTgd::Functions() const {
+  std::map<FunctionId, uint32_t> out;
+  for (const SORule& r : rules) {
+    for (const Atom& a : r.conclusion) {
+      for (const Term& t : a.terms) {
+        if (!t.is_function()) continue;
+        auto [it, inserted] =
+            out.emplace(t.fn(), static_cast<uint32_t>(t.args().size()));
+        if (!inserted && it->second != t.args().size()) {
+          return Status::Malformed(
+              "function symbol " + FunctionName(t.fn()) +
+              " used with arities " + std::to_string(it->second) + " and " +
+              std::to_string(t.args().size()));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status SOTgd::Validate(const Schema& source, const Schema& target) const {
+  if (rules.empty()) return Status::Malformed("plain SO-tgd has no rules");
+  for (const SORule& r : rules) {
+    if (r.premise.empty() || r.conclusion.empty()) {
+      return Status::Malformed("SO rule with empty side: " + r.ToString());
+    }
+    std::vector<VarId> pv = r.PremiseVars();
+    std::unordered_set<VarId> pset(pv.begin(), pv.end());
+    for (const Atom& a : r.premise) {
+      MAPINV_RETURN_NOT_OK(a.Validate(source));
+      if (!a.AllVariables()) {
+        return Status::Malformed("SO rule premise atom " + a.ToString() +
+                                 " has a non-variable argument");
+      }
+    }
+    for (const Atom& a : r.conclusion) {
+      MAPINV_RETURN_NOT_OK(a.Validate(target));
+      for (const Term& t : a.terms) {
+        if (!t.IsPlain()) {
+          return Status::Malformed("conclusion term " + t.ToString() +
+                                   " is not plain (variable or f(vars))");
+        }
+        if (t.is_function() && t.args().empty()) {
+          return Status::Malformed("0-ary function application " +
+                                   t.ToString() + " is not a plain term");
+        }
+        std::vector<VarId> tv;
+        t.CollectVars(&tv);
+        for (VarId v : tv) {
+          if (!pset.contains(v)) {
+            return Status::Malformed("conclusion variable " + VarName(v) +
+                                     " of rule '" + r.ToString() +
+                                     "' does not occur in the premise");
+          }
+        }
+      }
+    }
+  }
+  return Functions().status();
+}
+
+std::string SOTgd::ToString() const {
+  std::string out;
+  for (const SORule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SOInvDisjunct::ToString() const {
+  std::vector<VarId> exist = CollectDistinctVars(atoms);
+  std::string out;
+  if (!exist.empty()) {
+    out += "EXISTS ";
+    for (size_t i = 0; i < exist.size(); ++i) {
+      if (i > 0) out += ",";
+      out += VarName(exist[i]);
+    }
+    out += " . ";
+  }
+  out += AtomsToString(atoms);
+  for (const TermEq& eq : equalities) out += ", " + eq.ToString("=");
+  for (const TermEq& ne : inequalities) out += ", " + ne.ToString("!=");
+  return out;
+}
+
+std::string SOInverseRule::ToString() const {
+  std::string out = premise.ToString();
+  for (VarId v : constant_vars) out += ", C(" + VarName(v) + ")";
+  out += " -> ";
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += "[";
+    out += disjuncts[i].ToString();
+    out += "]";
+  }
+  return out;
+}
+
+std::string SOInverse::ToString() const {
+  std::string out;
+  for (const SOInverseRule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,107 @@
+/// \file so_tgd.h
+/// \brief Plain second-order tgds and the PolySOInverse output language.
+///
+/// A *plain SO-tgd* (Section 5.1) is ∃f̄ [ ∀x̄₁(φ₁→ψ₁) ∧ ... ∧ ∀x̄ₙ(φₙ→ψₙ) ]
+/// where each φᵢ is a conjunction of source atoms over variables and each ψᵢ
+/// is a conjunction of target atoms over *plain terms* (a variable, or
+/// f(x₁,...,x_k) with the xⱼ premise variables). We represent the whole
+/// formula as an SOTgd holding its rules; the function quantifier prefix is
+/// implicit (every function symbol occurring in a conclusion is quantified).
+///
+/// The output of PolySOInverse (Section 5.2) is an SO dependency whose rules
+/// have the form
+///     R(ū) ∧ C(u_i)... → ∨ⱼ ∃ȳⱼ ( ψⱼ(ȳⱼ) ∧ Q_e ∧ Q_s )
+/// where Q_e / Q_s are conjunctions of equalities and inequalities between
+/// terms built from the inverse function symbols f₁,...,f_k,f★ applied to the
+/// premise variables ū. SOInverseRule captures exactly this shape.
+
+#ifndef MAPINV_LOGIC_SO_TGD_H_
+#define MAPINV_LOGIC_SO_TGD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+
+namespace mapinv {
+
+/// \brief One rule φ(x̄) → ψ of a plain SO-tgd.
+struct SORule {
+  /// Source atoms; all arguments must be variables.
+  std::vector<Atom> premise;
+  /// Target atoms; arguments must be plain terms whose variables occur in
+  /// the premise.
+  std::vector<Atom> conclusion;
+
+  std::vector<VarId> PremiseVars() const { return CollectDistinctVars(premise); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const SORule& a, const SORule& b) {
+    return a.premise == b.premise && a.conclusion == b.conclusion;
+  }
+};
+
+/// \brief A plain SO-tgd: a conjunction of rules with implicitly quantified
+/// function symbols.
+struct SOTgd {
+  std::vector<SORule> rules;
+
+  /// The function symbols occurring in the rules, with their arities.
+  /// Fails if a symbol occurs with two different arities.
+  Result<std::map<FunctionId, uint32_t>> Functions() const;
+
+  /// Checks: premises over `source` with variable arguments, conclusions
+  /// over `target` with plain terms over premise variables, consistent
+  /// function arities, non-empty sides.
+  Status Validate(const Schema& source, const Schema& target) const;
+
+  /// One rule per line.
+  std::string ToString() const;
+};
+
+/// \brief One existential disjunct ∃ȳ (ψ(ȳ) ∧ Q_e ∧ Q_s) of an inverse rule.
+struct SOInvDisjunct {
+  /// Source atoms over variables ȳ (the premise variables of the original
+  /// rule, renamed apart by the caller when needed).
+  std::vector<Atom> atoms;
+  /// Q_e: equalities between plain terms over ū/ȳ and inverse functions.
+  std::vector<TermEq> equalities;
+  /// Q_s equalities (f★(u) = f₁(u)) are stored in `equalities`; this holds
+  /// the Q_s inequalities (f★(u) ≠ g₁(u)).
+  std::vector<TermEq> inequalities;
+
+  std::string ToString() const;
+
+  friend bool operator==(const SOInvDisjunct& a, const SOInvDisjunct& b) {
+    return a.atoms == b.atoms && a.equalities == b.equalities &&
+           a.inequalities == b.inequalities;
+  }
+};
+
+/// \brief One rule prem_σ(ū) → γ_σ(ū) of the PolySOInverse output.
+struct SOInverseRule {
+  /// The single premise atom R(ū) over the original target schema.
+  Atom premise;
+  /// Premise variables carrying C(·) (positions whose original term was a
+  /// plain variable).
+  std::vector<VarId> constant_vars;
+  /// The disjuncts of γ_σ; empty disjunction never occurs (a rule's own
+  /// term tuple subsumes itself).
+  std::vector<SOInvDisjunct> disjuncts;
+
+  std::string ToString() const;
+};
+
+/// \brief The full PolySOInverse output: ∃f̄' ∧ Σ'.
+struct SOInverse {
+  std::vector<SOInverseRule> rules;
+
+  std::string ToString() const;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_SO_TGD_H_

@@ -1,0 +1,142 @@
+#include "logic/substitution.h"
+
+#include <deque>
+
+namespace mapinv {
+
+Term Substitution::Apply(const Term& t) const {
+  switch (t.kind()) {
+    case Term::Kind::kVariable: {
+      auto it = map_.find(t.var());
+      if (it == map_.end()) return t;
+      // Triangular form: the binding may itself mention bound variables.
+      return Apply(it->second);
+    }
+    case Term::Kind::kConstant:
+      return t;
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(Apply(a));
+      return Term::Fn(t.fn(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  Atom out;
+  out.relation = a.relation;
+  out.terms.reserve(a.terms.size());
+  for (const Term& t : a.terms) out.terms.push_back(Apply(t));
+  return out;
+}
+
+std::vector<Atom> Substitution::Apply(const std::vector<Atom>& atoms) const {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(Apply(a));
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [v, t] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += VarName(v) + " -> " + t.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Resolves a term one level: follows variable bindings until an unbound
+// variable or a non-variable term is reached.
+Term Walk(const Substitution& s, Term t) {
+  while (t.is_variable() && s.Has(t.var())) {
+    t = s.RawBinding(t.var());
+  }
+  return t;
+}
+
+// Occurs check on the *resolved* structure of `t`.
+bool Occurs(const Substitution& s, VarId v, const Term& t) {
+  Term w = Walk(s, t);
+  switch (w.kind()) {
+    case Term::Kind::kVariable:
+      return w.var() == v;
+    case Term::Kind::kConstant:
+      return false;
+    case Term::Kind::kFunction:
+      for (const Term& a : w.args()) {
+        if (Occurs(s, v, a)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Substitution> Unify(const std::vector<std::pair<Term, Term>>& goals) {
+  Substitution subst;
+  std::deque<std::pair<Term, Term>> work(goals.begin(), goals.end());
+  while (!work.empty()) {
+    auto [lhs, rhs] = work.front();
+    work.pop_front();
+    Term a = Walk(subst, lhs);
+    Term b = Walk(subst, rhs);
+    if (a == b) continue;
+    if (a.is_variable()) {
+      if (Occurs(subst, a.var(), b)) {
+        return Status::NotFound("occurs check failed: " + VarName(a.var()) +
+                                " in " + b.ToString());
+      }
+      subst.Bind(a.var(), b);
+      continue;
+    }
+    if (b.is_variable()) {
+      work.emplace_back(b, a);
+      continue;
+    }
+    if (a.is_constant() || b.is_constant()) {
+      return Status::NotFound("constant clash: " + a.ToString() + " vs " +
+                              b.ToString());
+    }
+    // Both function terms.
+    if (a.fn() != b.fn() || a.args().size() != b.args().size()) {
+      return Status::NotFound("function clash: " + a.ToString() + " vs " +
+                              b.ToString());
+    }
+    for (size_t i = 0; i < a.args().size(); ++i) {
+      work.emplace_back(a.args()[i], b.args()[i]);
+    }
+  }
+  return subst;
+}
+
+Result<Substitution> UnifyAtoms(const Atom& a, const Atom& b) {
+  if (a.relation != b.relation || a.terms.size() != b.terms.size()) {
+    return Status::NotFound("atoms over different relations: " + a.ToString() +
+                            " vs " + b.ToString());
+  }
+  std::vector<std::pair<Term, Term>> goals;
+  goals.reserve(a.terms.size());
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    goals.emplace_back(a.terms[i], b.terms[i]);
+  }
+  return Unify(goals);
+}
+
+Substitution RenameApart(const std::vector<VarId>& vars, FreshVarGen* gen) {
+  Substitution out;
+  for (VarId v : vars) {
+    if (!out.Has(v)) out.Bind(v, Term::Var(gen->Next()));
+  }
+  return out;
+}
+
+}  // namespace mapinv

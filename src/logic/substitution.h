@@ -1,0 +1,74 @@
+/// \file substitution.h
+/// \brief Variable substitutions and first-order unification.
+///
+/// Substitutions map variables to terms and are used by the rewriting engine
+/// (resolving target query atoms against Skolemised tgd heads) and by SO-tgd
+/// composition. Unification implements MGU with occurs check; bindings are
+/// kept in triangular (solved) form and resolved transitively on Apply.
+
+#ifndef MAPINV_LOGIC_SUBSTITUTION_H_
+#define MAPINV_LOGIC_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+
+namespace mapinv {
+
+/// \brief A mapping from variables to terms.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool Has(VarId v) const { return map_.contains(v); }
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  /// Binds `v` to `t` (overwrites any existing binding).
+  void Bind(VarId v, Term t) { map_[v] = std::move(t); }
+
+  /// The raw (triangular) binding of `v`; `v` must be bound.
+  const Term& RawBinding(VarId v) const { return map_.at(v); }
+
+  /// Applies the substitution to a term, resolving chains of variable
+  /// bindings transitively. The substitution must be acyclic (guaranteed for
+  /// unifier output thanks to the occurs check).
+  Term Apply(const Term& t) const;
+
+  /// Applies the substitution to every argument of an atom.
+  Atom Apply(const Atom& a) const;
+
+  /// Applies the substitution to every atom.
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const;
+
+  /// Fully resolved binding of a variable (Apply on Term::Var(v)).
+  Term Resolve(VarId v) const { return Apply(Term::Var(v)); }
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<VarId, Term> map_;
+};
+
+/// \brief Computes a most general unifier for the given term-pair equations.
+///
+/// Returns kInvalidArgument-free failure as a Status with code kNotFound when
+/// the equations are not unifiable (clash or occurs-check violation); any
+/// other status code indicates malformed input.
+Result<Substitution> Unify(const std::vector<std::pair<Term, Term>>& goals);
+
+/// \brief Unifies two atom sequences position-wise (same relations/arities
+/// required); convenience over Unify.
+Result<Substitution> UnifyAtoms(const Atom& a, const Atom& b);
+
+/// \brief Builds a renaming that maps every variable in `vars` to a fresh
+/// variable from `gen`.
+Substitution RenameApart(const std::vector<VarId>& vars, FreshVarGen* gen);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_SUBSTITUTION_H_

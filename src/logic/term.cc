@@ -1,0 +1,113 @@
+#include "logic/term.h"
+
+#include <algorithm>
+
+namespace mapinv {
+
+bool Term::IsPlain() const {
+  if (is_variable()) return true;
+  if (is_constant()) return false;
+  return std::all_of(args_.begin(), args_.end(),
+                     [](const Term& t) { return t.is_variable(); });
+}
+
+void Term::CollectVars(std::vector<VarId>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->push_back(var_);
+      return;
+    case Kind::kConstant:
+      return;
+    case Kind::kFunction:
+      for (const Term& a : args_) a.CollectVars(out);
+      return;
+  }
+}
+
+bool Term::Mentions(VarId v) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return var_ == v;
+    case Kind::kConstant:
+      return false;
+    case Kind::kFunction:
+      for (const Term& a : args_) {
+        if (a.Mentions(v)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+uint32_t Term::Depth() const {
+  if (!is_function()) return 0;
+  uint32_t d = 0;
+  for (const Term& a : args_) d = std::max(d, a.Depth());
+  return d + 1;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return VarName(var_);
+    case Kind::kConstant:
+      return value_.ToString();
+    case Kind::kFunction: {
+      std::string out = FunctionName(fn_) + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args_[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "<bad-term>";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Term::Kind::kVariable:
+      return a.var_ == b.var_;
+    case Term::Kind::kConstant:
+      return a.value_ == b.value_;
+    case Term::Kind::kFunction:
+      return a.fn_ == b.fn_ && a.args_ == b.args_;
+  }
+  return false;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  switch (a.kind_) {
+    case Term::Kind::kVariable:
+      return a.var_ < b.var_;
+    case Term::Kind::kConstant:
+      return a.value_ < b.value_;
+    case Term::Kind::kFunction:
+      if (a.fn_ != b.fn_) return a.fn_ < b.fn_;
+      return std::lexicographical_compare(a.args_.begin(), a.args_.end(),
+                                          b.args_.begin(), b.args_.end());
+  }
+  return false;
+}
+
+size_t Term::Hash() const {
+  size_t seed = static_cast<size_t>(kind_) + 17;
+  switch (kind_) {
+    case Kind::kVariable:
+      HashCombine(seed, var_);
+      break;
+    case Kind::kConstant:
+      HashCombine(seed, value_.Hash());
+      break;
+    case Kind::kFunction:
+      HashCombine(seed, fn_);
+      for (const Term& a : args_) HashCombine(seed, a.Hash());
+      break;
+  }
+  return seed;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,119 @@
+/// \file term.h
+/// \brief First-order terms: variables, constants and function applications.
+///
+/// Plain SO-tgds (Section 5.1 of the paper) use *plain terms*: a variable or
+/// a single function application over variables. General Terms here allow
+/// arbitrary nesting, because composing two SO-tgd mappings by unfolding can
+/// produce nested applications; the plain-ness restriction is validated where
+/// the algorithms require it (see SOTgd::Validate).
+
+#ifndef MAPINV_LOGIC_TERM_H_
+#define MAPINV_LOGIC_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/symbols.h"
+#include "data/value.h"
+
+namespace mapinv {
+
+/// \brief A term: variable, constant, or function application.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant, kFunction };
+
+  /// Default term is the variable with id 0; present for containers only.
+  Term() : kind_(Kind::kVariable), var_(0) {}
+
+  static Term Var(VarId v) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_ = v;
+    return t;
+  }
+  static Term Var(std::string_view name) { return Var(InternVar(name)); }
+
+  static Term Const(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = v;
+    return t;
+  }
+
+  static Term Fn(FunctionId fn, std::vector<Term> args) {
+    Term t;
+    t.kind_ = Kind::kFunction;
+    t.fn_ = fn;
+    t.args_ = std::move(args);
+    return t;
+  }
+  static Term Fn(std::string_view name, std::vector<Term> args) {
+    return Fn(InternFunction(name), std::move(args));
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_function() const { return kind_ == Kind::kFunction; }
+
+  /// Valid only for variables.
+  VarId var() const { return var_; }
+  /// Valid only for constants.
+  Value value() const { return value_; }
+  /// Valid only for function applications.
+  FunctionId fn() const { return fn_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  /// True for a variable, or a function application whose arguments are all
+  /// variables (the paper's "plain term").
+  bool IsPlain() const;
+
+  /// Appends every variable occurring in the term to `out` (with repeats).
+  void CollectVars(std::vector<VarId>* out) const;
+
+  /// True if variable `v` occurs anywhere in the term.
+  bool Mentions(VarId v) const;
+
+  /// Structural depth: 0 for variables/constants, 1 + max arg depth.
+  uint32_t Depth() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b);
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b);
+
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  VarId var_ = 0;
+  Value value_;
+  FunctionId fn_ = 0;
+  std::vector<Term> args_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+/// \brief An equality or inequality between two terms (used in SO-inverse
+/// dependency conclusions, Section 5.2).
+struct TermEq {
+  Term lhs;
+  Term rhs;
+
+  friend bool operator==(const TermEq& a, const TermEq& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+
+  std::string ToString(const char* op = "=") const {
+    return lhs.ToString() + " " + op + " " + rhs.ToString();
+  }
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_LOGIC_TERM_H_

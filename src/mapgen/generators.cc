@@ -1,0 +1,216 @@
+#include "mapgen/generators.h"
+
+#include <random>
+#include <string>
+
+namespace mapinv {
+
+namespace {
+
+std::vector<std::string> NumberedVars(const std::string& prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+TgdMapping CopyMapping(int relations, int arity) {
+  Schema source, target;
+  std::vector<Tgd> tgds;
+  std::vector<std::string> vars = NumberedVars("x", arity);
+  for (int i = 0; i < relations; ++i) {
+    std::string r = "R" + std::to_string(i);
+    std::string t = "T" + std::to_string(i);
+    source.AddRelation(r, arity).ValueOrDie();
+    target.AddRelation(t, arity).ValueOrDie();
+    Tgd tgd;
+    tgd.premise = {Atom::Vars(r, vars)};
+    tgd.conclusion = {Atom::Vars(t, vars)};
+    tgds.push_back(std::move(tgd));
+  }
+  return TgdMapping(std::move(source), std::move(target), std::move(tgds));
+}
+
+TgdMapping ProjectionMapping(int relations) {
+  Schema source, target;
+  std::vector<Tgd> tgds;
+  for (int i = 0; i < relations; ++i) {
+    std::string r = "R" + std::to_string(i);
+    std::string t = "T" + std::to_string(i);
+    source.AddRelation(r, 2).ValueOrDie();
+    target.AddRelation(t, 1).ValueOrDie();
+    Tgd tgd;
+    tgd.premise = {Atom::Vars(r, {"x", "y"})};
+    tgd.conclusion = {Atom::Vars(t, {"x"})};
+    tgds.push_back(std::move(tgd));
+  }
+  return TgdMapping(std::move(source), std::move(target), std::move(tgds));
+}
+
+TgdMapping ChainJoinMapping(int chain_length) {
+  Schema source, target;
+  Tgd tgd;
+  for (int i = 0; i < chain_length; ++i) {
+    std::string r = "R" + std::to_string(i);
+    source.AddRelation(r, 2).ValueOrDie();
+    tgd.premise.push_back(
+        Atom::Vars(r, {"x" + std::to_string(i), "x" + std::to_string(i + 1)}));
+  }
+  target.AddRelation("T", 2).ValueOrDie();
+  tgd.conclusion = {Atom::Vars("T", {"x0", "x" + std::to_string(chain_length)})};
+  return TgdMapping(std::move(source), std::move(target), {std::move(tgd)});
+}
+
+TgdMapping ExponentialFamilyMapping(int n, int k) {
+  Schema source, target;
+  std::vector<Tgd> tgds;
+  source.AddRelation("B", 1).ValueOrDie();
+  for (int j = 0; j < k; ++j) {
+    target.AddRelation("T" + std::to_string(j), 1).ValueOrDie();
+  }
+  // A_{j,i}(x) -> T_j(x): n producers per target relation.
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < n; ++i) {
+      std::string a = "A" + std::to_string(j) + "_" + std::to_string(i);
+      source.AddRelation(a, 1).ValueOrDie();
+      Tgd tgd;
+      tgd.premise = {Atom::Vars(a, {"x"})};
+      tgd.conclusion = {Atom::Vars("T" + std::to_string(j), {"x"})};
+      tgds.push_back(std::move(tgd));
+    }
+  }
+  // B(x) -> T_0(x) ∧ ... ∧ T_{k-1}(x): its conclusion rewriting multiplies
+  // the per-relation choices: (n+1)^k disjuncts before minimisation.
+  Tgd big;
+  big.premise = {Atom::Vars("B", {"x"})};
+  for (int j = 0; j < k; ++j) {
+    big.conclusion.push_back(Atom::Vars("T" + std::to_string(j), {"x"}));
+  }
+  tgds.push_back(std::move(big));
+  return TgdMapping(std::move(source), std::move(target), std::move(tgds));
+}
+
+TgdMapping GenerateRandomMapping(const RandomMappingConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  Schema source, target;
+  for (int i = 0; i < config.source_relations; ++i) {
+    source.AddRelation("S" + std::to_string(i), config.arity).ValueOrDie();
+  }
+  for (int i = 0; i < config.target_relations; ++i) {
+    target.AddRelation("T" + std::to_string(i), config.arity).ValueOrDie();
+  }
+  std::uniform_int_distribution<int> src_rel(0, config.source_relations - 1);
+  std::uniform_int_distribution<int> tgt_rel(0, config.target_relations - 1);
+  std::uniform_int_distribution<int> pvar(0, config.premise_vars - 1);
+  std::uniform_int_distribution<int> cvar(
+      0, config.premise_vars + config.existential_vars - 1);
+
+  std::vector<Tgd> tgds;
+  for (int t = 0; t < config.num_tgds; ++t) {
+    Tgd tgd;
+    for (int a = 0; a < config.premise_atoms; ++a) {
+      std::vector<std::string> vars;
+      for (int p = 0; p < config.arity; ++p) {
+        vars.push_back("v" + std::to_string(pvar(rng)));
+      }
+      tgd.premise.push_back(
+          Atom::Vars("S" + std::to_string(src_rel(rng)), vars));
+    }
+    for (int a = 0; a < config.conclusion_atoms; ++a) {
+      std::vector<std::string> vars;
+      for (int p = 0; p < config.arity; ++p) {
+        int v = cvar(rng);
+        if (v < config.premise_vars) {
+          vars.push_back("v" + std::to_string(v));
+        } else {
+          vars.push_back("e" + std::to_string(v - config.premise_vars));
+        }
+      }
+      tgd.conclusion.push_back(
+          Atom::Vars("T" + std::to_string(tgt_rel(rng)), vars));
+    }
+    tgds.push_back(std::move(tgd));
+  }
+  return TgdMapping(std::move(source), std::move(target), std::move(tgds));
+}
+
+SOTgdMapping GenerateRandomSOMapping(const RandomSOMappingConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  Schema source, target;
+  for (int i = 0; i < config.source_relations; ++i) {
+    source.AddRelation("S" + std::to_string(i), config.arity).ValueOrDie();
+  }
+  for (int i = 0; i < config.target_relations; ++i) {
+    target.AddRelation("T" + std::to_string(i), config.arity).ValueOrDie();
+  }
+  std::uniform_int_distribution<int> src_rel(0, config.source_relations - 1);
+  std::uniform_int_distribution<int> tgt_rel(0, config.target_relations - 1);
+  std::uniform_int_distribution<int> pvar(0, config.premise_vars - 1);
+  std::uniform_int_distribution<int> fn(0, config.functions - 1);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  SOTgd so;
+  // One unique seed-scoped name per function pool entry so that different
+  // generated mappings never share symbols (composition-safe).
+  std::vector<std::string> fn_names;
+  for (int i = 0; i < config.functions; ++i) {
+    fn_names.push_back("h" + std::to_string(config.seed % 997) + "_" +
+                       std::to_string(i));
+  }
+  for (int r = 0; r < config.num_rules; ++r) {
+    SORule rule;
+    for (int a = 0; a < config.premise_atoms; ++a) {
+      std::vector<std::string> vars;
+      for (int p = 0; p < config.arity; ++p) {
+        vars.push_back("v" + std::to_string(pvar(rng)));
+      }
+      rule.premise.push_back(
+          Atom::Vars("S" + std::to_string(src_rel(rng)), vars));
+    }
+    // Variables actually present in the premise (conclusion terms must use
+    // these).
+    std::vector<VarId> available = CollectDistinctVars(rule.premise);
+    std::uniform_int_distribution<size_t> avar(0, available.size() - 1);
+    Atom conclusion;
+    conclusion.relation =
+        InternRelation("T" + std::to_string(tgt_rel(rng)));
+    for (int p = 0; p < config.arity; ++p) {
+      if (pct(rng) < config.fn_position_pct) {
+        std::vector<Term> args;
+        for (int j = 0; j < config.fn_arity; ++j) {
+          args.push_back(Term::Var(available[avar(rng)]));
+        }
+        conclusion.terms.push_back(Term::Fn(fn_names[fn(rng)], std::move(args)));
+      } else {
+        conclusion.terms.push_back(Term::Var(available[avar(rng)]));
+      }
+    }
+    rule.conclusion = {std::move(conclusion)};
+    so.rules.push_back(std::move(rule));
+  }
+  SOTgdMapping out;
+  out.source = std::make_shared<const Schema>(std::move(source));
+  out.target = std::make_shared<const Schema>(std::move(target));
+  out.so = std::move(so);
+  return out;
+}
+
+Instance GenerateInstance(const Schema& schema, int tuples_per_relation,
+                          int domain_size, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> value(0, domain_size - 1);
+  Instance out(schema);
+  for (const RelationSymbol& rel : schema.relations()) {
+    for (int i = 0; i < tuples_per_relation; ++i) {
+      std::vector<int64_t> tuple;
+      tuple.reserve(rel.arity);
+      for (uint32_t p = 0; p < rel.arity; ++p) tuple.push_back(value(rng));
+      out.AddInts(rel.name, tuple).ValueOrDie();
+    }
+  }
+  return out;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,87 @@
+/// \file generators.h
+/// \brief Deterministic synthetic workload generators.
+///
+/// The paper evaluates nothing empirically, so the bench harness defines its
+/// own workloads; everything here is seeded and reproducible. Families:
+///
+///  * CopyMapping           — Rᵢ(x̄) → Tᵢ(x̄): Fagin-invertible, the easy case.
+///  * ProjectionMapping     — Rᵢ(x,y) → Tᵢ(x): loses a column per relation.
+///  * ChainJoinMapping      — R₁(x₀,x₁) ∧ ... ∧ R_m(x_{m-1},x_m) → T(x₀,x_m).
+///  * ExponentialFamily     — the E1 blow-up family: B(x) → T₁(x) ∧ ... ∧
+///    T_k(x) plus A_{j,i}(x) → T_j(x) for i ∈ [n]; the rewriting of the B
+///    conclusion has (n+1)^k disjuncts, so every Section-4-style maximum
+///    recovery is exponential while PolySOInverse stays polynomial (§1, §5).
+///  * GenerateRandomMapping — shape-controlled random tgds.
+///  * GenerateInstance      — random source instances over a bounded domain.
+
+#ifndef MAPINV_MAPGEN_GENERATORS_H_
+#define MAPINV_MAPGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief n copy tgds Rᵢ(x₁..x_a) → Tᵢ(x₁..x_a).
+TgdMapping CopyMapping(int relations, int arity);
+
+/// \brief n projection tgds Rᵢ(x,y) → Tᵢ(x).
+TgdMapping ProjectionMapping(int relations);
+
+/// \brief One tgd joining a chain of m binary relations into T(first,last).
+TgdMapping ChainJoinMapping(int chain_length);
+
+/// \brief The exponential-recovery family (bench E1): parameters n ≥ 1
+/// producers per target relation and k ≥ 1 conjoined target relations.
+TgdMapping ExponentialFamilyMapping(int n, int k);
+
+/// \brief Shape parameters for random tgd sets.
+struct RandomMappingConfig {
+  uint64_t seed = 42;
+  int num_tgds = 4;
+  int source_relations = 4;
+  int target_relations = 4;
+  int arity = 2;              ///< arity of every relation
+  int premise_atoms = 2;      ///< atoms per tgd premise
+  int conclusion_atoms = 1;   ///< atoms per tgd conclusion
+  int premise_vars = 3;       ///< distinct variables available to the premise
+  int existential_vars = 1;   ///< extra conclusion-only variables
+};
+
+/// \brief Generates a random tgd mapping with the given shape. Every
+/// conclusion variable is drawn from premise variables plus the existential
+/// pool, so the output always validates.
+TgdMapping GenerateRandomMapping(const RandomMappingConfig& config);
+
+/// \brief Shape parameters for random plain SO-tgd sets.
+struct RandomSOMappingConfig {
+  uint64_t seed = 42;
+  int num_rules = 3;
+  int source_relations = 3;
+  int target_relations = 3;
+  int arity = 2;            ///< arity of every relation
+  int premise_atoms = 1;    ///< atoms per rule premise
+  int premise_vars = 2;     ///< distinct variables available to the premise
+  int functions = 2;        ///< size of the shared function-symbol pool
+  int fn_arity = 1;         ///< arity of every function symbol
+  /// Probability (in percent) that a conclusion position is a function term
+  /// rather than a plain variable.
+  int fn_position_pct = 50;
+};
+
+/// \brief Generates a random plain SO-tgd mapping. Function symbols are
+/// drawn from a pool shared across rules — the regime (shared invented
+/// values across rules) that tgd-derived Skolemisation never produces.
+SOTgdMapping GenerateRandomSOMapping(const RandomSOMappingConfig& config);
+
+/// \brief Fills every relation of `schema` with `tuples_per_relation` random
+/// tuples over the integer domain [0, domain_size).
+Instance GenerateInstance(const Schema& schema, int tuples_per_relation,
+                          int domain_size, uint64_t seed);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_MAPGEN_GENERATORS_H_

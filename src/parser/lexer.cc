@@ -1,0 +1,187 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace mapinv {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kNumber:
+      return "number " + text;
+    case TokenKind::kString:
+      return "string '" + text + "'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kTurnstile:
+      return "':-'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'!='";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kSeparator:
+      return "end of statement";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "<token>";
+}
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string payload = "") {
+    out.push_back(Token{kind, std::move(payload), line, column});
+  };
+  auto error = [&](const std::string& message) {
+    return Status::ParseError(message + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(column));
+  };
+  auto push_separator = [&] {
+    if (!out.empty() && out.back().kind != TokenKind::kSeparator) {
+      push(TokenKind::kSeparator);
+    }
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      push_separator();
+      ++i;
+      ++line;
+      column = 1;
+      continue;
+    }
+    if (c == ';') {
+      push_separator();
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '?') {
+      // '?' may only lead: it marks machine-generated variable names, which
+      // must stay parseable so printed mappings round-trip.
+      size_t start = i;
+      if (c == '?') ++i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      if (i == start + 1 && c == '?') {
+        return error("'?' must be followed by an identifier");
+      }
+      push(TokenKind::kIdent, std::string(text.substr(start, i - start)));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      push(TokenKind::kNumber, std::string(text.substr(start, i - start)));
+      column += static_cast<int>(i - start);
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      while (i < text.size() && text[i] != '\'' && text[i] != '\n') ++i;
+      if (i >= text.size() || text[i] != '\'') {
+        return error("unterminated string literal");
+      }
+      push(TokenKind::kString, std::string(text.substr(start, i - start)));
+      column += static_cast<int>(i - start) + 2;
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        break;
+      case '{':
+        push(TokenKind::kLBrace);
+        break;
+      case '}':
+        push(TokenKind::kRBrace);
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        break;
+      case '|':
+        push(TokenKind::kPipe);
+        break;
+      case '=':
+        push(TokenKind::kEq);
+        break;
+      case '.':
+        push(TokenKind::kDot);
+        break;
+      case '-':
+        if (i + 1 < text.size() && text[i + 1] == '>') {
+          push(TokenKind::kArrow);
+          ++i;
+          ++column;
+        } else {
+          return error("expected '->' after '-'");
+        }
+        break;
+      case ':':
+        if (i + 1 < text.size() && text[i + 1] == '-') {
+          push(TokenKind::kTurnstile);
+          ++i;
+          ++column;
+        } else {
+          return error("expected ':-' after ':'");
+        }
+        break;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenKind::kNeq);
+          ++i;
+          ++column;
+        } else {
+          return error("expected '!=' after '!'");
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+    ++column;
+  }
+  // Trailing separator (if any) is dropped; terminate with kEnd.
+  if (!out.empty() && out.back().kind == TokenKind::kSeparator) out.pop_back();
+  out.push_back(Token{TokenKind::kEnd, "", line, column});
+  return out;
+}
+
+}  // namespace mapinv

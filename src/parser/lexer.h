@@ -1,0 +1,50 @@
+/// \file lexer.h
+/// \brief Tokeniser for the mapinv text syntax (see parser.h).
+
+#ifndef MAPINV_PARSER_LEXER_H_
+#define MAPINV_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+enum class TokenKind {
+  kIdent,      // R, x, EXISTS (keyword detection is the parser's job)
+  kNumber,     // 123
+  kString,     // 'alice'
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kArrow,      // ->
+  kTurnstile,  // :-
+  kPipe,       // |
+  kEq,         // =
+  kNeq,        // !=
+  kDot,        // .
+  kSeparator,  // newline or ';'
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier / number / string payload
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// \brief Tokenises the input. '#' comments run to end of line; runs of
+/// newlines/';' collapse into a single kSeparator. Fails on unknown
+/// characters and unterminated strings.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_PARSER_LEXER_H_

@@ -1,0 +1,64 @@
+/// \file parser.h
+/// \brief Text syntax for mappings, queries and instances.
+///
+/// Grammar (statements separated by newlines or ';'; '#' starts a comment):
+///
+///   tgd          :=  atoms "->" [ "EXISTS" vars "." ] atoms
+///   reverse dep  :=  premise "->" disjunct ( "|" disjunct )*
+///   premise      :=  ( atom | "C" "(" var ")" | var "!=" var ) , ...
+///   disjunct     :=  [ "EXISTS" vars "." ] ( atom | var "=" var ) , ...
+///   so rule      :=  atoms "->" atoms          (terms may be f(x,...) )
+///   query        :=  Name "(" vars ")" ":-" disjunct ( "|" disjunct )*
+///   instance     :=  "{" fact ( "," fact )* "}"
+///   fact         :=  Rel "(" const ( "," const )* ")"
+///
+/// Tokens: identifiers ([A-Za-z_][A-Za-z0-9_]*) are variables inside
+/// formulas and relation/function names before '('; numbers (123) and
+/// single-quoted strings ('alice') are constants; "_N<k>" denotes a
+/// labelled null inside instances.
+///
+/// Schemas are inferred from usage: every relation gets the arity of its
+/// first occurrence (later occurrences must agree).
+
+#ifndef MAPINV_PARSER_PARSER_H_
+#define MAPINV_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "logic/cq.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief Parses a list of tgds and infers the two schemas from relation
+/// usage (premise relations form the source, conclusion relations the
+/// target; a relation used on both sides is an error).
+Result<TgdMapping> ParseTgdMapping(std::string_view text);
+
+/// \brief Parses a list of reverse dependencies (premises may use C(·) and
+/// ≠, conclusions may use disjunction and =). Schemas are inferred; premise
+/// relations form the mapping's source, conclusion relations its target.
+Result<ReverseMapping> ParseReverseMapping(std::string_view text);
+
+/// \brief Parses a list of plain SO-tgd rules (function terms allowed in
+/// conclusions). Schemas are inferred.
+Result<SOTgdMapping> ParseSOTgdMapping(std::string_view text);
+
+/// \brief Parses a (union of) conjunctive quer(ies) "Q(x,y) :- ... | ...".
+Result<UnionCq> ParseQuery(std::string_view text);
+
+/// \brief Parses a single-disjunct query into a ConjunctiveQuery; fails on
+/// disjunction or equalities.
+Result<ConjunctiveQuery> ParseCq(std::string_view text);
+
+/// \brief Parses an instance "{ R(1,2), S('a',_N0) }" against `schema`.
+Result<Instance> ParseInstance(std::string_view text, const Schema& schema);
+
+/// \brief Parses an instance and infers its schema from the facts.
+Result<Instance> ParseInstanceInferSchema(std::string_view text);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_PARSER_PARSER_H_

@@ -1,0 +1,57 @@
+/// \file rewrite.h
+/// \brief Certain-answer rewriting of target conjunctive queries over the
+/// source — the REWRITE(Σ, Q) black box of Section 4.1.
+///
+/// Given a mapping Σ of s-t tgds and a target CQ Q(x̄), produces a UCQ=
+/// query Q'(x̄) over the source with Q'(I) = certain_Σ(Q, I) for every
+/// source instance I. Implementation: Skolemise Σ with frontier-variable
+/// Skolem terms (semi-oblivious chase normal form) and resolve every atom of
+/// Q against the rule heads in all possible ways (inverse-rules unfolding in
+/// the style of Duschka–Genesereth [8]); unification failures prune choices,
+/// a head variable resolving to a Skolem term prunes the disjunct (an
+/// invented value can never be a certain answer), and head variables that
+/// unify with each other surface as the free-variable equalities of the
+/// paper's UCQ= normal form.
+///
+/// The disjunct count is Π_i (#matching head atoms for atom i) — worst-case
+/// exponential in |Q|, which is exactly why MaximumRecovery (Section 4)
+/// inherits exponential cost while PolySOInverse (Section 5) avoids
+/// rewriting altogether.
+
+#ifndef MAPINV_REWRITE_REWRITE_H_
+#define MAPINV_REWRITE_REWRITE_H_
+
+#include "base/status.h"
+#include "logic/cq.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+struct RewriteOptions {
+  /// Drop disjuncts subsumed by other disjuncts (containment test).
+  bool minimize = true;
+  /// Abort with kResourceExhausted beyond this many (pre-minimisation)
+  /// disjuncts.
+  size_t max_disjuncts = 1u << 20;
+};
+
+/// \brief Computes the UCQ= source rewriting of `target_query` under the
+/// mapping's tgds. The result's head is target_query.head.
+Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
+                                  const ConjunctiveQuery& target_query,
+                                  const RewriteOptions& options = {});
+
+/// \brief Rewriting over an arbitrary plain SO-tgd mapping: the same
+/// resolution engine against rule heads with (shared) function terms. A
+/// function symbol used by several rules identifies their invented values,
+/// so e.g. Takes(n,c) → Enrollment(f(n),c) rewrites the self-join
+/// Enrollment(s,c₁) ∧ Enrollment(s,c₂) into Takes(n,c₁) ∧ Takes(n,c₂) —
+/// tgd-derived Skolems never share symbols, which is exactly the extra
+/// expressiveness of Section 5.1.
+Result<UnionCq> RewriteOverSourceSO(const SOTgdMapping& mapping,
+                                    const ConjunctiveQuery& target_query,
+                                    const RewriteOptions& options = {});
+
+}  // namespace mapinv
+
+#endif  // MAPINV_REWRITE_REWRITE_H_

@@ -1,0 +1,165 @@
+// Unit tests for the base layer: Status/Result, interning, fresh symbols.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+#include "base/symbols.h"
+
+namespace mapinv {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad arity");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Malformed("x").code(), StatusCode::kMalformed);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(b.message(), "missing");
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "unsupported");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  MAPINV_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = -1;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseHalf(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 4);  // untouched on error
+}
+
+TEST(InternerTest, RoundTrips) {
+  Interner interner;
+  uint32_t a = interner.Intern("alpha");
+  uint32_t b = interner.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.Text(a), "alpha");
+  EXPECT_EQ(interner.Text(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, LookupWithoutInsert) {
+  Interner interner;
+  EXPECT_EQ(interner.Lookup("ghost"), UINT32_MAX);
+  uint32_t id = interner.Intern("ghost");
+  EXPECT_EQ(interner.Lookup("ghost"), id);
+}
+
+TEST(InternerTest, BadIdRendersDiagnostic) {
+  Interner interner;
+  EXPECT_EQ(interner.Text(999), "<bad-id:999>");
+}
+
+TEST(InternerTest, ConcurrentInterningIsConsistent) {
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kNames));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kNames; ++i) {
+        ids[t][i] = interner.Intern("name" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t], ids[0]);
+  EXPECT_EQ(interner.size(), static_cast<size_t>(kNames));
+}
+
+TEST(SymbolsTest, VariablePoolRoundTrip) {
+  VarId x = InternVar("x");
+  EXPECT_EQ(VarName(x), "x");
+  EXPECT_EQ(InternVar("x"), x);
+}
+
+TEST(SymbolsTest, FreshVarsNeverCollideWithUserNames) {
+  FreshVarGen gen("t");
+  VarId a = gen.Next();
+  VarId b = gen.Next();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(VarName(a)[0], '?');  // sigil unreachable from the parser
+}
+
+TEST(SymbolsTest, FreshFunctionsAreDistinct) {
+  FreshFunctionGen gen("sk");
+  std::set<FunctionId> seen;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(seen.insert(gen.Next()).second);
+}
+
+TEST(SymbolsTest, HashCombineSpreadsValues) {
+  size_t a = 0, b = 0;
+  HashCombine(a, 1);
+  HashCombine(b, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mapinv

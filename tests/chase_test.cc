@@ -1,0 +1,335 @@
+// Unit tests for the chase engines: tgd chase, reverse (disjunctive) chase,
+// SO-tgd chase, SO-inverse chase, round trips.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_reverse.h"
+#include "chase/chase_so.h"
+#include "chase/chase_tgd.h"
+#include "chase/round_trip.h"
+#include "eval/hom.h"
+
+namespace mapinv {
+namespace {
+
+// Example 3.1: M given by R(x,y) ∧ S(y,z) → T(x,z).
+TgdMapping JoinMapping() {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z"})};
+  return TgdMapping(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 2}}, {tgd});
+}
+
+Instance JoinSource() {
+  Instance inst(Schema{{"R", 2}, {"S", 2}});
+  EXPECT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  EXPECT_TRUE(inst.AddInts("R", {3, 4}).ok());
+  EXPECT_TRUE(inst.AddInts("S", {2, 5}).ok());
+  return inst;
+}
+
+TEST(ChaseTgdTest, FullTgdProducesExactJoin) {
+  TgdMapping m = JoinMapping();
+  Instance target = *ChaseTgds(m, JoinSource());
+  EXPECT_EQ(target.ToString(), "{ T(1,5) }");
+}
+
+TEST(ChaseTgdTest, ExistentialsGetFreshNulls) {
+  // T(x,y) -> EXISTS u . R(x,u) applied to {T(1,5)}.
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("T", {"x", "y"})};
+  tgd.conclusion = {Atom::Vars("R", {"x", "u"})};
+  TgdMapping m(Schema{{"T", 2}}, Schema{{"R", 2}}, {tgd});
+  Instance input(Schema{{"T", 2}});
+  ASSERT_TRUE(input.AddInts("T", {1, 5}).ok());
+  Instance out = *ChaseTgds(m, input);
+  RelationId r = out.schema().Find("R");
+  ASSERT_EQ(out.tuples(r).size(), 1u);
+  EXPECT_EQ(out.tuples(r)[0][0], Value::Int(1));
+  EXPECT_TRUE(out.tuples(r)[0][1].is_null());
+}
+
+TEST(ChaseTgdTest, StandardChaseSkipsSatisfiedTriggers) {
+  // A(x) -> EXISTS y . P(x,y) and B(x) -> P(x,x): for I = {A(1), B(1)}, the
+  // standard chase may satisfy the first tgd via P(1,1) if fired second, but
+  // firing order is dependency order, so we get P(1,n) then P(1,1). Use the
+  // reversed order to observe the skip.
+  Tgd t1;
+  t1.premise = {Atom::Vars("B", {"x"})};
+  t1.conclusion = {Atom::Vars("P", {"x", "x"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("A", {"x"})};
+  t2.conclusion = {Atom::Vars("P", {"x", "y"})};
+  TgdMapping m(Schema{{"A", 1}, {"B", 1}}, Schema{{"P", 2}}, {t1, t2});
+  Instance input(Schema{{"A", 1}, {"B", 1}});
+  ASSERT_TRUE(input.AddInts("A", {1}).ok());
+  ASSERT_TRUE(input.AddInts("B", {1}).ok());
+  Instance standard = *ChaseTgds(m, input);
+  EXPECT_EQ(standard.TotalSize(), 1u);  // P(1,1) satisfies both
+  ChaseOptions oblivious;
+  oblivious.oblivious = true;
+  Instance naive = *ChaseTgds(m, input, oblivious);
+  EXPECT_EQ(naive.TotalSize(), 2u);  // P(1,1) and P(1,_N)
+}
+
+TEST(ChaseTgdTest, MultiAtomConclusionSharesExistential) {
+  // R(x) -> EXISTS y . T(x,y), U(y): the same null must appear in both.
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "y"}), Atom::Vars("U", {"y"})};
+  TgdMapping m(Schema{{"R", 1}}, Schema{{"T", 2}, {"U", 1}}, {tgd});
+  Instance input(Schema{{"R", 1}});
+  ASSERT_TRUE(input.AddInts("R", {1}).ok());
+  Instance out = *ChaseTgds(m, input);
+  RelationId t = out.schema().Find("T");
+  RelationId u = out.schema().Find("U");
+  ASSERT_EQ(out.tuples(t).size(), 1u);
+  ASSERT_EQ(out.tuples(u).size(), 1u);
+  EXPECT_EQ(out.tuples(t)[0][1], out.tuples(u)[0][0]);
+}
+
+TEST(ChaseTgdTest, CertainAnswers) {
+  // certain(T(x,z), I) for the join mapping: exactly the join tuples.
+  TgdMapping m = JoinMapping();
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("z")};
+  q.atoms = {Atom::Vars("T", {"x", "z"})};
+  AnswerSet ans = *CertainAnswersTgd(m, JoinSource(), q);
+  ASSERT_EQ(ans.tuples.size(), 1u);
+  EXPECT_EQ(ans.tuples[0], Tuple({Value::Int(1), Value::Int(5)}));
+}
+
+TEST(ChaseTgdTest, ResourceLimitEnforced) {
+  TgdMapping m = JoinMapping();
+  Instance big(Schema{{"R", 2}, {"S", 2}});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(big.AddInts("R", {i, 1000}).ok());
+    ASSERT_TRUE(big.AddInts("S", {1000, i}).ok());
+  }
+  ChaseOptions tight;
+  tight.max_new_facts = 10;
+  EXPECT_EQ(ChaseTgds(m, big, tight).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// Reverse mapping M' of Example 3.1: T(x,y) -> EXISTS u . R(x,u).
+ReverseMapping ReverseRFromT(const TgdMapping& m) {
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "u"})};
+  dep.disjuncts = {d};
+  return ReverseMapping(m.target, m.source, {dep});
+}
+
+TEST(ChaseReverseTest, SingleDisjunctRecovery) {
+  TgdMapping m = JoinMapping();
+  ReverseMapping rm = ReverseRFromT(m);
+  ASSERT_TRUE(rm.Validate().ok());
+  Instance target(Schema{{"T", 2}});
+  ASSERT_TRUE(target.AddInts("T", {1, 5}).ok());
+  Instance back = *ChaseReverse(rm, target);
+  RelationId r = back.schema().Find("R");
+  ASSERT_EQ(back.tuples(r).size(), 1u);
+  EXPECT_EQ(back.tuples(r)[0][0], Value::Int(1));
+  EXPECT_TRUE(back.tuples(r)[0][1].is_null());
+}
+
+TEST(ChaseReverseTest, ConstantGuardBlocksNulls) {
+  TgdMapping m = JoinMapping();
+  ReverseMapping rm = ReverseRFromT(m);
+  Instance target(Schema{{"T", 2}});
+  ASSERT_TRUE(target.Add("T", {Value::FreshNull(), Value::Int(5)}).ok());
+  Instance back = *ChaseReverse(rm, target);
+  EXPECT_EQ(back.TotalSize(), 0u);  // C(x) fails on the null
+}
+
+TEST(ChaseReverseTest, InequalityGuard) {
+  Schema tschema{{"T", 2}};
+  Schema sschema{{"R", 2}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  dep.inequalities = {{InternVar("x"), InternVar("y")}};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "y"})};
+  dep.disjuncts = {d};
+  ReverseMapping rm(std::make_shared<const Schema>(tschema),
+                    std::make_shared<const Schema>(sschema), {dep});
+  Instance target(tschema);
+  ASSERT_TRUE(target.AddInts("T", {1, 1}).ok());
+  ASSERT_TRUE(target.AddInts("T", {1, 2}).ok());
+  Instance back = *ChaseReverse(rm, target);
+  EXPECT_EQ(back.ToString(), "{ R(1,2) }");
+}
+
+TEST(ChaseReverseTest, DisjunctionForksWorlds) {
+  // D(x) -> A(x) ∨ B(x) over {D(1)}: two worlds.
+  Schema tschema{{"D", 1}};
+  Schema sschema{{"A", 1}, {"B", 1}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("D", {"x"})};
+  dep.constant_vars = {InternVar("x")};
+  ReverseDisjunct da;
+  da.atoms = {Atom::Vars("A", {"x"})};
+  ReverseDisjunct db;
+  db.atoms = {Atom::Vars("B", {"x"})};
+  dep.disjuncts = {da, db};
+  ReverseMapping rm(std::make_shared<const Schema>(tschema),
+                    std::make_shared<const Schema>(sschema), {dep});
+  Instance target(tschema);
+  ASSERT_TRUE(target.AddInts("D", {1}).ok());
+  std::vector<Instance> worlds = *ChaseReverseWorlds(rm, target);
+  ASSERT_EQ(worlds.size(), 2u);
+  // Certain answers of A(x): empty (only one world has A(1)).
+  ConjunctiveQuery qa;
+  qa.head = {InternVar("x")};
+  qa.atoms = {Atom::Vars("A", {"x"})};
+  AnswerSet certain = *CertainAnswersReverse(rm, target, qa);
+  EXPECT_TRUE(certain.tuples.empty());
+}
+
+TEST(ChaseReverseTest, EqualityDisjunctApplicability) {
+  // P(x,y) -> (A(x,y) with x=y) ∨ B(x): on P(1,1) both apply; on P(1,2)
+  // only B.
+  Schema tschema{{"P", 2}};
+  Schema sschema{{"A", 2}, {"B", 1}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("P", {"x", "y"})};
+  ReverseDisjunct da;
+  da.atoms = {Atom::Vars("A", {"x", "y"})};
+  da.equalities = {{InternVar("x"), InternVar("y")}};
+  ReverseDisjunct db;
+  db.atoms = {Atom::Vars("B", {"x"})};
+  dep.disjuncts = {da, db};
+  ReverseMapping rm(std::make_shared<const Schema>(tschema),
+                    std::make_shared<const Schema>(sschema), {dep});
+  Instance t1(tschema);
+  ASSERT_TRUE(t1.AddInts("P", {1, 2}).ok());
+  std::vector<Instance> w1 = *ChaseReverseWorlds(rm, t1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_EQ(w1[0].ToString(), "{ B(1) }");
+  Instance t2(tschema);
+  ASSERT_TRUE(t2.AddInts("P", {1, 1}).ok());
+  std::vector<Instance> w2 = *ChaseReverseWorlds(rm, t2);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(ChaseReverseTest, WorldLimitEnforced) {
+  Schema tschema{{"D", 1}};
+  Schema sschema{{"A", 1}, {"B", 1}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("D", {"x"})};
+  ReverseDisjunct da;
+  da.atoms = {Atom::Vars("A", {"x"})};
+  ReverseDisjunct db;
+  db.atoms = {Atom::Vars("B", {"x"})};
+  dep.disjuncts = {da, db};
+  ReverseMapping rm(std::make_shared<const Schema>(tschema),
+                    std::make_shared<const Schema>(sschema), {dep});
+  Instance target(tschema);
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(target.AddInts("D", {i}).ok());
+  ChaseOptions tight;
+  tight.max_worlds = 16;
+  EXPECT_EQ(ChaseReverseWorlds(rm, target, tight).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ChaseSOTest, SkolemTableReusesNulls) {
+  // Takes(n,c) -> Enrollment(f(n),c): Example 5.1/5.2 — one id per name.
+  SORule rule;
+  rule.premise = {Atom::Vars("Takes", {"n", "c"})};
+  rule.conclusion = {
+      Atom("Enrollment", {Term::Fn("f", {Term::Var("n")}), Term::Var("c")})};
+  SOTgdMapping m(std::make_shared<const Schema>(Schema{{"Takes", 2}}),
+                 std::make_shared<const Schema>(Schema{{"Enrollment", 2}}),
+                 SOTgd{{rule}});
+  ASSERT_TRUE(m.Validate().ok());
+  Instance source(Schema{{"Takes", 2}});
+  ASSERT_TRUE(source.Add("Takes", {Value::MakeConstant("n1"),
+                                   Value::MakeConstant("c1")}).ok());
+  ASSERT_TRUE(source.Add("Takes", {Value::MakeConstant("n1"),
+                                   Value::MakeConstant("c2")}).ok());
+  ASSERT_TRUE(source.Add("Takes", {Value::MakeConstant("n2"),
+                                   Value::MakeConstant("c1")}).ok());
+  Instance target = *ChaseSOTgd(m, source);
+  RelationId e = target.schema().Find("Enrollment");
+  ASSERT_EQ(target.tuples(e).size(), 3u);
+  // f(n1) identical across the two courses, distinct from f(n2).
+  Value id_n1_a, id_n1_b, id_n2;
+  for (const Tuple& t : target.tuples(e)) {
+    if (t[1] == Value::MakeConstant("c2")) {
+      id_n1_b = t[0];
+    } else if (t[0] == target.tuples(e)[0][0]) {
+      id_n1_a = t[0];
+    }
+  }
+  id_n1_a = target.tuples(e)[0][0];
+  id_n2 = target.tuples(e)[2][0];
+  EXPECT_EQ(id_n1_a, id_n1_b);
+  EXPECT_NE(id_n1_a, id_n2);
+}
+
+TEST(ChaseSOTest, PaperRule9CanonicalInstance) {
+  // R(x,y,z) -> T(x, f(y), f(y), g(x,z)) over {R(1,2,3)} gives
+  // {T(1,a,a,b)} with a ≠ b — the Section 5.2 walkthrough.
+  SORule rule;
+  rule.premise = {Atom::Vars("R", {"x", "y", "z"})};
+  rule.conclusion = {
+      Atom("T", {Term::Var("x"), Term::Fn("f", {Term::Var("y")}),
+                 Term::Fn("f", {Term::Var("y")}),
+                 Term::Fn("g", {Term::Var("x"), Term::Var("z")})})};
+  SOTgdMapping m(std::make_shared<const Schema>(Schema{{"R", 3}}),
+                 std::make_shared<const Schema>(Schema{{"T", 4}}),
+                 SOTgd{{rule}});
+  Instance source(Schema{{"R", 3}});
+  ASSERT_TRUE(source.AddInts("R", {1, 2, 3}).ok());
+  Instance target = *ChaseSOTgd(m, source);
+  RelationId t = target.schema().Find("T");
+  ASSERT_EQ(target.tuples(t).size(), 1u);
+  const Tuple& tuple = target.tuples(t)[0];
+  EXPECT_EQ(tuple[0], Value::Int(1));
+  EXPECT_TRUE(tuple[1].is_null());
+  EXPECT_EQ(tuple[1], tuple[2]);
+  EXPECT_TRUE(tuple[3].is_null());
+  EXPECT_NE(tuple[1], tuple[3]);
+}
+
+TEST(RoundTripTest, JoinMappingRecoversFirstColumn) {
+  // Example 3.1 end-to-end: M ∘ M' with M' = T(x,y) → ∃u R(x,u); the
+  // certain answers of Q(x) = ∃y R(x,y) over the round trip are {1} ⊆ {1,3}.
+  TgdMapping m = JoinMapping();
+  ReverseMapping rm = ReverseRFromT(m);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"})};
+  AnswerSet certain = *RoundTripCertain(m, rm, JoinSource(), q);
+  ASSERT_EQ(certain.tuples.size(), 1u);
+  EXPECT_EQ(certain.tuples[0], Tuple({Value::Int(1)}));
+  // Direct evaluation gives {1, 3}: the recovery is sound (⊆).
+  AnswerSet direct = *EvaluateCq(q, JoinSource());
+  EXPECT_TRUE(certain.SubsetOf(direct));
+}
+
+TEST(RoundTripTest, BetterRecoveryRecoversJoin) {
+  // M'' = T(x,y) → ∃u (R(x,u) ∧ S(u,y)) recovers the join answer (1,5)
+  // (Example 3.3).
+  TgdMapping m = JoinMapping();
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "u"}), Atom::Vars("S", {"u", "y"})};
+  dep.disjuncts = {d};
+  ReverseMapping rm(m.target, m.source, {dep});
+  ConjunctiveQuery join;
+  join.head = {InternVar("x"), InternVar("y")};
+  join.atoms = {Atom::Vars("R", {"x", "z"}), Atom::Vars("S", {"z", "y"})};
+  AnswerSet certain = *RoundTripCertain(m, rm, JoinSource(), join);
+  ASSERT_EQ(certain.tuples.size(), 1u);
+  EXPECT_EQ(certain.tuples[0], Tuple({Value::Int(1), Value::Int(5)}));
+}
+
+}  // namespace
+}  // namespace mapinv

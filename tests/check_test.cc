@@ -1,0 +1,234 @@
+// Tests for the semantic property checkers (check/properties.h) — including
+// the operational forms of the Fagin-inverse machinery from [10] (the
+// PODS'06 "Inverting schema mappings" notions: identity mapping, subset
+// property, unique-solutions property) and Theorem 3.5-style behaviour.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/maximum_recovery.h"
+#include "mapgen/generators.h"
+
+namespace mapinv {
+namespace {
+
+TgdMapping JoinMapping() {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z"})};
+  return TgdMapping(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 2}}, {tgd});
+}
+
+TEST(CheckTest, PerRelationQueriesCoverSchema) {
+  Schema s{{"R", 2}, {"S", 3}};
+  std::vector<ConjunctiveQuery> qs = PerRelationQueries(s);
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_EQ(qs[0].head.size(), 2u);
+  EXPECT_EQ(qs[1].head.size(), 3u);
+  EXPECT_TRUE(qs[0].Validate(s).ok());
+}
+
+TEST(CheckTest, CqMaximumRecoveryPassesCRecoveryCheck) {
+  TgdMapping m = JoinMapping();
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  std::vector<Instance> sources;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    sources.push_back(GenerateInstance(*m.source, 6, 4, seed));
+  }
+  auto violation =
+      *CheckCRecovery(m, rec, sources, PerRelationQueries(*m.source));
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->description : "");
+}
+
+TEST(CheckTest, UnsoundReverseMappingIsCaught) {
+  // T(x,y) → S(x,y) is NOT sound for the join mapping: it claims the pair
+  // (x,z) of the join is an S-fact.
+  TgdMapping m = JoinMapping();
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("S", {"x", "y"})};
+  dep.disjuncts = {d};
+  ReverseMapping unsound(m.target, m.source, {dep});
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+  auto violation =
+      *CheckCRecovery(m, unsound, {source}, PerRelationQueries(*m.source));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->description.find("C-recovery violated"),
+            std::string::npos);
+}
+
+TEST(CheckTest, MaximumRecoveryDominatesNaive) {
+  TgdMapping m = JoinMapping();
+  ReverseMapping maxrec = *CqMaximumRecovery(m);
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "u"})};
+  dep.disjuncts = {d};
+  ReverseMapping naive(m.target, m.source, {dep});
+  std::vector<Instance> sources = {GenerateInstance(*m.source, 5, 4, 7)};
+  auto violation = *CheckRecoveryDominance(m, maxrec, naive, sources,
+                                           PerRelationQueries(*m.source));
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->description : "");
+}
+
+TEST(FaginTest, CopyMappingRoundTripIsIdentity) {
+  // Copy mappings are Fagin-invertible; the CQ-maximum recovery acts as the
+  // identity on every source instance.
+  TgdMapping m = CopyMapping(2, 2);
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  for (uint64_t seed : {11u, 12u}) {
+    Instance source = GenerateInstance(*m.source, 5, 6, seed);
+    EXPECT_TRUE(*RoundTripIsIdentity(m, rec, source));
+  }
+}
+
+TEST(FaginTest, ProjectionMappingRoundTripIsNotIdentity) {
+  // Rᵢ(x,y) → Tᵢ(x) loses the second column: no recovery can restore it.
+  TgdMapping m = ProjectionMapping(1);
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R0", {1, 2}).ok());
+  EXPECT_FALSE(*RoundTripIsIdentity(m, rec, source));
+}
+
+TEST(FaginTest, SubsetPropertyHoldsForCopyMapping) {
+  // Copy mappings have the subset property on all pairs (they are
+  // invertible, [10]).
+  TgdMapping m = CopyMapping(1, 2);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Instance i1 = GenerateInstance(*m.source, 3, 3, seed);
+    Instance i2 = GenerateInstance(*m.source, 3, 3, seed + 100);
+    EXPECT_TRUE(*SubsetPropertyHolds(m, i1, i2)) << seed;
+    EXPECT_TRUE(*UniqueSolutionsPropertyHolds(m, i1, i2)) << seed;
+  }
+}
+
+TEST(FaginTest, ProjectionMappingViolatesSubsetProperty) {
+  // For R(x,y) → T(x): I₁ = {R(1,2)} and I₂ = {R(1,3)} have the same
+  // solution space but are incomparable — the subset property fails, so the
+  // mapping is not Fagin-invertible.
+  TgdMapping m = ProjectionMapping(1);
+  Instance i1(*m.source);
+  ASSERT_TRUE(i1.AddInts("R0", {1, 2}).ok());
+  Instance i2(*m.source);
+  ASSERT_TRUE(i2.AddInts("R0", {1, 3}).ok());
+  EXPECT_TRUE(*DataExchangeEquivalent(m, i1, i2));
+  EXPECT_FALSE(*SubsetPropertyHolds(m, i1, i2));
+  EXPECT_FALSE(*UniqueSolutionsPropertyHolds(m, i1, i2));
+}
+
+TEST(FaginTest, SolutionsContainedIsMonotoneInSource) {
+  // More source facts ⇒ fewer solutions: Sol(I ∪ J) ⊆ Sol(I).
+  TgdMapping m = JoinMapping();
+  Instance small(*m.source);
+  ASSERT_TRUE(small.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(small.AddInts("S", {2, 5}).ok());
+  Instance big = small;
+  ASSERT_TRUE(big.AddInts("R", {7, 8}).ok());
+  ASSERT_TRUE(big.AddInts("S", {8, 9}).ok());
+  EXPECT_TRUE(*SolutionsContained(m, small, big));
+  EXPECT_FALSE(*SolutionsContained(m, big, small));
+}
+
+TEST(DataExchangeEquivalenceTest, RenamedJoinPartnersAreEquivalent) {
+  // Under the join mapping, I₁ = {R(1,2), S(2,5)} and I₂ = {R(1,3), S(3,5)}
+  // produce the same target requirement T(1,5): equivalent. But
+  // {R(1,2)} alone (no join) differs.
+  TgdMapping m = JoinMapping();
+  Instance i1(*m.source);
+  ASSERT_TRUE(i1.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(i1.AddInts("S", {2, 5}).ok());
+  Instance i2(*m.source);
+  ASSERT_TRUE(i2.AddInts("R", {1, 3}).ok());
+  ASSERT_TRUE(i2.AddInts("S", {3, 5}).ok());
+  EXPECT_TRUE(*DataExchangeEquivalent(m, i1, i2));
+  Instance i3(*m.source);
+  ASSERT_TRUE(i3.AddInts("R", {1, 2}).ok());
+  EXPECT_FALSE(*DataExchangeEquivalent(m, i1, i3));
+  // ~_M is the quasi-inverse notion's equivalence: i3 is equivalent to the
+  // empty instance (both have every target instance as a solution).
+  Instance empty(*m.source);
+  EXPECT_TRUE(*DataExchangeEquivalent(m, i3, empty));
+}
+
+TEST(CqEquivalenceTest, Lemma43OnPaperDependencies) {
+  // Σ'' = dependency (4) vs Σ* = dependency (5): conjunctive-query
+  // equivalent (Lemma 4.3) — checked on the paper's probe {A(1,2,2)} plus
+  // random inputs.
+  VarId x1 = InternVar("x1"), x2 = InternVar("x2");
+  auto premise_schema = std::make_shared<const Schema>(Schema{{"A", 3}});
+  auto conclusion_schema =
+      std::make_shared<const Schema>(Schema{{"P", 2}, {"R", 2}});
+
+  ReverseDependency dep4;
+  dep4.premise = {Atom::Vars("A", {"x1", "x2", "x2"})};
+  dep4.constant_vars = {x1, x2};
+  dep4.inequalities = {{x1, x2}};
+  ReverseDisjunct d41;
+  d41.atoms = {Atom::Vars("P", {"x1", "x2"}), Atom::Vars("R", {"x1", "x1"})};
+  ReverseDisjunct d42;
+  d42.atoms = {Atom::Vars("P", {"x1", "y"}), Atom::Vars("R", {"x2", "x2"})};
+  dep4.disjuncts = {d41, d42};
+  ReverseMapping sigma2(premise_schema, conclusion_schema, {dep4});
+
+  ReverseDependency dep5;
+  dep5.premise = {Atom::Vars("A", {"x1", "x2", "x2"})};
+  dep5.constant_vars = {x1, x2};
+  dep5.inequalities = {{x1, x2}};
+  ReverseDisjunct d5;
+  d5.atoms = {Atom::Vars("P", {"x1", "z1"}), Atom::Vars("R", {"z2", "z2"})};
+  dep5.disjuncts = {d5};
+  ReverseMapping sigma_star(premise_schema, conclusion_schema, {dep5});
+
+  std::vector<Instance> inputs;
+  Instance probe(*premise_schema);
+  ASSERT_TRUE(probe.AddInts("A", {1, 2, 2}).ok());
+  inputs.push_back(probe);
+  inputs.push_back(GenerateInstance(*premise_schema, 4, 3, 5));
+
+  // Probe queries over the conclusion schema: per-relation projections and
+  // a join.
+  std::vector<ConjunctiveQuery> queries =
+      PerRelationQueries(*conclusion_schema);
+  ConjunctiveQuery join;
+  join.head = {InternVar("a")};
+  join.atoms = {Atom::Vars("P", {"a", "b"}), Atom::Vars("R", {"c", "c"})};
+  queries.push_back(join);
+
+  auto violation = *CheckCqEquivalentReverse(sigma2, sigma_star, inputs,
+                                             queries);
+  EXPECT_FALSE(violation.has_value())
+      << (violation ? violation->description : "");
+}
+
+TEST(CqEquivalenceTest, DetectsInequivalentMappings) {
+  auto premise_schema = std::make_shared<const Schema>(Schema{{"D", 1}});
+  auto conclusion_schema = std::make_shared<const Schema>(Schema{{"A", 1}});
+  ReverseDependency keep;
+  keep.premise = {Atom::Vars("D", {"x"})};
+  keep.constant_vars = {InternVar("x")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("A", {"x"})};
+  keep.disjuncts = {d};
+  ReverseMapping m1(premise_schema, conclusion_schema, {keep});
+  ReverseDependency drop = keep;
+  drop.disjuncts[0].atoms = {Atom::Vars("A", {"y"})};  // ∃y A(y): weaker
+  ReverseMapping m2(premise_schema, conclusion_schema, {drop});
+  Instance input(*premise_schema);
+  ASSERT_TRUE(input.AddInts("D", {1}).ok());
+  auto violation = *CheckCqEquivalentReverse(
+      m1, m2, {input}, PerRelationQueries(*conclusion_schema));
+  EXPECT_TRUE(violation.has_value());
+}
+
+}  // namespace
+}  // namespace mapinv

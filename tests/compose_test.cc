@@ -1,0 +1,130 @@
+// Tests for SO-tgd composition (inversion/compose.h).
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_so.h"
+#include "inversion/compose.h"
+#include "parser/parser.h"
+#include "rewrite/skolemize.h"
+
+namespace mapinv {
+namespace {
+
+TEST(ComposeTest, SimpleRelayComposesToDirectRule) {
+  // A(x,y) -> M(x,y); M(x,y) -> Z(y,x)  composes to  A(x,y) -> Z(y,x).
+  auto m12 = ParseTgdMapping("A(x,y) -> M(x,y)");
+  auto m23 = ParseTgdMapping("M(x,y) -> Z(y,x)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
+  ASSERT_EQ(composed.so.rules.size(), 1u);
+  EXPECT_EQ(composed.so.rules[0].premise[0].relation, InternRelation("A"));
+  EXPECT_EQ(composed.so.rules[0].conclusion[0].relation, InternRelation("Z"));
+  EXPECT_TRUE(composed.Validate().ok());
+}
+
+TEST(ComposeTest, JoinInMiddleMapping) {
+  // A(x,y) -> M(x,y) and B(x,y) -> N(x,y); M(x,z), N(z,y) -> Z(x,y)
+  // composes to A(x,z), B(z,y) -> Z(x,y).
+  auto m12 = ParseTgdMapping("A(x,y) -> M(x,y)\nB(x,y) -> N(x,y)");
+  auto m23 = ParseTgdMapping("M(x,z), N(z,y) -> Z(x,y)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
+  ASSERT_EQ(composed.so.rules.size(), 1u);
+  EXPECT_EQ(composed.so.rules[0].premise.size(), 2u);
+
+  // Semantics: chase {A(1,2), B(2,3)} through the composition = chasing
+  // through both mappings in sequence.
+  Instance source(*composed.source);
+  ASSERT_TRUE(source.AddInts("A", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("B", {2, 3}).ok());
+  Instance direct = *ChaseSOTgd(composed, source);
+  EXPECT_EQ(direct.ToString(), "{ Z(1,3) }");
+}
+
+TEST(ComposeTest, SkolemsNestThroughComposition) {
+  // A(x) -> EXISTS y . M(x,y); M(x,y) -> EXISTS z . Z(y,z): the composed
+  // conclusion nests one invented value inside another's scope.
+  auto m12 = ParseTgdMapping("A(x) -> EXISTS y . M(x,y)");
+  auto m23 = ParseTgdMapping("M(x,y) -> EXISTS z . Z(y,z)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
+  ASSERT_EQ(composed.so.rules.size(), 1u);
+  const Atom& conclusion = composed.so.rules[0].conclusion[0];
+  // Z(sk1(x), sk2(...)) — the first argument is the first mapping's Skolem.
+  EXPECT_TRUE(conclusion.terms[0].is_function());
+  // Chase behaviour: {A(1)} yields a single Z fact with two nulls.
+  Instance source(*composed.source);
+  ASSERT_TRUE(source.AddInts("A", {1}).ok());
+  Instance target = *ChaseSOTgd(composed, source);
+  RelationId z = target.schema().Find("Z");
+  ASSERT_EQ(target.tuples(z).size(), 1u);
+  EXPECT_TRUE(target.tuples(z)[0][0].is_null());
+  EXPECT_TRUE(target.tuples(z)[0][1].is_null());
+}
+
+TEST(ComposeTest, UnificationClashPrunesCombination) {
+  // First produces only M(x,x); second requires M(x,y) with x,y feeding
+  // different target positions — still composes (x=y). But a repeated
+  // Skolem pattern that cannot match is pruned: first produces M(f(x),x),
+  // second needs M(u,u) ⇒ f(x)=x fails the occurs check.
+  auto m12 = ParseSOTgdMapping("A(x) -> M(f(x),x)");
+  auto m23 = ParseTgdMapping("M(u,u) -> Z(u)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  auto m23so = ParseSOTgdMapping("M(u,u) -> Z(u)");
+  ASSERT_TRUE(m23so.ok());
+  SOTgdMapping composed = *ComposeSOTgds(*m12, *m23so);
+  EXPECT_TRUE(composed.so.rules.empty());
+}
+
+TEST(ComposeTest, MiddleSchemaMismatchRejected) {
+  auto m12 = ParseTgdMapping("A(x) -> M(x)");
+  auto m23 = ParseTgdMapping("W(x,y) -> Z(x)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  EXPECT_EQ(ComposeTgdMappings(*m12, *m23).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ComposeTest, SharedFunctionSymbolRejected) {
+  auto m12 = ParseSOTgdMapping("A(x) -> M(f(x))");
+  auto m23 = ParseSOTgdMapping("M(x) -> Z(f(x))");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  EXPECT_EQ(ComposeSOTgds(*m12, *m23).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(ComposeTest, MultipleProducersMultiplyRules) {
+  auto m12 = ParseTgdMapping("A(x) -> M(x)\nB(x) -> M(x)");
+  auto m23 = ParseTgdMapping("M(x) -> Z(x)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
+  EXPECT_EQ(composed.so.rules.size(), 2u);
+  ComposeOptions tight;
+  tight.max_rules = 1;
+  EXPECT_EQ(ComposeTgdMappings(*m12, *m23, tight).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ComposeTest, SequentialChaseAgreesWithComposedChase) {
+  // Randomish end-to-end agreement check on a two-hop pipeline.
+  auto m12 = ParseTgdMapping("A(x,y) -> M(x,y), P(y)\nB(x) -> M(x,x)");
+  auto m23 = ParseTgdMapping("M(x,y) -> Z(x,y)\nP(x) -> Q(x)");
+  ASSERT_TRUE(m12.ok() && m23.ok());
+  SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
+  auto so12 = TgdsToPlainSOTgd(*m12);
+  auto so23 = TgdsToPlainSOTgd(*m23);
+  ASSERT_TRUE(so12.ok() && so23.ok());
+
+  Instance source(*m12->source);
+  ASSERT_TRUE(source.AddInts("A", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("A", {4, 4}).ok());
+  ASSERT_TRUE(source.AddInts("B", {7}).ok());
+  Instance mid = *ChaseSOTgd(*so12, source);
+  Instance sequential = *ChaseSOTgd(*so23, mid);
+  Instance direct = *ChaseSOTgd(composed, source);
+  EXPECT_TRUE(direct.EqualTo(sequential))
+      << "direct:     " << direct.ToString()
+      << "\nsequential: " << sequential.ToString();
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,82 @@
+// Tests for instance cores (eval/instance_core.h).
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_tgd.h"
+#include "eval/hom.h"
+#include "eval/instance_core.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+TEST(InstanceCoreTest, NullFreeInstanceIsItsOwnCore) {
+  Instance inst = ParseInstanceInferSchema("{ R(1,2), R(3,4) }").ValueOrDie();
+  EXPECT_TRUE(*IsCore(inst));
+  Instance core = CoreOfInstance(inst).ValueOrDie();
+  EXPECT_TRUE(core.EqualTo(inst));
+}
+
+TEST(InstanceCoreTest, RedundantNullFoldsOntoConstant) {
+  // { R(1,2), R(1,_N) }: the null row is dominated by the constant row.
+  Instance inst =
+      ParseInstanceInferSchema("{ R(1,2), R(1,_N0) }").ValueOrDie();
+  EXPECT_FALSE(*IsCore(inst));
+  Instance core = CoreOfInstance(inst).ValueOrDie();
+  EXPECT_EQ(core.ToString(), "{ R(1,2) }");
+}
+
+TEST(InstanceCoreTest, LinkedNullsSurvive) {
+  // { R(1,_N0), S(_N0,2) }: the null carries join information — no fold.
+  Instance inst =
+      ParseInstanceInferSchema("{ R(1,_N0), S(_N0,2) }").ValueOrDie();
+  EXPECT_TRUE(*IsCore(inst));
+}
+
+TEST(InstanceCoreTest, ParallelNullChainsCollapse) {
+  // Two parallel null chains from 1 to 2 fold into one.
+  Instance inst = ParseInstanceInferSchema(
+      "{ R(1,_N0), S(_N0,2), R(1,_N1), S(_N1,2) }").ValueOrDie();
+  EXPECT_FALSE(*IsCore(inst));
+  Instance core = CoreOfInstance(inst).ValueOrDie();
+  EXPECT_EQ(core.TotalSize(), 2u);
+  EXPECT_TRUE(*InstancesHomEquivalent(core, inst));
+}
+
+TEST(InstanceCoreTest, CoreIsHomEquivalentRetract) {
+  Instance inst = ParseInstanceInferSchema(
+      "{ E(_N0,_N1), E(_N1,_N2), E(1,1) }").ValueOrDie();
+  Instance core = CoreOfInstance(inst).ValueOrDie();
+  // The loop E(1,1) absorbs the null path: core = { E(1,1) }.
+  EXPECT_EQ(core.ToString(), "{ E(1,1) }");
+  EXPECT_TRUE(*InstancesHomEquivalent(core, inst));
+  EXPECT_TRUE(core.SubsetOf(inst));
+  EXPECT_TRUE(*IsCore(core));
+}
+
+TEST(InstanceCoreTest, ObliviousChaseCoresToStandardSize) {
+  // The oblivious chase of {A(1), B(1)} under A(x) -> ∃y P(x,y) and
+  // B(x) -> P(x,x) produces P(1,_N) and P(1,1); the core drops the null row
+  // — matching what the standard chase produces directly.
+  TgdMapping m =
+      ParseTgdMapping("A(x) -> EXISTS y . P(x,y)\nB(x) -> P(x,x)")
+          .ValueOrDie();
+  Instance source = ParseInstance("{ A(1), B(1) }", *m.source).ValueOrDie();
+  ChaseOptions oblivious;
+  oblivious.oblivious = true;
+  Instance naive = ChaseTgds(m, source, oblivious).ValueOrDie();
+  EXPECT_EQ(naive.TotalSize(), 2u);
+  Instance core = CoreOfInstance(naive).ValueOrDie();
+  EXPECT_EQ(core.ToString(), "{ P(1,1) }");
+}
+
+TEST(InstanceCoreTest, BlockOfInterchangeableNullsShrinksToOne) {
+  // Five facts R(_Ni) are all interchangeable: the core keeps one.
+  Instance inst = ParseInstanceInferSchema(
+      "{ R(_N0), R(_N1), R(_N2), R(_N3), R(_N4) }").ValueOrDie();
+  Instance core = CoreOfInstance(inst).ValueOrDie();
+  EXPECT_EQ(core.TotalSize(), 1u);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,195 @@
+// Unit tests for the data layer: values, schemas, instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/instance.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace mapinv {
+namespace {
+
+TEST(ValueTest, ConstantsInternBySpelling) {
+  Value a = Value::MakeConstant("alice");
+  Value b = Value::MakeConstant("alice");
+  Value c = Value::MakeConstant("bob");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.is_constant());
+  EXPECT_FALSE(a.is_null());
+  EXPECT_EQ(a.ToString(), "alice");
+}
+
+TEST(ValueTest, IntConstantsShareSpellingSpace) {
+  EXPECT_EQ(Value::Int(7), Value::MakeConstant("7"));
+  EXPECT_NE(Value::Int(7), Value::Int(8));
+}
+
+TEST(ValueTest, FreshNullsAreDistinctFromEverything) {
+  Value n1 = Value::FreshNull();
+  Value n2 = Value::FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.is_null());
+  EXPECT_NE(n1, Value::MakeConstant(n1.ToString()));
+  EXPECT_EQ(n1.ToString().substr(0, 2), "_N");
+}
+
+TEST(ValueTest, NullWithLabelIsDeterministic) {
+  EXPECT_EQ(Value::NullWithLabel(5), Value::NullWithLabel(5));
+  EXPECT_NE(Value::NullWithLabel(5), Value::NullWithLabel(6));
+}
+
+TEST(ValueTest, ConstantAndNullWithSameIdDiffer) {
+  Value c = Value::MakeConstant("x");
+  Value n = Value::NullWithLabel(c.id());
+  EXPECT_NE(c, n);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", 2).ok());
+  ASSERT_TRUE(s.AddRelation("T", 3).ok());
+  EXPECT_EQ(s.size(), 2u);
+  RelationId r = s.Find("R");
+  ASSERT_NE(r, kInvalidRelation);
+  EXPECT_EQ(s.arity(r), 2u);
+  EXPECT_EQ(s.name(r), "R");
+  EXPECT_EQ(s.Find("missing"), kInvalidRelation);
+}
+
+TEST(SchemaTest, ReAddSameArityIsIdempotent) {
+  Schema s;
+  RelationId first = *s.AddRelation("R", 2);
+  RelationId second = *s.AddRelation("R", 2);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SchemaTest, ReAddDifferentArityFails) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", 2).ok());
+  Result<RelationId> res = s.AddRelation("R", 3);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RequireReportsNotFound) {
+  Schema s;
+  EXPECT_EQ(s.Require("Z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, DisjointnessAndUnion) {
+  Schema a{{"R", 2}, {"S", 2}};
+  Schema b{{"T", 2}};
+  Schema c{{"R", 2}};
+  EXPECT_TRUE(a.DisjointFrom(b));
+  EXPECT_FALSE(a.DisjointFrom(c));
+  Result<Schema> u = Schema::Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  Schema clash{{"R", 3}};
+  EXPECT_FALSE(Schema::Union(a, clash).ok());
+}
+
+TEST(SchemaTest, InitializerListAndToString) {
+  Schema s{{"R", 2}, {"T", 3}};
+  EXPECT_EQ(s.ToString(), "{ R/2, T/3 }");
+}
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  Schema schema_{{"R", 2}, {"S", 2}};
+};
+
+TEST_F(InstanceTest, AddAndContains) {
+  Instance inst(schema_);
+  ASSERT_TRUE(*inst.AddInts("R", {1, 2}));
+  ASSERT_TRUE(*inst.AddInts("R", {3, 4}));
+  ASSERT_TRUE(*inst.AddInts("S", {2, 5}));
+  EXPECT_FALSE(*inst.AddInts("R", {1, 2}));  // duplicate
+  EXPECT_EQ(inst.TotalSize(), 3u);
+  RelationId r = schema_.Find("R");
+  EXPECT_TRUE(inst.Contains(r, {Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(inst.Contains(r, {Value::Int(2), Value::Int(1)}));
+}
+
+TEST_F(InstanceTest, ArityMismatchRejected) {
+  Instance inst(schema_);
+  Result<bool> res = inst.AddInts("R", {1, 2, 3});
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceTest, UnknownRelationRejected) {
+  Instance inst(schema_);
+  EXPECT_EQ(inst.AddInts("Z", {1}).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(InstanceTest, NullTracking) {
+  Instance inst(schema_);
+  ASSERT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  EXPECT_TRUE(inst.IsNullFree());
+  ASSERT_TRUE(inst.Add("S", {Value::Int(1), Value::FreshNull()}).ok());
+  EXPECT_FALSE(inst.IsNullFree());
+}
+
+TEST_F(InstanceTest, ActiveDomainDeduplicates) {
+  Instance inst(schema_);
+  ASSERT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(inst.AddInts("S", {2, 3}).ok());
+  std::vector<Value> dom = inst.ActiveDomain();
+  EXPECT_EQ(dom.size(), 3u);
+}
+
+TEST_F(InstanceTest, SubsetAndEquality) {
+  Instance a(schema_);
+  Instance b(schema_);
+  ASSERT_TRUE(a.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(b.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(b.AddInts("S", {2, 5}).ok());
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_FALSE(a.EqualTo(b));
+  ASSERT_TRUE(a.AddInts("S", {2, 5}).ok());
+  EXPECT_TRUE(a.EqualTo(b));
+}
+
+TEST_F(InstanceTest, UnionWith) {
+  Instance a(schema_);
+  Instance b(schema_);
+  ASSERT_TRUE(a.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(b.AddInts("S", {2, 5}).ok());
+  ASSERT_TRUE(a.UnionWith(b).ok());
+  EXPECT_EQ(a.TotalSize(), 2u);
+}
+
+TEST_F(InstanceTest, ToStringIsSortedAndStable) {
+  Instance inst(schema_);
+  ASSERT_TRUE(inst.AddInts("S", {2, 5}).ok());
+  ASSERT_TRUE(inst.AddInts("R", {3, 4}).ok());
+  ASSERT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  EXPECT_EQ(inst.ToString(), "{ R(1,2), R(3,4), S(2,5) }");
+}
+
+TEST_F(InstanceTest, AllFactsCoversEverything) {
+  Instance inst(schema_);
+  ASSERT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(inst.AddInts("S", {2, 5}).ok());
+  std::vector<Fact> facts = inst.AllFacts();
+  EXPECT_EQ(facts.size(), 2u);
+}
+
+TEST_F(InstanceTest, SubsetAcrossDifferentSchemaObjects) {
+  // Subset comparison resolves relations by name, not by id.
+  Schema reordered{{"S", 2}, {"R", 2}};
+  Instance a(schema_);
+  Instance b(reordered);
+  ASSERT_TRUE(a.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(b.AddInts("R", {1, 2}).ok());
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_TRUE(b.SubsetOf(a));
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,335 @@
+// Unit tests for the eval layer: homomorphism search, query evaluation,
+// containment and minimisation.
+
+#include <gtest/gtest.h>
+
+#include "eval/containment.h"
+#include "eval/hom.h"
+#include "eval/query_eval.h"
+
+namespace mapinv {
+namespace {
+
+Instance JoinInstance() {
+  // The running instance from Example 3.1: { R(1,2), R(3,4), S(2,5) }.
+  Instance inst(Schema{{"R", 2}, {"S", 2}});
+  EXPECT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  EXPECT_TRUE(inst.AddInts("R", {3, 4}).ok());
+  EXPECT_TRUE(inst.AddInts("S", {2, 5}).ok());
+  return inst;
+}
+
+TEST(HomSearchTest, EnumeratesAllHomomorphisms) {
+  Instance inst = JoinInstance();
+  HomSearch search(inst);
+  int count = 0;
+  ASSERT_TRUE(search
+                  .ForEachHom({Atom::Vars("R", {"x", "y"})}, HomConstraints{},
+                              Assignment{},
+                              [&](const Assignment& h) {
+                                EXPECT_EQ(h.size(), 2u);
+                                ++count;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(HomSearchTest, JoinAcrossAtoms) {
+  Instance inst = JoinInstance();
+  HomSearch search(inst);
+  std::vector<Assignment> homs;
+  ASSERT_TRUE(search
+                  .ForEachHom({Atom::Vars("R", {"x", "y"}),
+                               Atom::Vars("S", {"y", "z"})},
+                              HomConstraints{}, Assignment{},
+                              [&](const Assignment& h) {
+                                homs.push_back(h);
+                                return true;
+                              })
+                  .ok());
+  ASSERT_EQ(homs.size(), 1u);  // only R(1,2) joins S(2,5)
+  EXPECT_EQ(homs[0].at(InternVar("x")), Value::Int(1));
+  EXPECT_EQ(homs[0].at(InternVar("z")), Value::Int(5));
+}
+
+TEST(HomSearchTest, RepeatedVariableForcesEqualColumns) {
+  Instance inst(Schema{{"P", 2}});
+  ASSERT_TRUE(inst.AddInts("P", {1, 1}).ok());
+  ASSERT_TRUE(inst.AddInts("P", {1, 2}).ok());
+  HomSearch search(inst);
+  int count = 0;
+  ASSERT_TRUE(search
+                  .ForEachHom({Atom::Vars("P", {"x", "x"})}, HomConstraints{},
+                              Assignment{},
+                              [&](const Assignment&) {
+                                ++count;
+                                return true;
+                              })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HomSearchTest, ConstantTermsMatchExactly) {
+  Instance inst = JoinInstance();
+  HomSearch search(inst);
+  Atom a("R", {Term::Const(Value::Int(3)), Term::Var("y")});
+  auto exists = search.ExistsHom({a}, HomConstraints{});
+  ASSERT_TRUE(exists.ok());
+  EXPECT_TRUE(*exists);
+  Atom b("R", {Term::Const(Value::Int(9)), Term::Var("y")});
+  EXPECT_FALSE(*search.ExistsHom({b}, HomConstraints{}));
+}
+
+TEST(HomSearchTest, ConstantConstraintFiltersNulls) {
+  Instance inst(Schema{{"T", 2}});
+  Value null = Value::FreshNull();
+  ASSERT_TRUE(inst.Add("T", {Value::Int(1), null}).ok());
+  HomSearch search(inst);
+  HomConstraints constraints;
+  constraints.constant_vars.insert(InternVar("y"));
+  EXPECT_FALSE(
+      *search.ExistsHom({Atom::Vars("T", {"x", "y"})}, constraints));
+  HomConstraints only_x;
+  only_x.constant_vars.insert(InternVar("x"));
+  EXPECT_TRUE(*search.ExistsHom({Atom::Vars("T", {"x", "y"})}, only_x));
+}
+
+TEST(HomSearchTest, InequalityConstraint) {
+  Instance inst(Schema{{"P", 2}});
+  ASSERT_TRUE(inst.AddInts("P", {1, 1}).ok());
+  HomSearch search(inst);
+  HomConstraints constraints;
+  constraints.inequalities = {{InternVar("x"), InternVar("y")}};
+  EXPECT_FALSE(
+      *search.ExistsHom({Atom::Vars("P", {"x", "y"})}, constraints));
+  ASSERT_TRUE(inst.AddInts("P", {1, 2}).ok());
+  HomSearch search2(inst);
+  EXPECT_TRUE(
+      *search2.ExistsHom({Atom::Vars("P", {"x", "y"})}, constraints));
+}
+
+TEST(HomSearchTest, FixedBindingsRespected) {
+  Instance inst = JoinInstance();
+  HomSearch search(inst);
+  Assignment fixed{{InternVar("x"), Value::Int(3)}};
+  std::vector<Assignment> homs;
+  ASSERT_TRUE(search
+                  .ForEachHom({Atom::Vars("R", {"x", "y"})}, HomConstraints{},
+                              fixed,
+                              [&](const Assignment& h) {
+                                homs.push_back(h);
+                                return true;
+                              })
+                  .ok());
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(homs[0].at(InternVar("y")), Value::Int(4));
+}
+
+TEST(HomSearchTest, FunctionTermRejected) {
+  Instance inst = JoinInstance();
+  HomSearch search(inst);
+  Atom a("R", {Term::Fn("f", {Term::Var("x")}), Term::Var("y")});
+  EXPECT_EQ(search.ExistsHom({a}, HomConstraints{}).status().code(),
+            StatusCode::kMalformed);
+}
+
+TEST(InstanceHomTest, NullsMapFreely) {
+  Schema s{{"T", 2}};
+  Instance a(s);
+  Instance b(s);
+  Value null = Value::FreshNull();
+  ASSERT_TRUE(a.Add("T", {Value::Int(1), null}).ok());
+  ASSERT_TRUE(b.AddInts("T", {1, 7}).ok());
+  EXPECT_TRUE(*InstanceHomExists(a, b));   // null -> 7
+  EXPECT_FALSE(*InstanceHomExists(b, a));  // 7 is a constant, can't move
+}
+
+TEST(InstanceHomTest, EquivalenceOfRenamedNulls) {
+  Schema s{{"T", 2}};
+  Instance a(s);
+  Instance b(s);
+  ASSERT_TRUE(a.Add("T", {Value::Int(1), Value::FreshNull()}).ok());
+  ASSERT_TRUE(b.Add("T", {Value::Int(1), Value::FreshNull()}).ok());
+  EXPECT_TRUE(*InstancesHomEquivalent(a, b));
+}
+
+TEST(InstanceHomTest, SharedNullStructureMatters) {
+  Schema s{{"T", 2}};
+  Instance a(s);
+  Value n = Value::FreshNull();
+  ASSERT_TRUE(a.Add("T", {Value::Int(1), n}).ok());
+  ASSERT_TRUE(a.Add("T", {n, Value::Int(1)}).ok());
+  Instance b(s);
+  ASSERT_TRUE(b.Add("T", {Value::Int(1), Value::FreshNull()}).ok());
+  ASSERT_TRUE(b.Add("T", {Value::FreshNull(), Value::Int(1)}).ok());
+  EXPECT_TRUE(*InstanceHomExists(b, a));
+  EXPECT_FALSE(*InstanceHomExists(a, b));  // a's shared null needs one value
+}
+
+TEST(EvalCqTest, ProjectionAndDeduplication) {
+  Instance inst = JoinInstance();
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"})};
+  AnswerSet ans = *EvaluateCq(q, inst);
+  EXPECT_EQ(ans.tuples.size(), 2u);
+  EXPECT_TRUE(ans.Contains({Value::Int(1)}));
+  EXPECT_TRUE(ans.Contains({Value::Int(3)}));
+}
+
+TEST(EvalCqTest, JoinQueryFromExample33) {
+  // Q(x,y) :- R(x,z), S(z,y) over { R(1,2), R(3,4), S(2,5) } = { (1,5) }.
+  Instance inst = JoinInstance();
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("R", {"x", "z"}), Atom::Vars("S", {"z", "y"})};
+  AnswerSet ans = *EvaluateCq(q, inst);
+  ASSERT_EQ(ans.tuples.size(), 1u);
+  EXPECT_EQ(ans.tuples[0], Tuple({Value::Int(1), Value::Int(5)}));
+}
+
+TEST(EvalCqTest, CertainOnlyDropsNullTuples) {
+  Instance inst(Schema{{"T", 2}});
+  ASSERT_TRUE(inst.Add("T", {Value::Int(1), Value::FreshNull()}).ok());
+  ASSERT_TRUE(inst.AddInts("T", {2, 3}).ok());
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("T", {"x", "y"})};
+  AnswerSet all = *EvaluateCq(q, inst);
+  EXPECT_EQ(all.tuples.size(), 2u);
+  EXPECT_EQ(all.CertainOnly().tuples.size(), 1u);
+}
+
+TEST(EvalUnionCqTest, PaperRewritingExampleSemantics) {
+  // Q'(x,y) = A(x,y) ∨ (B(x) ∧ x = y): the Section 4 rewriting example.
+  Schema s{{"A", 2}, {"B", 1}};
+  Instance inst(s);
+  ASSERT_TRUE(inst.AddInts("A", {1, 2}).ok());
+  ASSERT_TRUE(inst.AddInts("B", {7}).ok());
+  UnionCq u;
+  u.head = {InternVar("x"), InternVar("y")};
+  CqDisjunct d1;
+  d1.atoms = {Atom::Vars("A", {"x", "y"})};
+  CqDisjunct d2;
+  d2.atoms = {Atom::Vars("B", {"x"})};
+  d2.equalities = {{InternVar("x"), InternVar("y")}};
+  u.disjuncts = {d1, d2};
+  ASSERT_TRUE(u.Validate(s).ok());
+  AnswerSet ans = *EvaluateUnionCq(u, inst);
+  EXPECT_EQ(ans.tuples.size(), 2u);
+  EXPECT_TRUE(ans.Contains({Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(ans.Contains({Value::Int(7), Value::Int(7)}));
+}
+
+TEST(AnswerSetTest, SetOperations) {
+  AnswerSet a = MakeAnswerSet({{Value::Int(1)}, {Value::Int(2)}});
+  AnswerSet b = MakeAnswerSet({{Value::Int(2)}, {Value::Int(3)}});
+  AnswerSet inter = a.Intersect(b);
+  ASSERT_EQ(inter.tuples.size(), 1u);
+  EXPECT_TRUE(inter.Contains({Value::Int(2)}));
+  EXPECT_TRUE(inter.SubsetOf(a));
+  EXPECT_FALSE(a.SubsetOf(b));
+}
+
+TEST(ContainmentTest, MoreConstrainedIsContained) {
+  // Q1(x) :- R(x,x)  ⊆  Q2(x) :- R(x,y), but not conversely.
+  ConjunctiveQuery q1;
+  q1.head = {InternVar("x")};
+  q1.atoms = {Atom::Vars("R", {"x", "x"})};
+  ConjunctiveQuery q2;
+  q2.head = {InternVar("x")};
+  q2.atoms = {Atom::Vars("R", {"x", "y"})};
+  EXPECT_TRUE(*CqContainedIn(q1, q2));
+  EXPECT_FALSE(*CqContainedIn(q2, q1));
+}
+
+TEST(ContainmentTest, LongerPathContainedInShorter) {
+  // Path of length 2 from x ⊆ path of length 1 from x? No. Reverse? No.
+  // But x with both edges ⊆ x with one edge.
+  ConjunctiveQuery both;
+  both.head = {InternVar("x")};
+  both.atoms = {Atom::Vars("E", {"x", "y"}), Atom::Vars("E", {"y", "z"})};
+  ConjunctiveQuery one;
+  one.head = {InternVar("x")};
+  one.atoms = {Atom::Vars("E", {"x", "y"})};
+  EXPECT_TRUE(*CqContainedIn(both, one));
+  EXPECT_FALSE(*CqContainedIn(one, both));
+}
+
+TEST(ContainmentTest, ArityMismatchIsAnError) {
+  ConjunctiveQuery q1;
+  q1.head = {InternVar("x")};
+  q1.atoms = {Atom::Vars("R", {"x", "y"})};
+  ConjunctiveQuery q2;
+  q2.head = {InternVar("x"), InternVar("y")};
+  q2.atoms = {Atom::Vars("R", {"x", "y"})};
+  EXPECT_FALSE(CqContainedIn(q1, q2).ok());
+}
+
+TEST(DisjunctContainmentTest, EqualityMakesDisjunctMoreSpecific) {
+  std::vector<VarId> head = {InternVar("x"), InternVar("y")};
+  CqDisjunct general;
+  general.atoms = {Atom::Vars("A", {"x", "y"})};
+  CqDisjunct specific;
+  specific.atoms = {Atom::Vars("A", {"x", "y"})};
+  specific.equalities = {{InternVar("x"), InternVar("y")}};
+  EXPECT_TRUE(*DisjunctContainedIn(head, specific, general));
+  EXPECT_FALSE(*DisjunctContainedIn(head, general, specific));
+}
+
+TEST(MinimizeUnionCqTest, DropsSubsumedDisjuncts) {
+  UnionCq u;
+  u.head = {InternVar("x")};
+  CqDisjunct narrow;
+  narrow.atoms = {Atom::Vars("R", {"x", "x"})};
+  CqDisjunct wide;
+  wide.atoms = {Atom::Vars("R", {"x", "y"})};
+  u.disjuncts = {narrow, wide};
+  UnionCq m = *MinimizeUnionCq(u);
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  EXPECT_EQ(m.disjuncts[0], wide);
+}
+
+TEST(MinimizeUnionCqTest, KeepsIncomparableDisjuncts) {
+  UnionCq u;
+  u.head = {InternVar("x")};
+  CqDisjunct a;
+  a.atoms = {Atom::Vars("A", {"x"})};
+  CqDisjunct b;
+  b.atoms = {Atom::Vars("B", {"x"})};
+  u.disjuncts = {a, b};
+  EXPECT_EQ(MinimizeUnionCq(u)->disjuncts.size(), 2u);
+}
+
+TEST(MinimizeUnionCqTest, DeduplicatesEquivalentDisjunctsKeepingFirst) {
+  UnionCq u;
+  u.head = {InternVar("x")};
+  CqDisjunct a;
+  a.atoms = {Atom::Vars("A", {"x"})};
+  CqDisjunct a2;
+  a2.atoms = {Atom::Vars("A", {"x"}), Atom::Vars("A", {"x"})};
+  u.disjuncts = {a, a2};
+  UnionCq m = *MinimizeUnionCq(u);
+  ASSERT_EQ(m.disjuncts.size(), 1u);
+  EXPECT_EQ(m.disjuncts[0], a);
+}
+
+TEST(CoreTest, RedundantAtomRemoved) {
+  // Q(x) :- R(x,y), R(x,z) has core Q(x) :- R(x,y).
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"}), Atom::Vars("R", {"x", "z"})};
+  ConjunctiveQuery core = *CoreOfCq(q);
+  EXPECT_EQ(core.atoms.size(), 1u);
+}
+
+TEST(CoreTest, NonRedundantQueryUntouched) {
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  EXPECT_EQ(CoreOfCq(q)->atoms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,166 @@
+// End-to-end integration tests: full workflows combining the parser, the
+// inversion algorithms, the chase engines and the checkers — the same
+// scenarios as the example binaries, with assertions.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_reverse.h"
+#include "chase/chase_so.h"
+#include "chase/chase_tgd.h"
+#include "chase/round_trip.h"
+#include "check/properties.h"
+#include "inversion/compose.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/polyso.h"
+#include "mapgen/generators.h"
+#include "parser/parser.h"
+#include "rewrite/skolemize.h"
+
+namespace mapinv {
+namespace {
+
+TEST(IntegrationTest, QuickstartScenario) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4), S(2,5) }", *mapping.source)
+          .ValueOrDie();
+  Instance target = ChaseTgds(mapping, source).ValueOrDie();
+  EXPECT_EQ(target.ToString(), "{ T(1,5) }");
+
+  ReverseMapping recovery = CqMaximumRecovery(mapping).ValueOrDie();
+  // Theorem 4.5 language: single equality-free conclusions.
+  EXPECT_TRUE(recovery.IsDisjunctionFree());
+  EXPECT_TRUE(recovery.IsEqualityFree());
+
+  ConjunctiveQuery first = ParseCq("Q(x) :- R(x,y)").ValueOrDie();
+  AnswerSet certain =
+      RoundTripCertain(mapping, recovery, source, first).ValueOrDie();
+  EXPECT_EQ(certain.ToString(), "{ (1) }");
+  ConjunctiveQuery join = ParseCq("Q(x,y) :- R(x,z), S(z,y)").ValueOrDie();
+  AnswerSet join_certain =
+      RoundTripCertain(mapping, recovery, source, join).ValueOrDie();
+  EXPECT_EQ(join_certain.ToString(), "{ (1,5) }");
+}
+
+TEST(IntegrationTest, Corollary54FaginInverseViaPolySO) {
+  // Copy mappings are Fagin-invertible; by Corollary 5.4 the PolySOInverse
+  // output acts as a Fagin-inverse: the round trip restores the source
+  // exactly (certain per-relation answers equal the source facts).
+  TgdMapping m = CopyMapping(2, 2);
+  SOTgdMapping so = TgdsToPlainSOTgd(m).ValueOrDie();
+  SOInverseMapping inv = PolySOInverse(so).ValueOrDie();
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    Instance source = GenerateInstance(*m.source, 5, 6, seed);
+    std::vector<Instance> worlds =
+        RoundTripWorldsSO(so, inv, source).ValueOrDie();
+    ASSERT_FALSE(worlds.empty());
+    for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
+      AnswerSet certain = CertainOverWorlds(worlds, q).ValueOrDie();
+      AnswerSet direct = EvaluateCq(q, source).ValueOrDie();
+      EXPECT_EQ(certain.tuples, direct.tuples) << q.ToString();
+    }
+  }
+}
+
+TEST(IntegrationTest, SchemaEvolutionScenario) {
+  TgdMapping m = ParseTgdMapping("Emp(n,c,s) -> Payroll(n,s)").ValueOrDie();
+  TgdMapping evolution =
+      ParseTgdMapping("Emp(n,c,s) -> EmpCity(n,c), EmpSal(n,s)").ValueOrDie();
+  ReverseMapping back = CqMaximumRecovery(evolution).ValueOrDie();
+
+  Instance evolved = ParseInstance(
+      "{ EmpCity('ada','london'), EmpSal('ada',90), "
+      "EmpCity('erd','budapest'), EmpSal('erd',60) }",
+      *back.source).ValueOrDie();
+  Instance recovered = ChaseReverse(back, evolved).ValueOrDie();
+  Instance payroll = ChaseTgds(m, recovered).ValueOrDie();
+  ConjunctiveQuery q = ParseCq("Q(n,s) :- Payroll(n,s)").ValueOrDie();
+  AnswerSet answers = EvaluateCq(q, payroll).ValueOrDie();
+  AnswerSet certain = answers.CertainOnly();
+  ASSERT_EQ(certain.tuples.size(), 2u);
+  EXPECT_TRUE(certain.Contains(
+      {Value::MakeConstant("ada"), Value::MakeConstant("90")}));
+  EXPECT_TRUE(certain.Contains(
+      {Value::MakeConstant("erd"), Value::MakeConstant("60")}));
+}
+
+TEST(IntegrationTest, PeerReformulationScenario) {
+  TgdMapping mapping = ParseTgdMapping(R"(
+    Person(n, c)   -> CityIndex(c, n)
+    WorksAt(n, co) -> EXISTS d . Employment(n, co, d)
+  )").ValueOrDie();
+  Instance p1 = ParseInstance(
+      "{ Person('ada','london'), WorksAt('ada','firm') }",
+      *mapping.source).ValueOrDie();
+  Instance p2 = ChaseTgds(mapping, p1).ValueOrDie();
+  ReverseMapping inverse = CqMaximumRecovery(mapping).ValueOrDie();
+  ConjunctiveQuery q =
+      ParseCq("Q(n) :- Person(n,c), WorksAt(n,co)").ValueOrDie();
+  AnswerSet from_p2 = CertainAnswersReverse(inverse, p2, q).ValueOrDie();
+  AnswerSet truth = EvaluateCq(q, p1).ValueOrDie();
+  EXPECT_EQ(from_p2.tuples, truth.tuples);
+}
+
+TEST(IntegrationTest, StudentIdsScenario) {
+  SOTgdMapping mapping =
+      ParseSOTgdMapping("Takes(n,c) -> Enrollment(f(n),c)").ValueOrDie();
+  SOInverseMapping inverse = PolySOInverse(mapping).ValueOrDie();
+  Instance source = ParseInstance(
+      "{ Takes('ann','db'), Takes('ann','os'), Takes('bob','db') }",
+      *mapping.source).ValueOrDie();
+  ConjunctiveQuery selfjoin =
+      ParseCq("Q(c1,c2) :- Takes(n,c1), Takes(n,c2)").ValueOrDie();
+  AnswerSet certain =
+      RoundTripCertainSO(mapping, inverse, source, selfjoin).ValueOrDie();
+  AnswerSet direct = EvaluateCq(selfjoin, source).ValueOrDie();
+  EXPECT_EQ(certain.tuples, direct.tuples);
+}
+
+TEST(IntegrationTest, EvolutionThenPublishComposition) {
+  TgdMapping evolution =
+      ParseTgdMapping("Emp(n,c,s) -> EmpCity(n,c), EmpSal(n,s)").ValueOrDie();
+  TgdMapping publish =
+      ParseTgdMapping("EmpSal(n,s) -> Payroll2(n,s)").ValueOrDie();
+  SOTgdMapping composed =
+      ComposeTgdMappings(evolution, publish).ValueOrDie();
+  ASSERT_EQ(composed.so.rules.size(), 1u);
+  Instance source(*composed.source);
+  ASSERT_TRUE(source.Add("Emp", {Value::MakeConstant("ada"),
+                                 Value::MakeConstant("london"),
+                                 Value::Int(90)}).ok());
+  Instance out = ChaseSOTgd(composed, source).ValueOrDie();
+  EXPECT_EQ(out.ToString(), "{ Payroll2(ada,90) }");
+}
+
+class ParserRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRoundTripSweep, ToStringParsesBackIdentically) {
+  RandomMappingConfig config;
+  config.seed = GetParam();
+  config.num_tgds = 4;
+  config.existential_vars = 2;
+  TgdMapping m = GenerateRandomMapping(config);
+  Result<TgdMapping> reparsed = ParseTgdMapping(m.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << m.ToString();
+  EXPECT_EQ(reparsed->ToString(), m.ToString());
+}
+
+TEST_P(ParserRoundTripSweep, RecoveryToStringParsesBack) {
+  RandomMappingConfig config;
+  config.seed = GetParam();
+  config.num_tgds = 2;
+  TgdMapping m = GenerateRandomMapping(config);
+  ReverseMapping rec = CqMaximumRecovery(m).ValueOrDie();
+  Result<ReverseMapping> reparsed = ParseReverseMapping(rec.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << rec.ToString();
+  EXPECT_EQ(reparsed->ToString(), rec.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripSweep,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace mapinv

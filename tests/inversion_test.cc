@@ -1,0 +1,465 @@
+// Tests for the Section 4 pipeline: MaximumRecovery, EliminateEqualities,
+// EliminateDisjunctions, CqMaximumRecovery — including the paper's worked
+// examples.
+
+#include <gtest/gtest.h>
+
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/eliminate_disjunctions.h"
+#include "inversion/eliminate_equalities.h"
+#include "inversion/maximum_recovery.h"
+#include "inversion/partitions.h"
+#include "inversion/query_product.h"
+
+namespace mapinv {
+namespace {
+
+TgdMapping JoinMapping() {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z"})};
+  return TgdMapping(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 2}}, {tgd});
+}
+
+TgdMapping PaperABMapping() {
+  // A(x,y) -> P(x,y) and B(x) -> P(x,x).
+  Tgd t1;
+  t1.premise = {Atom::Vars("A", {"x", "y"})};
+  t1.conclusion = {Atom::Vars("P", {"x", "y"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("B", {"x"})};
+  t2.conclusion = {Atom::Vars("P", {"x", "x"})};
+  return TgdMapping(Schema{{"A", 2}, {"B", 1}}, Schema{{"P", 2}}, {t1, t2});
+}
+
+TgdMapping PaperDEMapping() {
+  // A(x) -> D(x) and B(x) -> D(x) ∧ E(x)  (Section 3).
+  Tgd t1;
+  t1.premise = {Atom::Vars("A", {"x"})};
+  t1.conclusion = {Atom::Vars("D", {"x"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("B", {"x"})};
+  t2.conclusion = {Atom::Vars("D", {"x"}), Atom::Vars("E", {"x"})};
+  return TgdMapping(Schema{{"A", 1}, {"B", 1}}, Schema{{"D", 1}, {"E", 1}},
+                    {t1, t2});
+}
+
+TEST(PartitionsTest, BellNumbers) {
+  EXPECT_EQ(BellNumber(0), 1u);
+  EXPECT_EQ(BellNumber(1), 1u);
+  EXPECT_EQ(BellNumber(2), 2u);
+  EXPECT_EQ(BellNumber(3), 5u);
+  EXPECT_EQ(BellNumber(4), 15u);
+  EXPECT_EQ(BellNumber(5), 52u);
+  EXPECT_EQ(BellNumber(10), 115975u);
+}
+
+TEST(PartitionsTest, EnumerationCountsMatchBell) {
+  for (size_t n = 0; n <= 7; ++n) {
+    size_t count = 0;
+    ForEachPartition(n, [&](const SetPartition&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, BellNumber(n)) << "n=" << n;
+  }
+}
+
+TEST(PartitionsTest, StringsAreRestrictedGrowth) {
+  ForEachPartition(5, [&](const SetPartition& p) {
+    uint32_t max_seen = 0;
+    EXPECT_EQ(p[0], 0u);
+    for (size_t i = 1; i < p.size(); ++i) {
+      EXPECT_LE(p[i], max_seen + 1);
+      max_seen = std::max(max_seen, p[i]);
+    }
+    return true;
+  });
+}
+
+TEST(PartitionsTest, EarlyStopHonored) {
+  size_t count = 0;
+  ForEachPartition(6, [&](const SetPartition&) { return ++count < 3; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(MaximumRecoveryTest, JoinMappingShape) {
+  // T(x,z) ∧ C(x) ∧ C(z) → ∃y (R(x,y) ∧ S(y,z)).
+  ReverseMapping rec = *MaximumRecovery(JoinMapping());
+  ASSERT_EQ(rec.deps.size(), 1u);
+  const ReverseDependency& dep = rec.deps[0];
+  EXPECT_EQ(dep.premise.size(), 1u);
+  EXPECT_EQ(RelationText(dep.premise[0].relation), "T");
+  EXPECT_EQ(dep.constant_vars.size(), 2u);
+  ASSERT_EQ(dep.disjuncts.size(), 1u);
+  EXPECT_EQ(dep.disjuncts[0].atoms.size(), 2u);
+  EXPECT_TRUE(dep.disjuncts[0].equalities.empty());
+}
+
+TEST(MaximumRecoveryTest, PaperABMappingHasEqualityDisjunct) {
+  // The recovery of A(x,y) -> P(x,y) includes the rewriting
+  // A(x,y) ∨ (B(x) ∧ x = y).
+  ReverseMapping rec = *MaximumRecovery(PaperABMapping());
+  ASSERT_EQ(rec.deps.size(), 2u);
+  const ReverseDependency& dep_a = rec.deps[0];
+  ASSERT_EQ(dep_a.disjuncts.size(), 2u);
+  bool saw_equality = false;
+  for (const ReverseDisjunct& d : dep_a.disjuncts) {
+    if (!d.equalities.empty()) saw_equality = true;
+  }
+  EXPECT_TRUE(saw_equality);
+}
+
+TEST(MaximumRecoveryTest, IsACqRecoveryOnSamples) {
+  // Soundness (Definition 3.2): certain_{M∘M'}(Q, I) ⊆ Q(I).
+  TgdMapping m = PaperABMapping();
+  ReverseMapping rec = *MaximumRecovery(m);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("A", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("A", {3, 3}).ok());
+  ASSERT_TRUE(source.AddInts("B", {3}).ok());
+  ASSERT_TRUE(source.AddInts("B", {5}).ok());
+  for (const char* rel : {"A", "B"}) {
+    ConjunctiveQuery q;
+    uint32_t arity = m.source->arity(m.source->Find(rel));
+    for (uint32_t i = 0; i < arity; ++i) {
+      q.head.push_back(InternVar("h" + std::to_string(i)));
+    }
+    q.atoms = {Atom(rel, [&] {
+      std::vector<Term> ts;
+      for (VarId v : q.head) ts.push_back(Term::Var(v));
+      return ts;
+    }())};
+    AnswerSet certain = *RoundTripCertain(m, rec, source, q);
+    AnswerSet direct = *EvaluateCq(q, source);
+    EXPECT_TRUE(certain.SubsetOf(direct)) << rel;
+  }
+}
+
+TEST(EliminateEqualitiesTest, PaperWorkedExample) {
+  // Dependency (4) construction: start from
+  //   A(x1,x2,x3) ∧ C(x̄) → [P(x1,x2) ∧ R(x1,x1) ∧ x2 = x3]
+  //                        ∨ [∃y (P(x1,y) ∧ R(x2,x3))]
+  //                        ∨ [P(x1,x2) ∧ R(x2,x3) ∧ x1 = x3]
+  VarId x1 = InternVar("x1"), x2 = InternVar("x2"), x3 = InternVar("x3");
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("A", {"x1", "x2", "x3"})};
+  dep.constant_vars = {x1, x2, x3};
+  ReverseDisjunct b1;
+  b1.atoms = {Atom::Vars("P", {"x1", "x2"}), Atom::Vars("R", {"x1", "x1"})};
+  b1.equalities = {{x2, x3}};
+  ReverseDisjunct b2;
+  b2.atoms = {Atom::Vars("P", {"x1", "y"}), Atom::Vars("R", {"x2", "x3"})};
+  ReverseDisjunct b3;
+  b3.atoms = {Atom::Vars("P", {"x1", "x2"}), Atom::Vars("R", {"x2", "x3"})};
+  b3.equalities = {{x1, x3}};
+  dep.disjuncts = {b1, b2, b3};
+  ReverseMapping rec(
+      std::make_shared<const Schema>(Schema{{"A", 3}}),
+      std::make_shared<const Schema>(Schema{{"P", 2}, {"R", 2}}), {dep});
+  ASSERT_TRUE(rec.Validate().ok());
+
+  ReverseMapping out = *EliminateEqualities(rec);
+  // One output dependency per partition of {x1,x2,x3} with >= 1 consistent
+  // disjunct. Find the partition {{x1},{x2,x3}} (the paper's example): its
+  // premise is A(x1,x2,x2) with inequality x1 != x2 and exactly disjuncts
+  // [P(x1,x2) ∧ R(x1,x1)] and [∃y P(x1,y) ∧ R(x2,x2)]  — dependency (4).
+  const ReverseDependency* found = nullptr;
+  for (const ReverseDependency& d : out.deps) {
+    if (d.premise[0].terms[1] == d.premise[0].terms[2] &&
+        d.premise[0].terms[0] != d.premise[0].terms[1] &&
+        d.inequalities.size() == 1) {
+      found = &d;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->disjuncts.size(), 2u);
+  EXPECT_TRUE(found->disjuncts[0].equalities.empty());
+  EXPECT_TRUE(found->disjuncts[1].equalities.empty());
+  // First disjunct: P(x1,x2) ∧ R(x1,x1).
+  EXPECT_EQ(found->disjuncts[0].atoms[0], Atom::Vars("P", {"x1", "x2"}));
+  EXPECT_EQ(found->disjuncts[0].atoms[1], Atom::Vars("R", {"x1", "x1"}));
+  // Second disjunct: P(x1,y) ∧ R(x2,x2).
+  EXPECT_EQ(found->disjuncts[1].atoms[0], Atom::Vars("P", {"x1", "y"}));
+  EXPECT_EQ(found->disjuncts[1].atoms[1], Atom::Vars("R", {"x2", "x2"}));
+}
+
+TEST(EliminateEqualitiesTest, PartitionCountForEqualityFreeInput) {
+  // With no equalities anywhere, every partition keeps all disjuncts:
+  // B(frontier) output dependencies per input dependency.
+  ReverseMapping rec = *MaximumRecovery(JoinMapping());
+  ReverseMapping out = *EliminateEqualities(rec);
+  EXPECT_EQ(out.deps.size(), BellNumber(2));  // = 2
+  EXPECT_TRUE(out.IsEqualityFree());
+}
+
+TEST(EliminateEqualitiesTest, IdentityPartitionKeepsAllPairwiseInequalities) {
+  ReverseMapping rec = *MaximumRecovery(JoinMapping());
+  ReverseMapping out = *EliminateEqualities(rec);
+  bool found_discrete = false;
+  for (const ReverseDependency& d : out.deps) {
+    if (d.constant_vars.size() == 2) {
+      found_discrete = true;
+      EXPECT_EQ(d.inequalities.size(), 1u);
+    }
+  }
+  EXPECT_TRUE(found_discrete);
+}
+
+TEST(EliminateEqualitiesTest, FrontierWidthGuard) {
+  // 13 frontier variables exceed the default guard.
+  std::vector<std::string> vars;
+  for (int i = 0; i < 13; ++i) vars.push_back("v" + std::to_string(i));
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", vars)};
+  tgd.conclusion = {Atom::Vars("T", vars)};
+  TgdMapping m(Schema{{"R", 13}}, Schema{{"T", 13}}, {tgd});
+  ReverseMapping rec = *MaximumRecovery(m);
+  EXPECT_EQ(EliminateEqualities(rec).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(QueryProductTest, PaperExample) {
+  // Q1(x1,x2) = P(x1,x2) ∧ R(x1,x1), Q2(x1,x2) = ∃y (P(x1,y) ∧ R(x2,x2)):
+  // Q1 × Q2 = ∃z1 ∃z2 (P(x1,z1) ∧ R(z2,z2)) with free variable x1 only.
+  std::vector<VarId> shared = {InternVar("x1"), InternVar("x2")};
+  std::vector<Atom> q1 = {Atom::Vars("P", {"x1", "x2"}),
+                          Atom::Vars("R", {"x1", "x1"})};
+  std::vector<Atom> q2 = {Atom::Vars("P", {"x1", "y"}),
+                          Atom::Vars("R", {"x2", "x2"})};
+  std::vector<Atom> prod = ProductOfDisjuncts(shared, q1, q2);
+  ASSERT_EQ(prod.size(), 2u);
+  // P(f(x1,x1), f(x2,y)) = P(x1, z1).
+  EXPECT_EQ(RelationText(prod[0].relation), "P");
+  EXPECT_EQ(prod[0].terms[0], Term::Var("x1"));
+  EXPECT_NE(prod[0].terms[1], Term::Var("x2"));
+  // R(f(x1,x2), f(x1,x2)) = R(z2, z2).
+  EXPECT_EQ(RelationText(prod[1].relation), "R");
+  EXPECT_EQ(prod[1].terms[0], prod[1].terms[1]);
+  EXPECT_NE(prod[1].terms[0], Term::Var("x1"));
+  // Free variables of the product: only x1 remains.
+  std::vector<VarId> vars = CollectDistinctVars(prod);
+  EXPECT_TRUE(std::find(vars.begin(), vars.end(), InternVar("x1")) !=
+              vars.end());
+  EXPECT_TRUE(std::find(vars.begin(), vars.end(), InternVar("x2")) ==
+              vars.end());
+}
+
+TEST(QueryProductTest, EmptyWhenNoCommonRelation) {
+  std::vector<VarId> shared = {InternVar("x")};
+  EXPECT_TRUE(ProductOfDisjuncts(shared, {Atom::Vars("A", {"x"})},
+                                 {Atom::Vars("B", {"x"})})
+                  .empty());
+}
+
+TEST(QueryProductTest, ProductWithSelfSharesFreeVars) {
+  std::vector<VarId> shared = {InternVar("x")};
+  std::vector<Atom> q = {Atom::Vars("A", {"x"})};
+  std::vector<Atom> prod = ProductOfDisjuncts(shared, q, q);
+  ASSERT_EQ(prod.size(), 1u);
+  EXPECT_EQ(prod[0], Atom::Vars("A", {"x"}));
+}
+
+TEST(QueryProductTest, ExistentialPairsGetFreshButConsistentVars) {
+  // Q1 = E(x,y1),E(y1,x); Q2 = E(x,y2),E(y2,x): the pair (y1,y2) must map
+  // to the same fresh variable at both occurrences.
+  std::vector<VarId> shared = {InternVar("x")};
+  std::vector<Atom> q1 = {Atom::Vars("E", {"x", "y1"}),
+                          Atom::Vars("E", {"y1", "x"})};
+  std::vector<Atom> q2 = {Atom::Vars("E", {"x", "y2"}),
+                          Atom::Vars("E", {"y2", "x"})};
+  std::vector<Atom> prod = ProductOfDisjuncts(shared, q1, q2);
+  ASSERT_EQ(prod.size(), 4u);
+  // Atom E(x,y1) × E(x,y2) = E(x, w) and E(y1,x) × E(y2,x) = E(w, x) with
+  // the same w.
+  Term w;
+  for (const Atom& a : prod) {
+    if (a.terms[0] == Term::Var("x") && a.terms[1] != Term::Var("x")) {
+      w = a.terms[1];
+    }
+  }
+  bool found_mirror = false;
+  for (const Atom& a : prod) {
+    if (a.terms[0] == w && a.terms[1] == Term::Var("x")) found_mirror = true;
+  }
+  EXPECT_TRUE(found_mirror);
+}
+
+TEST(EliminateDisjunctionsTest, PaperDependency4To5) {
+  // Dependency (4) → dependency (5).
+  VarId x1 = InternVar("x1"), x2 = InternVar("x2");
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("A", {"x1", "x2", "x2"})};
+  dep.constant_vars = {x1, x2};
+  dep.inequalities = {{x1, x2}};
+  ReverseDisjunct d1;
+  d1.atoms = {Atom::Vars("P", {"x1", "x2"}), Atom::Vars("R", {"x1", "x1"})};
+  ReverseDisjunct d2;
+  d2.atoms = {Atom::Vars("P", {"x1", "y"}), Atom::Vars("R", {"x2", "x2"})};
+  dep.disjuncts = {d1, d2};
+  ReverseMapping rec(
+      std::make_shared<const Schema>(Schema{{"A", 3}}),
+      std::make_shared<const Schema>(Schema{{"P", 2}, {"R", 2}}), {dep});
+  ReverseMapping out = *EliminateDisjunctions(rec);
+  ASSERT_EQ(out.deps.size(), 1u);
+  ASSERT_EQ(out.deps[0].disjuncts.size(), 1u);
+  const std::vector<Atom>& atoms = out.deps[0].disjuncts[0].atoms;
+  ASSERT_EQ(atoms.size(), 2u);
+  // ∃z1 ∃z2 (P(x1,z1) ∧ R(z2,z2)).
+  EXPECT_EQ(atoms[0].terms[0], Term::Var("x1"));
+  EXPECT_TRUE(atoms[0].terms[1] != Term::Var("x2"));
+  EXPECT_EQ(atoms[1].terms[0], atoms[1].terms[1]);
+}
+
+TEST(EliminateDisjunctionsTest, EmptyProductDropsDependency) {
+  // D(x) → A(x) ∨ B(x) has empty product: dependency dropped.
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("D", {"x"})};
+  dep.constant_vars = {InternVar("x")};
+  ReverseDisjunct da;
+  da.atoms = {Atom::Vars("A", {"x"})};
+  ReverseDisjunct db;
+  db.atoms = {Atom::Vars("B", {"x"})};
+  dep.disjuncts = {da, db};
+  ReverseMapping rec(std::make_shared<const Schema>(Schema{{"D", 1}}),
+                     std::make_shared<const Schema>(Schema{{"A", 1}, {"B", 1}}),
+                     {dep});
+  ReverseMapping out = *EliminateDisjunctions(rec);
+  EXPECT_TRUE(out.deps.empty());
+}
+
+TEST(EliminateDisjunctionsTest, RejectsEqualityCarryingInput) {
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("D", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("A", {"x"})};
+  d.equalities = {{InternVar("x"), InternVar("y")}};
+  dep.disjuncts = {d};
+  ReverseMapping rec(std::make_shared<const Schema>(Schema{{"D", 2}}),
+                     std::make_shared<const Schema>(Schema{{"A", 1}}), {dep});
+  EXPECT_EQ(EliminateDisjunctions(rec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CqMaximumRecoveryTest, OutputLanguageIsTheoremFourFive) {
+  // Single-disjunct, equality-free conclusions; C(·) and ≠ in premises only.
+  for (const TgdMapping& m :
+       {JoinMapping(), PaperABMapping(), PaperDEMapping()}) {
+    ReverseMapping rec = *CqMaximumRecovery(m);
+    EXPECT_TRUE(rec.IsDisjunctionFree());
+    EXPECT_TRUE(rec.IsEqualityFree());
+    EXPECT_TRUE(rec.Validate().ok());
+  }
+}
+
+TEST(CqMaximumRecoveryTest, PaperDEMappingRecoversB) {
+  // The CQ-maximum recovery of {A(x)→D(x), B(x)→D(x)∧E(x)} must entail
+  // B-facts from D∧E (the paper's M'' is E(x)→B(x)).
+  TgdMapping m = PaperDEMapping();
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("A", {1}).ok());
+  ASSERT_TRUE(source.AddInts("B", {2}).ok());
+  ConjunctiveQuery qb;
+  qb.head = {InternVar("x")};
+  qb.atoms = {Atom::Vars("B", {"x"})};
+  AnswerSet certain = *RoundTripCertain(m, rec, source, qb);
+  ASSERT_EQ(certain.tuples.size(), 1u);
+  EXPECT_EQ(certain.tuples[0], Tuple({Value::Int(2)}));
+  // And it must not invent A-facts for B-sources: soundness on A.
+  ConjunctiveQuery qa;
+  qa.head = {InternVar("x")};
+  qa.atoms = {Atom::Vars("A", {"x"})};
+  AnswerSet certain_a = *RoundTripCertain(m, rec, source, qa);
+  AnswerSet direct_a = *EvaluateCq(qa, source);
+  EXPECT_TRUE(certain_a.SubsetOf(direct_a));
+}
+
+TEST(CqMaximumRecoveryTest, JoinMappingRecoversJoinExactly) {
+  // For M = R ⋈ S → T, the CQ-maximum recovery recovers the full join
+  // query: certain answers equal the direct join (Example 3.3's M'').
+  TgdMapping m = JoinMapping();
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("R", {3, 4}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+  ConjunctiveQuery join;
+  join.head = {InternVar("x"), InternVar("y")};
+  join.atoms = {Atom::Vars("R", {"x", "z"}), Atom::Vars("S", {"z", "y"})};
+  AnswerSet certain = *RoundTripCertain(m, rec, source, join);
+  AnswerSet direct = *EvaluateCq(join, source);
+  EXPECT_EQ(certain.tuples, direct.tuples);
+}
+
+TEST(CqMaximumRecoveryTest, SoundnessAcrossQueriesAndInstances) {
+  // Property sweep: for every mapping, instance and per-relation projection
+  // query, certain_{M∘M*}(Q, I) ⊆ Q(I).
+  std::vector<TgdMapping> mappings = {JoinMapping(), PaperABMapping(),
+                                      PaperDEMapping()};
+  for (const TgdMapping& m : mappings) {
+    ReverseMapping rec = *CqMaximumRecovery(m);
+    Instance source(*m.source);
+    // Fill every source relation with a small grid of tuples, including
+    // repeated values to exercise the inequality guards.
+    for (const RelationSymbol& rel : m.source->relations()) {
+      for (int base : {1, 2, 3}) {
+        std::vector<int64_t> tuple;
+        for (uint32_t i = 0; i < rel.arity; ++i) {
+          tuple.push_back(base + (i % 2));
+        }
+        ASSERT_TRUE(source.AddInts(rel.name, tuple).ok());
+        std::vector<int64_t> diag(rel.arity, base);
+        ASSERT_TRUE(source.AddInts(rel.name, diag).status().ok());
+      }
+    }
+    for (const RelationSymbol& rel : m.source->relations()) {
+      ConjunctiveQuery q;
+      std::vector<Term> ts;
+      for (uint32_t i = 0; i < rel.arity; ++i) {
+        VarId v = InternVar("w" + std::to_string(i));
+        q.head.push_back(v);
+        ts.push_back(Term::Var(v));
+      }
+      q.atoms = {Atom(rel.name, ts)};
+      AnswerSet certain = *RoundTripCertain(m, rec, source, q);
+      AnswerSet direct = *EvaluateCq(q, source);
+      EXPECT_TRUE(certain.SubsetOf(direct))
+          << "mapping:\n" << m.ToString() << "relation " << rel.name
+          << "\ncertain: " << certain.ToString()
+          << "\ndirect:  " << direct.ToString();
+    }
+  }
+}
+
+TEST(CqMaximumRecoveryTest, DominatesNaiveRecovery) {
+  // The CQ-maximum recovery retrieves at least as much as the hand-written
+  // sound recovery M' = T(x,y) → ∃u R(x,u) from Example 3.1.
+  TgdMapping m = JoinMapping();
+  ReverseMapping maxrec = *CqMaximumRecovery(m);
+  ReverseDependency naive_dep;
+  naive_dep.premise = {Atom::Vars("T", {"x", "y"})};
+  naive_dep.constant_vars = {InternVar("x"), InternVar("y")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "u"})};
+  naive_dep.disjuncts = {d};
+  ReverseMapping naive(m.target, m.source, {naive_dep});
+
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("R", {3, 4}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"})};
+  AnswerSet via_naive = *RoundTripCertain(m, naive, source, q);
+  AnswerSet via_max = *RoundTripCertain(m, maxrec, source, q);
+  EXPECT_TRUE(via_naive.SubsetOf(via_max));
+}
+
+}  // namespace
+}  // namespace mapinv

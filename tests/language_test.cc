@@ -1,0 +1,65 @@
+// Tests for the text-language guarantees that keep printed output safely
+// re-parseable: '?'-prefixed machine-generated variables, the fresh-counter
+// bump, and statement separators.
+
+#include <gtest/gtest.h>
+
+#include "base/symbols.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+TEST(LanguageTest, QuestionMarkIdentifiersParse) {
+  auto m = ParseTgdMapping("R(?r1, x) -> T(x)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  std::vector<VarId> vars = m->tgds[0].PremiseVars();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(VarName(vars[0]), "?r1");
+}
+
+TEST(LanguageTest, BareQuestionMarkRejected) {
+  EXPECT_EQ(ParseTgdMapping("R(?, x) -> T(x)").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(LanguageTest, ParsingBumpsFreshCounterPastSuffix) {
+  // After parsing ?z123456789, no future generated variable may reuse that
+  // number — the numeric suffix of Next() must exceed it.
+  auto m = ParseTgdMapping("R(?z123456789, x) -> T(x)");
+  ASSERT_TRUE(m.ok());
+  FreshVarGen gen("q");
+  std::string name = VarName(gen.Next());
+  size_t pos = name.size();
+  while (pos > 0 && isdigit(static_cast<unsigned char>(name[pos - 1]))) --pos;
+  uint64_t suffix = std::stoull(name.substr(pos));
+  EXPECT_GT(suffix, 123456789ull);
+}
+
+TEST(LanguageTest, ExistsPrefixRoundTrips) {
+  const char* text = "R(x) -> EXISTS u,v . T(x,u), U(u,v)";
+  auto m1 = ParseTgdMapping(text);
+  ASSERT_TRUE(m1.ok());
+  auto m2 = ParseTgdMapping(m1->ToString());
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString() << "\n" << m1->ToString();
+  EXPECT_EQ(m1->ToString(), m2->ToString());
+}
+
+TEST(LanguageTest, MixedSeparatorsAndComments) {
+  auto m = ParseTgdMapping(
+      "# header\nA(x) -> D(x);B(x) -> E(x)\n\n\n# trailing\nF(x) -> G(x)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->tgds.size(), 3u);
+}
+
+TEST(LanguageTest, SOInverseOutputVariablesReparse) {
+  // The PolySOInverse printout uses ?u variables and #-suffixed function
+  // names; the ?u parts re-parse as atoms (full SO-inverse re-parsing is
+  // out of scope, but premises must round-trip for tooling).
+  auto q = ParseQuery("Q(?u0,?u1) :- T(?u0,?u1,?u1,?u2)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,294 @@
+// Unit tests for the logic layer: terms, atoms, queries, dependencies,
+// substitution and unification, SO-tgds.
+
+#include <gtest/gtest.h>
+
+#include "logic/cq.h"
+#include "logic/dependency.h"
+#include "logic/mapping.h"
+#include "logic/so_tgd.h"
+#include "logic/substitution.h"
+#include "logic/term.h"
+
+namespace mapinv {
+namespace {
+
+TEST(TermTest, KindsAndAccessors) {
+  Term v = Term::Var("x");
+  Term c = Term::Const(Value::Int(3));
+  Term f = Term::Fn("f", {Term::Var("x"), Term::Var("y")});
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_TRUE(f.is_function());
+  EXPECT_EQ(f.args().size(), 2u);
+  EXPECT_EQ(v.ToString(), "x");
+  EXPECT_EQ(c.ToString(), "3");
+  EXPECT_EQ(f.ToString(), "f(x,y)");
+}
+
+TEST(TermTest, PlainnessPerPaperDefinition) {
+  EXPECT_TRUE(Term::Var("x").IsPlain());
+  EXPECT_FALSE(Term::Const(Value::Int(1)).IsPlain());
+  EXPECT_TRUE(Term::Fn("f", {Term::Var("x")}).IsPlain());
+  // Nested applications (possible after composition) are not plain.
+  Term nested = Term::Fn("g", {Term::Fn("f", {Term::Var("x")})});
+  EXPECT_FALSE(nested.IsPlain());
+  EXPECT_EQ(nested.Depth(), 2u);
+}
+
+TEST(TermTest, EqualityAndHash) {
+  Term a = Term::Fn("f", {Term::Var("x")});
+  Term b = Term::Fn("f", {Term::Var("x")});
+  Term c = Term::Fn("f", {Term::Var("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TermTest, CollectVarsAndMentions) {
+  Term t = Term::Fn("g", {Term::Var("x"), Term::Var("y")});
+  std::vector<VarId> vars;
+  t.CollectVars(&vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_TRUE(t.Mentions(InternVar("x")));
+  EXPECT_FALSE(t.Mentions(InternVar("zz_unused")));
+}
+
+TEST(AtomTest, ValidationAgainstSchema) {
+  Schema s{{"R", 2}};
+  Atom good = Atom::Vars("R", {"x", "y"});
+  EXPECT_TRUE(good.Validate(s).ok());
+  Atom wrong_arity = Atom::Vars("R", {"x"});
+  EXPECT_EQ(wrong_arity.Validate(s).code(), StatusCode::kMalformed);
+  Atom unknown = Atom::Vars("Z", {"x"});
+  EXPECT_EQ(unknown.Validate(s).code(), StatusCode::kNotFound);
+}
+
+TEST(AtomTest, CollectDistinctVarsPreservesFirstOccurrenceOrder) {
+  std::vector<Atom> atoms = {Atom::Vars("R", {"x", "y"}),
+                             Atom::Vars("S", {"y", "z"})};
+  std::vector<VarId> vars = CollectDistinctVars(atoms);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(VarName(vars[0]), "x");
+  EXPECT_EQ(VarName(vars[1]), "y");
+  EXPECT_EQ(VarName(vars[2]), "z");
+}
+
+TEST(CqTest, ValidateAndPrint) {
+  Schema s{{"R", 2}, {"S", 2}};
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  EXPECT_TRUE(q.Validate(s).ok());
+  EXPECT_EQ(q.ToString(), "Q(x) :- R(x,y), S(y,z)");
+  EXPECT_EQ(q.ExistentialVars().size(), 2u);
+}
+
+TEST(CqTest, UnsafeHeadRejected) {
+  Schema s{{"R", 2}};
+  ConjunctiveQuery q;
+  q.head = {InternVar("w")};
+  q.atoms = {Atom::Vars("R", {"x", "y"})};
+  EXPECT_EQ(q.Validate(s).code(), StatusCode::kMalformed);
+}
+
+TEST(UnionCqTest, EqualityLinkedHeadIsSafe) {
+  Schema s{{"B", 1}};
+  UnionCq u;
+  u.head = {InternVar("x"), InternVar("y")};
+  CqDisjunct d;
+  d.atoms = {Atom::Vars("B", {"x"})};
+  d.equalities = {{InternVar("x"), InternVar("y")}};
+  u.disjuncts = {d};
+  EXPECT_TRUE(u.Validate(s).ok());
+}
+
+TEST(UnionCqTest, DisconnectedHeadIsUnsafe) {
+  Schema s{{"B", 1}};
+  UnionCq u;
+  u.head = {InternVar("x"), InternVar("y")};
+  CqDisjunct d;
+  d.atoms = {Atom::Vars("B", {"x"})};
+  u.disjuncts = {d};
+  EXPECT_EQ(u.Validate(s).code(), StatusCode::kMalformed);
+}
+
+TEST(TgdTest, FrontierAndExistentials) {
+  // R(x,y), S(y,z) -> EXISTS u . T(x,z,u)   (the paper's Section 2 example)
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z", "u"})};
+  std::vector<VarId> frontier = tgd.FrontierVars();
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(VarName(frontier[0]), "x");
+  EXPECT_EQ(VarName(frontier[1]), "z");
+  std::vector<VarId> exist = tgd.ExistentialVars();
+  ASSERT_EQ(exist.size(), 1u);
+  EXPECT_EQ(VarName(exist[0]), "u");
+  EXPECT_EQ(tgd.ToString(), "R(x,y), S(y,z) -> EXISTS u . T(x,z,u)");
+}
+
+TEST(TgdTest, ValidateChecksBothSides) {
+  Schema src{{"R", 2}, {"S", 2}};
+  Schema tgt{{"T", 3}};
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "y", "u"})};
+  EXPECT_TRUE(tgd.Validate(src, tgt).ok());
+  // Target relation used in the premise: rejected.
+  Tgd bad;
+  bad.premise = {Atom::Vars("T", {"x", "y", "z"})};
+  bad.conclusion = {Atom::Vars("T", {"x", "y", "z"})};
+  EXPECT_FALSE(bad.Validate(src, tgt).ok());
+}
+
+TEST(ReverseDependencyTest, ValidateAndPrint) {
+  Schema target_schema{{"T", 2}};
+  Schema source_schema{{"R", 2}, {"S", 2}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("x"), InternVar("y")};
+  dep.inequalities = {{InternVar("x"), InternVar("y")}};
+  ReverseDisjunct d1;
+  d1.atoms = {Atom::Vars("R", {"x", "u"})};
+  ReverseDisjunct d2;
+  d2.atoms = {Atom::Vars("S", {"x", "y"})};
+  d2.equalities = {{InternVar("x"), InternVar("y")}};
+  dep.disjuncts = {d1, d2};
+  EXPECT_TRUE(dep.Validate(target_schema, source_schema).ok());
+  EXPECT_EQ(dep.ToString(),
+            "T(x,y), C(x), C(y), x != y -> EXISTS u . R(x,u) | S(x,y), x = y");
+}
+
+TEST(ReverseDependencyTest, ConstantVarMustBeInPremise) {
+  Schema target_schema{{"T", 2}};
+  Schema source_schema{{"R", 2}};
+  ReverseDependency dep;
+  dep.premise = {Atom::Vars("T", {"x", "y"})};
+  dep.constant_vars = {InternVar("zzz")};
+  ReverseDisjunct d;
+  d.atoms = {Atom::Vars("R", {"x", "y"})};
+  dep.disjuncts = {d};
+  EXPECT_EQ(dep.Validate(target_schema, source_schema).code(),
+            StatusCode::kMalformed);
+}
+
+TEST(SubstitutionTest, ApplyResolvesChains) {
+  Substitution s;
+  s.Bind(InternVar("x"), Term::Var("y"));
+  s.Bind(InternVar("y"), Term::Const(Value::Int(1)));
+  EXPECT_EQ(s.Resolve(InternVar("x")), Term::Const(Value::Int(1)));
+  Atom a = Atom::Vars("R", {"x", "z"});
+  Atom applied = s.Apply(a);
+  EXPECT_EQ(applied.terms[0], Term::Const(Value::Int(1)));
+  EXPECT_EQ(applied.terms[1], Term::Var("z"));
+}
+
+TEST(UnifyTest, SimpleVariableBinding) {
+  auto res = Unify({{Term::Var("x"), Term::Var("y")}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->Resolve(InternVar("x")), res->Resolve(InternVar("y")));
+}
+
+TEST(UnifyTest, FunctionDecomposition) {
+  // f(x, g(y)) = f(a, g(b))  ⇒  x=a, y=b
+  Term lhs = Term::Fn("f", {Term::Var("x"), Term::Fn("g", {Term::Var("y")})});
+  Term rhs = Term::Fn("f", {Term::Var("a"), Term::Fn("g", {Term::Var("b")})});
+  auto res = Unify({{lhs, rhs}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->Resolve(InternVar("x")), res->Resolve(InternVar("a")));
+  EXPECT_EQ(res->Resolve(InternVar("y")), res->Resolve(InternVar("b")));
+}
+
+TEST(UnifyTest, FunctionClashFails) {
+  Term lhs = Term::Fn("f", {Term::Var("x")});
+  Term rhs = Term::Fn("g", {Term::Var("y")});
+  EXPECT_EQ(Unify({{lhs, rhs}}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(UnifyTest, OccursCheckFails) {
+  Term lhs = Term::Var("x");
+  Term rhs = Term::Fn("f", {Term::Var("x")});
+  EXPECT_EQ(Unify({{lhs, rhs}}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(UnifyTest, ConstantsMustMatch) {
+  EXPECT_TRUE(
+      Unify({{Term::Const(Value::Int(1)), Term::Const(Value::Int(1))}}).ok());
+  EXPECT_FALSE(
+      Unify({{Term::Const(Value::Int(1)), Term::Const(Value::Int(2))}}).ok());
+}
+
+TEST(UnifyTest, TransitiveThroughSharedVariable) {
+  // x = f(u), x = f(v)  ⇒  u = v
+  auto res = Unify({{Term::Var("x"), Term::Fn("f", {Term::Var("u")})},
+                    {Term::Var("x"), Term::Fn("f", {Term::Var("v")})}});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->Resolve(InternVar("u")), res->Resolve(InternVar("v")));
+}
+
+TEST(UnifyAtomsTest, DifferentRelationsFail) {
+  EXPECT_FALSE(
+      UnifyAtoms(Atom::Vars("R", {"x"}), Atom::Vars("S", {"x"})).ok());
+}
+
+TEST(RenameApartTest, ProducesFreshDistinctVars) {
+  FreshVarGen gen("t");
+  std::vector<VarId> vars = {InternVar("x"), InternVar("y"), InternVar("x")};
+  Substitution r = RenameApart(vars, &gen);
+  Term rx = r.Resolve(InternVar("x"));
+  Term ry = r.Resolve(InternVar("y"));
+  EXPECT_NE(rx, ry);
+  EXPECT_NE(rx, Term::Var("x"));
+}
+
+TEST(SOTgdTest, ValidatePlainTerms) {
+  Schema src{{"R", 3}};
+  Schema tgt{{"T", 4}};
+  SORule rule;
+  rule.premise = {Atom::Vars("R", {"x", "y", "z"})};
+  rule.conclusion = {
+      Atom("T", {Term::Var("x"), Term::Fn("f", {Term::Var("y")}),
+                 Term::Fn("f", {Term::Var("y")}),
+                 Term::Fn("g", {Term::Var("x"), Term::Var("z")})})};
+  SOTgd so;
+  so.rules = {rule};
+  EXPECT_TRUE(so.Validate(src, tgt).ok());
+  auto fns = so.Functions();
+  ASSERT_TRUE(fns.ok());
+  EXPECT_EQ(fns->size(), 2u);
+}
+
+TEST(SOTgdTest, InconsistentArityRejected) {
+  Schema src{{"R", 2}};
+  Schema tgt{{"T", 2}};
+  SORule rule;
+  rule.premise = {Atom::Vars("R", {"x", "y"})};
+  rule.conclusion = {Atom("T", {Term::Fn("f", {Term::Var("x")}),
+                                Term::Fn("f", {Term::Var("x"), Term::Var("y")})})};
+  SOTgd so;
+  so.rules = {rule};
+  EXPECT_FALSE(so.Validate(src, tgt).ok());
+}
+
+TEST(SOTgdTest, ConclusionVariableMustComeFromPremise) {
+  Schema src{{"R", 1}};
+  Schema tgt{{"T", 1}};
+  SORule rule;
+  rule.premise = {Atom::Vars("R", {"x"})};
+  rule.conclusion = {Atom::Vars("T", {"w"})};
+  SOTgd so;
+  so.rules = {rule};
+  EXPECT_EQ(so.Validate(src, tgt).code(), StatusCode::kMalformed);
+}
+
+TEST(MappingTest, TgdMappingValidates) {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z"})};
+  TgdMapping m(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 2}}, {tgd});
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,103 @@
+// Tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_tgd.h"
+#include "mapgen/generators.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+namespace {
+
+TEST(MapGenTest, CopyMappingShape) {
+  TgdMapping m = CopyMapping(3, 2);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.tgds.size(), 3u);
+  EXPECT_EQ(m.source->size(), 3u);
+  EXPECT_EQ(m.target->size(), 3u);
+}
+
+TEST(MapGenTest, ProjectionMappingShape) {
+  TgdMapping m = ProjectionMapping(2);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.target->arity(m.target->Find("T0")), 1u);
+}
+
+TEST(MapGenTest, ChainJoinMappingShape) {
+  TgdMapping m = ChainJoinMapping(4);
+  EXPECT_TRUE(m.Validate().ok());
+  ASSERT_EQ(m.tgds.size(), 1u);
+  EXPECT_EQ(m.tgds[0].premise.size(), 4u);
+  EXPECT_EQ(m.tgds[0].FrontierVars().size(), 2u);
+}
+
+TEST(MapGenTest, ExponentialFamilyShape) {
+  TgdMapping m = ExponentialFamilyMapping(2, 3);
+  EXPECT_TRUE(m.Validate().ok());
+  EXPECT_EQ(m.tgds.size(), 2u * 3u + 1u);
+  // The big tgd's conclusion covers all k target relations.
+  EXPECT_EQ(m.tgds.back().conclusion.size(), 3u);
+}
+
+TEST(MapGenTest, ExponentialFamilyRewritingBlowUp) {
+  // Rewriting of the B-tgd conclusion has (n+1)^k disjuncts before
+  // minimisation (all distinct: no containments across product choices).
+  TgdMapping m = ExponentialFamilyMapping(2, 3);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  for (int j = 0; j < 3; ++j) {
+    q.atoms.push_back(Atom::Vars("T" + std::to_string(j), {"x"}));
+  }
+  RewriteOptions no_min;
+  no_min.minimize = false;
+  UnionCq rewriting = *RewriteOverSource(m, q, no_min);
+  EXPECT_EQ(rewriting.disjuncts.size(), 27u);  // (2+1)^3
+}
+
+TEST(MapGenTest, RandomMappingValidates) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomMappingConfig config;
+    config.seed = seed;
+    config.num_tgds = 5;
+    TgdMapping m = GenerateRandomMapping(config);
+    EXPECT_TRUE(m.Validate().ok()) << "seed " << seed;
+    EXPECT_EQ(m.tgds.size(), 5u);
+  }
+}
+
+TEST(MapGenTest, RandomMappingIsDeterministicPerSeed) {
+  RandomMappingConfig config;
+  config.seed = 99;
+  TgdMapping a = GenerateRandomMapping(config);
+  TgdMapping b = GenerateRandomMapping(config);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  config.seed = 100;
+  TgdMapping c = GenerateRandomMapping(config);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(MapGenTest, InstanceGeneration) {
+  Schema s{{"R", 2}, {"S", 3}};
+  Instance inst = GenerateInstance(s, 10, 5, 42);
+  EXPECT_TRUE(inst.IsNullFree());
+  // Duplicates possible but bounded above by request.
+  EXPECT_LE(inst.tuples(s.Find("R")).size(), 10u);
+  EXPECT_GE(inst.TotalSize(), 2u);
+  // Deterministic per seed.
+  Instance again = GenerateInstance(s, 10, 5, 42);
+  EXPECT_TRUE(inst.EqualTo(again));
+}
+
+TEST(MapGenTest, GeneratedWorkloadsChaseCleanly) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    RandomMappingConfig config;
+    config.seed = seed;
+    TgdMapping m = GenerateRandomMapping(config);
+    Instance source = GenerateInstance(*m.source, 8, 4, seed);
+    Result<Instance> target = ChaseTgds(m, source);
+    EXPECT_TRUE(target.ok()) << target.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mapinv

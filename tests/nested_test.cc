@@ -1,0 +1,171 @@
+// Tests for nested mappings (logic/nested.h): translation to plain SO-tgds
+// and inversion through PolySOInverse — the Section 5.1 "nested mappings"
+// claim.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_so.h"
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/polyso.h"
+#include "logic/nested.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+// The Clio-style department/employee nested mapping:
+//   Dept(d, m) -> DeptT(d, k)                     [k: invented dept key]
+//     Emp(d, e) -> EmpT(e, k)                     [same k: correlation]
+NestedMapping DeptEmpMapping() {
+  NestedRule child;
+  child.premise = {Atom::Vars("Emp", {"d", "e"})};
+  child.conclusion = {Atom::Vars("EmpT", {"e", "k"})};
+  NestedRule root;
+  root.premise = {Atom::Vars("Dept", {"d", "m"})};
+  root.conclusion = {Atom::Vars("DeptT", {"d", "k"})};
+  root.children = {child};
+  return NestedMapping(Schema{{"Dept", 2}, {"Emp", 2}},
+                       Schema{{"DeptT", 2}, {"EmpT", 2}}, {root});
+}
+
+TEST(NestedTest, ValidatesAndPrints) {
+  NestedMapping m = DeptEmpMapping();
+  EXPECT_TRUE(m.Validate().ok());
+  std::string text = m.ToString();
+  EXPECT_NE(text.find("Dept(d,m) -> DeptT(d,k)"), std::string::npos);
+  EXPECT_NE(text.find("  Emp(d,e) -> EmpT(e,k)"), std::string::npos);
+}
+
+TEST(NestedTest, RejectsMalformedTrees) {
+  NestedMapping empty(Schema{{"A", 1}}, Schema{{"B", 1}}, {});
+  EXPECT_EQ(empty.Validate().code(), StatusCode::kMalformed);
+
+  NestedRule no_premise;
+  no_premise.conclusion = {Atom::Vars("B", {"x"})};
+  NestedMapping bad(Schema{{"A", 1}}, Schema{{"B", 1}}, {no_premise});
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kMalformed);
+
+  NestedRule useless;
+  useless.premise = {Atom::Vars("A", {"x"})};
+  NestedMapping bad2(Schema{{"A", 1}}, Schema{{"B", 1}}, {useless});
+  EXPECT_EQ(bad2.Validate().code(), StatusCode::kMalformed);
+}
+
+TEST(NestedTest, TranslationSharesTheCorrelatedSkolem) {
+  SOTgdMapping so = NestedToPlainSOTgd(DeptEmpMapping()).ValueOrDie();
+  ASSERT_EQ(so.so.rules.size(), 2u);
+  // Rule 1: Dept(d,m) -> DeptT(d, f(d,m)).
+  const Term& parent_key = so.so.rules[0].conclusion[0].terms[1];
+  ASSERT_TRUE(parent_key.is_function());
+  EXPECT_EQ(parent_key.args().size(), 2u);
+  // Rule 2: Dept(d,m), Emp(d,e) -> EmpT(e, f(d,m)) — same function symbol,
+  // same arguments.
+  ASSERT_EQ(so.so.rules[1].premise.size(), 2u);
+  const Term& child_key = so.so.rules[1].conclusion[0].terms[1];
+  EXPECT_EQ(parent_key, child_key);
+}
+
+TEST(NestedTest, ExchangeCorrelatesAcrossLevels) {
+  SOTgdMapping so = NestedToPlainSOTgd(DeptEmpMapping()).ValueOrDie();
+  Instance source = ParseInstance(
+      "{ Dept('cs','alice'), Dept('ee','bob'), "
+      "Emp('cs','carol'), Emp('cs','dan'), Emp('ee','eve') }",
+      *so.source).ValueOrDie();
+  Instance target = ChaseSOTgd(so, source).ValueOrDie();
+  RelationId deptt = target.schema().Find("DeptT");
+  RelationId empt = target.schema().Find("EmpT");
+  ASSERT_EQ(target.tuples(deptt).size(), 2u);
+  ASSERT_EQ(target.tuples(empt).size(), 3u);
+  // carol and dan share the cs key; eve has the ee key; the keys equal the
+  // corresponding DeptT keys.
+  Value cs_key, ee_key;
+  for (const Tuple& t : target.tuples(deptt)) {
+    if (t[0] == Value::MakeConstant("cs")) cs_key = t[1];
+    if (t[0] == Value::MakeConstant("ee")) ee_key = t[1];
+  }
+  EXPECT_NE(cs_key, ee_key);
+  int cs_members = 0, ee_members = 0;
+  for (const Tuple& t : target.tuples(empt)) {
+    if (t[1] == cs_key) ++cs_members;
+    if (t[1] == ee_key) ++ee_members;
+  }
+  EXPECT_EQ(cs_members, 2);
+  EXPECT_EQ(ee_members, 1);
+}
+
+TEST(NestedTest, InvertedNestedMappingRecoversMembership) {
+  // The §5.1 punchline: nested mapping → plain SO-tgd → PolySOInverse.
+  // After the round trip, the department-membership join survives even
+  // though the invented keys are gone.
+  SOTgdMapping so = NestedToPlainSOTgd(DeptEmpMapping()).ValueOrDie();
+  SOInverseMapping inverse = PolySOInverse(so).ValueOrDie();
+  Instance source = ParseInstance(
+      "{ Dept('cs','alice'), Emp('cs','carol'), Emp('cs','dan') }",
+      *so.source).ValueOrDie();
+  ConjunctiveQuery colleagues = ParseCq(
+      "Q(e1,e2) :- Emp(d,e1), Emp(d,e2)").ValueOrDie();
+  AnswerSet certain =
+      RoundTripCertainSO(so, inverse, source, colleagues).ValueOrDie();
+  AnswerSet direct = EvaluateCq(colleagues, source).ValueOrDie();
+  EXPECT_EQ(certain.tuples, direct.tuples);
+  // Department names are constants in the target (DeptT carries d), so the
+  // department projection is recovered exactly as well.
+  ConjunctiveQuery depts = ParseCq("Q(d) :- Dept(d,m)").ValueOrDie();
+  AnswerSet dept_certain =
+      RoundTripCertainSO(so, inverse, source, depts).ValueOrDie();
+  AnswerSet dept_direct = EvaluateCq(depts, source).ValueOrDie();
+  EXPECT_EQ(dept_certain.tuples, dept_direct.tuples);
+}
+
+TEST(NestedTest, DeeperNestingAccumulatesPremises) {
+  // Three levels: Org -> Dept -> Emp, with a shared org key at every level.
+  NestedRule emp;
+  emp.premise = {Atom::Vars("E", {"d", "e"})};
+  emp.conclusion = {Atom::Vars("ET", {"e", "ok"})};
+  NestedRule dept;
+  dept.premise = {Atom::Vars("D", {"o", "d"})};
+  dept.conclusion = {Atom::Vars("DT", {"d", "ok"})};
+  dept.children = {emp};
+  NestedRule org;
+  org.premise = {Atom::Vars("O", {"o"})};
+  org.conclusion = {Atom::Vars("OT", {"o", "ok"})};
+  org.children = {dept};
+  NestedMapping m(Schema{{"O", 1}, {"D", 2}, {"E", 2}},
+                  Schema{{"OT", 2}, {"DT", 2}, {"ET", 2}}, {org});
+  SOTgdMapping so = NestedToPlainSOTgd(m).ValueOrDie();
+  ASSERT_EQ(so.so.rules.size(), 3u);
+  EXPECT_EQ(so.so.rules[0].premise.size(), 1u);
+  EXPECT_EQ(so.so.rules[1].premise.size(), 2u);
+  EXPECT_EQ(so.so.rules[2].premise.size(), 3u);
+  // ok is introduced at the org level: every level carries f(o) with the
+  // same unary function.
+  const Term& k0 = so.so.rules[0].conclusion[0].terms[1];
+  const Term& k1 = so.so.rules[1].conclusion[0].terms[1];
+  const Term& k2 = so.so.rules[2].conclusion[0].terms[1];
+  ASSERT_TRUE(k0.is_function());
+  EXPECT_EQ(k0.args().size(), 1u);
+  EXPECT_EQ(k0, k1);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(NestedTest, ChildOnlyExistentialGetsChildLevelSkolem) {
+  // An existential introduced by a child depends on the child's premise
+  // variables too.
+  NestedRule child;
+  child.premise = {Atom::Vars("E", {"d", "e"})};
+  child.conclusion = {Atom::Vars("ET", {"e", "badge"})};
+  NestedRule root;
+  root.premise = {Atom::Vars("D", {"d"})};
+  root.conclusion = {Atom::Vars("DT", {"d"})};
+  root.children = {child};
+  NestedMapping m(Schema{{"D", 1}, {"E", 2}}, Schema{{"DT", 1}, {"ET", 2}},
+                  {root});
+  SOTgdMapping so = NestedToPlainSOTgd(m).ValueOrDie();
+  const Term& badge = so.so.rules[1].conclusion[0].terms[1];
+  ASSERT_TRUE(badge.is_function());
+  EXPECT_EQ(badge.args().size(), 2u);  // d (shared), e — deduplicated path vars
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,190 @@
+// Tests for the text syntax: lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+TEST(LexerTest, TokenKindsAndPositions) {
+  auto tokens = Lex("R(x,y) -> T(x)\nQ(x) :- A(x) | B(x), x = y, x != z");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens->front().text, "R");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+  int separators = 0;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kSeparator) ++separators;
+  }
+  EXPECT_EQ(separators, 1);
+}
+
+TEST(LexerTest, CommentsAndStrings) {
+  auto tokens = Lex("# a comment\nR('ann', 42)  # trailing");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 6u);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "ann");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Lex("R(x) @ T(x)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("'unterminated").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("a - b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("a ! b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("a : b").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseTgdMappingTest, JoinMapping) {
+  auto m = ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->tgds.size(), 1u);
+  EXPECT_EQ(m->source->size(), 2u);
+  EXPECT_EQ(m->target->size(), 1u);
+  EXPECT_EQ(m->tgds[0].ToString(), "R(x,y), S(y,z) -> T(x,z)");
+}
+
+TEST(ParseTgdMappingTest, ExistentialsAndMultipleStatements) {
+  auto m = ParseTgdMapping(R"(
+    # two tgds
+    R(x,y) -> EXISTS u . T(x,u)
+    S(x)   -> T(x,x)
+  )");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->tgds.size(), 2u);
+  EXPECT_EQ(m->tgds[0].ExistentialVars().size(), 1u);
+}
+
+TEST(ParseTgdMappingTest, SemicolonSeparators) {
+  auto m = ParseTgdMapping("A(x) -> D(x); B(x) -> D(x), E(x)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->tgds.size(), 2u);
+  EXPECT_EQ(m->tgds[1].conclusion.size(), 2u);
+}
+
+TEST(ParseTgdMappingTest, SharedRelationAcrossSidesRejected) {
+  EXPECT_EQ(ParseTgdMapping("R(x) -> R(x)").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParseTgdMappingTest, ArityClashRejected) {
+  EXPECT_FALSE(ParseTgdMapping("R(x) -> T(x)\nR(x,y) -> T(y)").ok());
+}
+
+TEST(ParseTgdMappingTest, ConstraintsRejectedInTgds) {
+  EXPECT_FALSE(ParseTgdMapping("R(x,y), x != y -> T(x)").ok());
+  EXPECT_FALSE(ParseTgdMapping("R(x,y), C(x) -> T(x)").ok());
+}
+
+TEST(ParseReverseMappingTest, FullInverseLanguage) {
+  auto m = ParseReverseMapping(
+      "T(x,y), C(x), C(y), x != y -> EXISTS u . R(x,u) | S(x,y), x = y");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->deps.size(), 1u);
+  const ReverseDependency& dep = m->deps[0];
+  EXPECT_EQ(dep.constant_vars.size(), 2u);
+  EXPECT_EQ(dep.inequalities.size(), 1u);
+  ASSERT_EQ(dep.disjuncts.size(), 2u);
+  EXPECT_EQ(dep.disjuncts[1].equalities.size(), 1u);
+  EXPECT_EQ(
+      dep.ToString(),
+      "T(x,y), C(x), C(y), x != y -> EXISTS u . R(x,u) | S(x,y), x = y");
+}
+
+TEST(ParseReverseMappingTest, RoundTripsThroughToString) {
+  const char* text =
+      "T(x,y), C(x), C(y), x != y -> EXISTS u . R(x,u) | S(x,y), x = y";
+  auto m1 = ParseReverseMapping(text);
+  ASSERT_TRUE(m1.ok());
+  auto m2 = ParseReverseMapping(m1->ToString());
+  ASSERT_TRUE(m2.ok()) << m2.status().ToString();
+  EXPECT_EQ(m1->ToString(), m2->ToString());
+}
+
+TEST(ParseSOTgdMappingTest, FunctionTerms) {
+  auto m = ParseSOTgdMapping("Takes(n,c) -> Enrollment(f(n), c)");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->so.rules.size(), 1u);
+  EXPECT_TRUE(m->so.rules[0].conclusion[0].terms[0].is_function());
+}
+
+TEST(ParseSOTgdMappingTest, Rule9) {
+  auto m = ParseSOTgdMapping("R(x,y,z) -> T(x, f(y), f(y), g(x,z))");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto fns = m->so.Functions();
+  ASSERT_TRUE(fns.ok());
+  EXPECT_EQ(fns->size(), 2u);
+}
+
+TEST(ParseSOTgdMappingTest, NestedFunctionRejectedByValidation) {
+  // Parsed fine, but plain-term validation rejects nesting.
+  EXPECT_FALSE(ParseSOTgdMapping("R(x) -> T(g(f(x)))").ok());
+}
+
+TEST(ParseQueryTest, UnionWithEqualities) {
+  auto q = ParseQuery("Q(x,y) :- A(x,y) | B(x), x = y");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head.size(), 2u);
+  ASSERT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_EQ(q->disjuncts[1].equalities.size(), 1u);
+}
+
+TEST(ParseQueryTest, CqHelper) {
+  auto q = ParseCq("Q(x) :- R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms.size(), 2u);
+  EXPECT_FALSE(ParseCq("Q(x) :- A(x) | B(x)").ok());
+}
+
+TEST(ParseQueryTest, BooleanQuery) {
+  auto q = ParseQuery("Q() :- R(x,y)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->head.empty());
+}
+
+TEST(ParseInstanceTest, AgainstSchema) {
+  Schema s{{"R", 2}, {"S", 2}};
+  auto inst = ParseInstance("{ R(1,2), R(3,4), S(2,5) }", s);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->ToString(), "{ R(1,2), R(3,4), S(2,5) }");
+}
+
+TEST(ParseInstanceTest, InferSchemaWithMixedConstants) {
+  auto inst = ParseInstanceInferSchema("{ Takes(ann,'db systems'), Id(7) }");
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->schema().size(), 2u);
+  EXPECT_EQ(inst->schema().arity(inst->schema().Find("Takes")), 2u);
+}
+
+TEST(ParseInstanceTest, NullLiterals) {
+  auto inst = ParseInstanceInferSchema("{ T(1,_N0), T(2,_N0), T(3,_N1) }");
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  RelationId t = inst->schema().Find("T");
+  ASSERT_EQ(inst->tuples(t).size(), 3u);
+  EXPECT_EQ(inst->tuples(t)[0][1], inst->tuples(t)[1][1]);
+  EXPECT_NE(inst->tuples(t)[0][1], inst->tuples(t)[2][1]);
+  EXPECT_FALSE(inst->IsNullFree());
+}
+
+TEST(ParseInstanceTest, EmptyInstance) {
+  auto inst = ParseInstanceInferSchema("{ }");
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->TotalSize(), 0u);
+}
+
+TEST(ParseInstanceTest, ArityMismatchAgainstSchema) {
+  Schema s{{"R", 2}};
+  EXPECT_FALSE(ParseInstance("{ R(1) }", s).ok());
+}
+
+TEST(ParseErrorTest, HelpfulMessages) {
+  Status st = ParseTgdMapping("R(x,y ->").status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,303 @@
+// Property-style parameterized sweeps over random mappings and instances.
+//
+// These are the library's strongest correctness checks: the Section 4
+// pipeline (MaximumRecovery → EliminateEqualities → EliminateDisjunctions)
+// and the Section 5 PolySOInverse are two fully independent implementations
+// of CQ-maximum recoveries, so their certain answers must agree exactly on
+// every mapping, instance and conjunctive query; the rewriting engine is
+// checked against chase-based certain answers; each pipeline stage must
+// preserve round-trip certain answers.
+
+#include <gtest/gtest.h>
+
+#include "check/properties.h"
+#include "chase/round_trip.h"
+#include "eval/query_eval.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/eliminate_disjunctions.h"
+#include "inversion/eliminate_equalities.h"
+#include "inversion/maximum_recovery.h"
+#include "inversion/polyso.h"
+#include "mapgen/generators.h"
+#include "rewrite/rewrite.h"
+#include "rewrite/skolemize.h"
+
+namespace mapinv {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Small shapes keep disjunctive world counts manageable while still
+  // exercising joins, repeated variables and existentials.
+  TgdMapping MakeMapping(uint64_t seed) const {
+    RandomMappingConfig config;
+    config.seed = seed;
+    config.num_tgds = 3;
+    config.source_relations = 3;
+    config.target_relations = 3;
+    config.arity = 2;
+    config.premise_atoms = 2;
+    config.conclusion_atoms = 1;
+    config.premise_vars = 3;
+    config.existential_vars = 1;
+    return GenerateRandomMapping(config);
+  }
+
+  Instance MakeSource(const TgdMapping& m, uint64_t seed) const {
+    return GenerateInstance(*m.source, 3, 3, seed * 31 + 7);
+  }
+};
+
+TEST_P(SeedSweep, RewritingMatchesChaseCertainAnswers) {
+  TgdMapping m = MakeMapping(GetParam());
+  Instance source = MakeSource(m, GetParam());
+  for (const ConjunctiveQuery& q : PerRelationQueries(*m.target)) {
+    Result<UnionCq> rewriting = RewriteOverSource(m, q);
+    ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+    AnswerSet via_rewriting = *EvaluateUnionCq(*rewriting, source);
+    AnswerSet via_chase = *CertainAnswersTgd(m, source, q);
+    EXPECT_EQ(via_rewriting.tuples, via_chase.tuples)
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString()
+        << "\nsource: " << source.ToString()
+        << "\nrewriting: " << rewriting->ToString();
+  }
+}
+
+TEST_P(SeedSweep, RewritingMatchesChaseOnJoinQueries) {
+  TgdMapping m = MakeMapping(GetParam());
+  Instance source = MakeSource(m, GetParam());
+  // A two-atom join query over the first two target relations, projecting
+  // the join variable away.
+  ConjunctiveQuery q;
+  q.name = "Join";
+  q.head = {InternVar("?j0")};
+  q.atoms = {Atom("T0", {Term::Var("?j0"), Term::Var("?j1")}),
+             Atom("T1", {Term::Var("?j1"), Term::Var("?j2")})};
+  Result<UnionCq> rewriting = RewriteOverSource(m, q);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  AnswerSet via_rewriting = *EvaluateUnionCq(*rewriting, source);
+  AnswerSet via_chase = *CertainAnswersTgd(m, source, q);
+  EXPECT_EQ(via_rewriting.tuples, via_chase.tuples)
+      << "mapping:\n" << m.ToString() << "source: " << source.ToString();
+}
+
+TEST_P(SeedSweep, CqMaximumRecoveryIsSound) {
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> rec = CqMaximumRecovery(m);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  std::vector<Instance> sources = {MakeSource(m, GetParam()),
+                                   MakeSource(m, GetParam() + 1000)};
+  auto violation =
+      *CheckCRecovery(m, *rec, sources, PerRelationQueries(*m.source));
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\nmapping:\n" << m.ToString();
+}
+
+TEST_P(SeedSweep, PolySOInverseIsSound) {
+  TgdMapping m = MakeMapping(GetParam());
+  Result<SOTgdMapping> so = TgdsToPlainSOTgd(m);
+  ASSERT_TRUE(so.ok());
+  Result<SOInverseMapping> inv = PolySOInverse(*so);
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  Instance source = MakeSource(m, GetParam());
+  for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
+    Result<AnswerSet> certain = RoundTripCertainSO(*so, *inv, source, q);
+    ASSERT_TRUE(certain.ok()) << certain.status().ToString();
+    AnswerSet direct = *EvaluateCq(q, source);
+    EXPECT_TRUE(certain->SubsetOf(direct))
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString()
+        << "\ncertain: " << certain->ToString()
+        << "\ndirect:  " << direct.ToString();
+  }
+}
+
+TEST_P(SeedSweep, SectionFourAndSectionFiveAgree) {
+  // Both algorithms produce CQ-maximum recoveries, so the certain answers
+  // of every source CQ through the round trip must coincide (Definition
+  // 3.4: CQ-maximum recoveries mutually dominate).
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> rec = CqMaximumRecovery(m);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  Result<SOTgdMapping> so = TgdsToPlainSOTgd(m);
+  ASSERT_TRUE(so.ok());
+  Result<SOInverseMapping> inv = PolySOInverse(*so);
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  Instance source = MakeSource(m, GetParam());
+  for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
+    Result<AnswerSet> via_pipeline = RoundTripCertain(m, *rec, source, q);
+    ASSERT_TRUE(via_pipeline.ok()) << via_pipeline.status().ToString();
+    Result<AnswerSet> via_polyso = RoundTripCertainSO(*so, *inv, source, q);
+    ASSERT_TRUE(via_polyso.ok()) << via_polyso.status().ToString();
+    EXPECT_EQ(via_pipeline->tuples, via_polyso->tuples)
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString()
+        << "\npipeline: " << via_pipeline->ToString()
+        << "\npolyso:   " << via_polyso->ToString()
+        << "\nsource:   " << source.ToString();
+  }
+}
+
+TEST_P(SeedSweep, EliminateEqualitiesPreservesRoundTripCertainAnswers) {
+  // Lemma 4.2: Σ' and Σ'' specify the same maximum recovery, so round-trip
+  // certain answers agree.
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> sigma1 = MaximumRecovery(m);
+  ASSERT_TRUE(sigma1.ok()) << sigma1.status().ToString();
+  Result<ReverseMapping> sigma2 = EliminateEqualities(*sigma1);
+  ASSERT_TRUE(sigma2.ok()) << sigma2.status().ToString();
+  Instance source = MakeSource(m, GetParam());
+  ChaseOptions options;
+  options.max_worlds = 100000;
+  for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
+    Result<AnswerSet> a1 = RoundTripCertain(m, *sigma1, source, q, options);
+    Result<AnswerSet> a2 = RoundTripCertain(m, *sigma2, source, q, options);
+    if (!a1.ok() || !a2.ok()) {
+      GTEST_SKIP() << "world explosion: " << a1.status().ToString() << " / "
+                   << a2.status().ToString();
+    }
+    EXPECT_EQ(a1->tuples, a2->tuples)
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString();
+  }
+}
+
+TEST_P(SeedSweep, EliminateDisjunctionsPreservesCqCertainAnswers) {
+  // Lemma 4.3: Σ'' ≡_CQ Σ*, compared on the canonical target of a random
+  // source (the realistic input distribution for a reverse mapping).
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> sigma1 = MaximumRecovery(m);
+  ASSERT_TRUE(sigma1.ok());
+  Result<ReverseMapping> sigma2 = EliminateEqualities(*sigma1);
+  ASSERT_TRUE(sigma2.ok());
+  Result<ReverseMapping> sigma_star = EliminateDisjunctions(*sigma2);
+  ASSERT_TRUE(sigma_star.ok()) << sigma_star.status().ToString();
+  Instance source = MakeSource(m, GetParam());
+  Result<Instance> target = ChaseTgds(m, source);
+  ASSERT_TRUE(target.ok());
+  ChaseOptions options;
+  options.max_worlds = 100000;
+  auto violation = CheckCqEquivalentReverse(
+      *sigma2, *sigma_star, {*target}, PerRelationQueries(*m.source), options);
+  if (!violation.ok()) {
+    GTEST_SKIP() << "world explosion: " << violation.status().ToString();
+  }
+  EXPECT_FALSE(violation->has_value())
+      << (*violation)->description << "\nmapping:\n" << m.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMappings, SeedSweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// A second shape: two-atom conclusions with two existentials per tgd. This
+// exercises multi-atom ψ premises in MaximumRecovery (the reverse premise
+// is a pattern, not a single atom) and conclusion normalisation in
+// PolySOInverse (one inverse rule per conclusion atom).
+class WideConclusionSweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TgdMapping MakeMapping(uint64_t seed) const {
+    RandomMappingConfig config;
+    config.seed = seed * 131 + 17;
+    config.num_tgds = 2;
+    config.source_relations = 2;
+    config.target_relations = 2;
+    config.arity = 2;
+    config.premise_atoms = 1;
+    config.conclusion_atoms = 2;
+    config.premise_vars = 2;
+    config.existential_vars = 2;
+    return GenerateRandomMapping(config);
+  }
+};
+
+TEST_P(WideConclusionSweep, CqMaximumRecoveryIsSound) {
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> rec = CqMaximumRecovery(m);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString() << "\n" << m.ToString();
+  Instance source = GenerateInstance(*m.source, 3, 3, GetParam());
+  auto violation =
+      *CheckCRecovery(m, *rec, {source}, PerRelationQueries(*m.source));
+  EXPECT_FALSE(violation.has_value())
+      << violation->description << "\nmapping:\n" << m.ToString();
+}
+
+TEST_P(WideConclusionSweep, RoundTripApproximationChainHolds) {
+  // With multi-atom conclusions the two canonical round trips need not
+  // coincide: a rule like S1(v,v) → ∃w,e (T(w,v) ∧ T(v,e)) lets a
+  // non-canonical solution fold the invented e onto a constant, satisfying
+  // the SO inverse without returning the S1-fact, while the canonical
+  // instance keeps e fresh and the provenance-constrained SO disjuncts
+  // force the fact back. The guaranteed relationship (see
+  // chase/round_trip.h) is the one-sided chain
+  //     FO-pipeline round trip ⊆ SO round trip ⊆ direct evaluation.
+  TgdMapping m = MakeMapping(GetParam());
+  Result<ReverseMapping> rec = CqMaximumRecovery(m);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  Result<SOTgdMapping> so = TgdsToPlainSOTgd(m);
+  ASSERT_TRUE(so.ok());
+  Result<SOInverseMapping> inv = PolySOInverse(*so);
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  Instance source = GenerateInstance(*m.source, 2, 3, GetParam() + 55);
+  ChaseOptions options;
+  options.max_worlds = 50000;
+  for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
+    Result<AnswerSet> via_pipeline =
+        RoundTripCertain(m, *rec, source, q, options);
+    Result<AnswerSet> via_polyso =
+        RoundTripCertainSO(*so, *inv, source, q, options);
+    if (!via_pipeline.ok() || !via_polyso.ok()) {
+      GTEST_SKIP() << "world explosion: "
+                   << via_pipeline.status().ToString() << " / "
+                   << via_polyso.status().ToString();
+    }
+    AnswerSet direct = *EvaluateCq(q, source);
+    EXPECT_TRUE(via_pipeline->SubsetOf(*via_polyso))
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString()
+        << "\npipeline: " << via_pipeline->ToString()
+        << "\npolyso:   " << via_polyso->ToString();
+    EXPECT_TRUE(via_polyso->SubsetOf(direct))
+        << "mapping:\n" << m.ToString() << "query: " << q.ToString()
+        << "\npolyso: " << via_polyso->ToString()
+        << "\ndirect: " << direct.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideConclusions, WideConclusionSweep,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// Sweep over the structured generator families as well.
+class FamilySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilySweep, CopyMappingsAreExactlyInvertible) {
+  int n = GetParam();
+  TgdMapping m = CopyMapping(n, 2);
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  Instance source = GenerateInstance(*m.source, 4, 4, n);
+  EXPECT_TRUE(*RoundTripIsIdentity(m, rec, source));
+}
+
+TEST_P(FamilySweep, ChainJoinsRecoverTheChainQuery) {
+  int len = GetParam();
+  TgdMapping m = ChainJoinMapping(len);
+  ReverseMapping rec = *CqMaximumRecovery(m);
+  // Source: one long chain 0 -> 1 -> ... -> len.
+  Instance source(*m.source);
+  for (int i = 0; i < len; ++i) {
+    ASSERT_TRUE(source.AddInts("R" + std::to_string(i), {i, i + 1}).ok());
+  }
+  ConjunctiveQuery ends;
+  ends.head = {InternVar("?a"), InternVar("?b")};
+  std::vector<Atom> chain;
+  for (int i = 0; i < len; ++i) {
+    chain.push_back(Atom("R" + std::to_string(i),
+                         {Term::Var("?c" + std::to_string(i)),
+                          Term::Var("?c" + std::to_string(i + 1))}));
+  }
+  ends.atoms = chain;
+  ends.head = {InternVar("?c0"), InternVar("?c" + std::to_string(len))};
+  AnswerSet certain = *RoundTripCertain(m, rec, source, ends);
+  ASSERT_EQ(certain.tuples.size(), 1u);
+  EXPECT_EQ(certain.tuples[0], Tuple({Value::Int(0), Value::Int(len)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FamilySweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,272 @@
+// Unit tests for the rewriting engine: REWRITE(Σ, Q) — certain-answer
+// rewritings of target CQs as source UCQ= queries.
+
+#include <gtest/gtest.h>
+
+#include "chase/chase_tgd.h"
+#include "eval/query_eval.h"
+#include "rewrite/rewrite.h"
+#include "rewrite/skolemize.h"
+
+namespace mapinv {
+namespace {
+
+TgdMapping PaperABMapping() {
+  // A(x,y) -> P(x,y) and B(x) -> P(x,x)  (Section 4 rewriting example).
+  Tgd t1;
+  t1.premise = {Atom::Vars("A", {"x", "y"})};
+  t1.conclusion = {Atom::Vars("P", {"x", "y"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("B", {"x"})};
+  t2.conclusion = {Atom::Vars("P", {"x", "x"})};
+  return TgdMapping(Schema{{"A", 2}, {"B", 1}}, Schema{{"P", 2}}, {t1, t2});
+}
+
+// Checks the rewriting contract Q'(I) = certain(Q, I) on a given instance.
+void ExpectRewritingExact(const TgdMapping& m, const ConjunctiveQuery& q,
+                          const Instance& source) {
+  Result<UnionCq> rewriting = RewriteOverSource(m, q);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  Result<AnswerSet> via_rewriting = EvaluateUnionCq(*rewriting, source);
+  ASSERT_TRUE(via_rewriting.ok()) << via_rewriting.status().ToString();
+  Result<AnswerSet> via_chase = CertainAnswersTgd(m, source, q);
+  ASSERT_TRUE(via_chase.ok()) << via_chase.status().ToString();
+  EXPECT_EQ(via_rewriting->tuples, via_chase->tuples)
+      << "rewriting: " << rewriting->ToString()
+      << "\nrewriting answers: " << via_rewriting->ToString()
+      << "\nchase answers:     " << via_chase->ToString();
+}
+
+TEST(RewriteTest, PaperExampleShape) {
+  // Rewriting of P(x,y) is A(x,y) ∨ (B(x) ∧ x = y).
+  TgdMapping m = PaperABMapping();
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("P", {"x", "y"})};
+  UnionCq rewriting = *RewriteOverSource(m, q);
+  ASSERT_EQ(rewriting.disjuncts.size(), 2u);
+  int with_equality = 0, without_equality = 0;
+  for (const CqDisjunct& d : rewriting.disjuncts) {
+    if (d.equalities.empty()) {
+      ++without_equality;
+      ASSERT_EQ(d.atoms.size(), 1u);
+      EXPECT_EQ(RelationText(d.atoms[0].relation), "A");
+    } else {
+      ++with_equality;
+      ASSERT_EQ(d.atoms.size(), 1u);
+      EXPECT_EQ(RelationText(d.atoms[0].relation), "B");
+      ASSERT_EQ(d.equalities.size(), 1u);
+    }
+  }
+  EXPECT_EQ(with_equality, 1);
+  EXPECT_EQ(without_equality, 1);
+}
+
+TEST(RewriteTest, PaperExampleSemantics) {
+  TgdMapping m = PaperABMapping();
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("P", {"x", "y"})};
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("A", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("B", {7}).ok());
+  ExpectRewritingExact(m, q, source);
+}
+
+TEST(RewriteTest, JoinMappingConclusionQuery) {
+  // M: R(x,y), S(y,z) -> T(x,z); rewriting of T(x,z) is ∃y R(x,y) ∧ S(y,z).
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z"})};
+  TgdMapping m(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 2}}, {tgd});
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("z")};
+  q.atoms = {Atom::Vars("T", {"x", "z"})};
+  UnionCq rewriting = *RewriteOverSource(m, q);
+  ASSERT_EQ(rewriting.disjuncts.size(), 1u);
+  EXPECT_EQ(rewriting.disjuncts[0].atoms.size(), 2u);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("R", {3, 4}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+  ExpectRewritingExact(m, q, source);
+}
+
+TEST(RewriteTest, ExistentialTargetPositionIsNeverCertain) {
+  // R(x) -> EXISTS y . T(x,y): rewriting of T(x,y) with y free must be
+  // empty — y is always an invented null.
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "y"})};
+  TgdMapping m(Schema{{"R", 1}}, Schema{{"T", 2}}, {tgd});
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("y")};
+  q.atoms = {Atom::Vars("T", {"x", "y"})};
+  UnionCq rewriting = *RewriteOverSource(m, q);
+  EXPECT_TRUE(rewriting.disjuncts.empty());
+  // But projecting y away rewrites to R(x).
+  ConjunctiveQuery proj;
+  proj.head = {InternVar("x")};
+  proj.atoms = {Atom::Vars("T", {"x", "y"})};
+  UnionCq proj_rewriting = *RewriteOverSource(m, proj);
+  ASSERT_EQ(proj_rewriting.disjuncts.size(), 1u);
+  EXPECT_EQ(RelationText(proj_rewriting.disjuncts[0].atoms[0].relation), "R");
+}
+
+TEST(RewriteTest, SkolemJoinAcrossAtomsMergesFirings) {
+  // R(a) -> EXISTS y . T(a,y), U(y,a): query ∃z T(x,z) ∧ U(z,x') joins the
+  // invented value, forcing both atoms to come from the same firing, hence
+  // x = x'.
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"a"})};
+  tgd.conclusion = {Atom::Vars("T", {"a", "y"}), Atom::Vars("U", {"y", "a"})};
+  TgdMapping m(Schema{{"R", 1}}, Schema{{"T", 2}, {"U", 2}}, {tgd});
+  ConjunctiveQuery q;
+  q.head = {InternVar("x"), InternVar("xp")};
+  q.atoms = {Atom::Vars("T", {"x", "z"}), Atom::Vars("U", {"z", "xp"})};
+  UnionCq rewriting = *RewriteOverSource(m, q);
+  ASSERT_EQ(rewriting.disjuncts.size(), 1u);
+  ASSERT_EQ(rewriting.disjuncts[0].equalities.size(), 1u);
+  Instance source(*m.source);
+  ASSERT_TRUE(source.AddInts("R", {4}).ok());
+  ASSERT_TRUE(source.AddInts("R", {9}).ok());
+  ExpectRewritingExact(m, q, source);
+}
+
+TEST(RewriteTest, SkolemValueJoinedWithSourceConstantPrunes) {
+  // A(a) -> T(f(a)) [Skolemised ∃] and B(b,c) -> U(b): the query
+  // ∃z T(z) ∧ U(z) requires a source constant to equal an invented value:
+  // empty rewriting (Boolean query encoded with a dummy free variable held
+  // by an extra atom).
+  Tgd t1;
+  t1.premise = {Atom::Vars("A", {"a"})};
+  t1.conclusion = {Atom::Vars("T", {"w"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("B", {"b", "c"})};
+  t2.conclusion = {Atom::Vars("U", {"b"})};
+  TgdMapping m(Schema{{"A", 1}, {"B", 2}}, Schema{{"T", 1}, {"U", 1}},
+               {t1, t2});
+  ConjunctiveQuery q;
+  q.head = {InternVar("z2")};
+  q.atoms = {Atom::Vars("T", {"z"}), Atom::Vars("U", {"z"}),
+             Atom::Vars("U", {"z2"})};
+  UnionCq rewriting = *RewriteOverSource(m, q);
+  EXPECT_TRUE(rewriting.disjuncts.empty());
+}
+
+TEST(RewriteTest, UnmatchableAtomGivesEmptyRewriting) {
+  TgdMapping m = PaperABMapping();
+  // Relation Z never appears in any conclusion.
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("P", {"x", "y"})};
+  // Extend the target schema with an unproducible relation.
+  Schema target = *m.target;
+  ASSERT_TRUE(target.AddRelation("Z", 1).ok());
+  TgdMapping m2(*m.source, target, m.tgds);
+  ConjunctiveQuery qz;
+  qz.head = {InternVar("x")};
+  qz.atoms = {Atom::Vars("Z", {"x"})};
+  UnionCq rewriting = *RewriteOverSource(m2, qz);
+  EXPECT_TRUE(rewriting.disjuncts.empty());
+}
+
+TEST(RewriteTest, MultipleProducersGiveUnion) {
+  // A(x) -> D(x) and B(x) -> D(x) ∧ E(x)  (the Section 3 example): the
+  // rewriting of D(x) is A(x) ∨ B(x); of E(x) is B(x).
+  Tgd t1;
+  t1.premise = {Atom::Vars("A", {"x"})};
+  t1.conclusion = {Atom::Vars("D", {"x"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("B", {"x"})};
+  t2.conclusion = {Atom::Vars("D", {"x"}), Atom::Vars("E", {"x"})};
+  TgdMapping m(Schema{{"A", 1}, {"B", 1}}, Schema{{"D", 1}, {"E", 1}},
+               {t1, t2});
+  ConjunctiveQuery qd;
+  qd.head = {InternVar("x")};
+  qd.atoms = {Atom::Vars("D", {"x"})};
+  EXPECT_EQ(RewriteOverSource(m, qd)->disjuncts.size(), 2u);
+  ConjunctiveQuery qe;
+  qe.head = {InternVar("x")};
+  qe.atoms = {Atom::Vars("E", {"x"})};
+  UnionCq re = *RewriteOverSource(m, qe);
+  ASSERT_EQ(re.disjuncts.size(), 1u);
+  EXPECT_EQ(RelationText(re.disjuncts[0].atoms[0].relation), "B");
+}
+
+TEST(RewriteTest, MinimizationCollapsesRedundantCombinations) {
+  // Two identical tgds produce duplicate disjuncts; minimisation collapses
+  // them.
+  Tgd t;
+  t.premise = {Atom::Vars("A", {"x"})};
+  t.conclusion = {Atom::Vars("D", {"x"})};
+  TgdMapping m(Schema{{"A", 1}}, Schema{{"D", 1}}, {t, t});
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("D", {"x"})};
+  EXPECT_EQ(RewriteOverSource(m, q)->disjuncts.size(), 1u);
+  RewriteOptions no_min;
+  no_min.minimize = false;
+  EXPECT_EQ(RewriteOverSource(m, q, no_min)->disjuncts.size(), 2u);
+}
+
+TEST(RewriteTest, DisjunctLimitEnforced) {
+  // k query atoms with n producers each: n^k combinations.
+  std::vector<Tgd> tgds;
+  for (int i = 0; i < 4; ++i) {
+    Tgd t;
+    t.premise = {Atom::Vars("A" + std::to_string(i), {"x"})};
+    t.conclusion = {Atom::Vars("D", {"x"})};
+    tgds.push_back(t);
+  }
+  Schema src{{"A0", 1}, {"A1", 1}, {"A2", 1}, {"A3", 1}};
+  TgdMapping m(src, Schema{{"D", 1}}, tgds);
+  ConjunctiveQuery q;
+  q.head = {InternVar("x")};
+  q.atoms = {Atom::Vars("D", {"x"}), Atom::Vars("D", {"x"}),
+             Atom::Vars("D", {"x"})};
+  RewriteOptions tight;
+  tight.max_disjuncts = 10;  // 4^3 = 64 > 10
+  EXPECT_EQ(RewriteOverSource(m, q, tight).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(SkolemizeTest, AllPremiseVarsVariant) {
+  // Takes(n,c) -> EXISTS y . Enrollment(y,c) becomes
+  // Takes(n,c) -> Enrollment(f(n,c), c)  (paper Section 5.1).
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("Takes", {"n", "c"})};
+  tgd.conclusion = {Atom::Vars("Enrollment", {"y", "c"})};
+  SOTgd so = SkolemizeTgds({tgd}, SkolemArgs::kAllPremiseVars);
+  ASSERT_EQ(so.rules.size(), 1u);
+  const Term& skolem = so.rules[0].conclusion[0].terms[0];
+  ASSERT_TRUE(skolem.is_function());
+  EXPECT_EQ(skolem.args().size(), 2u);
+}
+
+TEST(SkolemizeTest, FrontierVariantUsesOnlyFrontier) {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("Takes", {"n", "c"})};
+  tgd.conclusion = {Atom::Vars("Enrollment", {"y", "c"})};
+  SOTgd so = SkolemizeTgds({tgd}, SkolemArgs::kFrontierVars);
+  const Term& skolem = so.rules[0].conclusion[0].terms[0];
+  ASSERT_TRUE(skolem.is_function());
+  ASSERT_EQ(skolem.args().size(), 1u);
+  EXPECT_EQ(VarName(skolem.args()[0].var()), "c");
+}
+
+TEST(SkolemizeTest, TgdsToPlainSOTgdValidates) {
+  Tgd tgd;
+  tgd.premise = {Atom::Vars("R", {"x", "y"}), Atom::Vars("S", {"y", "z"})};
+  tgd.conclusion = {Atom::Vars("T", {"x", "z", "u"})};
+  TgdMapping m(Schema{{"R", 2}, {"S", 2}}, Schema{{"T", 3}}, {tgd});
+  Result<SOTgdMapping> so = TgdsToPlainSOTgd(m);
+  ASSERT_TRUE(so.ok());
+  // u -> sk(x,y,z): all premise variables.
+  const Term& skolem = so->so.rules[0].conclusion[0].terms[2];
+  ASSERT_TRUE(skolem.is_function());
+  EXPECT_EQ(skolem.args().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -1,0 +1,194 @@
+// mapinv_cli — command-line front end for the mapinv library.
+//
+// Usage:
+//   mapinv_cli invert   <mapping-file>                 CQ-maximum recovery
+//   mapinv_cli maxrec   <mapping-file>                 raw maximum recovery
+//   mapinv_cli polyso   <mapping-file>                 PolySOInverse (via SO)
+//   mapinv_cli rewrite  <mapping-file> '<query>'       source rewriting
+//   mapinv_cli exchange <mapping-file> <instance-file> forward chase
+//   mapinv_cli roundtrip <mapping-file> <instance-file> chase there and back
+//
+// Mapping files contain tgds in the parser syntax (one per line, '#'
+// comments); instance files contain one `{ ... }` instance. Exit status is
+// 0 on success, 1 on usage errors, 2 on processing errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chase/chase_tgd.h"
+#include "chase/round_trip.h"
+#include "check/properties.h"
+#include "eval/instance_core.h"
+#include "inversion/compose.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/maximum_recovery.h"
+#include "inversion/polyso.h"
+#include "parser/parser.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mapinv_cli <command> <mapping-file> [arg]\n"
+               "commands:\n"
+               "  invert    <mapping>             CQ-maximum recovery "
+               "(Section 4)\n"
+               "  maxrec    <mapping>             maximum recovery "
+               "(disjunctions/equalities)\n"
+               "  polyso    <mapping>             polynomial-time SO inverse "
+               "(Section 5)\n"
+               "  rewrite   <mapping> '<query>'   certain-answer source "
+               "rewriting\n"
+               "  exchange  <mapping> <instance>  chase forward\n"
+               "  roundtrip <mapping> <instance>  chase forward then back "
+               "through the inverse\n"
+               "  so-invert <so-mapping>          PolySOInverse of a plain "
+               "SO-tgd file\n"
+               "  compose   <mapping1> <mapping2> SO-tgd composition by "
+               "unfolding\n"
+               "  check     <mapping> <reverse> <instance>\n"
+               "                                  verify the reverse mapping "
+               "is a sound recovery\n"
+               "  core      <instance>            core of an instance with "
+               "nulls\n");
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "mapinv_cli: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  // Commands that do not parse argv[2] as a tgd mapping.
+  if (command == "core") {
+    Result<std::string> text = ReadFile(argv[2]);
+    if (!text.ok()) return Fail(text.status());
+    Result<Instance> instance = ParseInstanceInferSchema(*text);
+    if (!instance.ok()) return Fail(instance.status());
+    Result<Instance> core = CoreOfInstance(*instance);
+    if (!core.ok()) return Fail(core.status());
+    std::printf("%s\n", core->ToString().c_str());
+    return 0;
+  }
+  if (command == "so-invert") {
+    Result<std::string> text = ReadFile(argv[2]);
+    if (!text.ok()) return Fail(text.status());
+    Result<SOTgdMapping> so = ParseSOTgdMapping(*text);
+    if (!so.ok()) return Fail(so.status());
+    Result<SOInverseMapping> inv = PolySOInverse(*so);
+    if (!inv.ok()) return Fail(inv.status());
+    std::printf("%s", inv->ToString().c_str());
+    return 0;
+  }
+
+  Result<std::string> mapping_text = ReadFile(argv[2]);
+  if (!mapping_text.ok()) return Fail(mapping_text.status());
+  Result<TgdMapping> mapping = ParseTgdMapping(*mapping_text);
+  if (!mapping.ok()) return Fail(mapping.status());
+
+  if (command == "compose") {
+    if (argc < 4) return Usage();
+    Result<std::string> second_text = ReadFile(argv[3]);
+    if (!second_text.ok()) return Fail(second_text.status());
+    Result<TgdMapping> second = ParseTgdMapping(*second_text);
+    if (!second.ok()) return Fail(second.status());
+    Result<SOTgdMapping> composed = ComposeTgdMappings(*mapping, *second);
+    if (!composed.ok()) return Fail(composed.status());
+    std::printf("%s", composed->ToString().c_str());
+    return 0;
+  }
+  if (command == "check") {
+    if (argc < 5) return Usage();
+    Result<std::string> reverse_text = ReadFile(argv[3]);
+    if (!reverse_text.ok()) return Fail(reverse_text.status());
+    Result<ReverseMapping> parsed = ParseReverseMapping(*reverse_text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    // Rebind to the full mapping schemas (the inferred ones may miss
+    // relations the reverse mapping never mentions).
+    ReverseMapping reverse(mapping->target, mapping->source, parsed->deps);
+    Result<std::string> instance_text = ReadFile(argv[4]);
+    if (!instance_text.ok()) return Fail(instance_text.status());
+    Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
+    if (!source.ok()) return Fail(source.status());
+    auto violation = CheckCRecovery(*mapping, reverse, {*source},
+                                    PerRelationQueries(*mapping->source));
+    if (!violation.ok()) return Fail(violation.status());
+    if (violation->has_value()) {
+      std::printf("NOT a sound recovery:\n%s\n",
+                  (*violation)->description.c_str());
+      return 2;
+    }
+    std::printf("sound recovery on this instance (certain answers of every "
+                "per-relation query are contained in the source)\n");
+    return 0;
+  }
+
+  if (command == "invert" || command == "maxrec") {
+    Result<ReverseMapping> rec = (command == "invert")
+                                     ? CqMaximumRecovery(*mapping)
+                                     : MaximumRecovery(*mapping);
+    if (!rec.ok()) return Fail(rec.status());
+    std::printf("%s", rec->ToString().c_str());
+    return 0;
+  }
+  if (command == "polyso") {
+    Result<SOInverseMapping> inv = PolySOInverseOfTgds(*mapping);
+    if (!inv.ok()) return Fail(inv.status());
+    std::printf("%s", inv->ToString().c_str());
+    return 0;
+  }
+  if (command == "rewrite") {
+    if (argc < 4) return Usage();
+    Result<ConjunctiveQuery> query = ParseCq(argv[3]);
+    if (!query.ok()) return Fail(query.status());
+    Result<UnionCq> rewriting = RewriteOverSource(*mapping, *query);
+    if (!rewriting.ok()) return Fail(rewriting.status());
+    std::printf("%s\n", rewriting->ToString().c_str());
+    return 0;
+  }
+  if (command == "exchange" || command == "roundtrip") {
+    if (argc < 4) return Usage();
+    Result<std::string> instance_text = ReadFile(argv[3]);
+    if (!instance_text.ok()) return Fail(instance_text.status());
+    Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
+    if (!source.ok()) return Fail(source.status());
+    Result<Instance> target = ChaseTgds(*mapping, *source);
+    if (!target.ok()) return Fail(target.status());
+    if (command == "exchange") {
+      std::printf("%s\n", target->ToString().c_str());
+      return 0;
+    }
+    Result<ReverseMapping> rec = CqMaximumRecovery(*mapping);
+    if (!rec.ok()) return Fail(rec.status());
+    Result<std::vector<Instance>> worlds =
+        RoundTripWorlds(*mapping, *rec, *source);
+    if (!worlds.ok()) return Fail(worlds.status());
+    std::printf("target:    %s\n", target->ToString().c_str());
+    for (const Instance& world : *worlds) {
+      std::printf("recovered: %s\n", world.ToString().c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mapinv
+
+int main(int argc, char** argv) { return mapinv::Run(argc, argv); }
