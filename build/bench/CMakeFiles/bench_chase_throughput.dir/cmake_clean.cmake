@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chase_throughput.dir/bench_chase_throughput.cc.o"
+  "CMakeFiles/bench_chase_throughput.dir/bench_chase_throughput.cc.o.d"
+  "bench_chase_throughput"
+  "bench_chase_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chase_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

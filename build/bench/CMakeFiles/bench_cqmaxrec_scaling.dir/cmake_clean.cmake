@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cqmaxrec_scaling.dir/bench_cqmaxrec_scaling.cc.o"
+  "CMakeFiles/bench_cqmaxrec_scaling.dir/bench_cqmaxrec_scaling.cc.o.d"
+  "bench_cqmaxrec_scaling"
+  "bench_cqmaxrec_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cqmaxrec_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

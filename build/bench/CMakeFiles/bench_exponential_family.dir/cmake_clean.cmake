@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exponential_family.dir/bench_exponential_family.cc.o"
+  "CMakeFiles/bench_exponential_family.dir/bench_exponential_family.cc.o.d"
+  "bench_exponential_family"
+  "bench_exponential_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exponential_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polyso_scaling.dir/bench_polyso_scaling.cc.o"
+  "CMakeFiles/bench_polyso_scaling.dir/bench_polyso_scaling.cc.o.d"
+  "bench_polyso_scaling"
+  "bench_polyso_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polyso_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_product.dir/bench_product.cc.o"
+  "CMakeFiles/bench_product.dir/bench_product.cc.o.d"
+  "bench_product"
+  "bench_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

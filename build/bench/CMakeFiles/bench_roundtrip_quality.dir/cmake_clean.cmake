@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roundtrip_quality.dir/bench_roundtrip_quality.cc.o"
+  "CMakeFiles/bench_roundtrip_quality.dir/bench_roundtrip_quality.cc.o.d"
+  "bench_roundtrip_quality"
+  "bench_roundtrip_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roundtrip_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

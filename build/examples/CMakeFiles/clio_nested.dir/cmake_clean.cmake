@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clio_nested.dir/clio_nested.cpp.o"
+  "CMakeFiles/clio_nested.dir/clio_nested.cpp.o.d"
+  "clio_nested"
+  "clio_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clio_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_reformulation.dir/peer_reformulation.cpp.o"
+  "CMakeFiles/peer_reformulation.dir/peer_reformulation.cpp.o.d"
+  "peer_reformulation"
+  "peer_reformulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_reformulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/student_ids.dir/student_ids.cpp.o"
+  "CMakeFiles/student_ids.dir/student_ids.cpp.o.d"
+  "student_ids"
+  "student_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/student_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

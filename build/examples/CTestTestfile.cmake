@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;mapinv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_peer_reformulation "/root/repo/build/examples/peer_reformulation")
+set_tests_properties(example_peer_reformulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;mapinv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schema_evolution "/root/repo/build/examples/schema_evolution")
+set_tests_properties(example_schema_evolution PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;mapinv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_student_ids "/root/repo/build/examples/student_ids")
+set_tests_properties(example_student_ids PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;mapinv_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clio_nested "/root/repo/build/examples/clio_nested")
+set_tests_properties(example_clio_nested PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;mapinv_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/mapinv.dir/base/status.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/base/status.cc.o.d"
+  "/root/repo/src/base/symbols.cc" "src/CMakeFiles/mapinv.dir/base/symbols.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/base/symbols.cc.o.d"
+  "/root/repo/src/chase/chase_reverse.cc" "src/CMakeFiles/mapinv.dir/chase/chase_reverse.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/chase/chase_reverse.cc.o.d"
+  "/root/repo/src/chase/chase_so.cc" "src/CMakeFiles/mapinv.dir/chase/chase_so.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/chase/chase_so.cc.o.d"
+  "/root/repo/src/chase/chase_tgd.cc" "src/CMakeFiles/mapinv.dir/chase/chase_tgd.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/chase/chase_tgd.cc.o.d"
+  "/root/repo/src/chase/round_trip.cc" "src/CMakeFiles/mapinv.dir/chase/round_trip.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/chase/round_trip.cc.o.d"
+  "/root/repo/src/check/properties.cc" "src/CMakeFiles/mapinv.dir/check/properties.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/check/properties.cc.o.d"
+  "/root/repo/src/check/solutions.cc" "src/CMakeFiles/mapinv.dir/check/solutions.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/check/solutions.cc.o.d"
+  "/root/repo/src/data/instance.cc" "src/CMakeFiles/mapinv.dir/data/instance.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/data/instance.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/mapinv.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/CMakeFiles/mapinv.dir/data/value.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/data/value.cc.o.d"
+  "/root/repo/src/eval/containment.cc" "src/CMakeFiles/mapinv.dir/eval/containment.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/eval/containment.cc.o.d"
+  "/root/repo/src/eval/hom.cc" "src/CMakeFiles/mapinv.dir/eval/hom.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/eval/hom.cc.o.d"
+  "/root/repo/src/eval/instance_core.cc" "src/CMakeFiles/mapinv.dir/eval/instance_core.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/eval/instance_core.cc.o.d"
+  "/root/repo/src/eval/query_eval.cc" "src/CMakeFiles/mapinv.dir/eval/query_eval.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/eval/query_eval.cc.o.d"
+  "/root/repo/src/inversion/compose.cc" "src/CMakeFiles/mapinv.dir/inversion/compose.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/compose.cc.o.d"
+  "/root/repo/src/inversion/cq_maximum_recovery.cc" "src/CMakeFiles/mapinv.dir/inversion/cq_maximum_recovery.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/cq_maximum_recovery.cc.o.d"
+  "/root/repo/src/inversion/eliminate_disjunctions.cc" "src/CMakeFiles/mapinv.dir/inversion/eliminate_disjunctions.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/eliminate_disjunctions.cc.o.d"
+  "/root/repo/src/inversion/eliminate_equalities.cc" "src/CMakeFiles/mapinv.dir/inversion/eliminate_equalities.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/eliminate_equalities.cc.o.d"
+  "/root/repo/src/inversion/maximum_recovery.cc" "src/CMakeFiles/mapinv.dir/inversion/maximum_recovery.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/maximum_recovery.cc.o.d"
+  "/root/repo/src/inversion/partitions.cc" "src/CMakeFiles/mapinv.dir/inversion/partitions.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/partitions.cc.o.d"
+  "/root/repo/src/inversion/polyso.cc" "src/CMakeFiles/mapinv.dir/inversion/polyso.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/polyso.cc.o.d"
+  "/root/repo/src/inversion/query_product.cc" "src/CMakeFiles/mapinv.dir/inversion/query_product.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/inversion/query_product.cc.o.d"
+  "/root/repo/src/logic/atom.cc" "src/CMakeFiles/mapinv.dir/logic/atom.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/atom.cc.o.d"
+  "/root/repo/src/logic/cq.cc" "src/CMakeFiles/mapinv.dir/logic/cq.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/cq.cc.o.d"
+  "/root/repo/src/logic/dependency.cc" "src/CMakeFiles/mapinv.dir/logic/dependency.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/dependency.cc.o.d"
+  "/root/repo/src/logic/nested.cc" "src/CMakeFiles/mapinv.dir/logic/nested.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/nested.cc.o.d"
+  "/root/repo/src/logic/so_tgd.cc" "src/CMakeFiles/mapinv.dir/logic/so_tgd.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/so_tgd.cc.o.d"
+  "/root/repo/src/logic/substitution.cc" "src/CMakeFiles/mapinv.dir/logic/substitution.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/substitution.cc.o.d"
+  "/root/repo/src/logic/term.cc" "src/CMakeFiles/mapinv.dir/logic/term.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/logic/term.cc.o.d"
+  "/root/repo/src/mapgen/generators.cc" "src/CMakeFiles/mapinv.dir/mapgen/generators.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/mapgen/generators.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/mapinv.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/mapinv.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/parser/parser.cc.o.d"
+  "/root/repo/src/rewrite/rewrite.cc" "src/CMakeFiles/mapinv.dir/rewrite/rewrite.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/rewrite/rewrite.cc.o.d"
+  "/root/repo/src/rewrite/skolemize.cc" "src/CMakeFiles/mapinv.dir/rewrite/skolemize.cc.o" "gcc" "src/CMakeFiles/mapinv.dir/rewrite/skolemize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

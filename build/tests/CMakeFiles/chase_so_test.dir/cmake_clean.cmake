@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_so_test.dir/chase_so_test.cc.o"
+  "CMakeFiles/chase_so_test.dir/chase_so_test.cc.o.d"
+  "chase_so_test"
+  "chase_so_test.pdb"
+  "chase_so_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_so_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fagin_test.dir/fagin_test.cc.o"
+  "CMakeFiles/fagin_test.dir/fagin_test.cc.o.d"
+  "fagin_test"
+  "fagin_test.pdb"
+  "fagin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fagin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

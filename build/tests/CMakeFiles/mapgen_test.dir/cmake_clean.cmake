@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapgen_test.dir/mapgen_test.cc.o"
+  "CMakeFiles/mapgen_test.dir/mapgen_test.cc.o.d"
+  "mapgen_test"
+  "mapgen_test.pdb"
+  "mapgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyso_test.dir/polyso_test.cc.o"
+  "CMakeFiles/polyso_test.dir/polyso_test.cc.o.d"
+  "polyso_test"
+  "polyso_test.pdb"
+  "polyso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

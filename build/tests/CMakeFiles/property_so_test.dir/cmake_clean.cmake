@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_so_test.dir/property_so_test.cc.o"
+  "CMakeFiles/property_so_test.dir/property_so_test.cc.o.d"
+  "property_so_test"
+  "property_so_test.pdb"
+  "property_so_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_so_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/inversion_test[1]_include.cmake")
+include("/root/repo/build/tests/polyso_test[1]_include.cmake")
+include("/root/repo/build/tests/check_test[1]_include.cmake")
+include("/root/repo/build/tests/mapgen_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fagin_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_so_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_so_test[1]_include.cmake")
+include("/root/repo/build/tests/property_so_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/language_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapinv_cli.dir/mapinv_cli.cc.o"
+  "CMakeFiles/mapinv_cli.dir/mapinv_cli.cc.o.d"
+  "mapinv_cli"
+  "mapinv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapinv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
