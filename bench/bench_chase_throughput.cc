@@ -79,7 +79,7 @@ void BM_Chase_ObliviousVsStandard(benchmark::State& state) {
   TgdMapping m = ProjectionMapping(4);
   const int tuples = static_cast<int>(state.range(0));
   Instance source = GenerateInstance(*m.source, tuples, tuples / 4 + 2, 29);
-  ChaseOptions options;
+  ExecutionOptions options;
   options.oblivious = (state.range(1) == 1);
   size_t produced = 0;
   for (auto _ : state) {
@@ -90,6 +90,30 @@ void BM_Chase_ObliviousVsStandard(benchmark::State& state) {
   state.counters["tuples_in"] = tuples;
   state.counters["oblivious"] = static_cast<double>(state.range(1));
   state.counters["facts_out"] = static_cast<double>(produced);
+}
+
+void BM_Chase_ThreadsSweep(benchmark::State& state) {
+  // Parallel trigger enumeration: same chase, varying ExecutionOptions::
+  // threads. Output is bit-identical across the sweep (engine_test asserts
+  // this); here we measure throughput. Speedup requires real cores — on a
+  // single-CPU host every point degenerates to sequential time plus a small
+  // chunking overhead.
+  TgdMapping m = ChainJoinMapping(3);
+  const int tuples = static_cast<int>(state.range(0));
+  Instance source = GenerateInstance(*m.source, tuples, tuples / 4 + 2, 23);
+  ExecutionOptions options;
+  options.threads = static_cast<int>(state.range(1));
+  size_t produced = 0;
+  for (auto _ : state) {
+    Instance target = ChaseTgds(m, source, options).ValueOrDie();
+    produced = target.TotalSize();
+    benchmark::DoNotOptimize(target);
+  }
+  state.counters["tuples_in"] = tuples;
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["facts_out"] = static_cast<double>(produced);
+  state.counters["facts_per_sec"] = benchmark::Counter(
+      static_cast<double>(produced), benchmark::Counter::kIsIterationInvariantRate);
 }
 
 BENCHMARK(BM_Chase_ForwardTgds)
@@ -104,6 +128,9 @@ BENCHMARK(BM_Chase_SOTgds)
 BENCHMARK(BM_Chase_ObliviousVsStandard)
     ->Args({256, 0})->Args({256, 1})->Args({1024, 0})->Args({1024, 1})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Chase_ThreadsSweep)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 }  // namespace
 }  // namespace mapinv

@@ -67,7 +67,7 @@ void BM_Core_OfObliviousChase(benchmark::State& state) {
     source.AddInts("A", {i}).ValueOrDie();
     source.AddInts("B", {i}).ValueOrDie();
   }
-  ChaseOptions oblivious;
+  ExecutionOptions oblivious;
   oblivious.oblivious = true;
   Instance naive = ChaseTgds(m, source, oblivious).ValueOrDie();
   size_t core_size = 0;

@@ -24,7 +24,7 @@ void BM_MaximumRecovery_ExpFamily(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int k = static_cast<int>(state.range(1));
   TgdMapping mapping = ExponentialFamilyMapping(n, k);
-  RewriteOptions options;
+  ExecutionOptions options;
   options.minimize = false;  // measure the raw rewriting blow-up
   size_t disjuncts = 0, atoms = 0;
   for (auto _ : state) {

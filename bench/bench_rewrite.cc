@@ -19,7 +19,7 @@ void BM_Rewrite_QueryAtoms(benchmark::State& state) {
   for (int j = 0; j < k; ++j) {
     q.atoms.push_back(Atom::Vars("T" + std::to_string(j), {"x"}));
   }
-  RewriteOptions options;
+  ExecutionOptions options;
   options.minimize = false;
   size_t disjuncts = 0;
   for (auto _ : state) {

@@ -7,10 +7,8 @@
 
 #include <cstdio>
 
-#include "chase/chase_tgd.h"
-#include "chase/round_trip.h"
+#include "engine/engine.h"
 #include "eval/query_eval.h"
-#include "inversion/cq_maximum_recovery.h"
 #include "parser/parser.h"
 
 using namespace mapinv;  // NOLINT — example brevity
@@ -22,6 +20,11 @@ void Section(const char* title) { std::printf("\n== %s ==\n", title); }
 }  // namespace
 
 int main() {
+  // One Engine for the whole walkthrough: it owns the thread pool, the
+  // fresh-null scope (labels restart at zero, so this program prints the
+  // same instances every run) and the stats counters printed at the end.
+  Engine engine({.threads = 4});
+
   Section("The mapping M (Example 3.1)");
   // Target relation T stores the join of source relations R and S.
   TgdMapping mapping =
@@ -33,16 +36,16 @@ int main() {
       ParseInstance("{ R(1,2), R(3,4), S(2,5) }", *mapping.source)
           .ValueOrDie();
   std::printf("I        = %s\n", source.ToString().c_str());
-  Instance target = ChaseTgds(mapping, source).ValueOrDie();
+  Instance target = engine.Chase(mapping, source).ValueOrDie();
   std::printf("chase(I) = %s\n", target.ToString().c_str());
 
   Section("Computing the CQ-maximum recovery (Section 4)");
-  ReverseMapping recovery = CqMaximumRecovery(mapping).ValueOrDie();
+  ReverseMapping recovery = engine.Invert(mapping).ValueOrDie();
   std::printf("%s", recovery.ToString().c_str());
 
   Section("Round trip: chase back with the recovery");
   std::vector<Instance> worlds =
-      RoundTripWorlds(mapping, recovery, source).ValueOrDie();
+      engine.RoundTrip(mapping, recovery, source).ValueOrDie();
   for (const Instance& world : worlds) {
     std::printf("recovered world: %s\n", world.ToString().c_str());
   }
@@ -53,7 +56,7 @@ int main() {
     ConjunctiveQuery q = ParseCq(text).ValueOrDie();
     AnswerSet direct = EvaluateCq(q, source).ValueOrDie();
     AnswerSet certain =
-        RoundTripCertain(mapping, recovery, source, q).ValueOrDie();
+        engine.RoundTripCertain(mapping, recovery, source, q).ValueOrDie();
     std::printf("%-28s direct %-18s recovered %s\n", text,
                 direct.ToString().c_str(), certain.ToString().c_str());
   }
@@ -67,14 +70,17 @@ int main() {
   ReverseMapping naive(mapping.target, mapping.source, parsed.deps);
   ConjunctiveQuery join = ParseCq("Q(x,y) :- R(x,z), S(z,y)").ValueOrDie();
   AnswerSet via_naive =
-      RoundTripCertain(mapping, naive, source, join).ValueOrDie();
+      engine.RoundTripCertain(mapping, naive, source, join).ValueOrDie();
   AnswerSet via_max =
-      RoundTripCertain(mapping, recovery, source, join).ValueOrDie();
+      engine.RoundTripCertain(mapping, recovery, source, join).ValueOrDie();
   std::printf("join via naive recovery:      %s\n",
               via_naive.ToString().c_str());
   std::printf("join via CQ-maximum recovery: %s\n",
               via_max.ToString().c_str());
   std::printf("\nThe CQ-maximum recovery retrieves the full join pattern; "
               "the naive reverse\nmapping loses it (Example 3.3).\n");
+
+  Section("Execution stats");
+  std::printf("%s\n", engine.stats().ToString().c_str());
   return 0;
 }

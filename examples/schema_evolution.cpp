@@ -10,10 +10,9 @@
 #include <cstdio>
 
 #include "chase/chase_reverse.h"
-#include "chase/chase_tgd.h"
+#include "engine/engine.h"
 #include "eval/query_eval.h"
 #include "inversion/compose.h"
-#include "inversion/cq_maximum_recovery.h"
 #include "parser/parser.h"
 
 using namespace mapinv;  // NOLINT — example brevity
@@ -25,6 +24,11 @@ void Section(const char* title) { std::printf("\n== %s ==\n", title); }
 }  // namespace
 
 int main() {
+  // The Engine facade wires thread pool, symbol scope and resource limits
+  // into every call; primitives outside the facade (ChaseReverse, compose)
+  // take the same options via MakeOptions().
+  Engine engine;
+
   Section("Original mapping M : A -> B");
   // A: Emp(name, city, salary). B: Payroll(name, salary).
   TgdMapping m = ParseTgdMapping(R"(
@@ -40,7 +44,7 @@ int main() {
   std::printf("%s", evolution.ToString().c_str());
 
   Section("Inverting the evolution: (M')* : A' -> A");
-  ReverseMapping back = CqMaximumRecovery(evolution).ValueOrDie();
+  ReverseMapping back = engine.Invert(evolution).ValueOrDie();
   std::printf("%s", back.ToString().c_str());
 
   Section("New data lives only in A'");
@@ -51,9 +55,10 @@ int main() {
   std::printf("A' = %s\n", evolved.ToString().c_str());
 
   Section("Composed pipeline (M')* then M : A' -> B");
-  Instance recovered_a = ChaseReverse(back, evolved).ValueOrDie();
+  Instance recovered_a =
+      ChaseReverse(back, evolved, engine.MakeOptions()).ValueOrDie();
   std::printf("recovered A = %s\n", recovered_a.ToString().c_str());
-  Instance b = ChaseTgds(m, recovered_a).ValueOrDie();
+  Instance b = engine.Chase(m, recovered_a).ValueOrDie();
   std::printf("B           = %s\n", b.ToString().c_str());
 
   Section("Certain answers over B");
@@ -69,7 +74,8 @@ int main() {
   TgdMapping publish = ParseTgdMapping(R"(
     EmpSal(n, s) -> Payroll2(n, s)
   )").ValueOrDie();
-  SOTgdMapping composed = ComposeTgdMappings(evolution, publish).ValueOrDie();
+  SOTgdMapping composed =
+      ComposeTgdMappings(evolution, publish, engine.MakeOptions()).ValueOrDie();
   std::printf("M' ∘ publish (A -> B2, computed by unfolding):\n%s",
               composed.ToString().c_str());
   return 0;

@@ -1,0 +1,10 @@
+#include "base/symbol_context.h"
+
+namespace mapinv {
+
+SymbolContext& SymbolContext::Global() {
+  static SymbolContext* context = new SymbolContext();
+  return *context;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,82 @@
+/// \file symbol_context.h
+/// \brief Scoped fresh-symbol generation: null labels, variable and function
+/// ordinals.
+///
+/// Historically fresh nulls (`Value::FreshNull`) and fresh variable/function
+/// names (`FreshVarGen`, `FreshFunctionGen`) drew from process-global atomic
+/// counters, so the labels appearing in chase output depended on everything
+/// the process had done before — two identical chases produced isomorphic
+/// but not identical instances. A SymbolContext owns those counters instead.
+/// Engine-scoped contexts (one per `Engine`, or one per `ExecutionOptions`)
+/// make runs reproducible: a fresh context always counts from zero, so two
+/// back-to-back identical chases emit bit-identical instances.
+///
+/// `SymbolContext::Global()` is the process-wide default used when no
+/// context is supplied; it preserves the historical behaviour (and the
+/// parser's BumpPast protocol for re-parsing printed output).
+
+#ifndef MAPINV_BASE_SYMBOL_CONTEXT_H_
+#define MAPINV_BASE_SYMBOL_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mapinv {
+
+/// \brief Owns the counters behind fresh nulls, fresh variables and fresh
+/// function symbols. Thread-safe: all counters are atomics, so concurrent
+/// chase workers may draw from one context (the parallel chase instead
+/// assigns nulls in a deterministic sequential merge phase; see
+/// docs/ENGINE.md).
+class SymbolContext {
+ public:
+  SymbolContext() = default;
+  SymbolContext(const SymbolContext&) = delete;
+  SymbolContext& operator=(const SymbolContext&) = delete;
+
+  /// Next fresh labelled-null label.
+  uint32_t NextNullLabel() {
+    return null_label_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Next ordinal for a generated variable name "?<prefix><n>".
+  uint64_t NextVarOrdinal() {
+    return var_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Next ordinal for a generated function name "<prefix>%<n>".
+  uint64_t NextFunctionOrdinal() {
+    return fn_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Ensures future NextNullLabel() results are strictly above `label`.
+  /// Chase entry points call this with the largest null label of their input
+  /// instance, so an engine-scoped context can never re-issue a label that
+  /// already occurs in the data it is extending.
+  void BumpNullPast(uint32_t label) { BumpPast(&null_label_, uint64_t{label}); }
+
+  /// Ensures future NextVarOrdinal() results are strictly above `n` (the
+  /// parser's re-parse safety protocol; see FreshVarGen::BumpPast).
+  void BumpVarPast(uint64_t n) { BumpPast(&var_ordinal_, n); }
+
+  /// The process-wide default context.
+  static SymbolContext& Global();
+
+ private:
+  template <typename T>
+  static void BumpPast(std::atomic<T>* counter, uint64_t n) {
+    T current = counter->load(std::memory_order_relaxed);
+    while (current <= static_cast<T>(n) &&
+           !counter->compare_exchange_weak(current, static_cast<T>(n) + 1,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint32_t> null_label_{0};
+  std::atomic<uint64_t> var_ordinal_{0};
+  std::atomic<uint64_t> fn_ordinal_{0};
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_SYMBOL_CONTEXT_H_

@@ -38,14 +38,4 @@ FunctionId InternFunction(std::string_view name) {
 
 std::string FunctionName(FunctionId f) { return FunctionPool().Text(f); }
 
-std::atomic<uint64_t>& FreshVarGen::counter() {
-  static std::atomic<uint64_t> c{0};
-  return c;
-}
-
-std::atomic<uint64_t>& FreshFunctionGen::counter() {
-  static std::atomic<uint64_t> c{0};
-  return c;
-}
-
 }  // namespace mapinv

@@ -15,12 +15,12 @@
 #ifndef MAPINV_BASE_SYMBOLS_H_
 #define MAPINV_BASE_SYMBOLS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "base/interner.h"
+#include "base/symbol_context.h"
 
 namespace mapinv {
 
@@ -55,49 +55,51 @@ RelName InternRelation(std::string_view name);
 /// Returns a relation name's text.
 std::string RelationText(RelName r);
 
-/// \brief Generates globally fresh variables "?<prefix><n>".
+/// \brief Generates fresh variables "?<prefix><n>" from a SymbolContext
+/// (the process-global context when none is given).
 ///
 /// The '?' sigil cannot be produced by the parser, so generated variables can
 /// never collide with user-written ones.
 class FreshVarGen {
  public:
-  explicit FreshVarGen(std::string prefix = "v") : prefix_(std::move(prefix)) {}
+  explicit FreshVarGen(std::string prefix = "v",
+                       SymbolContext* context = nullptr)
+      : prefix_(std::move(prefix)),
+        context_(context != nullptr ? context : &SymbolContext::Global()) {}
 
-  /// Returns a fresh variable never seen before in this process.
+  /// Returns a variable this context has never issued before.
   VarId Next() {
-    uint64_t n = counter().fetch_add(1, std::memory_order_relaxed);
-    return InternVar("?" + prefix_ + std::to_string(n));
+    return InternVar("?" + prefix_ + std::to_string(context_->NextVarOrdinal()));
   }
 
-  /// Ensures future Next() calls use numbers strictly above `n`. The parser
-  /// calls this when it reads a '?'-prefixed variable, so re-parsing printed
-  /// output can never capture later generated variables.
-  static void BumpPast(uint64_t n) {
-    uint64_t current = counter().load(std::memory_order_relaxed);
-    while (current <= n && !counter().compare_exchange_weak(
-                               current, n + 1, std::memory_order_relaxed)) {
-    }
-  }
+  /// Ensures future Next() calls on the *global* context use numbers
+  /// strictly above `n`. The parser calls this when it reads a '?'-prefixed
+  /// variable, so re-parsing printed output can never capture later
+  /// generated variables.
+  static void BumpPast(uint64_t n) { SymbolContext::Global().BumpVarPast(n); }
 
  private:
-  static std::atomic<uint64_t>& counter();
   std::string prefix_;
+  SymbolContext* context_;
 };
 
-/// \brief Generates globally fresh function symbols "<prefix>%<n>".
+/// \brief Generates fresh function symbols "<prefix>%<n>" from a
+/// SymbolContext (the process-global context when none is given).
 class FreshFunctionGen {
  public:
-  explicit FreshFunctionGen(std::string prefix = "sk")
-      : prefix_(std::move(prefix)) {}
+  explicit FreshFunctionGen(std::string prefix = "sk",
+                            SymbolContext* context = nullptr)
+      : prefix_(std::move(prefix)),
+        context_(context != nullptr ? context : &SymbolContext::Global()) {}
 
   FunctionId Next() {
-    uint64_t n = counter().fetch_add(1, std::memory_order_relaxed);
-    return InternFunction(prefix_ + "%" + std::to_string(n));
+    return InternFunction(prefix_ + "%" +
+                          std::to_string(context_->NextFunctionOrdinal()));
   }
 
  private:
-  static std::atomic<uint64_t>& counter();
   std::string prefix_;
+  SymbolContext* context_;
 };
 
 /// Combines a hash into a seed (boost::hash_combine recipe, 64-bit variant).

@@ -1,27 +1,22 @@
 /// \file chase_options.h
-/// \brief Resource limits shared by all chase engines.
+/// \brief Deprecated alias: ChaseOptions is now ExecutionOptions.
+///
+/// The chase-specific limits struct was folded into the unified execution
+/// API (engine/execution_options.h) together with RewriteOptions,
+/// ComposeOptions, EliminateEqualitiesOptions and CqMaximumRecoveryOptions.
+/// Every historical field (`oblivious`, `max_new_facts`, `max_worlds`)
+/// exists on ExecutionOptions with the same name and default, so existing
+/// code keeps compiling — with a deprecation warning nudging it to the new
+/// spelling.
 
 #ifndef MAPINV_CHASE_CHASE_OPTIONS_H_
 #define MAPINV_CHASE_CHASE_OPTIONS_H_
 
-#include <cstddef>
+#include "engine/execution_options.h"
 
 namespace mapinv {
 
-/// \brief Limits guarding chase runs. Source-to-target chases always
-/// terminate, but adversarial inputs can still be quadratically large; the
-/// limits turn runaways into clean kResourceExhausted errors.
-struct ChaseOptions {
-  /// If true, fire every trigger without checking whether the conclusion is
-  /// already satisfied (the *oblivious* / naive chase). The oblivious chase
-  /// gives the canonical instance used for data-exchange equivalence tests;
-  /// the standard chase (false) gives smaller universal solutions.
-  bool oblivious = false;
-  /// Maximum number of facts a chase may create.
-  size_t max_new_facts = 4u << 20;
-  /// Maximum number of worlds a disjunctive chase may track.
-  size_t max_worlds = 4096;
-};
+using ChaseOptions [[deprecated("use ExecutionOptions")]] = ExecutionOptions;
 
 }  // namespace mapinv
 

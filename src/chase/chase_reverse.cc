@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "engine/parallel_chase.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -47,10 +48,10 @@ Result<bool> DisjunctSatisfied(const ReverseDisjunct& disjunct,
 // Adds the instantiated disjunct atoms to `world`; existential variables get
 // fresh nulls.
 Status FireDisjunct(const ReverseDisjunct& disjunct, const Assignment& h,
-                    Instance* world, size_t* created) {
+                    Instance* world, size_t* created, SymbolContext& symbols) {
   Assignment extended = h;
   for (VarId v : CollectDistinctVars(disjunct.atoms)) {
-    if (!extended.contains(v)) extended.emplace(v, Value::FreshNull());
+    if (!extended.contains(v)) extended.emplace(v, Value::FreshNull(symbols));
   }
   for (const Atom& atom : disjunct.atoms) {
     Tuple t;
@@ -67,12 +68,15 @@ Status FireDisjunct(const ReverseDisjunct& disjunct, const Assignment& h,
 
 Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
                                                  const Instance& input,
-                                                 const ChaseOptions& options) {
+                                                 const ExecutionOptions& options) {
   if (!mapping.source->DisjointFrom(*mapping.target)) {
     return Status::Unsupported(
         "reverse chase requires disjoint premise/conclusion schemas");
   }
+  ExecDeadline deadline(options.deadline_ms);
+  SymbolContext& symbols = ResolveSymbols(options, input);
   HomSearch search(input);
+  search.set_stats(options.stats);
   std::vector<WorldState> worlds;
   worlds.emplace_back(Instance(mapping.target));
   size_t created = 0;
@@ -81,14 +85,19 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     constraints.constant_vars.insert(dep.constant_vars.begin(),
                                      dep.constant_vars.end());
     constraints.inequalities = dep.inequalities;
-    std::vector<Assignment> triggers;
-    MAPINV_RETURN_NOT_OK(search.ForEachHom(dep.premise, constraints,
-                                           Assignment{},
-                                           [&](const Assignment& h) {
-                                             triggers.push_back(h);
-                                             return true;
-                                           }));
+    MAPINV_ASSIGN_OR_RETURN(
+        std::vector<Assignment> triggers,
+        CollectTriggers(search, input, dep.premise, constraints, options,
+                        deadline));
     for (const Assignment& h : triggers) {
+      if (deadline.Expired()) {
+        return Status::ResourceExhausted(
+            "reverse chase exceeded deadline_ms = " +
+            std::to_string(options.deadline_ms));
+      }
+      if (options.stats != nullptr) {
+        options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
+      }
       // Disjuncts whose equalities are consistent with the trigger.
       std::vector<const ReverseDisjunct*> applicable;
       for (const ReverseDisjunct& d : dep.disjuncts) {
@@ -118,7 +127,8 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
                                 ? std::move(world)
                                 : world.Fork();
           MAPINV_RETURN_NOT_OK(
-              FireDisjunct(*applicable[di], h, fork.instance.get(), &created));
+              FireDisjunct(*applicable[di], h, fork.instance.get(), &created,
+                           symbols));
           if (created > options.max_new_facts) {
             return Status::ResourceExhausted(
                 "reverse chase exceeded max_new_facts");
@@ -143,7 +153,7 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
 
 Result<Instance> ChaseReverse(const ReverseMapping& mapping,
                               const Instance& input,
-                              const ChaseOptions& options) {
+                              const ExecutionOptions& options) {
   for (const ReverseDependency& dep : mapping.deps) {
     if (dep.disjuncts.size() != 1) {
       return Status::Unsupported(
@@ -164,7 +174,7 @@ Result<Instance> ChaseReverse(const ReverseMapping& mapping,
 Result<AnswerSet> CertainAnswersReverse(const ReverseMapping& mapping,
                                         const Instance& input,
                                         const ConjunctiveQuery& query,
-                                        const ChaseOptions& options) {
+                                        const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
                           ChaseReverseWorlds(mapping, input, options));
   if (worlds.empty()) {

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "base/status.h"
-#include "chase/chase_options.h"
+#include "engine/execution_options.h"
 #include "data/instance.h"
 #include "eval/query_eval.h"
 #include "logic/mapping.h"
@@ -35,7 +35,7 @@ namespace mapinv {
 /// `input` (some trigger had no consistent disjunct in any world).
 Result<std::vector<Instance>> ChaseReverseWorlds(
     const ReverseMapping& mapping, const Instance& input,
-    const ChaseOptions& options = {});
+    const ExecutionOptions& options = {});
 
 /// \brief One-world chase for disjunction-free reverse mappings (each
 /// dependency has exactly one disjunct). Conclusion equalities are checked
@@ -43,14 +43,14 @@ Result<std::vector<Instance>> ChaseReverseWorlds(
 /// unsatisfiable (kMalformed).
 Result<Instance> ChaseReverse(const ReverseMapping& mapping,
                               const Instance& input,
-                              const ChaseOptions& options = {});
+                              const ExecutionOptions& options = {});
 
 /// \brief Certain answers of `query` over the worlds of the disjunctive
 /// chase: ∩ over worlds of the null-free answers.
 Result<AnswerSet> CertainAnswersReverse(const ReverseMapping& mapping,
                                         const Instance& input,
                                         const ConjunctiveQuery& query,
-                                        const ChaseOptions& options = {});
+                                        const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "engine/parallel_chase.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -16,16 +17,19 @@ namespace {
 
 class SkolemTable {
  public:
+  explicit SkolemTable(SymbolContext& symbols) : symbols_(symbols) {}
+
   Value Get(FunctionId fn, const Tuple& args) {
     auto key = std::make_pair(fn, args);
     auto it = table_.find(key);
     if (it == table_.end()) {
-      it = table_.emplace(std::move(key), Value::FreshNull()).first;
+      it = table_.emplace(std::move(key), Value::FreshNull(symbols_)).first;
     }
     return it->second;
   }
 
  private:
+  SymbolContext& symbols_;
   struct KeyHash {
     size_t operator()(const std::pair<FunctionId, Tuple>& k) const {
       size_t seed = k.first;
@@ -69,20 +73,29 @@ Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
 }  // namespace
 
 Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
-                            const ChaseOptions& options) {
+                            const ExecutionOptions& options) {
+  ExecDeadline deadline(options.deadline_ms);
+  SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
-  SkolemTable skolems;
+  SkolemTable skolems(symbols);
   HomSearch search(source);
+  search.set_stats(options.stats);
   size_t created = 0;
   for (const SORule& rule : mapping.so.rules) {
-    std::vector<Assignment> triggers;
-    MAPINV_RETURN_NOT_OK(search.ForEachHom(rule.premise, HomConstraints{},
-                                           Assignment{},
-                                           [&](const Assignment& h) {
-                                             triggers.push_back(h);
-                                             return true;
-                                           }));
+    // Parallel trigger collection; the Skolem-firing phase stays sequential
+    // so null labels are assigned in the canonical trigger order.
+    MAPINV_ASSIGN_OR_RETURN(
+        std::vector<Assignment> triggers,
+        CollectTriggers(search, source, rule.premise, HomConstraints{},
+                        options, deadline));
     for (const Assignment& h : triggers) {
+      if (deadline.Expired()) {
+        return Status::ResourceExhausted("SO chase exceeded deadline_ms = " +
+                                         std::to_string(options.deadline_ms));
+      }
+      if (options.stats != nullptr) {
+        options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
+      }
       for (const Atom& atom : rule.conclusion) {
         Tuple t;
         t.reserve(atom.terms.size());
@@ -264,7 +277,8 @@ Result<std::optional<World>> ApplyDisjunct(const SOInvDisjunct& disjunct,
 }
 
 Result<Instance> Materialize(const World& world,
-                             std::shared_ptr<const Schema> schema) {
+                             std::shared_ptr<const Schema> schema,
+                             SymbolContext& symbols) {
   Instance out(std::move(schema));
   std::unordered_map<uint32_t, Value> null_of_class;
   for (const SymFact& f : world.facts) {
@@ -277,7 +291,7 @@ Result<Instance> Materialize(const World& world,
       } else {
         uint32_t root = world.store.Find(n);
         auto [it, inserted] = null_of_class.emplace(root, Value());
-        if (inserted) it->second = Value::FreshNull();
+        if (inserted) it->second = Value::FreshNull(symbols);
         t.push_back(it->second);
       }
     }
@@ -292,21 +306,29 @@ Result<Instance> Materialize(const World& world,
 
 Result<std::vector<Instance>> ChaseSOInverseWorlds(
     const SOInverseMapping& mapping, const Instance& input,
-    const ChaseOptions& options) {
+    const ExecutionOptions& options) {
+  ExecDeadline deadline(options.deadline_ms);
+  SymbolContext& symbols = ResolveSymbols(options, input);
   HomSearch search(input);
+  search.set_stats(options.stats);
   std::vector<World> worlds(1);
   for (const SOInverseRule& rule : mapping.inverse.rules) {
     HomConstraints constraints;
     constraints.constant_vars.insert(rule.constant_vars.begin(),
                                      rule.constant_vars.end());
-    std::vector<Assignment> triggers;
-    MAPINV_RETURN_NOT_OK(search.ForEachHom({rule.premise}, constraints,
-                                           Assignment{},
-                                           [&](const Assignment& h) {
-                                             triggers.push_back(h);
-                                             return true;
-                                           }));
+    MAPINV_ASSIGN_OR_RETURN(
+        std::vector<Assignment> triggers,
+        CollectTriggers(search, input, {rule.premise}, constraints, options,
+                        deadline));
     for (const Assignment& h : triggers) {
+      if (deadline.Expired()) {
+        return Status::ResourceExhausted(
+            "SO-inverse chase exceeded deadline_ms = " +
+            std::to_string(options.deadline_ms));
+      }
+      if (options.stats != nullptr) {
+        options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
+      }
       std::vector<World> next;
       for (World& world : worlds) {
         for (const SOInvDisjunct& d : rule.disjuncts) {
@@ -329,7 +351,8 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
   std::vector<Instance> out;
   out.reserve(worlds.size());
   for (const World& w : worlds) {
-    MAPINV_ASSIGN_OR_RETURN(Instance inst, Materialize(w, mapping.target));
+    MAPINV_ASSIGN_OR_RETURN(Instance inst,
+                            Materialize(w, mapping.target, symbols));
     out.push_back(std::move(inst));
   }
   return out;
@@ -338,7 +361,7 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
 Result<AnswerSet> CertainAnswersSOInverse(const SOInverseMapping& mapping,
                                           const Instance& input,
                                           const ConjunctiveQuery& query,
-                                          const ChaseOptions& options) {
+                                          const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
                           ChaseSOInverseWorlds(mapping, input, options));
   if (worlds.empty()) {

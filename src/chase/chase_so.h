@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "base/status.h"
-#include "chase/chase_options.h"
+#include "engine/execution_options.h"
 #include "data/instance.h"
 #include "eval/query_eval.h"
 #include "logic/mapping.h"
@@ -34,21 +34,21 @@ namespace mapinv {
 /// \brief Chases `source` with a plain SO-tgd; Skolem semantics (one fresh
 /// null per distinct function application).
 Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
-                            const ChaseOptions& options = {});
+                            const ExecutionOptions& options = {});
 
 /// \brief Chases `input` (over the original target schema, nulls allowed)
 /// with a PolySOInverse mapping; returns the recovered source worlds.
 /// An empty vector means every branch was inconsistent.
 Result<std::vector<Instance>> ChaseSOInverseWorlds(
     const SOInverseMapping& mapping, const Instance& input,
-    const ChaseOptions& options = {});
+    const ExecutionOptions& options = {});
 
 /// \brief Certain answers of `query` over the recovered worlds (∩ of
 /// null-free per-world answers). Fails if no world is consistent.
 Result<AnswerSet> CertainAnswersSOInverse(const SOInverseMapping& mapping,
                                           const Instance& input,
                                           const ConjunctiveQuery& query,
-                                          const ChaseOptions& options = {});
+                                          const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

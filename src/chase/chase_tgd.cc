@@ -1,5 +1,6 @@
 #include "chase/chase_tgd.h"
 
+#include "engine/parallel_chase.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -20,22 +21,30 @@ Result<bool> ConclusionSatisfied(const Tgd& tgd, const Assignment& h,
 }  // namespace
 
 Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
-                           const ChaseOptions& options) {
+                           const ExecutionOptions& options) {
+  ExecDeadline deadline(options.deadline_ms);
+  SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
   HomSearch search(source);
+  search.set_stats(options.stats);
   HomSearch target_search(target);
+  target_search.set_stats(options.stats);
   size_t created = 0;
   for (const Tgd& tgd : mapping.tgds) {
     // Collect triggers first: firing only adds target facts, so the trigger
     // set over the (source-only) premise is not affected by firing order.
-    std::vector<Assignment> triggers;
-    MAPINV_RETURN_NOT_OK(search.ForEachHom(tgd.premise, HomConstraints{},
-                                           Assignment{},
-                                           [&](const Assignment& h) {
-                                             triggers.push_back(h);
-                                             return true;
-                                           }));
+    // Collection may fan out across threads; the trigger list comes back in
+    // the canonical sequential order, and the firing phase below is
+    // sequential, so fresh nulls are assigned deterministically.
+    MAPINV_ASSIGN_OR_RETURN(
+        std::vector<Assignment> triggers,
+        CollectTriggers(search, source, tgd.premise, HomConstraints{}, options,
+                        deadline));
     for (const Assignment& h : triggers) {
+      if (deadline.Expired()) {
+        return Status::ResourceExhausted("chase exceeded deadline_ms = " +
+                                         std::to_string(options.deadline_ms));
+      }
       if (!options.oblivious) {
         MAPINV_ASSIGN_OR_RETURN(bool satisfied,
                                 ConclusionSatisfied(tgd, h, target_search));
@@ -45,7 +54,10 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
       // get fresh nulls (fresh per firing).
       Assignment extended = h;
       for (VarId v : tgd.ExistentialVars()) {
-        extended.emplace(v, Value::FreshNull());
+        extended.emplace(v, Value::FreshNull(symbols));
+      }
+      if (options.stats != nullptr) {
+        options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
       for (const Atom& atom : tgd.conclusion) {
         Tuple t;
@@ -69,7 +81,7 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
 Result<AnswerSet> CertainAnswersTgd(const TgdMapping& mapping,
                                     const Instance& source,
                                     const ConjunctiveQuery& target_query,
-                                    const ChaseOptions& options) {
+                                    const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           ChaseTgds(mapping, source, options));
   MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,

@@ -13,8 +13,8 @@
 #define MAPINV_CHASE_CHASE_TGD_H_
 
 #include "base/status.h"
-#include "chase/chase_options.h"
 #include "data/instance.h"
+#include "engine/execution_options.h"
 #include "eval/query_eval.h"
 #include "logic/mapping.h"
 
@@ -24,15 +24,18 @@ namespace mapinv {
 /// target instance. With options.oblivious every trigger fires (fresh nulls
 /// per firing); otherwise a trigger is skipped when its conclusion is
 /// already satisfied by an extension of the trigger homomorphism.
+///
+/// Trigger enumeration parallelises across `options.threads`; the output
+/// instance is bit-identical for every thread count (see docs/ENGINE.md).
 Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
-                           const ChaseOptions& options = {});
+                           const ExecutionOptions& options = {});
 
 /// \brief Certain answers of a conjunctive query over the target:
 /// null-free tuples of Q(chase(I)).
 Result<AnswerSet> CertainAnswersTgd(const TgdMapping& mapping,
                                     const Instance& source,
                                     const ConjunctiveQuery& target_query,
-                                    const ChaseOptions& options = {});
+                                    const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -5,7 +5,7 @@ namespace mapinv {
 Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
                                               const Instance& source,
-                                              const ChaseOptions& options) {
+                                              const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           ChaseTgds(mapping, source, options));
   return ChaseReverseWorlds(reverse, canonical, options);
@@ -15,7 +15,7 @@ Result<AnswerSet> RoundTripCertain(const TgdMapping& mapping,
                                    const ReverseMapping& reverse,
                                    const Instance& source,
                                    const ConjunctiveQuery& query,
-                                   const ChaseOptions& options) {
+                                   const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
                           RoundTripWorlds(mapping, reverse, source, options));
   return CertainOverWorlds(worlds, query);
@@ -24,7 +24,7 @@ Result<AnswerSet> RoundTripCertain(const TgdMapping& mapping,
 Result<std::vector<Instance>> RoundTripWorldsSO(const SOTgdMapping& mapping,
                                                 const SOInverseMapping& inverse,
                                                 const Instance& source,
-                                                const ChaseOptions& options) {
+                                                const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           ChaseSOTgd(mapping, source, options));
   return ChaseSOInverseWorlds(inverse, canonical, options);
@@ -34,7 +34,7 @@ Result<AnswerSet> RoundTripCertainSO(const SOTgdMapping& mapping,
                                      const SOInverseMapping& inverse,
                                      const Instance& source,
                                      const ConjunctiveQuery& query,
-                                     const ChaseOptions& options) {
+                                     const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(
       std::vector<Instance> worlds,
       RoundTripWorldsSO(mapping, inverse, source, options));

@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "base/status.h"
-#include "chase/chase_options.h"
+#include "engine/execution_options.h"
 #include "chase/chase_reverse.h"
 #include "chase/chase_so.h"
 #include "chase/chase_tgd.h"
@@ -43,7 +43,7 @@ namespace mapinv {
 Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
                                               const Instance& source,
-                                              const ChaseOptions& options = {});
+                                              const ExecutionOptions& options = {});
 
 /// \brief Certain answers of a source query over the round-trip worlds,
 /// i.e. certain_{M∘M'}(Q, I) computed canonically.
@@ -51,19 +51,19 @@ Result<AnswerSet> RoundTripCertain(const TgdMapping& mapping,
                                    const ReverseMapping& reverse,
                                    const Instance& source,
                                    const ConjunctiveQuery& query,
-                                   const ChaseOptions& options = {});
+                                   const ExecutionOptions& options = {});
 
 /// \brief Round trip through a plain SO-tgd and a PolySOInverse mapping.
 Result<std::vector<Instance>> RoundTripWorldsSO(
     const SOTgdMapping& mapping, const SOInverseMapping& inverse,
-    const Instance& source, const ChaseOptions& options = {});
+    const Instance& source, const ExecutionOptions& options = {});
 
 /// \brief Certain answers of a source query over the SO round-trip worlds.
 Result<AnswerSet> RoundTripCertainSO(const SOTgdMapping& mapping,
                                      const SOInverseMapping& inverse,
                                      const Instance& source,
                                      const ConjunctiveQuery& query,
-                                     const ChaseOptions& options = {});
+                                     const ExecutionOptions& options = {});
 
 /// \brief Intersection of per-world certain answers of `query`; fails on an
 /// empty world set.

@@ -11,7 +11,7 @@ namespace mapinv {
 Result<std::optional<PropertyViolation>> CheckCRecovery(
     const TgdMapping& mapping, const ReverseMapping& reverse,
     const std::vector<Instance>& sources,
-    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+    const std::vector<ConjunctiveQuery>& queries, const ExecutionOptions& options) {
   for (const Instance& source : sources) {
     for (const ConjunctiveQuery& q : queries) {
       MAPINV_ASSIGN_OR_RETURN(
@@ -32,7 +32,7 @@ Result<std::optional<PropertyViolation>> CheckCRecovery(
 Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
     const TgdMapping& mapping, const ReverseMapping& better,
     const ReverseMapping& worse, const std::vector<Instance>& sources,
-    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+    const std::vector<ConjunctiveQuery>& queries, const ExecutionOptions& options) {
   for (const Instance& source : sources) {
     for (const ConjunctiveQuery& q : queries) {
       MAPINV_ASSIGN_OR_RETURN(
@@ -55,7 +55,7 @@ Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
 Result<bool> RoundTripIsIdentity(const TgdMapping& mapping,
                                  const ReverseMapping& reverse,
                                  const Instance& source,
-                                 const ChaseOptions& options) {
+                                 const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(
       std::vector<Instance> worlds,
       RoundTripWorlds(mapping, reverse, source, options));
@@ -72,8 +72,8 @@ Result<bool> RoundTripIsIdentity(const TgdMapping& mapping,
 
 Result<bool> SolutionsContained(const TgdMapping& mapping, const Instance& i1,
                                 const Instance& i2,
-                                const ChaseOptions& options) {
-  ChaseOptions oblivious = options;
+                                const ExecutionOptions& options) {
+  ExecutionOptions oblivious = options;
   oblivious.oblivious = true;
   MAPINV_ASSIGN_OR_RETURN(Instance c1, ChaseTgds(mapping, i1, oblivious));
   MAPINV_ASSIGN_OR_RETURN(Instance c2, ChaseTgds(mapping, i2, oblivious));
@@ -84,7 +84,7 @@ Result<bool> SolutionsContained(const TgdMapping& mapping, const Instance& i1,
 
 Result<bool> SubsetPropertyHolds(const TgdMapping& mapping, const Instance& i1,
                                  const Instance& i2,
-                                 const ChaseOptions& options) {
+                                 const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(bool contained,
                           SolutionsContained(mapping, i1, i2, options));
   if (!contained) return true;  // antecedent false
@@ -94,7 +94,7 @@ Result<bool> SubsetPropertyHolds(const TgdMapping& mapping, const Instance& i1,
 Result<bool> UniqueSolutionsPropertyHolds(const TgdMapping& mapping,
                                           const Instance& i1,
                                           const Instance& i2,
-                                          const ChaseOptions& options) {
+                                          const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(bool equivalent,
                           DataExchangeEquivalent(mapping, i1, i2, options));
   if (!equivalent) return true;  // antecedent false
@@ -103,7 +103,7 @@ Result<bool> UniqueSolutionsPropertyHolds(const TgdMapping& mapping,
 
 Result<bool> DataExchangeEquivalent(const TgdMapping& mapping,
                                     const Instance& i1, const Instance& i2,
-                                    const ChaseOptions& options) {
+                                    const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(bool fwd, SolutionsContained(mapping, i1, i2, options));
   if (!fwd) return false;
   return SolutionsContained(mapping, i2, i1, options);
@@ -112,7 +112,7 @@ Result<bool> DataExchangeEquivalent(const TgdMapping& mapping,
 Result<std::optional<PropertyViolation>> CheckCqEquivalentReverse(
     const ReverseMapping& m1, const ReverseMapping& m2,
     const std::vector<Instance>& inputs,
-    const std::vector<ConjunctiveQuery>& queries, const ChaseOptions& options) {
+    const std::vector<ConjunctiveQuery>& queries, const ExecutionOptions& options) {
   for (const Instance& input : inputs) {
     for (const ConjunctiveQuery& q : queries) {
       MAPINV_ASSIGN_OR_RETURN(AnswerSet a1,

@@ -46,7 +46,7 @@ Result<std::optional<PropertyViolation>> CheckCRecovery(
     const TgdMapping& mapping, const ReverseMapping& reverse,
     const std::vector<Instance>& sources,
     const std::vector<ConjunctiveQuery>& queries,
-    const ChaseOptions& options = {});
+    const ExecutionOptions& options = {});
 
 /// \brief Checks that `better` dominates `worse` as a recovery of `mapping`
 /// on the samples: certain_{M∘worse}(Q,I) ⊆ certain_{M∘better}(Q,I).
@@ -54,7 +54,7 @@ Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
     const TgdMapping& mapping, const ReverseMapping& better,
     const ReverseMapping& worse, const std::vector<Instance>& sources,
     const std::vector<ConjunctiveQuery>& queries,
-    const ChaseOptions& options = {});
+    const ExecutionOptions& options = {});
 
 /// \brief Operational Fagin-identity check on one instance: the facts
 /// shared by all round-trip worlds, restricted to null-free tuples, must be
@@ -63,32 +63,32 @@ Result<std::optional<PropertyViolation>> CheckRecoveryDominance(
 Result<bool> RoundTripIsIdentity(const TgdMapping& mapping,
                                  const ReverseMapping& reverse,
                                  const Instance& source,
-                                 const ChaseOptions& options = {});
+                                 const ExecutionOptions& options = {});
 
 /// \brief Sol(I₂) ⊆ Sol(I₁) for a tgd mapping — decided via a homomorphism
 /// from the oblivious chase of I₁ into the oblivious chase of I₂.
 Result<bool> SolutionsContained(const TgdMapping& mapping, const Instance& i1,
                                 const Instance& i2,
-                                const ChaseOptions& options = {});
+                                const ExecutionOptions& options = {});
 
 /// \brief The subset property of [10] on a pair: Sol(I₂) ⊆ Sol(I₁) implies
 /// I₁ ⊆ I₂. A tgd mapping is Fagin-invertible iff this holds for all pairs.
 Result<bool> SubsetPropertyHolds(const TgdMapping& mapping, const Instance& i1,
                                  const Instance& i2,
-                                 const ChaseOptions& options = {});
+                                 const ExecutionOptions& options = {});
 
 /// \brief The unique-solutions property of [10] on a pair: Sol(I₁) = Sol(I₂)
 /// implies I₁ = I₂.
 Result<bool> UniqueSolutionsPropertyHolds(const TgdMapping& mapping,
                                           const Instance& i1,
                                           const Instance& i2,
-                                          const ChaseOptions& options = {});
+                                          const ExecutionOptions& options = {});
 
 /// \brief Data-exchange equivalence I₁ ~_M I₂ (Section 3.1): the two
 /// instances have the same space of solutions under the tgd mapping.
 Result<bool> DataExchangeEquivalent(const TgdMapping& mapping,
                                     const Instance& i1, const Instance& i2,
-                                    const ChaseOptions& options = {});
+                                    const ExecutionOptions& options = {});
 
 /// \brief Conjunctive-query equivalence of two reverse mappings on sampled
 /// inputs (instances over their shared premise schema) and target queries
@@ -97,7 +97,7 @@ Result<std::optional<PropertyViolation>> CheckCqEquivalentReverse(
     const ReverseMapping& m1, const ReverseMapping& m2,
     const std::vector<Instance>& inputs,
     const std::vector<ConjunctiveQuery>& queries,
-    const ChaseOptions& options = {});
+    const ExecutionOptions& options = {});
 
 /// \brief Builds, for every relation of `schema`, the identity projection
 /// query R(x₁,...,x_k) with all positions free — the standard probe set for

@@ -73,7 +73,7 @@ Result<bool> InCompositionViaCanonicalWitness(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
                                               const Instance& i1,
                                               const Instance& i2,
-                                              const ChaseOptions& options) {
+                                              const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(Instance canonical, ChaseTgds(mapping, i1, options));
   return SatisfiesReverseDeps(reverse, canonical, i2);
 }

@@ -18,7 +18,7 @@
 #define MAPINV_CHECK_SOLUTIONS_H_
 
 #include "base/status.h"
-#include "chase/chase_options.h"
+#include "engine/execution_options.h"
 #include "data/instance.h"
 #include "logic/mapping.h"
 
@@ -45,7 +45,7 @@ Result<bool> InCompositionViaCanonicalWitness(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
                                               const Instance& i1,
                                               const Instance& i2,
-                                              const ChaseOptions& options = {});
+                                              const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -1,10 +1,5 @@
 #include "data/value.h"
 
-namespace mapinv {
-
-std::atomic<uint32_t>& Value::next_null_label() {
-  static std::atomic<uint32_t> label{0};
-  return label;
-}
-
-}  // namespace mapinv
+// Value is fully inline; fresh-null label state lives in SymbolContext
+// (base/symbol_context.cc). This TU is kept so the build records the
+// dependency and future out-of-line members have a home.

@@ -11,12 +11,12 @@
 #ifndef MAPINV_DATA_VALUE_H_
 #define MAPINV_DATA_VALUE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 
+#include "base/symbol_context.h"
 #include "base/symbols.h"
 
 namespace mapinv {
@@ -36,11 +36,15 @@ class Value {
   /// Returns the constant spelling the decimal form of `n` (convenience).
   static Value Int(int64_t n) { return MakeConstant(std::to_string(n)); }
 
-  /// Returns a labelled null with a process-unique fresh label.
-  static Value FreshNull() {
-    return Value(next_null_label().fetch_add(1, std::memory_order_relaxed),
-                 /*is_null=*/true);
+  /// Returns a labelled null with a label fresh in `context`. Engine-scoped
+  /// contexts make label assignment reproducible run-to-run; see
+  /// base/symbol_context.h.
+  static Value FreshNull(SymbolContext& context) {
+    return Value(context.NextNullLabel(), /*is_null=*/true);
   }
+
+  /// Returns a labelled null fresh in the process-global context.
+  static Value FreshNull() { return FreshNull(SymbolContext::Global()); }
 
   /// Returns the labelled null with the given explicit label. Intended for
   /// tests and parsers; labels below 2^31 never collide with FreshNull()
@@ -74,8 +78,6 @@ class Value {
 
   Value(uint32_t id, bool is_null)
       : bits_(static_cast<uint64_t>(id) | (is_null ? kNullFlag : 0)) {}
-
-  static std::atomic<uint32_t>& next_null_label();
 
   uint64_t bits_;
 };

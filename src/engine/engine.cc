@@ -1,0 +1,99 @@
+#include "engine/engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "chase/chase_so.h"
+#include "chase/chase_tgd.h"
+#include "chase/round_trip.h"
+#include "engine/thread_pool.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "rewrite/rewrite.h"
+
+namespace mapinv {
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  if (config_.threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    config_.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.deadline_ms > 0) config_.limits.deadline_ms = config_.deadline_ms;
+  if (config_.threads > 1) {
+    // The calling thread participates in every ParallelFor, so the pool
+    // needs one worker fewer than the requested parallelism.
+    pool_ = std::make_unique<ThreadPool>(config_.threads - 1);
+  }
+}
+
+Engine::~Engine() = default;
+
+ExecutionOptions Engine::MakeOptions() {
+  ExecutionOptions options;
+  static_cast<ResourceLimits&>(options) = config_.limits;
+  options.threads = config_.threads;
+  options.pool = pool_.get();
+  options.symbols = &symbols_;
+  options.stats = &stats_;
+  return options;
+}
+
+template <typename Fn>
+auto Engine::WithCacheStats(Fn&& body) -> decltype(body()) {
+  const EvalCache::Stats before = cache().GetStats();
+  auto result = body();
+  const EvalCache::Stats after = cache().GetStats();
+  stats_.cache_hits.fetch_add(after.hits - before.hits,
+                              std::memory_order_relaxed);
+  stats_.cache_misses.fetch_add(after.misses - before.misses,
+                                std::memory_order_relaxed);
+  return result;
+}
+
+Result<Instance> Engine::Chase(const TgdMapping& mapping,
+                               const Instance& source, bool oblivious) {
+  ExecutionOptions options = MakeOptions();
+  options.oblivious = oblivious;
+  return WithCacheStats([&] { return ChaseTgds(mapping, source, options); });
+}
+
+Result<Instance> Engine::ChaseSO(const SOTgdMapping& mapping,
+                                 const Instance& source) {
+  ExecutionOptions options = MakeOptions();
+  return WithCacheStats([&] { return ChaseSOTgd(mapping, source, options); });
+}
+
+Result<ReverseMapping> Engine::Invert(const TgdMapping& mapping) {
+  ExecutionOptions options = MakeOptions();
+  return WithCacheStats(
+      [&] { return CqMaximumRecovery(mapping, options); });
+}
+
+Result<UnionCq> Engine::Rewrite(const TgdMapping& mapping,
+                                const ConjunctiveQuery& target_query) {
+  ExecutionOptions options = MakeOptions();
+  return WithCacheStats(
+      [&] { return RewriteOverSource(mapping, target_query, options); });
+}
+
+Result<std::vector<Instance>> Engine::RoundTrip(const TgdMapping& mapping,
+                                                const ReverseMapping& reverse,
+                                                const Instance& source) {
+  ExecutionOptions options = MakeOptions();
+  return WithCacheStats(
+      [&] { return RoundTripWorlds(mapping, reverse, source, options); });
+}
+
+Result<AnswerSet> Engine::RoundTripCertain(const TgdMapping& mapping,
+                                           const ReverseMapping& reverse,
+                                           const Instance& source,
+                                           const ConjunctiveQuery& query) {
+  ExecutionOptions options = MakeOptions();
+  return WithCacheStats([&] {
+    // Qualified: the member function hides the free RoundTripCertain.
+    return ::mapinv::RoundTripCertain(mapping, reverse, source, query,
+                                      options);
+  });
+}
+
+}  // namespace mapinv

@@ -1,0 +1,106 @@
+#include "engine/eval_cache.h"
+
+#include "data/instance.h"
+
+namespace mapinv {
+
+EvalCache::EvalCache(size_t capacity) : capacity_(capacity) {}
+
+EvalCache::EntryList::iterator EvalCache::Touch(EntryList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return lru_.begin();
+}
+
+std::optional<bool> EvalCache::GetBool(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() ||
+      !std::holds_alternative<bool>(it->second->value)) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  it->second = Touch(it->second);
+  return std::get<bool>(it->second->value);
+}
+
+std::shared_ptr<const Instance> EvalCache::GetInstance(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() ||
+      !std::holds_alternative<std::shared_ptr<const Instance>>(
+          it->second->value)) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second = Touch(it->second);
+  return std::get<std::shared_ptr<const Instance>>(it->second->value);
+}
+
+void EvalCache::InsertLocked(std::string_view key, Value value) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    it->second = Touch(it->second);
+    return;
+  }
+  EvictDownToLocked(capacity_ - 1);
+  lru_.push_front(Entry{std::string(key), std::move(value)});
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+}
+
+void EvalCache::EvictDownToLocked(size_t capacity) {
+  while (lru_.size() > capacity) {
+    index_.erase(std::string_view(lru_.back().key));
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void EvalCache::PutBool(std::string_view key, bool value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, Value(value));
+}
+
+void EvalCache::PutInstance(std::string_view key,
+                            std::shared_ptr<const Instance> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, Value(std::move(value)));
+}
+
+void EvalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
+void EvalCache::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  EvictDownToLocked(capacity_);
+}
+
+EvalCache::Stats EvalCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void EvalCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = misses_ = evictions_ = 0;
+}
+
+EvalCache& GlobalEvalCache() {
+  static EvalCache* cache = new EvalCache();
+  return *cache;
+}
+
+}  // namespace mapinv

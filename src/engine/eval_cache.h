@@ -1,0 +1,104 @@
+/// \file eval_cache.h
+/// \brief Bounded memoisation of CQ-containment and instance-core results.
+///
+/// CQ containment is re-decided constantly: MinimizeUnionCq is quadratic in
+/// the disjunct count and runs inside every rewriting, and
+/// CqMaximumRecovery's subsumption pruning calls it once per dependency —
+/// frequently on structurally identical disjunct pairs that differ only in
+/// variable names. Instance cores are similarly recomputed by the property
+/// checkers on repeated canonical instances. The EvalCache memoises both:
+///
+///   * containment — keyed on a *canonical* rendering of the query pair
+///     (variables renamed by first occurrence), so alpha-equivalent pairs
+///     share one entry;
+///   * cores — keyed on the schema signature plus the instance's
+///     deterministic rendering (exact null labels: a core is only replayed
+///     onto a bit-identical input).
+///
+/// The cache is an LRU bounded by entry count; `GlobalEvalCache()` is the
+/// process-wide instance consulted by eval/containment.cc and
+/// eval/instance_core.cc. Keys are self-contained strings — they embed
+/// spellings, not interner ids — so interner growth or reordering can never
+/// produce a stale hit. Thread-safe (one mutex; entries are immutable).
+
+#ifndef MAPINV_ENGINE_EVAL_CACHE_H_
+#define MAPINV_ENGINE_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+
+namespace mapinv {
+
+class Instance;
+
+/// \brief Thread-safe bounded LRU cache for evaluation results.
+class EvalCache {
+ public:
+  /// `capacity` bounds the number of entries; 0 disables the cache (every
+  /// lookup misses, every insert is dropped).
+  explicit EvalCache(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Looks up a boolean (containment) entry.
+  std::optional<bool> GetBool(std::string_view key);
+  /// Inserts a boolean entry, evicting the least recently used if full.
+  void PutBool(std::string_view key, bool value);
+
+  /// Looks up an instance (core) entry; nullptr on miss.
+  std::shared_ptr<const Instance> GetInstance(std::string_view key);
+  /// Inserts an instance entry.
+  void PutInstance(std::string_view key, std::shared_ptr<const Instance> value);
+
+  /// Drops every entry (stats are kept).
+  void Clear();
+  /// Rebounds the cache, evicting down to the new capacity. 0 disables.
+  void SetCapacity(size_t capacity);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats GetStats() const;
+  /// Resets hit/miss/eviction counters (entries stay).
+  void ResetStats();
+
+ private:
+  using Value = std::variant<bool, std::shared_ptr<const Instance>>;
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+  using EntryList = std::list<Entry>;
+
+  // Callers hold `mu_`.
+  EntryList::iterator Touch(EntryList::iterator it);
+  void InsertLocked(std::string_view key, Value value);
+  void EvictDownToLocked(size_t capacity);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  EntryList lru_;  // front = most recent
+  std::unordered_map<std::string_view, EntryList::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// \brief The process-wide cache consulted by CqContainedIn,
+/// DisjunctContainedIn and CoreOfInstance.
+EvalCache& GlobalEvalCache();
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_EVAL_CACHE_H_

@@ -1,0 +1,141 @@
+/// \file execution_options.h
+/// \brief The unified execution API: ResourceLimits, ExecStats and
+/// ExecutionOptions.
+///
+/// Every operation the paper defines — data exchange (§2), certain-answer
+/// rewriting (§4.1), the inversion pipeline (§4), PolySOInverse (§5) and the
+/// round-trip checks — used to take its own ad-hoc `*Options` struct
+/// (ChaseOptions, RewriteOptions, ComposeOptions, EliminateEqualitiesOptions,
+/// CqMaximumRecoveryOptions). Those five are now thin deprecated aliases of
+/// one ExecutionOptions, which combines:
+///
+///   * ResourceLimits — every limit knob in one place, shared by all layers;
+///   * parallelism    — `threads` plus an optional ThreadPool to run on;
+///   * a deadline     — wall-clock budget enforced inside the chase loops;
+///   * a stats sink   — ExecStats counting chase steps, homomorphism
+///                      backtracks and eval-cache traffic;
+///   * a SymbolContext — engine-scoped fresh-null/fresh-variable generation,
+///                      making output reproducible run-to-run.
+///
+/// ExecutionOptions inherits ResourceLimits, so the historical field names
+/// (`options.max_new_facts`, `options.max_worlds`, ...) keep working at
+/// every call site.
+
+#ifndef MAPINV_ENGINE_EXECUTION_OPTIONS_H_
+#define MAPINV_ENGINE_EXECUTION_OPTIONS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mapinv {
+
+class SymbolContext;
+class ThreadPool;
+class EvalCache;
+
+/// \brief Every resource limit of the library in one struct. Each knob turns
+/// a potential runaway into a clean kResourceExhausted error; the defaults
+/// match the historical per-struct defaults.
+struct ResourceLimits {
+  /// Maximum number of facts any chase may create (was ChaseOptions).
+  size_t max_new_facts = 4u << 20;
+  /// Maximum number of worlds a disjunctive chase may track (was
+  /// ChaseOptions).
+  size_t max_worlds = 4096;
+  /// Maximum number of (pre-minimisation) disjuncts a rewriting may produce
+  /// (was RewriteOptions).
+  size_t max_disjuncts = 1u << 20;
+  /// Maximum number of rules an SO-tgd composition may emit (was
+  /// ComposeOptions).
+  size_t max_rules = 1u << 16;
+  /// Maximum frontier width for the partition expansion — Bell(13) ≈ 2.7e7
+  /// dependencies (was EliminateEqualitiesOptions).
+  size_t max_frontier_width = 12;
+  /// Wall-clock budget in milliseconds, measured from operation entry;
+  /// 0 means unlimited. Enforced at trigger/world/disjunct granularity.
+  int64_t deadline_ms = 0;
+};
+
+/// \brief Counters an execution can stream into (pass `&stats` via
+/// ExecutionOptions::stats). All atomics: one sink may be shared by
+/// concurrent workers and by several sequential operations.
+struct ExecStats {
+  /// Triggers fired by chase engines (a skipped satisfied trigger does not
+  /// count).
+  std::atomic<uint64_t> chase_steps{0};
+  /// Candidate tuples rejected during homomorphism search (the backtrack
+  /// count of the hot loop).
+  std::atomic<uint64_t> hom_backtracks{0};
+  /// Homomorphism enumerations started.
+  std::atomic<uint64_t> hom_searches{0};
+  /// EvalCache hits / misses attributable to this execution.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+
+  void Reset() {
+    chase_steps = 0;
+    hom_backtracks = 0;
+    hom_searches = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+  std::string ToString() const {
+    return "chase_steps=" + std::to_string(chase_steps.load()) +
+           " hom_searches=" + std::to_string(hom_searches.load()) +
+           " hom_backtracks=" + std::to_string(hom_backtracks.load()) +
+           " cache_hits=" + std::to_string(cache_hits.load()) +
+           " cache_misses=" + std::to_string(cache_misses.load());
+  }
+};
+
+/// \brief Options accepted by the chase, rewrite, inversion and round-trip
+/// entry points. Inherits every ResourceLimits knob; adds execution policy.
+struct ExecutionOptions : ResourceLimits {
+  /// If true, fire every trigger without checking whether the conclusion is
+  /// already satisfied (the *oblivious* / naive chase). The oblivious chase
+  /// gives the canonical instance used for data-exchange equivalence tests;
+  /// the standard chase (false) gives smaller universal solutions.
+  bool oblivious = false;
+  /// Drop rewriting disjuncts subsumed by other disjuncts (containment
+  /// test). Chase engines ignore this.
+  bool minimize = true;
+  /// Degree of parallelism for trigger enumeration in ChaseTgds/ChaseSOTgd.
+  /// 1 means sequential. Output is bit-identical for every thread count.
+  int threads = 1;
+  /// Stats sink; nullptr disables counting.
+  ExecStats* stats = nullptr;
+  /// Fresh-symbol scope; nullptr means the process-global context
+  /// (historical behaviour). Supplying a fresh context makes null labels
+  /// restart from zero, so identical runs produce identical instances.
+  SymbolContext* symbols = nullptr;
+  /// Pool to run parallel sections on; nullptr makes `threads > 1` use the
+  /// lazily created process-shared pool. Engines inject their own.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Resolved wall-clock deadline, computed once at operation entry.
+class ExecDeadline {
+ public:
+  explicit ExecDeadline(int64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(deadline_ms);
+    }
+  }
+
+  bool Expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_EXECUTION_OPTIONS_H_

@@ -1,0 +1,175 @@
+#include "engine/parallel_chase.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "engine/thread_pool.h"
+
+namespace mapinv {
+
+namespace {
+
+// Binds `atom`'s terms against `tuple` into `out` (starting empty), applying
+// the same eager checks ForEachHom performs: constants must match, repeated
+// variables must agree, constant-constrained variables reject nulls, and
+// fully bound inequalities must hold. Returns false if the tuple is not a
+// match for the atom.
+bool BindCandidate(const Atom& atom, const Tuple& tuple,
+                   const HomConstraints& constraints, Assignment* out) {
+  for (size_t p = 0; p < atom.terms.size(); ++p) {
+    const Term& t = atom.terms[p];
+    if (t.is_constant()) {
+      if (!(t.value() == tuple[p])) return false;
+    } else {
+      auto it = out->find(t.var());
+      if (it == out->end()) {
+        if (constraints.constant_vars.contains(t.var()) &&
+            !tuple[p].is_constant()) {
+          return false;
+        }
+        out->emplace(t.var(), tuple[p]);
+      } else if (!(it->second == tuple[p])) {
+        return false;
+      }
+    }
+  }
+  for (const VarPair& ne : constraints.inequalities) {
+    auto a = out->find(ne.first);
+    auto b = out->find(ne.second);
+    if (a != out->end() && b != out->end() && a->second == b->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Assignment>> CollectTriggers(
+    const HomSearch& search, const Instance& instance,
+    const std::vector<Atom>& premise, const HomConstraints& constraints,
+    const ExecutionOptions& options, const ExecDeadline& deadline) {
+  // Validates every premise atom and builds the indexes up front, so the
+  // parallel section below only reads shared state.
+  MAPINV_RETURN_NOT_OK(search.Prewarm(premise));
+
+  if (premise.empty()) {
+    // ForEachHom reports the empty assignment once (constraints over an
+    // empty assignment hold trivially).
+    return std::vector<Assignment>{Assignment{}};
+  }
+
+  // Initial atom: the most-bound rule under the empty assignment, i.e. the
+  // first atom with the most constant terms.
+  size_t best_index = 0;
+  int best_bound = -1;
+  for (size_t i = 0; i < premise.size(); ++i) {
+    int bound = 0;
+    for (const Term& t : premise[i].terms) {
+      if (t.is_constant()) ++bound;
+    }
+    if (bound > best_bound) {
+      best_bound = bound;
+      best_index = i;
+    }
+  }
+  const Atom& first = premise[best_index];
+  std::vector<Atom> remaining;
+  remaining.reserve(premise.size() - 1);
+  for (size_t i = 0; i < premise.size(); ++i) {
+    if (i != best_index) remaining.push_back(premise[i]);
+  }
+
+  MAPINV_ASSIGN_OR_RETURN(
+      RelationId rel, instance.schema().Require(RelationText(first.relation)));
+  const auto& tuples = instance.tuples(rel);
+  const size_t n = tuples.size();
+  if (n == 0) return std::vector<Assignment>{};
+
+  int threads = options.threads < 1 ? 1 : options.threads;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options.pool != nullptr ? options.pool : &ThreadPool::Shared();
+  }
+
+  // One output slot per contiguous chunk of candidate tuples; slots merge in
+  // chunk order, so the trigger list is independent of scheduling — and of
+  // the chunk count itself, which lets threads==1 share this exact path.
+  const size_t chunk_count =
+      std::min(n, static_cast<size_t>(threads) * size_t{8});
+  const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
+  std::vector<std::vector<Assignment>> slots(chunk_count);
+  std::vector<Status> statuses(chunk_count, Status::OK());
+  std::atomic<bool> abort{false};
+  std::atomic<uint64_t> rejected{0};
+
+  auto run_chunk = [&](size_t c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    uint64_t local_rejected = 0;
+    for (size_t i = begin;
+         i < end && !abort.load(std::memory_order_relaxed); ++i) {
+      if ((i - begin) % 256 == 0 && deadline.Expired()) {
+        statuses[c] = Status::ResourceExhausted(
+            "deadline exceeded during trigger enumeration");
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      Assignment bindings;
+      if (!BindCandidate(first, tuples[i], constraints, &bindings)) {
+        ++local_rejected;
+        continue;
+      }
+      Status status =
+          search.ForEachHom(remaining, constraints, bindings,
+                            [&slot = slots[c]](const Assignment& h) {
+                              slot.push_back(h);
+                              return true;
+                            });
+      if (!status.ok()) {
+        statuses[c] = std::move(status);
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (local_rejected != 0) {
+      rejected.fetch_add(local_rejected, std::memory_order_relaxed);
+    }
+  };
+
+  if (pool == nullptr) {
+    for (size_t c = 0; c < chunk_count; ++c) run_chunk(c);
+  } else {
+    pool->ParallelFor(chunk_count, run_chunk);
+  }
+
+  if (options.stats != nullptr) {
+    options.stats->hom_backtracks.fetch_add(
+        rejected.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  for (Status& status : statuses) {
+    MAPINV_RETURN_NOT_OK(status);
+  }
+
+  size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<Assignment> triggers;
+  triggers.reserve(total);
+  for (auto& slot : slots) {
+    for (Assignment& h : slot) triggers.push_back(std::move(h));
+  }
+  return triggers;
+}
+
+SymbolContext& ResolveSymbols(const ExecutionOptions& options,
+                              const Instance& input) {
+  if (options.symbols == nullptr) return SymbolContext::Global();
+  for (const Fact& f : input.AllFacts()) {
+    for (Value v : f.tuple) {
+      if (v.is_null()) options.symbols->BumpNullPast(v.id());
+    }
+  }
+  return *options.symbols;
+}
+
+}  // namespace mapinv

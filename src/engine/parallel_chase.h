@@ -1,0 +1,68 @@
+/// \file parallel_chase.h
+/// \brief Deterministic (optionally parallel) chase-trigger collection.
+///
+/// The chase engines spend almost all their time enumerating premise
+/// homomorphisms (the *triggers*). CollectTriggers partitions that
+/// enumeration so it can run on a thread pool while producing the trigger
+/// list in **exactly** the order a sequential HomSearch::ForEachHom would:
+///
+///   1. pick the initial atom A* by the same most-bound rule ForEachHom
+///      applies under the empty assignment (strict `>`, first atom wins
+///      ties — with nothing bound, "most-bound" counts constant terms);
+///   2. scan A*'s relation tuples in ascending insertion order, binding
+///      A*'s terms against each tuple (ForEachHom's bucket iteration visits
+///      the same matching subsequence in the same order);
+///   3. for each successful binding, enumerate the remaining atoms with
+///      ForEachHom(remaining, constraints, fixed = binding) — identical
+///      recursion state, hence identical enumeration order.
+///
+/// Step 2's candidate range is split into contiguous chunks with one output
+/// slot per chunk; slots are concatenated in chunk order, so the result is
+/// independent of how chunks are scheduled. The **same chunked code path
+/// runs for every thread count** — threads == 1 simply executes the chunks
+/// inline — which is what makes multi-thread output bit-identical to
+/// single-thread, and both identical to the historical sequential chase.
+///
+/// Callers must not grow the instance while a collection is in flight;
+/// CollectTriggers prewarms the search indexes so the parallel section only
+/// reads.
+
+#ifndef MAPINV_ENGINE_PARALLEL_CHASE_H_
+#define MAPINV_ENGINE_PARALLEL_CHASE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "engine/execution_options.h"
+#include "eval/hom.h"
+#include "logic/cq.h"
+
+namespace mapinv {
+
+/// \brief Collects every homomorphism of `premise` into `instance` (which
+/// must be the instance `search` was built over), in the exact order the
+/// sequential backtracking search reports them.
+///
+/// `options.threads` > 1 fans the enumeration out on `options.pool` (or the
+/// process-shared pool). Fails with kResourceExhausted once `deadline`
+/// expires, and propagates validation errors (unknown relation, arity
+/// mismatch, function terms) exactly like ForEachHom.
+Result<std::vector<Assignment>> CollectTriggers(const HomSearch& search,
+                                                const Instance& instance,
+                                                const std::vector<Atom>& premise,
+                                                const HomConstraints& constraints,
+                                                const ExecutionOptions& options,
+                                                const ExecDeadline& deadline);
+
+/// \brief Resolves the fresh-symbol scope for an operation reading `input`:
+/// the process-global context when `options.symbols` is null (historical
+/// behaviour), otherwise `options.symbols` bumped past every null label
+/// occurring in `input`, so an engine-scoped context that restarts at zero
+/// can never re-issue a label already present in the data it extends.
+SymbolContext& ResolveSymbols(const ExecutionOptions& options,
+                              const Instance& input);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_PARALLEL_CHASE_H_

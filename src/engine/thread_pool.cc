@@ -1,0 +1,149 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace mapinv {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 0) threads = 0;
+  queues_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();
+    return;
+  }
+  size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask(size_t preferred_queue) {
+  const size_t n = queues_.size();
+  for (size_t attempt = 0; attempt < n; ++attempt) {
+    size_t q = (preferred_queue + attempt) % n;
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(queues_[q]->mu);
+      if (queues_[q]->tasks.empty()) continue;
+      if (attempt == 0) {
+        // Own queue: LIFO for locality.
+        task = std::move(queues_[q]->tasks.back());
+        queues_[q]->tasks.pop_back();
+      } else {
+        // Steal: FIFO, take the oldest (likely largest) task.
+        task = std::move(queues_[q]->tasks.front());
+        queues_[q]->tasks.pop_front();
+      }
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  while (true) {
+    if (TryRunOneTask(worker_index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    // Re-check for work under the wake lock to avoid a lost notify, and
+    // drain every queued task before honouring a stop request.
+    bool any = false;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> qlock(q->mu);
+      if (!q->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    wake_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (queues_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  struct ForState {
+    std::atomic<size_t> cursor{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t helpers_done = 0;
+  };
+  auto state = std::make_shared<ForState>();
+
+  auto drain = [state, n, &body]() {
+    size_t i;
+    while ((i = state->cursor.fetch_add(1, std::memory_order_relaxed)) < n) {
+      body(i);
+    }
+  };
+
+  // One helper task per worker; every helper drains the shared cursor, so
+  // uneven item costs balance dynamically. ParallelFor blocks until all
+  // helpers finished, which keeps the by-reference `body` capture valid.
+  const size_t helpers = std::min(n, workers_.size());
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain]() {
+      drain();
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->helpers_done;
+      state->cv.notify_all();
+    });
+  }
+  drain();  // the caller participates too
+  // Help run queued tasks while waiting: a nested ParallelFor queues its
+  // helpers behind the outer one's, and if every thread blocked here none
+  // of them would ever run. The short timed wait re-polls the queues, so
+  // some waiter always makes progress.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->helpers_done == helpers) return;
+    }
+    if (!TryRunOneTask(0)) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->cv.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return state->helpers_done == helpers; });
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    int workers = hw > 1 ? static_cast<int>(hw) - 1 : 1;
+    return new ThreadPool(workers);
+  }();
+  return *pool;
+}
+
+}  // namespace mapinv

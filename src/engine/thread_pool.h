@@ -1,0 +1,77 @@
+/// \file thread_pool.h
+/// \brief A small work-stealing thread pool.
+///
+/// Each worker owns a deque: it pushes and pops its own work LIFO (cache
+/// locality) and steals FIFO from the other workers when its deque runs dry
+/// (oldest task first, the classic Blumofe–Leiserson discipline). External
+/// submissions are distributed round-robin. The pool exists so one Engine
+/// can fan a model-management request out into many chases and homomorphism
+/// searches over shared read-only structures without re-spawning threads.
+///
+/// Determinism note: the pool never promises an execution *order* — callers
+/// that need deterministic results (the parallel chase) write into
+/// pre-allocated per-chunk slots and merge in chunk order, which makes the
+/// output independent of scheduling.
+
+#ifndef MAPINV_ENGINE_THREAD_POOL_H_
+#define MAPINV_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mapinv {
+
+/// \brief Fixed-size work-stealing pool. Submission and ParallelFor are
+/// thread-safe; the destructor drains outstanding work.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 is allowed: every ParallelFor then runs
+  /// inline on the calling thread.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(0..n-1), blocking until every call returned. The calling
+  /// thread participates, so the pool makes progress even with 0 workers.
+  /// Items are claimed dynamically (an atomic cursor), so uneven item costs
+  /// balance automatically; the caller is responsible for making its output
+  /// independent of claiming order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-shared pool, lazily created with hardware_concurrency() - 1
+  /// workers (the caller participates in ParallelFor, using the final core).
+  /// Used by chase entry points when ExecutionOptions supplies no pool.
+  static ThreadPool& Shared();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool TryRunOneTask(size_t preferred_queue);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_THREAD_POOL_H_

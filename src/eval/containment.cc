@@ -6,11 +6,78 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/eval_cache.h"
 #include "eval/query_eval.h"
 
 namespace mapinv {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical cache keys. Variables are renamed by first occurrence, so
+// alpha-equivalent query pairs share one EvalCache entry; constants and
+// function symbols are rendered by length-prefixed spelling, which makes the
+// key self-contained (immune to interner id reassignment).
+// ---------------------------------------------------------------------------
+
+using VarCanon = std::unordered_map<VarId, size_t>;
+
+void AppendTermKey(const Term& t, VarCanon* vars, std::string* out) {
+  if (t.is_variable()) {
+    auto [it, inserted] = vars->emplace(t.var(), vars->size());
+    out->append("?").append(std::to_string(it->second));
+  } else if (t.is_constant()) {
+    std::string s = t.value().ToString();
+    out->append("c").append(std::to_string(s.size())).append(":").append(s);
+  } else {
+    const std::string& name = FunctionName(t.fn());
+    out->append("f").append(std::to_string(name.size())).append(":").append(
+        name);
+    out->append("(");
+    for (const Term& a : t.args()) AppendTermKey(a, vars, out);
+    out->append(")");
+  }
+}
+
+void AppendAtomsKey(const std::vector<Atom>& atoms, VarCanon* vars,
+                    std::string* out) {
+  for (const Atom& a : atoms) {
+    const std::string& rel = RelationText(a.relation);
+    out->append(std::to_string(rel.size())).append(":").append(rel).append(
+        "(");
+    for (const Term& t : a.terms) AppendTermKey(t, vars, out);
+    out->append(")");
+  }
+}
+
+std::string CqKey(const ConjunctiveQuery& q) {
+  VarCanon vars;
+  std::string out = "[";
+  for (VarId v : q.head) AppendTermKey(Term::Var(v), &vars, &out);
+  out.append("]");
+  AppendAtomsKey(q.atoms, &vars, &out);
+  return out;
+}
+
+// Canonical rendering of one disjunct under a head-seeded renaming (copied:
+// the two sides of a containment share head variables but nothing else).
+std::string DisjunctKey(const CqDisjunct& d, VarCanon vars) {
+  std::string out;
+  AppendAtomsKey(d.atoms, &vars, &out);
+  out.append("=");
+  for (const VarPair& eq : d.equalities) {
+    AppendTermKey(Term::Var(eq.first), &vars, &out);
+    AppendTermKey(Term::Var(eq.second), &vars, &out);
+    out.append(";");
+  }
+  out.append("!");
+  for (const VarPair& ne : d.inequalities) {
+    AppendTermKey(Term::Var(ne.first), &vars, &out);
+    AppendTermKey(Term::Var(ne.second), &vars, &out);
+    out.append(";");
+  }
+  return out;
+}
 
 // Builds a schema covering all relations mentioned by `atoms` (arity taken
 // from the atoms themselves; consistent arities are required).
@@ -116,6 +183,9 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
                                    std::to_string(q1.head.size()) + " and " +
                                    std::to_string(q2.head.size()));
   }
+  const std::string key = "cq|" + CqKey(q1) + "|" + CqKey(q2);
+  EvalCache& cache = GlobalEvalCache();
+  if (std::optional<bool> hit = cache.GetBool(key)) return *hit;
   std::unordered_map<VarId, Value> frozen;
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           Freeze(q1.atoms, q2.atoms, &frozen));
@@ -131,7 +201,9 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
     }
     head.push_back(it->second);
   }
-  return answers.Contains(head);
+  const bool contained = answers.Contains(head);
+  cache.PutBool(key, contained);
+  return contained;
 }
 
 Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
@@ -141,6 +213,19 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
         "containment of UCQ≠ disjuncts is not implemented (the freeze "
         "technique is incomplete with inequalities)");
   }
+  // The head variables are shared between the disjuncts; everything else is
+  // disjunct-local, so each side renames from its own head-seeded map.
+  VarCanon head_vars;
+  std::string key = "dj|[";
+  for (VarId v : head) AppendTermKey(Term::Var(v), &head_vars, &key);
+  key.append("]").append(DisjunctKey(d1, head_vars)).append("|").append(
+      DisjunctKey(d2, head_vars));
+  EvalCache& cache = GlobalEvalCache();
+  if (std::optional<bool> hit = cache.GetBool(key)) return *hit;
+  auto put = [&](bool contained) {
+    cache.PutBool(key, contained);
+    return contained;
+  };
   // Merge d1's equality classes, freeze, then evaluate d2 over the frozen
   // instance: d1 ⊆ d2 iff d2 returns d1's frozen head tuple.
   std::map<VarId, VarId> rep = EqualityReps(head, d1.equalities);
@@ -154,13 +239,13 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
     if (it == frozen.end()) {
       // Head variable not grounded by d1's atoms even through equalities:
       // d1 is unsafe; treat as empty (contained in anything).
-      return true;
+      return put(true);
     }
     head_tuple.push_back(it->second);
   }
   MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
                           EvaluateDisjunct(head, d2, canonical));
-  return answers.Contains(head_tuple);
+  return put(answers.Contains(head_tuple));
 }
 
 Result<UnionCq> MinimizeUnionCq(const UnionCq& query) {

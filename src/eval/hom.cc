@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/execution_options.h"
+
 namespace mapinv {
 
 namespace {
@@ -77,6 +79,8 @@ Status HomSearch::ForEachHom(
 
   Assignment assignment = fixed;
   if (!ConstraintsHold(constraints, assignment)) return Status::OK();
+
+  uint64_t rejected = 0;  // candidate tuples discarded; flushed to stats_
 
   // Recursive backtracking: pick the most-bound unprocessed atom each step.
   std::function<bool()> recurse = [&]() -> bool {
@@ -173,7 +177,11 @@ Status HomSearch::ForEachHom(
           }
         }
       }
-      if (ok) keep_going = recurse();
+      if (ok) {
+        keep_going = recurse();
+      } else {
+        ++rejected;
+      }
       for (VarId v : newly_bound) assignment.erase(v);
       if (!keep_going) break;
     }
@@ -182,6 +190,29 @@ Status HomSearch::ForEachHom(
   };
 
   recurse();
+  if (stats_ != nullptr) {
+    stats_->hom_searches.fetch_add(1, std::memory_order_relaxed);
+    stats_->hom_backtracks.fetch_add(rejected, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status HomSearch::Prewarm(const std::vector<Atom>& atoms) const {
+  for (const Atom& a : atoms) {
+    MAPINV_ASSIGN_OR_RETURN(RelationId id,
+                            instance_.schema().Require(RelationText(a.relation)));
+    if (instance_.schema().arity(id) != a.terms.size()) {
+      return Status::Malformed("atom " + a.ToString() +
+                               " arity mismatch with instance schema");
+    }
+    for (const Term& t : a.terms) {
+      if (t.is_function()) {
+        return Status::Malformed("cannot match function term " + t.ToString() +
+                                 " against an instance");
+      }
+    }
+    IndexFor(id);
+  }
   return Status::OK();
 }
 

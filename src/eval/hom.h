@@ -28,6 +28,8 @@
 
 namespace mapinv {
 
+struct ExecStats;
+
 /// A partial or total variable assignment.
 using Assignment = std::unordered_map<VarId, Value>;
 
@@ -66,6 +68,18 @@ class HomSearch {
                          const HomConstraints& constraints,
                          const Assignment& fixed = {}) const;
 
+  /// Validates `atoms` against the instance schema and builds the indexes
+  /// for every relation they mention. After Prewarm, concurrent ForEachHom
+  /// calls over the same atoms are safe as long as the instance does not
+  /// grow — the lazily built index structures are then only read. The
+  /// parallel chase prewarms before fanning trigger enumeration out.
+  Status Prewarm(const std::vector<Atom>& atoms) const;
+
+  /// Streams search counters (enumerations started, candidate tuples
+  /// rejected) into `stats`; nullptr disables. Counter updates are atomic,
+  /// so one sink may serve concurrent searches.
+  void set_stats(ExecStats* stats) { stats_ = stats; }
+
  private:
   struct PositionIndex {
     // value at position -> indexes into Instance::tuples(relation)
@@ -81,6 +95,7 @@ class HomSearch {
   const RelationIndex& IndexFor(RelationId relation) const;
 
   const Instance& instance_;
+  ExecStats* stats_ = nullptr;
   mutable std::unordered_map<RelationId, RelationIndex> indexes_;
 };
 

@@ -1,12 +1,30 @@
 #include "eval/instance_core.h"
 
+#include <memory>
 #include <unordered_map>
 
+#include "engine/eval_cache.h"
 #include "eval/hom.h"
 
 namespace mapinv {
 
 namespace {
+
+// Cache key for core computation: schema signature plus the instance's
+// deterministic rendering. Unlike containment keys this is *exact* (null
+// labels are not canonicalised): a cached core is replayed only onto a
+// bit-identical input, because the caller receives the cached instance's
+// nulls verbatim.
+std::string CoreKey(const Instance& instance) {
+  std::string key = "core|";
+  const Schema& schema = instance.schema();
+  for (RelationId r = 0; r < schema.size(); ++r) {
+    key.append(schema.name(r)).append("/").append(
+        std::to_string(schema.arity(r))).append(";");
+  }
+  key.append("|").append(instance.ToString());
+  return key;
+}
 
 // Encodes the instance as an atom conjunction: nulls become variables (one
 // per label), constants become constant terms. Returns the null->variable
@@ -94,6 +112,11 @@ Instance ApplyValueMap(
 }  // namespace
 
 Result<Instance> CoreOfInstance(const Instance& instance) {
+  const std::string key = CoreKey(instance);
+  EvalCache& cache = GlobalEvalCache();
+  if (std::shared_ptr<const Instance> hit = cache.GetInstance(key)) {
+    return Instance(*hit);
+  }
   Instance current = instance;
   bool changed = true;
   while (changed) {
@@ -113,6 +136,7 @@ Result<Instance> CoreOfInstance(const Instance& instance) {
       }
     }
   }
+  cache.PutInstance(key, std::make_shared<const Instance>(current));
   return current;
 }
 

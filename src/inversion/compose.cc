@@ -9,7 +9,7 @@ namespace mapinv {
 
 Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
                                    const SOTgdMapping& second,
-                                   const ComposeOptions& options) {
+                                   const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(first.Validate());
   MAPINV_RETURN_NOT_OK(second.Validate());
   // The middle schemas must agree on every relation second's premises use.
@@ -115,7 +115,7 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
 
 Result<SOTgdMapping> ComposeTgdMappings(const TgdMapping& first,
                                         const TgdMapping& second,
-                                        const ComposeOptions& options) {
+                                        const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(SOTgdMapping so1, TgdsToPlainSOTgd(first));
   MAPINV_ASSIGN_OR_RETURN(SOTgdMapping so2, TgdsToPlainSOTgd(second));
   return ComposeSOTgds(so1, so2, options);

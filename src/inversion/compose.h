@@ -17,28 +17,25 @@
 #define MAPINV_INVERSION_COMPOSE_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/mapping.h"
 
 namespace mapinv {
 
-struct ComposeOptions {
-  /// Abort beyond this many result rules (the unfolding is exponential in
-  /// the premise size of M₂₃'s rules).
-  size_t max_rules = 1u << 16;
-};
+using ComposeOptions [[deprecated("use ExecutionOptions")]] = ExecutionOptions;
 
 /// \brief Composes two SO-tgd mappings; `first` maps A→B, `second` maps
 /// B→C, the result maps A→C. Fails unless first.target and second.source
 /// agree on the relations the rules use.
 Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
                                    const SOTgdMapping& second,
-                                   const ComposeOptions& options = {});
+                                   const ExecutionOptions& options = {});
 
 /// \brief Convenience: composes two tgd mappings by translating both to
 /// plain SO-tgds first (Section 5.1) and unfolding.
 Result<SOTgdMapping> ComposeTgdMappings(const TgdMapping& first,
                                         const TgdMapping& second,
-                                        const ComposeOptions& options = {});
+                                        const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -6,12 +6,12 @@
 namespace mapinv {
 
 Result<ReverseMapping> CqMaximumRecovery(
-    const TgdMapping& mapping, const CqMaximumRecoveryOptions& options) {
+    const TgdMapping& mapping, const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_prime,
-                          MaximumRecovery(mapping, options.rewrite));
+                          MaximumRecovery(mapping, options));
   MAPINV_ASSIGN_OR_RETURN(
       ReverseMapping sigma_double_prime,
-      EliminateEqualities(sigma_prime, options.eliminate_equalities));
+      EliminateEqualities(sigma_prime, options));
   return EliminateDisjunctions(sigma_double_prime);
 }
 

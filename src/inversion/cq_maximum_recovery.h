@@ -12,22 +12,21 @@
 #define MAPINV_INVERSION_CQ_MAXIMUM_RECOVERY_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "inversion/eliminate_equalities.h"
 #include "logic/mapping.h"
 #include "rewrite/rewrite.h"
 
 namespace mapinv {
 
-struct CqMaximumRecoveryOptions {
-  RewriteOptions rewrite;
-  EliminateEqualitiesOptions eliminate_equalities;
-};
+using CqMaximumRecoveryOptions [[deprecated("use ExecutionOptions")]] =
+    ExecutionOptions;
 
 /// \brief Computes a CQ-maximum recovery of `mapping` in the Theorem 4.5
 /// language: every output dependency has a single, equality-free conjunctive
 /// conclusion, and C(·) / ≠ appear in premises only.
 Result<ReverseMapping> CqMaximumRecovery(
-    const TgdMapping& mapping, const CqMaximumRecoveryOptions& options = {});
+    const TgdMapping& mapping, const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

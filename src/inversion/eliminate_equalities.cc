@@ -32,7 +32,7 @@ std::vector<Atom> ApplyVarMap(const std::vector<Atom>& atoms,
 
 Result<ReverseMapping> EliminateEqualities(
     const ReverseMapping& recovery,
-    const EliminateEqualitiesOptions& options) {
+    const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(recovery.Validate());
   ReverseMapping out(recovery.source, recovery.target, {});
   for (const ReverseDependency& dep : recovery.deps) {

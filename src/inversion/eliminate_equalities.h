@@ -18,21 +18,20 @@
 #define MAPINV_INVERSION_ELIMINATE_EQUALITIES_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/mapping.h"
 
 namespace mapinv {
 
-struct EliminateEqualitiesOptions {
-  /// Refuse frontiers wider than this (Bell(13) ≈ 2.7e7 dependencies).
-  size_t max_frontier_width = 12;
-};
+using EliminateEqualitiesOptions [[deprecated("use ExecutionOptions")]] =
+    ExecutionOptions;
 
 /// \brief Runs the partition expansion on every dependency of `recovery`
 /// (the output of MaximumRecovery). The result is equality-free; premises
 /// carry C(·) on block representatives and all pairwise inequalities.
 Result<ReverseMapping> EliminateEqualities(
     const ReverseMapping& recovery,
-    const EliminateEqualitiesOptions& options = {});
+    const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

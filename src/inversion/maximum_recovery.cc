@@ -3,7 +3,7 @@
 namespace mapinv {
 
 Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
-                                       const RewriteOptions& rewrite_options) {
+                                       const ExecutionOptions& rewrite_options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
   ReverseMapping out(mapping.target, mapping.source, {});
   for (const Tgd& tgd : mapping.tgds) {

@@ -25,7 +25,7 @@ namespace mapinv {
 /// original target schema back to the original source schema; dependency i
 /// corresponds to tgd i of the input.
 Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
-                                       const RewriteOptions& rewrite_options = {});
+                                       const ExecutionOptions& rewrite_options = {});
 
 }  // namespace mapinv
 

@@ -24,13 +24,13 @@ struct HeadChoice {
 // (Skolemised or user-authored) plain SO-tgd rules.
 Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                                     const ConjunctiveQuery& target_query,
-                                    const RewriteOptions& options);
+                                    const ExecutionOptions& options);
 
 }  // namespace
 
 Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
                                   const ConjunctiveQuery& target_query,
-                                  const RewriteOptions& options) {
+                                  const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
   MAPINV_RETURN_NOT_OK(target_query.Validate(*mapping.target));
   SOTgd skolemized = SkolemizeTgds(mapping.tgds, SkolemArgs::kFrontierVars);
@@ -39,7 +39,7 @@ Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
 
 Result<UnionCq> RewriteOverSourceSO(const SOTgdMapping& mapping,
                                     const ConjunctiveQuery& target_query,
-                                    const RewriteOptions& options) {
+                                    const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
   MAPINV_RETURN_NOT_OK(target_query.Validate(*mapping.target));
   return RewriteAgainstRules(mapping.so, target_query, options);
@@ -49,7 +49,7 @@ namespace {
 
 Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                                     const ConjunctiveQuery& target_query,
-                                    const RewriteOptions& options) {
+                                    const ExecutionOptions& options) {
   // Candidate head choices per query atom.
   std::vector<std::vector<HeadChoice>> choices(target_query.atoms.size());
   for (size_t i = 0; i < target_query.atoms.size(); ++i) {
@@ -73,8 +73,11 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
   out.name = target_query.name;
   out.head = target_query.head;
 
-  // Enumerate all choice combinations with backtracking.
-  FreshVarGen gen("r");
+  // Enumerate all choice combinations with backtracking. Renaming draws
+  // from the options' symbol scope so rewritings are reproducible under an
+  // engine-scoped context.
+  ExecDeadline deadline(options.deadline_ms);
+  FreshVarGen gen("r", options.symbols);
   size_t produced = 0;
 
   std::function<Status(size_t, std::vector<std::pair<Term, Term>>,
@@ -82,6 +85,11 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
       recurse = [&](size_t i, std::vector<std::pair<Term, Term>> goals,
                     std::vector<Atom> premises) -> Status {
     if (i == target_query.atoms.size()) {
+      if (deadline.Expired()) {
+        return Status::ResourceExhausted(
+            "rewriting exceeded deadline_ms = " +
+            std::to_string(options.deadline_ms));
+      }
       if (++produced > options.max_disjuncts) {
         return Status::ResourceExhausted(
             "rewriting exceeded max_disjuncts = " +

@@ -22,24 +22,19 @@
 #define MAPINV_REWRITE_REWRITE_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/cq.h"
 #include "logic/mapping.h"
 
 namespace mapinv {
 
-struct RewriteOptions {
-  /// Drop disjuncts subsumed by other disjuncts (containment test).
-  bool minimize = true;
-  /// Abort with kResourceExhausted beyond this many (pre-minimisation)
-  /// disjuncts.
-  size_t max_disjuncts = 1u << 20;
-};
+using RewriteOptions [[deprecated("use ExecutionOptions")]] = ExecutionOptions;
 
 /// \brief Computes the UCQ= source rewriting of `target_query` under the
 /// mapping's tgds. The result's head is target_query.head.
 Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
                                   const ConjunctiveQuery& target_query,
-                                  const RewriteOptions& options = {});
+                                  const ExecutionOptions& options = {});
 
 /// \brief Rewriting over an arbitrary plain SO-tgd mapping: the same
 /// resolution engine against rule heads with (shared) function terms. A
@@ -50,7 +45,7 @@ Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
 /// expressiveness of Section 5.1.
 Result<UnionCq> RewriteOverSourceSO(const SOTgdMapping& mapping,
                                     const ConjunctiveQuery& target_query,
-                                    const RewriteOptions& options = {});
+                                    const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

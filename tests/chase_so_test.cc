@@ -161,7 +161,7 @@ TEST(ChaseSOInverseTest, WorldCapIsEnforced) {
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(target.Add("T", {Value::NullWithLabel(100 + i)}).ok());
   }
-  ChaseOptions tight;
+  ExecutionOptions tight;
   tight.max_worlds = 16;  // 2^8 = 256 branches
   EXPECT_EQ(ChaseSOInverseWorlds(inv, target, tight).status().code(),
             StatusCode::kResourceExhausted);
@@ -173,7 +173,7 @@ TEST(ChaseSOTgdTest, FactLimitEnforced) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(source.AddInts("A", {i, i}).ok());
   }
-  ChaseOptions tight;
+  ExecutionOptions tight;
   tight.max_new_facts = 10;
   EXPECT_EQ(ChaseSOTgd(m, source, tight).status().code(),
             StatusCode::kResourceExhausted);

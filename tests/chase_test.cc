@@ -66,7 +66,7 @@ TEST(ChaseTgdTest, StandardChaseSkipsSatisfiedTriggers) {
   ASSERT_TRUE(input.AddInts("B", {1}).ok());
   Instance standard = *ChaseTgds(m, input);
   EXPECT_EQ(standard.TotalSize(), 1u);  // P(1,1) satisfies both
-  ChaseOptions oblivious;
+  ExecutionOptions oblivious;
   oblivious.oblivious = true;
   Instance naive = *ChaseTgds(m, input, oblivious);
   EXPECT_EQ(naive.TotalSize(), 2u);  // P(1,1) and P(1,_N)
@@ -106,7 +106,7 @@ TEST(ChaseTgdTest, ResourceLimitEnforced) {
     ASSERT_TRUE(big.AddInts("R", {i, 1000}).ok());
     ASSERT_TRUE(big.AddInts("S", {1000, i}).ok());
   }
-  ChaseOptions tight;
+  ExecutionOptions tight;
   tight.max_new_facts = 10;
   EXPECT_EQ(ChaseTgds(m, big, tight).status().code(),
             StatusCode::kResourceExhausted);
@@ -230,7 +230,7 @@ TEST(ChaseReverseTest, WorldLimitEnforced) {
                     std::make_shared<const Schema>(sschema), {dep});
   Instance target(tschema);
   for (int i = 0; i < 12; ++i) ASSERT_TRUE(target.AddInts("D", {i}).ok());
-  ChaseOptions tight;
+  ExecutionOptions tight;
   tight.max_worlds = 16;
   EXPECT_EQ(ChaseReverseWorlds(rm, target, tight).status().code(),
             StatusCode::kResourceExhausted);

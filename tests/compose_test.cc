@@ -98,7 +98,7 @@ TEST(ComposeTest, MultipleProducersMultiplyRules) {
   ASSERT_TRUE(m12.ok() && m23.ok());
   SOTgdMapping composed = *ComposeTgdMappings(*m12, *m23);
   EXPECT_EQ(composed.so.rules.size(), 2u);
-  ComposeOptions tight;
+  ExecutionOptions tight;
   tight.max_rules = 1;
   EXPECT_EQ(ComposeTgdMappings(*m12, *m23, tight).status().code(),
             StatusCode::kResourceExhausted);

@@ -62,7 +62,7 @@ TEST(InstanceCoreTest, ObliviousChaseCoresToStandardSize) {
       ParseTgdMapping("A(x) -> EXISTS y . P(x,y)\nB(x) -> P(x,x)")
           .ValueOrDie();
   Instance source = ParseInstance("{ A(1), B(1) }", *m.source).ValueOrDie();
-  ChaseOptions oblivious;
+  ExecutionOptions oblivious;
   oblivious.oblivious = true;
   Instance naive = ChaseTgds(m, source, oblivious).ValueOrDie();
   EXPECT_EQ(naive.TotalSize(), 2u);

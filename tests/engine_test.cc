@@ -1,0 +1,558 @@
+// Tests for the execution engine: thread pool, deterministic parallel
+// trigger collection, eval cache, symbol scoping and the Engine facade.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/symbol_context.h"
+#include "chase/chase_options.h"
+#include "chase/chase_reverse.h"
+#include "chase/chase_so.h"
+#include "chase/chase_tgd.h"
+#include "engine/engine.h"
+#include "engine/eval_cache.h"
+#include "engine/execution_options.h"
+#include "engine/parallel_chase.h"
+#include "engine/thread_pool.h"
+#include "eval/containment.h"
+#include "eval/hom.h"
+#include "eval/instance_core.h"
+#include "inversion/compose.h"
+#include "inversion/cq_maximum_recovery.h"
+#include "inversion/eliminate_equalities.h"
+#include "mapgen/generators.h"
+#include "rewrite/rewrite.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100u * 99u / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroItemsReturns) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SubmitEventuallyRunsEveryTask) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // The destructor drains outstanding work.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// ExecDeadline
+
+TEST(ExecDeadlineTest, ZeroMeansUnlimited) {
+  ExecDeadline deadline(0);
+  EXPECT_FALSE(deadline.Expired());
+}
+
+TEST(ExecDeadlineTest, ExpiresAfterItsBudget) {
+  ExecDeadline deadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.Expired());
+}
+
+TEST(ExecDeadlineTest, ExpiredChaseReportsResourceExhausted) {
+  TgdMapping mapping = ParseTgdMapping("R(x,y) -> S(x,y)").ValueOrDie();
+  Instance source = GenerateInstance(*mapping.source, 50, 20, 7);
+  ExecutionOptions options;
+  options.deadline_ms = 1;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The deadline is measured from operation entry, so this chase still has
+  // its full (tiny) budget — but a 1ms budget on a 50-tuple chase may or may
+  // not expire. Force the issue by chasing in a loop until one run expires
+  // or all runs succeed; either way no other error may appear.
+  for (int i = 0; i < 3; ++i) {
+    Result<Instance> result = ChaseTgds(mapping, source, options);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      return;
+    }
+  }
+  // All runs beat the deadline — acceptable on a fast machine.
+}
+
+// ---------------------------------------------------------------------------
+// SymbolContext
+
+TEST(SymbolContextTest, CountsFromZeroAndBumps) {
+  SymbolContext context;
+  EXPECT_EQ(context.NextNullLabel(), 0u);
+  EXPECT_EQ(context.NextNullLabel(), 1u);
+  context.BumpNullPast(10);
+  EXPECT_EQ(context.NextNullLabel(), 11u);
+  // Bumping below the current counter is a no-op.
+  context.BumpNullPast(3);
+  EXPECT_EQ(context.NextNullLabel(), 12u);
+  EXPECT_EQ(context.NextVarOrdinal(), 0u);
+  context.BumpVarPast(5);
+  EXPECT_EQ(context.NextVarOrdinal(), 6u);
+}
+
+// Two identical chases with fresh contexts produce *identical* (not merely
+// isomorphic) instances — the regression test for the old global-atomic
+// fresh-null counter, under which the second run's nulls continued where the
+// first run's left off.
+TEST(SymbolContextTest, IdenticalChasesProduceIdenticalInstances) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y) -> EXISTS z . T(x,z), T(z,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4) }", *mapping.source).ValueOrDie();
+
+  auto chase_fresh = [&]() {
+    SymbolContext symbols;
+    ExecutionOptions options;
+    options.symbols = &symbols;
+    return ChaseTgds(mapping, source, options).ValueOrDie().ToString();
+  };
+  std::string first = chase_fresh();
+  std::string second = chase_fresh();
+  EXPECT_EQ(first, second);
+  // The output really contains fresh nulls (so the test is not vacuous).
+  EXPECT_NE(first.find('_'), std::string::npos) << first;
+}
+
+TEST(SymbolContextTest, EngineScopedNullsNeverCollideWithInputNulls) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y) -> EXISTS z . T(x,z)").ValueOrDie();
+  // The input already contains a labelled null; the engine-scoped context
+  // must issue labels strictly above it.
+  Instance source =
+      ParseInstance("{ R(1,_7) }", *mapping.source).ValueOrDie();
+  SymbolContext symbols;
+  ExecutionOptions options;
+  options.symbols = &symbols;
+  Instance target = ChaseTgds(mapping, source, options).ValueOrDie();
+  EXPECT_EQ(target.ToString().find("_7)"), std::string::npos)
+      << "fresh null reused an input label: " << target.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel chase == sequential chase (bit-identical output)
+
+std::string ChaseWithThreads(const TgdMapping& mapping, const Instance& source,
+                             int threads, bool oblivious = false) {
+  SymbolContext symbols;
+  ExecutionOptions options;
+  options.threads = threads;
+  options.symbols = &symbols;
+  options.oblivious = oblivious;
+  return ChaseTgds(mapping, source, options).ValueOrDie().ToString();
+}
+
+TEST(ParallelChaseTest, ChainJoinMatchesSequentialForEveryThreadCount) {
+  TgdMapping mapping = ChainJoinMapping(4);
+  Instance source = GenerateInstance(*mapping.source, 12, 5, 11);
+  const std::string sequential = ChaseWithThreads(mapping, source, 1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(ChaseWithThreads(mapping, source, threads), sequential)
+        << "threads = " << threads;
+  }
+}
+
+TEST(ParallelChaseTest, RandomMappingsMatchSequentialAcrossSeeds) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomMappingConfig config;
+    config.seed = seed;
+    config.num_tgds = 5;
+    config.premise_atoms = 2;
+    config.existential_vars = 2;
+    TgdMapping mapping = GenerateRandomMapping(config);
+    Instance source = GenerateInstance(*mapping.source, 10, 4, seed);
+    const std::string sequential = ChaseWithThreads(mapping, source, 1);
+    for (int threads : {2, 4, 8}) {
+      EXPECT_EQ(ChaseWithThreads(mapping, source, threads), sequential)
+          << "seed = " << seed << " threads = " << threads;
+    }
+  }
+}
+
+TEST(ParallelChaseTest, ObliviousChaseMatchesSequentialToo) {
+  TgdMapping mapping = ChainJoinMapping(3);
+  Instance source = GenerateInstance(*mapping.source, 10, 4, 23);
+  const std::string sequential =
+      ChaseWithThreads(mapping, source, 1, /*oblivious=*/true);
+  EXPECT_EQ(ChaseWithThreads(mapping, source, 8, /*oblivious=*/true),
+            sequential);
+}
+
+TEST(ParallelChaseTest, SOChaseMatchesSequential) {
+  for (uint64_t seed : {1u, 7u, 19u}) {
+    RandomSOMappingConfig config;
+    config.seed = seed;
+    config.num_rules = 4;
+    SOTgdMapping mapping = GenerateRandomSOMapping(config);
+    Instance source = GenerateInstance(*mapping.source, 12, 5, seed);
+    auto chase = [&](int threads) {
+      SymbolContext symbols;
+      ExecutionOptions options;
+      options.threads = threads;
+      options.symbols = &symbols;
+      return ChaseSOTgd(mapping, source, options).ValueOrDie().ToString();
+    };
+    const std::string sequential = chase(1);
+    for (int threads : {2, 8}) {
+      EXPECT_EQ(chase(threads), sequential)
+          << "seed = " << seed << " threads = " << threads;
+    }
+  }
+}
+
+TEST(ParallelChaseTest, ReverseChaseWorldsMatchSequential) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  ReverseMapping reverse = CqMaximumRecovery(mapping).ValueOrDie();
+  Instance target =
+      ParseInstance("{ T(1,5), T(3,5) }", *reverse.source).ValueOrDie();
+  auto worlds_text = [&](int threads) {
+    SymbolContext symbols;
+    ExecutionOptions options;
+    options.threads = threads;
+    options.symbols = &symbols;
+    std::vector<Instance> worlds =
+        ChaseReverseWorlds(reverse, target, options).ValueOrDie();
+    std::string text;
+    for (const Instance& world : worlds) text += world.ToString() + "\n";
+    return text;
+  };
+  const std::string sequential = worlds_text(1);
+  EXPECT_EQ(worlds_text(8), sequential);
+}
+
+// CollectTriggers must report premise homomorphisms in the exact order the
+// sequential backtracking search enumerates them — the chase's firing order
+// (and hence its null labelling) depends on it.
+TEST(ParallelChaseTest, CollectTriggersPreservesForEachHomOrder) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source = GenerateInstance(*mapping.source, 30, 6, 99);
+  const std::vector<Atom>& premise = mapping.tgds[0].premise;
+
+  HomSearch search(source);
+  HomConstraints constraints;
+  std::vector<Assignment> sequential;
+  ASSERT_TRUE(search
+                  .ForEachHom(premise, constraints, {},
+                              [&](const Assignment& hom) {
+                                sequential.push_back(hom);
+                                return true;
+                              })
+                  .ok());
+  ASSERT_FALSE(sequential.empty());
+
+  for (int threads : {1, 4}) {
+    ExecutionOptions options;
+    options.threads = threads;
+    ExecDeadline deadline(0);
+    std::vector<Assignment> collected =
+        CollectTriggers(search, source, premise, constraints, options,
+                        deadline)
+            .ValueOrDie();
+    ASSERT_EQ(collected.size(), sequential.size()) << "threads = " << threads;
+    for (size_t i = 0; i < collected.size(); ++i) {
+      EXPECT_EQ(collected[i], sequential[i])
+          << "threads = " << threads << " trigger " << i;
+    }
+  }
+}
+
+TEST(ParallelChaseTest, CollectTriggersEmptyPremiseYieldsOneEmptyTrigger) {
+  Instance instance{std::make_shared<Schema>(Schema{{"R", 2}})};
+  HomSearch search(instance);
+  ExecutionOptions options;
+  ExecDeadline deadline(0);
+  std::vector<Assignment> collected =
+      CollectTriggers(search, instance, {}, {}, options, deadline)
+          .ValueOrDie();
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_TRUE(collected[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// EvalCache
+
+TEST(EvalCacheTest, RepeatLookupHits) {
+  EvalCache cache(8);
+  EXPECT_FALSE(cache.GetBool("k").has_value());
+  cache.PutBool("k", true);
+  auto hit = cache.GetBool("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit);
+  EvalCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EvalCacheTest, EvictsLeastRecentlyUsedUnderBound) {
+  EvalCache cache(2);
+  cache.PutBool("a", true);
+  cache.PutBool("b", true);
+  ASSERT_TRUE(cache.GetBool("a").has_value());  // "a" now most recent
+  cache.PutBool("c", true);                     // evicts "b"
+  EXPECT_TRUE(cache.GetBool("a").has_value());
+  EXPECT_FALSE(cache.GetBool("b").has_value());
+  EXPECT_TRUE(cache.GetBool("c").has_value());
+  EvalCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(EvalCacheTest, CapacityZeroDisablesTheCache) {
+  EvalCache cache(0);
+  cache.PutBool("k", true);
+  EXPECT_FALSE(cache.GetBool("k").has_value());
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(EvalCacheTest, ClearDropsEntriesButKeepsStats) {
+  EvalCache cache(8);
+  cache.PutBool("k", false);
+  ASSERT_TRUE(cache.GetBool("k").has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.GetBool("k").has_value());
+  EvalCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(EvalCacheTest, StoresInstancesBySharedPointer) {
+  EvalCache cache(8);
+  auto schema = std::make_shared<Schema>(Schema{{"R", 1}});
+  auto instance = std::make_shared<Instance>(Instance{schema});
+  ASSERT_TRUE(instance->AddInts("R", {1}).ok());
+  cache.PutInstance("inst", instance);
+  std::shared_ptr<const Instance> hit = cache.GetInstance("inst");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->ToString(), instance->ToString());
+  EXPECT_EQ(cache.GetInstance("other"), nullptr);
+}
+
+// Alpha-equivalent containment queries share one cache entry: the key
+// canonicalises variables by first occurrence, so renaming every variable
+// still hits. (Keys embed spellings of constants and relations rather than
+// interner ids, so interner state can never produce a stale hit.)
+TEST(EvalCacheTest, ContainmentKeysCanonicaliseVariableNames) {
+  ConjunctiveQuery q1 = ParseCq("Q(x) :- R(x,y), R(y,z)").ValueOrDie();
+  ConjunctiveQuery q2 = ParseCq("Q(u) :- R(u,u)").ValueOrDie();
+  // Same queries with every variable renamed.
+  ConjunctiveQuery r1 = ParseCq("Q(a) :- R(a,b), R(b,c)").ValueOrDie();
+  ConjunctiveQuery r2 = ParseCq("Q(w) :- R(w,w)").ValueOrDie();
+
+  EvalCache& cache = GlobalEvalCache();
+  cache.Clear();
+  cache.ResetStats();
+  bool first = CqContainedIn(q2, q1).ValueOrDie();
+  EvalCache::Stats after_first = cache.GetStats();
+  bool renamed = CqContainedIn(r2, r1).ValueOrDie();
+  EvalCache::Stats after_second = cache.GetStats();
+
+  EXPECT_EQ(first, renamed);
+  EXPECT_GT(after_second.hits, after_first.hits)
+      << "alpha-renamed containment query missed the cache";
+}
+
+TEST(EvalCacheTest, RepeatedInstanceCoreHitsTheCache) {
+  auto schema = std::make_shared<Schema>(Schema{{"R", 2}});
+  Instance instance{schema};
+  ASSERT_TRUE(instance.AddInts("R", {1, 2}).ok());
+
+  EvalCache& cache = GlobalEvalCache();
+  cache.Clear();
+  cache.ResetStats();
+  Instance core1 = CoreOfInstance(instance).ValueOrDie();
+  EvalCache::Stats after_first = cache.GetStats();
+  Instance core2 = CoreOfInstance(instance).ValueOrDie();
+  EvalCache::Stats after_second = cache.GetStats();
+
+  EXPECT_EQ(core1.ToString(), core2.ToString());
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+// ---------------------------------------------------------------------------
+// ExecStats
+
+TEST(ExecStatsTest, ChaseStreamsCounters) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), S(2,3), S(2,4) }", *mapping.source)
+          .ValueOrDie();
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  Instance target = ChaseTgds(mapping, source, options).ValueOrDie();
+  EXPECT_EQ(target.ToString(), "{ T(1,3), T(1,4) }");
+  EXPECT_GT(stats.chase_steps.load(), 0u);
+  EXPECT_GT(stats.hom_searches.load(), 0u);
+  stats.Reset();
+  EXPECT_EQ(stats.chase_steps.load(), 0u);
+  EXPECT_EQ(stats.ToString().find("chase_steps=0"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated Options aliases
+
+// The five historical per-operation option structs must keep compiling as
+// aliases of ExecutionOptions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(LegacyOptionsTest, AllFiveAliasesCompileAndShareTheType) {
+  static_assert(std::is_same_v<ChaseOptions, ExecutionOptions>);
+  static_assert(std::is_same_v<RewriteOptions, ExecutionOptions>);
+  static_assert(std::is_same_v<ComposeOptions, ExecutionOptions>);
+  static_assert(std::is_same_v<EliminateEqualitiesOptions, ExecutionOptions>);
+  static_assert(std::is_same_v<CqMaximumRecoveryOptions, ExecutionOptions>);
+
+  ChaseOptions chase;
+  chase.max_new_facts = 10;
+  chase.oblivious = true;
+  RewriteOptions rewrite;
+  rewrite.max_disjuncts = 5;
+  rewrite.minimize = false;
+  ComposeOptions compose;
+  compose.max_rules = 3;
+  EliminateEqualitiesOptions eliminate;
+  eliminate.max_frontier_width = 4;
+  CqMaximumRecoveryOptions recovery;
+  recovery.max_worlds = 2;
+  EXPECT_EQ(chase.max_new_facts, 10u);
+  EXPECT_EQ(recovery.max_worlds, 2u);
+
+  // An alias still passes anywhere ExecutionOptions is accepted.
+  TgdMapping mapping = ParseTgdMapping("R(x,y) -> T(x,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2) }", *mapping.source).ValueOrDie();
+  ChaseOptions options;
+  Instance target = ChaseTgds(mapping, source, options).ValueOrDie();
+  EXPECT_EQ(target.ToString(), "{ T(1,2) }");
+}
+#pragma GCC diagnostic pop
+
+// ---------------------------------------------------------------------------
+// Engine facade
+
+TEST(EngineTest, ChaseMatchesFreeFunctionWithFreshContext) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y) -> EXISTS z . T(x,z), T(z,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4) }", *mapping.source).ValueOrDie();
+
+  Engine engine({.threads = 4});
+  Instance via_engine = engine.Chase(mapping, source).ValueOrDie();
+  EXPECT_EQ(via_engine.ToString(), ChaseWithThreads(mapping, source, 1));
+  EXPECT_GT(engine.stats().chase_steps.load(), 0u);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().chase_steps.load(), 0u);
+}
+
+TEST(EngineTest, FullPipelineRuns) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), S(2,5) }", *mapping.source).ValueOrDie();
+
+  Engine engine({.threads = 2});
+  Instance target = engine.Chase(mapping, source).ValueOrDie();
+  EXPECT_EQ(target.ToString(), "{ T(1,5) }");
+  ReverseMapping recovery = engine.Invert(mapping).ValueOrDie();
+  EXPECT_FALSE(recovery.deps.empty());
+  std::vector<Instance> worlds =
+      engine.RoundTrip(mapping, recovery, source).ValueOrDie();
+  EXPECT_FALSE(worlds.empty());
+  ConjunctiveQuery q = ParseCq("Q(x,y) :- R(x,z), S(z,y)").ValueOrDie();
+  AnswerSet certain =
+      engine.RoundTripCertain(mapping, recovery, source, q).ValueOrDie();
+  EXPECT_NE(certain.ToString().find("(1,5)"), std::string::npos)
+      << certain.ToString();
+}
+
+TEST(EngineTest, TwoEnginesProduceIdenticalOutput) {
+  TgdMapping mapping = ChainJoinMapping(3);
+  Instance source = GenerateInstance(*mapping.source, 8, 4, 5);
+  auto run = [&]() {
+    Engine engine({.threads = 2});
+    return engine.Chase(mapping, source).ValueOrDie().ToString();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EngineTest, MakeOptionsWiresLimitsPoolAndSymbols) {
+  EngineConfig config;
+  config.threads = 3;
+  config.limits.max_new_facts = 123;
+  config.deadline_ms = 456;
+  Engine engine(config);
+  ExecutionOptions options = engine.MakeOptions();
+  EXPECT_EQ(options.max_new_facts, 123u);
+  EXPECT_EQ(options.deadline_ms, 456);
+  EXPECT_EQ(options.threads, 3);
+  EXPECT_NE(options.pool, nullptr);
+  EXPECT_EQ(options.symbols, &engine.symbols());
+  EXPECT_NE(options.stats, nullptr);
+}
+
+TEST(EngineTest, ResourceLimitFailurePropagates) {
+  TgdMapping mapping = ParseTgdMapping("R(x,y) -> T(x,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4) }", *mapping.source).ValueOrDie();
+  EngineConfig config;
+  config.limits.max_new_facts = 1;
+  Engine engine(config);
+  Result<Instance> result = engine.Chase(mapping, source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -48,7 +48,7 @@ TEST(MapGenTest, ExponentialFamilyRewritingBlowUp) {
   for (int j = 0; j < 3; ++j) {
     q.atoms.push_back(Atom::Vars("T" + std::to_string(j), {"x"}));
   }
-  RewriteOptions no_min;
+  ExecutionOptions no_min;
   no_min.minimize = false;
   UnionCq rewriting = *RewriteOverSource(m, q, no_min);
   EXPECT_EQ(rewriting.disjuncts.size(), 27u);  // (2+1)^3

@@ -38,7 +38,7 @@ TEST(MiscTest, ObliviousReverseChaseFiresEveryTrigger) {
   // fresh-null variant.
   Instance once = ChaseReverse(rm, input).ValueOrDie();
   EXPECT_EQ(once.TotalSize(), 1u);
-  ChaseOptions oblivious;
+  ExecutionOptions oblivious;
   oblivious.oblivious = true;
   Instance naive = ChaseReverse(rm, input, oblivious).ValueOrDie();
   EXPECT_EQ(naive.TotalSize(), 1u);  // same single trigger
@@ -78,7 +78,7 @@ TEST(MiscTest, RecoveryOfUnionMappingNeverInventsFacts) {
   EXPECT_EQ(rec.deps[0].disjuncts.size(), 2u);
   Instance source = ParseInstance("{ A(1) }", *m.source).ValueOrDie();
   ConjunctiveQuery qa = ParseCq("Q(x) :- A(x)").ValueOrDie();
-  ChaseOptions options;
+  ExecutionOptions options;
   options.max_worlds = 1024;
   AnswerSet certain = RoundTripCertain(m, rec, source, qa, options).ValueOrDie();
   EXPECT_TRUE(certain.tuples.empty());

@@ -45,7 +45,7 @@ TEST_P(SOSeedSweep, PolySOInverseIsSoundOnSOMappings) {
   Result<SOInverseMapping> inv = PolySOInverse(m);
   ASSERT_TRUE(inv.ok()) << inv.status().ToString();
   Instance source = MakeSource(m, GetParam());
-  ChaseOptions options;
+  ExecutionOptions options;
   options.max_worlds = 20000;
   for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
     Result<AnswerSet> certain =

@@ -145,7 +145,7 @@ TEST_P(SeedSweep, EliminateEqualitiesPreservesRoundTripCertainAnswers) {
   Result<ReverseMapping> sigma2 = EliminateEqualities(*sigma1);
   ASSERT_TRUE(sigma2.ok()) << sigma2.status().ToString();
   Instance source = MakeSource(m, GetParam());
-  ChaseOptions options;
+  ExecutionOptions options;
   options.max_worlds = 100000;
   for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
     Result<AnswerSet> a1 = RoundTripCertain(m, *sigma1, source, q, options);
@@ -172,7 +172,7 @@ TEST_P(SeedSweep, EliminateDisjunctionsPreservesCqCertainAnswers) {
   Instance source = MakeSource(m, GetParam());
   Result<Instance> target = ChaseTgds(m, source);
   ASSERT_TRUE(target.ok());
-  ChaseOptions options;
+  ExecutionOptions options;
   options.max_worlds = 100000;
   auto violation = CheckCqEquivalentReverse(
       *sigma2, *sigma_star, {*target}, PerRelationQueries(*m.source), options);
@@ -235,7 +235,7 @@ TEST_P(WideConclusionSweep, RoundTripApproximationChainHolds) {
   Result<SOInverseMapping> inv = PolySOInverse(*so);
   ASSERT_TRUE(inv.ok()) << inv.status().ToString();
   Instance source = GenerateInstance(*m.source, 2, 3, GetParam() + 55);
-  ChaseOptions options;
+  ExecutionOptions options;
   options.max_worlds = 50000;
   for (const ConjunctiveQuery& q : PerRelationQueries(*m.source)) {
     Result<AnswerSet> via_pipeline =

@@ -205,7 +205,7 @@ TEST(RewriteTest, MinimizationCollapsesRedundantCombinations) {
   q.head = {InternVar("x")};
   q.atoms = {Atom::Vars("D", {"x"})};
   EXPECT_EQ(RewriteOverSource(m, q)->disjuncts.size(), 1u);
-  RewriteOptions no_min;
+  ExecutionOptions no_min;
   no_min.minimize = false;
   EXPECT_EQ(RewriteOverSource(m, q, no_min)->disjuncts.size(), 2u);
 }
@@ -225,7 +225,7 @@ TEST(RewriteTest, DisjunctLimitEnforced) {
   q.head = {InternVar("x")};
   q.atoms = {Atom::Vars("D", {"x"}), Atom::Vars("D", {"x"}),
              Atom::Vars("D", {"x"})};
-  RewriteOptions tight;
+  ExecutionOptions tight;
   tight.max_disjuncts = 10;  // 4^3 = 64 > 10
   EXPECT_EQ(RewriteOverSource(m, q, tight).status().code(),
             StatusCode::kResourceExhausted);

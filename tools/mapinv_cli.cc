@@ -1,21 +1,30 @@
 // mapinv_cli — command-line front end for the mapinv library.
 //
 // Usage:
-//   mapinv_cli invert   <mapping-file>                 CQ-maximum recovery
-//   mapinv_cli maxrec   <mapping-file>                 raw maximum recovery
-//   mapinv_cli polyso   <mapping-file>                 PolySOInverse (via SO)
-//   mapinv_cli rewrite  <mapping-file> '<query>'       source rewriting
-//   mapinv_cli exchange <mapping-file> <instance-file> forward chase
-//   mapinv_cli roundtrip <mapping-file> <instance-file> chase there and back
+//   mapinv_cli [flags] invert   <mapping-file>                 CQ-maximum recovery
+//   mapinv_cli [flags] maxrec   <mapping-file>                 raw maximum recovery
+//   mapinv_cli [flags] polyso   <mapping-file>                 PolySOInverse (via SO)
+//   mapinv_cli [flags] rewrite  <mapping-file> '<query>'       source rewriting
+//   mapinv_cli [flags] exchange <mapping-file> <instance-file> forward chase
+//   mapinv_cli [flags] roundtrip <mapping-file> <instance-file> chase there and back
+//
+// Flags (anywhere on the command line, --name=value or --name value):
+//   --max-facts=N      chase fact budget        --max-worlds=N   world budget
+//   --max-disjuncts=N  rewriting budget         --threads=N      parallelism
+//   --deadline-ms=N    wall-clock budget        --stats          counters to stderr
 //
 // Mapping files contain tgds in the parser syntax (one per line, '#'
 // comments); instance files contain one `{ ... }` instance. Exit status is
 // 0 on success, 1 on usage errors, 2 on processing errors.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "engine/execution_options.h"
 
 #include "chase/chase_tgd.h"
 #include "chase/round_trip.h"
@@ -54,8 +63,60 @@ int Usage() {
                "                                  verify the reverse mapping "
                "is a sound recovery\n"
                "  core      <instance>            core of an instance with "
-               "nulls\n");
+               "nulls\n"
+               "flags: --max-facts=N --max-worlds=N --max-disjuncts=N "
+               "--threads=N --deadline-ms=N --stats\n");
   return 1;
+}
+
+// Parses `--name=value` / `--name value` flags out of argv, leaving the
+// positional arguments in `positional`. Returns false on a bad flag.
+bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
+                bool* show_stats, std::vector<char*>* positional) {
+  auto numeric = [](const char* text, uint64_t* out) {
+    char* end = nullptr;
+    *out = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  };
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional->push_back(argv[i]);
+      continue;
+    }
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    if (name == "--stats") {
+      *show_stats = true;
+      continue;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) return false;
+      value = argv[++i];
+    }
+    uint64_t n = 0;
+    if (!numeric(value.c_str(), &n)) return false;
+    if (name == "--max-facts") {
+      options->max_new_facts = static_cast<size_t>(n);
+    } else if (name == "--max-worlds") {
+      options->max_worlds = static_cast<size_t>(n);
+    } else if (name == "--max-disjuncts") {
+      options->max_disjuncts = static_cast<size_t>(n);
+    } else if (name == "--threads") {
+      options->threads = static_cast<int>(n);
+    } else if (name == "--deadline-ms") {
+      options->deadline_ms = static_cast<int64_t>(n);
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -72,8 +133,23 @@ int Fail(const Status& status) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  ExecutionOptions options;
+  ExecStats stats;
+  bool show_stats = false;
+  std::vector<char*> args;
+  if (!ParseFlags(argc, argv, &options, &show_stats, &args)) return Usage();
+  options.stats = &stats;
+  const int narg = static_cast<int>(args.size());
+  argv = args.data();
+  if (narg < 3) return Usage();
   const std::string command = argv[1];
+  struct StatsPrinter {
+    const ExecStats& stats;
+    bool enabled;
+    ~StatsPrinter() {
+      if (enabled) std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+    }
+  } stats_printer{stats, show_stats};
 
   // Commands that do not parse argv[2] as a tgd mapping.
   if (command == "core") {
@@ -103,18 +179,18 @@ int Run(int argc, char** argv) {
   if (!mapping.ok()) return Fail(mapping.status());
 
   if (command == "compose") {
-    if (argc < 4) return Usage();
+    if (narg < 4) return Usage();
     Result<std::string> second_text = ReadFile(argv[3]);
     if (!second_text.ok()) return Fail(second_text.status());
     Result<TgdMapping> second = ParseTgdMapping(*second_text);
     if (!second.ok()) return Fail(second.status());
-    Result<SOTgdMapping> composed = ComposeTgdMappings(*mapping, *second);
+    Result<SOTgdMapping> composed = ComposeTgdMappings(*mapping, *second, options);
     if (!composed.ok()) return Fail(composed.status());
     std::printf("%s", composed->ToString().c_str());
     return 0;
   }
   if (command == "check") {
-    if (argc < 5) return Usage();
+    if (narg < 5) return Usage();
     Result<std::string> reverse_text = ReadFile(argv[3]);
     if (!reverse_text.ok()) return Fail(reverse_text.status());
     Result<ReverseMapping> parsed = ParseReverseMapping(*reverse_text);
@@ -127,7 +203,8 @@ int Run(int argc, char** argv) {
     Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
     if (!source.ok()) return Fail(source.status());
     auto violation = CheckCRecovery(*mapping, reverse, {*source},
-                                    PerRelationQueries(*mapping->source));
+                                    PerRelationQueries(*mapping->source),
+                                    options);
     if (!violation.ok()) return Fail(violation.status());
     if (violation->has_value()) {
       std::printf("NOT a sound recovery:\n%s\n",
@@ -141,8 +218,8 @@ int Run(int argc, char** argv) {
 
   if (command == "invert" || command == "maxrec") {
     Result<ReverseMapping> rec = (command == "invert")
-                                     ? CqMaximumRecovery(*mapping)
-                                     : MaximumRecovery(*mapping);
+                                     ? CqMaximumRecovery(*mapping, options)
+                                     : MaximumRecovery(*mapping, options);
     if (!rec.ok()) return Fail(rec.status());
     std::printf("%s", rec->ToString().c_str());
     return 0;
@@ -154,30 +231,30 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (command == "rewrite") {
-    if (argc < 4) return Usage();
+    if (narg < 4) return Usage();
     Result<ConjunctiveQuery> query = ParseCq(argv[3]);
     if (!query.ok()) return Fail(query.status());
-    Result<UnionCq> rewriting = RewriteOverSource(*mapping, *query);
+    Result<UnionCq> rewriting = RewriteOverSource(*mapping, *query, options);
     if (!rewriting.ok()) return Fail(rewriting.status());
     std::printf("%s\n", rewriting->ToString().c_str());
     return 0;
   }
   if (command == "exchange" || command == "roundtrip") {
-    if (argc < 4) return Usage();
+    if (narg < 4) return Usage();
     Result<std::string> instance_text = ReadFile(argv[3]);
     if (!instance_text.ok()) return Fail(instance_text.status());
     Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
     if (!source.ok()) return Fail(source.status());
-    Result<Instance> target = ChaseTgds(*mapping, *source);
+    Result<Instance> target = ChaseTgds(*mapping, *source, options);
     if (!target.ok()) return Fail(target.status());
     if (command == "exchange") {
       std::printf("%s\n", target->ToString().c_str());
       return 0;
     }
-    Result<ReverseMapping> rec = CqMaximumRecovery(*mapping);
+    Result<ReverseMapping> rec = CqMaximumRecovery(*mapping, options);
     if (!rec.ok()) return Fail(rec.status());
     Result<std::vector<Instance>> worlds =
-        RoundTripWorlds(*mapping, *rec, *source);
+        RoundTripWorlds(*mapping, *rec, *source, options);
     if (!worlds.ok()) return Fail(worlds.status());
     std::printf("target:    %s\n", target->ToString().c_str());
     for (const Instance& world : *worlds) {
