@@ -12,6 +12,7 @@
 #include "chase/chase_reverse.h"
 #include "chase/chase_so.h"
 #include "chase/chase_tgd.h"
+#include "engine/trace.h"
 #include "inversion/cq_maximum_recovery.h"
 #include "mapgen/generators.h"
 #include "rewrite/skolemize.h"
@@ -103,15 +104,31 @@ void BM_Chase_ThreadsSweep(benchmark::State& state) {
   Instance source = GenerateInstance(*m.source, tuples, tuples / 4 + 2, 23);
   ExecutionOptions options;
   options.threads = static_cast<int>(state.range(1));
+  // Per-phase wall time via the trace layer: the chase splits into parallel
+  // trigger enumeration (collect_triggers — the part the sweep scales) and
+  // sequential firing (fire — the part it cannot).
+  Tracer tracer;
+  options.trace = &tracer;
   size_t produced = 0;
   for (auto _ : state) {
     Instance target = ChaseTgds(m, source, options).ValueOrDie();
     produced = target.TotalSize();
     benchmark::DoNotOptimize(target);
   }
+  double collect_ms = 0;
+  double fire_ms = 0;
+  for (const auto& top : tracer.root().children) {
+    for (const auto& child : top->children) {
+      if (child->name == "collect_triggers") collect_ms += child->wall_ms;
+      if (child->name == "fire") fire_ms += child->wall_ms;
+    }
+  }
+  const double iters = static_cast<double>(state.iterations());
   state.counters["tuples_in"] = tuples;
   state.counters["threads"] = static_cast<double>(state.range(1));
   state.counters["facts_out"] = static_cast<double>(produced);
+  state.counters["collect_ms_per_iter"] = collect_ms / iters;
+  state.counters["fire_ms_per_iter"] = fire_ms / iters;
   state.counters["facts_per_sec"] = benchmark::Counter(
       static_cast<double>(produced), benchmark::Counter::kIsIterationInvariantRate);
 }

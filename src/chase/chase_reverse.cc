@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "engine/parallel_chase.h"
+#include "engine/trace.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -73,7 +74,9 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     return Status::Unsupported(
         "reverse chase requires disjoint premise/conclusion schemas");
   }
-  ExecDeadline deadline(options.deadline_ms);
+  ScopedTraceSpan span(options, "chase_reverse");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, input);
   HomSearch search(input);
   search.set_stats(options.stats);
@@ -85,15 +88,19 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     constraints.constant_vars.insert(dep.constant_vars.begin(),
                                      dep.constant_vars.end());
     constraints.inequalities = dep.inequalities;
-    MAPINV_ASSIGN_OR_RETURN(
-        std::vector<Assignment> triggers,
-        CollectTriggers(search, input, dep.premise, constraints, options,
-                        deadline));
+    std::vector<Assignment> triggers;
+    {
+      ScopedTraceSpan collect_span(options, "collect_triggers");
+      MAPINV_ASSIGN_OR_RETURN(
+          triggers, CollectTriggers(search, input, dep.premise, constraints,
+                                    options, deadline));
+    }
+    ScopedTraceSpan fire_span(options, "fire");
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
-        return Status::ResourceExhausted(
-            "reverse chase exceeded deadline_ms = " +
-            std::to_string(options.deadline_ms));
+        return PhaseExhausted("chase_reverse",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
@@ -130,14 +137,15 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
               FireDisjunct(*applicable[di], h, fork.instance.get(), &created,
                            symbols));
           if (created > options.max_new_facts) {
-            return Status::ResourceExhausted(
-                "reverse chase exceeded max_new_facts");
+            return PhaseExhausted("chase_reverse",
+                                  "exceeded max_new_facts = " +
+                                      std::to_string(options.max_new_facts));
           }
           next.push_back(std::move(fork));
           if (next.size() > options.max_worlds) {
-            return Status::ResourceExhausted(
-                "disjunctive chase exceeded max_worlds = " +
-                std::to_string(options.max_worlds));
+            return PhaseExhausted("chase_reverse",
+                                  "exceeded max_worlds = " +
+                                      std::to_string(options.max_worlds));
           }
         }
       }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "engine/parallel_chase.h"
+#include "engine/trace.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -74,7 +75,9 @@ Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
 
 Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
                             const ExecutionOptions& options) {
-  ExecDeadline deadline(options.deadline_ms);
+  ScopedTraceSpan span(options, "chase_so");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
   SkolemTable skolems(symbols);
@@ -84,14 +87,19 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   for (const SORule& rule : mapping.so.rules) {
     // Parallel trigger collection; the Skolem-firing phase stays sequential
     // so null labels are assigned in the canonical trigger order.
-    MAPINV_ASSIGN_OR_RETURN(
-        std::vector<Assignment> triggers,
-        CollectTriggers(search, source, rule.premise, HomConstraints{},
-                        options, deadline));
+    std::vector<Assignment> triggers;
+    {
+      ScopedTraceSpan collect_span(options, "collect_triggers");
+      MAPINV_ASSIGN_OR_RETURN(
+          triggers, CollectTriggers(search, source, rule.premise,
+                                    HomConstraints{}, options, deadline));
+    }
+    ScopedTraceSpan fire_span(options, "fire");
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
-        return Status::ResourceExhausted("SO chase exceeded deadline_ms = " +
-                                         std::to_string(options.deadline_ms));
+        return PhaseExhausted("chase_so",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
@@ -107,7 +115,9 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
         MAPINV_ASSIGN_OR_RETURN(
             bool added, target.Add(RelationText(atom.relation), std::move(t)));
         if (added && ++created > options.max_new_facts) {
-          return Status::ResourceExhausted("SO chase exceeded max_new_facts");
+          return PhaseExhausted("chase_so",
+                                "exceeded max_new_facts = " +
+                                    std::to_string(options.max_new_facts));
         }
       }
     }
@@ -307,7 +317,9 @@ Result<Instance> Materialize(const World& world,
 Result<std::vector<Instance>> ChaseSOInverseWorlds(
     const SOInverseMapping& mapping, const Instance& input,
     const ExecutionOptions& options) {
-  ExecDeadline deadline(options.deadline_ms);
+  ScopedTraceSpan span(options, "chase_so_inverse");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, input);
   HomSearch search(input);
   search.set_stats(options.stats);
@@ -316,15 +328,19 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
     HomConstraints constraints;
     constraints.constant_vars.insert(rule.constant_vars.begin(),
                                      rule.constant_vars.end());
-    MAPINV_ASSIGN_OR_RETURN(
-        std::vector<Assignment> triggers,
-        CollectTriggers(search, input, {rule.premise}, constraints, options,
-                        deadline));
+    std::vector<Assignment> triggers;
+    {
+      ScopedTraceSpan collect_span(options, "collect_triggers");
+      MAPINV_ASSIGN_OR_RETURN(
+          triggers, CollectTriggers(search, input, {rule.premise}, constraints,
+                                    options, deadline));
+    }
+    ScopedTraceSpan fire_span(options, "fire");
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
-        return Status::ResourceExhausted(
-            "SO-inverse chase exceeded deadline_ms = " +
-            std::to_string(options.deadline_ms));
+        return PhaseExhausted("chase_so_inverse",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
@@ -337,9 +353,9 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
           if (applied.has_value()) {
             next.push_back(std::move(*applied));
             if (next.size() > options.max_worlds) {
-              return Status::ResourceExhausted(
-                  "SO-inverse chase exceeded max_worlds = " +
-                  std::to_string(options.max_worlds));
+              return PhaseExhausted("chase_so_inverse",
+                                    "exceeded max_worlds = " +
+                                        std::to_string(options.max_worlds));
             }
           }
         }

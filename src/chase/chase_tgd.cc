@@ -1,6 +1,7 @@
 #include "chase/chase_tgd.h"
 
 #include "engine/parallel_chase.h"
+#include "engine/trace.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -22,7 +23,9 @@ Result<bool> ConclusionSatisfied(const Tgd& tgd, const Assignment& h,
 
 Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                            const ExecutionOptions& options) {
-  ExecDeadline deadline(options.deadline_ms);
+  ScopedTraceSpan span(options, "chase_tgds");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
   HomSearch search(source);
@@ -36,14 +39,19 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
     // Collection may fan out across threads; the trigger list comes back in
     // the canonical sequential order, and the firing phase below is
     // sequential, so fresh nulls are assigned deterministically.
-    MAPINV_ASSIGN_OR_RETURN(
-        std::vector<Assignment> triggers,
-        CollectTriggers(search, source, tgd.premise, HomConstraints{}, options,
-                        deadline));
+    std::vector<Assignment> triggers;
+    {
+      ScopedTraceSpan collect_span(options, "collect_triggers");
+      MAPINV_ASSIGN_OR_RETURN(
+          triggers, CollectTriggers(search, source, tgd.premise,
+                                    HomConstraints{}, options, deadline));
+    }
+    ScopedTraceSpan fire_span(options, "fire");
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
-        return Status::ResourceExhausted("chase exceeded deadline_ms = " +
-                                         std::to_string(options.deadline_ms));
+        return PhaseExhausted("chase_tgds",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms));
       }
       if (!options.oblivious) {
         MAPINV_ASSIGN_OR_RETURN(bool satisfied,
@@ -68,9 +76,9 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
         MAPINV_ASSIGN_OR_RETURN(
             bool added, target.Add(RelationText(atom.relation), std::move(t)));
         if (added && ++created > options.max_new_facts) {
-          return Status::ResourceExhausted(
-              "chase exceeded max_new_facts = " +
-              std::to_string(options.max_new_facts));
+          return PhaseExhausted("chase_tgds",
+                                "exceeded max_new_facts = " +
+                                    std::to_string(options.max_new_facts));
         }
       }
     }

@@ -1,14 +1,22 @@
 #include "chase/round_trip.h"
 
+#include "engine/trace.h"
+
 namespace mapinv {
 
 Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
                                               const Instance& source,
                                               const ExecutionOptions& options) {
+  // One budget for both chases: resolve the deadline here and carry it into
+  // the stages, instead of letting each restart the full deadline_ms.
+  ScopedTraceSpan span(options, "round_trip");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  ExecutionOptions inner = options;
+  inner.deadline = &CarriedDeadline(options, entry_deadline);
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
-                          ChaseTgds(mapping, source, options));
-  return ChaseReverseWorlds(reverse, canonical, options);
+                          ChaseTgds(mapping, source, inner));
+  return ChaseReverseWorlds(reverse, canonical, inner);
 }
 
 Result<AnswerSet> RoundTripCertain(const TgdMapping& mapping,
@@ -25,9 +33,13 @@ Result<std::vector<Instance>> RoundTripWorldsSO(const SOTgdMapping& mapping,
                                                 const SOInverseMapping& inverse,
                                                 const Instance& source,
                                                 const ExecutionOptions& options) {
+  ScopedTraceSpan span(options, "round_trip");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  ExecutionOptions inner = options;
+  inner.deadline = &CarriedDeadline(options, entry_deadline);
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
-                          ChaseSOTgd(mapping, source, options));
-  return ChaseSOInverseWorlds(inverse, canonical, options);
+                          ChaseSOTgd(mapping, source, inner));
+  return ChaseSOInverseWorlds(inverse, canonical, inner);
 }
 
 Result<AnswerSet> RoundTripCertainSO(const SOTgdMapping& mapping,

@@ -7,6 +7,7 @@
 #include "chase/chase_tgd.h"
 #include "chase/round_trip.h"
 #include "engine/thread_pool.h"
+#include "engine/trace.h"
 #include "inversion/cq_maximum_recovery.h"
 #include "rewrite/rewrite.h"
 
@@ -35,65 +36,44 @@ ExecutionOptions Engine::MakeOptions() {
   options.pool = pool_.get();
   options.symbols = &symbols_;
   options.stats = &stats_;
+  options.trace = tracer_;
   return options;
-}
-
-template <typename Fn>
-auto Engine::WithCacheStats(Fn&& body) -> decltype(body()) {
-  const EvalCache::Stats before = cache().GetStats();
-  auto result = body();
-  const EvalCache::Stats after = cache().GetStats();
-  stats_.cache_hits.fetch_add(after.hits - before.hits,
-                              std::memory_order_relaxed);
-  stats_.cache_misses.fetch_add(after.misses - before.misses,
-                                std::memory_order_relaxed);
-  return result;
 }
 
 Result<Instance> Engine::Chase(const TgdMapping& mapping,
                                const Instance& source, bool oblivious) {
   ExecutionOptions options = MakeOptions();
   options.oblivious = oblivious;
-  return WithCacheStats([&] { return ChaseTgds(mapping, source, options); });
+  return ChaseTgds(mapping, source, options);
 }
 
 Result<Instance> Engine::ChaseSO(const SOTgdMapping& mapping,
                                  const Instance& source) {
-  ExecutionOptions options = MakeOptions();
-  return WithCacheStats([&] { return ChaseSOTgd(mapping, source, options); });
+  return ChaseSOTgd(mapping, source, MakeOptions());
 }
 
 Result<ReverseMapping> Engine::Invert(const TgdMapping& mapping) {
-  ExecutionOptions options = MakeOptions();
-  return WithCacheStats(
-      [&] { return CqMaximumRecovery(mapping, options); });
+  return CqMaximumRecovery(mapping, MakeOptions());
 }
 
 Result<UnionCq> Engine::Rewrite(const TgdMapping& mapping,
                                 const ConjunctiveQuery& target_query) {
-  ExecutionOptions options = MakeOptions();
-  return WithCacheStats(
-      [&] { return RewriteOverSource(mapping, target_query, options); });
+  return RewriteOverSource(mapping, target_query, MakeOptions());
 }
 
 Result<std::vector<Instance>> Engine::RoundTrip(const TgdMapping& mapping,
                                                 const ReverseMapping& reverse,
                                                 const Instance& source) {
-  ExecutionOptions options = MakeOptions();
-  return WithCacheStats(
-      [&] { return RoundTripWorlds(mapping, reverse, source, options); });
+  return RoundTripWorlds(mapping, reverse, source, MakeOptions());
 }
 
 Result<AnswerSet> Engine::RoundTripCertain(const TgdMapping& mapping,
                                            const ReverseMapping& reverse,
                                            const Instance& source,
                                            const ConjunctiveQuery& query) {
-  ExecutionOptions options = MakeOptions();
-  return WithCacheStats([&] {
-    // Qualified: the member function hides the free RoundTripCertain.
-    return ::mapinv::RoundTripCertain(mapping, reverse, source, query,
-                                      options);
-  });
+  // Qualified: the member function hides the free RoundTripCertain.
+  return ::mapinv::RoundTripCertain(mapping, reverse, source, query,
+                                    MakeOptions());
 }
 
 }  // namespace mapinv

@@ -10,8 +10,11 @@
 ///     and identical call sequences produce bit-identical instances;
 ///   * its own ThreadPool (threads > 1), reused across calls instead of
 ///     re-spawned;
-///   * one ExecStats accumulating across calls, including EvalCache
-///     hit/miss deltas attributed to this Engine's operations.
+///   * one ExecStats accumulating across calls — EvalCache lookups take the
+///     sink directly, so hits/misses are attributed to the Engine that
+///     caused them even when several Engines run concurrently;
+///   * optionally a Tracer (set_tracer), giving every call a per-phase
+///     TraceSpan tree (see engine/trace.h).
 ///
 /// Typical use:
 ///
@@ -39,6 +42,7 @@
 namespace mapinv {
 
 class ThreadPool;
+class Tracer;
 
 /// \brief Construction-time configuration of an Engine.
 struct EngineConfig {
@@ -99,6 +103,12 @@ class Engine {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Attaches a trace sink: subsequent calls record their phase tree into
+  /// it. Pass nullptr to detach. The Tracer must outlive the calls; it is
+  /// not owned.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
   /// The engine's fresh-symbol scope (one per Engine).
   SymbolContext& symbols() { return symbols_; }
 
@@ -106,14 +116,11 @@ class Engine {
   EvalCache& cache() const { return GlobalEvalCache(); }
 
  private:
-  // Runs `body` with cache hit/miss deltas folded into stats_.
-  template <typename Fn>
-  auto WithCacheStats(Fn&& body) -> decltype(body());
-
   EngineConfig config_;
   SymbolContext symbols_;
   ExecStats stats_;
   std::unique_ptr<ThreadPool> pool_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace mapinv

@@ -1,8 +1,17 @@
 #include "engine/eval_cache.h"
 
 #include "data/instance.h"
+#include "engine/execution_options.h"
 
 namespace mapinv {
+
+namespace {
+void CountLookup(ExecStats* stats, bool hit) {
+  if (stats == nullptr) return;
+  auto& counter = hit ? stats->cache_hits : stats->cache_misses;
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
 
 EvalCache::EvalCache(size_t capacity) : capacity_(capacity) {}
 
@@ -11,29 +20,35 @@ EvalCache::EntryList::iterator EvalCache::Touch(EntryList::iterator it) {
   return lru_.begin();
 }
 
-std::optional<bool> EvalCache::GetBool(std::string_view key) {
+std::optional<bool> EvalCache::GetBool(std::string_view key,
+                                       ExecStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end() ||
       !std::holds_alternative<bool>(it->second->value)) {
     ++misses_;
+    CountLookup(stats, /*hit=*/false);
     return std::nullopt;
   }
   ++hits_;
+  CountLookup(stats, /*hit=*/true);
   it->second = Touch(it->second);
   return std::get<bool>(it->second->value);
 }
 
-std::shared_ptr<const Instance> EvalCache::GetInstance(std::string_view key) {
+std::shared_ptr<const Instance> EvalCache::GetInstance(std::string_view key,
+                                                       ExecStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end() ||
       !std::holds_alternative<std::shared_ptr<const Instance>>(
           it->second->value)) {
     ++misses_;
+    CountLookup(stats, /*hit=*/false);
     return nullptr;
   }
   ++hits_;
+  CountLookup(stats, /*hit=*/true);
   it->second = Touch(it->second);
   return std::get<std::shared_ptr<const Instance>>(it->second->value);
 }

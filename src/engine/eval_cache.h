@@ -37,6 +37,7 @@
 namespace mapinv {
 
 class Instance;
+struct ExecStats;
 
 /// \brief Thread-safe bounded LRU cache for evaluation results.
 class EvalCache {
@@ -47,13 +48,19 @@ class EvalCache {
 
   static constexpr size_t kDefaultCapacity = 4096;
 
-  /// Looks up a boolean (containment) entry.
-  std::optional<bool> GetBool(std::string_view key);
+  /// Looks up a boolean (containment) entry. When `stats` is non-null the
+  /// hit/miss is also counted on that sink — this is how cache traffic gets
+  /// attributed to the execution that caused it (each Engine passes its own
+  /// ExecStats; concurrent executions never cross-attribute).
+  std::optional<bool> GetBool(std::string_view key,
+                              ExecStats* stats = nullptr);
   /// Inserts a boolean entry, evicting the least recently used if full.
   void PutBool(std::string_view key, bool value);
 
-  /// Looks up an instance (core) entry; nullptr on miss.
-  std::shared_ptr<const Instance> GetInstance(std::string_view key);
+  /// Looks up an instance (core) entry; nullptr on miss. `stats` as in
+  /// GetBool.
+  std::shared_ptr<const Instance> GetInstance(std::string_view key,
+                                              ExecStats* stats = nullptr);
   /// Inserts an instance entry.
   void PutInstance(std::string_view key, std::shared_ptr<const Instance> value);
 

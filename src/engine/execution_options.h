@@ -1,6 +1,6 @@
 /// \file execution_options.h
-/// \brief The unified execution API: ResourceLimits, ExecStats and
-/// ExecutionOptions.
+/// \brief The unified execution API: ResourceLimits, ExecStats, ExecDeadline
+/// and ExecutionOptions.
 ///
 /// Every operation the paper defines — data exchange (§2), certain-answer
 /// rewriting (§4.1), the inversion pipeline (§4), PolySOInverse (§5) and the
@@ -11,9 +11,13 @@
 ///
 ///   * ResourceLimits — every limit knob in one place, shared by all layers;
 ///   * parallelism    — `threads` plus an optional ThreadPool to run on;
-///   * a deadline     — wall-clock budget enforced inside the chase loops;
+///   * a deadline     — wall-clock budget resolved once at pipeline entry
+///                      and polled by every chase, rewrite and inversion
+///                      loop (see ExecDeadline);
 ///   * a stats sink   — ExecStats counting chase steps, homomorphism
 ///                      backtracks and eval-cache traffic;
+///   * a trace sink   — a Tracer recording a per-phase span tree (see
+///                      engine/trace.h);
 ///   * a SymbolContext — engine-scoped fresh-null/fresh-variable generation,
 ///                      making output reproducible run-to-run.
 ///
@@ -36,6 +40,7 @@ namespace mapinv {
 class SymbolContext;
 class ThreadPool;
 class EvalCache;
+class Tracer;
 
 /// \brief Every resource limit of the library in one struct. Each knob turns
 /// a potential runaway into a clean kResourceExhausted error; the defaults
@@ -46,18 +51,35 @@ struct ResourceLimits {
   /// Maximum number of worlds a disjunctive chase may track (was
   /// ChaseOptions).
   size_t max_worlds = 4096;
-  /// Maximum number of (pre-minimisation) disjuncts a rewriting may produce
-  /// (was RewriteOptions).
+  /// Maximum number of (pre-minimisation) disjuncts a rewriting may produce,
+  /// and the cap on the conjunctive-product size EliminateDisjunctions may
+  /// materialise (was RewriteOptions).
   size_t max_disjuncts = 1u << 20;
-  /// Maximum number of rules an SO-tgd composition may emit (was
-  /// ComposeOptions).
+  /// Maximum number of rules an SO-tgd composition, a partition expansion
+  /// (EliminateEqualities) or PolySOInverse may emit (was ComposeOptions).
   size_t max_rules = 1u << 16;
-  /// Maximum frontier width for the partition expansion — Bell(13) ≈ 2.7e7
-  /// dependencies (was EliminateEqualitiesOptions).
+  /// Maximum frontier width for the partition expansion — the widest allowed
+  /// frontier (12 variables) already expands into Bell(12) ≈ 4.2e6
+  /// partitions; width 13 would mean Bell(13) ≈ 2.8e7 (was
+  /// EliminateEqualitiesOptions).
   size_t max_frontier_width = 12;
-  /// Wall-clock budget in milliseconds, measured from operation entry;
-  /// 0 means unlimited. Enforced at trigger/world/disjunct granularity.
+  /// Wall-clock budget in milliseconds, measured from pipeline entry;
+  /// 0 means unlimited. The entry point resolves it into one ExecDeadline
+  /// that every stage shares (see ExecutionOptions::deadline), and every
+  /// chase, rewrite and inversion loop polls it (amortised — see
+  /// ExecDeadline::Expired), so a composite call like Engine::Invert is
+  /// bounded end to end, not per stage.
   int64_t deadline_ms = 0;
+};
+
+/// \brief Plain (non-atomic) copy of ExecStats counters — the unit traded
+/// between ExecStats and the trace layer.
+struct ExecStatsSnapshot {
+  uint64_t chase_steps = 0;
+  uint64_t hom_backtracks = 0;
+  uint64_t hom_searches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// \brief Counters an execution can stream into (pass `&stats` via
@@ -72,7 +94,9 @@ struct ExecStats {
   std::atomic<uint64_t> hom_backtracks{0};
   /// Homomorphism enumerations started.
   std::atomic<uint64_t> hom_searches{0};
-  /// EvalCache hits / misses attributable to this execution.
+  /// EvalCache hits / misses attributable to this execution. Counted at the
+  /// cache lookups themselves (EvalCache::GetBool/GetInstance take the
+  /// sink), so two concurrent executions never cross-attribute traffic.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
 
@@ -84,6 +108,16 @@ struct ExecStats {
     cache_misses = 0;
   }
 
+  ExecStatsSnapshot Snapshot() const {
+    ExecStatsSnapshot s;
+    s.chase_steps = chase_steps.load(std::memory_order_relaxed);
+    s.hom_backtracks = hom_backtracks.load(std::memory_order_relaxed);
+    s.hom_searches = hom_searches.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    return s;
+  }
+
   std::string ToString() const {
     return "chase_steps=" + std::to_string(chase_steps.load()) +
            " hom_searches=" + std::to_string(hom_searches.load()) +
@@ -91,6 +125,62 @@ struct ExecStats {
            " cache_hits=" + std::to_string(cache_hits.load()) +
            " cache_misses=" + std::to_string(cache_misses.load());
   }
+};
+
+/// \brief Resolved wall-clock deadline, computed once at pipeline entry and
+/// carried (by pointer, via ExecutionOptions::deadline) through every stage
+/// so the budget is shared, not restarted per stage.
+///
+/// Expired() is cheap enough for per-trigger/per-disjunct hot loops: it
+/// reads the clock on the first call and then once every kCheckInterval
+/// calls (a relaxed atomic counter otherwise), and once expired it stays
+/// expired without further clock reads. Thread-safe: CollectTriggers workers
+/// poll one shared deadline.
+class ExecDeadline {
+ public:
+  /// Calls between real clock reads. Bounds the overshoot to
+  /// kCheckInterval - 1 loop iterations after the budget elapses.
+  static constexpr uint32_t kCheckInterval = 64;
+
+  explicit ExecDeadline(int64_t deadline_ms) {
+    if (deadline_ms > 0) {
+      at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(deadline_ms);
+    }
+  }
+
+  ExecDeadline(const ExecDeadline& other) : at_(other.at_) {
+    expired_.store(other.expired_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  ExecDeadline& operator=(const ExecDeadline&) = delete;
+
+  /// Amortised check for hot loops; may lag the wall clock by up to
+  /// kCheckInterval - 1 calls.
+  bool Expired() const {
+    if (!at_.has_value()) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (tick_.fetch_add(1, std::memory_order_relaxed) % kCheckInterval != 0) {
+      return false;
+    }
+    return ExpiredNow();
+  }
+
+  /// Precise check: always reads the clock (unless already known expired).
+  bool ExpiredNow() const {
+    if (!at_.has_value()) return false;
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= *at_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+  mutable std::atomic<uint32_t> tick_{0};
+  mutable std::atomic<bool> expired_{false};
 };
 
 /// \brief Options accepted by the chase, rewrite, inversion and round-trip
@@ -116,25 +206,24 @@ struct ExecutionOptions : ResourceLimits {
   /// Pool to run parallel sections on; nullptr makes `threads > 1` use the
   /// lazily created process-shared pool. Engines inject their own.
   ThreadPool* pool = nullptr;
+  /// The deadline resolved by an enclosing pipeline stage. Entry points
+  /// construct their own ExecDeadline from `deadline_ms` only when this is
+  /// null, so a composite operation (Invert, RoundTrip) measures one budget
+  /// for all its stages. Use CarriedDeadline() to resolve.
+  const ExecDeadline* deadline = nullptr;
+  /// Trace sink recording a per-phase span tree (engine/trace.h); nullptr
+  /// disables tracing. Spans are opened/closed only on the pipeline control
+  /// thread, never inside parallel sections.
+  Tracer* trace = nullptr;
 };
 
-/// \brief Resolved wall-clock deadline, computed once at operation entry.
-class ExecDeadline {
- public:
-  explicit ExecDeadline(int64_t deadline_ms) {
-    if (deadline_ms > 0) {
-      at_ = std::chrono::steady_clock::now() +
-            std::chrono::milliseconds(deadline_ms);
-    }
-  }
-
-  bool Expired() const {
-    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
-  }
-
- private:
-  std::optional<std::chrono::steady_clock::time_point> at_;
-};
+/// \brief Entry-point helper: the deadline carried by `options` if an
+/// enclosing stage resolved one, else `fallback` (which the caller
+/// constructs locally from `options.deadline_ms`).
+inline const ExecDeadline& CarriedDeadline(const ExecutionOptions& options,
+                                           const ExecDeadline& fallback) {
+  return options.deadline != nullptr ? *options.deadline : fallback;
+}
 
 }  // namespace mapinv
 

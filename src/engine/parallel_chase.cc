@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "engine/thread_pool.h"
+#include "engine/trace.h"
 
 namespace mapinv {
 
@@ -109,9 +110,11 @@ Result<std::vector<Assignment>> CollectTriggers(
     uint64_t local_rejected = 0;
     for (size_t i = begin;
          i < end && !abort.load(std::memory_order_relaxed); ++i) {
-      if ((i - begin) % 256 == 0 && deadline.Expired()) {
-        statuses[c] = Status::ResourceExhausted(
-            "deadline exceeded during trigger enumeration");
+      // Expired() amortises its own clock reads, so polling every candidate
+      // is cheap.
+      if (deadline.Expired()) {
+        statuses[c] = PhaseExhausted(
+            "collect_triggers", "deadline exceeded during trigger enumeration");
         abort.store(true, std::memory_order_relaxed);
         break;
       }

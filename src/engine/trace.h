@@ -1,0 +1,122 @@
+/// \file trace.h
+/// \brief Per-phase tracing: a TraceSpan tree recording where a pipeline run
+/// spent its wall time and its ExecStats counters.
+///
+/// Attach a Tracer via ExecutionOptions::trace and every pipeline entry
+/// point (chase_tgds, rewrite, the Invert stages, polyso_inverse, ...) opens
+/// a span for its phase. Spans nest: Engine::Invert produces
+///
+///   invert                      12.43 ms  chase_steps=0 ...
+///     maximum_recovery           9.81 ms  ...
+///       rewrite                  9.64 ms  ...
+///         minimize               2.10 ms  ...
+///     eliminate_equalities       2.02 ms  ...
+///     eliminate_disjunctions     0.44 ms  ...
+///
+/// Each span records its *inclusive* wall time and the delta of the
+/// execution's ExecStats counters between entry and exit (inclusive of
+/// children). Re-entering a phase under the same parent accumulates into
+/// the existing child span (bumping `count`), so loops produce a compact,
+/// shape-stable tree rather than one node per iteration.
+///
+/// Tracers are NOT thread-safe: spans are opened and closed only on the
+/// pipeline control thread (parallel sections run *inside* a span, never
+/// around one). Use one Tracer per logical task, like one Engine.
+
+#ifndef MAPINV_ENGINE_TRACE_H_
+#define MAPINV_ENGINE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "engine/execution_options.h"
+
+namespace mapinv {
+
+/// \brief One node of the phase tree.
+struct TraceSpan {
+  std::string name;
+  /// Times this phase was entered under its parent (loops accumulate).
+  uint64_t count = 0;
+  /// Inclusive wall time across all entries, in milliseconds.
+  double wall_ms = 0.0;
+  /// Inclusive ExecStats delta across all entries (all zero when the
+  /// execution ran without a stats sink).
+  ExecStatsSnapshot stats;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+};
+
+/// \brief Collects a TraceSpan tree via Begin/End pairs (usually through
+/// ScopedTraceSpan). Not thread-safe; see file comment.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Opens (or re-enters) the child span `phase` of the currently open
+  /// span. `stats` is the execution's sink, used to snapshot the counter
+  /// delta on End(); may be nullptr.
+  void Begin(std::string_view phase, const ExecStats* stats);
+  /// Closes the innermost open span, folding wall time and stats delta
+  /// into it. Unbalanced End() calls are ignored.
+  void End();
+
+  /// The synthetic root; its children are the top-level phases. Valid while
+  /// the Tracer lives; mutated by Begin/End.
+  const TraceSpan& root() const { return root_; }
+
+  /// Drops all recorded spans (open frames too).
+  void Reset();
+
+  /// Human-readable tree, one line per span.
+  std::string ToText() const;
+  /// Machine-readable tree:
+  ///   {"name":"invert","count":1,"wall_ms":12.43,
+  ///    "stats":{"chase_steps":0,...},"children":[...]}
+  /// The root object is named "trace"; a run with no spans renders as
+  /// {"name":"trace",...,"children":[]}.
+  std::string ToJson() const;
+
+ private:
+  struct Frame {
+    TraceSpan* span;
+    std::chrono::steady_clock::time_point start;
+    ExecStatsSnapshot at_entry;
+    const ExecStats* stats;
+  };
+
+  TraceSpan root_;
+  std::vector<Frame> open_;
+};
+
+/// \brief RAII span guard: no-op when `options.trace` is null.
+///
+///   ScopedTraceSpan span(options, "rewrite");
+class ScopedTraceSpan {
+ public:
+  ScopedTraceSpan(const ExecutionOptions& options, std::string_view phase)
+      : tracer_(options.trace) {
+    if (tracer_ != nullptr) tracer_->Begin(phase, options.stats);
+  }
+  ~ScopedTraceSpan() {
+    if (tracer_ != nullptr) tracer_->End();
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+/// \brief The canonical kResourceExhausted error for a pipeline phase:
+/// "phase 'rewrite': exceeded deadline_ms = 50". Every limit bail-out goes
+/// through this so callers (and tests) can rely on the phase being named.
+Status PhaseExhausted(std::string_view phase, std::string_view detail);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_TRACE_H_

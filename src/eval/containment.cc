@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "engine/eval_cache.h"
+#include "engine/trace.h"
 #include "eval/query_eval.h"
 
 namespace mapinv {
@@ -177,7 +178,7 @@ std::vector<Atom> ApplyReps(const std::vector<Atom>& atoms,
 }  // namespace
 
 Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
-                           const ConjunctiveQuery& q2) {
+                           const ConjunctiveQuery& q2, ExecStats* stats) {
   if (q1.head.size() != q2.head.size()) {
     return Status::InvalidArgument("containment between queries of arity " +
                                    std::to_string(q1.head.size()) + " and " +
@@ -185,7 +186,7 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
   }
   const std::string key = "cq|" + CqKey(q1) + "|" + CqKey(q2);
   EvalCache& cache = GlobalEvalCache();
-  if (std::optional<bool> hit = cache.GetBool(key)) return *hit;
+  if (std::optional<bool> hit = cache.GetBool(key, stats)) return *hit;
   std::unordered_map<VarId, Value> frozen;
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           Freeze(q1.atoms, q2.atoms, &frozen));
@@ -207,7 +208,8 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
 }
 
 Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
-                                 const CqDisjunct& d1, const CqDisjunct& d2) {
+                                 const CqDisjunct& d1, const CqDisjunct& d2,
+                                 ExecStats* stats) {
   if (!d1.inequalities.empty() || !d2.inequalities.empty()) {
     return Status::Unsupported(
         "containment of UCQ≠ disjuncts is not implemented (the freeze "
@@ -221,7 +223,7 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
   key.append("]").append(DisjunctKey(d1, head_vars)).append("|").append(
       DisjunctKey(d2, head_vars));
   EvalCache& cache = GlobalEvalCache();
-  if (std::optional<bool> hit = cache.GetBool(key)) return *hit;
+  if (std::optional<bool> hit = cache.GetBool(key, stats)) return *hit;
   auto put = [&](bool contained) {
     cache.PutBool(key, contained);
     return contained;
@@ -248,19 +250,30 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
   return put(answers.Contains(head_tuple));
 }
 
-Result<UnionCq> MinimizeUnionCq(const UnionCq& query) {
+Result<UnionCq> MinimizeUnionCq(const UnionCq& query,
+                                const ExecutionOptions& options) {
+  ScopedTraceSpan span(options, "minimize");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   const size_t n = query.disjuncts.size();
   std::vector<bool> dropped(n, false);
   for (size_t j = 0; j < n; ++j) {
+    if (deadline.Expired()) {
+      return PhaseExhausted("minimize", "exceeded deadline_ms = " +
+                                            std::to_string(
+                                                options.deadline_ms));
+    }
     for (size_t i = 0; i < n && !dropped[j]; ++i) {
       if (i == j || dropped[i]) continue;
       MAPINV_ASSIGN_OR_RETURN(
-          bool j_in_i, DisjunctContainedIn(query.head, query.disjuncts[j],
-                                           query.disjuncts[i]));
+          bool j_in_i,
+          DisjunctContainedIn(query.head, query.disjuncts[j],
+                              query.disjuncts[i], options.stats));
       if (!j_in_i) continue;
       MAPINV_ASSIGN_OR_RETURN(
-          bool i_in_j, DisjunctContainedIn(query.head, query.disjuncts[i],
-                                           query.disjuncts[j]));
+          bool i_in_j,
+          DisjunctContainedIn(query.head, query.disjuncts[i],
+                              query.disjuncts[j], options.stats));
       if (i_in_j) {
         // Mutually equivalent: keep the lower index.
         dropped[std::max(i, j)] = true;
@@ -278,7 +291,8 @@ Result<UnionCq> MinimizeUnionCq(const UnionCq& query) {
   return out;
 }
 
-Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query) {
+Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query,
+                                  ExecStats* stats) {
   ConjunctiveQuery current = query;
   bool changed = true;
   while (changed) {
@@ -296,7 +310,7 @@ Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query) {
       // candidate ⊆ current always (it has fewer atoms ⇒ more answers ⇒
       // actually superset); equivalence needs candidate ⊆ current.
       MAPINV_ASSIGN_OR_RETURN(bool equivalent,
-                              CqContainedIn(candidate, current));
+                              CqContainedIn(candidate, current, stats));
       if (equivalent) {
         current = std::move(candidate);
         changed = true;

@@ -13,28 +13,37 @@
 #define MAPINV_EVAL_CONTAINMENT_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/cq.h"
 
 namespace mapinv {
 
 /// \brief True iff Q₁ ⊆ Q₂ (every answer of Q₁ is an answer of Q₂ on all
-/// instances). Heads must have equal arity.
+/// instances). Heads must have equal arity. When `stats` is non-null, the
+/// EvalCache lookup the check performs is attributed to that sink.
 Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
-                           const ConjunctiveQuery& q2);
+                           const ConjunctiveQuery& q2,
+                           ExecStats* stats = nullptr);
 
 /// \brief Containment of UCQ= disjuncts sharing the head tuple `head`.
+/// `stats` as in CqContainedIn.
 Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
-                                 const CqDisjunct& d1, const CqDisjunct& d2);
+                                 const CqDisjunct& d1, const CqDisjunct& d2,
+                                 ExecStats* stats = nullptr);
 
 /// \brief Removes disjuncts subsumed by other disjuncts of the union, and
 /// exact duplicates. Keeps the first (lowest-index) representative of each
-/// equivalence class, preserving order — deterministic output.
-Result<UnionCq> MinimizeUnionCq(const UnionCq& query);
+/// equivalence class, preserving order — deterministic output. Honours the
+/// carried deadline (quadratic containment loop; phase "minimize") and
+/// attributes cache traffic to `options.stats`.
+Result<UnionCq> MinimizeUnionCq(const UnionCq& query,
+                                const ExecutionOptions& options = {});
 
 /// \brief Core minimisation of a single CQ: repeatedly drops atoms whose
 /// removal preserves equivalence. The result is the standard core, unique up
-/// to isomorphism.
-Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query);
+/// to isomorphism. `stats` as in CqContainedIn.
+Result<ConjunctiveQuery> CoreOfCq(const ConjunctiveQuery& query,
+                                  ExecStats* stats = nullptr);
 
 }  // namespace mapinv
 

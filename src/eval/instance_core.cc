@@ -111,10 +111,10 @@ Instance ApplyValueMap(
 
 }  // namespace
 
-Result<Instance> CoreOfInstance(const Instance& instance) {
+Result<Instance> CoreOfInstance(const Instance& instance, ExecStats* stats) {
   const std::string key = CoreKey(instance);
   EvalCache& cache = GlobalEvalCache();
-  if (std::shared_ptr<const Instance> hit = cache.GetInstance(key)) {
+  if (std::shared_ptr<const Instance> hit = cache.GetInstance(key, stats)) {
     return Instance(*hit);
   }
   Instance current = instance;

@@ -23,10 +23,14 @@
 
 namespace mapinv {
 
+struct ExecStats;
+
 /// \brief Computes the core of `instance`. Constants are fixed; labelled
 /// nulls may fold onto other values. Null-free instances are their own
-/// cores and are returned unchanged.
-Result<Instance> CoreOfInstance(const Instance& instance);
+/// cores and are returned unchanged. When `stats` is non-null the EvalCache
+/// lookup is attributed to that sink.
+Result<Instance> CoreOfInstance(const Instance& instance,
+                                ExecStats* stats = nullptr);
 
 /// \brief True if no proper fold exists (the instance is its own core).
 Result<bool> IsCore(const Instance& instance);

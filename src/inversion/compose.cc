@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "engine/trace.h"
 #include "logic/substitution.h"
 #include "rewrite/skolemize.h"
 
@@ -40,6 +41,10 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
     }
   }
 
+  ScopedTraceSpan span(options, "compose");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
+
   SOTgdMapping out;
   out.source = first.source;
   out.target = second.target;
@@ -77,13 +82,18 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
                          std::vector<Atom>)>
         recurse = [&](size_t i, std::vector<std::pair<Term, Term>> goals,
                       std::vector<Atom> premises) -> Status {
+      if (deadline.Expired()) {
+        return PhaseExhausted("compose",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms));
+      }
       if (i == rule2.premise.size()) {
         auto unified = Unify(goals);
         if (!unified.ok()) return Status::OK();  // clash: prune combination
         if (++produced > options.max_rules) {
-          return Status::ResourceExhausted(
-              "composition exceeded max_rules = " +
-              std::to_string(options.max_rules));
+          return PhaseExhausted("compose",
+                                "exceeded max_rules = " +
+                                    std::to_string(options.max_rules));
         }
         SORule composed;
         composed.premise = unified->Apply(premises);

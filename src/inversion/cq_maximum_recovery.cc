@@ -1,5 +1,6 @@
 #include "inversion/cq_maximum_recovery.h"
 
+#include "engine/trace.h"
 #include "inversion/eliminate_disjunctions.h"
 #include "inversion/maximum_recovery.h"
 
@@ -7,12 +8,17 @@ namespace mapinv {
 
 Result<ReverseMapping> CqMaximumRecovery(
     const TgdMapping& mapping, const ExecutionOptions& options) {
+  // One deadline for the whole pipeline: the three stages below share the
+  // budget instead of each restarting deadline_ms.
+  ScopedTraceSpan span(options, "invert");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  ExecutionOptions inner = options;
+  inner.deadline = &CarriedDeadline(options, entry_deadline);
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_prime,
-                          MaximumRecovery(mapping, options));
-  MAPINV_ASSIGN_OR_RETURN(
-      ReverseMapping sigma_double_prime,
-      EliminateEqualities(sigma_prime, options));
-  return EliminateDisjunctions(sigma_double_prime);
+                          MaximumRecovery(mapping, inner));
+  MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_double_prime,
+                          EliminateEqualities(sigma_prime, inner));
+  return EliminateDisjunctions(sigma_double_prime, inner);
 }
 
 }  // namespace mapinv

@@ -1,20 +1,48 @@
 #include "inversion/eliminate_disjunctions.h"
 
+#include "engine/trace.h"
 #include "inversion/query_product.h"
 
 namespace mapinv {
 
-Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery) {
+Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery,
+                                             const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(recovery.Validate());
   if (!recovery.IsEqualityFree()) {
     return Status::InvalidArgument(
         "EliminateDisjunctions expects equality-free disjuncts; run "
         "EliminateEqualities first");
   }
+  ScopedTraceSpan span(options, "eliminate_disjunctions");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   ReverseMapping out(recovery.source, recovery.target, {});
   for (const ReverseDependency& dep : recovery.deps) {
+    if (deadline.Expired()) {
+      return PhaseExhausted("eliminate_disjunctions",
+                            "exceeded deadline_ms = " +
+                                std::to_string(options.deadline_ms));
+    }
     std::vector<std::vector<Atom>> disjunct_atoms;
     disjunct_atoms.reserve(dep.disjuncts.size());
+    // The product materialises prod(|dᵢ|) atoms; refuse to build one larger
+    // than max_disjuncts (saturating multiply — widths can overflow).
+    size_t product_size = 1;
+    for (const ReverseDisjunct& d : dep.disjuncts) {
+      const size_t arity = d.atoms.size();
+      if (arity != 0 && product_size > options.max_disjuncts / arity) {
+        product_size = options.max_disjuncts + 1;  // saturate
+        break;
+      }
+      product_size *= arity;
+    }
+    if (product_size > options.max_disjuncts) {
+      return PhaseExhausted(
+          "eliminate_disjunctions",
+          "conjunctive product of " + std::to_string(dep.disjuncts.size()) +
+              " disjuncts exceeds max_disjuncts = " +
+              std::to_string(options.max_disjuncts) + " atoms");
+    }
     for (const ReverseDisjunct& d : dep.disjuncts) {
       disjunct_atoms.push_back(d.atoms);
     }

@@ -13,13 +13,18 @@
 #define MAPINV_INVERSION_ELIMINATE_DISJUNCTIONS_H_
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/mapping.h"
 
 namespace mapinv {
 
 /// \brief Replaces every disjunctive conclusion by the product of its
 /// disjuncts. Input must be equality-free (run EliminateEqualities first).
-Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery);
+/// Honours the carried deadline and caps each materialised product at
+/// `options.max_disjuncts` atoms (the product size is the product of the
+/// disjunct sizes — exponential in the disjunct count).
+Result<ReverseMapping> EliminateDisjunctions(
+    const ReverseMapping& recovery, const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

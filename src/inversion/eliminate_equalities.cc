@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/trace.h"
 #include "inversion/partitions.h"
 #include "logic/substitution.h"
 
@@ -34,6 +35,9 @@ Result<ReverseMapping> EliminateEqualities(
     const ReverseMapping& recovery,
     const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(recovery.Validate());
+  ScopedTraceSpan span(options, "eliminate_equalities");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   ReverseMapping out(recovery.source, recovery.target, {});
   for (const ReverseDependency& dep : recovery.deps) {
     if (!dep.inequalities.empty()) {
@@ -43,14 +47,32 @@ Result<ReverseMapping> EliminateEqualities(
     }
     const std::vector<VarId>& frontier = dep.constant_vars;
     if (frontier.size() > options.max_frontier_width) {
-      return Status::ResourceExhausted(
+      return PhaseExhausted(
+          "eliminate_equalities",
           "frontier of width " + std::to_string(frontier.size()) +
-          " exceeds max_frontier_width = " +
-          std::to_string(options.max_frontier_width) + " (Bell-number guard)");
+              " exceeds max_frontier_width = " +
+              std::to_string(options.max_frontier_width) +
+              " (Bell-number guard)");
     }
 
+    // The partition walk is the Bell-number loop: poll the deadline and the
+    // rule cap inside it and stop the enumeration on the spot.
     Status inner_status;
     ForEachPartition(frontier.size(), [&](const SetPartition& pi) {
+      if (deadline.Expired()) {
+        inner_status = PhaseExhausted(
+            "eliminate_equalities",
+            "exceeded deadline_ms = " + std::to_string(options.deadline_ms) +
+                " during partition expansion");
+        return false;
+      }
+      if (out.deps.size() >= options.max_rules) {
+        inner_status = PhaseExhausted(
+            "eliminate_equalities",
+            "partition expansion exceeded max_rules = " +
+                std::to_string(options.max_rules));
+        return false;
+      }
       // f_π: every frontier variable maps to the minimum-index member of its
       // block (the paper's representative choice).
       std::unordered_map<uint32_t, VarId> block_rep;

@@ -1,12 +1,25 @@
 #include "inversion/maximum_recovery.h"
 
+#include "engine/trace.h"
+
 namespace mapinv {
 
 Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
                                        const ExecutionOptions& rewrite_options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
+  ScopedTraceSpan span(rewrite_options, "maximum_recovery");
+  ExecDeadline entry_deadline(rewrite_options.deadline_ms);
+  const ExecDeadline& deadline =
+      CarriedDeadline(rewrite_options, entry_deadline);
+  ExecutionOptions inner = rewrite_options;
+  inner.deadline = &deadline;
   ReverseMapping out(mapping.target, mapping.source, {});
   for (const Tgd& tgd : mapping.tgds) {
+    if (deadline.Expired()) {
+      return PhaseExhausted("maximum_recovery",
+                            "exceeded deadline_ms = " +
+                                std::to_string(rewrite_options.deadline_ms));
+    }
     // ψ(x̄) as a conjunctive query over the target with the frontier free.
     ConjunctiveQuery psi;
     psi.name = "psi";
@@ -14,7 +27,7 @@ Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
     psi.atoms = tgd.conclusion;
 
     MAPINV_ASSIGN_OR_RETURN(UnionCq alpha,
-                            RewriteOverSource(mapping, psi, rewrite_options));
+                            RewriteOverSource(mapping, psi, inner));
     if (alpha.disjuncts.empty()) {
       // Cannot happen for well-formed tgds: ψ can always be matched against
       // the conclusion of its own tgd, and frontier head variables never

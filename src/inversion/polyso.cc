@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/trace.h"
 #include "rewrite/skolemize.h"
 
 namespace mapinv {
@@ -177,8 +178,12 @@ std::vector<SORule> Normalize(const SOTgd& so) {
 
 }  // namespace
 
-Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping) {
+Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
+                                       const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
+  ScopedTraceSpan span(options, "polyso_inverse");
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   MAPINV_ASSIGN_OR_RETURN(InverseFunctions inv,
                           MakeInverseFunctions(mapping.so));
 
@@ -191,6 +196,13 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping) {
   FreshVarGen gen("u");
   std::set<std::string> emitted;  // canonical dedup of output rules
   for (const SORule& sigma : normalized) {
+    // The saturation is quadratic in the normalised rule count (every rule
+    // pairs with every subsuming rule); poll the budget per outer rule.
+    if (deadline.Expired()) {
+      return PhaseExhausted("polyso_inverse",
+                            "exceeded deadline_ms = " +
+                                std::to_string(options.deadline_ms));
+    }
     const Atom& head = sigma.conclusion[0];
     std::vector<VarId> u = CreateTuple(head.terms, &gen);
 
@@ -207,6 +219,12 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping) {
     }
 
     for (const SORule& other : normalized) {
+      if (deadline.Expired()) {
+        return PhaseExhausted("polyso_inverse",
+                              "exceeded deadline_ms = " +
+                                  std::to_string(options.deadline_ms) +
+                                  " during subsumption pairing");
+      }
       const Atom& other_head = other.conclusion[0];
       if (other_head.relation != head.relation) continue;
       if (!Subsumes(other_head.terms, head.terms)) continue;
@@ -228,15 +246,21 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping) {
           "self-subsumption must always hold");
     }
     if (emitted.insert(CanonicalRuleKey(rule)).second) {
+      if (out.inverse.rules.size() >= options.max_rules) {
+        return PhaseExhausted("polyso_inverse",
+                              "exceeded max_rules = " +
+                                  std::to_string(options.max_rules));
+      }
       out.inverse.rules.push_back(std::move(rule));
     }
   }
   return out;
 }
 
-Result<SOInverseMapping> PolySOInverseOfTgds(const TgdMapping& mapping) {
+Result<SOInverseMapping> PolySOInverseOfTgds(const TgdMapping& mapping,
+                                             const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(SOTgdMapping so, TgdsToPlainSOTgd(mapping));
-  return PolySOInverse(so);
+  return PolySOInverse(so, options);
 }
 
 }  // namespace mapinv

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "engine/execution_options.h"
 #include "logic/mapping.h"
 
 namespace mapinv {
@@ -70,13 +71,16 @@ bool Subsumes(const std::vector<Term>& s, const std::vector<Term>& t);
 
 /// \brief Runs POLYSOINVERSE on a plain SO-tgd mapping. The result maps the
 /// original target schema back to the original source schema and specifies
-/// a maximum recovery of `mapping` (Theorem 5.3).
-Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping);
+/// a maximum recovery of `mapping` (Theorem 5.3). Honours the carried
+/// deadline and `max_rules` (phase "polyso_inverse").
+Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
+                                       const ExecutionOptions& options = {});
 
 /// \brief Convenience: tgds → plain SO-tgd (linear time, Section 5.1)
 /// followed by POLYSOINVERSE. This is the paper's polynomial-time inversion
 /// path for ordinary tgd mappings.
-Result<SOInverseMapping> PolySOInverseOfTgds(const TgdMapping& mapping);
+Result<SOInverseMapping> PolySOInverseOfTgds(
+    const TgdMapping& mapping, const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/trace.h"
 #include "eval/containment.h"
 #include "logic/substitution.h"
 #include "rewrite/skolemize.h"
@@ -50,6 +51,7 @@ namespace {
 Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                                     const ConjunctiveQuery& target_query,
                                     const ExecutionOptions& options) {
+  ScopedTraceSpan span(options, "rewrite");
   // Candidate head choices per query atom.
   std::vector<std::vector<HeadChoice>> choices(target_query.atoms.size());
   for (size_t i = 0; i < target_query.atoms.size(); ++i) {
@@ -75,8 +77,11 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
 
   // Enumerate all choice combinations with backtracking. Renaming draws
   // from the options' symbol scope so rewritings are reproducible under an
-  // engine-scoped context.
-  ExecDeadline deadline(options.deadline_ms);
+  // engine-scoped context. The deadline is the one carried by an enclosing
+  // pipeline stage when there is one (Invert's rewriting loop shares a
+  // single budget with the other stages), else resolved here.
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   FreshVarGen gen("r", options.symbols);
   size_t produced = 0;
 
@@ -84,16 +89,16 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                        std::vector<Atom>)>
       recurse = [&](size_t i, std::vector<std::pair<Term, Term>> goals,
                     std::vector<Atom> premises) -> Status {
+    if (deadline.Expired()) {
+      return PhaseExhausted("rewrite",
+                            "exceeded deadline_ms = " +
+                                std::to_string(options.deadline_ms));
+    }
     if (i == target_query.atoms.size()) {
-      if (deadline.Expired()) {
-        return Status::ResourceExhausted(
-            "rewriting exceeded deadline_ms = " +
-            std::to_string(options.deadline_ms));
-      }
       if (++produced > options.max_disjuncts) {
-        return Status::ResourceExhausted(
-            "rewriting exceeded max_disjuncts = " +
-            std::to_string(options.max_disjuncts));
+        return PhaseExhausted("rewrite",
+                              "exceeded max_disjuncts = " +
+                                  std::to_string(options.max_disjuncts));
       }
       auto unified = Unify(goals);
       if (!unified.ok()) return Status::OK();  // clash: prune combination
@@ -172,7 +177,9 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
   MAPINV_RETURN_NOT_OK(recurse(0, {}, {}));
 
   if (options.minimize) {
-    return MinimizeUnionCq(out);
+    ExecutionOptions inner = options;
+    inner.deadline = &deadline;
+    return MinimizeUnionCq(out, inner);
   }
   return out;
 }

@@ -20,6 +20,7 @@
 #include "engine/execution_options.h"
 #include "engine/parallel_chase.h"
 #include "engine/thread_pool.h"
+#include "engine/trace.h"
 #include "eval/containment.h"
 #include "eval/hom.h"
 #include "eval/instance_core.h"
@@ -552,6 +553,160 @@ TEST(EngineTest, ResourceLimitFailurePropagates) {
   Result<Instance> result = engine.Chase(mapping, source);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Cache stats attribute to the engine whose operation performed the lookup,
+// even when another engine is hammering the shared cache concurrently — the
+// regression test for the old WithCacheStats global-counter diff, which
+// credited any concurrent engine's cache traffic to whoever finished last.
+TEST(EngineTest, ConcurrentEnginesReportDisjointCacheStats) {
+  // Engine A: inversion with minimisation — containment checks go through
+  // the global eval cache.
+  TgdMapping invertible = ExponentialFamilyMapping(2, 3);
+  // Engine B: plain chase — performs no cache lookups at all.
+  TgdMapping chased = ParseTgdMapping("R(x,y) -> T(x,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), R(3,4) }", *chased.source).ValueOrDie();
+
+  Engine a({.threads = 1});
+  Engine b({.threads = 1});
+  std::atomic<bool> done{false};
+  std::thread hammer([&] {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(a.Invert(invertible).ok());
+    }
+    done.store(true, std::memory_order_release);
+  });
+  // Keep B chasing until A's inversions finish, so the two engines really
+  // overlap (capped in case the hammer thread dies to an assertion).
+  for (int i = 0; i < 1000000 && !done.load(std::memory_order_acquire); ++i) {
+    ASSERT_TRUE(b.Chase(chased, source).ok());
+  }
+  hammer.join();
+
+  // A's inversions really did touch the cache...
+  EXPECT_GT(a.stats().cache_hits.load() + a.stats().cache_misses.load(), 0u);
+  // ...and none of that traffic leaked into B's counters.
+  EXPECT_EQ(b.stats().cache_hits.load(), 0u);
+  EXPECT_EQ(b.stats().cache_misses.load(), 0u);
+}
+
+// A deadline carried into the inversion pipeline fails fast and names the
+// phase that exhausted it.
+TEST(EngineTest, InversionDeadlineNamesThePhase) {
+  TgdMapping mapping = ExponentialFamilyMapping(3, 9);
+  ExecutionOptions options;
+  options.deadline_ms = 1;
+  Result<ReverseMapping> result = CqMaximumRecovery(mapping, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().ToString().find("phase '"), std::string::npos)
+      << result.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans
+
+namespace {
+
+// Names-and-counts render of a span tree, ignoring timings and stats.
+void RenderShape(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name + " x" + std::to_string(span.count) + "\n";
+  for (const auto& child : span.children) RenderShape(*child, depth + 1, out);
+}
+
+// Full pipeline (chase, invert, round trip) under one tracer.
+std::string TracedPipelineShape(int threads) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), S(2,5) }", *mapping.source).ValueOrDie();
+  Engine engine({.threads = threads});
+  Tracer tracer;
+  engine.set_tracer(&tracer);
+  Instance target = engine.Chase(mapping, source).ValueOrDie();
+  ReverseMapping recovery = engine.Invert(mapping).ValueOrDie();
+  std::vector<Instance> worlds =
+      engine.RoundTrip(mapping, recovery, source).ValueOrDie();
+  EXPECT_FALSE(worlds.empty());
+  std::string shape;
+  for (const auto& child : tracer.root().children) {
+    RenderShape(*child, 0, &shape);
+  }
+  EXPECT_FALSE(shape.empty());
+  return shape;
+}
+
+}  // namespace
+
+// The span tree's shape (phase names, nesting, entry counts) is a property
+// of the algorithms, not of the thread count.
+TEST(TraceTest, SpanTreeShapeIsStableAcrossThreadCounts) {
+  const std::string sequential = TracedPipelineShape(1);
+  EXPECT_EQ(TracedPipelineShape(4), sequential);
+}
+
+// Every counter bump happens inside some span, so the per-phase stats deltas
+// of the top-level spans sum to the engine's ExecStats totals.
+TEST(TraceTest, TopLevelSpanStatsSumToEngineTotals) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2), S(2,3), S(2,4) }", *mapping.source)
+          .ValueOrDie();
+  Engine engine({.threads = 2});
+  Tracer tracer;
+  engine.set_tracer(&tracer);
+  ASSERT_TRUE(engine.Chase(mapping, source).ok());
+  ReverseMapping recovery = engine.Invert(mapping).ValueOrDie();
+  ASSERT_TRUE(engine.RoundTrip(mapping, recovery, source).ok());
+
+  ExecStatsSnapshot sum;
+  for (const auto& child : tracer.root().children) {
+    sum.chase_steps += child->stats.chase_steps;
+    sum.hom_searches += child->stats.hom_searches;
+    sum.hom_backtracks += child->stats.hom_backtracks;
+    sum.cache_hits += child->stats.cache_hits;
+    sum.cache_misses += child->stats.cache_misses;
+  }
+  const ExecStatsSnapshot total = engine.stats().Snapshot();
+  EXPECT_EQ(sum.chase_steps, total.chase_steps);
+  EXPECT_EQ(sum.hom_searches, total.hom_searches);
+  EXPECT_EQ(sum.hom_backtracks, total.hom_backtracks);
+  EXPECT_EQ(sum.cache_hits, total.cache_hits);
+  EXPECT_EQ(sum.cache_misses, total.cache_misses);
+}
+
+// ToJson emits one syntactically well-formed JSON object line (balanced
+// braces/brackets, no trailing commas before closers).
+TEST(TraceTest, ToJsonIsBalancedAndQuotesPhaseNames) {
+  TgdMapping mapping = ParseTgdMapping("R(x,y) -> T(x,y)").ValueOrDie();
+  Instance source =
+      ParseInstance("{ R(1,2) }", *mapping.source).ValueOrDie();
+  ExecutionOptions options;
+  Tracer tracer;
+  options.trace = &tracer;
+  ASSERT_TRUE(ChaseTgds(mapping, source, options).ok());
+  const std::string json = tracer.ToJson();
+  int braces = 0, brackets = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    if (c == ',') {
+      ASSERT_LT(i + 1, json.size());
+      EXPECT_NE(json[i + 1], '}');
+      EXPECT_NE(json[i + 1], ']');
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"name\":\"chase_tgds\""), std::string::npos) << json;
 }
 
 }  // namespace

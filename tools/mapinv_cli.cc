@@ -1,22 +1,35 @@
 // mapinv_cli — command-line front end for the mapinv library.
 //
 // Usage:
-//   mapinv_cli [flags] invert   <mapping-file>                 CQ-maximum recovery
-//   mapinv_cli [flags] maxrec   <mapping-file>                 raw maximum recovery
-//   mapinv_cli [flags] polyso   <mapping-file>                 PolySOInverse (via SO)
-//   mapinv_cli [flags] rewrite  <mapping-file> '<query>'       source rewriting
-//   mapinv_cli [flags] exchange <mapping-file> <instance-file> forward chase
-//   mapinv_cli [flags] roundtrip <mapping-file> <instance-file> chase there and back
+//   mapinv_cli [flags] invert   <mapping>                     CQ-maximum recovery
+//   mapinv_cli [flags] maxrec   <mapping>                     raw maximum recovery
+//   mapinv_cli [flags] polyso   <mapping>                     PolySOInverse (via SO)
+//   mapinv_cli [flags] rewrite  <mapping> '<query>'           source rewriting
+//   mapinv_cli [flags] exchange <mapping> <instance-file>     forward chase
+//   mapinv_cli [flags] roundtrip <mapping> <instance-file>    chase there and back
+//
+// Commands may also be spelled as flags (`--invert` ≡ `invert`). <mapping> is
+// a tgd file in the parser syntax, or a synthetic generator spec:
+//   gen:exp:N,K    exponential-recovery family (N producers, K conjuncts)
+//   gen:chain:M    chain join of M binary relations
+//   gen:copy:N,A   N copy tgds of arity A
+//   gen:proj:N     N projection tgds
+// Mapping-taking commands with no <mapping> argument default to gen:exp:3,9
+// (the exponential family the benchmarks use).
 //
 // Flags (anywhere on the command line, --name=value or --name value):
 //   --max-facts=N      chase fact budget        --max-worlds=N   world budget
 //   --max-disjuncts=N  rewriting budget         --threads=N      parallelism
 //   --deadline-ms=N    wall-clock budget        --stats          counters to stderr
+//   --trace            per-phase span tree to stderr (human-readable)
+//   --trace-json       span tree as one JSON line to stderr
+//   --stats-json       {"command","wall_ms","stats"} as one JSON line to stderr
 //
-// Mapping files contain tgds in the parser syntax (one per line, '#'
-// comments); instance files contain one `{ ... }` instance. Exit status is
-// 0 on success, 1 on usage errors, 2 on processing errors.
+// Instance files contain one `{ ... }` instance. Exit status is 0 on
+// success, 1 on usage errors, 2 on processing errors (including
+// kResourceExhausted from --deadline-ms and the limit flags).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +38,7 @@
 #include <vector>
 
 #include "engine/execution_options.h"
+#include "engine/trace.h"
 
 #include "chase/chase_tgd.h"
 #include "chase/round_trip.h"
@@ -34,6 +48,7 @@
 #include "inversion/cq_maximum_recovery.h"
 #include "inversion/maximum_recovery.h"
 #include "inversion/polyso.h"
+#include "mapgen/generators.h"
 #include "parser/parser.h"
 #include "rewrite/rewrite.h"
 
@@ -42,8 +57,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mapinv_cli <command> <mapping-file> [arg]\n"
-               "commands:\n"
+               "usage: mapinv_cli <command> <mapping> [arg]\n"
+               "commands (also accepted as --command):\n"
                "  invert    <mapping>             CQ-maximum recovery "
                "(Section 4)\n"
                "  maxrec    <mapping>             maximum recovery "
@@ -64,15 +79,38 @@ int Usage() {
                "is a sound recovery\n"
                "  core      <instance>            core of an instance with "
                "nulls\n"
+               "<mapping> may be a file or a generator spec: gen:exp:N,K "
+               "gen:chain:M gen:copy:N,A gen:proj:N\n"
                "flags: --max-facts=N --max-worlds=N --max-disjuncts=N "
-               "--threads=N --deadline-ms=N --stats\n");
+               "--threads=N --deadline-ms=N\n"
+               "       --stats --stats-json --trace --trace-json\n");
   return 1;
 }
 
+// The command vocabulary, shared between positional and --flag spellings.
+bool IsCommand(const std::string& name) {
+  static const char* kCommands[] = {"invert",    "maxrec",  "polyso",
+                                    "rewrite",   "exchange", "roundtrip",
+                                    "so-invert", "compose", "check", "core"};
+  for (const char* c : kCommands) {
+    if (name == c) return true;
+  }
+  return false;
+}
+
+struct OutputFlags {
+  bool stats = false;
+  bool stats_json = false;
+  bool trace = false;
+  bool trace_json = false;
+};
+
 // Parses `--name=value` / `--name value` flags out of argv, leaving the
-// positional arguments in `positional`. Returns false on a bad flag.
+// positional arguments in `positional`. A flag spelling a command name
+// (`--invert`) is rewritten to the positional command. Returns false on a
+// bad flag.
 bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
-                bool* show_stats, std::vector<char*>* positional) {
+                OutputFlags* output, std::vector<char*>* positional) {
   auto numeric = [](const char* text, uint64_t* out) {
     char* end = nullptr;
     *out = std::strtoull(text, &end, 10);
@@ -92,8 +130,24 @@ bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
       value = arg.substr(eq + 1);
       have_value = true;
     }
+    if (!have_value && IsCommand(name.substr(2))) {
+      positional->push_back(argv[i] + 2);
+      continue;
+    }
     if (name == "--stats") {
-      *show_stats = true;
+      output->stats = true;
+      continue;
+    }
+    if (name == "--stats-json") {
+      output->stats_json = true;
+      continue;
+    }
+    if (name == "--trace") {
+      output->trace = true;
+      continue;
+    }
+    if (name == "--trace-json") {
+      output->trace_json = true;
       continue;
     }
     if (!have_value) {
@@ -127,37 +181,149 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+// Parses "N" or "N,K" following a gen: family prefix.
+bool ParseGenParams(const std::string& text, int* a, int* b) {
+  char* end = nullptr;
+  long first = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || first <= 0) return false;
+  *a = static_cast<int>(first);
+  if (*end == '\0') return true;
+  if (*end != ',' || b == nullptr) return false;
+  const char* rest = end + 1;
+  long second = std::strtol(rest, &end, 10);
+  if (end == rest || *end != '\0' || second <= 0) return false;
+  *b = static_cast<int>(second);
+  return true;
+}
+
+// A mapping argument is either a file path or a gen:<family>:<params> spec.
+Result<TgdMapping> LoadMapping(const std::string& spec) {
+  if (spec.rfind("gen:", 0) != 0) {
+    MAPINV_ASSIGN_OR_RETURN(std::string text, ReadFile(spec));
+    return ParseTgdMapping(text);
+  }
+  const std::string rest = spec.substr(4);
+  const size_t colon = rest.find(':');
+  const std::string family = rest.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : rest.substr(colon + 1);
+  int a = 0;
+  int b = 0;
+  if (family == "exp") {
+    a = 3;
+    b = 9;  // default: big enough that Section 4 inversion needs a budget
+    if (!params.empty() && !ParseGenParams(params, &a, &b)) {
+      return Status::InvalidArgument("bad generator spec '" + spec +
+                                     "' (want gen:exp:N,K)");
+    }
+    return ExponentialFamilyMapping(a, b);
+  }
+  if (family == "chain") {
+    a = 3;
+    if (!params.empty() && !ParseGenParams(params, &a, nullptr)) {
+      return Status::InvalidArgument("bad generator spec '" + spec +
+                                     "' (want gen:chain:M)");
+    }
+    return ChainJoinMapping(a);
+  }
+  if (family == "copy") {
+    a = 2;
+    b = 2;
+    if (!params.empty() && !ParseGenParams(params, &a, &b)) {
+      return Status::InvalidArgument("bad generator spec '" + spec +
+                                     "' (want gen:copy:N,A)");
+    }
+    return CopyMapping(a, b);
+  }
+  if (family == "proj") {
+    a = 2;
+    if (!params.empty() && !ParseGenParams(params, &a, nullptr)) {
+      return Status::InvalidArgument("bad generator spec '" + spec +
+                                     "' (want gen:proj:N)");
+    }
+    return ProjectionMapping(a);
+  }
+  return Status::InvalidArgument("unknown generator family in '" + spec +
+                                 "' (know gen:exp, gen:chain, gen:copy, "
+                                 "gen:proj)");
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "mapinv_cli: %s\n", status.ToString().c_str());
   return 2;
 }
 
+std::string StatsJson(const ExecStats& stats) {
+  const ExecStatsSnapshot s = stats.Snapshot();
+  std::string out = "{";
+  out += "\"chase_steps\":" + std::to_string(s.chase_steps);
+  out += ",\"hom_searches\":" + std::to_string(s.hom_searches);
+  out += ",\"hom_backtracks\":" + std::to_string(s.hom_backtracks);
+  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += "}";
+  return out;
+}
+
 int Run(int argc, char** argv) {
   ExecutionOptions options;
   ExecStats stats;
-  bool show_stats = false;
+  OutputFlags output;
   std::vector<char*> args;
-  if (!ParseFlags(argc, argv, &options, &show_stats, &args)) return Usage();
+  if (!ParseFlags(argc, argv, &options, &output, &args)) return Usage();
   options.stats = &stats;
+  Tracer tracer;
+  if (output.trace || output.trace_json) options.trace = &tracer;
   const int narg = static_cast<int>(args.size());
   argv = args.data();
-  if (narg < 3) return Usage();
+  if (narg < 2) return Usage();
   const std::string command = argv[1];
-  struct StatsPrinter {
-    const ExecStats& stats;
-    bool enabled;
-    ~StatsPrinter() {
-      if (enabled) std::fprintf(stderr, "%s\n", stats.ToString().c_str());
-    }
-  } stats_printer{stats, show_stats};
+  if (!IsCommand(command)) return Usage();
+  // Mapping-taking commands run against the exponential family by default;
+  // commands needing real files still require their arguments.
+  const bool needs_file = command == "core" || command == "so-invert" ||
+                          command == "compose" || command == "check" ||
+                          command == "exchange" || command == "roundtrip";
+  if (narg < 3 && needs_file) return Usage();
+  const std::string mapping_arg = narg >= 3 ? argv[2] : "gen:exp:3,9";
 
-  // Commands that do not parse argv[2] as a tgd mapping.
+  // Printers run on every exit path (destructors), after the command body.
+  struct OutputPrinter {
+    const ExecStats& stats;
+    const Tracer& tracer;
+    const OutputFlags& output;
+    const std::string& command;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+    ~OutputPrinter() {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (output.stats) {
+        std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+      }
+      if (output.stats_json) {
+        char wall[32];
+        std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
+        std::fprintf(stderr, "{\"command\":\"%s\",\"wall_ms\":%s,\"stats\":%s}\n",
+                     command.c_str(), wall, StatsJson(stats).c_str());
+      }
+      if (output.trace) {
+        std::fprintf(stderr, "%s", tracer.ToText().c_str());
+      }
+      if (output.trace_json) {
+        std::fprintf(stderr, "%s\n", tracer.ToJson().c_str());
+      }
+    }
+  } printer{stats, tracer, output, command};
+
+  // Commands that do not parse the mapping argument as a tgd mapping.
   if (command == "core") {
     Result<std::string> text = ReadFile(argv[2]);
     if (!text.ok()) return Fail(text.status());
     Result<Instance> instance = ParseInstanceInferSchema(*text);
     if (!instance.ok()) return Fail(instance.status());
-    Result<Instance> core = CoreOfInstance(*instance);
+    Result<Instance> core = CoreOfInstance(*instance, options.stats);
     if (!core.ok()) return Fail(core.status());
     std::printf("%s\n", core->ToString().c_str());
     return 0;
@@ -167,22 +333,18 @@ int Run(int argc, char** argv) {
     if (!text.ok()) return Fail(text.status());
     Result<SOTgdMapping> so = ParseSOTgdMapping(*text);
     if (!so.ok()) return Fail(so.status());
-    Result<SOInverseMapping> inv = PolySOInverse(*so);
+    Result<SOInverseMapping> inv = PolySOInverse(*so, options);
     if (!inv.ok()) return Fail(inv.status());
     std::printf("%s", inv->ToString().c_str());
     return 0;
   }
 
-  Result<std::string> mapping_text = ReadFile(argv[2]);
-  if (!mapping_text.ok()) return Fail(mapping_text.status());
-  Result<TgdMapping> mapping = ParseTgdMapping(*mapping_text);
+  Result<TgdMapping> mapping = LoadMapping(mapping_arg);
   if (!mapping.ok()) return Fail(mapping.status());
 
   if (command == "compose") {
     if (narg < 4) return Usage();
-    Result<std::string> second_text = ReadFile(argv[3]);
-    if (!second_text.ok()) return Fail(second_text.status());
-    Result<TgdMapping> second = ParseTgdMapping(*second_text);
+    Result<TgdMapping> second = LoadMapping(argv[3]);
     if (!second.ok()) return Fail(second.status());
     Result<SOTgdMapping> composed = ComposeTgdMappings(*mapping, *second, options);
     if (!composed.ok()) return Fail(composed.status());
@@ -225,7 +387,7 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (command == "polyso") {
-    Result<SOInverseMapping> inv = PolySOInverseOfTgds(*mapping);
+    Result<SOInverseMapping> inv = PolySOInverseOfTgds(*mapping, options);
     if (!inv.ok()) return Fail(inv.status());
     std::printf("%s", inv->ToString().c_str());
     return 0;
