@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Reproducible benchmark harness (the BENCH_* trajectory).
+
+Runs the Google-Benchmark binaries under a build directory with their baked-in
+fixed seeds and writes one JSON file per invocation:
+
+    { "date": "...", "label": "...", "git": "...",
+      "results": [ { "bench": "bench_chase_throughput",
+                     "config": "BM_Chase_ForwardTgds/1024",
+                     "wall_ms": 1.93, "cpu_ms": 1.92,
+                     "stats": { "facts_out": 1056.0, ... } }, ... ] }
+
+Usage:
+    bench/run_bench.py                        # all binaries -> BENCH_<date>.json
+    bench/run_bench.py --bench bench_chase_throughput bench_cqmaxrec_scaling
+    bench/run_bench.py --label baseline --out BENCH_2026-08-05_baseline.json
+    bench/run_bench.py --smoke                # tiny configs, correctness only
+
+Every workload seed lives in the bench sources (mapgen generators are fully
+seeded), so two runs of this script on the same machine and build flags are
+directly comparable; `--label` tags the run (e.g. "baseline" vs "hom-plan").
+`--smoke` runs one small config per binary with a minimal measuring window —
+it exists for CI (asan) to keep the bench tree compiling and running, not for
+timing.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+ALL_BENCHES = [
+    "bench_chase_throughput",
+    "bench_cqmaxrec_scaling",
+    "bench_core",
+    "bench_rewrite",
+    "bench_translation",
+    "bench_product",
+    "bench_roundtrip_quality",
+    "bench_polyso_scaling",
+    "bench_exponential_family",
+]
+
+# One cheap representative config per binary for --smoke (regex filters).
+SMOKE_FILTERS = {
+    "bench_chase_throughput": r"BM_Chase_ForwardTgds/64$",
+    "bench_cqmaxrec_scaling": r"BM_CqMaxRecovery_FrontierWidth/3$",
+    "bench_core": r"/8$|/8/",
+    "bench_rewrite": r"/2$|/2/",
+    "bench_translation": r"/64$|/64/",
+    "bench_product": r"/2$|/2/",
+    "bench_roundtrip_quality": r"/64$|/64/",
+    "bench_polyso_scaling": r"/2$|/2/",
+    "bench_exponential_family": r"/2/2$|/2$",
+}
+
+# Built-in counters google-benchmark attaches that are not workload stats.
+NON_STAT_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+    "aggregate_unit", "error_occurred", "error_message",
+}
+
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def git_rev(repo_root):
+    try:
+        return subprocess.check_output(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            text=True).strip()
+    except Exception:  # noqa: BLE001 - bench metadata only
+        return "unknown"
+
+
+def run_binary(path, min_time, bench_filter):
+    cmd = [path, "--benchmark_format=json",
+           f"--benchmark_min_time={min_time}"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{os.path.basename(path)} exited {proc.returncode}:\n"
+            f"{proc.stderr.strip()}")
+    return json.loads(proc.stdout)
+
+
+def collect(report, bench_name):
+    results = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_TO_MS.get(b.get("time_unit", "ns"), 1e-6)
+        stats = {k: v for k, v in b.items() if k not in NON_STAT_KEYS}
+        results.append({
+            "bench": bench_name,
+            "config": b["name"],
+            "wall_ms": b["real_time"] * unit,
+            "cpu_ms": b["cpu_time"] * unit,
+            "iterations": b["iterations"],
+            "stats": stats,
+        })
+    return results
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default=os.path.join(repo_root, "build"))
+    parser.add_argument("--bench", nargs="*", default=ALL_BENCHES,
+                        help="benchmark binaries to run (default: all)")
+    parser.add_argument("--filter", default=None,
+                        help="extra --benchmark_filter regex for every binary")
+    parser.add_argument("--min-time", type=float, default=0.05,
+                        help="per-benchmark measuring window in seconds")
+    parser.add_argument("--label", default="",
+                        help="free-form tag recorded in the output")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<date>.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small config per binary, minimal window; "
+                             "exercises the bench tree without timing it")
+    args = parser.parse_args()
+
+    date = datetime.date.today().isoformat()
+    out_path = args.out or os.path.join(repo_root, f"BENCH_{date}.json")
+    bench_dir = os.path.join(args.build_dir, "bench")
+
+    results = []
+    failures = []
+    for name in args.bench:
+        path = os.path.join(bench_dir, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: binary not found at {path}")
+            continue
+        bench_filter = args.filter
+        min_time = args.min_time
+        if args.smoke:
+            bench_filter = SMOKE_FILTERS.get(name, args.filter)
+            min_time = 0.01
+        print(f"[run_bench] {name}"
+              + (f" (filter={bench_filter})" if bench_filter else ""),
+              flush=True)
+        try:
+            report = run_binary(path, min_time, bench_filter)
+        except RuntimeError as err:
+            failures.append(str(err))
+            continue
+        results.append(collect(report, name))
+
+    doc = {
+        "date": date,
+        "label": args.label or ("smoke" if args.smoke else ""),
+        "git": git_rev(repo_root),
+        "min_time_s": 0.01 if args.smoke else args.min_time,
+        "results": [r for per_bin in results for r in per_bin],
+    }
+    if args.smoke:
+        # Smoke mode is a correctness gate: binaries must run, output is not
+        # a timing artifact, so nothing is written unless --out was given.
+        if args.out:
+            with open(out_path, "w") as f:
+                json.dump(doc, f, indent=1)
+        print(f"[run_bench] smoke ok: {len(doc['results'])} configs ran")
+    else:
+        with open(out_path, "w") as f:
+            json.dump(doc, f, indent=1)
+        print(f"[run_bench] wrote {out_path} ({len(doc['results'])} configs)")
+
+    if failures:
+        for f in failures:
+            print(f"[run_bench] FAILED: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,21 +25,27 @@ bool EqualitiesHold(const ReverseDisjunct& disjunct, const Assignment& h) {
 struct WorldState {
   std::unique_ptr<Instance> instance;
   std::unique_ptr<HomSearch> search;
+  ExecStats* stats = nullptr;
 
-  explicit WorldState(Instance inst)
+  WorldState(Instance inst, ExecStats* stats_sink)
       : instance(std::make_unique<Instance>(std::move(inst))),
-        search(std::make_unique<HomSearch>(*instance)) {}
+        search(std::make_unique<HomSearch>(*instance)),
+        stats(stats_sink) {
+    search->set_stats(stats);
+  }
 
-  WorldState Fork() const { return WorldState(*instance); }
+  WorldState Fork() const { return WorldState(*instance, stats); }
 };
 
 // True if the disjunct is already satisfied in the world by an extension of
 // the trigger bindings restricted to the variables the disjunct shares with
-// the premise.
+// the premise. `dvars` is the disjunct's distinct-variable list, collected
+// once per dependency.
 Result<bool> DisjunctSatisfied(const ReverseDisjunct& disjunct,
+                               const std::vector<VarId>& dvars,
                                const Assignment& h, const WorldState& world) {
   Assignment fixed;
-  for (VarId v : CollectDistinctVars(disjunct.atoms)) {
+  for (VarId v : dvars) {
     auto it = h.find(v);
     if (it != h.end()) fixed.emplace(v, it->second);
   }
@@ -48,10 +54,11 @@ Result<bool> DisjunctSatisfied(const ReverseDisjunct& disjunct,
 
 // Adds the instantiated disjunct atoms to `world`; existential variables get
 // fresh nulls.
-Status FireDisjunct(const ReverseDisjunct& disjunct, const Assignment& h,
+Status FireDisjunct(const ReverseDisjunct& disjunct,
+                    const std::vector<VarId>& dvars, const Assignment& h,
                     Instance* world, size_t* created, SymbolContext& symbols) {
   Assignment extended = h;
-  for (VarId v : CollectDistinctVars(disjunct.atoms)) {
+  for (VarId v : dvars) {
     if (!extended.contains(v)) extended.emplace(v, Value::FreshNull(symbols));
   }
   for (const Atom& atom : disjunct.atoms) {
@@ -81,13 +88,20 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   HomSearch search(input);
   search.set_stats(options.stats);
   std::vector<WorldState> worlds;
-  worlds.emplace_back(Instance(mapping.target));
+  worlds.emplace_back(Instance(mapping.target), options.stats);
   size_t created = 0;
   for (const ReverseDependency& dep : mapping.deps) {
     HomConstraints constraints;
     constraints.constant_vars.insert(dep.constant_vars.begin(),
                                      dep.constant_vars.end());
     constraints.inequalities = dep.inequalities;
+    // Collected once per dependency; DisjunctSatisfied/FireDisjunct run per
+    // trigger per world.
+    std::vector<std::vector<VarId>> disjunct_vars;
+    disjunct_vars.reserve(dep.disjuncts.size());
+    for (const ReverseDisjunct& d : dep.disjuncts) {
+      disjunct_vars.push_back(CollectDistinctVars(d.atoms));
+    }
     std::vector<Assignment> triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
@@ -106,17 +120,19 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
       // Disjuncts whose equalities are consistent with the trigger.
-      std::vector<const ReverseDisjunct*> applicable;
-      for (const ReverseDisjunct& d : dep.disjuncts) {
-        if (EqualitiesHold(d, h)) applicable.push_back(&d);
+      std::vector<size_t> applicable;
+      for (size_t di = 0; di < dep.disjuncts.size(); ++di) {
+        if (EqualitiesHold(dep.disjuncts[di], h)) applicable.push_back(di);
       }
       std::vector<WorldState> next;
       for (WorldState& world : worlds) {
         if (applicable.empty()) continue;  // world dies
         if (!options.oblivious) {
           bool satisfied = false;
-          for (const ReverseDisjunct* d : applicable) {
-            MAPINV_ASSIGN_OR_RETURN(bool sat, DisjunctSatisfied(*d, h, world));
+          for (size_t di : applicable) {
+            MAPINV_ASSIGN_OR_RETURN(
+                bool sat, DisjunctSatisfied(dep.disjuncts[di],
+                                            disjunct_vars[di], h, world));
             if (sat) {
               satisfied = true;
               break;
@@ -129,13 +145,14 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         }
         // The last applicable disjunct reuses the world in place; earlier
         // ones fork a copy.
-        for (size_t di = 0; di < applicable.size(); ++di) {
-          WorldState fork = (di + 1 == applicable.size())
+        for (size_t ai = 0; ai < applicable.size(); ++ai) {
+          const size_t di = applicable[ai];
+          WorldState fork = (ai + 1 == applicable.size())
                                 ? std::move(world)
                                 : world.Fork();
           MAPINV_RETURN_NOT_OK(
-              FireDisjunct(*applicable[di], h, fork.instance.get(), &created,
-                           symbols));
+              FireDisjunct(dep.disjuncts[di], disjunct_vars[di], h,
+                           fork.instance.get(), &created, symbols));
           if (created > options.max_new_facts) {
             return PhaseExhausted("chase_reverse",
                                   "exceeded max_new_facts = " +
@@ -192,7 +209,8 @@ Result<AnswerSet> CertainAnswersReverse(const ReverseMapping& mapping,
   bool first = true;
   AnswerSet certain;
   for (const Instance& world : worlds) {
-    MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(query, world));
+    MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
+                            EvaluateCq(query, world, options.stats));
     AnswerSet c = answers.CertainOnly();
     if (first) {
       certain = std::move(c);

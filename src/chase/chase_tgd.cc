@@ -3,23 +3,9 @@
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
+#include "eval/hom_plan.h"
 
 namespace mapinv {
-
-namespace {
-
-// True if the tgd conclusion is satisfied in `target` by some extension of
-// the frontier bindings in `h`. `target_search` is the incremental search
-// over the growing target instance.
-Result<bool> ConclusionSatisfied(const Tgd& tgd, const Assignment& h,
-                                 const HomSearch& target_search) {
-  Assignment frontier_bindings;
-  for (VarId v : tgd.FrontierVars()) frontier_bindings.emplace(v, h.at(v));
-  return target_search.ExistsHom(tgd.conclusion, HomConstraints{},
-                                 frontier_bindings);
-}
-
-}  // namespace
 
 Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                            const ExecutionOptions& options) {
@@ -47,6 +33,20 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                                     HomConstraints{}, options, deadline));
     }
     ScopedTraceSpan fire_span(options, "fire");
+    // Per-tgd invariants hoisted out of the trigger loop: the frontier /
+    // existential variable sets and the conclusion plan (compiled once
+    // against the frontier; the satisfaction check below runs it per
+    // trigger without rebuilding the plan key).
+    const std::vector<VarId> frontier_vars = tgd.FrontierVars();
+    const std::vector<VarId> existential_vars = tgd.ExistentialVars();
+    std::shared_ptr<const HomPlan> conclusion_plan;
+    if (!options.oblivious && !triggers.empty()) {
+      MAPINV_ASSIGN_OR_RETURN(
+          conclusion_plan,
+          target_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
+                                       frontier_vars));
+    }
+    Assignment frontier_bindings;
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
         return PhaseExhausted("chase_tgds",
@@ -54,14 +54,18 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                                   std::to_string(options.deadline_ms));
       }
       if (!options.oblivious) {
-        MAPINV_ASSIGN_OR_RETURN(bool satisfied,
-                                ConclusionSatisfied(tgd, h, target_search));
+        frontier_bindings.clear();
+        for (VarId v : frontier_vars) frontier_bindings.emplace(v, h.at(v));
+        MAPINV_ASSIGN_OR_RETURN(
+            bool satisfied,
+            target_search.ExistsHomWithPlan(*conclusion_plan,
+                                            frontier_bindings));
         if (satisfied) continue;
       }
       // Fire: frontier variables keep their bindings, existential variables
       // get fresh nulls (fresh per firing).
       Assignment extended = h;
-      for (VarId v : tgd.ExistentialVars()) {
+      for (VarId v : existential_vars) {
         extended.emplace(v, Value::FreshNull(symbols));
       }
       if (options.stats != nullptr) {
@@ -93,7 +97,7 @@ Result<AnswerSet> CertainAnswersTgd(const TgdMapping& mapping,
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           ChaseTgds(mapping, source, options));
   MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
-                          EvaluateCq(target_query, canonical));
+                          EvaluateCq(target_query, canonical, options.stats));
   return answers.CertainOnly();
 }
 

@@ -1,24 +1,36 @@
 #include "check/solutions.h"
 
+#include <memory>
+
 #include "chase/chase_tgd.h"
 #include "eval/hom.h"
+#include "eval/hom_plan.h"
 
 namespace mapinv {
 
 Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
-                           const Instance& target) {
+                           const Instance& target, ExecStats* stats) {
   HomSearch premise_search(source);
+  premise_search.set_stats(stats);
   HomSearch conclusion_search(target);
+  conclusion_search.set_stats(stats);
   for (const Tgd& tgd : mapping.tgds) {
+    // The conclusion is checked once per premise homomorphism; compile its
+    // plan against the frontier once, up front.
+    const std::vector<VarId> frontier_vars = tgd.FrontierVars();
+    MAPINV_ASSIGN_OR_RETURN(
+        std::shared_ptr<const HomPlan> conclusion_plan,
+        conclusion_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
+                                         frontier_vars));
     bool all_extend = true;
+    Assignment frontier;
     MAPINV_RETURN_NOT_OK(premise_search.ForEachHom(
         tgd.premise, HomConstraints{}, Assignment{},
         [&](const Assignment& h) {
-          Assignment frontier;
-          for (VarId v : tgd.FrontierVars()) frontier.emplace(v, h.at(v));
+          frontier.clear();
+          for (VarId v : frontier_vars) frontier.emplace(v, h.at(v));
           Result<bool> extends =
-              conclusion_search.ExistsHom(tgd.conclusion, HomConstraints{},
-                                          frontier);
+              conclusion_search.ExistsHomWithPlan(*conclusion_plan, frontier);
           if (!extends.ok() || !*extends) {
             all_extend = false;
             return false;  // stop enumeration
@@ -32,9 +44,11 @@ Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
 
 Result<bool> SatisfiesReverseDeps(const ReverseMapping& mapping,
                                   const Instance& input,
-                                  const Instance& output) {
+                                  const Instance& output, ExecStats* stats) {
   HomSearch premise_search(input);
+  premise_search.set_stats(stats);
   HomSearch conclusion_search(output);
+  conclusion_search.set_stats(stats);
   for (const ReverseDependency& dep : mapping.deps) {
     HomConstraints constraints;
     constraints.constant_vars.insert(dep.constant_vars.begin(),
@@ -75,7 +89,7 @@ Result<bool> InCompositionViaCanonicalWitness(const TgdMapping& mapping,
                                               const Instance& i2,
                                               const ExecutionOptions& options) {
   MAPINV_ASSIGN_OR_RETURN(Instance canonical, ChaseTgds(mapping, i1, options));
-  return SatisfiesReverseDeps(reverse, canonical, i2);
+  return SatisfiesReverseDeps(reverse, canonical, i2, options.stats);
 }
 
 }  // namespace mapinv

@@ -26,15 +26,17 @@ namespace mapinv {
 
 /// \brief True iff (source, target) satisfies every tgd of the mapping:
 /// each premise homomorphism extends to a conclusion homomorphism.
+/// `stats` (optional) receives the homomorphism-search counters.
 Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
-                           const Instance& target);
+                           const Instance& target, ExecStats* stats = nullptr);
 
 /// \brief True iff (input, output) satisfies every reverse dependency:
 /// each guarded premise homomorphism (C(·), ≠ respected) has some disjunct
 /// whose equalities hold and whose atoms embed into `output`.
 Result<bool> SatisfiesReverseDeps(const ReverseMapping& mapping,
                                   const Instance& input,
-                                  const Instance& output);
+                                  const Instance& output,
+                                  ExecStats* stats = nullptr);
 
 /// \brief Sound canonical-witness check that (i1, i2) ∈ M ∘ M': chases i1
 /// forward to the canonical solution K and tests (K, i2) ∈ M'. "true" is

@@ -68,7 +68,7 @@ bool Instance::IsNullFree() const {
   EnsureSlots();
   for (const auto& r : relations_) {
     for (const Tuple& t : r.tuples) {
-      for (Value v : t) {
+      for (const Value& v : t) {
         if (v.is_null()) return false;
       }
     }
@@ -82,7 +82,7 @@ std::vector<Value> Instance::ActiveDomain() const {
   std::vector<Value> out;
   for (const auto& r : relations_) {
     for (const Tuple& t : r.tuples) {
-      for (Value v : t) {
+      for (const Value& v : t) {
         if (seen.insert(v).second) out.push_back(v);
       }
     }

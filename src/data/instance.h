@@ -28,7 +28,7 @@ using Tuple = std::vector<Value>;
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
     size_t seed = t.size();
-    for (Value v : t) HashCombine(seed, v.Hash());
+    for (const Value& v : t) HashCombine(seed, v.Hash());
     return seed;
   }
 };

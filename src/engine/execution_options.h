@@ -78,6 +78,9 @@ struct ExecStatsSnapshot {
   uint64_t chase_steps = 0;
   uint64_t hom_backtracks = 0;
   uint64_t hom_searches = 0;
+  uint64_t hom_plans_compiled = 0;
+  uint64_t hom_bucket_candidates = 0;
+  uint64_t hom_slot_bindings = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 };
@@ -94,6 +97,15 @@ struct ExecStats {
   std::atomic<uint64_t> hom_backtracks{0};
   /// Homomorphism enumerations started.
   std::atomic<uint64_t> hom_searches{0};
+  /// Join plans compiled by HomSearch (cache misses of the plan table; a
+  /// high ratio to hom_searches means rules are not being reused).
+  std::atomic<uint64_t> hom_plans_compiled{0};
+  /// Candidate tuples drawn from index buckets (or full scans) by the
+  /// compiled executor. candidates - backtracks = accepted extensions.
+  std::atomic<uint64_t> hom_bucket_candidates{0};
+  /// Variable slots written by the compiled executor's bind ops — the flat
+  /// array writes that replace per-binding hash-map inserts.
+  std::atomic<uint64_t> hom_slot_bindings{0};
   /// EvalCache hits / misses attributable to this execution. Counted at the
   /// cache lookups themselves (EvalCache::GetBool/GetInstance take the
   /// sink), so two concurrent executions never cross-attribute traffic.
@@ -104,6 +116,9 @@ struct ExecStats {
     chase_steps = 0;
     hom_backtracks = 0;
     hom_searches = 0;
+    hom_plans_compiled = 0;
+    hom_bucket_candidates = 0;
+    hom_slot_bindings = 0;
     cache_hits = 0;
     cache_misses = 0;
   }
@@ -113,6 +128,10 @@ struct ExecStats {
     s.chase_steps = chase_steps.load(std::memory_order_relaxed);
     s.hom_backtracks = hom_backtracks.load(std::memory_order_relaxed);
     s.hom_searches = hom_searches.load(std::memory_order_relaxed);
+    s.hom_plans_compiled = hom_plans_compiled.load(std::memory_order_relaxed);
+    s.hom_bucket_candidates =
+        hom_bucket_candidates.load(std::memory_order_relaxed);
+    s.hom_slot_bindings = hom_slot_bindings.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.cache_misses = cache_misses.load(std::memory_order_relaxed);
     return s;
@@ -122,6 +141,10 @@ struct ExecStats {
     return "chase_steps=" + std::to_string(chase_steps.load()) +
            " hom_searches=" + std::to_string(hom_searches.load()) +
            " hom_backtracks=" + std::to_string(hom_backtracks.load()) +
+           " hom_plans_compiled=" + std::to_string(hom_plans_compiled.load()) +
+           " hom_bucket_candidates=" +
+           std::to_string(hom_bucket_candidates.load()) +
+           " hom_slot_bindings=" + std::to_string(hom_slot_bindings.load()) +
            " cache_hits=" + std::to_string(cache_hits.load()) +
            " cache_misses=" + std::to_string(cache_misses.load());
   }

@@ -5,6 +5,7 @@
 
 #include "engine/thread_pool.h"
 #include "engine/trace.h"
+#include "eval/hom_plan.h"
 
 namespace mapinv {
 
@@ -60,17 +61,26 @@ Result<std::vector<Assignment>> CollectTriggers(
     return std::vector<Assignment>{Assignment{}};
   }
 
-  // Initial atom: the most-bound rule under the empty assignment, i.e. the
-  // first atom with the most constant terms.
+  // Initial atom: the plan compiler's first-step rule under the empty
+  // assignment — most constant terms, ties to the smaller relation, then to
+  // the earlier atom. Using the same rule keeps the chunked enumeration in
+  // the exact order the compiled full-premise plan would produce.
   size_t best_index = 0;
   int best_bound = -1;
+  size_t best_cardinality = 0;
   for (size_t i = 0; i < premise.size(); ++i) {
     int bound = 0;
     for (const Term& t : premise[i].terms) {
       if (t.is_constant()) ++bound;
     }
-    if (bound > best_bound) {
+    MAPINV_ASSIGN_OR_RETURN(
+        RelationId id,
+        instance.schema().Require(RelationText(premise[i].relation)));
+    const size_t cardinality = instance.tuples(id).size();
+    if (bound > best_bound ||
+        (bound == best_bound && cardinality < best_cardinality)) {
       best_bound = bound;
+      best_cardinality = cardinality;
       best_index = i;
     }
   }
@@ -86,6 +96,18 @@ Result<std::vector<Assignment>> CollectTriggers(
   const auto& tuples = instance.tuples(rel);
   const size_t n = tuples.size();
   if (n == 0) return std::vector<Assignment>{};
+
+  // Compile the remaining-premise plan once, before the fan-out, so worker
+  // threads execute a shared immutable plan instead of racing through the
+  // plan cache. The plan's bound-variable set is exactly what BindCandidate
+  // assigns: the first atom's distinct variables.
+  std::vector<VarId> first_vars;
+  for (const Term& t : first.terms) {
+    if (t.is_variable()) first_vars.push_back(t.var());
+  }
+  MAPINV_ASSIGN_OR_RETURN(
+      std::shared_ptr<const HomPlan> remaining_plan,
+      search.GetPlanForVars(remaining, constraints, std::move(first_vars)));
 
   int threads = options.threads < 1 ? 1 : options.threads;
   ThreadPool* pool = nullptr;
@@ -124,11 +146,11 @@ Result<std::vector<Assignment>> CollectTriggers(
         continue;
       }
       Status status =
-          search.ForEachHom(remaining, constraints, bindings,
-                            [&slot = slots[c]](const Assignment& h) {
-                              slot.push_back(h);
-                              return true;
-                            });
+          search.ForEachHomWithPlan(*remaining_plan, bindings,
+                                    [&slot = slots[c]](const Assignment& h) {
+                                      slot.push_back(h);
+                                      return true;
+                                    });
       if (!status.ok()) {
         statuses[c] = std::move(status);
         abort.store(true, std::memory_order_relaxed);
@@ -168,7 +190,7 @@ SymbolContext& ResolveSymbols(const ExecutionOptions& options,
                               const Instance& input) {
   if (options.symbols == nullptr) return SymbolContext::Global();
   for (const Fact& f : input.AllFacts()) {
-    for (Value v : f.tuple) {
+    for (const Value& v : f.tuple) {
       if (v.is_null()) options.symbols->BumpNullPast(v.id());
     }
   }

@@ -6,15 +6,16 @@
 /// enumeration so it can run on a thread pool while producing the trigger
 /// list in **exactly** the order a sequential HomSearch::ForEachHom would:
 ///
-///   1. pick the initial atom A* by the same most-bound rule ForEachHom
-///      applies under the empty assignment (strict `>`, first atom wins
-///      ties — with nothing bound, "most-bound" counts constant terms);
+///   1. pick the initial atom A* by the plan compiler's first-step rule
+///      under the empty assignment (most constant terms, ties to the
+///      smaller relation, then to the earlier atom — see hom_plan.h);
 ///   2. scan A*'s relation tuples in ascending insertion order, binding
-///      A*'s terms against each tuple (ForEachHom's bucket iteration visits
-///      the same matching subsequence in the same order);
-///   3. for each successful binding, enumerate the remaining atoms with
-///      ForEachHom(remaining, constraints, fixed = binding) — identical
-///      recursion state, hence identical enumeration order.
+///      A*'s terms against each tuple (the compiled executor's bucket
+///      iteration visits the same matching subsequence in the same order);
+///   3. for each successful binding, run the remaining atoms through one
+///      plan compiled before the fan-out (bound set = A*'s variables) —
+///      the same steps the full-premise plan would take after A*, hence
+///      the same enumeration order.
 ///
 /// Step 2's candidate range is split into contiguous chunks with one output
 /// slot per chunk; slots are concatenated in chunk order, so the result is
@@ -24,8 +25,9 @@
 /// single-thread, and both identical to the historical sequential chase.
 ///
 /// Callers must not grow the instance while a collection is in flight;
-/// CollectTriggers prewarms the search indexes so the parallel section only
-/// reads.
+/// CollectTriggers prewarms the search indexes and compiles the shared
+/// remaining-premise plan before fanning out, so the parallel section only
+/// reads per-HomSearch state.
 
 #ifndef MAPINV_ENGINE_PARALLEL_CHASE_H_
 #define MAPINV_ENGINE_PARALLEL_CHASE_H_

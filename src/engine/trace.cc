@@ -13,6 +13,10 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
   d.chase_steps = now.chase_steps - then.chase_steps;
   d.hom_backtracks = now.hom_backtracks - then.hom_backtracks;
   d.hom_searches = now.hom_searches - then.hom_searches;
+  d.hom_plans_compiled = now.hom_plans_compiled - then.hom_plans_compiled;
+  d.hom_bucket_candidates =
+      now.hom_bucket_candidates - then.hom_bucket_candidates;
+  d.hom_slot_bindings = now.hom_slot_bindings - then.hom_slot_bindings;
   d.cache_hits = now.cache_hits - then.cache_hits;
   d.cache_misses = now.cache_misses - then.cache_misses;
   return d;
@@ -22,6 +26,9 @@ void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
   into.chase_steps += d.chase_steps;
   into.hom_backtracks += d.hom_backtracks;
   into.hom_searches += d.hom_searches;
+  into.hom_plans_compiled += d.hom_plans_compiled;
+  into.hom_bucket_candidates += d.hom_bucket_candidates;
+  into.hom_slot_bindings += d.hom_slot_bindings;
   into.cache_hits += d.cache_hits;
   into.cache_misses += d.cache_misses;
 }
@@ -40,6 +47,11 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
   out += "  chase_steps=" + std::to_string(span.stats.chase_steps);
   out += " hom_searches=" + std::to_string(span.stats.hom_searches);
   out += " hom_backtracks=" + std::to_string(span.stats.hom_backtracks);
+  out += " hom_plans_compiled=" +
+         std::to_string(span.stats.hom_plans_compiled);
+  out += " hom_bucket_candidates=" +
+         std::to_string(span.stats.hom_bucket_candidates);
+  out += " hom_slot_bindings=" + std::to_string(span.stats.hom_slot_bindings);
   out += " cache_hits=" + std::to_string(span.stats.cache_hits);
   out += " cache_misses=" + std::to_string(span.stats.cache_misses);
   out += "\n";
@@ -48,16 +60,25 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
   }
 }
 
+void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
+  out += "\"chase_steps\":" + std::to_string(stats.chase_steps);
+  out += ",\"hom_searches\":" + std::to_string(stats.hom_searches);
+  out += ",\"hom_backtracks\":" + std::to_string(stats.hom_backtracks);
+  out += ",\"hom_plans_compiled\":" +
+         std::to_string(stats.hom_plans_compiled);
+  out += ",\"hom_bucket_candidates\":" +
+         std::to_string(stats.hom_bucket_candidates);
+  out += ",\"hom_slot_bindings\":" + std::to_string(stats.hom_slot_bindings);
+  out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(stats.cache_misses);
+}
+
 void AppendJson(const TraceSpan& span, std::string& out) {
   out += "{\"name\":\"" + span.name + "\"";
   out += ",\"count\":" + std::to_string(span.count);
   out += ",\"wall_ms\":" + FormatMs(span.wall_ms);
   out += ",\"stats\":{";
-  out += "\"chase_steps\":" + std::to_string(span.stats.chase_steps);
-  out += ",\"hom_searches\":" + std::to_string(span.stats.hom_searches);
-  out += ",\"hom_backtracks\":" + std::to_string(span.stats.hom_backtracks);
-  out += ",\"cache_hits\":" + std::to_string(span.stats.cache_hits);
-  out += ",\"cache_misses\":" + std::to_string(span.stats.cache_misses);
+  AppendStatsJson(span.stats, out);
   out += "},\"children\":[";
   for (size_t i = 0; i < span.children.size(); ++i) {
     if (i > 0) out += ",";
@@ -137,12 +158,7 @@ std::string Tracer::ToJson() const {
   out += ",\"count\":" + std::to_string(summary.count);
   out += ",\"wall_ms\":" + FormatMs(summary.wall_ms);
   out += ",\"stats\":{";
-  out += "\"chase_steps\":" + std::to_string(summary.stats.chase_steps);
-  out += ",\"hom_searches\":" + std::to_string(summary.stats.hom_searches);
-  out +=
-      ",\"hom_backtracks\":" + std::to_string(summary.stats.hom_backtracks);
-  out += ",\"cache_hits\":" + std::to_string(summary.stats.cache_hits);
-  out += ",\"cache_misses\":" + std::to_string(summary.stats.cache_misses);
+  AppendStatsJson(summary.stats, out);
   out += "},\"children\":[";
   for (size_t i = 0; i < root_.children.size(); ++i) {
     if (i > 0) out += ",";

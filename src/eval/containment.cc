@@ -191,7 +191,8 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
   MAPINV_ASSIGN_OR_RETURN(Instance canonical,
                           Freeze(q1.atoms, q2.atoms, &frozen));
   ConjunctiveQuery q2_renamed = q2;
-  MAPINV_ASSIGN_OR_RETURN(AnswerSet answers, EvaluateCq(q2_renamed, canonical));
+  MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
+                          EvaluateCq(q2_renamed, canonical, stats));
   Tuple head;
   head.reserve(q1.head.size());
   for (VarId v : q1.head) {
@@ -246,7 +247,7 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
     head_tuple.push_back(it->second);
   }
   MAPINV_ASSIGN_OR_RETURN(AnswerSet answers,
-                          EvaluateDisjunct(head, d2, canonical));
+                          EvaluateDisjunct(head, d2, canonical, stats));
   return put(answers.Contains(head_tuple));
 }
 

@@ -1,16 +1,24 @@
 #include "eval/hom.h"
 
 #include <algorithm>
+#include <string>
 
 #include "engine/execution_options.h"
+#include "eval/hom_plan.h"
 
 namespace mapinv {
 
 namespace {
 
+// Smallest-bucket scans below this size are not worth intersecting with the
+// second-smallest bucket; the per-candidate slot checks are cheaper than the
+// merge.
+constexpr size_t kIntersectMinBucket = 32;
+
 // Checks the constraints that are decidable under the partial assignment:
 // a newly bound variable's constant requirement, and inequalities whose two
-// endpoints are both bound.
+// endpoints are both bound. (Reference interpreter only — the compiled path
+// fuses these checks into bind ops.)
 bool ConstraintsHold(const HomConstraints& constraints,
                      const Assignment& assignment) {
   for (VarId v : constraints.constant_vars) {
@@ -49,7 +57,249 @@ const HomSearch::RelationIndex& HomSearch::IndexFor(RelationId relation) const {
   return idx;
 }
 
+Result<std::shared_ptr<const HomPlan>> HomSearch::GetPlan(
+    const std::vector<Atom>& atoms, const HomConstraints& constraints,
+    const Assignment& fixed) const {
+  std::vector<VarId> bound_vars;
+  bound_vars.reserve(fixed.size());
+  for (const auto& [v, unused] : fixed) bound_vars.push_back(v);
+  return GetPlanForVars(atoms, constraints, std::move(bound_vars));
+}
+
+Result<std::shared_ptr<const HomPlan>> HomSearch::GetPlanForVars(
+    const std::vector<Atom>& atoms, const HomConstraints& constraints,
+    std::vector<VarId> bound_vars) const {
+  std::sort(bound_vars.begin(), bound_vars.end());
+  bound_vars.erase(std::unique(bound_vars.begin(), bound_vars.end()),
+                   bound_vars.end());
+  HomPlanKey key = BuildHomPlanKey(atoms, constraints, bound_vars);
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    auto it = plans_.find(key.hash);
+    if (it != plans_.end()) {
+      for (const std::shared_ptr<const HomPlan>& p : it->second) {
+        if (p->key == key) return p;
+      }
+    }
+  }
+  MAPINV_ASSIGN_OR_RETURN(
+      HomPlan plan, CompileHomPlan(instance_, atoms, constraints, bound_vars));
+  plan.key = std::move(key);
+  auto shared = std::make_shared<const HomPlan>(std::move(plan));
+  if (stats_ != nullptr) {
+    stats_->hom_plans_compiled.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  auto& bucket = plans_[shared->key.hash];
+  for (const std::shared_ptr<const HomPlan>& p : bucket) {
+    if (p->key == shared->key) return p;  // another thread compiled it first
+  }
+  bucket.push_back(shared);
+  return shared;
+}
+
 Status HomSearch::ForEachHom(
+    const std::vector<Atom>& atoms, const HomConstraints& constraints,
+    const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& callback) const {
+  MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<const HomPlan> plan,
+                          GetPlan(atoms, constraints, fixed));
+  return ForEachHomWithPlan(*plan, fixed, callback);
+}
+
+Status HomSearch::ForEachHomWithPlan(
+    const HomPlan& plan, const Assignment& fixed,
+    const std::function<bool(const Assignment&)>& callback) const {
+  return RunPlan(plan, fixed, &callback, nullptr);
+}
+
+Result<bool> HomSearch::ExistsHomWithPlan(const HomPlan& plan,
+                                          const Assignment& fixed) const {
+  bool found = false;
+  MAPINV_RETURN_NOT_OK(RunPlan(plan, fixed, nullptr, &found));
+  return found;
+}
+
+Status HomSearch::RunPlan(
+    const HomPlan& plan, const Assignment& fixed,
+    const std::function<bool(const Assignment&)>* callback,
+    bool* found) const {
+  // Resolve per-step tuple vectors and indexes up front; IndexFor also
+  // catches the index up if the instance grew since the last call.
+  // unordered_map mapped references are node-stable, so earlier StepCtx
+  // entries survive later IndexFor calls.
+  struct StepCtx {
+    const std::vector<Tuple>* tuples;
+    const std::vector<PositionIndex>* positions;
+  };
+  std::vector<StepCtx> ctx(plan.steps.size());
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const RelationIndex& idx = IndexFor(plan.steps[i].relation);
+    ctx[i].positions = &idx.positions;
+    ctx[i].tuples = &instance_.tuples(plan.steps[i].relation);
+  }
+
+  std::vector<Value> slots(plan.num_slots);
+  for (size_t i = 0; i < plan.fixed_vars.size(); ++i) {
+    auto it = fixed.find(plan.fixed_vars[i]);
+    if (it == fixed.end()) {
+      return Status::InvalidArgument(
+          "fixed assignment is missing variable v" +
+          std::to_string(plan.fixed_vars[i]) +
+          " that the plan was compiled with");
+    }
+    slots[plan.fixed_slots[i]] = it->second;
+  }
+
+  uint64_t rejected = 0;
+  uint64_t candidates = 0;
+  uint64_t bindings = 0;
+
+  bool init_ok = true;
+  for (uint16_t s : plan.init_constant_slots) {
+    if (!slots[s].is_constant()) init_ok = false;
+  }
+  for (const auto& [sa, sb] : plan.init_inequalities) {
+    if (slots[sa] == slots[sb]) init_ok = false;
+  }
+
+  if (init_ok) {
+    // Backtracking over the compiled order. With a static join order there
+    // is no unbinding: deeper steps only read statically-known slots, and
+    // re-entering a step overwrites its bind slots before they are read.
+    struct Executor {
+      const HomPlan& plan;
+      const std::vector<StepCtx>& ctx;
+      std::vector<Value>& slots;
+      const Assignment& fixed;
+      const std::function<bool(const Assignment&)>* callback;  // null: exists
+      bool* found;                                             // exists mode
+      std::vector<std::vector<uint32_t>>& scratch;
+      // The callback assignment is built lazily at the first match, so a
+      // search with no matches (and every exists-only search) never pays the
+      // hash-map copy of `fixed`.
+      Assignment out;
+      bool out_ready = false;
+      uint64_t rejected = 0;
+      uint64_t candidates = 0;
+      uint64_t bindings = 0;
+
+      // Returns false to stop the whole enumeration.
+      bool Run(size_t si) {
+        if (si == plan.steps.size()) {
+          if (callback == nullptr) {
+            *found = true;
+            return false;  // first match decides the existence check
+          }
+          if (!out_ready) {
+            out = fixed;
+            out_ready = true;
+          }
+          for (size_t k = 0; k < plan.emit_slots.size(); ++k) {
+            out.insert_or_assign(plan.emit_vars[k], slots[plan.emit_slots[k]]);
+          }
+          return (*callback)(out);
+        }
+        const HomPlan::Step& step = plan.steps[si];
+        const std::vector<Tuple>& tuples = *ctx[si].tuples;
+
+        // Candidate tuples: smallest index bucket over the bound positions,
+        // intersected with the second-smallest when the smallest is still
+        // large; full scan when nothing is bound. All buckets hold ascending
+        // tuple indexes, so the candidate order (and hence the enumeration
+        // order) does not depend on which bucket wins.
+        const std::vector<uint32_t>* bucket = nullptr;
+        if (!step.bound_positions.empty()) {
+          const std::vector<uint32_t>* smallest = nullptr;
+          const std::vector<uint32_t>* second = nullptr;
+          for (const HomPlan::BoundPos& bp : step.bound_positions) {
+            const Value v = bp.is_const ? bp.value : slots[bp.slot];
+            const auto& buckets = (*ctx[si].positions)[bp.pos].buckets;
+            auto it = buckets.find(v);
+            if (it == buckets.end()) return true;  // no candidates at all
+            const std::vector<uint32_t>* b = &it->second;
+            if (smallest == nullptr || b->size() < smallest->size()) {
+              second = smallest;
+              smallest = b;
+            } else if (second == nullptr || b->size() < second->size()) {
+              second = b;
+            }
+          }
+          if (second != nullptr && smallest->size() > kIntersectMinBucket) {
+            std::vector<uint32_t>& buf = scratch[si];
+            buf.clear();
+            std::set_intersection(smallest->begin(), smallest->end(),
+                                  second->begin(), second->end(),
+                                  std::back_inserter(buf));
+            bucket = &buf;
+          } else {
+            bucket = smallest;
+          }
+        }
+
+        const size_t n = bucket != nullptr ? bucket->size() : tuples.size();
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t ti =
+              bucket != nullptr ? (*bucket)[k] : static_cast<uint32_t>(k);
+          ++candidates;
+          const Tuple& tuple = tuples[ti];
+          bool ok = true;
+          for (const HomPlan::Op& op : step.ops) {
+            switch (op.kind) {
+              case HomPlan::Op::Kind::kCheckConst:
+                ok = (op.value == tuple[op.pos]);
+                break;
+              case HomPlan::Op::Kind::kCheckSlot:
+                ok = (slots[op.slot] == tuple[op.pos]);
+                break;
+              case HomPlan::Op::Kind::kBind: {
+                const Value v = tuple[op.pos];
+                if (op.must_be_constant && !v.is_constant()) {
+                  ok = false;
+                  break;
+                }
+                slots[op.slot] = v;
+                ++bindings;
+                for (uint16_t other : op.distinct_from) {
+                  if (slots[other] == v) {
+                    ok = false;
+                    break;
+                  }
+                }
+                break;
+              }
+            }
+            if (!ok) break;
+          }
+          if (!ok) {
+            ++rejected;
+            continue;
+          }
+          if (!Run(si + 1)) return false;
+        }
+        return true;
+      }
+    };
+
+    std::vector<std::vector<uint32_t>> scratch(plan.steps.size());
+    Executor exec{plan, ctx, slots, fixed, callback, found, scratch};
+    exec.Run(0);
+    rejected = exec.rejected;
+    candidates = exec.candidates;
+    bindings = exec.bindings;
+  }
+
+  if (stats_ != nullptr) {
+    stats_->hom_searches.fetch_add(1, std::memory_order_relaxed);
+    stats_->hom_backtracks.fetch_add(rejected, std::memory_order_relaxed);
+    stats_->hom_bucket_candidates.fetch_add(candidates,
+                                            std::memory_order_relaxed);
+    stats_->hom_slot_bindings.fetch_add(bindings, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status HomSearch::ForEachHomReference(
     const std::vector<Atom>& atoms, const HomConstraints& constraints,
     const Assignment& fixed,
     const std::function<bool(const Assignment&)>& callback) const {
@@ -135,6 +385,8 @@ Status HomSearch::ForEachHom(
       }
     }
     if (bucket == nullptr) {
+      // Full scan: the identity candidate list is materialized only on this
+      // no-position-bound path.
       all.resize(tuples.size());
       for (uint32_t i = 0; i < tuples.size(); ++i) all[i] = i;
       bucket = &all;
@@ -219,13 +471,9 @@ Status HomSearch::Prewarm(const std::vector<Atom>& atoms) const {
 Result<bool> HomSearch::ExistsHom(const std::vector<Atom>& atoms,
                                   const HomConstraints& constraints,
                                   const Assignment& fixed) const {
-  bool found = false;
-  MAPINV_RETURN_NOT_OK(ForEachHom(atoms, constraints, fixed,
-                                  [&](const Assignment&) {
-                                    found = true;
-                                    return false;  // stop
-                                  }));
-  return found;
+  MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<const HomPlan> plan,
+                          GetPlan(atoms, constraints, fixed));
+  return ExistsHomWithPlan(*plan, fixed);
 }
 
 Result<bool> InstanceHomExists(const Instance& from, const Instance& to) {
@@ -242,7 +490,7 @@ Result<bool> InstanceHomExists(const Instance& from, const Instance& to) {
     Atom a;
     a.relation = InternRelation(from.schema().name(f.relation));
     a.terms.reserve(f.tuple.size());
-    for (Value v : f.tuple) {
+    for (const Value& v : f.tuple) {
       if (v.is_constant()) {
         a.terms.push_back(Term::Const(v));
       } else {

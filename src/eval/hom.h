@@ -1,6 +1,6 @@
 /// \file hom.h
-/// \brief Backtracking homomorphism search from atom conjunctions into
-/// instances.
+/// \brief Homomorphism search from atom conjunctions into instances, running
+/// on compiled join plans.
 ///
 /// This is the workhorse shared by query evaluation, the chase (premise
 /// matching), CQ containment and instance homomorphism tests. A
@@ -13,11 +13,19 @@
 /// Atom arguments may be variables or constants (constants must match
 /// exactly); function terms are rejected — they never reach evaluation in
 /// any of the paper's algorithms.
+///
+/// ForEachHom compiles the conjunction into a HomPlan (see hom_plan.h) on
+/// first use and caches it under a content key, so repeated matching of the
+/// same rule pays join-order selection and constraint lowering once. The
+/// pre-plan interpreter is retained as ForEachHomReference for differential
+/// testing.
 
 #ifndef MAPINV_EVAL_HOM_H_
 #define MAPINV_EVAL_HOM_H_
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +37,7 @@
 namespace mapinv {
 
 struct ExecStats;
+struct HomPlan;
 
 /// A partial or total variable assignment.
 using Assignment = std::unordered_map<VarId, Value>;
@@ -57,6 +66,9 @@ class HomSearch {
   /// instance under `constraints`. The callback receives each total
   /// assignment; returning false stops the enumeration early.
   ///
+  /// Compiles (or fetches from the plan cache) a HomPlan for
+  /// (atoms, constraints, key set of `fixed`) and executes it.
+  ///
   /// Fails with kNotFound if an atom's relation is missing from the
   /// instance's schema, and with kMalformed on function-term arguments.
   Status ForEachHom(const std::vector<Atom>& atoms,
@@ -68,16 +80,57 @@ class HomSearch {
                          const HomConstraints& constraints,
                          const Assignment& fixed = {}) const;
 
+  /// Returns the cached plan for (atoms, constraints, keys of `fixed`),
+  /// compiling and caching it on a miss. Thread-safe; returned plans are
+  /// immutable and shared.
+  Result<std::shared_ptr<const HomPlan>> GetPlan(
+      const std::vector<Atom>& atoms, const HomConstraints& constraints,
+      const Assignment& fixed = {}) const;
+
+  /// Same, with the bound-variable set given directly (any order,
+  /// duplicates tolerated). Lets callers obtain a plan before the values of
+  /// the bound variables are known — e.g. the parallel chase compiles the
+  /// remaining-premise plan once, then executes it per candidate binding.
+  Result<std::shared_ptr<const HomPlan>> GetPlanForVars(
+      const std::vector<Atom>& atoms, const HomConstraints& constraints,
+      std::vector<VarId> bound_vars) const;
+
+  /// Executes a compiled plan. `fixed` must bind exactly the variables the
+  /// plan was compiled with (`plan.fixed_vars`); extra keys are copied into
+  /// the callback assignment but take no part in matching. The callback
+  /// contract matches ForEachHom.
+  Status ForEachHomWithPlan(
+      const HomPlan& plan, const Assignment& fixed,
+      const std::function<bool(const Assignment&)>& callback) const;
+
+  /// Existence check on a compiled plan. Equivalent to ForEachHomWithPlan
+  /// with a stop-at-first callback, but never materialises an Assignment —
+  /// the fast path for per-trigger conclusion checks, where the same plan
+  /// runs thousands of times and only the yes/no answer matters.
+  Result<bool> ExistsHomWithPlan(const HomPlan& plan,
+                                 const Assignment& fixed) const;
+
+  /// The pre-plan interpretive search, retained as the reference semantics
+  /// for differential testing (tests/hom_plan_test.cc). Same contract and
+  /// homomorphism set as ForEachHom; enumeration order may differ only
+  /// through the plan's cardinality tie-break.
+  Status ForEachHomReference(
+      const std::vector<Atom>& atoms, const HomConstraints& constraints,
+      const Assignment& fixed,
+      const std::function<bool(const Assignment&)>& callback) const;
+
   /// Validates `atoms` against the instance schema and builds the indexes
   /// for every relation they mention. After Prewarm, concurrent ForEachHom
   /// calls over the same atoms are safe as long as the instance does not
-  /// grow — the lazily built index structures are then only read. The
-  /// parallel chase prewarms before fanning trigger enumeration out.
+  /// grow — the lazily built index structures are then only read (the plan
+  /// cache takes its own lock). The parallel chase prewarms and compiles
+  /// plans before fanning trigger enumeration out.
   Status Prewarm(const std::vector<Atom>& atoms) const;
 
   /// Streams search counters (enumerations started, candidate tuples
-  /// rejected) into `stats`; nullptr disables. Counter updates are atomic,
-  /// so one sink may serve concurrent searches.
+  /// rejected, plans compiled, bucket candidates scanned, slot bindings)
+  /// into `stats`; nullptr disables. Counter updates are atomic, so one
+  /// sink may serve concurrent searches.
   void set_stats(ExecStats* stats) { stats_ = stats; }
 
  private:
@@ -94,9 +147,25 @@ class HomSearch {
 
   const RelationIndex& IndexFor(RelationId relation) const;
 
+  // Shared plan runner behind ForEachHomWithPlan and ExistsHomWithPlan.
+  // Callback mode (callback != nullptr) enumerates every match; exists mode
+  // (callback == nullptr) stops at the first full match, sets *found, and
+  // never materialises an Assignment.
+  Status RunPlan(const HomPlan& plan, const Assignment& fixed,
+                 const std::function<bool(const Assignment&)>* callback,
+                 bool* found) const;
+
   const Instance& instance_;
   ExecStats* stats_ = nullptr;
   mutable std::unordered_map<RelationId, RelationIndex> indexes_;
+
+  // Plan cache: key hash -> plans with that hash (full key compared to rule
+  // out collisions). Guarded by plans_mutex_ so concurrent searches after
+  // Prewarm stay safe.
+  mutable std::mutex plans_mutex_;
+  mutable std::unordered_map<size_t,
+                             std::vector<std::shared_ptr<const HomPlan>>>
+      plans_;
 };
 
 /// \brief True if there is a homomorphism from instance `from` into instance

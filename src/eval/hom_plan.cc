@@ -1,0 +1,246 @@
+#include "eval/hom_plan.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "eval/hom.h"
+
+namespace mapinv {
+
+namespace {
+
+// Key-word tags. Terms self-delimit (functions carry an arity word), atoms
+// carry a term count, so no two distinct inputs share a word sequence.
+constexpr uint64_t kSectionAtoms = 0xA1;
+constexpr uint64_t kSectionBound = 0xA2;
+constexpr uint64_t kSectionConstVars = 0xA3;
+constexpr uint64_t kSectionInequalities = 0xA4;
+
+void AppendTermWords(const Term& t, std::vector<uint64_t>* words) {
+  if (t.is_variable()) {
+    words->push_back((1ULL << 62) | t.var());
+  } else if (t.is_constant()) {
+    const Value v = t.value();
+    words->push_back((2ULL << 62) | (v.is_null() ? (1ULL << 40) : 0) | v.id());
+  } else {
+    words->push_back((3ULL << 62) | (static_cast<uint64_t>(t.args().size())
+                                     << 32) | t.fn());
+    for (const Term& a : t.args()) AppendTermWords(a, words);
+  }
+}
+
+}  // namespace
+
+HomPlanKey BuildHomPlanKey(const std::vector<Atom>& atoms,
+                           const HomConstraints& constraints,
+                           const std::vector<VarId>& bound_vars) {
+  HomPlanKey key;
+  key.words.push_back(kSectionAtoms);
+  key.words.push_back(atoms.size());
+  for (const Atom& a : atoms) {
+    key.words.push_back(a.relation);
+    key.words.push_back(a.terms.size());
+    for (const Term& t : a.terms) AppendTermWords(t, &key.words);
+  }
+  key.words.push_back(kSectionBound);
+  for (VarId v : bound_vars) key.words.push_back(v);
+  key.words.push_back(kSectionConstVars);
+  std::vector<VarId> const_vars(constraints.constant_vars.begin(),
+                                constraints.constant_vars.end());
+  std::sort(const_vars.begin(), const_vars.end());
+  for (VarId v : const_vars) key.words.push_back(v);
+  key.words.push_back(kSectionInequalities);
+  std::vector<uint64_t> neq;
+  neq.reserve(constraints.inequalities.size());
+  for (const VarPair& p : constraints.inequalities) {
+    neq.push_back((static_cast<uint64_t>(std::min(p.first, p.second)) << 32) |
+                  std::max(p.first, p.second));
+  }
+  std::sort(neq.begin(), neq.end());
+  key.words.insert(key.words.end(), neq.begin(), neq.end());
+
+  size_t seed = key.words.size();
+  for (uint64_t w : key.words) HashCombine(seed, std::hash<uint64_t>()(w));
+  key.hash = seed;
+  return key;
+}
+
+Result<HomPlan> CompileHomPlan(const Instance& instance,
+                               const std::vector<Atom>& atoms,
+                               const HomConstraints& constraints,
+                               const std::vector<VarId>& bound_vars) {
+  const Schema& schema = instance.schema();
+  HomPlan plan;
+
+  // Resolve relations and validate argument shapes (identical contract to
+  // the interpretive search: kNotFound for unknown relations, kMalformed for
+  // arity mismatches and function terms).
+  struct Pending {
+    const Atom* atom;
+    RelationId relation;
+    uint32_t index;
+    size_t cardinality;
+    bool placed = false;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const Atom& a = atoms[i];
+    MAPINV_ASSIGN_OR_RETURN(RelationId id,
+                            schema.Require(RelationText(a.relation)));
+    if (schema.arity(id) != a.terms.size()) {
+      return Status::Malformed("atom " + a.ToString() +
+                               " arity mismatch with instance schema");
+    }
+    for (const Term& t : a.terms) {
+      if (t.is_function()) {
+        return Status::Malformed("cannot match function term " + t.ToString() +
+                                 " against an instance");
+      }
+    }
+    pending.push_back(Pending{&a, id, static_cast<uint32_t>(i),
+                              instance.tuples(id).size()});
+  }
+
+  // Slot table: fixed variables first (callers pass them sorted), then atom
+  // variables in binding order. Slot existence below therefore means "bound
+  // at this point of the compile walk".
+  std::unordered_map<VarId, uint16_t> slot_of;
+  auto slot_for = [&](VarId v) {
+    auto [it, inserted] =
+        slot_of.emplace(v, static_cast<uint16_t>(plan.slot_vars.size()));
+    if (inserted) plan.slot_vars.push_back(v);
+    return it->second;
+  };
+  for (VarId v : bound_vars) {
+    plan.fixed_slots.push_back(slot_for(v));
+    plan.fixed_vars.push_back(v);
+  }
+  std::unordered_set<VarId> bound(bound_vars.begin(), bound_vars.end());
+
+  // Bind site of each slot: (step, op) ordinal, or kInitSite for fixed
+  // slots. Used to place each inequality check at its later-bound endpoint.
+  constexpr uint64_t kInitSite = 0;
+  std::vector<uint64_t> bind_site(plan.slot_vars.size(), kInitSite);
+
+  // Greedy static join order: most bound positions first; ties prefer the
+  // smaller relation (cardinality snapshotted now), then the earlier atom.
+  // "Bound" depends only on which variables previous steps introduced,
+  // never on runtime values, so this order is exact, not an estimate of the
+  // interpreter's dynamic most-bound rule.
+  while (plan.steps.size() < pending.size()) {
+    Pending* best = nullptr;
+    int best_bound = -1;
+    for (Pending& p : pending) {
+      if (p.placed) continue;
+      int b = 0;
+      for (const Term& t : p.atom->terms) {
+        if (t.is_constant() || bound.contains(t.var())) ++b;
+      }
+      if (b > best_bound ||
+          (b == best_bound && best != nullptr &&
+           p.cardinality < best->cardinality)) {
+        best_bound = b;
+        best = &p;
+      }
+    }
+    best->placed = true;
+
+    HomPlan::Step step;
+    step.relation = best->relation;
+    step.atom_index = best->index;
+    const std::vector<Term>& terms = best->atom->terms;
+    for (uint32_t pos = 0; pos < terms.size(); ++pos) {
+      const Term& t = terms[pos];
+      HomPlan::Op op;
+      op.pos = pos;
+      if (t.is_constant()) {
+        op.kind = HomPlan::Op::Kind::kCheckConst;
+        op.value = t.value();
+        HomPlan::BoundPos bp;
+        bp.pos = pos;
+        bp.is_const = true;
+        bp.value = t.value();
+        step.bound_positions.push_back(bp);
+      } else {
+        const VarId v = t.var();
+        auto it = slot_of.find(v);
+        if (it != slot_of.end()) {
+          op.kind = HomPlan::Op::Kind::kCheckSlot;
+          op.slot = it->second;
+          // Usable for bucket selection only if bound before the step
+          // starts scanning (not by an earlier position of this same atom).
+          if (bound.contains(v)) {
+            HomPlan::BoundPos bp;
+            bp.pos = pos;
+            bp.slot = it->second;
+            step.bound_positions.push_back(bp);
+          }
+        } else {
+          if (plan.slot_vars.size() >= 0xffff) {
+            return Status::Malformed(
+                "conjunction exceeds 65534 distinct variables");
+          }
+          op.kind = HomPlan::Op::Kind::kBind;
+          op.slot = slot_for(v);
+          op.must_be_constant = constraints.constant_vars.contains(v);
+          bind_site.push_back((static_cast<uint64_t>(plan.steps.size() + 1)
+                               << 32) | (pos + 1));
+        }
+      }
+      step.ops.push_back(std::move(op));
+    }
+    for (const Term& t : terms) {
+      if (t.is_variable()) bound.insert(t.var());
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  plan.num_slots = static_cast<uint16_t>(plan.slot_vars.size());
+
+  // Constant constraints on fixed variables are decidable at init (those on
+  // step-bound variables fused into their bind op above; those on variables
+  // never bound are vacuous, exactly as in the interpreter).
+  for (size_t i = 0; i < plan.fixed_vars.size(); ++i) {
+    if (constraints.constant_vars.contains(plan.fixed_vars[i])) {
+      plan.init_constant_slots.push_back(plan.fixed_slots[i]);
+    }
+  }
+
+  // Each inequality compiles into exactly one check at its later-bound
+  // endpoint (or an init check when both endpoints are fixed). A pair with
+  // a never-bound endpoint is vacuous — the interpreter only tests pairs
+  // with both endpoints assigned.
+  for (const VarPair& ne : constraints.inequalities) {
+    auto a = slot_of.find(ne.first);
+    auto b = slot_of.find(ne.second);
+    if (a == slot_of.end() || b == slot_of.end()) continue;
+    const uint64_t site_a = bind_site[a->second];
+    const uint64_t site_b = bind_site[b->second];
+    if (site_a == kInitSite && site_b == kInitSite) {
+      plan.init_inequalities.emplace_back(a->second, b->second);
+      continue;
+    }
+    // Attach to the later site; on a tie (x != x, one bind op) the slot
+    // compares against itself and rejects every binding, matching the
+    // interpreter.
+    const uint16_t later = site_a >= site_b ? a->second : b->second;
+    const uint16_t other = site_a >= site_b ? b->second : a->second;
+    const uint64_t site = std::max(site_a, site_b);
+    HomPlan::Step& step = plan.steps[(site >> 32) - 1];
+    HomPlan::Op& op = step.ops[(site & 0xffffffff) - 1];
+    op.distinct_from.push_back(later == op.slot ? other : later);
+  }
+
+  // Callback conversion table: everything bound by a step (fixed variables
+  // are already present in the caller's assignment).
+  for (uint16_t s = static_cast<uint16_t>(plan.fixed_slots.size());
+       s < plan.num_slots; ++s) {
+    plan.emit_slots.push_back(s);
+    plan.emit_vars.push_back(plan.slot_vars[s]);
+  }
+  return plan;
+}
+
+}  // namespace mapinv

@@ -38,7 +38,7 @@ std::vector<Atom> InstanceAsAtoms(
     Atom a;
     a.relation = InternRelation(instance.schema().name(f.relation));
     a.terms.reserve(f.tuple.size());
-    for (Value v : f.tuple) {
+    for (const Value& v : f.tuple) {
       if (v.is_constant()) {
         a.terms.push_back(Term::Const(v));
       } else {
@@ -61,7 +61,8 @@ std::vector<Atom> InstanceAsAtoms(
 // on success.
 Result<bool> FindFoldingEndomorphism(
     const Instance& instance, Value target_null,
-    std::unordered_map<Value, Value, ValueHash>* out_map) {
+    std::unordered_map<Value, Value, ValueHash>* out_map,
+    ExecStats* stats = nullptr) {
   std::unordered_map<Value, VarId, ValueHash> null_vars;
   std::vector<Atom> atoms = InstanceAsAtoms(instance, &null_vars);
   // An image fact avoids `target_null` iff it lives in the sub-instance of
@@ -70,7 +71,7 @@ Result<bool> FindFoldingEndomorphism(
   Instance restricted(instance.schema_ptr());
   for (const Fact& f : instance.AllFacts()) {
     bool mentions = false;
-    for (Value v : f.tuple) {
+    for (const Value& v : f.tuple) {
       if (v == target_null) mentions = true;
     }
     if (!mentions) {
@@ -80,6 +81,7 @@ Result<bool> FindFoldingEndomorphism(
     }
   }
   HomSearch search(restricted);
+  search.set_stats(stats);
   bool found = false;
   MAPINV_RETURN_NOT_OK(search.ForEachHom(
       atoms, HomConstraints{}, Assignment{}, [&](const Assignment& h) {
@@ -100,7 +102,7 @@ Instance ApplyValueMap(
   for (const Fact& f : instance.AllFacts()) {
     Tuple t;
     t.reserve(f.tuple.size());
-    for (Value v : f.tuple) {
+    for (const Value& v : f.tuple) {
       auto it = map.find(v);
       t.push_back(it == map.end() ? v : it->second);
     }
@@ -128,7 +130,8 @@ Result<Instance> CoreOfInstance(const Instance& instance, ExecStats* stats) {
     for (Value null_value : nulls) {
       std::unordered_map<Value, Value, ValueHash> map;
       MAPINV_ASSIGN_OR_RETURN(
-          bool found, FindFoldingEndomorphism(current, null_value, &map));
+          bool found,
+          FindFoldingEndomorphism(current, null_value, &map, stats));
       if (found) {
         current = ApplyValueMap(current, map);
         changed = true;

@@ -17,8 +17,9 @@ bool AnswerSet::SubsetOf(const AnswerSet& other) const {
 AnswerSet AnswerSet::CertainOnly() const {
   AnswerSet out;
   for (const Tuple& t : tuples) {
-    bool null_free = std::all_of(t.begin(), t.end(),
-                                 [](Value v) { return v.is_constant(); });
+    bool null_free = std::all_of(t.begin(), t.end(), [](const Value& v) {
+      return v.is_constant();
+    });
     if (null_free) out.tuples.push_back(t);
   }
   return out;
@@ -53,8 +54,9 @@ AnswerSet MakeAnswerSet(std::vector<Tuple> tuples) {
 }
 
 Result<AnswerSet> EvaluateCq(const ConjunctiveQuery& query,
-                             const Instance& instance) {
+                             const Instance& instance, ExecStats* stats) {
   HomSearch search(instance);
+  search.set_stats(stats);
   std::vector<Tuple> raw;
   MAPINV_RETURN_NOT_OK(search.ForEachHom(
       query.atoms, HomConstraints{}, Assignment{},
@@ -70,7 +72,7 @@ Result<AnswerSet> EvaluateCq(const ConjunctiveQuery& query,
 
 Result<AnswerSet> EvaluateDisjunct(const std::vector<VarId>& head,
                                    const CqDisjunct& disjunct,
-                                   const Instance& instance) {
+                                   const Instance& instance, ExecStats* stats) {
   // Merge equality classes of head variables: pick the first-mentioned head
   // variable of each class as representative and rewrite the atoms.
   std::map<VarId, VarId> rep;
@@ -115,6 +117,7 @@ Result<AnswerSet> EvaluateDisjunct(const std::vector<VarId>& head,
   }
 
   HomSearch search(instance);
+  search.set_stats(stats);
   std::vector<Tuple> raw;
   MAPINV_RETURN_NOT_OK(search.ForEachHom(
       atoms, constraints, Assignment{}, [&](const Assignment& h) {
@@ -132,11 +135,11 @@ Result<AnswerSet> EvaluateDisjunct(const std::vector<VarId>& head,
 }
 
 Result<AnswerSet> EvaluateUnionCq(const UnionCq& query,
-                                  const Instance& instance) {
+                                  const Instance& instance, ExecStats* stats) {
   std::vector<Tuple> raw;
   for (const CqDisjunct& d : query.disjuncts) {
     MAPINV_ASSIGN_OR_RETURN(AnswerSet part,
-                            EvaluateDisjunct(query.head, d, instance));
+                            EvaluateDisjunct(query.head, d, instance, stats));
     raw.insert(raw.end(), part.tuples.begin(), part.tuples.end());
   }
   return MakeAnswerSet(std::move(raw));

@@ -20,6 +20,8 @@
 
 namespace mapinv {
 
+struct ExecStats;
+
 /// \brief A deduplicated, deterministic (sorted) set of answer tuples.
 struct AnswerSet {
   std::vector<Tuple> tuples;
@@ -42,8 +44,10 @@ struct AnswerSet {
 AnswerSet MakeAnswerSet(std::vector<Tuple> tuples);
 
 /// Evaluates a conjunctive query over an instance (naive semantics).
+/// `stats` (optional) receives the homomorphism-search counters.
 Result<AnswerSet> EvaluateCq(const ConjunctiveQuery& query,
-                             const Instance& instance);
+                             const Instance& instance,
+                             ExecStats* stats = nullptr);
 
 /// Evaluates one UCQ= / UCQ≠ disjunct with the given head. Equalities merge
 /// head variables into representative classes before matching, exactly as
@@ -57,11 +61,13 @@ Result<AnswerSet> EvaluateCq(const ConjunctiveQuery& query,
 /// recovered instances are null-free).
 Result<AnswerSet> EvaluateDisjunct(const std::vector<VarId>& head,
                                    const CqDisjunct& disjunct,
-                                   const Instance& instance);
+                                   const Instance& instance,
+                                   ExecStats* stats = nullptr);
 
 /// Evaluates a UCQ= (union of the disjunct answers).
 Result<AnswerSet> EvaluateUnionCq(const UnionCq& query,
-                                  const Instance& instance);
+                                  const Instance& instance,
+                                  ExecStats* stats = nullptr);
 
 }  // namespace mapinv
 

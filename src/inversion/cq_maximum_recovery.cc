@@ -18,7 +18,7 @@ Result<ReverseMapping> CqMaximumRecovery(
                           MaximumRecovery(mapping, inner));
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_double_prime,
                           EliminateEqualities(sigma_prime, inner));
-  return EliminateDisjunctions(sigma_double_prime, inner);
+  return EliminateDisjunctions(std::move(sigma_double_prime), inner);
 }
 
 }  // namespace mapinv

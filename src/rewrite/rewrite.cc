@@ -32,10 +32,21 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
 Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
                                   const ConjunctiveQuery& target_query,
                                   const ExecutionOptions& options) {
+  MAPINV_ASSIGN_OR_RETURN(SourceRewriter rewriter,
+                          SourceRewriter::Prepare(mapping));
+  return rewriter.Rewrite(target_query, options);
+}
+
+Result<SourceRewriter> SourceRewriter::Prepare(const TgdMapping& mapping) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
-  MAPINV_RETURN_NOT_OK(target_query.Validate(*mapping.target));
-  SOTgd skolemized = SkolemizeTgds(mapping.tgds, SkolemArgs::kFrontierVars);
-  return RewriteAgainstRules(skolemized, target_query, options);
+  return SourceRewriter(SkolemizeTgds(mapping.tgds, SkolemArgs::kFrontierVars),
+                        mapping.target);
+}
+
+Result<UnionCq> SourceRewriter::Rewrite(const ConjunctiveQuery& target_query,
+                                        const ExecutionOptions& options) const {
+  MAPINV_RETURN_NOT_OK(target_query.Validate(*target_));
+  return RewriteAgainstRules(skolemized_, target_query, options);
 }
 
 Result<UnionCq> RewriteOverSourceSO(const SOTgdMapping& mapping,

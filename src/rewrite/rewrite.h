@@ -36,6 +36,28 @@ Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,
                                   const ConjunctiveQuery& target_query,
                                   const ExecutionOptions& options = {});
 
+/// \brief Reusable rewriter over one mapping: validates and Skolemises the
+/// tgds once, then rewrites any number of target queries against the same
+/// rule set. MaximumRecovery rewrites one query per tgd — preparing once
+/// replaces its per-query re-validation and re-Skolemisation of the whole
+/// mapping (quadratic in mapping size) with a single pass.
+class SourceRewriter {
+ public:
+  static Result<SourceRewriter> Prepare(const TgdMapping& mapping);
+
+  /// Same contract as RewriteOverSource for a query over the prepared
+  /// mapping's target schema.
+  Result<UnionCq> Rewrite(const ConjunctiveQuery& target_query,
+                          const ExecutionOptions& options = {}) const;
+
+ private:
+  SourceRewriter(SOTgd skolemized, std::shared_ptr<const Schema> target)
+      : skolemized_(std::move(skolemized)), target_(std::move(target)) {}
+
+  SOTgd skolemized_;
+  std::shared_ptr<const Schema> target_;
+};
+
 /// \brief Rewriting over an arbitrary plain SO-tgd mapping: the same
 /// resolution engine against rule heads with (shared) function terms. A
 /// function symbol used by several rules identifies their invented values,

@@ -307,6 +307,31 @@ TEST(ParallelChaseTest, CollectTriggersPreservesForEachHomOrder) {
   }
 }
 
+// Plan compilation happens once, before the fan-out: repeated multi-threaded
+// collections over the same premise reuse the cached remaining-atoms plan
+// instead of compiling per worker (or per call).
+TEST(ParallelChaseTest, CollectTriggersCompilesRemainingPlanOnce) {
+  TgdMapping mapping =
+      ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)").ValueOrDie();
+  Instance source = GenerateInstance(*mapping.source, 40, 6, 7);
+  const std::vector<Atom>& premise = mapping.tgds[0].premise;
+
+  HomSearch search(source);
+  ExecStats stats;
+  search.set_stats(&stats);
+  ExecutionOptions options;
+  options.threads = 4;
+  ExecDeadline deadline(0);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(CollectTriggers(search, source, premise, HomConstraints{},
+                                options, deadline)
+                    .ok());
+  }
+  // One remaining-atoms plan, compiled before the first fan-out and cached
+  // across rounds and across worker threads.
+  EXPECT_EQ(stats.hom_plans_compiled.load(), 1u);
+}
+
 TEST(ParallelChaseTest, CollectTriggersEmptyPremiseYieldsOneEmptyTrigger) {
   Instance instance{std::make_shared<Schema>(Schema{{"R", 2}})};
   HomSearch search(instance);
@@ -669,6 +694,9 @@ TEST(TraceTest, TopLevelSpanStatsSumToEngineTotals) {
     sum.hom_backtracks += child->stats.hom_backtracks;
     sum.cache_hits += child->stats.cache_hits;
     sum.cache_misses += child->stats.cache_misses;
+    sum.hom_plans_compiled += child->stats.hom_plans_compiled;
+    sum.hom_bucket_candidates += child->stats.hom_bucket_candidates;
+    sum.hom_slot_bindings += child->stats.hom_slot_bindings;
   }
   const ExecStatsSnapshot total = engine.stats().Snapshot();
   EXPECT_EQ(sum.chase_steps, total.chase_steps);
@@ -676,6 +704,9 @@ TEST(TraceTest, TopLevelSpanStatsSumToEngineTotals) {
   EXPECT_EQ(sum.hom_backtracks, total.hom_backtracks);
   EXPECT_EQ(sum.cache_hits, total.cache_hits);
   EXPECT_EQ(sum.cache_misses, total.cache_misses);
+  EXPECT_EQ(sum.hom_plans_compiled, total.hom_plans_compiled);
+  EXPECT_EQ(sum.hom_bucket_candidates, total.hom_bucket_candidates);
+  EXPECT_EQ(sum.hom_slot_bindings, total.hom_slot_bindings);
 }
 
 // ToJson emits one syntactically well-formed JSON object line (balanced

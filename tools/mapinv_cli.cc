@@ -259,6 +259,10 @@ std::string StatsJson(const ExecStats& stats) {
   out += "\"chase_steps\":" + std::to_string(s.chase_steps);
   out += ",\"hom_searches\":" + std::to_string(s.hom_searches);
   out += ",\"hom_backtracks\":" + std::to_string(s.hom_backtracks);
+  out += ",\"hom_plans_compiled\":" + std::to_string(s.hom_plans_compiled);
+  out +=
+      ",\"hom_bucket_candidates\":" + std::to_string(s.hom_bucket_candidates);
+  out += ",\"hom_slot_bindings\":" + std::to_string(s.hom_slot_bindings);
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
   out += "}";
