@@ -10,15 +10,19 @@
 #define MAPINV_BASE_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace mapinv {
 
 /// \brief A thread-safe append-only string <-> id bijection.
+///
+/// Texts live in a deque, so their addresses are stable for the interner's
+/// lifetime: Text() can hand out views without copying under the lock, and
+/// the id map keys alias the stored strings instead of duplicating them.
 class Interner {
  public:
   Interner() = default;
@@ -28,25 +32,33 @@ class Interner {
   /// Returns the id for `text`, inserting it if new.
   uint32_t Intern(std::string_view text) {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = ids_.find(std::string(text));
+    auto it = ids_.find(text);
     if (it != ids_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(texts_.size());
     texts_.emplace_back(text);
-    ids_.emplace(texts_.back(), id);
+    ids_.emplace(std::string_view(texts_.back()), id);
     return id;
   }
 
-  /// Returns the text for a previously interned id.
-  std::string Text(uint32_t id) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (id >= texts_.size()) return "<bad-id:" + std::to_string(id) + ">";
-    return texts_[id];
+  /// Returns the text for a previously interned id. The view is valid for
+  /// the interner's lifetime (texts are append-only with stable addresses);
+  /// no copy, no lock contention beyond a bounds check. Unknown ids render a
+  /// "<bad-id:N>" diagnostic backed by thread-local storage, valid until the
+  /// calling thread's next bad-id lookup.
+  std::string_view Text(uint32_t id) const {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (id < texts_.size()) return texts_[id];
+    }
+    thread_local std::string bad;
+    bad = "<bad-id:" + std::to_string(id) + ">";
+    return bad;
   }
 
   /// Returns the id for `text` if present, or UINT32_MAX otherwise.
   uint32_t Lookup(std::string_view text) const {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = ids_.find(std::string(text));
+    auto it = ids_.find(text);
     return it == ids_.end() ? UINT32_MAX : it->second;
   }
 
@@ -56,9 +68,18 @@ class Interner {
   }
 
  private:
+  /// Heterogeneous lookup so find(string_view) needs no temporary string.
+  struct TextHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+
   mutable std::mutex mu_;
-  std::vector<std::string> texts_;
-  std::unordered_map<std::string, uint32_t> ids_;
+  std::deque<std::string> texts_;  // deque: stable element addresses
+  std::unordered_map<std::string_view, uint32_t, TextHash, std::equal_to<>>
+      ids_;
 };
 
 }  // namespace mapinv

@@ -29,6 +29,29 @@ using VarId = uint32_t;
 /// Identifier of a function symbol in the global function pool.
 using FunctionId = uint32_t;
 
+/// Ids with this bit set are *synthetic*: generated fresh symbols whose
+/// (prefix, ordinal) pair lives in an append-only side table instead of the
+/// string interner. Fresh symbols are generated once and never looked up by
+/// text again, so routing them through the interner paid a hash, a heap
+/// string and an ever-growing hash table per symbol — the side table is a
+/// plain append. Their names ("?<prefix><n>", "<prefix>%<n>") are rebuilt on
+/// demand by VarName / FunctionName; re-parsing a printed name goes through
+/// the regular interner and yields a distinct (but consistently distinct)
+/// id, which is sound because variable identity is always relative to the
+/// formula it appears in and BumpPast keeps generated ordinals ahead of
+/// anything the parser has seen.
+inline constexpr uint32_t kSyntheticIdBit = 0x80000000u;
+
+/// Registers `prefix` in the synthetic-variable prefix registry (tiny; one
+/// entry per distinct generator prefix) and returns its id.
+uint32_t SyntheticVarPrefixId(std::string_view prefix);
+/// Appends a synthetic variable (prefix, ordinal) entry; returns its VarId
+/// (kSyntheticIdBit | index).
+VarId MakeSyntheticVar(uint32_t prefix_id, uint64_t ordinal);
+/// Same registry/side table pair for function symbols.
+uint32_t SyntheticFunctionPrefixId(std::string_view prefix);
+FunctionId MakeSyntheticFunction(uint32_t prefix_id, uint64_t ordinal);
+
 /// Pool of variable names.
 Interner& VariablePool();
 /// Pool of constant spellings (used by data/value.h).
@@ -52,8 +75,9 @@ std::string FunctionName(FunctionId f);
 using RelName = uint32_t;
 /// Interns a relation name.
 RelName InternRelation(std::string_view name);
-/// Returns a relation name's text.
-std::string RelationText(RelName r);
+/// Returns a relation name's text as a view into the pool (valid for the
+/// process lifetime; no copy — this is the chase/eval hot-path accessor).
+std::string_view RelationText(RelName r);
 
 /// \brief Generates fresh variables "?<prefix><n>" from a SymbolContext
 /// (the process-global context when none is given).
@@ -64,12 +88,14 @@ class FreshVarGen {
  public:
   explicit FreshVarGen(std::string prefix = "v",
                        SymbolContext* context = nullptr)
-      : prefix_(std::move(prefix)),
+      : prefix_id_(SyntheticVarPrefixId(prefix)),
         context_(context != nullptr ? context : &SymbolContext::Global()) {}
 
-  /// Returns a variable this context has never issued before.
+  /// Returns a variable this context has never issued before. Costs one
+  /// atomic increment and one side-table append — no string is built and the
+  /// interner is never touched.
   VarId Next() {
-    return InternVar("?" + prefix_ + std::to_string(context_->NextVarOrdinal()));
+    return MakeSyntheticVar(prefix_id_, context_->NextVarOrdinal());
   }
 
   /// Ensures future Next() calls on the *global* context use numbers
@@ -79,7 +105,7 @@ class FreshVarGen {
   static void BumpPast(uint64_t n) { SymbolContext::Global().BumpVarPast(n); }
 
  private:
-  std::string prefix_;
+  uint32_t prefix_id_;
   SymbolContext* context_;
 };
 
@@ -89,16 +115,15 @@ class FreshFunctionGen {
  public:
   explicit FreshFunctionGen(std::string prefix = "sk",
                             SymbolContext* context = nullptr)
-      : prefix_(std::move(prefix)),
+      : prefix_id_(SyntheticFunctionPrefixId(prefix)),
         context_(context != nullptr ? context : &SymbolContext::Global()) {}
 
   FunctionId Next() {
-    return InternFunction(prefix_ + "%" +
-                          std::to_string(context_->NextFunctionOrdinal()));
+    return MakeSyntheticFunction(prefix_id_, context_->NextFunctionOrdinal());
   }
 
  private:
-  std::string prefix_;
+  uint32_t prefix_id_;
   SymbolContext* context_;
 };
 

@@ -3,9 +3,11 @@
 #include <memory>
 #include <unordered_set>
 
+#include "chase/fire_plan.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
+#include "eval/hom_plan.h"
 
 namespace mapinv {
 
@@ -20,8 +22,12 @@ bool EqualitiesHold(const ReverseDisjunct& disjunct, const Assignment& h) {
   return true;
 }
 
-// One chase world: a heap-stable instance plus an incremental search over
-// it (HomSearch indexes catch up as the instance grows).
+// One chase world: a heap-stable instance plus a search over it. Forking a
+// world is a copy-on-write snapshot — the fork shares every relation store
+// (arena, dedup table, value index) with its parent until one of them
+// writes, so linear lineages never copy tuples and branching copies only
+// the relations a branch actually extends. The fresh HomSearch is free: the
+// indexes it reads are owned by the (shared) instance stores.
 struct WorldState {
   std::unique_ptr<Instance> instance;
   std::unique_ptr<HomSearch> search;
@@ -34,39 +40,70 @@ struct WorldState {
     search->set_stats(stats);
   }
 
-  WorldState Fork() const { return WorldState(*instance, stats); }
+  WorldState Fork() const {
+    if (stats != nullptr) {
+      stats->worlds_forked.fetch_add(1, std::memory_order_relaxed);
+    }
+    return WorldState(instance->Fork(), stats);
+  }
 };
 
-// True if the disjunct is already satisfied in the world by an extension of
-// the trigger bindings restricted to the variables the disjunct shares with
-// the premise. `dvars` is the disjunct's distinct-variable list, collected
-// once per dependency.
-Result<bool> DisjunctSatisfied(const ReverseDisjunct& disjunct,
-                               const std::vector<VarId>& dvars,
-                               const Assignment& h, const WorldState& world) {
-  Assignment fixed;
-  for (VarId v : dvars) {
-    auto it = h.find(v);
-    if (it != h.end()) fixed.emplace(v, it->second);
+// Per-disjunct execution state, compiled once per dependency and shared by
+// every world and every trigger:
+//   * shared_vars — the disjunct's variables also bound by the premise (the
+//     fixed set of the satisfaction check),
+//   * ex_vars     — the remaining disjunct variables, in first-occurrence
+//     order (fresh nulls are drawn in exactly this order when firing),
+//   * sat_plan    — the satisfaction-check join plan, compiled once and run
+//     on any world via ExistsHomWithPlan (plans are instance-independent;
+//     per-world plan caches would recompile it per fork),
+//   * fire_atoms  — conclusion atoms with relations resolved to ids.
+struct DisjunctExec {
+  std::vector<VarId> shared_vars;
+  std::vector<VarId> ex_vars;
+  std::shared_ptr<const HomPlan> sat_plan;
+  std::vector<FireAtom> fire_atoms;
+};
+
+Result<DisjunctExec> CompileDisjunct(const ReverseDisjunct& disjunct,
+                                     const std::vector<VarId>& premise_vars,
+                                     const WorldState& seed_world,
+                                     const Schema& target_schema,
+                                     bool oblivious) {
+  DisjunctExec exec;
+  const std::unordered_set<VarId> premise_set(premise_vars.begin(),
+                                              premise_vars.end());
+  for (VarId v : CollectDistinctVars(disjunct.atoms)) {
+    if (premise_set.contains(v)) {
+      exec.shared_vars.push_back(v);
+    } else {
+      exec.ex_vars.push_back(v);
+    }
   }
-  return world.search->ExistsHom(disjunct.atoms, HomConstraints{}, fixed);
+  if (!oblivious) {
+    MAPINV_ASSIGN_OR_RETURN(
+        exec.sat_plan,
+        seed_world.search->GetPlanForVars(disjunct.atoms, HomConstraints{},
+                                          exec.shared_vars));
+  }
+  MAPINV_ASSIGN_OR_RETURN(
+      exec.fire_atoms,
+      CompileFireAtoms(disjunct.atoms, target_schema, exec.ex_vars));
+  return exec;
 }
 
 // Adds the instantiated disjunct atoms to `world`; existential variables get
-// fresh nulls.
-Status FireDisjunct(const ReverseDisjunct& disjunct,
-                    const std::vector<VarId>& dvars, const Assignment& h,
-                    Instance* world, size_t* created, SymbolContext& symbols) {
-  Assignment extended = h;
-  for (VarId v : dvars) {
-    if (!extended.contains(v)) extended.emplace(v, Value::FreshNull(symbols));
+// fresh nulls (in ex_vars order).
+Status FireDisjunct(const DisjunctExec& exec, const Assignment& h,
+                    Instance* world, size_t* created, SymbolContext& symbols,
+                    std::vector<Value>* fresh, std::vector<Value>* scratch) {
+  fresh->clear();
+  for (size_t i = 0; i < exec.ex_vars.size(); ++i) {
+    fresh->push_back(Value::FreshNull(symbols));
   }
-  for (const Atom& atom : disjunct.atoms) {
-    Tuple t;
-    t.reserve(atom.terms.size());
-    for (const Term& term : atom.terms) t.push_back(extended.at(term.var()));
-    MAPINV_ASSIGN_OR_RETURN(
-        bool added, world->Add(RelationText(atom.relation), std::move(t)));
+  for (const FireAtom& fa : exec.fire_atoms) {
+    BuildFireRow(fa, h, *fresh, scratch);
+    MAPINV_ASSIGN_OR_RETURN(bool added, world->AddRow(fa.relation, *scratch));
     if (added) ++*created;
   }
   return Status::OK();
@@ -90,17 +127,25 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   std::vector<WorldState> worlds;
   worlds.emplace_back(Instance(mapping.target), options.stats);
   size_t created = 0;
+  std::vector<Value> fresh;
+  std::vector<Value> scratch;
   for (const ReverseDependency& dep : mapping.deps) {
     HomConstraints constraints;
     constraints.constant_vars.insert(dep.constant_vars.begin(),
                                      dep.constant_vars.end());
     constraints.inequalities = dep.inequalities;
-    // Collected once per dependency; DisjunctSatisfied/FireDisjunct run per
-    // trigger per world.
-    std::vector<std::vector<VarId>> disjunct_vars;
-    disjunct_vars.reserve(dep.disjuncts.size());
+    // Compiled once per dependency: satisfaction plans and fire programs are
+    // shared across all worlds and triggers (plans are instance-independent,
+    // and every world has the same target schema).
+    const std::vector<VarId> premise_vars = CollectDistinctVars(dep.premise);
+    std::vector<DisjunctExec> disjunct_exec;
+    disjunct_exec.reserve(dep.disjuncts.size());
     for (const ReverseDisjunct& d : dep.disjuncts) {
-      disjunct_vars.push_back(CollectDistinctVars(d.atoms));
+      MAPINV_ASSIGN_OR_RETURN(
+          DisjunctExec exec,
+          CompileDisjunct(d, premise_vars, worlds.front(), *mapping.target,
+                          options.oblivious));
+      disjunct_exec.push_back(std::move(exec));
     }
     std::vector<Assignment> triggers;
     {
@@ -110,6 +155,7 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
                                     options, deadline));
     }
     ScopedTraceSpan fire_span(options, "fire");
+    std::vector<Value> fixed_values;  // ordered as the sat plan demands
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
         return PhaseExhausted("chase_reverse",
@@ -130,9 +176,14 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         if (!options.oblivious) {
           bool satisfied = false;
           for (size_t di : applicable) {
+            const DisjunctExec& exec = disjunct_exec[di];
+            fixed_values.clear();
+            for (VarId v : exec.sat_plan->fixed_vars) {
+              fixed_values.push_back(h.at(v));
+            }
             MAPINV_ASSIGN_OR_RETURN(
-                bool sat, DisjunctSatisfied(dep.disjuncts[di],
-                                            disjunct_vars[di], h, world));
+                bool sat, world.search->ExistsHomWithPlanValues(*exec.sat_plan,
+                                                                fixed_values));
             if (sat) {
               satisfied = true;
               break;
@@ -144,15 +195,16 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
           }
         }
         // The last applicable disjunct reuses the world in place; earlier
-        // ones fork a copy.
+        // ones fork a snapshot (copy-on-write: only relations the branch
+        // later writes get copied).
         for (size_t ai = 0; ai < applicable.size(); ++ai) {
           const size_t di = applicable[ai];
           WorldState fork = (ai + 1 == applicable.size())
                                 ? std::move(world)
                                 : world.Fork();
-          MAPINV_RETURN_NOT_OK(
-              FireDisjunct(dep.disjuncts[di], disjunct_vars[di], h,
-                           fork.instance.get(), &created, symbols));
+          MAPINV_RETURN_NOT_OK(FireDisjunct(disjunct_exec[di], h,
+                                            fork.instance.get(), &created,
+                                            symbols, &fresh, &scratch));
           if (created > options.max_new_facts) {
             return PhaseExhausted("chase_reverse",
                                   "exceeded max_new_facts = " +
@@ -173,6 +225,11 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   std::vector<Instance> out;
   out.reserve(worlds.size());
   for (WorldState& world : worlds) out.push_back(std::move(*world.instance));
+  if (options.stats != nullptr) {
+    uint64_t bytes = 0;
+    for (const Instance& world : out) bytes += world.ArenaBytes();
+    options.stats->ObserveArenaBytes(bytes);
+  }
   return out;
 }
 

@@ -84,6 +84,7 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   HomSearch search(source);
   search.set_stats(options.stats);
   size_t created = 0;
+  std::vector<Value> scratch;  // reused row buffer for AddRow
   for (const SORule& rule : mapping.so.rules) {
     // Parallel trigger collection; the Skolem-firing phase stays sequential
     // so null labels are assigned in the canonical trigger order.
@@ -95,6 +96,17 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
                                     HomConstraints{}, options, deadline));
     }
     ScopedTraceSpan fire_span(options, "fire");
+    // Conclusion relations resolved to ids once per rule, not per fired
+    // fact (the terms themselves still evaluate per trigger — they may
+    // contain Skolem applications over the trigger bindings).
+    std::vector<RelationId> conclusion_rels;
+    conclusion_rels.reserve(rule.conclusion.size());
+    for (const Atom& atom : rule.conclusion) {
+      MAPINV_ASSIGN_OR_RETURN(
+          RelationId rel,
+          target.schema().Require(RelationText(atom.relation)));
+      conclusion_rels.push_back(rel);
+    }
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
         return PhaseExhausted("chase_so",
@@ -104,16 +116,16 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
-      for (const Atom& atom : rule.conclusion) {
-        Tuple t;
-        t.reserve(atom.terms.size());
+      for (size_t ai = 0; ai < rule.conclusion.size(); ++ai) {
+        const Atom& atom = rule.conclusion[ai];
+        scratch.clear();
         for (const Term& term : atom.terms) {
           MAPINV_ASSIGN_OR_RETURN(Value v,
                                   EvalConclusionTerm(term, h, &skolems));
-          t.push_back(v);
+          scratch.push_back(v);
         }
-        MAPINV_ASSIGN_OR_RETURN(
-            bool added, target.Add(RelationText(atom.relation), std::move(t)));
+        MAPINV_ASSIGN_OR_RETURN(bool added,
+                                target.AddRow(conclusion_rels[ai], scratch));
         if (added && ++created > options.max_new_facts) {
           return PhaseExhausted("chase_so",
                                 "exceeded max_new_facts = " +
@@ -121,6 +133,9 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
         }
       }
     }
+  }
+  if (options.stats != nullptr) {
+    options.stats->ObserveArenaBytes(target.ArenaBytes());
   }
   return target;
 }
@@ -347,9 +362,18 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
       }
       std::vector<World> next;
       for (World& world : worlds) {
-        for (const SOInvDisjunct& d : rule.disjuncts) {
-          MAPINV_ASSIGN_OR_RETURN(std::optional<World> applied,
-                                  ApplyDisjunct(d, h, world));
+        for (size_t di = 0; di < rule.disjuncts.size(); ++di) {
+          const SOInvDisjunct& d = rule.disjuncts[di];
+          // The last disjunct consumes the world; earlier ones fork a copy
+          // of the symbolic store (counted as a world fork).
+          const bool last = di + 1 == rule.disjuncts.size();
+          if (!last && options.stats != nullptr) {
+            options.stats->worlds_forked.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          }
+          MAPINV_ASSIGN_OR_RETURN(
+              std::optional<World> applied,
+              ApplyDisjunct(d, h, last ? std::move(world) : World(world)));
           if (applied.has_value()) {
             next.push_back(std::move(*applied));
             if (next.size() > options.max_worlds) {
@@ -370,6 +394,11 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
     MAPINV_ASSIGN_OR_RETURN(Instance inst,
                             Materialize(w, mapping.target, symbols));
     out.push_back(std::move(inst));
+  }
+  if (options.stats != nullptr) {
+    uint64_t bytes = 0;
+    for (const Instance& inst : out) bytes += inst.ArenaBytes();
+    options.stats->ObserveArenaBytes(bytes);
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "chase/chase_tgd.h"
 
+#include "chase/fire_plan.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
@@ -19,6 +20,8 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
   HomSearch target_search(target);
   target_search.set_stats(options.stats);
   size_t created = 0;
+  std::vector<Value> fresh;    // per-firing nulls, one per existential var
+  std::vector<Value> scratch;  // reused row buffer for AddRow
   for (const Tgd& tgd : mapping.tgds) {
     // Collect triggers first: firing only adds target facts, so the trigger
     // set over the (source-only) premise is not affected by firing order.
@@ -34,11 +37,14 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
     }
     ScopedTraceSpan fire_span(options, "fire");
     // Per-tgd invariants hoisted out of the trigger loop: the frontier /
-    // existential variable sets and the conclusion plan (compiled once
-    // against the frontier; the satisfaction check below runs it per
-    // trigger without rebuilding the plan key).
+    // existential variable sets, the compiled conclusion atoms, and the
+    // conclusion plan (compiled once against the frontier; the satisfaction
+    // check below runs it per trigger without rebuilding the plan key).
     const std::vector<VarId> frontier_vars = tgd.FrontierVars();
     const std::vector<VarId> existential_vars = tgd.ExistentialVars();
+    MAPINV_ASSIGN_OR_RETURN(
+        const std::vector<FireAtom> fire_atoms,
+        CompileFireAtoms(tgd.conclusion, target.schema(), existential_vars));
     std::shared_ptr<const HomPlan> conclusion_plan;
     if (!options.oblivious && !triggers.empty()) {
       MAPINV_ASSIGN_OR_RETURN(
@@ -46,7 +52,7 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
           target_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
                                        frontier_vars));
     }
-    Assignment frontier_bindings;
+    std::vector<Value> frontier_values;  // ordered as conclusion_plan demands
     for (const Assignment& h : triggers) {
       if (deadline.Expired()) {
         return PhaseExhausted("chase_tgds",
@@ -54,31 +60,30 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                                   std::to_string(options.deadline_ms));
       }
       if (!options.oblivious) {
-        frontier_bindings.clear();
-        for (VarId v : frontier_vars) frontier_bindings.emplace(v, h.at(v));
+        frontier_values.clear();
+        for (VarId v : conclusion_plan->fixed_vars) {
+          frontier_values.push_back(h.at(v));
+        }
         MAPINV_ASSIGN_OR_RETURN(
             bool satisfied,
-            target_search.ExistsHomWithPlan(*conclusion_plan,
-                                            frontier_bindings));
+            target_search.ExistsHomWithPlanValues(*conclusion_plan,
+                                                  frontier_values));
         if (satisfied) continue;
       }
       // Fire: frontier variables keep their bindings, existential variables
-      // get fresh nulls (fresh per firing).
-      Assignment extended = h;
-      for (VarId v : existential_vars) {
-        extended.emplace(v, Value::FreshNull(symbols));
+      // get fresh nulls (fresh per firing, in declaration order — the same
+      // order the pre-arena engine assigned them).
+      fresh.clear();
+      for (size_t i = 0; i < existential_vars.size(); ++i) {
+        fresh.push_back(Value::FreshNull(symbols));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
-      for (const Atom& atom : tgd.conclusion) {
-        Tuple t;
-        t.reserve(atom.terms.size());
-        for (const Term& term : atom.terms) {
-          t.push_back(extended.at(term.var()));
-        }
-        MAPINV_ASSIGN_OR_RETURN(
-            bool added, target.Add(RelationText(atom.relation), std::move(t)));
+      for (const FireAtom& fa : fire_atoms) {
+        BuildFireRow(fa, h, fresh, &scratch);
+        MAPINV_ASSIGN_OR_RETURN(bool added,
+                                target.AddRow(fa.relation, scratch));
         if (added && ++created > options.max_new_facts) {
           return PhaseExhausted("chase_tgds",
                                 "exceeded max_new_facts = " +
@@ -86,6 +91,9 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
         }
       }
     }
+  }
+  if (options.stats != nullptr) {
+    options.stats->ObserveArenaBytes(target.ArenaBytes());
   }
   return target;
 }

@@ -1,0 +1,103 @@
+/// \file fire_plan.h
+/// \brief Precompiled conclusion atoms for the chase fire loops.
+///
+/// Firing a trigger used to resolve every conclusion atom's relation by name
+/// (an interner lookup plus a schema hash probe per fired fact) and to copy
+/// the whole trigger assignment into an extended hash map before building
+/// each tuple. This helper compiles a conclusion once per dependency:
+/// relations resolve to RelationIds up front, and every term is classified
+/// as constant / premise-bound variable / existential (by index into the
+/// dependency's existential-variable list). The fire loop then assembles
+/// rows into a reused scratch buffer and appends them with Instance::AddRow
+/// — no strings, no hash-map copies, no per-tuple allocation.
+
+#ifndef MAPINV_CHASE_FIRE_PLAN_H_
+#define MAPINV_CHASE_FIRE_PLAN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "eval/hom.h"
+#include "logic/atom.h"
+
+namespace mapinv {
+
+/// One compiled conclusion term.
+struct FireTerm {
+  enum class Kind { kConstant, kBound, kExistential } kind;
+  Value constant;   // kConstant
+  VarId var = 0;    // kBound: key into the trigger assignment
+  uint32_t ex = 0;  // kExistential: index into the per-firing fresh nulls
+};
+
+/// One compiled conclusion atom.
+struct FireAtom {
+  RelationId relation;
+  std::vector<FireTerm> terms;
+};
+
+/// Compiles `atoms` against `schema`. Variables in `existential_vars` become
+/// kExistential terms indexed by their position in that list; every other
+/// variable is kBound (looked up in the trigger assignment at fire time).
+inline Result<std::vector<FireAtom>> CompileFireAtoms(
+    const std::vector<Atom>& atoms, const Schema& schema,
+    const std::vector<VarId>& existential_vars) {
+  std::unordered_map<VarId, uint32_t> ex_index;
+  for (uint32_t i = 0; i < existential_vars.size(); ++i) {
+    ex_index.emplace(existential_vars[i], i);
+  }
+  std::vector<FireAtom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    FireAtom fa;
+    MAPINV_ASSIGN_OR_RETURN(fa.relation,
+                            schema.Require(RelationText(atom.relation)));
+    fa.terms.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      FireTerm ft;
+      if (term.is_constant()) {
+        ft.kind = FireTerm::Kind::kConstant;
+        ft.constant = term.value();
+      } else {
+        auto it = ex_index.find(term.var());
+        if (it != ex_index.end()) {
+          ft.kind = FireTerm::Kind::kExistential;
+          ft.ex = it->second;
+        } else {
+          ft.kind = FireTerm::Kind::kBound;
+          ft.var = term.var();
+        }
+      }
+      fa.terms.push_back(ft);
+    }
+    out.push_back(std::move(fa));
+  }
+  return out;
+}
+
+/// Assembles one compiled atom's row into `scratch` from the trigger
+/// assignment `h` and the per-firing `fresh` nulls.
+inline void BuildFireRow(const FireAtom& fa, const Assignment& h,
+                         const std::vector<Value>& fresh,
+                         std::vector<Value>* scratch) {
+  scratch->clear();
+  for (const FireTerm& ft : fa.terms) {
+    switch (ft.kind) {
+      case FireTerm::Kind::kConstant:
+        scratch->push_back(ft.constant);
+        break;
+      case FireTerm::Kind::kBound:
+        scratch->push_back(h.at(ft.var));
+        break;
+      case FireTerm::Kind::kExistential:
+        scratch->push_back(fresh[ft.ex]);
+        break;
+    }
+  }
+}
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_FIRE_PLAN_H_

@@ -23,14 +23,16 @@ Result<bool> SatisfiesTgds(const TgdMapping& mapping, const Instance& source,
         conclusion_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
                                          frontier_vars));
     bool all_extend = true;
-    Assignment frontier;
+    std::vector<Value> frontier;  // ordered as the plan demands
     MAPINV_RETURN_NOT_OK(premise_search.ForEachHom(
         tgd.premise, HomConstraints{}, Assignment{},
         [&](const Assignment& h) {
           frontier.clear();
-          for (VarId v : frontier_vars) frontier.emplace(v, h.at(v));
-          Result<bool> extends =
-              conclusion_search.ExistsHomWithPlan(*conclusion_plan, frontier);
+          for (VarId v : conclusion_plan->fixed_vars) {
+            frontier.push_back(h.at(v));
+          }
+          Result<bool> extends = conclusion_search.ExistsHomWithPlanValues(
+              *conclusion_plan, frontier);
           if (!extends.ok() || !*extends) {
             all_extend = false;
             return false;  // stop enumeration

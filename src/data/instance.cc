@@ -2,8 +2,33 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace mapinv {
+
+namespace {
+
+bool RowEquals(const Value* a, const Value* b, uint32_t arity) {
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Instance::Store::Store(const Store& other)
+    : arity(other.arity),
+      num_rows(other.num_rows),
+      arena(other.arena),
+      dedup(other.dedup) {
+  // Snapshot the index consistently: catch-up mutates index + indexed_rows
+  // under index_mu, so hold the source's lock while copying both.
+  std::lock_guard<std::mutex> lock(other.index_mu);
+  index = other.index;
+  indexed_rows.store(other.indexed_rows.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
 
 Instance::Instance(std::shared_ptr<const Schema> schema)
     : schema_(std::move(schema)) {
@@ -11,30 +36,40 @@ Instance::Instance(std::shared_ptr<const Schema> schema)
 }
 
 void Instance::EnsureSlots() const {
-  if (relations_.size() < schema_->size()) relations_.resize(schema_->size());
+  while (stores_.size() < schema_->size()) {
+    auto store = std::make_shared<Store>();
+    store->arity = schema_->arity(static_cast<RelationId>(stores_.size()));
+    // Shaped from birth so IndexFor's fast path (0 rows indexed of 0) hands
+    // out a well-formed per-position index even for empty relations.
+    store->index.positions.resize(store->arity);
+    stores_.push_back(std::move(store));
+  }
 }
 
-const std::vector<Tuple>& Instance::tuples(RelationId relation) const {
-  EnsureSlots();
-  return relations_[relation].tuples;
+Instance::Store& Instance::Mutable(RelationId relation) {
+  std::shared_ptr<Store>& slot = stores_[relation];
+  if (slot.use_count() > 1) slot = std::make_shared<Store>(*slot);
+  return *slot;
 }
 
-Result<bool> Instance::AddTuple(RelationId relation, Tuple tuple) {
+Result<bool> Instance::AddRow(RelationId relation, RowView row) {
   EnsureSlots();
   if (relation >= schema_->size()) {
     return Status::NotFound("relation id " + std::to_string(relation) +
                             " not in schema");
   }
-  if (tuple.size() != schema_->arity(relation)) {
+  if (row.size() != schema_->arity(relation)) {
     return Status::InvalidArgument(
         "arity mismatch for " + schema_->name(relation) + ": got " +
-        std::to_string(tuple.size()) + ", want " +
+        std::to_string(row.size()) + ", want " +
         std::to_string(schema_->arity(relation)));
   }
-  RelationData& data = relations_[relation];
-  if (data.set.contains(tuple)) return false;
-  data.set.insert(tuple);
-  data.tuples.push_back(std::move(tuple));
+  if (ContainsRow(relation, row)) return false;
+  Store& store = Mutable(relation);
+  const TupleRef ref = static_cast<TupleRef>(store.num_rows);
+  store.arena.insert(store.arena.end(), row.begin(), row.end());
+  store.dedup.emplace(HashRow(row), ref);
+  ++store.num_rows;
   return true;
 }
 
@@ -51,75 +86,160 @@ Result<bool> Instance::AddInts(std::string_view relation,
   return Add(relation, std::move(tuple));
 }
 
-bool Instance::Contains(RelationId relation, const Tuple& tuple) const {
+bool Instance::ContainsRow(RelationId relation, RowView row) const {
   EnsureSlots();
-  if (relation >= relations_.size()) return false;
-  return relations_[relation].set.contains(tuple);
+  if (relation >= stores_.size()) return false;
+  const Store& store = *stores_[relation];
+  if (row.size() != store.arity) return false;
+  if (store.arity == 0) return store.num_rows > 0;
+  auto [begin, end] = store.dedup.equal_range(HashRow(row));
+  for (auto it = begin; it != end; ++it) {
+    if (RowEquals(store.arena.data() + it->second * store.arity, row.data(),
+                  store.arity)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Instance::NumRows(RelationId relation) const {
+  EnsureSlots();
+  return stores_[relation]->num_rows;
+}
+
+RowView Instance::Row(RelationId relation, TupleRef ref) const {
+  const Store& store = *stores_[relation];
+  return RowView(store.arena.data() + static_cast<size_t>(ref) * store.arity,
+                 store.arity);
+}
+
+const Value* Instance::ArenaData(RelationId relation) const {
+  EnsureSlots();
+  return stores_[relation]->arena.data();
+}
+
+std::vector<Tuple> Instance::TuplesCopy(RelationId relation) const {
+  EnsureSlots();
+  const Store& store = *stores_[relation];
+  std::vector<Tuple> out;
+  out.reserve(store.num_rows);
+  for (size_t i = 0; i < store.num_rows; ++i) {
+    const Value* row = store.arena.data() + i * store.arity;
+    out.emplace_back(row, row + store.arity);
+  }
+  return out;
+}
+
+const RelationIndex& Instance::IndexFor(RelationId relation,
+                                        size_t* catchup_rows) const {
+  EnsureSlots();
+  Store& store = *stores_[relation];
+  if (catchup_rows != nullptr) *catchup_rows = 0;
+  // Fast path: the index already covers every row. The acquire load pairs
+  // with the release store below, making the bucket contents visible.
+  if (store.indexed_rows.load(std::memory_order_acquire) == store.num_rows) {
+    return store.index;
+  }
+  std::lock_guard<std::mutex> lock(store.index_mu);
+  size_t done = store.indexed_rows.load(std::memory_order_relaxed);
+  if (done == store.num_rows) return store.index;  // raced, other thread won
+  if (store.index.positions.empty()) {
+    store.index.positions.resize(store.arity);
+  }
+  const Value* data = store.arena.data();
+  for (size_t row = done; row < store.num_rows; ++row) {
+    for (uint32_t pos = 0; pos < store.arity; ++pos) {
+      store.index.positions[pos]
+          .buckets[data[row * store.arity + pos]]
+          .push_back(static_cast<TupleRef>(row));
+    }
+  }
+  if (catchup_rows != nullptr) *catchup_rows = store.num_rows - done;
+  store.indexed_rows.store(store.num_rows, std::memory_order_release);
+  return store.index;
 }
 
 size_t Instance::TotalSize() const {
   EnsureSlots();
   size_t n = 0;
-  for (const auto& r : relations_) n += r.tuples.size();
+  for (const auto& store : stores_) n += store->num_rows;
   return n;
 }
 
-bool Instance::IsNullFree() const {
+size_t Instance::ArenaBytes() const {
   EnsureSlots();
-  for (const auto& r : relations_) {
-    for (const Tuple& t : r.tuples) {
-      for (const Value& v : t) {
-        if (v.is_null()) return false;
+  size_t bytes = 0;
+  for (const auto& store : stores_) {
+    bytes += store->arena.capacity() * sizeof(Value);
+  }
+  return bytes;
+}
+
+bool Instance::IsNullFree() const {
+  bool null_free = true;
+  ForEachFact([&](RelationId, RowView row) {
+    for (const Value& v : row) {
+      if (v.is_null()) {
+        null_free = false;
+        return false;
       }
     }
-  }
-  return true;
+    return true;
+  });
+  return null_free;
 }
 
 std::vector<Value> Instance::ActiveDomain() const {
-  EnsureSlots();
   std::unordered_set<Value, ValueHash> seen;
   std::vector<Value> out;
-  for (const auto& r : relations_) {
-    for (const Tuple& t : r.tuples) {
-      for (const Value& v : t) {
-        if (seen.insert(v).second) out.push_back(v);
-      }
+  ForEachFact([&](RelationId, RowView row) {
+    for (const Value& v : row) {
+      if (seen.insert(v).second) out.push_back(v);
     }
-  }
+  });
+  // Deterministic ascending Value order (constants before nulls, each by
+  // id), independent of hash-map iteration and insertion history.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Fact> Instance::AllFacts() const {
-  EnsureSlots();
   std::vector<Fact> out;
-  for (RelationId r = 0; r < relations_.size(); ++r) {
-    for (const Tuple& t : relations_[r].tuples) out.push_back(Fact{r, t});
-  }
+  out.reserve(TotalSize());
+  ForEachFact([&](RelationId r, RowView row) {
+    out.push_back(Fact{r, Tuple(row.begin(), row.end())});
+  });
   return out;
 }
 
 bool Instance::SubsetOf(const Instance& other) const {
   EnsureSlots();
-  for (RelationId r = 0; r < relations_.size(); ++r) {
-    if (relations_[r].tuples.empty()) continue;
-    RelationId other_id = other.schema().Find(schema_->name(r));
-    if (other_id == kInvalidRelation) return false;
-    for (const Tuple& t : relations_[r].tuples) {
-      if (!other.Contains(other_id, t)) return false;
+  bool subset = true;
+  RelationId other_id = kInvalidRelation;
+  RelationId last_rel = kInvalidRelation;
+  ForEachFact([&](RelationId r, RowView row) {
+    if (r != last_rel) {
+      last_rel = r;
+      other_id = other.schema().Find(schema_->name(r));
     }
-  }
-  return true;
+    if (other_id == kInvalidRelation || !other.ContainsRow(other_id, row)) {
+      subset = false;
+      return false;
+    }
+    return true;
+  });
+  return subset;
 }
 
 Status Instance::UnionWith(const Instance& other) {
   for (RelationId r = 0; r < other.schema().size(); ++r) {
-    const auto& ts = other.tuples(r);
-    if (ts.empty()) continue;
+    if (other.NumRows(r) == 0) continue;
     MAPINV_ASSIGN_OR_RETURN(RelationId mine,
                             schema_->Require(other.schema().name(r)));
-    for (const Tuple& t : ts) {
-      MAPINV_ASSIGN_OR_RETURN(bool added, AddTuple(mine, t));
+    const size_t n = other.NumRows(r);
+    for (size_t i = 0; i < n; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(
+          bool added, AddRow(mine, other.Row(r, static_cast<TupleRef>(i))));
       (void)added;
     }
   }
@@ -127,19 +247,16 @@ Status Instance::UnionWith(const Instance& other) {
 }
 
 std::string Instance::ToString() const {
-  EnsureSlots();
   std::vector<std::string> rendered;
-  for (RelationId r = 0; r < relations_.size(); ++r) {
-    for (const Tuple& t : relations_[r].tuples) {
-      std::string s = schema_->name(r) + "(";
-      for (size_t i = 0; i < t.size(); ++i) {
-        if (i > 0) s += ",";
-        s += t[i].ToString();
-      }
-      s += ")";
-      rendered.push_back(std::move(s));
+  ForEachFact([&](RelationId r, RowView row) {
+    std::string s = schema_->name(r) + "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += ",";
+      s += row[i].ToString();
     }
-  }
+    s += ")";
+    rendered.push_back(std::move(s));
+  });
   std::sort(rendered.begin(), rendered.end());
   std::string out = "{ ";
   for (size_t i = 0; i < rendered.size(); ++i) {

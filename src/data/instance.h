@@ -1,19 +1,51 @@
 /// \file instance.h
-/// \brief Database instances: finite sets of tuples per relation symbol.
+/// \brief Database instances: columnar tuple storage with instance-owned
+/// value indexes and copy-on-write forks.
 ///
 /// An Instance is bound to a Schema (shared ownership) and stores, for each
-/// relation, a duplicate-free sequence of tuples. Tuples keep insertion
-/// order, which makes chase output deterministic; set-semantics operations
-/// (containment, equality, union) ignore order.
+/// relation, a duplicate-free sequence of rows. Storage is *columnar in
+/// spirit, flat in layout*: every relation keeps one contiguous
+/// `std::vector<Value>` arena with an arity stride, so a row is the slice
+/// `arena[i*arity .. i*arity+arity)` and a full-relation scan is one linear
+/// sweep with no per-tuple heap allocation or pointer chasing. Rows are
+/// addressed by dense `TupleRef` (uint32 row index in insertion order);
+/// deduplication hashes the arena slice into a multimap of row refs.
+///
+/// Three properties the rest of the pipeline relies on:
+///
+///   * **Append-only, insertion-ordered.** Rows are never removed or
+///     reordered, which keeps chase output deterministic and lets derived
+///     structures catch up incrementally.
+///   * **Instance-owned persistent indexes.** The (position, value) → rows
+///     buckets that every homomorphism search needs live here, behind a
+///     per-relation version counter (`indexed rows` vs `total rows`), built
+///     lazily and extended incrementally. All HomSearch objects over one
+///     instance share them; constructing a search is free.
+///   * **Copy-on-write forks.** Copying an Instance is O(#relations): the
+///     copy shares every relation store (arena + dedup + index) with the
+///     original, and a store is cloned only on the first subsequent write
+///     to it from either side. `Fork()`/`Snapshot()` name this explicitly
+///     for the worlds-based algorithms (reverse chase, round trips), which
+///     branch thousands of candidate worlds that each touch few relations.
+///
+/// Thread-safety contract (unchanged from the per-search index era, now
+/// stated on the owner): concurrent *reads* — including lazy index catch-up,
+/// which is internally synchronised — are safe on instances that do not
+/// grow; any mutation of an instance, or of an instance sharing its stores,
+/// must be externally ordered before/after concurrent access.
 
 #ifndef MAPINV_DATA_INSTANCE_H_
 #define MAPINV_DATA_INSTANCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -22,8 +54,18 @@
 
 namespace mapinv {
 
-/// \brief A database tuple: a fixed-length sequence of values.
+/// \brief A database tuple as a standalone value: a fixed-length sequence of
+/// values. Inside an Instance tuples live in relation arenas, not in
+/// individual vectors; Tuple remains the exchange type at API boundaries.
 using Tuple = std::vector<Value>;
+
+/// \brief Dense row id within one relation of one instance, in insertion
+/// order.
+using TupleRef = uint32_t;
+
+/// \brief Borrowed view of one row of a relation arena (arity values).
+/// Valid until the owning instance's relation store is next mutated.
+using RowView = std::span<const Value>;
 
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
@@ -33,6 +75,13 @@ struct TupleHash {
   }
 };
 
+/// Hash of a row slice; agrees with TupleHash on equal contents.
+inline size_t HashRow(RowView row) {
+  size_t seed = row.size();
+  for (const Value& v : row) HashCombine(seed, v.Hash());
+  return seed;
+}
+
 /// \brief A fact: a relation id together with a tuple.
 struct Fact {
   RelationId relation;
@@ -41,6 +90,17 @@ struct Fact {
   friend bool operator==(const Fact& a, const Fact& b) {
     return a.relation == b.relation && a.tuple == b.tuple;
   }
+};
+
+/// \brief value-at-position → ascending row refs, for one position of one
+/// relation. Owned by the instance; see Instance::IndexFor.
+struct PositionIndex {
+  std::unordered_map<Value, std::vector<TupleRef>, ValueHash> buckets;
+};
+
+/// \brief The per-relation value index: one PositionIndex per column.
+struct RelationIndex {
+  std::vector<PositionIndex> positions;
 };
 
 /// \brief An instance of a relational schema.
@@ -53,12 +113,39 @@ class Instance {
   explicit Instance(const Schema& schema)
       : Instance(std::make_shared<const Schema>(schema)) {}
 
+  /// Copying an instance is an O(#relations) copy-on-write fork: both sides
+  /// share every relation store until one of them writes to it. Reads on
+  /// the copy are exactly as fast as on the original (same arenas, same
+  /// already-built indexes).
+  Instance(const Instance&) = default;
+  Instance& operator=(const Instance&) = default;
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
+  /// Explicit O(1)-per-relation copy-on-write fork (same operation as the
+  /// copy constructor, named for the worlds-based algorithms). The fork and
+  /// the original are fully isolated observationally: a write to either
+  /// clones the written relation's store first.
+  Instance Fork() const { return *this; }
+
+  /// A cheap point-in-time copy intended to be kept immutable (identical
+  /// mechanism to Fork; the name documents intent at call sites).
+  Instance Snapshot() const { return *this; }
+
   const Schema& schema() const { return *schema_; }
   std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
 
   /// Inserts a tuple; returns true if it was new. Fails on arity mismatch or
   /// unknown relation.
-  Result<bool> AddTuple(RelationId relation, Tuple tuple);
+  Result<bool> AddTuple(RelationId relation, Tuple tuple) {
+    return AddRow(relation, RowView(tuple));
+  }
+
+  /// Inserts a row (copying the values into the relation arena); returns
+  /// true if it was new. Fails on arity mismatch or unknown relation. The
+  /// allocation-free hot path for the chase engines: callers reuse one
+  /// scratch buffer across firings.
+  Result<bool> AddRow(RelationId relation, RowView row);
 
   /// Inserts a tuple by relation name.
   Result<bool> Add(std::string_view relation, Tuple tuple);
@@ -68,21 +155,82 @@ class Instance {
                        const std::vector<int64_t>& values);
 
   /// True if the instance contains the fact.
-  bool Contains(RelationId relation, const Tuple& tuple) const;
+  bool Contains(RelationId relation, const Tuple& tuple) const {
+    return ContainsRow(relation, RowView(tuple));
+  }
 
-  /// All tuples of one relation, in insertion order.
-  const std::vector<Tuple>& tuples(RelationId relation) const;
+  /// True if the instance contains the row.
+  bool ContainsRow(RelationId relation, RowView row) const;
+
+  /// Number of rows of one relation.
+  size_t NumRows(RelationId relation) const;
+
+  /// One row of a relation, by dense ref (insertion order). The view is
+  /// valid until the relation store is next mutated.
+  RowView Row(RelationId relation, TupleRef ref) const;
+
+  /// The relation's flat value arena (row-major, stride = arity). May be
+  /// nullptr when the relation is empty. Hot-loop accessor for the
+  /// homomorphism kernel: row i's position p is `data[i * arity + p]`.
+  const Value* ArenaData(RelationId relation) const;
+
+  /// Materialises all tuples of one relation, in insertion order. Compat /
+  /// test helper — the storage itself is a flat arena; production paths use
+  /// NumRows/Row/ArenaData.
+  std::vector<Tuple> TuplesCopy(RelationId relation) const;
+
+  /// The instance-owned (position, value) → rows index of one relation,
+  /// built lazily and caught up incrementally over appended rows (the
+  /// relation's version counter is its indexed-row count). Shared by every
+  /// HomSearch over this instance — and, until a write diverges them, by
+  /// every fork. If `catchup_rows` is non-null it receives the number of
+  /// rows newly indexed by this call (0 on the fast path), which feeds
+  /// ExecStats::index_catchup_rows.
+  ///
+  /// Catch-up is internally synchronised (double-checked under a
+  /// per-relation mutex), so concurrent searches over a non-growing
+  /// instance may race to build the index safely.
+  const RelationIndex& IndexFor(RelationId relation,
+                                size_t* catchup_rows = nullptr) const;
 
   /// Total number of tuples across all relations.
   size_t TotalSize() const;
 
+  /// Bytes held by the relation arenas (tuple payload only; excludes dedup
+  /// tables and indexes). Feeds ExecStats::tuples_arena_bytes.
+  size_t ArenaBytes() const;
+
   /// True if no tuple contains a labelled null.
   bool IsNullFree() const;
 
-  /// All values occurring in the instance (deduplicated, unspecified order).
+  /// All values occurring in the instance, deduplicated, in deterministic
+  /// ascending Value order (constants before nulls, each by id). Callers
+  /// may iterate it without leaking hash-map order into their output.
   std::vector<Value> ActiveDomain() const;
 
-  /// All facts, relation-major in insertion order.
+  /// Streams every fact, relation-major in insertion order, to `f` as
+  /// (RelationId, RowView) without materialising tuples. `f` may return
+  /// void, or bool where false stops the iteration early.
+  template <typename F>
+  void ForEachFact(F&& f) const {
+    EnsureSlots();
+    for (RelationId r = 0; r < stores_.size(); ++r) {
+      const size_t n = NumRows(r);
+      const uint32_t arity = schema_->arity(r);
+      const Value* data = ArenaData(r);
+      for (size_t i = 0; i < n; ++i) {
+        RowView row(data + i * arity, arity);
+        if constexpr (std::is_void_v<decltype(f(r, row))>) {
+          f(r, row);
+        } else {
+          if (!f(r, row)) return;
+        }
+      }
+    }
+  }
+
+  /// All facts, relation-major in insertion order. Thin materialising
+  /// wrapper over ForEachFact, kept for tests and small call sites.
   std::vector<Fact> AllFacts() const;
 
   /// True if every fact of this instance occurs in `other` (schemas must
@@ -103,17 +251,37 @@ class Instance {
   std::string ToString() const;
 
  private:
-  struct RelationData {
-    std::vector<Tuple> tuples;
-    std::unordered_set<Tuple, TupleHash> set;
+  /// One relation's storage: flat arena + dedup table + owned index. Shared
+  /// between forks via shared_ptr; cloned on first write to a shared store.
+  struct Store {
+    uint32_t arity = 0;
+    size_t num_rows = 0;
+    /// Row-major values, stride `arity` (empty for 0-ary relations, whose
+    /// rows are counted by num_rows alone).
+    std::vector<Value> arena;
+    /// Row-content hash → row refs with that hash (duplicate-free rows, so
+    /// multi-entries only on genuine hash collisions).
+    std::unordered_multimap<size_t, TupleRef> dedup;
+    /// Lazily built value index over rows [0, indexed_rows).
+    RelationIndex index;
+    std::atomic<size_t> indexed_rows{0};
+    /// Guards index catch-up (double-checked via indexed_rows).
+    mutable std::mutex index_mu;
+
+    Store() = default;
+    Store(const Store& other);
+    Store& operator=(const Store&) = delete;
   };
 
   std::shared_ptr<const Schema> schema_;
   // Indexed by RelationId; grown when the schema has more relations than
-  // were present at construction (schemas are append-only).
-  mutable std::vector<RelationData> relations_;
+  // were present at construction (schemas are append-only). The pointees
+  // are shared with forks; Mutable() clones before any write.
+  mutable std::vector<std::shared_ptr<Store>> stores_;
 
   void EnsureSlots() const;
+  /// Copy-on-write gate: clones the relation's store iff it is shared.
+  Store& Mutable(RelationId relation);
 };
 
 }  // namespace mapinv

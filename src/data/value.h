@@ -62,7 +62,7 @@ class Value {
 
   /// Constant spelling, or "_N<label>" for nulls.
   std::string ToString() const {
-    if (is_constant()) return ConstantPool().Text(id());
+    if (is_constant()) return std::string(ConstantPool().Text(id()));
     return "_N" + std::to_string(id());
   }
 

@@ -83,6 +83,9 @@ struct ExecStatsSnapshot {
   uint64_t hom_slot_bindings = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t tuples_arena_bytes = 0;
+  uint64_t index_catchup_rows = 0;
+  uint64_t worlds_forked = 0;
 };
 
 /// \brief Counters an execution can stream into (pass `&stats` via
@@ -111,6 +114,27 @@ struct ExecStats {
   /// sink), so two concurrent executions never cross-attribute traffic.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
+  /// High-water mark of Instance::ArenaBytes() observed by chase engines at
+  /// completion (bytes of flat tuple payload; indexes/dedup excluded).
+  /// Updated via max, not sum, so re-running a pipeline stage over the same
+  /// output reports the same footprint.
+  std::atomic<uint64_t> tuples_arena_bytes{0};
+  /// Rows incorporated into instance-owned (position,value) indexes by lazy
+  /// catch-up (Instance::IndexFor). Each row is indexed once per store
+  /// however many HomSearch objects read it — the regression guard that
+  /// HomSearch construction no longer rebuilds buckets.
+  std::atomic<uint64_t> index_catchup_rows{0};
+  /// Copy-on-write world forks taken by the disjunctive chase engines
+  /// (reverse chase and SO-inverse worlds).
+  std::atomic<uint64_t> worlds_forked{0};
+
+  /// Records a new arena-bytes observation (monotonic max).
+  void ObserveArenaBytes(uint64_t bytes) {
+    uint64_t seen = tuples_arena_bytes.load(std::memory_order_relaxed);
+    while (seen < bytes && !tuples_arena_bytes.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+  }
 
   void Reset() {
     chase_steps = 0;
@@ -121,6 +145,9 @@ struct ExecStats {
     hom_slot_bindings = 0;
     cache_hits = 0;
     cache_misses = 0;
+    tuples_arena_bytes = 0;
+    index_catchup_rows = 0;
+    worlds_forked = 0;
   }
 
   ExecStatsSnapshot Snapshot() const {
@@ -134,6 +161,9 @@ struct ExecStats {
     s.hom_slot_bindings = hom_slot_bindings.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    s.tuples_arena_bytes = tuples_arena_bytes.load(std::memory_order_relaxed);
+    s.index_catchup_rows = index_catchup_rows.load(std::memory_order_relaxed);
+    s.worlds_forked = worlds_forked.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -146,7 +176,10 @@ struct ExecStats {
            std::to_string(hom_bucket_candidates.load()) +
            " hom_slot_bindings=" + std::to_string(hom_slot_bindings.load()) +
            " cache_hits=" + std::to_string(cache_hits.load()) +
-           " cache_misses=" + std::to_string(cache_misses.load());
+           " cache_misses=" + std::to_string(cache_misses.load()) +
+           " tuples_arena_bytes=" + std::to_string(tuples_arena_bytes.load()) +
+           " index_catchup_rows=" + std::to_string(index_catchup_rows.load()) +
+           " worlds_forked=" + std::to_string(worlds_forked.load());
   }
 };
 

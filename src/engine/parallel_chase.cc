@@ -16,7 +16,7 @@ namespace {
 // variables must agree, constant-constrained variables reject nulls, and
 // fully bound inequalities must hold. Returns false if the tuple is not a
 // match for the atom.
-bool BindCandidate(const Atom& atom, const Tuple& tuple,
+bool BindCandidate(const Atom& atom, RowView tuple,
                    const HomConstraints& constraints, Assignment* out) {
   for (size_t p = 0; p < atom.terms.size(); ++p) {
     const Term& t = atom.terms[p];
@@ -76,7 +76,7 @@ Result<std::vector<Assignment>> CollectTriggers(
     MAPINV_ASSIGN_OR_RETURN(
         RelationId id,
         instance.schema().Require(RelationText(premise[i].relation)));
-    const size_t cardinality = instance.tuples(id).size();
+    const size_t cardinality = instance.NumRows(id);
     if (bound > best_bound ||
         (bound == best_bound && cardinality < best_cardinality)) {
       best_bound = bound;
@@ -93,8 +93,7 @@ Result<std::vector<Assignment>> CollectTriggers(
 
   MAPINV_ASSIGN_OR_RETURN(
       RelationId rel, instance.schema().Require(RelationText(first.relation)));
-  const auto& tuples = instance.tuples(rel);
-  const size_t n = tuples.size();
+  const size_t n = instance.NumRows(rel);
   if (n == 0) return std::vector<Assignment>{};
 
   // Compile the remaining-premise plan once, before the fan-out, so worker
@@ -130,6 +129,7 @@ Result<std::vector<Assignment>> CollectTriggers(
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     uint64_t local_rejected = 0;
+    Assignment bindings;  // reused per candidate; clear() keeps its buckets
     for (size_t i = begin;
          i < end && !abort.load(std::memory_order_relaxed); ++i) {
       // Expired() amortises its own clock reads, so polling every candidate
@@ -140,8 +140,9 @@ Result<std::vector<Assignment>> CollectTriggers(
         abort.store(true, std::memory_order_relaxed);
         break;
       }
-      Assignment bindings;
-      if (!BindCandidate(first, tuples[i], constraints, &bindings)) {
+      bindings.clear();
+      if (!BindCandidate(first, instance.Row(rel, static_cast<TupleRef>(i)),
+                         constraints, &bindings)) {
         ++local_rejected;
         continue;
       }
@@ -189,11 +190,11 @@ Result<std::vector<Assignment>> CollectTriggers(
 SymbolContext& ResolveSymbols(const ExecutionOptions& options,
                               const Instance& input) {
   if (options.symbols == nullptr) return SymbolContext::Global();
-  for (const Fact& f : input.AllFacts()) {
-    for (const Value& v : f.tuple) {
+  input.ForEachFact([&](RelationId, RowView row) {
+    for (const Value& v : row) {
       if (v.is_null()) options.symbols->BumpNullPast(v.id());
     }
-  }
+  });
   return *options.symbols;
 }
 

@@ -19,6 +19,11 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
   d.hom_slot_bindings = now.hom_slot_bindings - then.hom_slot_bindings;
   d.cache_hits = now.cache_hits - then.cache_hits;
   d.cache_misses = now.cache_misses - then.cache_misses;
+  // tuples_arena_bytes is a monotonic high-water mark, so its delta reads as
+  // "footprint growth observed during the span".
+  d.tuples_arena_bytes = now.tuples_arena_bytes - then.tuples_arena_bytes;
+  d.index_catchup_rows = now.index_catchup_rows - then.index_catchup_rows;
+  d.worlds_forked = now.worlds_forked - then.worlds_forked;
   return d;
 }
 
@@ -31,6 +36,9 @@ void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
   into.hom_slot_bindings += d.hom_slot_bindings;
   into.cache_hits += d.cache_hits;
   into.cache_misses += d.cache_misses;
+  into.tuples_arena_bytes += d.tuples_arena_bytes;
+  into.index_catchup_rows += d.index_catchup_rows;
+  into.worlds_forked += d.worlds_forked;
 }
 
 std::string FormatMs(double ms) {
@@ -54,6 +62,11 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
   out += " hom_slot_bindings=" + std::to_string(span.stats.hom_slot_bindings);
   out += " cache_hits=" + std::to_string(span.stats.cache_hits);
   out += " cache_misses=" + std::to_string(span.stats.cache_misses);
+  out += " tuples_arena_bytes=" +
+         std::to_string(span.stats.tuples_arena_bytes);
+  out += " index_catchup_rows=" +
+         std::to_string(span.stats.index_catchup_rows);
+  out += " worlds_forked=" + std::to_string(span.stats.worlds_forked);
   out += "\n";
   for (const auto& child : span.children) {
     AppendText(*child, depth + 1, out);
@@ -71,6 +84,11 @@ void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
   out += ",\"hom_slot_bindings\":" + std::to_string(stats.hom_slot_bindings);
   out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(stats.cache_misses);
+  out += ",\"tuples_arena_bytes\":" +
+         std::to_string(stats.tuples_arena_bytes);
+  out += ",\"index_catchup_rows\":" +
+         std::to_string(stats.index_catchup_rows);
+  out += ",\"worlds_forked\":" + std::to_string(stats.worlds_forked);
 }
 
 void AppendJson(const TraceSpan& span, std::string& out) {

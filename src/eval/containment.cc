@@ -43,7 +43,7 @@ void AppendTermKey(const Term& t, VarCanon* vars, std::string* out) {
 void AppendAtomsKey(const std::vector<Atom>& atoms, VarCanon* vars,
                     std::string* out) {
   for (const Atom& a : atoms) {
-    const std::string& rel = RelationText(a.relation);
+    const std::string_view rel = RelationText(a.relation);
     out->append(std::to_string(rel.size())).append(":").append(rel).append(
         "(");
     for (const Term& t : a.terms) AppendTermKey(t, vars, out);

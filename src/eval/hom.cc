@@ -38,21 +38,11 @@ bool ConstraintsHold(const HomConstraints& constraints,
 
 }  // namespace
 
-const HomSearch::RelationIndex& HomSearch::IndexFor(RelationId relation) const {
-  RelationIndex& idx = indexes_[relation];
-  const auto& tuples = instance_.tuples(relation);
-  if (idx.positions.size() < instance_.schema().arity(relation)) {
-    idx.positions.resize(instance_.schema().arity(relation));
-  }
-  if (idx.indexed_count < tuples.size()) {
-    const uint32_t arity = instance_.schema().arity(relation);
-    for (size_t i = idx.indexed_count; i < tuples.size(); ++i) {
-      for (uint32_t p = 0; p < arity; ++p) {
-        idx.positions[p].buckets[tuples[i][p]].push_back(
-            static_cast<uint32_t>(i));
-      }
-    }
-    idx.indexed_count = tuples.size();
+const RelationIndex& HomSearch::IndexFor(RelationId relation) const {
+  size_t catchup = 0;
+  const RelationIndex& idx = instance_.IndexFor(relation, &catchup);
+  if (stats_ != nullptr && catchup > 0) {
+    stats_->index_catchup_rows.fetch_add(catchup, std::memory_order_relaxed);
   }
   return idx;
 }
@@ -107,48 +97,101 @@ Status HomSearch::ForEachHom(
   return ForEachHomWithPlan(*plan, fixed, callback);
 }
 
+namespace {
+
+// The empty assignment handed to the emit path when RunPlan executes in
+// positional-values mode (exists mode never emits, so it is never read).
+const Assignment kNoFixed;
+
+}  // namespace
+
 Status HomSearch::ForEachHomWithPlan(
     const HomPlan& plan, const Assignment& fixed,
     const std::function<bool(const Assignment&)>& callback) const {
-  return RunPlan(plan, fixed, &callback, nullptr);
+  return RunPlan(plan, &fixed, nullptr, &callback, nullptr);
 }
 
 Result<bool> HomSearch::ExistsHomWithPlan(const HomPlan& plan,
                                           const Assignment& fixed) const {
   bool found = false;
-  MAPINV_RETURN_NOT_OK(RunPlan(plan, fixed, nullptr, &found));
+  MAPINV_RETURN_NOT_OK(RunPlan(plan, &fixed, nullptr, nullptr, &found));
+  return found;
+}
+
+Result<bool> HomSearch::ExistsHomWithPlanValues(
+    const HomPlan& plan, const std::vector<Value>& fixed_values) const {
+  if (fixed_values.size() != plan.fixed_vars.size()) {
+    return Status::InvalidArgument(
+        "fixed values count " + std::to_string(fixed_values.size()) +
+        " does not match the plan's bound-variable count " +
+        std::to_string(plan.fixed_vars.size()));
+  }
+  bool found = false;
+  MAPINV_RETURN_NOT_OK(
+      RunPlan(plan, nullptr, fixed_values.data(), nullptr, &found));
   return found;
 }
 
 Status HomSearch::RunPlan(
-    const HomPlan& plan, const Assignment& fixed,
+    const HomPlan& plan, const Assignment* fixed, const Value* fixed_values,
     const std::function<bool(const Assignment&)>* callback,
     bool* found) const {
-  // Resolve per-step tuple vectors and indexes up front; IndexFor also
-  // catches the index up if the instance grew since the last call.
-  // unordered_map mapped references are node-stable, so earlier StepCtx
-  // entries survive later IndexFor calls.
+  // Resolve per-step arenas and indexes up front; IndexFor also catches the
+  // index up if the instance grew since the last call. The index lives in
+  // the relation's (shared_ptr-held) store, so the references stay valid
+  // across the later IndexFor calls of this loop.
+  //
+  // All per-call state (step contexts, slots, intersection scratch) lives in
+  // stack buffers up to a size that covers every realistic plan: this runner
+  // executes once per chase trigger, and heap-allocating three vectors per
+  // existence check dominated small-plan run time.
   struct StepCtx {
-    const std::vector<Tuple>* tuples;
+    const Value* data;   // row-major arena, stride `arity`
+    uint32_t arity;
+    size_t rows;
     const std::vector<PositionIndex>* positions;
   };
-  std::vector<StepCtx> ctx(plan.steps.size());
-  for (size_t i = 0; i < plan.steps.size(); ++i) {
-    const RelationIndex& idx = IndexFor(plan.steps[i].relation);
+  constexpr size_t kMaxStackSteps = 16;
+  constexpr size_t kMaxStackSlots = 64;
+  const size_t num_steps = plan.steps.size();
+  StepCtx ctx_buf[kMaxStackSteps];
+  std::vector<StepCtx> ctx_heap;
+  StepCtx* ctx = ctx_buf;
+  if (num_steps > kMaxStackSteps) {
+    ctx_heap.resize(num_steps);
+    ctx = ctx_heap.data();
+  }
+  for (size_t i = 0; i < num_steps; ++i) {
+    const RelationId rel = plan.steps[i].relation;
+    const RelationIndex& idx = IndexFor(rel);
     ctx[i].positions = &idx.positions;
-    ctx[i].tuples = &instance_.tuples(plan.steps[i].relation);
+    ctx[i].data = instance_.ArenaData(rel);
+    ctx[i].arity = instance_.schema().arity(rel);
+    ctx[i].rows = instance_.NumRows(rel);
   }
 
-  std::vector<Value> slots(plan.num_slots);
-  for (size_t i = 0; i < plan.fixed_vars.size(); ++i) {
-    auto it = fixed.find(plan.fixed_vars[i]);
-    if (it == fixed.end()) {
-      return Status::InvalidArgument(
-          "fixed assignment is missing variable v" +
-          std::to_string(plan.fixed_vars[i]) +
-          " that the plan was compiled with");
+  Value slots_buf[kMaxStackSlots];
+  std::vector<Value> slots_heap;
+  Value* slots = slots_buf;
+  if (plan.num_slots > kMaxStackSlots) {
+    slots_heap.resize(plan.num_slots);
+    slots = slots_heap.data();
+  }
+  if (fixed_values != nullptr) {
+    for (size_t i = 0; i < plan.fixed_slots.size(); ++i) {
+      slots[plan.fixed_slots[i]] = fixed_values[i];
     }
-    slots[plan.fixed_slots[i]] = it->second;
+  } else {
+    for (size_t i = 0; i < plan.fixed_vars.size(); ++i) {
+      auto it = fixed->find(plan.fixed_vars[i]);
+      if (it == fixed->end()) {
+        return Status::InvalidArgument(
+            "fixed assignment is missing variable v" +
+            std::to_string(plan.fixed_vars[i]) +
+            " that the plan was compiled with");
+      }
+      slots[plan.fixed_slots[i]] = it->second;
+    }
   }
 
   uint64_t rejected = 0;
@@ -169,12 +212,12 @@ Status HomSearch::RunPlan(
     // re-entering a step overwrites its bind slots before they are read.
     struct Executor {
       const HomPlan& plan;
-      const std::vector<StepCtx>& ctx;
-      std::vector<Value>& slots;
+      const StepCtx* ctx;
+      Value* slots;
       const Assignment& fixed;
       const std::function<bool(const Assignment&)>* callback;  // null: exists
       bool* found;                                             // exists mode
-      std::vector<std::vector<uint32_t>>& scratch;
+      std::vector<uint32_t>* scratch;
       // The callback assignment is built lazily at the first match, so a
       // search with no matches (and every exists-only search) never pays the
       // hash-map copy of `fixed`.
@@ -201,7 +244,7 @@ Status HomSearch::RunPlan(
           return (*callback)(out);
         }
         const HomPlan::Step& step = plan.steps[si];
-        const std::vector<Tuple>& tuples = *ctx[si].tuples;
+        const StepCtx& sc = ctx[si];
 
         // Candidate tuples: smallest index bucket over the bound positions,
         // intersected with the second-smallest when the smallest is still
@@ -214,7 +257,7 @@ Status HomSearch::RunPlan(
           const std::vector<uint32_t>* second = nullptr;
           for (const HomPlan::BoundPos& bp : step.bound_positions) {
             const Value v = bp.is_const ? bp.value : slots[bp.slot];
-            const auto& buckets = (*ctx[si].positions)[bp.pos].buckets;
+            const auto& buckets = (*sc.positions)[bp.pos].buckets;
             auto it = buckets.find(v);
             if (it == buckets.end()) return true;  // no candidates at all
             const std::vector<uint32_t>* b = &it->second;
@@ -237,12 +280,12 @@ Status HomSearch::RunPlan(
           }
         }
 
-        const size_t n = bucket != nullptr ? bucket->size() : tuples.size();
+        const size_t n = bucket != nullptr ? bucket->size() : sc.rows;
         for (size_t k = 0; k < n; ++k) {
           const uint32_t ti =
               bucket != nullptr ? (*bucket)[k] : static_cast<uint32_t>(k);
           ++candidates;
-          const Tuple& tuple = tuples[ti];
+          const Value* tuple = sc.data + static_cast<size_t>(ti) * sc.arity;
           bool ok = true;
           for (const HomPlan::Op& op : step.ops) {
             switch (op.kind) {
@@ -281,8 +324,16 @@ Status HomSearch::RunPlan(
       }
     };
 
-    std::vector<std::vector<uint32_t>> scratch(plan.steps.size());
-    Executor exec{plan, ctx, slots, fixed, callback, found, scratch};
+    std::vector<uint32_t> scratch_buf[kMaxStackSteps];
+    std::vector<std::vector<uint32_t>> scratch_heap;
+    std::vector<uint32_t>* scratch = scratch_buf;
+    if (num_steps > kMaxStackSteps) {
+      scratch_heap.resize(num_steps);
+      scratch = scratch_heap.data();
+    }
+    Executor exec{plan,     ctx,   slots,
+                  fixed != nullptr ? *fixed : kNoFixed,
+                  callback, found, scratch};
     exec.Run(0);
     rejected = exec.rejected;
     candidates = exec.candidates;
@@ -356,7 +407,9 @@ Status HomSearch::ForEachHomReference(
     }
     best->done = true;
     const Atom& atom = *best->atom;
-    const auto& tuples = instance_.tuples(best->relation);
+    const Value* data = instance_.ArenaData(best->relation);
+    const uint32_t arity = instance_.schema().arity(best->relation);
+    const size_t rows = instance_.NumRows(best->relation);
 
     // Candidate tuples: use the index bucket of the first bound position,
     // else scan the whole relation.
@@ -387,14 +440,14 @@ Status HomSearch::ForEachHomReference(
     if (bucket == nullptr) {
       // Full scan: the identity candidate list is materialized only on this
       // no-position-bound path.
-      all.resize(tuples.size());
-      for (uint32_t i = 0; i < tuples.size(); ++i) all[i] = i;
+      all.resize(rows);
+      for (uint32_t i = 0; i < rows; ++i) all[i] = i;
       bucket = &all;
     }
 
     bool keep_going = true;
     for (uint32_t idx : *bucket) {
-      const Tuple& tuple = tuples[idx];
+      const Value* tuple = data + static_cast<size_t>(idx) * arity;
       std::vector<VarId> newly_bound;
       bool ok = true;
       for (uint32_t p = 0; p < atom.terms.size() && ok; ++p) {
@@ -478,19 +531,29 @@ Result<bool> HomSearch::ExistsHom(const std::vector<Atom>& atoms,
 
 Result<bool> InstanceHomExists(const Instance& from, const Instance& to) {
   // Encode `from` as an atom conjunction: nulls become variables, constants
-  // become constant terms; then ask for a homomorphism into `to`.
+  // become constant terms; then ask for a homomorphism into `to`. Facts are
+  // streamed straight out of the arenas (relation-major), so the per-relation
+  // name resolution is amortised over each relation's rows.
   std::vector<Atom> atoms;
   FreshVarGen gen("h");
   std::unordered_map<Value, VarId, ValueHash> null_vars;
-  for (const Fact& f : from.AllFacts()) {
-    // A fact over a relation absent from `to`'s schema can never be mapped.
-    if (to.schema().Find(from.schema().name(f.relation)) == kInvalidRelation) {
-      return false;
+  bool unmappable = false;
+  RelationId last_rel = kInvalidRelation;
+  RelName rel_name = 0;
+  from.ForEachFact([&](RelationId r, RowView row) {
+    if (r != last_rel) {
+      last_rel = r;
+      // A fact over a relation absent from `to`'s schema can never be mapped.
+      if (to.schema().Find(from.schema().name(r)) == kInvalidRelation) {
+        unmappable = true;
+        return false;
+      }
+      rel_name = InternRelation(from.schema().name(r));
     }
     Atom a;
-    a.relation = InternRelation(from.schema().name(f.relation));
-    a.terms.reserve(f.tuple.size());
-    for (const Value& v : f.tuple) {
+    a.relation = rel_name;
+    a.terms.reserve(row.size());
+    for (const Value& v : row) {
       if (v.is_constant()) {
         a.terms.push_back(Term::Const(v));
       } else {
@@ -500,7 +563,9 @@ Result<bool> InstanceHomExists(const Instance& from, const Instance& to) {
       }
     }
     atoms.push_back(std::move(a));
-  }
+    return true;
+  });
+  if (unmappable) return false;
   if (atoms.empty()) return true;
   HomSearch search(to);
   return search.ExistsHom(atoms, HomConstraints{});

@@ -52,12 +52,12 @@ struct HomConstraints {
 
 /// \brief Homomorphism enumerator over one instance.
 ///
-/// Builds per-relation, per-position value indexes lazily and *extends them
-/// incrementally*: the instance may grow (append-only — Instance never
-/// removes or reorders tuples) between calls and the index catches up on
-/// the next use. This is what lets the chase engines keep one HomSearch on
-/// the instance they are extending. The instance must outlive the search
-/// object.
+/// The per-relation, per-position value indexes the search needs are owned
+/// by the Instance itself (Instance::IndexFor): built lazily, extended
+/// incrementally as the append-only instance grows, and shared by every
+/// HomSearch over the same instance — and, through copy-on-write stores, by
+/// its forks. Constructing a HomSearch is therefore free; it carries only a
+/// reference and a plan cache. The instance must outlive the search object.
 class HomSearch {
  public:
   explicit HomSearch(const Instance& instance) : instance_(instance) {}
@@ -110,6 +110,13 @@ class HomSearch {
   Result<bool> ExistsHomWithPlan(const HomPlan& plan,
                                  const Assignment& fixed) const;
 
+  /// Same existence check with the bound values given positionally:
+  /// `fixed_values[i]` is the value of `plan.fixed_vars[i]`. Skips the
+  /// per-call hash-map construction and lookups entirely — the chase fire
+  /// loops call this once per trigger.
+  Result<bool> ExistsHomWithPlanValues(
+      const HomPlan& plan, const std::vector<Value>& fixed_values) const;
+
   /// The pre-plan interpretive search, retained as the reference semantics
   /// for differential testing (tests/hom_plan_test.cc). Same contract and
   /// homomorphism set as ForEachHom; enumeration order may differ only
@@ -134,30 +141,23 @@ class HomSearch {
   void set_stats(ExecStats* stats) { stats_ = stats; }
 
  private:
-  struct PositionIndex {
-    // value at position -> indexes into Instance::tuples(relation)
-    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
-  };
-  struct RelationIndex {
-    // Number of tuples of the relation already reflected in the buckets;
-    // tuples at indexes >= indexed_count are appended on the next IndexFor.
-    size_t indexed_count = 0;
-    std::vector<PositionIndex> positions;
-  };
-
+  // Thin shim over Instance::IndexFor that books catch-up work into
+  // stats_->index_catchup_rows.
   const RelationIndex& IndexFor(RelationId relation) const;
 
-  // Shared plan runner behind ForEachHomWithPlan and ExistsHomWithPlan.
+  // Shared plan runner behind ForEachHomWithPlan and ExistsHomWithPlan(Values).
   // Callback mode (callback != nullptr) enumerates every match; exists mode
   // (callback == nullptr) stops at the first full match, sets *found, and
-  // never materialises an Assignment.
-  Status RunPlan(const HomPlan& plan, const Assignment& fixed,
+  // never materialises an Assignment. Bound values come from `fixed` or,
+  // when `fixed_values` is non-null (exists mode only), positionally from
+  // there; `fixed` may then be null.
+  Status RunPlan(const HomPlan& plan, const Assignment* fixed,
+                 const Value* fixed_values,
                  const std::function<bool(const Assignment&)>* callback,
                  bool* found) const;
 
   const Instance& instance_;
   ExecStats* stats_ = nullptr;
-  mutable std::unordered_map<RelationId, RelationIndex> indexes_;
 
   // Plan cache: key hash -> plans with that hash (full key compared to rule
   // out collisions). Guarded by plans_mutex_ so concurrent searches after

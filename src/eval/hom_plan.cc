@@ -100,8 +100,8 @@ Result<HomPlan> CompileHomPlan(const Instance& instance,
                                  " against an instance");
       }
     }
-    pending.push_back(Pending{&a, id, static_cast<uint32_t>(i),
-                              instance.tuples(id).size()});
+    pending.push_back(
+        Pending{&a, id, static_cast<uint32_t>(i), instance.NumRows(id)});
   }
 
   // Slot table: fixed variables first (callers pass them sorted), then atom

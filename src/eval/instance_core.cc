@@ -34,11 +34,17 @@ std::vector<Atom> InstanceAsAtoms(
     std::unordered_map<Value, VarId, ValueHash>* null_vars) {
   std::vector<Atom> atoms;
   FreshVarGen gen("core");
-  for (const Fact& f : instance.AllFacts()) {
+  RelationId last_rel = kInvalidRelation;
+  RelName rel_name = 0;
+  instance.ForEachFact([&](RelationId r, RowView row) {
+    if (r != last_rel) {
+      last_rel = r;
+      rel_name = InternRelation(instance.schema().name(r));
+    }
     Atom a;
-    a.relation = InternRelation(instance.schema().name(f.relation));
-    a.terms.reserve(f.tuple.size());
-    for (const Value& v : f.tuple) {
+    a.relation = rel_name;
+    a.terms.reserve(row.size());
+    for (const Value& v : row) {
       if (v.is_constant()) {
         a.terms.push_back(Term::Const(v));
       } else {
@@ -48,7 +54,7 @@ std::vector<Atom> InstanceAsAtoms(
       }
     }
     atoms.push_back(std::move(a));
-  }
+  });
   return atoms;
 }
 
@@ -69,17 +75,19 @@ Result<bool> FindFoldingEndomorphism(
   // facts not containing it, so search homomorphisms into that restriction
   // — the search then prunes eagerly instead of post-filtering assignments.
   Instance restricted(instance.schema_ptr());
-  for (const Fact& f : instance.AllFacts()) {
-    bool mentions = false;
-    for (const Value& v : f.tuple) {
-      if (v == target_null) mentions = true;
+  Status add_status = Status::OK();
+  instance.ForEachFact([&](RelationId r, RowView row) {
+    for (const Value& v : row) {
+      if (v == target_null) return true;  // skip facts mentioning the null
     }
-    if (!mentions) {
-      MAPINV_ASSIGN_OR_RETURN(bool added,
-                              restricted.AddTuple(f.relation, f.tuple));
-      (void)added;
+    Result<bool> added = restricted.AddRow(r, row);
+    if (!added.ok()) {
+      add_status = added.status();
+      return false;
     }
-  }
+    return true;
+  });
+  MAPINV_RETURN_NOT_OK(add_status);
   HomSearch search(restricted);
   search.set_stats(stats);
   bool found = false;
@@ -99,15 +107,15 @@ Instance ApplyValueMap(
     const Instance& instance,
     const std::unordered_map<Value, Value, ValueHash>& map) {
   Instance out(instance.schema_ptr());
-  for (const Fact& f : instance.AllFacts()) {
-    Tuple t;
-    t.reserve(f.tuple.size());
-    for (const Value& v : f.tuple) {
+  Tuple scratch;
+  instance.ForEachFact([&](RelationId r, RowView row) {
+    scratch.clear();
+    for (const Value& v : row) {
       auto it = map.find(v);
-      t.push_back(it == map.end() ? v : it->second);
+      scratch.push_back(it == map.end() ? v : it->second);
     }
-    out.AddTuple(f.relation, std::move(t)).ValueOrDie();
-  }
+    out.AddRow(r, scratch).ValueOrDie();
+  });
   return out;
 }
 

@@ -20,7 +20,8 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
       if (id == kInvalidRelation ||
           first.target->arity(id) != a.terms.size()) {
         return Status::InvalidArgument(
-            "middle-schema mismatch: relation " + RelationText(a.relation) +
+            "middle-schema mismatch: relation " +
+            std::string(RelationText(a.relation)) +
             " of the second mapping's premise is not in the first mapping's "
             "target schema with matching arity");
       }

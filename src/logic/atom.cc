@@ -8,7 +8,7 @@ Status Atom::Validate(const Schema& schema) const {
   RelationId id = schema.Find(RelationText(relation));
   if (id == kInvalidRelation) {
     return Status::NotFound("atom uses unknown relation '" +
-                            RelationText(relation) + "'");
+                            std::string(RelationText(relation)) + "'");
   }
   if (schema.arity(id) != terms.size()) {
     return Status::Malformed("atom " + ToString() + " has arity " +
@@ -19,7 +19,7 @@ Status Atom::Validate(const Schema& schema) const {
 }
 
 std::string Atom::ToString() const {
-  std::string out = RelationText(relation) + "(";
+  std::string out = std::string(RelationText(relation)) + "(";
   for (size_t i = 0; i < terms.size(); ++i) {
     if (i > 0) out += ",";
     out += terms[i].ToString();

@@ -26,8 +26,8 @@ TEST(ChaseSOInverseTest, HandBuiltCanonicalTargetRecovers) {
       ChaseSOInverseWorlds(inv, target).ValueOrDie();
   ASSERT_EQ(worlds.size(), 1u);
   RelationId r = worlds[0].schema().Find("R");
-  ASSERT_EQ(worlds[0].tuples(r).size(), 1u);
-  const Tuple& t = worlds[0].tuples(r)[0];
+  ASSERT_EQ(worlds[0].TuplesCopy(r).size(), 1u);
+  const Tuple t = worlds[0].TuplesCopy(r)[0];
   // R(1, ν_y, ν_z): u = x forces 1; f#1(a) and g#2(b) materialise as fresh
   // distinct nulls.
   EXPECT_EQ(t[0], Value::Int(1));
@@ -72,9 +72,9 @@ TEST(ChaseSOInverseTest, ConstantAtFunctionPositionIsAccepted) {
       ChaseSOInverseWorlds(inv, target).ValueOrDie();
   ASSERT_EQ(worlds.size(), 1u);
   RelationId r = worlds[0].schema().Find("R");
-  ASSERT_EQ(worlds[0].tuples(r).size(), 1u);
-  EXPECT_EQ(worlds[0].tuples(r)[0][0], Value::Int(1));
-  EXPECT_TRUE(worlds[0].tuples(r)[0][1].is_null());
+  ASSERT_EQ(worlds[0].TuplesCopy(r).size(), 1u);
+  EXPECT_EQ(worlds[0].TuplesCopy(r)[0][0], Value::Int(1));
+  EXPECT_TRUE(worlds[0].TuplesCopy(r)[0][1].is_null());
 }
 
 TEST(ChaseSOInverseTest, SharedFunctionValueLinksTwoFacts) {
@@ -90,9 +90,9 @@ TEST(ChaseSOInverseTest, SharedFunctionValueLinksTwoFacts) {
       ChaseSOInverseWorlds(inv, target).ValueOrDie();
   ASSERT_EQ(worlds.size(), 1u);
   RelationId takes = worlds[0].schema().Find("Takes");
-  ASSERT_EQ(worlds[0].tuples(takes).size(), 3u);
+  ASSERT_EQ(worlds[0].TuplesCopy(takes).size(), 3u);
   std::vector<Value> db_students, os_students;
-  for (const Tuple& t : worlds[0].tuples(takes)) {
+  for (const Tuple& t : worlds[0].TuplesCopy(takes)) {
     if (t[1] == Value::MakeConstant("os")) {
       os_students.push_back(t[0]);
     } else {
@@ -117,8 +117,8 @@ TEST(ChaseSOInverseTest, GInverseConstraintPinsTheConstant) {
       ChaseSOInverseWorlds(inv, target).ValueOrDie();
   ASSERT_EQ(worlds.size(), 1u);
   RelationId a = worlds[0].schema().Find("A");
-  ASSERT_EQ(worlds[0].tuples(a).size(), 1u);
-  EXPECT_EQ(worlds[0].tuples(a)[0][0], Value::Int(7));
+  ASSERT_EQ(worlds[0].TuplesCopy(a).size(), 1u);
+  EXPECT_EQ(worlds[0].TuplesCopy(a)[0][0], Value::Int(7));
 }
 
 TEST(ChaseSOInverseTest, ConflictingPinsKillTheBranch) {
@@ -149,7 +149,7 @@ TEST(ChaseSOInverseTest, SafeInequalitySeparatesProducers) {
   for (const Instance& w : worlds) {
     RelationId a = w.schema().Find("A");
     RelationId b = w.schema().Find("B");
-    EXPECT_EQ(w.tuples(a).size() + w.tuples(b).size(), 1u);
+    EXPECT_EQ(w.TuplesCopy(a).size() + w.TuplesCopy(b).size(), 1u);
   }
 }
 

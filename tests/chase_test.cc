@@ -44,9 +44,9 @@ TEST(ChaseTgdTest, ExistentialsGetFreshNulls) {
   ASSERT_TRUE(input.AddInts("T", {1, 5}).ok());
   Instance out = *ChaseTgds(m, input);
   RelationId r = out.schema().Find("R");
-  ASSERT_EQ(out.tuples(r).size(), 1u);
-  EXPECT_EQ(out.tuples(r)[0][0], Value::Int(1));
-  EXPECT_TRUE(out.tuples(r)[0][1].is_null());
+  ASSERT_EQ(out.TuplesCopy(r).size(), 1u);
+  EXPECT_EQ(out.TuplesCopy(r)[0][0], Value::Int(1));
+  EXPECT_TRUE(out.TuplesCopy(r)[0][1].is_null());
 }
 
 TEST(ChaseTgdTest, StandardChaseSkipsSatisfiedTriggers) {
@@ -83,9 +83,9 @@ TEST(ChaseTgdTest, MultiAtomConclusionSharesExistential) {
   Instance out = *ChaseTgds(m, input);
   RelationId t = out.schema().Find("T");
   RelationId u = out.schema().Find("U");
-  ASSERT_EQ(out.tuples(t).size(), 1u);
-  ASSERT_EQ(out.tuples(u).size(), 1u);
-  EXPECT_EQ(out.tuples(t)[0][1], out.tuples(u)[0][0]);
+  ASSERT_EQ(out.TuplesCopy(t).size(), 1u);
+  ASSERT_EQ(out.TuplesCopy(u).size(), 1u);
+  EXPECT_EQ(out.TuplesCopy(t)[0][1], out.TuplesCopy(u)[0][0]);
 }
 
 TEST(ChaseTgdTest, CertainAnswers) {
@@ -131,9 +131,9 @@ TEST(ChaseReverseTest, SingleDisjunctRecovery) {
   ASSERT_TRUE(target.AddInts("T", {1, 5}).ok());
   Instance back = *ChaseReverse(rm, target);
   RelationId r = back.schema().Find("R");
-  ASSERT_EQ(back.tuples(r).size(), 1u);
-  EXPECT_EQ(back.tuples(r)[0][0], Value::Int(1));
-  EXPECT_TRUE(back.tuples(r)[0][1].is_null());
+  ASSERT_EQ(back.TuplesCopy(r).size(), 1u);
+  EXPECT_EQ(back.TuplesCopy(r)[0][0], Value::Int(1));
+  EXPECT_TRUE(back.TuplesCopy(r)[0][1].is_null());
 }
 
 TEST(ChaseReverseTest, ConstantGuardBlocksNulls) {
@@ -255,18 +255,18 @@ TEST(ChaseSOTest, SkolemTableReusesNulls) {
                                    Value::MakeConstant("c1")}).ok());
   Instance target = *ChaseSOTgd(m, source);
   RelationId e = target.schema().Find("Enrollment");
-  ASSERT_EQ(target.tuples(e).size(), 3u);
+  ASSERT_EQ(target.TuplesCopy(e).size(), 3u);
   // f(n1) identical across the two courses, distinct from f(n2).
   Value id_n1_a, id_n1_b, id_n2;
-  for (const Tuple& t : target.tuples(e)) {
+  for (const Tuple& t : target.TuplesCopy(e)) {
     if (t[1] == Value::MakeConstant("c2")) {
       id_n1_b = t[0];
-    } else if (t[0] == target.tuples(e)[0][0]) {
+    } else if (t[0] == target.TuplesCopy(e)[0][0]) {
       id_n1_a = t[0];
     }
   }
-  id_n1_a = target.tuples(e)[0][0];
-  id_n2 = target.tuples(e)[2][0];
+  id_n1_a = target.TuplesCopy(e)[0][0];
+  id_n2 = target.TuplesCopy(e)[2][0];
   EXPECT_EQ(id_n1_a, id_n1_b);
   EXPECT_NE(id_n1_a, id_n2);
 }
@@ -287,8 +287,8 @@ TEST(ChaseSOTest, PaperRule9CanonicalInstance) {
   ASSERT_TRUE(source.AddInts("R", {1, 2, 3}).ok());
   Instance target = *ChaseSOTgd(m, source);
   RelationId t = target.schema().Find("T");
-  ASSERT_EQ(target.tuples(t).size(), 1u);
-  const Tuple& tuple = target.tuples(t)[0];
+  ASSERT_EQ(target.TuplesCopy(t).size(), 1u);
+  const Tuple tuple = target.TuplesCopy(t)[0];
   EXPECT_EQ(tuple[0], Value::Int(1));
   EXPECT_TRUE(tuple[1].is_null());
   EXPECT_EQ(tuple[1], tuple[2]);

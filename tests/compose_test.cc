@@ -57,9 +57,9 @@ TEST(ComposeTest, SkolemsNestThroughComposition) {
   ASSERT_TRUE(source.AddInts("A", {1}).ok());
   Instance target = *ChaseSOTgd(composed, source);
   RelationId z = target.schema().Find("Z");
-  ASSERT_EQ(target.tuples(z).size(), 1u);
-  EXPECT_TRUE(target.tuples(z)[0][0].is_null());
-  EXPECT_TRUE(target.tuples(z)[0][1].is_null());
+  ASSERT_EQ(target.TuplesCopy(z).size(), 1u);
+  EXPECT_TRUE(target.TuplesCopy(z)[0][0].is_null());
+  EXPECT_TRUE(target.TuplesCopy(z)[0][1].is_null());
 }
 
 TEST(ComposeTest, UnificationClashPrunesCombination) {

@@ -191,5 +191,95 @@ TEST_F(InstanceTest, SubsetAcrossDifferentSchemaObjects) {
   EXPECT_TRUE(b.SubsetOf(a));
 }
 
+TEST_F(InstanceTest, ActiveDomainIsSorted) {
+  Instance inst(schema_);
+  ASSERT_TRUE(inst.AddInts("R", {9, 3}).ok());
+  ASSERT_TRUE(inst.AddInts("S", {5, 1}).ok());
+  ASSERT_TRUE(inst.Add("R", {Value::FreshNull(), Value::Int(7)}).ok());
+  std::vector<Value> dom = inst.ActiveDomain();
+  EXPECT_EQ(dom.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(dom.begin(), dom.end()));
+  // Two runs over the same facts agree regardless of insertion history.
+  Instance again(schema_);
+  for (const Fact& f : inst.AllFacts()) {
+    ASSERT_TRUE(again.AddTuple(f.relation, f.tuple).ok());
+  }
+  EXPECT_EQ(again.ActiveDomain(), dom);
+}
+
+TEST_F(InstanceTest, EqualToAcrossDifferentSchemaObjects) {
+  // Equality, like subset, resolves relations by name — relation ids may
+  // differ between the two schemas.
+  Schema reordered{{"S", 2}, {"R", 2}};
+  Instance a(schema_);
+  Instance b(reordered);
+  ASSERT_TRUE(a.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(a.AddInts("S", {3, 4}).ok());
+  ASSERT_TRUE(b.AddInts("S", {3, 4}).ok());
+  ASSERT_TRUE(b.AddInts("R", {1, 2}).ok());
+  EXPECT_TRUE(a.EqualTo(b));
+  ASSERT_TRUE(b.AddInts("S", {5, 6}).ok());
+  EXPECT_FALSE(a.EqualTo(b));
+}
+
+TEST_F(InstanceTest, SubsetAgainstMissingRelationFails) {
+  Schema smaller{{"R", 2}};
+  Instance a(schema_);
+  Instance b(smaller);
+  ASSERT_TRUE(a.AddInts("S", {1, 2}).ok());
+  EXPECT_FALSE(a.SubsetOf(b));  // b's schema has no S
+  // ...but an instance whose S is empty is still a subset.
+  Instance empty_s(schema_);
+  EXPECT_TRUE(empty_s.SubsetOf(b));
+}
+
+TEST_F(InstanceTest, UnionWithMissingRelationFails) {
+  Schema smaller{{"R", 2}};
+  Instance a(smaller);
+  Instance b(schema_);
+  ASSERT_TRUE(b.AddInts("S", {1, 2}).ok());
+  EXPECT_EQ(a.UnionWith(b).code(), StatusCode::kNotFound);
+  // Empty relations on the other side are skipped, not resolved: union with
+  // an instance that only has R facts succeeds even though a lacks S.
+  Instance only_r(schema_);
+  ASSERT_TRUE(only_r.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(a.UnionWith(only_r).ok());
+  EXPECT_EQ(a.TotalSize(), 1u);
+}
+
+TEST_F(InstanceTest, UnionWithArityMismatchFails) {
+  Schema wide{{"R", 3}};
+  Instance a(schema_);
+  Instance b(wide);
+  ASSERT_TRUE(b.AddInts("R", {1, 2, 3}).ok());
+  EXPECT_EQ(a.UnionWith(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InstanceTest, UnionWithSelfAndEmptyAreNoOps) {
+  Instance a(schema_);
+  ASSERT_TRUE(a.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(a.UnionWith(a).ok());
+  EXPECT_EQ(a.TotalSize(), 1u);
+  Instance empty(schema_);
+  ASSERT_TRUE(a.UnionWith(empty).ok());
+  EXPECT_EQ(a.TotalSize(), 1u);
+  ASSERT_TRUE(empty.UnionWith(a).ok());
+  EXPECT_TRUE(empty.EqualTo(a));
+}
+
+TEST_F(InstanceTest, RelationAppendedToSharedSchemaBecomesUsable) {
+  // Instances share the schema by pointer; a relation appended after
+  // construction grows the instance's store table lazily.
+  auto schema = std::make_shared<Schema>(Schema{{"R", 2}});
+  Instance inst(schema);
+  ASSERT_TRUE(inst.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(schema->AddRelation("T", 1).ok());
+  ASSERT_TRUE(inst.AddInts("T", {9}).ok());
+  EXPECT_EQ(inst.TotalSize(), 2u);
+  RelationId t = schema->Find("T");
+  EXPECT_TRUE(inst.Contains(t, {Value::Int(9)}));
+  EXPECT_EQ(inst.ToString(), "{ R(1,2), T(9) }");
+}
+
 }  // namespace
 }  // namespace mapinv

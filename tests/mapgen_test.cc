@@ -81,7 +81,7 @@ TEST(MapGenTest, InstanceGeneration) {
   Instance inst = GenerateInstance(s, 10, 5, 42);
   EXPECT_TRUE(inst.IsNullFree());
   // Duplicates possible but bounded above by request.
-  EXPECT_LE(inst.tuples(s.Find("R")).size(), 10u);
+  EXPECT_LE(inst.TuplesCopy(s.Find("R")).size(), 10u);
   EXPECT_GE(inst.TotalSize(), 2u);
   // Deterministic per seed.
   Instance again = GenerateInstance(s, 10, 5, 42);

@@ -63,8 +63,8 @@ TEST(MiscTest, QuotedConstantsWithSpaces) {
   Instance inst = ParseInstanceInferSchema(
       "{ Course('intro to databases', 'fall term') }").ValueOrDie();
   RelationId c = inst.schema().Find("Course");
-  ASSERT_EQ(inst.tuples(c).size(), 1u);
-  EXPECT_EQ(inst.tuples(c)[0][0].ToString(), "intro to databases");
+  ASSERT_EQ(inst.TuplesCopy(c).size(), 1u);
+  EXPECT_EQ(inst.TuplesCopy(c)[0][0].ToString(), "intro to databases");
 }
 
 TEST(MiscTest, RecoveryOfUnionMappingNeverInventsFacts) {

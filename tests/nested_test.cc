@@ -75,18 +75,18 @@ TEST(NestedTest, ExchangeCorrelatesAcrossLevels) {
   Instance target = ChaseSOTgd(so, source).ValueOrDie();
   RelationId deptt = target.schema().Find("DeptT");
   RelationId empt = target.schema().Find("EmpT");
-  ASSERT_EQ(target.tuples(deptt).size(), 2u);
-  ASSERT_EQ(target.tuples(empt).size(), 3u);
+  ASSERT_EQ(target.TuplesCopy(deptt).size(), 2u);
+  ASSERT_EQ(target.TuplesCopy(empt).size(), 3u);
   // carol and dan share the cs key; eve has the ee key; the keys equal the
   // corresponding DeptT keys.
   Value cs_key, ee_key;
-  for (const Tuple& t : target.tuples(deptt)) {
+  for (const Tuple& t : target.TuplesCopy(deptt)) {
     if (t[0] == Value::MakeConstant("cs")) cs_key = t[1];
     if (t[0] == Value::MakeConstant("ee")) ee_key = t[1];
   }
   EXPECT_NE(cs_key, ee_key);
   int cs_members = 0, ee_members = 0;
-  for (const Tuple& t : target.tuples(empt)) {
+  for (const Tuple& t : target.TuplesCopy(empt)) {
     if (t[1] == cs_key) ++cs_members;
     if (t[1] == ee_key) ++ee_members;
   }

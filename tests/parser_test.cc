@@ -163,9 +163,9 @@ TEST(ParseInstanceTest, NullLiterals) {
   auto inst = ParseInstanceInferSchema("{ T(1,_N0), T(2,_N0), T(3,_N1) }");
   ASSERT_TRUE(inst.ok()) << inst.status().ToString();
   RelationId t = inst->schema().Find("T");
-  ASSERT_EQ(inst->tuples(t).size(), 3u);
-  EXPECT_EQ(inst->tuples(t)[0][1], inst->tuples(t)[1][1]);
-  EXPECT_NE(inst->tuples(t)[0][1], inst->tuples(t)[2][1]);
+  ASSERT_EQ(inst->TuplesCopy(t).size(), 3u);
+  EXPECT_EQ(inst->TuplesCopy(t)[0][1], inst->TuplesCopy(t)[1][1]);
+  EXPECT_NE(inst->TuplesCopy(t)[0][1], inst->TuplesCopy(t)[2][1]);
   EXPECT_FALSE(inst->IsNullFree());
 }
 

@@ -135,8 +135,8 @@ TEST(PolySOInverseTest, Rule9RoundTripRecoversShape) {
   std::vector<Instance> worlds = *RoundTripWorldsSO(m, inv, source);
   ASSERT_EQ(worlds.size(), 1u);
   RelationId r = worlds[0].schema().Find("R");
-  ASSERT_EQ(worlds[0].tuples(r).size(), 1u);
-  const Tuple& t = worlds[0].tuples(r)[0];
+  ASSERT_EQ(worlds[0].TuplesCopy(r).size(), 1u);
+  const Tuple t = worlds[0].TuplesCopy(r)[0];
   EXPECT_EQ(t[0], Value::Int(1));
   EXPECT_TRUE(t[1].is_null());
   EXPECT_TRUE(t[2].is_null());
@@ -177,7 +177,7 @@ TEST(PolySOInverseTest, CopyMappingBranchesAcrossProducers) {
   for (const Instance& w : worlds) {
     RelationId r = w.schema().Find("R");
     RelationId s = w.schema().Find("S");
-    EXPECT_EQ(w.tuples(r).size() + w.tuples(s).size(), 1u);
+    EXPECT_EQ(w.TuplesCopy(r).size() + w.TuplesCopy(s).size(), 1u);
   }
 }
 
@@ -237,15 +237,15 @@ TEST(PolySOInverseTest, StudentIdExampleRoundTrip) {
   std::vector<Instance> worlds = *RoundTripWorldsSO(m, inv, source);
   ASSERT_EQ(worlds.size(), 1u);
   RelationId takes = worlds[0].schema().Find("Takes");
-  ASSERT_EQ(worlds[0].tuples(takes).size(), 3u);
+  ASSERT_EQ(worlds[0].TuplesCopy(takes).size(), 3u);
   Value ann_db, ann_os, bob_db;
-  for (const Tuple& t : worlds[0].tuples(takes)) {
+  for (const Tuple& t : worlds[0].TuplesCopy(takes)) {
     if (t[1] == Value::MakeConstant("db") && !(t[0] == bob_db)) {
       // assigned below
     }
   }
   // Identify rows by course and cross-check student null sharing.
-  std::vector<Tuple> rows = worlds[0].tuples(takes);
+  std::vector<Tuple> rows = worlds[0].TuplesCopy(takes);
   std::map<std::string, std::vector<Value>> by_course;
   for (const Tuple& t : rows) by_course[t[1].ToString()].push_back(t[0]);
   ASSERT_EQ(by_course["db"].size(), 2u);

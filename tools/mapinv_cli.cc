@@ -265,6 +265,9 @@ std::string StatsJson(const ExecStats& stats) {
   out += ",\"hom_slot_bindings\":" + std::to_string(s.hom_slot_bindings);
   out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
   out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
+  out += ",\"tuples_arena_bytes\":" + std::to_string(s.tuples_arena_bytes);
+  out += ",\"index_catchup_rows\":" + std::to_string(s.index_catchup_rows);
+  out += ",\"worlds_forked\":" + std::to_string(s.worlds_forked);
   out += "}";
   return out;
 }
