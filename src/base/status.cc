@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "malformed";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
     case StatusCode::kNotFound:
       return "not-found";
     case StatusCode::kInternal:

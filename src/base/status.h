@@ -31,6 +31,10 @@ enum class StatusCode {
   kMalformed,
   /// A configured resource limit was exceeded (chase steps, worlds, ...).
   kResourceExhausted,
+  /// The operation was aborted cooperatively via a CancelToken (see
+  /// engine/execution_options.h). Distinct from kResourceExhausted: the
+  /// caller asked to stop; no budget was necessarily exceeded.
+  kCancelled,
   /// The requested object does not exist (unknown relation, variable, ...).
   kNotFound,
   /// An internal invariant failed; indicates a bug in mapinv itself.
@@ -66,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));

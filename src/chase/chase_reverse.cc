@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "chase/fire_plan.h"
+#include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
@@ -12,6 +13,10 @@
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_reverse_entry("chase_reverse/entry");
+FailPoint fp_reverse_fire("chase_reverse/fire");
+FailPoint fp_reverse_fork("chase_reverse/world_fork");
 
 // True if every conclusion equality of the disjunct holds under the trigger
 // bindings (equality endpoints are premise variables by validation).
@@ -119,6 +124,7 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         "reverse chase requires disjoint premise/conclusion schemas");
   }
   ScopedTraceSpan span(options, "chase_reverse");
+  MAPINV_FAILPOINT(fp_reverse_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, input);
@@ -129,6 +135,13 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   size_t created = 0;
   std::vector<Value> fresh;
   std::vector<Value> scratch;
+  // In kPartial mode exhaustion degrades at whole-trigger granularity: every
+  // world finishes the current trigger before the run stops, so the returned
+  // worlds are exactly the chase of a trigger-list prefix (no world has a
+  // half-applied disjunct). Limit checks are deferred to the end of the
+  // trigger for the same reason; the overshoot is bounded by one trigger's
+  // fan-out (|worlds| x |applicable disjuncts|).
+  bool cut_short = false;
   for (const ReverseDependency& dep : mapping.deps) {
     HomConstraints constraints;
     constraints.constant_vars.insert(dep.constant_vars.begin(),
@@ -150,18 +163,26 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     std::vector<Assignment> triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      MAPINV_ASSIGN_OR_RETURN(
-          triggers, CollectTriggers(search, input, dep.premise, constraints,
-                                    options, deadline));
+      Result<std::vector<Assignment>> collected = CollectTriggers(
+          search, input, dep.premise, constraints, options, deadline);
+      if (!collected.ok()) {
+        if (DegradeToPartial(options, collected.status())) break;
+        return collected.status();
+      }
+      triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
     std::vector<Value> fixed_values;  // ordered as the sat plan demands
     for (const Assignment& h : triggers) {
-      if (deadline.Expired()) {
-        return PhaseExhausted("chase_reverse",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms));
+      if (Status poll = PollPhaseInterrupt(options, deadline, "chase_reverse");
+          !poll.ok()) {
+        if (DegradeToPartial(options, poll)) {
+          cut_short = true;
+          break;
+        }
+        return poll;
       }
+      MAPINV_FAILPOINT(fp_reverse_fire);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
@@ -199,28 +220,40 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         // later writes get copied).
         for (size_t ai = 0; ai < applicable.size(); ++ai) {
           const size_t di = applicable[ai];
+          if (ai + 1 != applicable.size()) MAPINV_FAILPOINT(fp_reverse_fork);
           WorldState fork = (ai + 1 == applicable.size())
                                 ? std::move(world)
                                 : world.Fork();
           MAPINV_RETURN_NOT_OK(FireDisjunct(disjunct_exec[di], h,
                                             fork.instance.get(), &created,
                                             symbols, &fresh, &scratch));
-          if (created > options.max_new_facts) {
-            return PhaseExhausted("chase_reverse",
-                                  "exceeded max_new_facts = " +
-                                      std::to_string(options.max_new_facts));
-          }
           next.push_back(std::move(fork));
-          if (next.size() > options.max_worlds) {
-            return PhaseExhausted("chase_reverse",
-                                  "exceeded max_worlds = " +
-                                      std::to_string(options.max_worlds));
-          }
         }
       }
       worlds = std::move(next);
       if (worlds.empty()) return std::vector<Instance>{};  // unsatisfiable
+      // Limit checks deferred to the end of the trigger so a partial stop
+      // never leaves a world with a half-applied trigger.
+      Status exhausted;
+      if (created > options.max_new_facts) {
+        exhausted =
+            PhaseExhausted("chase_reverse",
+                           "exceeded max_new_facts = " +
+                               std::to_string(options.max_new_facts));
+      } else if (worlds.size() > options.max_worlds) {
+        exhausted = PhaseExhausted("chase_reverse",
+                                   "exceeded max_worlds = " +
+                                       std::to_string(options.max_worlds));
+      }
+      if (!exhausted.ok()) {
+        if (DegradeToPartial(options, exhausted)) {
+          cut_short = true;
+          break;
+        }
+        return exhausted;
+      }
     }
+    if (cut_short) break;
   }
   std::vector<Instance> out;
   out.reserve(worlds.size());

@@ -4,6 +4,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
@@ -11,6 +12,12 @@
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_so_entry("chase_so/entry");
+FailPoint fp_so_fire("chase_so/fire");
+FailPoint fp_so_inv_entry("chase_so_inverse/entry");
+FailPoint fp_so_inv_fire("chase_so_inverse/fire");
+FailPoint fp_so_inv_fork("chase_so_inverse/world_fork");
 
 // --------------------------------------------------------------------------
 // Forward chase: plain SO-tgds with Skolem semantics.
@@ -76,6 +83,7 @@ Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
 Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
                             const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "chase_so");
+  MAPINV_FAILPOINT(fp_so_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
@@ -85,15 +93,21 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   search.set_stats(options.stats);
   size_t created = 0;
   std::vector<Value> scratch;  // reused row buffer for AddRow
+  // kPartial degrades at whole-trigger granularity (see ChaseTgds).
+  bool cut_short = false;
   for (const SORule& rule : mapping.so.rules) {
     // Parallel trigger collection; the Skolem-firing phase stays sequential
     // so null labels are assigned in the canonical trigger order.
     std::vector<Assignment> triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      MAPINV_ASSIGN_OR_RETURN(
-          triggers, CollectTriggers(search, source, rule.premise,
-                                    HomConstraints{}, options, deadline));
+      Result<std::vector<Assignment>> collected = CollectTriggers(
+          search, source, rule.premise, HomConstraints{}, options, deadline);
+      if (!collected.ok()) {
+        if (DegradeToPartial(options, collected.status())) break;
+        return collected.status();
+      }
+      triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
     // Conclusion relations resolved to ids once per rule, not per fired
@@ -108,11 +122,15 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
       conclusion_rels.push_back(rel);
     }
     for (const Assignment& h : triggers) {
-      if (deadline.Expired()) {
-        return PhaseExhausted("chase_so",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms));
+      if (Status poll = PollPhaseInterrupt(options, deadline, "chase_so");
+          !poll.ok()) {
+        if (DegradeToPartial(options, poll)) {
+          cut_short = true;
+          break;
+        }
+        return poll;
       }
+      MAPINV_FAILPOINT(fp_so_fire);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
@@ -126,13 +144,23 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
         }
         MAPINV_ASSIGN_OR_RETURN(bool added,
                                 target.AddRow(conclusion_rels[ai], scratch));
-        if (added && ++created > options.max_new_facts) {
-          return PhaseExhausted("chase_so",
-                                "exceeded max_new_facts = " +
-                                    std::to_string(options.max_new_facts));
+        if (added) ++created;
+      }
+      // Whole-trigger granularity (see ChaseTgds): checked after the trigger
+      // so a partial stop never leaves a half-fired conclusion.
+      if (created > options.max_new_facts) {
+        Status exhausted =
+            PhaseExhausted("chase_so",
+                           "exceeded max_new_facts = " +
+                               std::to_string(options.max_new_facts));
+        if (DegradeToPartial(options, exhausted)) {
+          cut_short = true;
+          break;
         }
+        return exhausted;
       }
     }
+    if (cut_short) break;
   }
   if (options.stats != nullptr) {
     options.stats->ObserveArenaBytes(target.ArenaBytes());
@@ -333,12 +361,16 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
     const SOInverseMapping& mapping, const Instance& input,
     const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "chase_so_inverse");
+  MAPINV_FAILPOINT(fp_so_inv_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, input);
   HomSearch search(input);
   search.set_stats(options.stats);
   std::vector<World> worlds(1);
+  // kPartial degrades at whole-trigger granularity: every world finishes the
+  // current trigger before the run stops (see ChaseReverseWorlds).
+  bool cut_short = false;
   for (const SOInverseRule& rule : mapping.inverse.rules) {
     HomConstraints constraints;
     constraints.constant_vars.insert(rule.constant_vars.begin(),
@@ -346,17 +378,26 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
     std::vector<Assignment> triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      MAPINV_ASSIGN_OR_RETURN(
-          triggers, CollectTriggers(search, input, {rule.premise}, constraints,
-                                    options, deadline));
+      Result<std::vector<Assignment>> collected = CollectTriggers(
+          search, input, {rule.premise}, constraints, options, deadline);
+      if (!collected.ok()) {
+        if (DegradeToPartial(options, collected.status())) break;
+        return collected.status();
+      }
+      triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
     for (const Assignment& h : triggers) {
-      if (deadline.Expired()) {
-        return PhaseExhausted("chase_so_inverse",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms));
+      if (Status poll =
+              PollPhaseInterrupt(options, deadline, "chase_so_inverse");
+          !poll.ok()) {
+        if (DegradeToPartial(options, poll)) {
+          cut_short = true;
+          break;
+        }
+        return poll;
       }
+      MAPINV_FAILPOINT(fp_so_inv_fire);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
@@ -367,26 +408,36 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
           // The last disjunct consumes the world; earlier ones fork a copy
           // of the symbolic store (counted as a world fork).
           const bool last = di + 1 == rule.disjuncts.size();
-          if (!last && options.stats != nullptr) {
-            options.stats->worlds_forked.fetch_add(1,
-                                                   std::memory_order_relaxed);
+          if (!last) {
+            MAPINV_FAILPOINT(fp_so_inv_fork);
+            if (options.stats != nullptr) {
+              options.stats->worlds_forked.fetch_add(
+                  1, std::memory_order_relaxed);
+            }
           }
           MAPINV_ASSIGN_OR_RETURN(
               std::optional<World> applied,
               ApplyDisjunct(d, h, last ? std::move(world) : World(world)));
-          if (applied.has_value()) {
-            next.push_back(std::move(*applied));
-            if (next.size() > options.max_worlds) {
-              return PhaseExhausted("chase_so_inverse",
-                                    "exceeded max_worlds = " +
-                                        std::to_string(options.max_worlds));
-            }
-          }
+          if (applied.has_value()) next.push_back(std::move(*applied));
         }
       }
       worlds = std::move(next);
       if (worlds.empty()) return std::vector<Instance>{};
+      // Checked after the whole trigger (see ChaseReverseWorlds): a partial
+      // stop never leaves a world with a half-applied trigger.
+      if (worlds.size() > options.max_worlds) {
+        Status exhausted =
+            PhaseExhausted("chase_so_inverse",
+                           "exceeded max_worlds = " +
+                               std::to_string(options.max_worlds));
+        if (DegradeToPartial(options, exhausted)) {
+          cut_short = true;
+          break;
+        }
+        return exhausted;
+      }
     }
+    if (cut_short) break;
   }
   std::vector<Instance> out;
   out.reserve(worlds.size());

@@ -1,6 +1,7 @@
 #include "chase/chase_tgd.h"
 
 #include "chase/fire_plan.h"
+#include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
@@ -8,9 +9,15 @@
 
 namespace mapinv {
 
+namespace {
+FailPoint fp_chase_entry("chase_tgds/entry");
+FailPoint fp_chase_fire("chase_tgds/fire");
+}  // namespace
+
 Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
                            const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "chase_tgds");
+  MAPINV_FAILPOINT(fp_chase_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
@@ -22,6 +29,11 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
   size_t created = 0;
   std::vector<Value> fresh;    // per-firing nulls, one per existential var
   std::vector<Value> scratch;  // reused row buffer for AddRow
+  // In kPartial mode exhaustion degrades at whole-trigger granularity: the
+  // current trigger's conclusion atoms all land before the loop stops, so
+  // the returned instance is the chase output of a trigger-list prefix — a
+  // sound under-approximation of the universal solution.
+  bool cut_short = false;
   for (const Tgd& tgd : mapping.tgds) {
     // Collect triggers first: firing only adds target facts, so the trigger
     // set over the (source-only) premise is not affected by firing order.
@@ -31,9 +43,13 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
     std::vector<Assignment> triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      MAPINV_ASSIGN_OR_RETURN(
-          triggers, CollectTriggers(search, source, tgd.premise,
-                                    HomConstraints{}, options, deadline));
+      Result<std::vector<Assignment>> collected = CollectTriggers(
+          search, source, tgd.premise, HomConstraints{}, options, deadline);
+      if (!collected.ok()) {
+        if (DegradeToPartial(options, collected.status())) break;
+        return collected.status();
+      }
+      triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
     // Per-tgd invariants hoisted out of the trigger loop: the frontier /
@@ -54,11 +70,15 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
     }
     std::vector<Value> frontier_values;  // ordered as conclusion_plan demands
     for (const Assignment& h : triggers) {
-      if (deadline.Expired()) {
-        return PhaseExhausted("chase_tgds",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms));
+      if (Status poll = PollPhaseInterrupt(options, deadline, "chase_tgds");
+          !poll.ok()) {
+        if (DegradeToPartial(options, poll)) {
+          cut_short = true;
+          break;
+        }
+        return poll;
       }
+      MAPINV_FAILPOINT(fp_chase_fire);
       if (!options.oblivious) {
         frontier_values.clear();
         for (VarId v : conclusion_plan->fixed_vars) {
@@ -84,13 +104,24 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
         BuildFireRow(fa, h, fresh, &scratch);
         MAPINV_ASSIGN_OR_RETURN(bool added,
                                 target.AddRow(fa.relation, scratch));
-        if (added && ++created > options.max_new_facts) {
-          return PhaseExhausted("chase_tgds",
-                                "exceeded max_new_facts = " +
-                                    std::to_string(options.max_new_facts));
+        if (added) ++created;
+      }
+      // Checked after the whole trigger fires (not per atom), so a partial
+      // stop never leaves a half-fired conclusion; overshoot is bounded by
+      // one trigger's conclusion atoms.
+      if (created > options.max_new_facts) {
+        Status exhausted =
+            PhaseExhausted("chase_tgds",
+                           "exceeded max_new_facts = " +
+                               std::to_string(options.max_new_facts));
+        if (DegradeToPartial(options, exhausted)) {
+          cut_short = true;
+          break;
         }
+        return exhausted;
       }
     }
+    if (cut_short) break;
   }
   if (options.stats != nullptr) {
     options.stats->ObserveArenaBytes(target.ArenaBytes());

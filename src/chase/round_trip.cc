@@ -1,8 +1,14 @@
 #include "chase/round_trip.h"
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 
 namespace mapinv {
+
+namespace {
+FailPoint fp_round_trip_entry("round_trip/entry");
+FailPoint fp_round_trip_so_entry("round_trip_so/entry");
+}  // namespace
 
 Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
                                               const ReverseMapping& reverse,
@@ -10,7 +16,11 @@ Result<std::vector<Instance>> RoundTripWorlds(const TgdMapping& mapping,
                                               const ExecutionOptions& options) {
   // One budget for both chases: resolve the deadline here and carry it into
   // the stages, instead of letting each restart the full deadline_ms.
+  // In kPartial mode a stage cut short degrades inside the stage itself; a
+  // forward chase stopped early simply hands a smaller canonical instance to
+  // the reverse chase, which then degrades in turn on the shared budget.
   ScopedTraceSpan span(options, "round_trip");
+  MAPINV_FAILPOINT(fp_round_trip_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   ExecutionOptions inner = options;
   inner.deadline = &CarriedDeadline(options, entry_deadline);
@@ -34,6 +44,7 @@ Result<std::vector<Instance>> RoundTripWorldsSO(const SOTgdMapping& mapping,
                                                 const Instance& source,
                                                 const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "round_trip");
+  MAPINV_FAILPOINT(fp_round_trip_so_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   ExecutionOptions inner = options;
   inner.deadline = &CarriedDeadline(options, entry_deadline);

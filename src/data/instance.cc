@@ -4,9 +4,15 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/failpoint.h"
+
 namespace mapinv {
 
 namespace {
+
+// Fires before any store mutation, so an injected arena-growth failure
+// leaves the instance exactly as it was (strong guarantee).
+FailPoint fp_add_row("instance/add_row");
 
 bool RowEquals(const Value* a, const Value* b, uint32_t arity) {
   for (uint32_t i = 0; i < arity; ++i) {
@@ -53,6 +59,7 @@ Instance::Store& Instance::Mutable(RelationId relation) {
 }
 
 Result<bool> Instance::AddRow(RelationId relation, RowView row) {
+  MAPINV_FAILPOINT(fp_add_row);
   EnsureSlots();
   if (relation >= schema_->size()) {
     return Status::NotFound("relation id " + std::to_string(relation) +
@@ -252,7 +259,9 @@ std::string Instance::ToString() const {
     std::string s = schema_->name(r) + "(";
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) s += ",";
-      s += row[i].ToString();
+      // Quote spellings that would not read back as the same constant
+      // (non-identifier characters, null-shaped _N<digits>, ...).
+      s += RenderFactValue(row[i]);
     }
     s += ")";
     rendered.push_back(std::move(s));

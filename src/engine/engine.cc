@@ -37,6 +37,8 @@ ExecutionOptions Engine::MakeOptions() {
   options.symbols = &symbols_;
   options.stats = &stats_;
   options.trace = tracer_;
+  options.cancel = &cancel_;
+  options.on_exhausted = config_.on_exhausted;
   return options;
 }
 

@@ -54,6 +54,11 @@ struct EngineConfig {
   /// Wall-clock budget per call (not per Engine); 0 = unlimited. Copied
   /// into limits.deadline_ms for convenience when non-zero.
   int64_t deadline_ms = 0;
+  /// What a call does when a resource limit or cancellation fires mid-way:
+  /// kFail (default) returns the exhaustion Status; kPartial returns the
+  /// best sound result so far with ExecStats.partial set. See
+  /// docs/ROBUSTNESS.md for the per-procedure soundness contract.
+  OnExhausted on_exhausted = OnExhausted::kFail;
 };
 
 /// \brief Facade bundling pool + symbol scope + stats for the full pipeline.
@@ -103,6 +108,14 @@ class Engine {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Requests cooperative cancellation of the call in flight (safe from any
+  /// thread). The running call returns kCancelled — or, under
+  /// EngineConfig::on_exhausted = kPartial, the partial result built so far.
+  /// The flag is sticky: call ResetCancel() before the next call.
+  void Cancel() { cancel_.Cancel(); }
+  void ResetCancel() { cancel_.Reset(); }
+  const CancelToken& cancel_token() const { return cancel_; }
+
   /// Attaches a trace sink: subsequent calls record their phase tree into
   /// it. Pass nullptr to detach. The Tracer must outlive the calls; it is
   /// not owned.
@@ -119,6 +132,7 @@ class Engine {
   EngineConfig config_;
   SymbolContext symbols_;
   ExecStats stats_;
+  CancelToken cancel_;
   std::unique_ptr<ThreadPool> pool_;
   Tracer* tracer_ = nullptr;
 };

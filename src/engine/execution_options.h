@@ -35,6 +35,8 @@
 #include <optional>
 #include <string>
 
+#include "base/status.h"
+
 namespace mapinv {
 
 class SymbolContext;
@@ -75,6 +77,10 @@ struct ResourceLimits {
 /// \brief Plain (non-atomic) copy of ExecStats counters — the unit traded
 /// between ExecStats and the trace layer.
 struct ExecStatsSnapshot {
+  /// True if the producing execution degraded to a partial result (see
+  /// ExecutionOptions::on_exhausted). Boolean, not a counter: the trace
+  /// layer ORs it across spans instead of summing.
+  bool partial = false;
   uint64_t chase_steps = 0;
   uint64_t hom_backtracks = 0;
   uint64_t hom_searches = 0;
@@ -127,6 +133,11 @@ struct ExecStats {
   /// Copy-on-write world forks taken by the disjunctive chase engines
   /// (reverse chase and SO-inverse worlds).
   std::atomic<uint64_t> worlds_forked{0};
+  /// Set when an execution running with on_exhausted == kPartial hit a
+  /// deadline/limit/cancellation and returned the best sound result so far
+  /// instead of failing. Sticky across operations sharing the sink until
+  /// Reset() — "something in this pipeline was cut short".
+  std::atomic<bool> partial{false};
 
   /// Records a new arena-bytes observation (monotonic max).
   void ObserveArenaBytes(uint64_t bytes) {
@@ -148,6 +159,7 @@ struct ExecStats {
     tuples_arena_bytes = 0;
     index_catchup_rows = 0;
     worlds_forked = 0;
+    partial = false;
   }
 
   ExecStatsSnapshot Snapshot() const {
@@ -164,6 +176,7 @@ struct ExecStats {
     s.tuples_arena_bytes = tuples_arena_bytes.load(std::memory_order_relaxed);
     s.index_catchup_rows = index_catchup_rows.load(std::memory_order_relaxed);
     s.worlds_forked = worlds_forked.load(std::memory_order_relaxed);
+    s.partial = partial.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -179,7 +192,8 @@ struct ExecStats {
            " cache_misses=" + std::to_string(cache_misses.load()) +
            " tuples_arena_bytes=" + std::to_string(tuples_arena_bytes.load()) +
            " index_catchup_rows=" + std::to_string(index_catchup_rows.load()) +
-           " worlds_forked=" + std::to_string(worlds_forked.load());
+           " worlds_forked=" + std::to_string(worlds_forked.load()) +
+           " partial=" + (partial.load() ? "true" : "false");
   }
 };
 
@@ -239,6 +253,44 @@ class ExecDeadline {
   mutable std::atomic<bool> expired_{false};
 };
 
+/// \brief Cooperative cancellation flag shared between a running pipeline
+/// and a concurrent controller thread.
+///
+/// The controller calls Cancel(); the pipeline polls Cancelled() at the same
+/// sites that poll the deadline and unwinds with kCancelled naming the phase
+/// it was in (see PhaseCancelled in engine/trace.h). Cancellation is
+/// level-triggered and sticky: once set it stays set until Reset(), so a
+/// token belongs to one run (Engine::ResetCancel re-arms between runs).
+///
+/// A poll is a single relaxed atomic load — cheaper than the deadline's
+/// amortised tick (whose 1-in-64 discipline exists to avoid *clock reads*,
+/// not atomic ops), so cancellation polls are not themselves amortised.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief What an execution does when a deadline, resource limit or
+/// cancellation strikes mid-run.
+enum class OnExhausted {
+  /// Fail the whole operation with kResourceExhausted / kCancelled
+  /// (historical behaviour; the default).
+  kFail,
+  /// Return the best *sound* result completed so far, tagged
+  /// ExecStats.partial = true. Each procedure degrades only at granularities
+  /// that preserve its soundness contract — see docs/ROBUSTNESS.md. Errors
+  /// other than exhaustion/cancellation (kInternal, kMalformed, ...) still
+  /// fail: partial mode never masks bugs.
+  kPartial,
+};
+
 /// \brief Options accepted by the chase, rewrite, inversion and round-trip
 /// entry points. Inherits every ResourceLimits knob; adds execution policy.
 struct ExecutionOptions : ResourceLimits {
@@ -271,7 +323,45 @@ struct ExecutionOptions : ResourceLimits {
   /// disables tracing. Spans are opened/closed only on the pipeline control
   /// thread, never inside parallel sections.
   Tracer* trace = nullptr;
+  /// Cooperative cancellation token, polled at the same sites as the
+  /// deadline; nullptr disables cancellation. Cancellation wins over a
+  /// simultaneously expired deadline (the more specific cause).
+  const CancelToken* cancel = nullptr;
+  /// Degradation policy on deadline/limit/cancellation exhaustion.
+  OnExhausted on_exhausted = OnExhausted::kFail;
 };
+
+/// \brief True if `options` carries a token that has been cancelled.
+inline bool CancelRequested(const ExecutionOptions& options) {
+  return options.cancel != nullptr && options.cancel->Cancelled();
+}
+
+/// \brief True if `status` is an exhaustion-class error that kPartial mode
+/// may degrade into a partial result. Anything else (kInternal, kMalformed,
+/// injected faults, ...) must keep failing.
+inline bool IsExhaustion(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kCancelled;
+}
+
+/// \brief Records that the result being returned is partial.
+inline void MarkPartial(const ExecutionOptions& options) {
+  if (options.stats != nullptr) {
+    options.stats->partial.store(true, std::memory_order_relaxed);
+  }
+}
+
+/// \brief Degradation decision for an exhaustion-class `status`: true means
+/// "stop here and return the sound prefix" (and the partial flag has been
+/// recorded); false means the caller must propagate the error.
+inline bool DegradeToPartial(const ExecutionOptions& options,
+                             const Status& status) {
+  if (options.on_exhausted != OnExhausted::kPartial || !IsExhaustion(status)) {
+    return false;
+  }
+  MarkPartial(options);
+  return true;
+}
 
 /// \brief Entry-point helper: the deadline carried by `options` if an
 /// enclosing stage resolved one, else `fallback` (which the caller

@@ -1,0 +1,133 @@
+#include "engine/failpoint.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace mapinv {
+
+namespace {
+
+// splitmix64: the decision stream for FailPointSpec::kRandom. A pure
+// function of (seed, hit index), so armed-random runs replay exactly.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FailPoint::FailPoint(const char* name) : name_(name) {
+  FailPointRegistry::Global().Register(this);
+}
+
+Status FailPoint::Trip() {
+  FailPointSpec spec;
+  uint64_t hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(FailPointRegistry::Global().mu_);
+    // Re-check under the lock: a concurrent Deactivate may have disarmed us
+    // between the fast-path load and here.
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    spec = spec_;
+    hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+  }
+  bool fail = false;
+  switch (spec.mode) {
+    case FailPointSpec::Mode::kCount:
+      break;
+    case FailPointSpec::Mode::kAlways:
+      fail = true;
+      break;
+    case FailPointSpec::Mode::kNth:
+      fail = hit == spec.nth;
+      break;
+    case FailPointSpec::Mode::kRandom: {
+      // Top 53 bits as a uniform double in [0, 1).
+      const double u =
+          static_cast<double>(SplitMix64(spec.seed ^ hit) >> 11) * 0x1.0p-53;
+      fail = u < spec.rate;
+      break;
+    }
+  }
+  if (!fail) return Status::OK();
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  return Status(spec.code, "failpoint '" + std::string(name_) +
+                               "': injected failure");
+}
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+void FailPointRegistry::Register(FailPoint* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.push_back(site);
+}
+
+Status FailPointRegistry::Activate(std::string_view name,
+                                   const FailPointSpec& spec) {
+  if (spec.code == StatusCode::kOk) {
+    return Status::InvalidArgument(
+        "failpoint spec: injected code must be an error code");
+  }
+  if (spec.mode == FailPointSpec::Mode::kNth && spec.nth == 0) {
+    return Status::InvalidArgument("failpoint spec: nth is 1-based");
+  }
+  if (spec.mode == FailPointSpec::Mode::kRandom &&
+      !(spec.rate >= 0.0 && spec.rate <= 1.0)) {
+    return Status::InvalidArgument("failpoint spec: rate must be in [0, 1]");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailPoint* site : sites_) {
+    if (site->name_ == name) {
+      site->spec_ = spec;
+      site->hits_.store(0, std::memory_order_relaxed);
+      site->trips_.store(0, std::memory_order_relaxed);
+      site->armed_.store(true, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no failpoint named '" + std::string(name) + "'");
+}
+
+Status FailPointRegistry::Deactivate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailPoint* site : sites_) {
+    if (site->name_ == name) {
+      site->armed_.store(false, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no failpoint named '" + std::string(name) + "'");
+}
+
+void FailPointRegistry::DeactivateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailPoint* site : sites_) {
+    site->armed_.store(false, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> FailPointRegistry::SiteNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(sites_.size());
+    for (const FailPoint* site : sites_) names.emplace_back(site->name_);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FailPoint* FailPointRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailPoint* site : sites_) {
+    if (site->name_ == name) return site;
+  }
+  return nullptr;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,150 @@
+/// \file failpoint.h
+/// \brief Deterministic fault injection: named FailPoint sites threaded
+/// through the pipeline.
+///
+/// A FailPoint is a named site compiled into the library at a place where a
+/// real fault could strike — a phase boundary, a world fork, an arena write,
+/// a plan compile, a cache insert. Disarmed (the default), a site is a
+/// single relaxed atomic load and a predictable branch; armed, it returns an
+/// injected non-OK Status that propagates through the normal
+/// Status/Result error path, so tests can prove that *every* failure exit of
+/// the pipeline leaves inputs untouched and the engine reusable.
+///
+/// Sites are defined at namespace scope in the .cc that owns them:
+///
+///   namespace {
+///   FailPoint fp_fire("chase_tgds/fire");
+///   }  // namespace
+///   ...
+///   MAPINV_FAILPOINT(fp_fire);   // returns the injected Status, if any
+///
+/// and are registered with the global FailPointRegistry during static
+/// initialisation, so a sweep test can enumerate every site — including the
+/// ones its workload has not executed yet — via SiteNames().
+///
+/// Arming modes (FailPointSpec::Mode):
+///   * kCount  — never fails; counts hits (coverage probes);
+///   * kAlways — every hit fails;
+///   * kNth    — exactly the nth hit fails (1-based), later hits pass;
+///   * kRandom — each hit fails with probability `rate`, driven by a seeded
+///               per-site splitmix64 stream, so a given (seed, hit-index)
+///               sequence is reproducible run-to-run.
+///
+/// The injected Status is `Status(spec.code, "failpoint '<name>': injected
+/// failure")` — deterministic, no pointers, no timestamps. The default code
+/// is kInternal: an injected fault is a simulated *bug or hard fault*, not
+/// an organic budget exhaustion, so it is never degraded to a partial
+/// result (see ExecutionOptions::on_exhausted).
+///
+/// Thread-safety: Check() may race with Activate/Deactivate; the fast path
+/// is a relaxed load and the slow path serialises on the registry mutex.
+
+#ifndef MAPINV_ENGINE_FAILPOINT_H_
+#define MAPINV_ENGINE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+/// \brief How an armed FailPoint decides whether a hit fails.
+struct FailPointSpec {
+  enum class Mode {
+    kCount,   ///< never fail, just count hits (coverage probe)
+    kAlways,  ///< fail every hit
+    kNth,     ///< fail exactly the nth hit (1-based)
+    kRandom,  ///< fail each hit with probability `rate` (seeded)
+  };
+  Mode mode = Mode::kAlways;
+  /// For kNth: the 1-based hit index that fails.
+  uint64_t nth = 1;
+  /// For kRandom: failure probability in [0, 1].
+  double rate = 0.0;
+  /// For kRandom: stream seed; the decision for hit i is a pure function of
+  /// (seed, i), so runs are reproducible.
+  uint64_t seed = 0;
+  /// Status code of the injected failure.
+  StatusCode code = StatusCode::kInternal;
+};
+
+/// \brief One named injection site. Define at namespace scope (registration
+/// happens during static initialisation); never destroy while the registry
+/// is in use — sites are expected to live for the process lifetime.
+class FailPoint {
+ public:
+  explicit FailPoint(const char* name);
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const char* name() const { return name_; }
+
+  /// The hot-path probe: a no-op branch while disarmed.
+  Status Check() {
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    return Trip();
+  }
+
+  /// Hits observed while armed (any mode, including kCount).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  /// Hits that actually injected a failure.
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FailPointRegistry;
+
+  /// Slow path: only runs while armed; serialises on the registry mutex.
+  Status Trip();
+
+  const char* name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> trips_{0};
+  FailPointSpec spec_;  // guarded by the registry mutex
+};
+
+/// \brief Process-wide directory of every FailPoint site, keyed by name.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Global();
+
+  /// Arms the named site. kNotFound if no such site is registered;
+  /// kInvalidArgument for a bad spec (rate outside [0,1], nth == 0, or an
+  /// OK injection code).
+  Status Activate(std::string_view name, const FailPointSpec& spec);
+  /// Disarms the named site (hit/trip counters are kept until re-armed).
+  Status Deactivate(std::string_view name);
+  /// Disarms every site.
+  void DeactivateAll();
+
+  /// All registered site names, sorted, so sweeps are deterministic.
+  std::vector<std::string> SiteNames() const;
+  /// The site object for `name`; nullptr if unknown.
+  FailPoint* Find(std::string_view name) const;
+
+ private:
+  friend class FailPoint;
+  FailPointRegistry() = default;
+  void Register(FailPoint* site);
+
+  mutable std::mutex mu_;
+  std::vector<FailPoint*> sites_;
+};
+
+/// Propagates the injected Status out of the enclosing function when `site`
+/// is armed and decides to fail this hit. Works in any function returning
+/// Status or Result<T>.
+#define MAPINV_FAILPOINT(site)                    \
+  do {                                            \
+    if (::mapinv::Status _fp = (site).Check(); !_fp.ok()) return _fp; \
+  } while (0)
+
+}  // namespace mapinv
+
+#endif  // MAPINV_ENGINE_FAILPOINT_H_

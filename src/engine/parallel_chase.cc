@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "engine/failpoint.h"
 #include "engine/thread_pool.h"
 #include "engine/trace.h"
 #include "eval/hom_plan.h"
@@ -10,6 +11,9 @@
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_collect_entry("collect_triggers/entry");
+FailPoint fp_collect_chunk("collect_triggers/chunk");
 
 // Binds `atom`'s terms against `tuple` into `out` (starting empty), applying
 // the same eager checks ForEachHom performs: constants must match, repeated
@@ -53,6 +57,7 @@ Result<std::vector<Assignment>> CollectTriggers(
     const ExecutionOptions& options, const ExecDeadline& deadline) {
   // Validates every premise atom and builds the indexes up front, so the
   // parallel section below only reads shared state.
+  MAPINV_FAILPOINT(fp_collect_entry);
   MAPINV_RETURN_NOT_OK(search.Prewarm(premise));
 
   if (premise.empty()) {
@@ -128,12 +133,22 @@ Result<std::vector<Assignment>> CollectTriggers(
   auto run_chunk = [&](size_t c) {
     const size_t begin = c * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
+    if (Status fp = fp_collect_chunk.Check(); !fp.ok()) {
+      statuses[c] = std::move(fp);
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
     uint64_t local_rejected = 0;
     Assignment bindings;  // reused per candidate; clear() keeps its buckets
     for (size_t i = begin;
          i < end && !abort.load(std::memory_order_relaxed); ++i) {
-      // Expired() amortises its own clock reads, so polling every candidate
-      // is cheap.
+      // The cancel poll is a relaxed load; Expired() amortises its own clock
+      // reads — so polling both every candidate is cheap.
+      if (CancelRequested(options)) {
+        statuses[c] = PhaseCancelled("collect_triggers");
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
       if (deadline.Expired()) {
         statuses[c] = PhaseExhausted(
             "collect_triggers", "deadline exceeded during trigger enumeration");

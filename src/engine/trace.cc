@@ -10,6 +10,10 @@ namespace {
 ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
                         const ExecStatsSnapshot& then) {
   ExecStatsSnapshot d;
+  // `partial` is a flag, not a counter: a span is partial if the flag is set
+  // at exit (it is sticky within a run, so "set at exit" covers "set during
+  // the span or before it" — good enough for "was anything cut short").
+  d.partial = now.partial;
   d.chase_steps = now.chase_steps - then.chase_steps;
   d.hom_backtracks = now.hom_backtracks - then.hom_backtracks;
   d.hom_searches = now.hom_searches - then.hom_searches;
@@ -28,6 +32,7 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
 }
 
 void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
+  into.partial = into.partial || d.partial;
   into.chase_steps += d.chase_steps;
   into.hom_backtracks += d.hom_backtracks;
   into.hom_searches += d.hom_searches;
@@ -67,6 +72,7 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
   out += " index_catchup_rows=" +
          std::to_string(span.stats.index_catchup_rows);
   out += " worlds_forked=" + std::to_string(span.stats.worlds_forked);
+  if (span.stats.partial) out += " partial=true";
   out += "\n";
   for (const auto& child : span.children) {
     AppendText(*child, depth + 1, out);
@@ -89,6 +95,8 @@ void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
   out += ",\"index_catchup_rows\":" +
          std::to_string(stats.index_catchup_rows);
   out += ",\"worlds_forked\":" + std::to_string(stats.worlds_forked);
+  out += ",\"partial\":";
+  out += stats.partial ? "true" : "false";
 }
 
 void AppendJson(const TraceSpan& span, std::string& out) {
@@ -189,6 +197,10 @@ std::string Tracer::ToJson() const {
 Status PhaseExhausted(std::string_view phase, std::string_view detail) {
   return Status::ResourceExhausted("phase '" + std::string(phase) +
                                    "': " + std::string(detail));
+}
+
+Status PhaseCancelled(std::string_view phase) {
+  return Status::Cancelled("phase '" + std::string(phase) + "': cancelled");
 }
 
 }  // namespace mapinv

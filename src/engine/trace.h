@@ -117,6 +117,27 @@ class ScopedTraceSpan {
 /// through this so callers (and tests) can rely on the phase being named.
 Status PhaseExhausted(std::string_view phase, std::string_view detail);
 
+/// \brief The canonical kCancelled error for a pipeline phase:
+/// "phase 'rewrite': cancelled". Deterministic: no timestamps, no pointers,
+/// byte-identical across thread counts and runs.
+Status PhaseCancelled(std::string_view phase);
+
+/// \brief The combined interrupt poll used at phase loop heads: reports
+/// cancellation first (the more specific cause — a caller cancelling an
+/// already-over-budget run should see kCancelled), then the deadline.
+/// Returns OK when neither fired. The deadline poll is amortised
+/// (ExecDeadline::Expired); the cancel poll is a single relaxed load.
+inline Status PollPhaseInterrupt(const ExecutionOptions& options,
+                                 const ExecDeadline& deadline,
+                                 std::string_view phase) {
+  if (CancelRequested(options)) return PhaseCancelled(phase);
+  if (deadline.Expired()) {
+    return PhaseExhausted(phase, "exceeded deadline_ms = " +
+                                     std::to_string(options.deadline_ms));
+  }
+  return Status::OK();
+}
+
 }  // namespace mapinv
 
 #endif  // MAPINV_ENGINE_TRACE_H_

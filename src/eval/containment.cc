@@ -7,12 +7,16 @@
 #include <unordered_set>
 
 #include "engine/eval_cache.h"
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "eval/query_eval.h"
 
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_minimize_entry("minimize/entry");
+FailPoint fp_containment_cache_insert("containment/cache_insert");
 
 // ---------------------------------------------------------------------------
 // Canonical cache keys. Variables are renamed by first occurrence, so
@@ -204,6 +208,7 @@ Result<bool> CqContainedIn(const ConjunctiveQuery& q1,
     head.push_back(it->second);
   }
   const bool contained = answers.Contains(head);
+  MAPINV_FAILPOINT(fp_containment_cache_insert);
   cache.PutBool(key, contained);
   return contained;
 }
@@ -225,7 +230,8 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
       DisjunctKey(d2, head_vars));
   EvalCache& cache = GlobalEvalCache();
   if (std::optional<bool> hit = cache.GetBool(key, stats)) return *hit;
-  auto put = [&](bool contained) {
+  auto put = [&](bool contained) -> Result<bool> {
+    MAPINV_FAILPOINT(fp_containment_cache_insert);
     cache.PutBool(key, contained);
     return contained;
   };
@@ -254,15 +260,19 @@ Result<bool> DisjunctContainedIn(const std::vector<VarId>& head,
 Result<UnionCq> MinimizeUnionCq(const UnionCq& query,
                                 const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "minimize");
+  MAPINV_FAILPOINT(fp_minimize_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   const size_t n = query.disjuncts.size();
   std::vector<bool> dropped(n, false);
+  // Stopping the subsumption scan early keeps disjuncts that a full pass
+  // would have dropped — redundant but equivalent, so degrading here never
+  // changes the query's meaning, only its size.
   for (size_t j = 0; j < n; ++j) {
-    if (deadline.Expired()) {
-      return PhaseExhausted("minimize", "exceeded deadline_ms = " +
-                                            std::to_string(
-                                                options.deadline_ms));
+    if (Status poll = PollPhaseInterrupt(options, deadline, "minimize");
+        !poll.ok()) {
+      if (DegradeToPartial(options, poll)) break;
+      return poll;
     }
     for (size_t i = 0; i < n && !dropped[j]; ++i) {
       if (i == j || dropped[i]) continue;

@@ -5,11 +5,14 @@
 #include <unordered_set>
 #include <utility>
 
+#include "engine/failpoint.h"
 #include "eval/hom.h"
 
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_hom_plan_compile("hom_plan/compile");
 
 // Key-word tags. Terms self-delimit (functions carry an arity word), atoms
 // carry a term count, so no two distinct inputs share a word sequence.
@@ -71,6 +74,7 @@ Result<HomPlan> CompileHomPlan(const Instance& instance,
                                const std::vector<Atom>& atoms,
                                const HomConstraints& constraints,
                                const std::vector<VarId>& bound_vars) {
+  MAPINV_FAILPOINT(fp_hom_plan_compile);
   const Schema& schema = instance.schema();
   HomPlan plan;
 

@@ -4,11 +4,14 @@
 #include <unordered_map>
 
 #include "engine/eval_cache.h"
+#include "engine/failpoint.h"
 #include "eval/hom.h"
 
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_core_cache_insert("instance_core/cache_insert");
 
 // Cache key for core computation: schema signature plus the instance's
 // deterministic rendering. Unlike containment keys this is *exact* (null
@@ -147,6 +150,7 @@ Result<Instance> CoreOfInstance(const Instance& instance, ExecStats* stats) {
       }
     }
   }
+  MAPINV_FAILPOINT(fp_core_cache_insert);
   cache.PutInstance(key, std::make_shared<const Instance>(current));
   return current;
 }

@@ -2,11 +2,17 @@
 
 #include <functional>
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "logic/substitution.h"
 #include "rewrite/skolemize.h"
 
 namespace mapinv {
+
+namespace {
+FailPoint fp_compose_entry("compose/entry");
+FailPoint fp_compose_rule("compose/rule");
+}  // namespace
 
 Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
                                    const SOTgdMapping& second,
@@ -43,6 +49,7 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
   }
 
   ScopedTraceSpan span(options, "compose");
+  MAPINV_FAILPOINT(fp_compose_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
 
@@ -53,6 +60,9 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
   FreshVarGen gen("m");
   size_t produced = 0;
 
+  // Composed rules are appended whole at the recursion leaves, so stopping
+  // on exhaustion in kPartial mode returns a rule subset of the full
+  // composition — a sound under-approximation (never a torn rule).
   for (const SORule& rule2 : second.so.rules) {
     // Resolve each premise atom of rule2 against conclusion atoms of rules
     // of `first`, in all combinations.
@@ -78,19 +88,15 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
     }
     if (!feasible) continue;
 
-    Status failure;
     std::function<Status(size_t, std::vector<std::pair<Term, Term>>,
                          std::vector<Atom>)>
         recurse = [&](size_t i, std::vector<std::pair<Term, Term>> goals,
                       std::vector<Atom> premises) -> Status {
-      if (deadline.Expired()) {
-        return PhaseExhausted("compose",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms));
-      }
+      MAPINV_RETURN_NOT_OK(PollPhaseInterrupt(options, deadline, "compose"));
       if (i == rule2.premise.size()) {
         auto unified = Unify(goals);
         if (!unified.ok()) return Status::OK();  // clash: prune combination
+        MAPINV_FAILPOINT(fp_compose_rule);
         if (++produced > options.max_rules) {
           return PhaseExhausted("compose",
                                 "exceeded max_rules = " +
@@ -119,7 +125,10 @@ Result<SOTgdMapping> ComposeSOTgds(const SOTgdMapping& first,
       }
       return Status::OK();
     };
-    MAPINV_RETURN_NOT_OK(recurse(0, {}, {}));
+    if (Status rec = recurse(0, {}, {}); !rec.ok()) {
+      if (DegradeToPartial(options, rec)) break;
+      return rec;
+    }
   }
   return out;
 }

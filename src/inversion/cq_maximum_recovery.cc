@@ -1,23 +1,47 @@
 #include "inversion/cq_maximum_recovery.h"
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "inversion/eliminate_disjunctions.h"
 #include "inversion/maximum_recovery.h"
 
 namespace mapinv {
 
+namespace {
+FailPoint fp_invert_entry("invert/entry");
+}  // namespace
+
 Result<ReverseMapping> CqMaximumRecovery(
     const TgdMapping& mapping, const ExecutionOptions& options) {
   // One deadline for the whole pipeline: the three stages below share the
   // budget instead of each restarting deadline_ms.
   ScopedTraceSpan span(options, "invert");
+  MAPINV_FAILPOINT(fp_invert_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   ExecutionOptions inner = options;
   inner.deadline = &CarriedDeadline(options, entry_deadline);
+  // In kPartial mode each stage degrades internally (MaximumRecovery drops
+  // unfinished dependencies, the elimination stages keep what they finished),
+  // and an exhausted budget also short-circuits the remaining stages: the
+  // intermediate forms are valid reverse mappings (EliminateEqualities /
+  // EliminateDisjunctions only normalise), so the partial pipeline output is
+  // still a sound C-recovery — just not maximal / not equality-free.
+  const bool degrade = options.on_exhausted == OnExhausted::kPartial;
+  auto interrupted = [&] {
+    return CancelRequested(options) || inner.deadline->ExpiredNow();
+  };
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_prime,
                           MaximumRecovery(mapping, inner));
+  if (degrade && interrupted()) {
+    MarkPartial(options);
+    return sigma_prime;
+  }
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping sigma_double_prime,
                           EliminateEqualities(sigma_prime, inner));
+  if (degrade && interrupted()) {
+    MarkPartial(options);
+    return sigma_double_prime;
+  }
   return EliminateDisjunctions(std::move(sigma_double_prime), inner);
 }
 

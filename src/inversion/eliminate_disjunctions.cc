@@ -1,9 +1,15 @@
 #include "inversion/eliminate_disjunctions.h"
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "inversion/query_product.h"
 
 namespace mapinv {
+
+namespace {
+FailPoint fp_elim_disj_entry("eliminate_disjunctions/entry");
+FailPoint fp_elim_disj_product("eliminate_disjunctions/product");
+}  // namespace
 
 Result<ReverseMapping> EliminateDisjunctions(ReverseMapping recovery,
                                              const ExecutionOptions& options) {
@@ -22,16 +28,23 @@ Result<ReverseMapping> EliminateDisjunctions(ReverseMapping recovery,
         "EliminateEqualities first");
   }
   ScopedTraceSpan span(options, "eliminate_disjunctions");
+  MAPINV_FAILPOINT(fp_elim_disj_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
+  // Degradation granularity: whole dependencies — a dependency is either
+  // fully transformed into its conjunctive product or dropped (skipped on an
+  // oversized product, or left behind when the budget runs out). Either way
+  // the output is a dependency subset of the full transform: sound.
   ReverseMapping out(recovery.source, recovery.target, {});
   out.deps.reserve(recovery.deps.size());
   for (ReverseDependency& dep : recovery.deps) {
-    if (deadline.Expired()) {
-      return PhaseExhausted("eliminate_disjunctions",
-                            "exceeded deadline_ms = " +
-                                std::to_string(options.deadline_ms));
+    if (Status poll =
+            PollPhaseInterrupt(options, deadline, "eliminate_disjunctions");
+        !poll.ok()) {
+      if (DegradeToPartial(options, poll)) break;
+      return poll;
     }
+    MAPINV_FAILPOINT(fp_elim_disj_product);
     // The product materialises prod(|dᵢ|) atoms; refuse to build one larger
     // than max_disjuncts (saturating multiply — widths can overflow).
     size_t product_size = 1;
@@ -44,11 +57,13 @@ Result<ReverseMapping> EliminateDisjunctions(ReverseMapping recovery,
       product_size *= arity;
     }
     if (product_size > options.max_disjuncts) {
-      return PhaseExhausted(
+      Status exhausted = PhaseExhausted(
           "eliminate_disjunctions",
           "conjunctive product of " + std::to_string(dep.disjuncts.size()) +
               " disjuncts exceeds max_disjuncts = " +
               std::to_string(options.max_disjuncts) + " atoms");
+      if (DegradeToPartial(options, exhausted)) continue;  // skip this dep
+      return exhausted;
     }
     std::vector<Atom> product;
     if (dep.disjuncts.size() == 1) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "inversion/partitions.h"
 #include "logic/substitution.h"
@@ -10,6 +11,9 @@
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_elim_eq_entry("eliminate_equalities/entry");
+FailPoint fp_elim_eq_partition("eliminate_equalities/partition");
 
 // The partition walk renames every atom of every surviving disjunct once per
 // partition — Bell-number many times per dependency. Instead of re-resolving
@@ -76,8 +80,13 @@ Result<ReverseMapping> EliminateEqualities(
     const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(recovery.Validate());
   ScopedTraceSpan span(options, "eliminate_equalities");
+  MAPINV_FAILPOINT(fp_elim_eq_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
+  // Degradation granularity: whole expanded dependencies. Every partition
+  // emits a standalone dependency, so stopping the enumeration early (or
+  // skipping an over-wide frontier) just drops dependencies — sound, merely
+  // a weaker recovery.
   ReverseMapping out(recovery.source, recovery.target, {});
   for (const ReverseDependency& dep : recovery.deps) {
     if (!dep.inequalities.empty()) {
@@ -87,12 +96,14 @@ Result<ReverseMapping> EliminateEqualities(
     }
     const std::vector<VarId>& frontier = dep.constant_vars;
     if (frontier.size() > options.max_frontier_width) {
-      return PhaseExhausted(
+      Status exhausted = PhaseExhausted(
           "eliminate_equalities",
           "frontier of width " + std::to_string(frontier.size()) +
               " exceeds max_frontier_width = " +
               std::to_string(options.max_frontier_width) +
               " (Bell-number guard)");
+      if (DegradeToPartial(options, exhausted)) continue;  // skip this dep
+      return exhausted;
     }
 
     auto frontier_index = [&frontier](VarId v) -> int32_t {
@@ -135,6 +146,14 @@ Result<ReverseMapping> EliminateEqualities(
     // rule cap inside it and stop the enumeration on the spot.
     Status inner_status;
     ForEachPartition(frontier.size(), [&](const SetPartition& pi) {
+      if (Status fp = fp_elim_eq_partition.Check(); !fp.ok()) {
+        inner_status = std::move(fp);
+        return false;
+      }
+      if (CancelRequested(options)) {
+        inner_status = PhaseCancelled("eliminate_equalities");
+        return false;
+      }
       if (deadline.Expired()) {
         inner_status = PhaseExhausted(
             "eliminate_equalities",
@@ -204,7 +223,10 @@ Result<ReverseMapping> EliminateEqualities(
       out.deps.push_back(std::move(nd));
       return true;
     });
-    MAPINV_RETURN_NOT_OK(inner_status);
+    if (!inner_status.ok()) {
+      if (DegradeToPartial(options, inner_status)) break;
+      return inner_status;
+    }
   }
   // No exit validation: `out` is built by renaming variables of the
   // already-validated input, which cannot introduce malformed dependencies

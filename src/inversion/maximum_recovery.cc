@@ -1,9 +1,15 @@
 #include "inversion/maximum_recovery.h"
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "rewrite/rewrite.h"
 
 namespace mapinv {
+
+namespace {
+FailPoint fp_maxrec_entry("maximum_recovery/entry");
+FailPoint fp_maxrec_dep("maximum_recovery/dependency");
+}  // namespace
 
 Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
                                        const ExecutionOptions& rewrite_options) {
@@ -14,25 +20,40 @@ Result<ReverseMapping> MaximumRecovery(const TgdMapping& mapping,
   MAPINV_ASSIGN_OR_RETURN(SourceRewriter rewriter,
                           SourceRewriter::Prepare(mapping));
   ScopedTraceSpan span(rewrite_options, "maximum_recovery");
+  MAPINV_FAILPOINT(fp_maxrec_entry);
   ExecDeadline entry_deadline(rewrite_options.deadline_ms);
   const ExecDeadline& deadline =
       CarriedDeadline(rewrite_options, entry_deadline);
   ExecutionOptions inner = rewrite_options;
   inner.deadline = &deadline;
+  // Degradation happens here at whole-dependency granularity: dropping a
+  // reverse dependency only weakens the recovery (fewer reverse facts are
+  // chased), so a dependency subset is still a sound C-recovery. A *disjunct*
+  // subset of one rewriting would be unsound (it strengthens the rewriting's
+  // conclusion), so the inner Rewrite runs in kFail mode and an exhausted
+  // rewriting drops its whole dependency instead of surfacing truncated.
+  inner.on_exhausted = OnExhausted::kFail;
   ReverseMapping out(mapping.target, mapping.source, {});
   for (const Tgd& tgd : mapping.tgds) {
-    if (deadline.Expired()) {
-      return PhaseExhausted("maximum_recovery",
-                            "exceeded deadline_ms = " +
-                                std::to_string(rewrite_options.deadline_ms));
+    if (Status poll =
+            PollPhaseInterrupt(rewrite_options, deadline, "maximum_recovery");
+        !poll.ok()) {
+      if (DegradeToPartial(rewrite_options, poll)) break;
+      return poll;
     }
+    MAPINV_FAILPOINT(fp_maxrec_dep);
     // ψ(x̄) as a conjunctive query over the target with the frontier free.
     ConjunctiveQuery psi;
     psi.name = "psi";
     psi.head = tgd.FrontierVars();
     psi.atoms = tgd.conclusion;
 
-    MAPINV_ASSIGN_OR_RETURN(UnionCq alpha, rewriter.Rewrite(psi, inner));
+    Result<UnionCq> rewritten = rewriter.Rewrite(psi, inner);
+    if (!rewritten.ok()) {
+      if (DegradeToPartial(rewrite_options, rewritten.status())) break;
+      return rewritten.status();
+    }
+    UnionCq alpha = std::move(rewritten).ValueOrDie();
     if (alpha.disjuncts.empty()) {
       // Cannot happen for well-formed tgds: ψ can always be matched against
       // the conclusion of its own tgd, and frontier head variables never

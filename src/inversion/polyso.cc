@@ -6,10 +6,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "rewrite/skolemize.h"
 
 namespace mapinv {
+
+namespace {
+FailPoint fp_polyso_entry("polyso/entry");
+FailPoint fp_polyso_rule("polyso/rule");
+}  // namespace
 
 std::vector<VarId> CreateTuple(const std::vector<Term>& terms,
                                FreshVarGen* gen) {
@@ -182,6 +188,7 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
                                        const ExecutionOptions& options) {
   MAPINV_RETURN_NOT_OK(mapping.Validate());
   ScopedTraceSpan span(options, "polyso_inverse");
+  MAPINV_FAILPOINT(fp_polyso_entry);
   ExecDeadline entry_deadline(options.deadline_ms);
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   MAPINV_ASSIGN_OR_RETURN(InverseFunctions inv,
@@ -195,14 +202,20 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
 
   FreshVarGen gen("u");
   std::set<std::string> emitted;  // canonical dedup of output rules
+  // kPartial degrades at whole-rule granularity: an inverse rule missing
+  // disjuncts would be unsound (fewer disjuncts = fewer worlds = a stronger
+  // claim), so exhaustion mid-rule discards the torn rule and returns the
+  // complete ones.
   for (const SORule& sigma : normalized) {
     // The saturation is quadratic in the normalised rule count (every rule
     // pairs with every subsuming rule); poll the budget per outer rule.
-    if (deadline.Expired()) {
-      return PhaseExhausted("polyso_inverse",
-                            "exceeded deadline_ms = " +
-                                std::to_string(options.deadline_ms));
+    if (Status poll =
+            PollPhaseInterrupt(options, deadline, "polyso_inverse");
+        !poll.ok()) {
+      if (DegradeToPartial(options, poll)) break;
+      return poll;
     }
+    MAPINV_FAILPOINT(fp_polyso_rule);
     const Atom& head = sigma.conclusion[0];
     std::vector<VarId> u = CreateTuple(head.terms, &gen);
 
@@ -218,12 +231,19 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
       }
     }
 
+    Status inner_status;
     for (const SORule& other : normalized) {
+      if (CancelRequested(options)) {
+        inner_status = PhaseCancelled("polyso_inverse");
+        break;
+      }
       if (deadline.Expired()) {
-        return PhaseExhausted("polyso_inverse",
-                              "exceeded deadline_ms = " +
-                                  std::to_string(options.deadline_ms) +
-                                  " during subsumption pairing");
+        inner_status =
+            PhaseExhausted("polyso_inverse",
+                           "exceeded deadline_ms = " +
+                               std::to_string(options.deadline_ms) +
+                               " during subsumption pairing");
+        break;
       }
       const Atom& other_head = other.conclusion[0];
       if (other_head.relation != head.relation) continue;
@@ -240,6 +260,11 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
       disjunct.inequalities = std::move(q_s.inequalities);
       rule.disjuncts.push_back(std::move(disjunct));
     }
+    if (!inner_status.ok()) {
+      // The current rule is torn (missing disjuncts); never emit it.
+      if (DegradeToPartial(options, inner_status)) break;
+      return inner_status;
+    }
     if (rule.disjuncts.empty()) {
       return Status::Internal(
           "PolySOInverse: no subsuming rule for its own head — "
@@ -247,9 +272,12 @@ Result<SOInverseMapping> PolySOInverse(const SOTgdMapping& mapping,
     }
     if (emitted.insert(CanonicalRuleKey(rule)).second) {
       if (out.inverse.rules.size() >= options.max_rules) {
-        return PhaseExhausted("polyso_inverse",
-                              "exceeded max_rules = " +
-                                  std::to_string(options.max_rules));
+        Status exhausted =
+            PhaseExhausted("polyso_inverse",
+                           "exceeded max_rules = " +
+                               std::to_string(options.max_rules));
+        if (DegradeToPartial(options, exhausted)) break;
+        return exhausted;
       }
       out.inverse.rules.push_back(std::move(rule));
     }

@@ -51,7 +51,9 @@ std::string Term::ToString() const {
     case Kind::kVariable:
       return VarName(var_);
     case Kind::kConstant:
-      return value_.ToString();
+      // Quoted unless numeric: a bare identifier here would re-parse as a
+      // variable, not a constant.
+      return RenderTermValue(value_);
     case Kind::kFunction: {
       std::string out = FunctionName(fn_) + "(";
       for (size_t i = 0; i < args_.size(); ++i) {

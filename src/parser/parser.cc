@@ -429,9 +429,12 @@ Result<UnionCq> ParseQuery(std::string_view text) {
 
 Result<ConjunctiveQuery> ParseCq(std::string_view text) {
   MAPINV_ASSIGN_OR_RETURN(UnionCq u, ParseQuery(text));
-  if (u.disjuncts.size() != 1 || !u.disjuncts[0].equalities.empty()) {
+  // Inequalities must be rejected, not dropped: silently discarding them
+  // would accept "Q(x,y) :- R != y" as the unrenderable empty-body query.
+  if (u.disjuncts.size() != 1 || !u.disjuncts[0].equalities.empty() ||
+      !u.disjuncts[0].inequalities.empty()) {
     return Status::ParseError(
-        "expected a single equality-free conjunctive query");
+        "expected a single equality- and inequality-free conjunctive query");
   }
   ConjunctiveQuery out;
   out.name = u.name;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "engine/failpoint.h"
 #include "engine/trace.h"
 #include "eval/containment.h"
 #include "logic/substitution.h"
@@ -13,6 +14,9 @@
 namespace mapinv {
 
 namespace {
+
+FailPoint fp_rewrite_entry("rewrite/entry");
+FailPoint fp_rewrite_disjunct("rewrite/disjunct");
 
 // One way to resolve a single query atom: a Skolemised rule together with
 // the index of the conclusion atom to unify against.
@@ -63,6 +67,7 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                                     const ConjunctiveQuery& target_query,
                                     const ExecutionOptions& options) {
   ScopedTraceSpan span(options, "rewrite");
+  MAPINV_FAILPOINT(fp_rewrite_entry);
   // Candidate head choices per query atom.
   std::vector<std::vector<HeadChoice>> choices(target_query.atoms.size());
   for (size_t i = 0; i < target_query.atoms.size(); ++i) {
@@ -100,12 +105,9 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
                        std::vector<Atom>)>
       recurse = [&](size_t i, std::vector<std::pair<Term, Term>> goals,
                     std::vector<Atom> premises) -> Status {
-    if (deadline.Expired()) {
-      return PhaseExhausted("rewrite",
-                            "exceeded deadline_ms = " +
-                                std::to_string(options.deadline_ms));
-    }
+    MAPINV_RETURN_NOT_OK(PollPhaseInterrupt(options, deadline, "rewrite"));
     if (i == target_query.atoms.size()) {
+      MAPINV_FAILPOINT(fp_rewrite_disjunct);
       if (++produced > options.max_disjuncts) {
         return PhaseExhausted("rewrite",
                               "exceeded max_disjuncts = " +
@@ -185,7 +187,15 @@ Result<UnionCq> RewriteAgainstRules(const SOTgd& skolemized,
     return Status::OK();
   };
 
-  MAPINV_RETURN_NOT_OK(recurse(0, {}, {}));
+  // In kPartial mode exhaustion keeps the disjuncts completed so far: a
+  // disjunct subset of the union is a sound under-approximation for
+  // certain-answer rewriting. NOTE this is exactly the degradation
+  // MaximumRecovery must not consume — it forces kFail on its inner
+  // rewritings and drops the whole dependency instead (a truncated rewriting
+  // as a reverse-dependency disjunct set would *strengthen* the dependency).
+  if (Status rec = recurse(0, {}, {}); !rec.ok()) {
+    if (!DegradeToPartial(options, rec)) return rec;
+  }
 
   if (options.minimize) {
     ExecutionOptions inner = options;

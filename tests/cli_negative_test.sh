@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Negative-path tests for mapinv_cli: every malformed invocation must exit
+# with the documented status (1 usage, 2 processing) and a one-line
+# diagnostic on stderr — never a crash, never silence. Run as
+#   cli_negative_test.sh <path-to-mapinv_cli>
+set -u
+
+CLI=${1:?usage: cli_negative_test.sh <path-to-mapinv_cli>}
+failures=0
+checks=0
+
+# expect <rc> <stderr-substring> -- <args...>
+expect() {
+  local want_rc=$1 want_msg=$2
+  shift 3  # rc, substring, "--"
+  local err rc
+  err=$("$CLI" "$@" 2>&1 >/dev/null)
+  rc=$?
+  checks=$((checks + 1))
+  if [ "$rc" -ne "$want_rc" ]; then
+    echo "FAIL: mapinv_cli $* : exit $rc, want $want_rc" >&2
+    echo "      stderr: $err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [ -n "$want_msg" ] && ! grep -qF -- "$want_msg" <<<"$err"; then
+    echo "FAIL: mapinv_cli $* : stderr lacks '$want_msg'" >&2
+    echo "      stderr: $err" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+printf 'this is not a mapping @@@\n' > "$tmp/garbage.tgd"
+
+# --- flag handling ---------------------------------------------------------
+expect 1 "unknown flag '--frobnicate'"      -- --frobnicate invert gen:copy:1,1
+expect 1 "expects a value"                  -- invert gen:copy:1,1 --deadline-ms
+expect 1 "bad value '-5'"                   -- --deadline-ms=-5 invert gen:copy:1,1
+expect 1 "bad value"                        -- --deadline-ms=10x invert gen:copy:1,1
+expect 1 "bad value"                        -- --threads=99999999999999999999 invert gen:copy:1,1
+expect 1 "bad value"                        -- --max-facts=1e9 invert gen:copy:1,1
+expect 1 "bad value"                        -- --on-exhausted=maybe invert gen:copy:1,1
+expect 1 "bad value"                        -- --cancel-after-ms=soon invert gen:copy:1,1
+
+# --- command dispatch ------------------------------------------------------
+expect 1 ""                                 --
+expect 1 "unknown command 'frobnicate'"     -- frobnicate gen:copy:1,1
+expect 1 ""                                 -- rewrite gen:copy:1,1
+
+# --- generator specs -------------------------------------------------------
+expect 2 "bad generator spec"               -- invert gen:exp:0,4
+expect 2 "bad generator spec"               -- invert gen:exp:2,-3
+expect 2 "bad generator spec"               -- invert gen:exp:99999999999999999999,2
+expect 2 "bad generator spec"               -- invert gen:exp:2,2,2
+expect 2 "bad generator spec"               -- invert gen:chain:abc
+expect 2 "unknown generator family"         -- invert gen:zipf:3
+expect 2 "bad generator spec"               -- invert gen:copy:10000000,2
+
+# --- file and parse errors -------------------------------------------------
+expect 2 "cannot open"                      -- invert "$tmp/no_such_file.tgd"
+expect 2 ""                                 -- invert "$tmp/garbage.tgd"
+expect 2 "cannot open"                      -- exchange gen:copy:1,1 "$tmp/no_such_file.inst"
+
+# --- the positive control: a good invocation still works -------------------
+expect 0 ""                                 -- invert gen:copy:1,1
+
+# --- cancellation and partial-result paths ---------------------------------
+expect 2 "cancelled"                        -- --cancel-after-ms=0 invert gen:exp:2,5
+err=$("$CLI" --cancel-after-ms=0 --on-exhausted=partial --stats-json invert gen:exp:2,5 2>&1 >/dev/null)
+rc=$?
+checks=$((checks + 1))
+if [ "$rc" -ne 0 ] || ! grep -qF '"partial":true' <<<"$err"; then
+  echo "FAIL: cancel + --on-exhausted=partial: exit $rc, stderr: $err" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "cli_negative_test: $failures of $checks checks failed" >&2
+  exit 1
+fi
+echo "cli_negative_test: all $checks checks passed"

@@ -1,0 +1,244 @@
+/// \file parser_fuzz.cc
+/// \brief Fuzz target for the text parsers (see src/parser/parser.h).
+///
+/// The first input byte selects the entry point ('T' tgd mapping, 'R'
+/// reverse mapping, 'S' SO-tgd mapping, 'Q' union query, 'C' single CQ,
+/// 'I' instance; anything else exercises the lexer alone) and the rest is
+/// fed to it as text. Two properties are checked on every input:
+///
+///   1. No parse crashes, hangs, or trips ASan/UBSan — errors must come
+///      back as Status values.
+///   2. Accepted inputs round-trip: ToString() of the parsed value parses
+///      again, to an equal rendering (the printers and parsers agree).
+///
+/// With clang the target links against libFuzzer (-fsanitize=fuzzer); with
+/// other toolchains CMake builds a standalone driver whose main() replays
+/// corpus files and, with --mutate=N, runs a deterministic xorshift-based
+/// mutation loop over them. Either way the per-input behaviour is
+/// identical, so corpus files reproduce findings on both drivers.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "logic/cq.h"
+#include "logic/mapping.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace {
+
+// The input being processed, for the finding report (libFuzzer dumps crash
+// inputs itself; the standalone driver needs this to make findings
+// reproducible).
+std::string g_current_input;
+
+// Dies loudly so both libFuzzer and the standalone driver report the input
+// as a finding instead of silently moving on.
+void Fail(const char* what, const std::string& detail) {
+  std::string escaped;
+  for (unsigned char c : g_current_input) {
+    if (c >= 0x20 && c < 0x7f && c != '\\') {
+      escaped += static_cast<char>(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", c);
+      escaped += buf;
+    }
+  }
+  std::fprintf(stderr, "parser_fuzz: %s\n%s\ninput (escaped): %s\n", what,
+               detail.c_str(), escaped.c_str());
+  std::abort();
+}
+
+// Parses `text`, and if it is accepted re-parses the rendering. Both the
+// re-parse failing and the re-parse rendering differently are findings.
+template <typename Fn>
+void RoundTrip(Fn parse, std::string_view text) {
+  auto first = parse(text);
+  if (!first.ok()) return;  // rejection is fine; crashing is not
+  const std::string rendered = first.ValueOrDie().ToString();
+  auto second = parse(rendered);
+  if (!second.ok()) {
+    Fail("accepted input renders unparseably",
+         rendered + "\n" + second.status().ToString());
+  }
+  const std::string rerendered = second.ValueOrDie().ToString();
+  if (rerendered != rendered) {
+    Fail("rendering is not a fixed point", rendered + "\n---\n" + rerendered);
+  }
+}
+
+void RunOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  g_current_input.assign(reinterpret_cast<const char*>(data), size);
+  const std::string_view text(reinterpret_cast<const char*>(data) + 1,
+                              size - 1);
+  switch (data[0]) {
+    case 'T':
+      RoundTrip([](std::string_view t) { return mapinv::ParseTgdMapping(t); },
+                text);
+      break;
+    case 'R':
+      RoundTrip(
+          [](std::string_view t) { return mapinv::ParseReverseMapping(t); },
+          text);
+      break;
+    case 'S':
+      RoundTrip(
+          [](std::string_view t) { return mapinv::ParseSOTgdMapping(t); },
+          text);
+      break;
+    case 'Q':
+      RoundTrip([](std::string_view t) { return mapinv::ParseQuery(t); },
+                text);
+      break;
+    case 'C':
+      RoundTrip([](std::string_view t) { return mapinv::ParseCq(t); }, text);
+      break;
+    case 'I':
+      RoundTrip(
+          [](std::string_view t) {
+            return mapinv::ParseInstanceInferSchema(t);
+          },
+          text);
+      break;
+    default:
+      // Unknown selector: still worth lexing — the tokeniser must reject
+      // garbage with a Status, never a crash.
+      mapinv::Lex(text).status();
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  RunOneInput(data, size);
+  return 0;
+}
+
+#ifndef MAPINV_FUZZ_HAS_LIBFUZZER
+
+// Standalone driver for toolchains without libFuzzer (the repo's default
+// gcc build). Replays every corpus file passed on the command line;
+// --mutate=N additionally runs N deterministic mutations of the corpus
+// (seeded by --seed=S), covering byte flips, truncation, duplication and
+// cross-file splices.
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+uint64_t g_rng_state = 0x9e3779b97f4a7c15ull;
+
+uint64_t NextRand() {  // xorshift64* — deterministic across platforms
+  uint64_t x = g_rng_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  g_rng_state = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus) {
+  std::vector<uint8_t> input = corpus[NextRand() % corpus.size()];
+  const int edits = 1 + static_cast<int>(NextRand() % 4);
+  for (int e = 0; e < edits; ++e) {
+    switch (NextRand() % 4) {
+      case 0:  // flip a byte
+        if (!input.empty()) {
+          input[NextRand() % input.size()] ^=
+              static_cast<uint8_t>(1u << (NextRand() % 8));
+        }
+        break;
+      case 1:  // truncate
+        if (!input.empty()) input.resize(NextRand() % input.size());
+        break;
+      case 2: {  // duplicate a chunk in place
+        if (input.empty()) break;
+        size_t at = NextRand() % input.size();
+        size_t len = 1 + NextRand() % 16;
+        std::vector<uint8_t> chunk(
+            input.begin() + at,
+            input.begin() + at + std::min(len, input.size() - at));
+        input.insert(input.begin() + at, chunk.begin(), chunk.end());
+        break;
+      }
+      case 3: {  // splice a tail from another corpus entry
+        const std::vector<uint8_t>& other =
+            corpus[NextRand() % corpus.size()];
+        if (other.empty()) break;
+        size_t keep = input.empty() ? 0 : NextRand() % input.size();
+        input.resize(keep);
+        size_t from = NextRand() % other.size();
+        input.insert(input.end(), other.begin() + from, other.end());
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+void CollectFiles(const std::filesystem::path& path,
+                  std::vector<std::filesystem::path>* out) {
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.is_regular_file()) out->push_back(entry.path());
+    }
+  } else {
+    out->push_back(path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long mutations = 0;
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutations = std::atoll(arg.c_str() + 9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      g_rng_state = std::strtoull(arg.c_str() + 7, nullptr, 10) | 1ull;
+    } else {
+      CollectFiles(arg, &files);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate=N] [--seed=S] corpus-file-or-dir...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+  }
+  for (const auto& input : corpus) {
+    RunOneInput(input.data(), input.size());
+  }
+  std::printf("parser_fuzz: replayed %zu corpus file(s)\n", corpus.size());
+
+  for (long long i = 0; i < mutations; ++i) {
+    std::vector<uint8_t> input = Mutate(corpus);
+    RunOneInput(input.data(), input.size());
+  }
+  if (mutations > 0) {
+    std::printf("parser_fuzz: ran %lld deterministic mutation(s)\n",
+                mutations);
+  }
+  return 0;
+}
+
+#endif  // MAPINV_FUZZ_HAS_LIBFUZZER

@@ -21,6 +21,11 @@
 //   --max-facts=N      chase fact budget        --max-worlds=N   world budget
 //   --max-disjuncts=N  rewriting budget         --threads=N      parallelism
 //   --deadline-ms=N    wall-clock budget        --stats          counters to stderr
+//   --on-exhausted=fail|partial   what a blown budget does: error out (default)
+//                      or return the best sound partial result, flagged
+//                      "partial":true in --stats-json
+//   --cancel-after-ms=N           cancel the command from a timer thread
+//                      (exercises cooperative cancellation end to end)
 //   --trace            per-phase span tree to stderr (human-readable)
 //   --trace-json       span tree as one JSON line to stderr
 //   --stats-json       {"command","wall_ms","stats"} as one JSON line to stderr
@@ -29,12 +34,17 @@
 // success, 1 on usage errors, 2 on processing errors (including
 // kResourceExhausted from --deadline-ms and the limit flags).
 
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/execution_options.h"
@@ -83,8 +93,32 @@ int Usage() {
                "gen:chain:M gen:copy:N,A gen:proj:N\n"
                "flags: --max-facts=N --max-worlds=N --max-disjuncts=N "
                "--threads=N --deadline-ms=N\n"
+               "       --on-exhausted=fail|partial --cancel-after-ms=N\n"
                "       --stats --stats-json --trace --trace-json\n");
   return 1;
+}
+
+// Prints a flag diagnostic; always returns false so callers can
+// `return FlagError(...)` from ParseFlags.
+bool FlagError(const std::string& message) {
+  std::fprintf(stderr, "mapinv_cli: %s\n", message.c_str());
+  return false;
+}
+
+// Strict non-negative integer parse: digits only (no sign, no whitespace,
+// no trailing garbage), rejecting values above `max`. strtoull alone is not
+// enough — it silently wraps negatives and saturates on ERANGE.
+bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' || v > max) return false;
+  *out = v;
+  return true;
 }
 
 // The command vocabulary, shared between positional and --flag spellings.
@@ -103,19 +137,16 @@ struct OutputFlags {
   bool stats_json = false;
   bool trace = false;
   bool trace_json = false;
+  /// Delay before the CLI cancels its own call; < 0 = never.
+  int64_t cancel_after_ms = -1;
 };
 
 // Parses `--name=value` / `--name value` flags out of argv, leaving the
 // positional arguments in `positional`. A flag spelling a command name
 // (`--invert`) is rewritten to the positional command. Returns false on a
-// bad flag.
+// bad flag, after printing a diagnostic naming it.
 bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
                 OutputFlags* output, std::vector<char*>* positional) {
-  auto numeric = [](const char* text, uint64_t* out) {
-    char* end = nullptr;
-    *out = std::strtoull(text, &end, 10);
-    return end != text && *end == '\0';
-  };
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -150,12 +181,42 @@ bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
       output->trace_json = true;
       continue;
     }
+    const bool known =
+        name == "--max-facts" || name == "--max-worlds" ||
+        name == "--max-disjuncts" || name == "--threads" ||
+        name == "--deadline-ms" || name == "--cancel-after-ms" ||
+        name == "--on-exhausted";
+    if (!known) {
+      return FlagError("unknown flag '" + name + "'");
+    }
     if (!have_value) {
-      if (i + 1 >= argc) return false;
+      if (i + 1 >= argc) {
+        return FlagError("flag '" + name + "' expects a value");
+      }
       value = argv[++i];
     }
+    if (name == "--on-exhausted") {
+      if (value == "fail") {
+        options->on_exhausted = OnExhausted::kFail;
+      } else if (value == "partial") {
+        options->on_exhausted = OnExhausted::kPartial;
+      } else {
+        return FlagError("bad value '" + value +
+                         "' for --on-exhausted (want 'fail' or 'partial')");
+      }
+      continue;
+    }
+    // The remaining flags are non-negative integers; each has a range that
+    // its destination type can actually represent.
+    const uint64_t max = (name == "--threads")
+                             ? 1u << 16
+                             : static_cast<uint64_t>(INT64_MAX);
     uint64_t n = 0;
-    if (!numeric(value.c_str(), &n)) return false;
+    if (!ParseUint(value, max, &n)) {
+      return FlagError("bad value '" + value + "' for " + name +
+                       " (want an integer in [0, " + std::to_string(max) +
+                       "])");
+    }
     if (name == "--max-facts") {
       options->max_new_facts = static_cast<size_t>(n);
     } else if (name == "--max-worlds") {
@@ -166,12 +227,42 @@ bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
       options->threads = static_cast<int>(n);
     } else if (name == "--deadline-ms") {
       options->deadline_ms = static_cast<int64_t>(n);
-    } else {
-      return false;
+    } else if (name == "--cancel-after-ms") {
+      output->cancel_after_ms = static_cast<int64_t>(n);
     }
   }
   return true;
 }
+
+// Arms a background thread that cancels `token` after a delay, unless the
+// command finishes first (the destructor wakes and joins it).
+class CancelTimer {
+ public:
+  void Arm(CancelToken* token, int64_t delay_ms) {
+    thread_ = std::thread([this, token, delay_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                        [this] { return done_; })) {
+        token->Cancel();
+      }
+    });
+  }
+  ~CancelTimer() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
 
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -181,18 +272,20 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-// Parses "N" or "N,K" following a gen: family prefix.
+// Parses "N" or "N,K" following a gen: family prefix. Parameters are sizes
+// of generated mappings, so anything outside [1, 10^6] is a spec error, not
+// a request (and the bound keeps an overflowed literal from truncating into
+// a small int).
 bool ParseGenParams(const std::string& text, int* a, int* b) {
-  char* end = nullptr;
-  long first = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || first <= 0) return false;
-  *a = static_cast<int>(first);
-  if (*end == '\0') return true;
-  if (*end != ',' || b == nullptr) return false;
-  const char* rest = end + 1;
-  long second = std::strtol(rest, &end, 10);
-  if (end == rest || *end != '\0' || second <= 0) return false;
-  *b = static_cast<int>(second);
+  constexpr uint64_t kMaxParam = 1000000;
+  const size_t comma = text.find(',');
+  uint64_t v = 0;
+  if (!ParseUint(text.substr(0, comma), kMaxParam, &v) || v == 0) return false;
+  *a = static_cast<int>(v);
+  if (comma == std::string::npos) return true;
+  if (b == nullptr) return false;
+  if (!ParseUint(text.substr(comma + 1), kMaxParam, &v) || v == 0) return false;
+  *b = static_cast<int>(v);
   return true;
 }
 
@@ -268,6 +361,8 @@ std::string StatsJson(const ExecStats& stats) {
   out += ",\"tuples_arena_bytes\":" + std::to_string(s.tuples_arena_bytes);
   out += ",\"index_catchup_rows\":" + std::to_string(s.index_catchup_rows);
   out += ",\"worlds_forked\":" + std::to_string(s.worlds_forked);
+  out += ",\"partial\":";
+  out += s.partial ? "true" : "false";
   out += "}";
   return out;
 }
@@ -281,11 +376,20 @@ int Run(int argc, char** argv) {
   options.stats = &stats;
   Tracer tracer;
   if (output.trace || output.trace_json) options.trace = &tracer;
+  CancelToken cancel;
+  CancelTimer cancel_timer;
+  if (output.cancel_after_ms >= 0) {
+    options.cancel = &cancel;
+    cancel_timer.Arm(&cancel, output.cancel_after_ms);
+  }
   const int narg = static_cast<int>(args.size());
   argv = args.data();
   if (narg < 2) return Usage();
   const std::string command = argv[1];
-  if (!IsCommand(command)) return Usage();
+  if (!IsCommand(command)) {
+    std::fprintf(stderr, "mapinv_cli: unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
   // Mapping-taking commands run against the exponential family by default;
   // commands needing real files still require their arguments.
   const bool needs_file = command == "core" || command == "so-invert" ||
