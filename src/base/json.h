@@ -1,0 +1,130 @@
+/// \file json.h
+/// \brief A small, dependency-free JSON value: parse, build, serialize.
+///
+/// The serving layer (src/serve/) speaks length-prefixed JSON frames, and
+/// the Request/Response engine API (engine/request.h) serializes
+/// EngineRequest/EngineResponse through this type, so the CLI and the
+/// server render byte-identical response documents. Design points:
+///
+///   * Objects preserve insertion order (a vector of pairs, not a map), so
+///     serialization is deterministic: the same value always renders to the
+///     same bytes. Lookups are linear — fine for protocol-sized documents.
+///   * Numbers keep an exact int64 representation when the input had one
+///     (no '.' / exponent and the value fits); ExecStats counters round-trip
+///     without double truncation.
+///   * Parse is strict RFC-8259-shaped: no trailing garbage, no comments,
+///     no trailing commas, \uXXXX escapes (surrogate pairs included) decoded
+///     to UTF-8, and a depth limit so hostile nesting cannot overflow the
+///     stack.
+///
+/// Errors are reported as Status::Malformed with a byte offset, matching
+/// the parser/ diagnostics style.
+
+#ifndef MAPINV_BASE_JSON_H_
+#define MAPINV_BASE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+/// \brief One JSON value (null, bool, number, string, array or object).
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  /// Nesting depth beyond which Parse fails (arrays + objects combined).
+  static constexpr size_t kMaxDepth = 64;
+
+  Json() : kind_(Kind::kNull) {}
+  explicit Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Json(int64_t n) : kind_(Kind::kNumber), int_(n), is_int_(true) {}
+  explicit Json(uint64_t n)
+      : kind_(Kind::kNumber), int_(static_cast<int64_t>(n)), is_int_(true) {}
+  explicit Json(int n) : Json(static_cast<int64_t>(n)) {}
+  explicit Json(double d) : kind_(Kind::kNumber), double_(d) {}
+  explicit Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Json(std::string_view s) : Json(std::string(s)) {}
+  explicit Json(const char* s) : Json(std::string(s)) {}
+
+  static Json MakeArray() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json MakeObject() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  /// Strict parse of a complete document; kMalformed (with a byte offset in
+  /// the message) on any violation, including trailing garbage.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Compact deterministic rendering (no whitespace; object keys in
+  /// insertion order; integers rendered exactly).
+  std::string Serialize() const;
+  void SerializeTo(std::string* out) const;
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  /// Accessors assume the matching kind (checked only by assert); use the
+  /// Get* helpers for schema-tolerant reads.
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return is_int_ ? int_ : static_cast<int64_t>(double_);
+  }
+  double AsDouble() const {
+    return is_int_ ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return array_; }
+  Array& MutableArray() { return array_; }
+  const Object& AsObject() const { return object_; }
+
+  /// Object field lookup; nullptr when not an object or the key is absent.
+  const Json* Find(std::string_view key) const;
+
+  /// Schema-tolerant typed reads: the default when the field is missing or
+  /// of the wrong kind.
+  std::string GetString(std::string_view key,
+                        std::string default_value = "") const;
+  int64_t GetInt(std::string_view key, int64_t default_value = 0) const;
+  bool GetBool(std::string_view key, bool default_value = false) const;
+
+  /// Appends to an array value.
+  void Append(Json value) { array_.push_back(std::move(value)); }
+  /// Sets (or overwrites) an object field, preserving first-set order.
+  void Set(std::string_view key, Json value);
+
+ private:
+  static void EscapeTo(std::string_view s, std::string* out);
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  bool is_int_ = false;
+  std::string str_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_JSON_H_

@@ -69,6 +69,10 @@ Result<std::vector<Instance>> Engine::RoundTrip(const TgdMapping& mapping,
   return RoundTripWorlds(mapping, reverse, source, MakeOptions());
 }
 
+EngineResponse Engine::Execute(const EngineRequest& request) {
+  return ExecuteRequest(request, MakeOptions());
+}
+
 Result<AnswerSet> Engine::RoundTripCertain(const TgdMapping& mapping,
                                            const ReverseMapping& reverse,
                                            const Instance& source,

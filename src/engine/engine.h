@@ -35,6 +35,7 @@
 #include "data/instance.h"
 #include "engine/eval_cache.h"
 #include "engine/execution_options.h"
+#include "engine/request.h"
 #include "eval/query_eval.h"
 #include "logic/cq.h"
 #include "logic/mapping.h"
@@ -100,6 +101,15 @@ class Engine {
                                      const ReverseMapping& reverse,
                                      const Instance& source,
                                      const ConjunctiveQuery& query);
+
+  /// The unified Request/Response entry point (engine/request.h): dispatches
+  /// one EngineRequest with this Engine's pool/limits/cancel configuration
+  /// and returns the EngineResponse. Both mapinv_cli and mapinv_serve go
+  /// through this, so the same request renders byte-identical response JSON
+  /// on either transport. The request runs with a fresh SymbolContext and a
+  /// fresh stats sink (accumulated into stats() afterwards), so responses
+  /// never depend on prior traffic.
+  EngineResponse Execute(const EngineRequest& request);
 
   /// The ExecutionOptions this Engine passes to the free functions — useful
   /// for calling primitives the facade does not wrap.

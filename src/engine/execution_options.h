@@ -4,10 +4,9 @@
 ///
 /// Every operation the paper defines — data exchange (§2), certain-answer
 /// rewriting (§4.1), the inversion pipeline (§4), PolySOInverse (§5) and the
-/// round-trip checks — used to take its own ad-hoc `*Options` struct
-/// (ChaseOptions, RewriteOptions, ComposeOptions, EliminateEqualitiesOptions,
-/// CqMaximumRecoveryOptions). Those five are now thin deprecated aliases of
-/// one ExecutionOptions, which combines:
+/// round-trip checks — used to take its own ad-hoc `*Options` struct, each
+/// duplicating a subset of the limit knobs. They are all replaced by one
+/// ExecutionOptions, which combines:
 ///
 ///   * ResourceLimits — every limit knob in one place, shared by all layers;
 ///   * parallelism    — `threads` plus an optional ThreadPool to run on;
@@ -48,22 +47,20 @@ class Tracer;
 /// a potential runaway into a clean kResourceExhausted error; the defaults
 /// match the historical per-struct defaults.
 struct ResourceLimits {
-  /// Maximum number of facts any chase may create (was ChaseOptions).
+  /// Maximum number of facts any chase may create.
   size_t max_new_facts = 4u << 20;
-  /// Maximum number of worlds a disjunctive chase may track (was
-  /// ChaseOptions).
+  /// Maximum number of worlds a disjunctive chase may track.
   size_t max_worlds = 4096;
   /// Maximum number of (pre-minimisation) disjuncts a rewriting may produce,
   /// and the cap on the conjunctive-product size EliminateDisjunctions may
-  /// materialise (was RewriteOptions).
+  /// materialise.
   size_t max_disjuncts = 1u << 20;
   /// Maximum number of rules an SO-tgd composition, a partition expansion
-  /// (EliminateEqualities) or PolySOInverse may emit (was ComposeOptions).
+  /// (EliminateEqualities) or PolySOInverse may emit.
   size_t max_rules = 1u << 16;
   /// Maximum frontier width for the partition expansion — the widest allowed
   /// frontier (12 variables) already expands into Bell(12) ≈ 4.2e6
-  /// partitions; width 13 would mean Bell(13) ≈ 2.8e7 (was
-  /// EliminateEqualitiesOptions).
+  /// partitions; width 13 would mean Bell(13) ≈ 2.8e7.
   size_t max_frontier_width = 12;
   /// Wall-clock budget in milliseconds, measured from pipeline entry;
   /// 0 means unlimited. The entry point resolves it into one ExecDeadline

@@ -22,8 +22,6 @@
 
 namespace mapinv {
 
-using ComposeOptions [[deprecated("use ExecutionOptions")]] = ExecutionOptions;
-
 /// \brief Composes two SO-tgd mappings; `first` maps A→B, `second` maps
 /// B→C, the result maps A→C. Fails unless first.target and second.source
 /// agree on the relations the rules use.

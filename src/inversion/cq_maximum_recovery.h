@@ -19,9 +19,6 @@
 
 namespace mapinv {
 
-using CqMaximumRecoveryOptions [[deprecated("use ExecutionOptions")]] =
-    ExecutionOptions;
-
 /// \brief Computes a CQ-maximum recovery of `mapping` in the Theorem 4.5
 /// language: every output dependency has a single, equality-free conjunctive
 /// conclusion, and C(·) / ≠ appear in premises only.

@@ -23,9 +23,6 @@
 
 namespace mapinv {
 
-using EliminateEqualitiesOptions [[deprecated("use ExecutionOptions")]] =
-    ExecutionOptions;
-
 /// \brief Runs the partition expansion on every dependency of `recovery`
 /// (the output of MaximumRecovery). The result is equality-free; premises
 /// carry C(·) on block representatives and all pairwise inequalities.

@@ -28,8 +28,6 @@
 
 namespace mapinv {
 
-using RewriteOptions [[deprecated("use ExecutionOptions")]] = ExecutionOptions;
-
 /// \brief Computes the UCQ= source rewriting of `target_query` under the
 /// mapping's tgds. The result's head is target_query.head.
 Result<UnionCq> RewriteOverSource(const TgdMapping& mapping,

@@ -1,0 +1,81 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace mapinv {
+namespace {
+
+// Reads exactly `n` bytes. Returns the byte count actually read: `n` on
+// success, less on EOF, or a Status on a socket error.
+Result<size_t> ReadFull(int fd, char* buffer, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, buffer + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) return done;  // EOF
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+  return done;
+}
+
+}  // namespace
+
+Result<bool> ReadFrame(int fd, uint32_t max_bytes, std::string* out) {
+  unsigned char header[4];
+  MAPINV_ASSIGN_OR_RETURN(size_t got,
+                          ReadFull(fd, reinterpret_cast<char*>(header), 4));
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < 4) return Status::Malformed("truncated frame header");
+  const uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                          (static_cast<uint32_t>(header[1]) << 16) |
+                          (static_cast<uint32_t>(header[2]) << 8) |
+                          static_cast<uint32_t>(header[3]);
+  if (length == 0) return Status::Malformed("zero-length frame");
+  if (length > max_bytes) {
+    return Status::Malformed("frame of " + std::to_string(length) +
+                             " bytes exceeds the " +
+                             std::to_string(max_bytes) + "-byte limit");
+  }
+  out->resize(length);
+  MAPINV_ASSIGN_OR_RETURN(got, ReadFull(fd, out->data(), length));
+  if (got < length) return Status::Malformed("truncated frame payload");
+  return true;
+}
+
+Status WriteFrame(int fd, std::string_view payload, uint32_t max_bytes) {
+  if (payload.empty() || payload.size() > max_bytes) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes outside (0, " +
+                                   std::to_string(max_bytes) + "]");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  unsigned char header[4] = {static_cast<unsigned char>(length >> 24),
+                             static_cast<unsigned char>(length >> 16),
+                             static_cast<unsigned char>(length >> 8),
+                             static_cast<unsigned char>(length)};
+  std::string frame(reinterpret_cast<char*>(header), 4);
+  frame.append(payload);
+  size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t put =
+        ::send(fd, frame.data() + done, frame.size() - done, MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace mapinv

@@ -1,0 +1,52 @@
+/// \file protocol.h
+/// \brief The mapinv_serve wire format: length-prefixed JSON frames.
+///
+/// A frame is a 4-byte big-endian payload length followed by that many
+/// bytes of UTF-8 JSON. Requests are EngineRequest documents (plus the
+/// serving verbs session.open / session.close / session.list /
+/// instance.put / metrics / server.stop); responses are the canonical
+/// EngineResponse documents rendered by ResponseToJson — the same bytes
+/// mapinv_cli --response-json prints for the same request.
+///
+/// Framing rules:
+///   * a declared length of zero or above the receiver's limit is a
+///     protocol violation (kMalformed) — the connection is no longer at a
+///     frame boundary and must be closed;
+///   * EOF at a frame boundary is a clean disconnect (ReadFrame returns
+///     false); EOF inside a frame is kMalformed ("truncated frame");
+///   * a frame whose payload is not valid JSON is an application-level
+///     error: the framing is intact, so the server answers with an error
+///     response and keeps the connection.
+///
+/// The fd must be a socket (reads/writes use recv/send with MSG_NOSIGNAL,
+/// so a peer that disappeared surfaces as an error, not SIGPIPE).
+
+#ifndef MAPINV_SERVE_PROTOCOL_H_
+#define MAPINV_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace mapinv {
+
+/// Default cap on a frame payload; a mapping or instance text above this is
+/// a client error, not a workload.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// \brief Reads one frame into `*out`. Returns false on clean EOF at a
+/// frame boundary, true on a full frame; kMalformed on framing violations
+/// (zero/oversized declared length, EOF mid-frame), kInternal on socket
+/// errors.
+Result<bool> ReadFrame(int fd, uint32_t max_bytes, std::string* out);
+
+/// \brief Writes one frame. kInvalidArgument if `payload` exceeds
+/// `max_bytes`; kInternal on socket errors (including a vanished peer).
+Status WriteFrame(int fd, std::string_view payload,
+                  uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace mapinv
+
+#endif  // MAPINV_SERVE_PROTOCOL_H_

@@ -1,0 +1,177 @@
+/// \file server.h
+/// \brief mapinv_serve: a multi-tenant inversion service over unix/TCP
+/// sockets.
+///
+/// Architecture (one process, no external dependencies):
+///
+///   * an acceptor thread polls the listening sockets (unix and/or TCP) and
+///     a self-pipe; each accepted connection gets its own thread running
+///     the frame loop (read → dispatch → write). Concurrency across
+///     requests comes from connections; parallelism *inside* a request
+///     comes from the shared ThreadPool, exactly as in the library;
+///   * a watchdog thread polls executing connections for POLLRDHUP: a
+///     client that disconnects mid-request gets its CancelToken fired, so
+///     abandoned work unwinds at the next poll point instead of running to
+///     completion (docs/SERVING.md "disconnect semantics");
+///   * admission control: at most `max_inflight` requests execute at once;
+///     excess requests are answered immediately with resource-exhausted so
+///     clients can back off (brownout is per-request via
+///     options.on_exhausted = "partial");
+///   * sessions (serve/session.h) hold mapping + instance snapshots;
+///     compute requests naming a session run against shared immutable
+///     state, so cross-session corruption is structurally impossible.
+///
+/// Protocol verbs on top of the engine commands: session.open,
+/// session.close, session.list, instance.put, metrics, server.stop (the
+/// last only when ServerConfig::allow_stop). Responses are canonical
+/// EngineResponse documents (engine/request.h).
+
+#ifndef MAPINV_SERVE_SERVER_H_
+#define MAPINV_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.h"
+#include "base/status.h"
+#include "engine/execution_options.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace mapinv {
+
+class ThreadPool;
+
+/// \brief Server configuration; every limit has a safe default.
+struct ServerConfig {
+  /// Unix-domain socket path; empty disables the unix listener.
+  std::string unix_path;
+  /// TCP port; -1 disables the TCP listener, 0 binds an ephemeral port
+  /// (read it back with Server::tcp_port()).
+  int tcp_port = -1;
+  std::string tcp_host = "127.0.0.1";
+  /// Per-request parallelism budget (ExecutionOptions::threads). Requests
+  /// may lower it, never raise it. 1 = sequential (deterministic default).
+  int threads = 1;
+  /// Workers in the shared pool; 0 sizes it to `threads - 1`.
+  int pool_workers = 0;
+  int max_connections = 128;
+  /// Admission control: requests executing at once; 0 = max_connections.
+  int max_inflight = 0;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Default per-request limits and deadline (requests may override).
+  ResourceLimits limits;
+  OnExhausted on_exhausted = OnExhausted::kFail;
+  size_t max_sessions = 256;
+  /// Honor the server.stop request (handy for tests/CI; disable for
+  /// long-lived daemons that should only stop on signals).
+  bool allow_stop = true;
+};
+
+/// \brief Server-wide counters (beyond the per-session metrics).
+struct ServerMetrics {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> frames_read{0};
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> requests_ok{0};
+  std::atomic<uint64_t> requests_error{0};
+  std::atomic<uint64_t> requests_rejected{0};  // admission control
+  std::atomic<uint64_t> disconnect_cancels{0};
+};
+
+/// \brief The daemon. Start() binds and spawns the threads; Stop() (or a
+/// server.stop request) drains: stops accepting, cancels in-flight work,
+/// joins every thread. One Server per process-lifetime-segment; not
+/// restartable.
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and spawns acceptor + watchdog. kInvalidArgument
+  /// if no listener is configured; kInternal on socket failures.
+  Status Start();
+
+  /// Requests shutdown (idempotent, safe from any thread — including a
+  /// connection thread handling server.stop).
+  void RequestStop();
+
+  /// Blocks until the server has fully stopped and every thread is joined.
+  void Wait();
+
+  /// The bound TCP port (resolved when tcp_port = 0 was requested); -1 if
+  /// no TCP listener.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  SessionManager& sessions() { return sessions_; }
+
+  /// The full metrics document served to `metrics` requests.
+  Json MetricsJson() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    CancelToken cancel;
+    /// True while a request is executing on this connection — the watchdog
+    /// only watches executing connections (a poll on an idle connection
+    /// would see POLLIN for the next pipelined request, not a disconnect).
+    std::atomic<bool> executing{false};
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void WatchdogLoop();
+  void ConnectionLoop(Connection* connection);
+  /// Dispatches one parsed request; returns the response payload to frame.
+  /// Sets `*stop_after_reply` for server.stop.
+  std::string HandleRequest(const Json& request_json, Connection* connection,
+                            bool* stop_after_reply);
+  EngineResponse HandleServeVerb(const EngineRequest& request,
+                                 bool* stop_after_reply);
+  EngineResponse HandleEngineCommand(EngineRequest request,
+                                     Connection* connection);
+  ExecutionOptions BaseOptions(Connection* connection);
+  void ReapFinishedConnections();
+
+  ServerConfig config_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+
+  std::unique_ptr<ThreadPool> pool_;
+  SessionManager sessions_;
+  ServerMetrics metrics_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
+  std::thread acceptor_;
+  std::thread watchdog_;
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+  /// First Wait() caller performs the join; later callers wait for it.
+  bool joining_claimed_in_wait_ = false;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_SERVE_SERVER_H_

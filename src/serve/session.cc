@@ -1,0 +1,187 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "parser/parser.h"
+
+namespace mapinv {
+
+Json SessionMetrics::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("requests", Json(requests));
+  json.Set("ok", Json(ok));
+  json.Set("errors", Json(errors));
+  json.Set("cancelled", Json(cancelled));
+  json.Set("exhausted", Json(exhausted));
+  json.Set("partial", Json(partial));
+  json.Set("inverse_cache_hits", Json(inverse_cache_hits));
+  json.Set("stats", StatsToJson(totals));
+  return json;
+}
+
+Status Session::SetMapping(std::string_view spec) {
+  MAPINV_ASSIGN_OR_RETURN(TgdMapping mapping, LoadMappingSpec(spec));
+  auto shared = std::make_shared<const TgdMapping>(std::move(mapping));
+  std::lock_guard<std::mutex> lock(mu_);
+  mapping_ = std::move(shared);
+  instances_.clear();
+  inverses_.clear();
+  return Status::OK();
+}
+
+Status Session::PutInstance(const std::string& name, std::string_view text) {
+  if (name.empty()) {
+    return Status::InvalidArgument("instance.put needs a non-empty \"name\"");
+  }
+  std::shared_ptr<const TgdMapping> mapping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mapping = mapping_;
+  }
+  if (mapping == nullptr) {
+    return Status::InvalidArgument("session '" + name_ +
+                                   "' has no mapping; session.open must "
+                                   "supply one before instance.put");
+  }
+  MAPINV_ASSIGN_OR_RETURN(Instance instance,
+                          ParseInstance(text, *mapping->source));
+  auto shared = std::make_shared<const Instance>(instance.Snapshot());
+  std::lock_guard<std::mutex> lock(mu_);
+  instances_[name] = std::move(shared);
+  return Status::OK();
+}
+
+std::shared_ptr<const TgdMapping> Session::mapping() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mapping_;
+}
+
+std::shared_ptr<const Instance> Session::instance(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instances_.find(name);
+  return it == instances_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Session::InstanceNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, _] : instances_) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<const ReverseMapping> Session::CachedInverse(
+    const std::string& command, std::string* result_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inverses_.find(command);
+  if (it == inverses_.end()) return nullptr;
+  ++metrics_.inverse_cache_hits;
+  if (result_text != nullptr) *result_text = it->second.result_text;
+  return it->second.inverse;
+}
+
+void Session::CacheInverse(const std::string& command,
+                           std::shared_ptr<const ReverseMapping> inverse,
+                           std::string result_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inverses_[command] = InverseEntry{std::move(inverse),
+                                    std::move(result_text)};
+}
+
+void Session::RecordOutcome(const EngineResponse& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++metrics_.requests;
+  if (response.status.ok()) {
+    ++metrics_.ok;
+  } else if (response.status.code() == StatusCode::kCancelled) {
+    ++metrics_.cancelled;
+    ++metrics_.errors;
+  } else if (response.status.code() == StatusCode::kResourceExhausted) {
+    ++metrics_.exhausted;
+    ++metrics_.errors;
+  } else {
+    ++metrics_.errors;
+  }
+  if (response.partial) ++metrics_.partial;
+  const ExecStatsSnapshot& s = response.stats;
+  metrics_.totals.chase_steps += s.chase_steps;
+  metrics_.totals.hom_backtracks += s.hom_backtracks;
+  metrics_.totals.hom_searches += s.hom_searches;
+  metrics_.totals.hom_plans_compiled += s.hom_plans_compiled;
+  metrics_.totals.hom_bucket_candidates += s.hom_bucket_candidates;
+  metrics_.totals.hom_slot_bindings += s.hom_slot_bindings;
+  metrics_.totals.cache_hits += s.cache_hits;
+  metrics_.totals.cache_misses += s.cache_misses;
+  if (s.tuples_arena_bytes > metrics_.totals.tuples_arena_bytes) {
+    metrics_.totals.tuples_arena_bytes = s.tuples_arena_bytes;
+  }
+  metrics_.totals.index_catchup_rows += s.index_catchup_rows;
+  metrics_.totals.worlds_forked += s.worlds_forked;
+  if (s.partial) metrics_.totals.partial = true;
+}
+
+SessionMetrics Session::MetricsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Open(
+    const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session.open needs a non-empty name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(name) != 0) {
+    return Status::InvalidArgument("session '" + name + "' already exists");
+  }
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        "session capacity reached (" + std::to_string(max_sessions_) + ")");
+  }
+  auto session = std::make_shared<Session>(name);
+  sessions_[name] = session;
+  return session;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session '" + name + "'");
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(name) == 0) {
+    return Status::NotFound("no session '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SessionManager::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, _] : sessions_) names.push_back(name);
+  return names;
+}
+
+Json SessionManager::MetricsJson() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [_, session] : sessions_) sessions.push_back(session);
+  }
+  Json json = Json::MakeObject();
+  for (const auto& session : sessions) {
+    json.Set(session->name(), session->MetricsSnapshot().ToJson());
+  }
+  return json;
+}
+
+}  // namespace mapinv

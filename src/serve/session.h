@@ -1,0 +1,130 @@
+/// \file session.h
+/// \brief Named serving sessions: schema + mapping + registered instances
+/// held as copy-on-write snapshots.
+///
+/// A Session is the unit of multi-tenant state in mapinv_serve. It holds:
+///
+///   * the session's TgdMapping (parsed once at session.open);
+///   * named source instances registered by instance.put, each stored as a
+///     COW Snapshot() — requests execute against immutable snapshots, so a
+///     concurrent instance.put can never tear a running chase;
+///   * a memoized inverse (the first invert/maxrec computes it; later
+///     requests of the same command are served from the cache until the
+///     mapping changes);
+///   * lifetime metrics (request counts by outcome, accumulated ExecStats).
+///
+/// Concurrency contract: the mutex guards only the pointers and counters —
+/// request execution happens *outside* the lock on shared_ptr copies, so
+/// requests on one session run concurrently, and sessions never share
+/// mutable state with each other (isolation is structural, not locked).
+/// The process-wide EvalCache stays shared across sessions: its keys embed
+/// full renderings (see engine/eval_cache.h), so a hit is always
+/// semantically valid no matter which session produced it.
+
+#ifndef MAPINV_SERVE_SESSION_H_
+#define MAPINV_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/status.h"
+#include "data/instance.h"
+#include "engine/request.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief Lifetime counters of one session (mirrored server-wide by the
+/// Server). Guarded by the owning Session's mutex.
+struct SessionMetrics {
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t cancelled = 0;
+  uint64_t exhausted = 0;
+  uint64_t partial = 0;
+  uint64_t inverse_cache_hits = 0;
+  ExecStatsSnapshot totals;
+
+  Json ToJson() const;
+};
+
+/// \brief One named tenant: mapping + instances + memoized inverse.
+class Session {
+ public:
+  explicit Session(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Parses and installs the session mapping (text or gen: spec). Replacing
+  /// a mapping drops the registered instances and the memoized inverse —
+  /// they were bound to the old schemas.
+  Status SetMapping(std::string_view spec);
+
+  /// Parses `text` against the session mapping's source schema and registers
+  /// it under `name` (replacing any previous instance of that name).
+  Status PutInstance(const std::string& name, std::string_view text);
+
+  std::shared_ptr<const TgdMapping> mapping() const;
+  /// The registered instance, or nullptr.
+  std::shared_ptr<const Instance> instance(const std::string& name) const;
+  std::vector<std::string> InstanceNames() const;
+
+  /// The memoized inverse for `command` ("invert" or "maxrec"); nullptr on
+  /// miss. `result_text` receives the cached rendering on a hit.
+  std::shared_ptr<const ReverseMapping> CachedInverse(
+      const std::string& command, std::string* result_text);
+  void CacheInverse(const std::string& command,
+                    std::shared_ptr<const ReverseMapping> inverse,
+                    std::string result_text);
+
+  /// Folds one finished request into the session's lifetime metrics.
+  void RecordOutcome(const EngineResponse& response);
+
+  SessionMetrics MetricsSnapshot() const;
+
+ private:
+  struct InverseEntry {
+    std::shared_ptr<const ReverseMapping> inverse;
+    std::string result_text;
+  };
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const TgdMapping> mapping_;
+  std::map<std::string, std::shared_ptr<const Instance>> instances_;
+  std::map<std::string, InverseEntry> inverses_;  // keyed by command
+  SessionMetrics metrics_;
+};
+
+/// \brief The server's session directory. Thread-safe.
+class SessionManager {
+ public:
+  explicit SessionManager(size_t max_sessions = 256)
+      : max_sessions_(max_sessions) {}
+
+  /// Creates a session; kInvalidArgument if the name is empty or taken,
+  /// kResourceExhausted at capacity.
+  Result<std::shared_ptr<Session>> Open(const std::string& name);
+  /// kNotFound when absent.
+  Result<std::shared_ptr<Session>> Get(const std::string& name) const;
+  Status Close(const std::string& name);
+  std::vector<std::string> Names() const;
+
+  /// Per-session metrics as a JSON object keyed by session name.
+  Json MetricsJson() const;
+
+ private:
+  const size_t max_sessions_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_SERVE_SESSION_H_

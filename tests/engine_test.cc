@@ -11,7 +11,6 @@
 #include <gtest/gtest.h>
 
 #include "base/symbol_context.h"
-#include "chase/chase_options.h"
 #include "chase/chase_reverse.h"
 #include "chase/chase_so.h"
 #include "chase/chase_tgd.h"
@@ -467,43 +466,31 @@ TEST(ExecStatsTest, ChaseStreamsCounters) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated Options aliases
+// Unified options
 
-// The five historical per-operation option structs must keep compiling as
-// aliases of ExecutionOptions.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(LegacyOptionsTest, AllFiveAliasesCompileAndShareTheType) {
-  static_assert(std::is_same_v<ChaseOptions, ExecutionOptions>);
-  static_assert(std::is_same_v<RewriteOptions, ExecutionOptions>);
-  static_assert(std::is_same_v<ComposeOptions, ExecutionOptions>);
-  static_assert(std::is_same_v<EliminateEqualitiesOptions, ExecutionOptions>);
-  static_assert(std::is_same_v<CqMaximumRecoveryOptions, ExecutionOptions>);
+// ExecutionOptions is the single options type of the library: it inherits
+// every limit knob from ResourceLimits and passes anywhere an operation
+// takes options.
+TEST(UnifiedOptionsTest, ExecutionOptionsCarriesEveryLimitKnob) {
+  static_assert(std::is_base_of_v<ResourceLimits, ExecutionOptions>);
 
-  ChaseOptions chase;
-  chase.max_new_facts = 10;
-  chase.oblivious = true;
-  RewriteOptions rewrite;
-  rewrite.max_disjuncts = 5;
-  rewrite.minimize = false;
-  ComposeOptions compose;
-  compose.max_rules = 3;
-  EliminateEqualitiesOptions eliminate;
-  eliminate.max_frontier_width = 4;
-  CqMaximumRecoveryOptions recovery;
-  recovery.max_worlds = 2;
-  EXPECT_EQ(chase.max_new_facts, 10u);
-  EXPECT_EQ(recovery.max_worlds, 2u);
+  ExecutionOptions options;
+  options.max_new_facts = 10;
+  options.oblivious = true;
+  options.max_disjuncts = 5;
+  options.minimize = false;
+  options.max_rules = 3;
+  options.max_frontier_width = 4;
+  options.max_worlds = 2;
+  EXPECT_EQ(options.max_new_facts, 10u);
+  EXPECT_EQ(options.max_worlds, 2u);
 
-  // An alias still passes anywhere ExecutionOptions is accepted.
   TgdMapping mapping = ParseTgdMapping("R(x,y) -> T(x,y)").ValueOrDie();
   Instance source =
       ParseInstance("{ R(1,2) }", *mapping.source).ValueOrDie();
-  ChaseOptions options;
   Instance target = ChaseTgds(mapping, source, options).ValueOrDie();
   EXPECT_EQ(target.ToString(), "{ T(1,2) }");
 }
-#pragma GCC diagnostic pop
 
 // ---------------------------------------------------------------------------
 // Engine facade

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end CLI/server parity over the real binaries.
+#
+# The contract: `mapinv_cli --response-json <cmd> ...` and the daemon answer
+# the same request with byte-identical JSON documents. We build the request
+# once with `mapinv_cli --dump-request`, run it through a live mapinv_serve
+# via `mapinv_bench_serve --one`, and cmp against the CLI's own output.
+#
+# Usage: serve_cli_parity_test.sh <mapinv_cli> <mapinv_serve> <mapinv_bench_serve> <data_dir>
+set -u
+
+CLI=$1
+SERVE=$2
+BENCH=$3
+DATA=$4
+
+workdir=$(mktemp -d)
+sock="$workdir/parity.sock"
+fail=0
+server_pid=""
+
+cleanup() {
+  if [[ -n "$server_pid" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+note() { printf '%s\n' "$*" >&2; }
+
+"$SERVE" --unix "$sock" --threads 2 >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+# Wait for the socket to appear.
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { note "FAIL: server died at startup"; cat "$workdir/serve.log" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -S "$sock" ]] || { note "FAIL: server socket never appeared"; exit 1; }
+
+check_parity() {
+  local label=$1; shift
+  if ! "$CLI" --dump-request "$@" >"$workdir/request.json" 2>"$workdir/cli.err"; then
+    note "FAIL($label): --dump-request errored: $(cat "$workdir/cli.err")"
+    fail=1; return
+  fi
+  if ! "$CLI" --response-json "$@" >"$workdir/local.json" 2>"$workdir/cli.err"; then
+    note "FAIL($label): --response-json errored: $(cat "$workdir/cli.err")"
+    fail=1; return
+  fi
+  if ! "$BENCH" --one --unix "$sock" <"$workdir/request.json" >"$workdir/remote.json" 2>"$workdir/bench.err"; then
+    note "FAIL($label): bench --one errored: $(cat "$workdir/bench.err")"
+    fail=1; return
+  fi
+  if ! cmp -s "$workdir/local.json" "$workdir/remote.json"; then
+    note "FAIL($label): CLI and server responses differ"
+    note "  local:  $(cat "$workdir/local.json")"
+    note "  remote: $(cat "$workdir/remote.json")"
+    fail=1; return
+  fi
+  note "ok($label)"
+}
+
+check_parity invert     invert "$DATA/join.tgd"
+check_parity maxrec     maxrec "$DATA/join.tgd"
+check_parity exchange   exchange "$DATA/join.tgd" "$DATA/join.inst"
+check_parity roundtrip  roundtrip "$DATA/join.tgd" "$DATA/join.inst"
+check_parity rewrite    rewrite "$DATA/join.tgd" 'Q(x) :- T(x,z)'
+check_parity limits     exchange --max-facts 5 --on-exhausted partial "$DATA/join.tgd" "$DATA/join.inst"
+
+# Clean shutdown: SIGTERM drains and exits 0.
+kill "$server_pid"
+wait "$server_pid"
+rc=$?
+server_pid=""
+if [[ $rc -ne 0 ]]; then
+  note "FAIL: server exited $rc on SIGTERM"
+  fail=1
+fi
+
+exit $fail

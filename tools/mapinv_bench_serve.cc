@@ -1,0 +1,399 @@
+// mapinv_bench_serve — load driver and one-shot client for mapinv_serve.
+//
+// Bench mode (default): opens N client connections, gives each its own
+// session (mapping + registered instance), and fires a mixed
+// exchange/rewrite/invert/metrics workload until the request budget is
+// spent. Reports throughput and latency percentiles as one JSON document
+// (stdout, or --out=FILE) and exits nonzero if any request failed.
+//
+//   mapinv_bench_serve --unix=/tmp/mapinv.sock --connections=8 \
+//       --requests=4000 --out=BENCH.json [--shutdown]
+//
+// One-shot mode (--one): reads a single request JSON document from stdin,
+// sends it as one frame, and prints the raw response payload followed by a
+// newline — exactly the bytes the server framed. This is the transport
+// half of the CLI/server parity test:
+//
+//   mapinv_cli --dump-request invert m.tgd | mapinv_bench_serve --one --unix=...
+//
+// Flags:
+//   --unix=PATH | --tcp=PORT [--host=ADDR]   where the server listens
+//   --connections=N   client connections / worker threads (default 8)
+//   --requests=N      total requests across the mix (default 4000)
+//   --mapping=SPEC    per-session mapping (default gen:chain:3)
+//   --out=FILE        write the bench JSON there instead of stdout
+//   --shutdown        send server.stop after the run
+//   --one             one-shot client mode (see above)
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.h"
+#include "base/status.h"
+#include "serve/protocol.h"
+
+namespace mapinv {
+namespace {
+
+struct BenchConfig {
+  std::string unix_path;
+  int tcp_port = -1;
+  std::string host = "127.0.0.1";
+  int connections = 8;
+  uint64_t requests = 4000;
+  std::string mapping = "gen:chain:3";
+  std::string out;
+  bool shutdown = false;
+  bool one_shot = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mapinv_bench_serve (--unix=PATH | --tcp=PORT) "
+               "[--host=ADDR]\n"
+               "       [--connections=N] [--requests=N] [--mapping=SPEC]\n"
+               "       [--out=FILE] [--shutdown] [--one]\n");
+  return 1;
+}
+
+bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (v > max / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > max) return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, BenchConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    if (name == "--shutdown") {
+      config->shutdown = true;
+      continue;
+    }
+    if (name == "--one") {
+      config->one_shot = true;
+      continue;
+    }
+    const bool known = name == "--unix" || name == "--tcp" ||
+                       name == "--host" || name == "--connections" ||
+                       name == "--requests" || name == "--mapping" ||
+                       name == "--out";
+    if (!known) {
+      std::fprintf(stderr, "mapinv_bench_serve: unknown flag '%s'\n",
+                   name.c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mapinv_bench_serve: flag '%s' expects a value\n",
+                     name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (name == "--unix") {
+      config->unix_path = value;
+    } else if (name == "--host") {
+      config->host = value;
+    } else if (name == "--mapping") {
+      config->mapping = value;
+    } else if (name == "--out") {
+      config->out = value;
+    } else {
+      uint64_t n = 0;
+      const uint64_t max = (name == "--tcp") ? 65535 : (1u << 24);
+      if (!ParseUint(value, max, &n) || (name != "--tcp" && n == 0)) {
+        std::fprintf(stderr, "mapinv_bench_serve: bad value '%s' for %s\n",
+                     value.c_str(), name.c_str());
+        return false;
+      }
+      if (name == "--tcp") {
+        config->tcp_port = static_cast<int>(n);
+      } else if (name == "--connections") {
+        config->connections = static_cast<int>(n);
+      } else if (name == "--requests") {
+        config->requests = n;
+      }
+    }
+  }
+  return true;
+}
+
+int Connect(const BenchConfig& config) {
+  if (!config.unix_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return -1;
+    }
+    std::strncpy(addr.sun_path, config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config.tcp_port));
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one request document and reads the response payload.
+// Returns false on any transport failure.
+bool RoundTrip(int fd, const std::string& request, std::string* response) {
+  if (!WriteFrame(fd, request).ok()) return false;
+  Result<bool> frame = ReadFrame(fd, kDefaultMaxFrameBytes, response);
+  return frame.ok() && *frame;
+}
+
+// True if the response document says status "ok".
+bool ResponseOk(const std::string& payload) {
+  Result<Json> json = Json::Parse(payload);
+  return json.ok() && json->GetString("status") == "ok";
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t by_kind[4] = {0, 0, 0, 0};  // exchange, rewrite, invert, metrics
+};
+
+// The per-connection workload: one session, one registered instance, then a
+// deterministic request mix until the shared budget runs out.
+void Worker(const BenchConfig& config, int index,
+            std::atomic<uint64_t>* remaining, WorkerResult* result) {
+  const int fd = Connect(config);
+  if (fd < 0) {
+    result->failed += 1;
+    return;
+  }
+  const std::string session = "bench-" + std::to_string(index);
+  std::string response;
+
+  auto request = [&](std::string command) {
+    Json json = Json::MakeObject();
+    json.Set("id", Json(static_cast<int64_t>(index)));
+    json.Set("command", Json(std::move(command)));
+    json.Set("session", Json(session));
+    return json;
+  };
+
+  Json open = request("session.open");
+  open.Set("mapping", Json(config.mapping));
+  Json put = request("instance.put");
+  put.Set("name", Json("db"));
+  put.Set("instance", Json("{ R0(1,2), R1(2,3), R2(3,4) }"));
+  for (const Json* setup : {&open, &put}) {
+    if (!RoundTrip(fd, setup->Serialize(), &response) ||
+        !ResponseOk(response)) {
+      result->failed += 1;
+      ::close(fd);
+      return;
+    }
+  }
+
+  Json exchange = request("exchange");
+  exchange.Set("instance_ref", Json("db"));
+  Json rewrite = request("rewrite");
+  rewrite.Set("query", Json("Q(x,y) :- T(x,y)"));
+  Json invert = request("invert");
+  Json metrics = Json::MakeObject();
+  metrics.Set("id", Json(static_cast<int64_t>(index)));
+  metrics.Set("command", Json("metrics"));
+  const std::string wire[4] = {exchange.Serialize(), rewrite.Serialize(),
+                               invert.Serialize(), metrics.Serialize()};
+
+  uint64_t seq = 0;
+  while (true) {
+    uint64_t left = remaining->load(std::memory_order_relaxed);
+    if (left == 0 ||
+        !remaining->compare_exchange_weak(left, left - 1,
+                                          std::memory_order_relaxed)) {
+      if (left == 0) break;
+      continue;
+    }
+    // 4:2:1:1 exchange : rewrite : invert : metrics.
+    const uint64_t slot = seq++ % 8;
+    const int kind = slot < 4 ? 0 : slot < 6 ? 1 : slot < 7 ? 2 : 3;
+    const auto start = std::chrono::steady_clock::now();
+    const bool transported = RoundTrip(fd, wire[kind], &response);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (transported && ResponseOk(response)) {
+      result->ok += 1;
+      result->latencies_ms.push_back(ms);
+      result->by_kind[kind] += 1;
+    } else {
+      result->failed += 1;
+      if (!transported) break;  // connection is gone
+    }
+  }
+  Json close = request("session.close");
+  (void)RoundTrip(fd, close.Serialize(), &response);
+  ::close(fd);
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p / 100.0 * static_cast<double>(sorted->size())));
+  return (*sorted)[index];
+}
+
+int RunOneShot(const BenchConfig& config) {
+  std::ostringstream buffer;
+  buffer << std::cin.rdbuf();
+  const int fd = Connect(config);
+  if (fd < 0) {
+    std::fprintf(stderr, "mapinv_bench_serve: cannot connect\n");
+    return 3;
+  }
+  std::string response;
+  if (!RoundTrip(fd, buffer.str(), &response)) {
+    std::fprintf(stderr, "mapinv_bench_serve: transport failure\n");
+    ::close(fd);
+    return 3;
+  }
+  ::close(fd);
+  std::fwrite(response.data(), 1, response.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseFlags(argc, argv, &config)) return Usage();
+  if (config.unix_path.empty() && config.tcp_port < 0) return Usage();
+  if (config.one_shot) return RunOneShot(config);
+
+  std::atomic<uint64_t> remaining{config.requests};
+  std::vector<WorkerResult> results(config.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config.connections; ++i) {
+    workers.emplace_back(Worker, std::cref(config), i, &remaining,
+                         &results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  if (config.shutdown) {
+    const int fd = Connect(config);
+    if (fd >= 0) {
+      Json stop = Json::MakeObject();
+      stop.Set("id", Json(static_cast<int64_t>(0)));
+      stop.Set("command", Json("server.stop"));
+      std::string response;
+      (void)RoundTrip(fd, stop.Serialize(), &response);
+      ::close(fd);
+    }
+  }
+
+  std::vector<double> latencies;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t by_kind[4] = {0, 0, 0, 0};
+  for (const WorkerResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    ok += r.ok;
+    failed += r.failed;
+    for (int k = 0; k < 4; ++k) by_kind[k] += r.by_kind[k];
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  Json mix = Json::MakeObject();
+  mix.Set("exchange", Json(by_kind[0]));
+  mix.Set("rewrite", Json(by_kind[1]));
+  mix.Set("invert", Json(by_kind[2]));
+  mix.Set("metrics", Json(by_kind[3]));
+  Json latency = Json::MakeObject();
+  latency.Set("p50", Json(Percentile(&latencies, 50)));
+  latency.Set("p90", Json(Percentile(&latencies, 90)));
+  latency.Set("p99", Json(Percentile(&latencies, 99)));
+  latency.Set("max", Json(latencies.empty() ? 0.0 : latencies.back()));
+  Json report = Json::MakeObject();
+  report.Set("bench", Json("mapinv_serve"));
+  report.Set("mapping", Json(config.mapping));
+  report.Set("connections", Json(static_cast<int64_t>(config.connections)));
+  report.Set("requests", Json(config.requests));
+  report.Set("ok", Json(ok));
+  report.Set("failed", Json(failed));
+  report.Set("wall_ms", Json(wall_ms));
+  report.Set("throughput_rps",
+             Json(wall_ms > 0 ? static_cast<double>(ok) / (wall_ms / 1000.0)
+                              : 0.0));
+  report.Set("latency_ms", std::move(latency));
+  report.Set("mix", std::move(mix));
+  const std::string rendered = report.Serialize();
+
+  if (!config.out.empty()) {
+    std::ofstream out(config.out);
+    if (!out) {
+      std::fprintf(stderr, "mapinv_bench_serve: cannot write '%s'\n",
+                   config.out.c_str());
+      return 3;
+    }
+    out << rendered << "\n";
+  } else {
+    std::printf("%s\n", rendered.c_str());
+  }
+  if (!config.out.empty()) std::printf("%s\n", rendered.c_str());
+  return failed == 0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace mapinv
+
+int main(int argc, char** argv) { return mapinv::Run(argc, argv); }

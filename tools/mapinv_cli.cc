@@ -17,6 +17,12 @@
 // Mapping-taking commands with no <mapping> argument default to gen:exp:3,9
 // (the exponential family the benchmarks use).
 //
+// The CLI is a thin transport over the engine's Request/Response API
+// (engine/request.h): it resolves file arguments to texts, builds one
+// EngineRequest, and executes it via ExecuteRequest — exactly the entry
+// point mapinv_serve uses, so the same request produces byte-identical
+// canonical response JSON on either transport.
+//
 // Flags (anywhere on the command line, --name=value or --name value):
 //   --max-facts=N      chase fact budget        --max-worlds=N   world budget
 //   --max-disjuncts=N  rewriting budget         --threads=N      parallelism
@@ -29,6 +35,10 @@
 //   --trace            per-phase span tree to stderr (human-readable)
 //   --trace-json       span tree as one JSON line to stderr
 //   --stats-json       {"command","wall_ms","stats"} as one JSON line to stderr
+//   --response-json    print the canonical EngineResponse JSON document to
+//                      stdout instead of the rendered result
+//   --dump-request     print the EngineRequest protocol JSON to stdout and
+//                      exit without executing (feed it to mapinv_serve)
 //
 // Instance files contain one `{ ... }` instance. Exit status is 0 on
 // success, 1 on usage errors, 2 on processing errors (including
@@ -48,19 +58,8 @@
 #include <vector>
 
 #include "engine/execution_options.h"
+#include "engine/request.h"
 #include "engine/trace.h"
-
-#include "chase/chase_tgd.h"
-#include "chase/round_trip.h"
-#include "check/properties.h"
-#include "eval/instance_core.h"
-#include "inversion/compose.h"
-#include "inversion/cq_maximum_recovery.h"
-#include "inversion/maximum_recovery.h"
-#include "inversion/polyso.h"
-#include "mapgen/generators.h"
-#include "parser/parser.h"
-#include "rewrite/rewrite.h"
 
 namespace mapinv {
 namespace {
@@ -94,7 +93,8 @@ int Usage() {
                "flags: --max-facts=N --max-worlds=N --max-disjuncts=N "
                "--threads=N --deadline-ms=N\n"
                "       --on-exhausted=fail|partial --cancel-after-ms=N\n"
-               "       --stats --stats-json --trace --trace-json\n");
+               "       --stats --stats-json --trace --trace-json\n"
+               "       --response-json --dump-request\n");
   return 1;
 }
 
@@ -137,15 +137,19 @@ struct OutputFlags {
   bool stats_json = false;
   bool trace = false;
   bool trace_json = false;
+  bool response_json = false;
+  bool dump_request = false;
   /// Delay before the CLI cancels its own call; < 0 = never.
   int64_t cancel_after_ms = -1;
 };
 
 // Parses `--name=value` / `--name value` flags out of argv, leaving the
 // positional arguments in `positional`. A flag spelling a command name
-// (`--invert`) is rewritten to the positional command. Returns false on a
-// bad flag, after printing a diagnostic naming it.
-bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
+// (`--invert`) is rewritten to the positional command. Limit/deadline flags
+// land in the request's options (so --dump-request carries them on the
+// wire); cancel/output flags are transport-side. Returns false on a bad
+// flag, after printing a diagnostic naming it.
+bool ParseFlags(int argc, char** argv, RequestOptions* options,
                 OutputFlags* output, std::vector<char*>* positional) {
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -179,6 +183,14 @@ bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
     }
     if (name == "--trace-json") {
       output->trace_json = true;
+      continue;
+    }
+    if (name == "--response-json") {
+      output->response_json = true;
+      continue;
+    }
+    if (name == "--dump-request") {
+      output->dump_request = true;
       continue;
     }
     const bool known =
@@ -218,11 +230,11 @@ bool ParseFlags(int argc, char** argv, ExecutionOptions* options,
                        "])");
     }
     if (name == "--max-facts") {
-      options->max_new_facts = static_cast<size_t>(n);
+      options->max_facts = n;
     } else if (name == "--max-worlds") {
-      options->max_worlds = static_cast<size_t>(n);
+      options->max_worlds = n;
     } else if (name == "--max-disjuncts") {
-      options->max_disjuncts = static_cast<size_t>(n);
+      options->max_disjuncts = n;
     } else if (name == "--threads") {
       options->threads = static_cast<int>(n);
     } else if (name == "--deadline-ms") {
@@ -272,73 +284,12 @@ Result<std::string> ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-// Parses "N" or "N,K" following a gen: family prefix. Parameters are sizes
-// of generated mappings, so anything outside [1, 10^6] is a spec error, not
-// a request (and the bound keeps an overflowed literal from truncating into
-// a small int).
-bool ParseGenParams(const std::string& text, int* a, int* b) {
-  constexpr uint64_t kMaxParam = 1000000;
-  const size_t comma = text.find(',');
-  uint64_t v = 0;
-  if (!ParseUint(text.substr(0, comma), kMaxParam, &v) || v == 0) return false;
-  *a = static_cast<int>(v);
-  if (comma == std::string::npos) return true;
-  if (b == nullptr) return false;
-  if (!ParseUint(text.substr(comma + 1), kMaxParam, &v) || v == 0) return false;
-  *b = static_cast<int>(v);
-  return true;
-}
-
-// A mapping argument is either a file path or a gen:<family>:<params> spec.
-Result<TgdMapping> LoadMapping(const std::string& spec) {
-  if (spec.rfind("gen:", 0) != 0) {
-    MAPINV_ASSIGN_OR_RETURN(std::string text, ReadFile(spec));
-    return ParseTgdMapping(text);
-  }
-  const std::string rest = spec.substr(4);
-  const size_t colon = rest.find(':');
-  const std::string family = rest.substr(0, colon);
-  const std::string params =
-      colon == std::string::npos ? "" : rest.substr(colon + 1);
-  int a = 0;
-  int b = 0;
-  if (family == "exp") {
-    a = 3;
-    b = 9;  // default: big enough that Section 4 inversion needs a budget
-    if (!params.empty() && !ParseGenParams(params, &a, &b)) {
-      return Status::InvalidArgument("bad generator spec '" + spec +
-                                     "' (want gen:exp:N,K)");
-    }
-    return ExponentialFamilyMapping(a, b);
-  }
-  if (family == "chain") {
-    a = 3;
-    if (!params.empty() && !ParseGenParams(params, &a, nullptr)) {
-      return Status::InvalidArgument("bad generator spec '" + spec +
-                                     "' (want gen:chain:M)");
-    }
-    return ChainJoinMapping(a);
-  }
-  if (family == "copy") {
-    a = 2;
-    b = 2;
-    if (!params.empty() && !ParseGenParams(params, &a, &b)) {
-      return Status::InvalidArgument("bad generator spec '" + spec +
-                                     "' (want gen:copy:N,A)");
-    }
-    return CopyMapping(a, b);
-  }
-  if (family == "proj") {
-    a = 2;
-    if (!params.empty() && !ParseGenParams(params, &a, nullptr)) {
-      return Status::InvalidArgument("bad generator spec '" + spec +
-                                     "' (want gen:proj:N)");
-    }
-    return ProjectionMapping(a);
-  }
-  return Status::InvalidArgument("unknown generator family in '" + spec +
-                                 "' (know gen:exp, gen:chain, gen:copy, "
-                                 "gen:proj)");
+// A mapping argument is either a file path (read here; the engine never
+// touches the filesystem) or a gen:<family>:<params> spec (passed through
+// verbatim for the engine's LoadMappingSpec to resolve).
+Result<std::string> ResolveMappingArg(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return spec;
+  return ReadFile(spec);
 }
 
 int Fail(const Status& status) {
@@ -346,42 +297,31 @@ int Fail(const Status& status) {
   return 2;
 }
 
-std::string StatsJson(const ExecStats& stats) {
-  const ExecStatsSnapshot s = stats.Snapshot();
-  std::string out = "{";
-  out += "\"chase_steps\":" + std::to_string(s.chase_steps);
-  out += ",\"hom_searches\":" + std::to_string(s.hom_searches);
-  out += ",\"hom_backtracks\":" + std::to_string(s.hom_backtracks);
-  out += ",\"hom_plans_compiled\":" + std::to_string(s.hom_plans_compiled);
-  out +=
-      ",\"hom_bucket_candidates\":" + std::to_string(s.hom_bucket_candidates);
-  out += ",\"hom_slot_bindings\":" + std::to_string(s.hom_slot_bindings);
-  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
-  out += ",\"cache_misses\":" + std::to_string(s.cache_misses);
-  out += ",\"tuples_arena_bytes\":" + std::to_string(s.tuples_arena_bytes);
-  out += ",\"index_catchup_rows\":" + std::to_string(s.index_catchup_rows);
-  out += ",\"worlds_forked\":" + std::to_string(s.worlds_forked);
-  out += ",\"partial\":";
-  out += s.partial ? "true" : "false";
-  out += "}";
-  return out;
-}
-
 int Run(int argc, char** argv) {
-  ExecutionOptions options;
+  EngineRequest request;
   ExecStats stats;
   OutputFlags output;
   std::vector<char*> args;
-  if (!ParseFlags(argc, argv, &options, &output, &args)) return Usage();
-  options.stats = &stats;
+  if (!ParseFlags(argc, argv, &request.options, &output, &args)) {
+    return Usage();
+  }
+
+  // The transport's standing configuration. Limit flags ride in the
+  // request; the base carries the process-wide sinks (stats/trace/cancel)
+  // and mirrors --threads so the request's value survives the engine's
+  // "never raise the transport budget" clamp.
+  ExecutionOptions base;
+  base.stats = &stats;
+  if (request.options.threads) base.threads = *request.options.threads;
   Tracer tracer;
-  if (output.trace || output.trace_json) options.trace = &tracer;
+  if (output.trace || output.trace_json) base.trace = &tracer;
   CancelToken cancel;
   CancelTimer cancel_timer;
   if (output.cancel_after_ms >= 0) {
-    options.cancel = &cancel;
+    base.cancel = &cancel;
     cancel_timer.Arm(&cancel, output.cancel_after_ms);
   }
+
   const int narg = static_cast<int>(args.size());
   argv = args.data();
   if (narg < 2) return Usage();
@@ -390,6 +330,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "mapinv_cli: unknown command '%s'\n", command.c_str());
     return Usage();
   }
+  request.command = command;
   // Mapping-taking commands run against the exponential family by default;
   // commands needing real files still require their arguments.
   const bool needs_file = command == "core" || command == "so-invert" ||
@@ -417,7 +358,8 @@ int Run(int argc, char** argv) {
         char wall[32];
         std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
         std::fprintf(stderr, "{\"command\":\"%s\",\"wall_ms\":%s,\"stats\":%s}\n",
-                     command.c_str(), wall, StatsJson(stats).c_str());
+                     command.c_str(), wall,
+                     StatsToJson(stats.Snapshot()).Serialize().c_str());
       }
       if (output.trace) {
         std::fprintf(stderr, "%s", tracer.ToText().c_str());
@@ -428,114 +370,65 @@ int Run(int argc, char** argv) {
     }
   } printer{stats, tracer, output, command};
 
-  // Commands that do not parse the mapping argument as a tgd mapping.
+  // Resolve the positional arguments into request payload texts. Each
+  // command keeps its historical arity checks (usage errors stay exit 1,
+  // unreadable files exit 2).
   if (command == "core") {
     Result<std::string> text = ReadFile(argv[2]);
     if (!text.ok()) return Fail(text.status());
-    Result<Instance> instance = ParseInstanceInferSchema(*text);
-    if (!instance.ok()) return Fail(instance.status());
-    Result<Instance> core = CoreOfInstance(*instance, options.stats);
-    if (!core.ok()) return Fail(core.status());
-    std::printf("%s\n", core->ToString().c_str());
-    return 0;
-  }
-  if (command == "so-invert") {
+    request.instance = std::move(*text);
+  } else if (command == "so-invert") {
     Result<std::string> text = ReadFile(argv[2]);
     if (!text.ok()) return Fail(text.status());
-    Result<SOTgdMapping> so = ParseSOTgdMapping(*text);
-    if (!so.ok()) return Fail(so.status());
-    Result<SOInverseMapping> inv = PolySOInverse(*so, options);
-    if (!inv.ok()) return Fail(inv.status());
-    std::printf("%s", inv->ToString().c_str());
+    request.mapping = std::move(*text);
+  } else {
+    Result<std::string> mapping_text = ResolveMappingArg(mapping_arg);
+    if (!mapping_text.ok()) return Fail(mapping_text.status());
+    request.mapping = std::move(*mapping_text);
+    if (command == "compose") {
+      if (narg < 4) return Usage();
+      Result<std::string> second = ResolveMappingArg(argv[3]);
+      if (!second.ok()) return Fail(second.status());
+      request.mapping2 = std::move(*second);
+    } else if (command == "check") {
+      if (narg < 5) return Usage();
+      Result<std::string> reverse_text = ReadFile(argv[3]);
+      if (!reverse_text.ok()) return Fail(reverse_text.status());
+      request.reverse = std::move(*reverse_text);
+      Result<std::string> instance_text = ReadFile(argv[4]);
+      if (!instance_text.ok()) return Fail(instance_text.status());
+      request.instance = std::move(*instance_text);
+    } else if (command == "rewrite") {
+      if (narg < 4) return Usage();
+      request.query = argv[3];
+    } else if (command == "exchange" || command == "roundtrip") {
+      if (narg < 4) return Usage();
+      Result<std::string> instance_text = ReadFile(argv[3]);
+      if (!instance_text.ok()) return Fail(instance_text.status());
+      request.instance = std::move(*instance_text);
+    }
+  }
+
+  if (output.dump_request) {
+    const std::string wire = EngineRequestToJson(request).Serialize();
+    std::fwrite(wire.data(), 1, wire.size(), stdout);
+    std::fputc('\n', stdout);
     return 0;
   }
 
-  Result<TgdMapping> mapping = LoadMapping(mapping_arg);
-  if (!mapping.ok()) return Fail(mapping.status());
-
-  if (command == "compose") {
-    if (narg < 4) return Usage();
-    Result<TgdMapping> second = LoadMapping(argv[3]);
-    if (!second.ok()) return Fail(second.status());
-    Result<SOTgdMapping> composed = ComposeTgdMappings(*mapping, *second, options);
-    if (!composed.ok()) return Fail(composed.status());
-    std::printf("%s", composed->ToString().c_str());
-    return 0;
+  const EngineResponse response = ExecuteRequest(request, base);
+  if (output.response_json) {
+    const std::string wire = ResponseToJson(response).Serialize();
+    std::fwrite(wire.data(), 1, wire.size(), stdout);
+    std::fputc('\n', stdout);
+  } else if (response.status.ok()) {
+    std::fwrite(response.result.data(), 1, response.result.size(), stdout);
   }
-  if (command == "check") {
-    if (narg < 5) return Usage();
-    Result<std::string> reverse_text = ReadFile(argv[3]);
-    if (!reverse_text.ok()) return Fail(reverse_text.status());
-    Result<ReverseMapping> parsed = ParseReverseMapping(*reverse_text);
-    if (!parsed.ok()) return Fail(parsed.status());
-    // Rebind to the full mapping schemas (the inferred ones may miss
-    // relations the reverse mapping never mentions).
-    ReverseMapping reverse(mapping->target, mapping->source, parsed->deps);
-    Result<std::string> instance_text = ReadFile(argv[4]);
-    if (!instance_text.ok()) return Fail(instance_text.status());
-    Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
-    if (!source.ok()) return Fail(source.status());
-    auto violation = CheckCRecovery(*mapping, reverse, {*source},
-                                    PerRelationQueries(*mapping->source),
-                                    options);
-    if (!violation.ok()) return Fail(violation.status());
-    if (violation->has_value()) {
-      std::printf("NOT a sound recovery:\n%s\n",
-                  (*violation)->description.c_str());
-      return 2;
-    }
-    std::printf("sound recovery on this instance (certain answers of every "
-                "per-relation query are contained in the source)\n");
-    return 0;
+  if (!response.status.ok()) {
+    if (output.response_json) return 2;
+    return Fail(response.status);
   }
-
-  if (command == "invert" || command == "maxrec") {
-    Result<ReverseMapping> rec = (command == "invert")
-                                     ? CqMaximumRecovery(*mapping, options)
-                                     : MaximumRecovery(*mapping, options);
-    if (!rec.ok()) return Fail(rec.status());
-    std::printf("%s", rec->ToString().c_str());
-    return 0;
-  }
-  if (command == "polyso") {
-    Result<SOInverseMapping> inv = PolySOInverseOfTgds(*mapping, options);
-    if (!inv.ok()) return Fail(inv.status());
-    std::printf("%s", inv->ToString().c_str());
-    return 0;
-  }
-  if (command == "rewrite") {
-    if (narg < 4) return Usage();
-    Result<ConjunctiveQuery> query = ParseCq(argv[3]);
-    if (!query.ok()) return Fail(query.status());
-    Result<UnionCq> rewriting = RewriteOverSource(*mapping, *query, options);
-    if (!rewriting.ok()) return Fail(rewriting.status());
-    std::printf("%s\n", rewriting->ToString().c_str());
-    return 0;
-  }
-  if (command == "exchange" || command == "roundtrip") {
-    if (narg < 4) return Usage();
-    Result<std::string> instance_text = ReadFile(argv[3]);
-    if (!instance_text.ok()) return Fail(instance_text.status());
-    Result<Instance> source = ParseInstance(*instance_text, *mapping->source);
-    if (!source.ok()) return Fail(source.status());
-    Result<Instance> target = ChaseTgds(*mapping, *source, options);
-    if (!target.ok()) return Fail(target.status());
-    if (command == "exchange") {
-      std::printf("%s\n", target->ToString().c_str());
-      return 0;
-    }
-    Result<ReverseMapping> rec = CqMaximumRecovery(*mapping, options);
-    if (!rec.ok()) return Fail(rec.status());
-    Result<std::vector<Instance>> worlds =
-        RoundTripWorlds(*mapping, *rec, *source, options);
-    if (!worlds.ok()) return Fail(worlds.status());
-    std::printf("target:    %s\n", target->ToString().c_str());
-    for (const Instance& world : *worlds) {
-      std::printf("recovered: %s\n", world.ToString().c_str());
-    }
-    return 0;
-  }
-  return Usage();
+  return response.kind == ResultKind::kCheckViolation ? 2 : 0;
 }
 
 }  // namespace

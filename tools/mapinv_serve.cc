@@ -1,0 +1,223 @@
+// mapinv_serve — a multi-tenant inversion daemon over unix/TCP sockets.
+//
+// Speaks the length-prefixed JSON protocol of serve/protocol.h: every
+// request is an EngineRequest document (or a serving verb: session.open,
+// session.close, session.list, instance.put, metrics, server.stop), every
+// response the canonical EngineResponse JSON — the same bytes mapinv_cli
+// --response-json prints for the same request. docs/SERVING.md has the
+// full schema.
+//
+// Usage:
+//   mapinv_serve --unix=/tmp/mapinv.sock
+//   mapinv_serve --tcp=0            # ephemeral port, printed on stdout
+//
+// Flags:
+//   --unix=PATH          unix-domain listener (unlinked on shutdown)
+//   --tcp=PORT           TCP listener (0 = ephemeral); --host=ADDR to bind
+//                        something other than 127.0.0.1
+//   --threads=N          per-request parallelism budget (default 1)
+//   --pool-workers=N     shared pool size (default threads-1)
+//   --max-connections=N  concurrent connections (default 128)
+//   --max-inflight=N     requests executing at once (default max-connections)
+//   --max-frame-bytes=N  frame payload cap (default 16 MiB)
+//   --max-sessions=N     session capacity (default 256)
+//   --max-facts=N --max-worlds=N --max-disjuncts=N --max-rules=N
+//   --deadline-ms=N      default per-request limits (requests may override)
+//   --on-exhausted=fail|partial   default brownout policy
+//   --no-stop            refuse the server.stop request (signals only)
+//
+// On startup prints exactly one line to stdout:
+//   mapinv_serve: listening unix=<path> tcp=<host>:<port>
+// (fields present for the configured listeners) — supervisors and the CI
+// smoke job wait for it. SIGINT/SIGTERM drain and exit 0.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace mapinv {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mapinv_serve [--unix=PATH] [--tcp=PORT] [flags]\n"
+      "flags: --host=ADDR --threads=N --pool-workers=N --max-connections=N\n"
+      "       --max-inflight=N --max-frame-bytes=N --max-sessions=N\n"
+      "       --max-facts=N --max-worlds=N --max-disjuncts=N --max-rules=N\n"
+      "       --deadline-ms=N --on-exhausted=fail|partial --no-stop\n");
+  return 1;
+}
+
+bool FlagError(const std::string& message) {
+  std::fprintf(stderr, "mapinv_serve: %s\n", message.c_str());
+  return false;
+}
+
+// Strict non-negative integer parse: digits only, bounded (the CLI rule).
+bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (v > max / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > max) return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, ServerConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return FlagError("unexpected argument '" + arg + "'");
+    }
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    if (name == "--no-stop") {
+      config->allow_stop = false;
+      continue;
+    }
+    const bool known =
+        name == "--unix" || name == "--tcp" || name == "--host" ||
+        name == "--threads" || name == "--pool-workers" ||
+        name == "--max-connections" || name == "--max-inflight" ||
+        name == "--max-frame-bytes" || name == "--max-sessions" ||
+        name == "--max-facts" || name == "--max-worlds" ||
+        name == "--max-disjuncts" || name == "--max-rules" ||
+        name == "--deadline-ms" || name == "--on-exhausted";
+    if (!known) return FlagError("unknown flag '" + name + "'");
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        return FlagError("flag '" + name + "' expects a value");
+      }
+      value = argv[++i];
+    }
+    if (name == "--unix") {
+      config->unix_path = value;
+      continue;
+    }
+    if (name == "--host") {
+      config->tcp_host = value;
+      continue;
+    }
+    if (name == "--on-exhausted") {
+      if (value == "fail") {
+        config->on_exhausted = OnExhausted::kFail;
+      } else if (value == "partial") {
+        config->on_exhausted = OnExhausted::kPartial;
+      } else {
+        return FlagError("bad value '" + value +
+                         "' for --on-exhausted (want 'fail' or 'partial')");
+      }
+      continue;
+    }
+    const uint64_t max = (name == "--tcp")       ? 65535
+                         : (name == "--threads") ? (1u << 16)
+                                                 : static_cast<uint64_t>(
+                                                       INT64_MAX);
+    uint64_t n = 0;
+    if (!ParseUint(value, max, &n)) {
+      return FlagError("bad value '" + value + "' for " + name +
+                       " (want an integer in [0, " + std::to_string(max) +
+                       "])");
+    }
+    if (name == "--tcp") {
+      config->tcp_port = static_cast<int>(n);
+    } else if (name == "--threads") {
+      config->threads = static_cast<int>(n);
+    } else if (name == "--pool-workers") {
+      config->pool_workers = static_cast<int>(n);
+    } else if (name == "--max-connections") {
+      config->max_connections = static_cast<int>(n);
+    } else if (name == "--max-inflight") {
+      config->max_inflight = static_cast<int>(n);
+    } else if (name == "--max-frame-bytes") {
+      if (n == 0 || n > (1u << 30)) {
+        return FlagError("bad value '" + value + "' for --max-frame-bytes");
+      }
+      config->max_frame_bytes = static_cast<uint32_t>(n);
+    } else if (name == "--max-sessions") {
+      config->max_sessions = static_cast<size_t>(n);
+    } else if (name == "--max-facts") {
+      config->limits.max_new_facts = static_cast<size_t>(n);
+    } else if (name == "--max-worlds") {
+      config->limits.max_worlds = static_cast<size_t>(n);
+    } else if (name == "--max-disjuncts") {
+      config->limits.max_disjuncts = static_cast<size_t>(n);
+    } else if (name == "--max-rules") {
+      config->limits.max_rules = static_cast<size_t>(n);
+    } else if (name == "--deadline-ms") {
+      config->limits.deadline_ms = static_cast<int64_t>(n);
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  ServerConfig config;
+  if (!ParseFlags(argc, argv, &config)) return Usage();
+  if (config.unix_path.empty() && config.tcp_port < 0) {
+    std::fprintf(stderr,
+                 "mapinv_serve: need --unix=PATH and/or --tcp=PORT\n");
+    return Usage();
+  }
+
+  // Block the shutdown signals in every thread; a dedicated thread sigwaits
+  // and turns them into a drain. (A raw handler could not call RequestStop —
+  // it takes locks.)
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  const std::string tcp_host = config.tcp_host;
+  Server server(std::move(config));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "mapinv_serve: %s\n", started.ToString().c_str());
+    return 2;
+  }
+
+  std::thread signal_thread([&signals, &server] {
+    int sig = 0;
+    sigwait(&signals, &sig);
+    server.RequestStop();
+  });
+
+  std::string line = "mapinv_serve: listening";
+  if (!server.unix_path().empty()) line += " unix=" + server.unix_path();
+  if (server.tcp_port() >= 0) {
+    line += " tcp=" + tcp_host + ":" + std::to_string(server.tcp_port());
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+
+  server.Wait();
+  // Unblock the signal thread if the stop came from a server.stop request
+  // (the signal must target that thread: it is blocked everywhere else).
+  pthread_kill(signal_thread.native_handle(), SIGTERM);
+  signal_thread.join();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mapinv
+
+int main(int argc, char** argv) { return mapinv::Run(argc, argv); }
