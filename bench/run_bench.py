@@ -33,6 +33,7 @@ import sys
 
 ALL_BENCHES = [
     "bench_chase_throughput",
+    "bench_chase_delta",
     "bench_cqmaxrec_scaling",
     "bench_core",
     "bench_rewrite",
@@ -46,6 +47,7 @@ ALL_BENCHES = [
 # One cheap representative config per binary for --smoke (regex filters).
 SMOKE_FILTERS = {
     "bench_chase_throughput": r"BM_Chase_ForwardTgds/64$",
+    "bench_chase_delta": r"BM_ChaseDelta_(Absorb|FullRechase)/256$",
     "bench_cqmaxrec_scaling": r"BM_CqMaxRecovery_FrontierWidth/3$",
     "bench_core": r"/8$|/8/",
     "bench_rewrite": r"/2$|/2/",

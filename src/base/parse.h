@@ -1,0 +1,40 @@
+/// \file parse.h
+/// \brief Strict numeric parsing shared by every flag/spec surface.
+///
+/// All three tools (mapinv_cli, mapinv_serve, mapinv_bench_serve) and the
+/// engine's gen:-spec resolver accept non-negative integer parameters. Each
+/// historically carried its own copy of the rule; this header is the single
+/// definition. The rule is deliberately stricter than strtoull:
+///
+///   * digits only — no sign, no whitespace, no base prefix, no trailing
+///     garbage ("+3", " 3", "0x3", "3 " all rejected);
+///   * bounded — values above `max` are rejected during accumulation, so an
+///     overflowed literal can never wrap or saturate into an in-range value.
+
+#ifndef MAPINV_BASE_PARSE_H_
+#define MAPINV_BASE_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mapinv {
+
+/// \brief Parses `text` as a non-negative decimal integer in [0, max].
+/// Returns false (leaving `*out` untouched) on empty input, any non-digit
+/// character, or a value above `max`.
+inline bool ParseUint(std::string_view text, uint64_t max, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (v > max / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+    if (v > max) return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace mapinv
+
+#endif  // MAPINV_BASE_PARSE_H_

@@ -1,0 +1,154 @@
+#include "chase/chase_delta.h"
+
+#include <string>
+
+#include "chase/fire_plan.h"
+#include "engine/failpoint.h"
+#include "engine/trace.h"
+#include "eval/hom.h"
+#include "eval/hom_plan.h"
+
+namespace mapinv {
+
+namespace {
+FailPoint fp_delta_entry("chase_delta/entry");
+FailPoint fp_delta_fire("chase_delta/fire");
+}  // namespace
+
+Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
+                        const DeltaWatermark& base, Instance* target,
+                        ChaseProvenance* provenance,
+                        const ExecutionOptions& options) {
+  ScopedTraceSpan span(options, "chase_delta");
+  MAPINV_FAILPOINT(fp_delta_entry);
+  ExecDeadline entry_deadline(options.deadline_ms);
+  const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
+  // The fresh-null scope must clear the appended source rows *and* the nulls
+  // the base chase already placed in the target: an engine-scoped context
+  // that restarted at zero would otherwise mint labels colliding with the
+  // maintained solution it is extending.
+  SymbolContext& symbols = ResolveSymbols(options, source);
+  if (options.symbols != nullptr) {
+    target->ForEachFact([&](RelationId, RowView row) {
+      for (const Value& v : row) {
+        if (v.is_null()) options.symbols->BumpNullPast(v.id());
+      }
+    });
+  }
+  HomSearch search(source);
+  search.set_stats(options.stats);
+  HomSearch target_search(*target);
+  target_search.set_stats(options.stats);
+  size_t created = 0;
+  std::vector<Value> fresh;    // per-firing nulls, one per existential var
+  std::vector<Value> scratch;  // reused row buffer for AddRow
+  // Degradation mirrors ChaseTgds at whole-trigger granularity, with one
+  // extra obligation: an incomplete absorption must be reported, because a
+  // caller that advanced its watermark over a half-fired delta would lose
+  // the unfired triggers forever. `degraded` feeds the return value.
+  bool degraded = false;
+  for (size_t tgd_index = 0; tgd_index < mapping.tgds.size(); ++tgd_index) {
+    const Tgd& tgd = mapping.tgds[tgd_index];
+    // Delta triggers only: premise homomorphisms whose image touches at
+    // least one row appended past `base`. Firing cannot create new ones
+    // (conclusions land in the target; premises read the source), so one
+    // pass per tgd is complete, exactly as in the full chase.
+    std::vector<Assignment> triggers;
+    {
+      ScopedTraceSpan collect_span(options, "collect_triggers_delta");
+      Result<std::vector<Assignment>> collected =
+          CollectTriggersDelta(search, source, tgd.premise, HomConstraints{},
+                               base, options, deadline);
+      if (!collected.ok()) {
+        if (DegradeToPartial(options, collected.status())) {
+          degraded = true;
+          break;
+        }
+        return collected.status();
+      }
+      triggers = std::move(collected).ValueOrDie();
+    }
+    ScopedTraceSpan fire_span(options, "fire");
+    const std::vector<VarId> frontier_vars = tgd.FrontierVars();
+    const std::vector<VarId> existential_vars = tgd.ExistentialVars();
+    MAPINV_ASSIGN_OR_RETURN(
+        const std::vector<FireAtom> fire_atoms,
+        CompileFireAtoms(tgd.conclusion, target->schema(), existential_vars));
+    std::shared_ptr<const HomPlan> conclusion_plan;
+    if (!options.oblivious && !triggers.empty()) {
+      MAPINV_ASSIGN_OR_RETURN(
+          conclusion_plan,
+          target_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
+                                       frontier_vars));
+    }
+    std::vector<Value> frontier_values;  // ordered as conclusion_plan demands
+    bool cut_short = false;
+    for (const Assignment& h : triggers) {
+      if (Status poll = PollPhaseInterrupt(options, deadline, "chase_delta");
+          !poll.ok()) {
+        if (DegradeToPartial(options, poll)) {
+          cut_short = true;
+          break;
+        }
+        return poll;
+      }
+      MAPINV_FAILPOINT(fp_delta_fire);
+      if (!options.oblivious) {
+        frontier_values.clear();
+        for (VarId v : conclusion_plan->fixed_vars) {
+          frontier_values.push_back(h.at(v));
+        }
+        MAPINV_ASSIGN_OR_RETURN(
+            bool satisfied,
+            target_search.ExistsHomWithPlanValues(*conclusion_plan,
+                                                  frontier_values));
+        if (satisfied) continue;
+      }
+      fresh.clear();
+      for (size_t i = 0; i < existential_vars.size(); ++i) {
+        fresh.push_back(Value::FreshNull(symbols));
+      }
+      if (options.stats != nullptr) {
+        options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const FireAtom& fa : fire_atoms) {
+        BuildFireRow(fa, h, fresh, &scratch);
+        MAPINV_ASSIGN_OR_RETURN(bool added,
+                                target->AddRow(fa.relation, scratch));
+        if (added) {
+          ++created;
+          if (provenance != nullptr) {
+            // AddRow appends, so the new row's dense ref is the last one.
+            provenance->Record(
+                fa.relation,
+                static_cast<TupleRef>(target->NumRows(fa.relation) - 1),
+                static_cast<uint32_t>(tgd_index));
+          }
+        }
+      }
+      // Whole-trigger granularity, as in ChaseTgds: a partial stop never
+      // leaves a half-fired conclusion.
+      if (created > options.max_new_facts) {
+        Status exhausted =
+            PhaseExhausted("chase_delta",
+                           "exceeded max_new_facts = " +
+                               std::to_string(options.max_new_facts));
+        if (DegradeToPartial(options, exhausted)) {
+          cut_short = true;
+          break;
+        }
+        return exhausted;
+      }
+    }
+    if (cut_short) {
+      degraded = true;
+      break;
+    }
+  }
+  if (options.stats != nullptr) {
+    options.stats->ObserveArenaBytes(target->ArenaBytes());
+  }
+  return !degraded;
+}
+
+}  // namespace mapinv

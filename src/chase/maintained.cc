@@ -1,0 +1,70 @@
+#include "chase/maintained.h"
+
+#include <utility>
+
+#include "chase/chase_delta.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+
+Result<size_t> MaintainedSolution::AppendText(std::string_view text) {
+  MAPINV_ASSIGN_OR_RETURN(Instance delta,
+                          ParseInstance(text, *mapping_->source));
+  return AppendInstance(delta);
+}
+
+Result<size_t> MaintainedSolution::AppendInstance(const Instance& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = source_.TotalSize();
+  MAPINV_RETURN_NOT_OK(source_.UnionWith(delta));
+  const size_t added = source_.TotalSize() - before;
+  appended_rows_ += added;
+  return added;
+}
+
+Result<std::string> MaintainedSolution::RefreshAndRender(
+    const ExecutionOptions& base_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExecutionOptions options = base_options;
+  options.symbols = &symbols_;
+  // Speculate on a COW fork + provenance copy; commit both (and the
+  // watermark) only when the whole outstanding delta was absorbed.
+  Instance work = target_.Fork();
+  ChaseProvenance provenance = provenance_;
+  MAPINV_ASSIGN_OR_RETURN(
+      bool complete,
+      ChaseDelta(*mapping_, source_, watermark_, &work, &provenance, options));
+  if (complete) {
+    target_ = std::move(work);
+    provenance_ = std::move(provenance);
+    watermark_ = WatermarkOf(source_);
+    ++refreshes_;
+    return target_.ToString() + "\n";
+  }
+  ++partial_refreshes_;
+  return work.ToString() + "\n";
+}
+
+Instance MaintainedSolution::SourceSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return source_.Snapshot();
+}
+
+Instance MaintainedSolution::TargetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return target_.Snapshot();
+}
+
+MaintainedSolution::Counters MaintainedSolution::CountersSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters counters;
+  counters.refreshes = refreshes_;
+  counters.partial_refreshes = partial_refreshes_;
+  counters.appended_rows = appended_rows_;
+  counters.fired_rows = provenance_.FiredCount();
+  counters.source_rows = source_.TotalSize();
+  counters.target_rows = target_.TotalSize();
+  return counters;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,112 @@
+/// \file maintained.h
+/// \brief A chased solution kept incrementally up to date with its source.
+///
+/// MaintainedSolution owns the full incremental-chase lifecycle for one
+/// (mapping, source) pair: the growing source instance, the chased target,
+/// the per-fired-tuple provenance table, the watermark separating absorbed
+/// from un-absorbed source rows, and — crucially — a persistent
+/// SymbolContext scoping the target's labelled nulls. Requests normally run
+/// with a *fresh* symbol context each (see request.h's determinism
+/// contract); a maintained target lives across requests, so its null labels
+/// must come from a context that lives with it, or a later refresh could
+/// mint a label the target already uses.
+///
+/// Refresh protocol (commit-on-complete): ChaseDelta runs on a COW fork of
+/// the target plus a copy of the provenance; only a *complete* (non-partial)
+/// absorption commits the fork and advances the watermark. A degraded
+/// refresh renders its sound prefix but commits nothing, so the next
+/// refresh retries the whole outstanding delta instead of silently losing
+/// the unfired triggers.
+///
+/// Thread-safe; the internal mutex is held across a refresh, serialising
+/// refreshes per maintained solution (appends and snapshots block only for
+/// the duration of the chase — acceptable for the serving layer, which
+/// already executes requests one session-instance at a time in practice).
+
+#ifndef MAPINV_CHASE_MAINTAINED_H_
+#define MAPINV_CHASE_MAINTAINED_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "base/symbol_context.h"
+#include "chase/provenance.h"
+#include "data/instance.h"
+#include "engine/execution_options.h"
+#include "engine/parallel_chase.h"
+#include "logic/mapping.h"
+
+namespace mapinv {
+
+/// \brief One incrementally maintained (source, target) pair.
+class MaintainedSolution {
+ public:
+  /// Starts empty and unchased: source and target have no rows, the
+  /// watermark is all-zero, so the first Refresh runs the full (delta ≡
+  /// everything) chase.
+  explicit MaintainedSolution(std::shared_ptr<const TgdMapping> mapping)
+      : mapping_(std::move(mapping)),
+        source_(mapping_->source),
+        target_(mapping_->target) {}
+
+  const TgdMapping& mapping() const { return *mapping_; }
+
+  /// Parses `text` against the mapping's source schema and appends its facts
+  /// to the maintained source. Returns the number of genuinely new rows
+  /// (duplicates of existing facts count zero). Parse errors leave the
+  /// source untouched.
+  Result<size_t> AppendText(std::string_view text);
+
+  /// Appends every fact of an already-parsed instance (relation names are
+  /// resolved against the source schema). Returns the number of new rows.
+  Result<size_t> AppendInstance(const Instance& delta);
+
+  /// Absorbs all not-yet-absorbed source rows into the target via ChaseDelta
+  /// and returns the rendered target (the same "{ ... }\n" bytes `exchange`
+  /// prints). `base_options` supplies limits/threads/stats/cancel; the
+  /// symbol context is always this object's own persistent one. On kPartial
+  /// degradation the rendered prefix is returned but nothing commits — see
+  /// the file comment.
+  Result<std::string> RefreshAndRender(const ExecutionOptions& base_options);
+
+  /// COW snapshot of the maintained source (all appended rows, absorbed or
+  /// not).
+  Instance SourceSnapshot() const;
+
+  /// COW snapshot of the maintained target (as of the last committed
+  /// refresh).
+  Instance TargetSnapshot() const;
+
+  struct Counters {
+    uint64_t refreshes = 0;          ///< committed (complete) refreshes
+    uint64_t partial_refreshes = 0;  ///< degraded, uncommitted refreshes
+    uint64_t appended_rows = 0;      ///< new source rows accepted
+    uint64_t fired_rows = 0;         ///< target rows with recorded provenance
+    size_t source_rows = 0;
+    size_t target_rows = 0;
+  };
+  Counters CountersSnapshot() const;
+
+ private:
+  const std::shared_ptr<const TgdMapping> mapping_;
+
+  mutable std::mutex mu_;
+  Instance source_;
+  Instance target_;
+  ChaseProvenance provenance_;
+  /// Source rows below the watermark are absorbed into target_.
+  DeltaWatermark watermark_;
+  /// Persistent fresh-null scope for target_ (see file comment).
+  SymbolContext symbols_;
+  uint64_t refreshes_ = 0;
+  uint64_t partial_refreshes_ = 0;
+  uint64_t appended_rows_ = 0;
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_MAINTAINED_H_

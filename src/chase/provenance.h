@@ -1,0 +1,67 @@
+/// \file provenance.h
+/// \brief Per-fired-tuple provenance for the incremental chase.
+///
+/// ChaseDelta records, for every target row it fires, the index of the tgd
+/// whose trigger produced it. The table is a per-relation vector parallel to
+/// the target's dense TupleRef space (append-only, like the arena itself),
+/// so lookup is an index, not a hash probe. Rows that predate provenance
+/// tracking — a base target handed in from a non-tracking chase — carry the
+/// kBaseFact sentinel.
+///
+/// This is the bookkeeping DRed-style retraction needs: deleting a source
+/// row invalidates exactly the fired tuples whose recorded tgd could have
+/// consumed it, which a future delete path can over-approximate per tgd and
+/// re-derive. Today the table powers introspection and the maintained-
+/// solution counters.
+
+#ifndef MAPINV_CHASE_PROVENANCE_H_
+#define MAPINV_CHASE_PROVENANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/instance.h"
+
+namespace mapinv {
+
+/// \brief Which tgd fired each target row. Copyable (plain vectors), so a
+/// speculative refresh can work on a copy and commit only on success.
+class ChaseProvenance {
+ public:
+  /// Rows not produced by a tracked firing (pre-existing target facts).
+  static constexpr uint32_t kBaseFact = UINT32_MAX;
+
+  /// Records that `ref` of `relation` was fired by tgd `tgd_index`. Gaps
+  /// below `ref` (rows added outside tracking) are padded with kBaseFact.
+  void Record(RelationId relation, TupleRef ref, uint32_t tgd_index) {
+    if (relation >= by_relation_.size()) by_relation_.resize(relation + 1);
+    std::vector<uint32_t>& rows = by_relation_[relation];
+    if (rows.size() <= ref) rows.resize(ref + 1, kBaseFact);
+    rows[ref] = tgd_index;
+  }
+
+  /// The tgd that fired `ref` of `relation`, or kBaseFact.
+  uint32_t TgdFor(RelationId relation, TupleRef ref) const {
+    if (relation >= by_relation_.size()) return kBaseFact;
+    const std::vector<uint32_t>& rows = by_relation_[relation];
+    return ref < rows.size() ? rows[ref] : kBaseFact;
+  }
+
+  /// Number of rows recorded with a real tgd index (excludes kBaseFact).
+  size_t FiredCount() const {
+    size_t n = 0;
+    for (const auto& rows : by_relation_) {
+      for (uint32_t t : rows) {
+        if (t != kBaseFact) ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<uint32_t>> by_relation_;  // indexed by RelationId
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_CHASE_PROVENANCE_H_

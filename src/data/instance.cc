@@ -109,6 +109,26 @@ bool Instance::ContainsRow(RelationId relation, RowView row) const {
   return false;
 }
 
+std::optional<TupleRef> Instance::FindRow(RelationId relation,
+                                          RowView row) const {
+  EnsureSlots();
+  if (relation >= stores_.size()) return std::nullopt;
+  const Store& store = *stores_[relation];
+  if (row.size() != store.arity) return std::nullopt;
+  if (store.arity == 0) {
+    if (store.num_rows == 0) return std::nullopt;
+    return TupleRef{0};
+  }
+  auto [begin, end] = store.dedup.equal_range(HashRow(row));
+  for (auto it = begin; it != end; ++it) {
+    if (RowEquals(store.arena.data() + it->second * store.arity, row.data(),
+                  store.arity)) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
 size_t Instance::NumRows(RelationId relation) const {
   EnsureSlots();
   return stores_[relation]->num_rows;

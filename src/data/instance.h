@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -161,6 +162,12 @@ class Instance {
 
   /// True if the instance contains the row.
   bool ContainsRow(RelationId relation, RowView row) const;
+
+  /// The dense ref of `row` within `relation`, or nullopt if absent. Rows
+  /// are duplicate-free, so the ref is unique; because insertion order is
+  /// append-only, `*FindRow(...) < n` partitions an instance's rows into
+  /// "first n" and "appended since" — the delta chase's old/new test.
+  std::optional<TupleRef> FindRow(RelationId relation, RowView row) const;
 
   /// Number of rows of one relation.
   size_t NumRows(RelationId relation) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 
 #include "engine/failpoint.h"
 #include "engine/thread_pool.h"
@@ -47,6 +48,119 @@ bool BindCandidate(const Atom& atom, RowView tuple,
     }
   }
   return true;
+}
+
+// The shared chunked enumeration core: scans `pinned`'s candidate rows
+// [begin_row, end_row) in insertion order, binds each against the pinned
+// atom, runs the compiled remaining-premise plan, and appends every full
+// assignment passing `accept` (empty = keep all) to `out` in a deterministic
+// order. One output slot per contiguous chunk, merged in chunk order, so the
+// result is independent of scheduling and of the chunk count itself —
+// threads == 1 executes the same chunks inline.
+Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
+                      const Atom& pinned, RelationId rel, size_t begin_row,
+                      size_t end_row, const HomPlan& remaining_plan,
+                      const HomConstraints& constraints,
+                      const ExecutionOptions& options,
+                      const ExecDeadline& deadline,
+                      const std::function<bool(const Assignment&)>& accept,
+                      std::vector<Assignment>* out) {
+  const size_t n = end_row - begin_row;
+  if (n == 0) return Status::OK();
+
+  int threads = options.threads < 1 ? 1 : options.threads;
+  ThreadPool* pool = nullptr;
+  if (threads > 1) {
+    pool = options.pool != nullptr ? options.pool : &ThreadPool::Shared();
+  }
+
+  const size_t chunk_count =
+      std::min(n, static_cast<size_t>(threads) * size_t{8});
+  const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
+  std::vector<std::vector<Assignment>> slots(chunk_count);
+  std::vector<Status> statuses(chunk_count, Status::OK());
+  std::atomic<bool> abort{false};
+  std::atomic<uint64_t> rejected{0};
+
+  auto run_chunk = [&](size_t c) {
+    const size_t begin = begin_row + c * chunk_size;
+    const size_t end = std::min(end_row, begin + chunk_size);
+    if (Status fp = fp_collect_chunk.Check(); !fp.ok()) {
+      statuses[c] = std::move(fp);
+      abort.store(true, std::memory_order_relaxed);
+      return;
+    }
+    uint64_t local_rejected = 0;
+    Assignment bindings;  // reused per candidate; clear() keeps its buckets
+    for (size_t i = begin;
+         i < end && !abort.load(std::memory_order_relaxed); ++i) {
+      // The cancel poll is a relaxed load; Expired() amortises its own clock
+      // reads — so polling both every candidate is cheap.
+      if (CancelRequested(options)) {
+        statuses[c] = PhaseCancelled("collect_triggers");
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (deadline.Expired()) {
+        statuses[c] = PhaseExhausted(
+            "collect_triggers", "deadline exceeded during trigger enumeration");
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+      bindings.clear();
+      if (!BindCandidate(pinned, instance.Row(rel, static_cast<TupleRef>(i)),
+                         constraints, &bindings)) {
+        ++local_rejected;
+        continue;
+      }
+      Status status = search.ForEachHomWithPlan(
+          remaining_plan, bindings,
+          [&slot = slots[c], &accept](const Assignment& h) {
+            if (!accept || accept(h)) slot.push_back(h);
+            return true;
+          });
+      if (!status.ok()) {
+        statuses[c] = std::move(status);
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (local_rejected != 0) {
+      rejected.fetch_add(local_rejected, std::memory_order_relaxed);
+    }
+  };
+
+  if (pool == nullptr) {
+    for (size_t c = 0; c < chunk_count; ++c) run_chunk(c);
+  } else {
+    pool->ParallelFor(chunk_count, run_chunk);
+  }
+
+  if (options.stats != nullptr) {
+    options.stats->hom_backtracks.fetch_add(
+        rejected.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  }
+  for (Status& status : statuses) {
+    MAPINV_RETURN_NOT_OK(status);
+  }
+
+  size_t total = out->size();
+  for (const auto& slot : slots) total += slot.size();
+  out->reserve(total);
+  for (auto& slot : slots) {
+    for (Assignment& h : slot) out->push_back(std::move(h));
+  }
+  return Status::OK();
+}
+
+// The variables the pinned atom binds — exactly the bound set BindCandidate
+// assigns, hence the bound set the remaining-premise plan compiles against.
+std::vector<VarId> PinnedVars(const Atom& atom) {
+  std::vector<VarId> vars;
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) vars.push_back(t.var());
+  }
+  return vars;
 }
 
 }  // namespace
@@ -103,101 +217,82 @@ Result<std::vector<Assignment>> CollectTriggers(
 
   // Compile the remaining-premise plan once, before the fan-out, so worker
   // threads execute a shared immutable plan instead of racing through the
-  // plan cache. The plan's bound-variable set is exactly what BindCandidate
-  // assigns: the first atom's distinct variables.
-  std::vector<VarId> first_vars;
-  for (const Term& t : first.terms) {
-    if (t.is_variable()) first_vars.push_back(t.var());
-  }
+  // plan cache.
   MAPINV_ASSIGN_OR_RETURN(
       std::shared_ptr<const HomPlan> remaining_plan,
-      search.GetPlanForVars(remaining, constraints, std::move(first_vars)));
+      search.GetPlanForVars(remaining, constraints, PinnedVars(first)));
 
-  int threads = options.threads < 1 ? 1 : options.threads;
-  ThreadPool* pool = nullptr;
-  if (threads > 1) {
-    pool = options.pool != nullptr ? options.pool : &ThreadPool::Shared();
-  }
-
-  // One output slot per contiguous chunk of candidate tuples; slots merge in
-  // chunk order, so the trigger list is independent of scheduling — and of
-  // the chunk count itself, which lets threads==1 share this exact path.
-  const size_t chunk_count =
-      std::min(n, static_cast<size_t>(threads) * size_t{8});
-  const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
-  std::vector<std::vector<Assignment>> slots(chunk_count);
-  std::vector<Status> statuses(chunk_count, Status::OK());
-  std::atomic<bool> abort{false};
-  std::atomic<uint64_t> rejected{0};
-
-  auto run_chunk = [&](size_t c) {
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(n, begin + chunk_size);
-    if (Status fp = fp_collect_chunk.Check(); !fp.ok()) {
-      statuses[c] = std::move(fp);
-      abort.store(true, std::memory_order_relaxed);
-      return;
-    }
-    uint64_t local_rejected = 0;
-    Assignment bindings;  // reused per candidate; clear() keeps its buckets
-    for (size_t i = begin;
-         i < end && !abort.load(std::memory_order_relaxed); ++i) {
-      // The cancel poll is a relaxed load; Expired() amortises its own clock
-      // reads — so polling both every candidate is cheap.
-      if (CancelRequested(options)) {
-        statuses[c] = PhaseCancelled("collect_triggers");
-        abort.store(true, std::memory_order_relaxed);
-        break;
-      }
-      if (deadline.Expired()) {
-        statuses[c] = PhaseExhausted(
-            "collect_triggers", "deadline exceeded during trigger enumeration");
-        abort.store(true, std::memory_order_relaxed);
-        break;
-      }
-      bindings.clear();
-      if (!BindCandidate(first, instance.Row(rel, static_cast<TupleRef>(i)),
-                         constraints, &bindings)) {
-        ++local_rejected;
-        continue;
-      }
-      Status status =
-          search.ForEachHomWithPlan(*remaining_plan, bindings,
-                                    [&slot = slots[c]](const Assignment& h) {
-                                      slot.push_back(h);
-                                      return true;
-                                    });
-      if (!status.ok()) {
-        statuses[c] = std::move(status);
-        abort.store(true, std::memory_order_relaxed);
-        break;
-      }
-    }
-    if (local_rejected != 0) {
-      rejected.fetch_add(local_rejected, std::memory_order_relaxed);
-    }
-  };
-
-  if (pool == nullptr) {
-    for (size_t c = 0; c < chunk_count; ++c) run_chunk(c);
-  } else {
-    pool->ParallelFor(chunk_count, run_chunk);
-  }
-
-  if (options.stats != nullptr) {
-    options.stats->hom_backtracks.fetch_add(
-        rejected.load(std::memory_order_relaxed), std::memory_order_relaxed);
-  }
-  for (Status& status : statuses) {
-    MAPINV_RETURN_NOT_OK(status);
-  }
-
-  size_t total = 0;
-  for (const auto& slot : slots) total += slot.size();
   std::vector<Assignment> triggers;
-  triggers.reserve(total);
-  for (auto& slot : slots) {
-    for (Assignment& h : slot) triggers.push_back(std::move(h));
+  MAPINV_RETURN_NOT_OK(ScanPinnedAtom(search, instance, first, rel, 0, n,
+                                      *remaining_plan, constraints, options,
+                                      deadline, nullptr, &triggers));
+  return triggers;
+}
+
+DeltaWatermark WatermarkOf(const Instance& instance) {
+  DeltaWatermark watermark;
+  watermark.rows.reserve(instance.schema().size());
+  for (RelationId r = 0; r < instance.schema().size(); ++r) {
+    watermark.rows.push_back(instance.NumRows(r));
+  }
+  return watermark;
+}
+
+Result<std::vector<Assignment>> CollectTriggersDelta(
+    const HomSearch& search, const Instance& instance,
+    const std::vector<Atom>& premise, const HomConstraints& constraints,
+    const DeltaWatermark& watermark, const ExecutionOptions& options,
+    const ExecDeadline& deadline) {
+  MAPINV_FAILPOINT(fp_collect_entry);
+  MAPINV_RETURN_NOT_OK(search.Prewarm(premise));
+
+  // The empty premise's single trigger (the empty assignment) touches no
+  // row, so it is never a *delta* trigger.
+  if (premise.empty()) return std::vector<Assignment>{};
+
+  std::vector<RelationId> rels(premise.size());
+  for (size_t i = 0; i < premise.size(); ++i) {
+    MAPINV_ASSIGN_OR_RETURN(
+        rels[i], instance.schema().Require(RelationText(premise[i].relation)));
+  }
+
+  std::vector<Assignment> triggers;
+  std::vector<Atom> remaining;
+  for (size_t d = 0; d < premise.size(); ++d) {
+    const RelationId rel = rels[d];
+    const size_t n = instance.NumRows(rel);
+    const size_t mark =
+        rel < watermark.rows.size() ? std::min(watermark.rows[rel], n) : 0;
+    if (mark >= n) continue;  // no new rows for this pin
+
+    const Atom& pinned = premise[d];
+    remaining.clear();
+    for (size_t i = 0; i < premise.size(); ++i) {
+      if (i != d) remaining.push_back(premise[i]);
+    }
+    MAPINV_ASSIGN_OR_RETURN(
+        std::shared_ptr<const HomPlan> remaining_plan,
+        search.GetPlanForVars(remaining, constraints, PinnedVars(pinned)));
+
+    // Exact-partition filter: keep a candidate only when every *earlier*
+    // premise atom's image row predates the watermark, so each delta trigger
+    // is counted exactly once — at its first new-row position. (Later atoms
+    // may bind old or new rows freely.)
+    auto accept = [&](const Assignment& h) {
+      std::vector<Value> image;
+      for (size_t e = 0; e < d; ++e) {
+        image.clear();
+        for (const Term& t : premise[e].terms) {
+          image.push_back(t.is_constant() ? t.value() : h.at(t.var()));
+        }
+        const std::optional<TupleRef> ref = instance.FindRow(rels[e], image);
+        if (!ref.has_value() || watermark.IsNew(rels[e], *ref)) return false;
+      }
+      return true;
+    };
+    MAPINV_RETURN_NOT_OK(ScanPinnedAtom(search, instance, pinned, rel, mark, n,
+                                        *remaining_plan, constraints, options,
+                                        deadline, accept, &triggers));
   }
   return triggers;
 }

@@ -57,6 +57,45 @@ Result<std::vector<Assignment>> CollectTriggers(const HomSearch& search,
                                                 const ExecutionOptions& options,
                                                 const ExecDeadline& deadline);
 
+/// \brief Per-relation row counts marking the frontier between "already
+/// chased" and "appended since" rows of an append-only instance. Indexed by
+/// RelationId; a relation beyond the vector appeared after the watermark was
+/// taken, so every one of its rows counts as new.
+struct DeltaWatermark {
+  std::vector<size_t> rows;
+
+  /// True if `ref` in `relation` is at or past the watermark (an appended
+  /// row).
+  bool IsNew(RelationId relation, TupleRef ref) const {
+    const size_t mark = relation < rows.size() ? rows[relation] : 0;
+    return static_cast<size_t>(ref) >= mark;
+  }
+};
+
+/// \brief The watermark capturing every current row of `instance` as old.
+DeltaWatermark WatermarkOf(const Instance& instance);
+
+/// \brief Collects exactly the homomorphisms of `premise` into `instance`
+/// that map at least one premise atom to a row appended after `watermark` —
+/// the *delta triggers* of semi-naïve evaluation.
+///
+/// The enumeration partitions by the first premise position (in premise
+/// order) whose image is a new row: for each position d, the compiled
+/// remaining-premise HomPlan runs with atom d pinned to the new-row slice,
+/// and a candidate is kept only when every earlier atom's image row predates
+/// the watermark. Each delta trigger is therefore produced exactly once, in
+/// a deterministic order (ascending pinned position, then the pinned
+/// relation's insertion order, independent of thread count).
+///
+/// With an all-zero watermark this returns every trigger (position 0 takes
+/// the whole relation and later positions contribute nothing); an empty
+/// premise has no delta triggers (its one empty assignment touches no row).
+Result<std::vector<Assignment>> CollectTriggersDelta(
+    const HomSearch& search, const Instance& instance,
+    const std::vector<Atom>& premise, const HomConstraints& constraints,
+    const DeltaWatermark& watermark, const ExecutionOptions& options,
+    const ExecDeadline& deadline);
+
 /// \brief Resolves the fresh-symbol scope for an operation reading `input`:
 /// the process-global context when `options.symbols` is null (historical
 /// behaviour), otherwise `options.symbols` bumped past every null label

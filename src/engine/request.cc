@@ -3,8 +3,10 @@
 #include <utility>
 #include <vector>
 
+#include "base/parse.h"
 #include "base/symbol_context.h"
 #include "chase/chase_tgd.h"
+#include "chase/maintained.h"
 #include "chase/round_trip.h"
 #include "check/properties.h"
 #include "eval/instance_core.h"
@@ -19,37 +21,24 @@
 namespace mapinv {
 namespace {
 
-// Strict non-negative integer parse for gen:-spec parameters: digits only,
-// bounded. (Mirrors the historical CLI rule; lives here now that specs are
-// resolved engine-side.)
-bool ParseGenUint(const std::string& text, uint64_t max, uint64_t* out) {
-  if (text.empty()) return false;
-  uint64_t v = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') return false;
-    if (v > max / 10) return false;
-    v = v * 10 + static_cast<uint64_t>(c - '0');
-    if (v > max) return false;
-  }
-  *out = v;
-  return true;
-}
-
-// Parses "N" or "N,K" following a gen: family prefix. Parameters are sizes
-// of generated mappings, so anything outside [1, 10^6] is a spec error, not
-// a request (and the bound keeps an overflowed literal from truncating into
-// a small int).
+// Parses "N" or "N,K" following a gen: family prefix with the shared strict
+// digits-only rule (base/parse.h). Parameters are sizes of generated
+// mappings, so anything outside [1, 10^6] is a spec error, not a request
+// (and the bound keeps an overflowed literal from truncating into a small
+// int).
 bool ParseGenParams(const std::string& text, int* a, int* b) {
   constexpr uint64_t kMaxParam = 1000000;
   const size_t comma = text.find(',');
   uint64_t v = 0;
-  if (!ParseGenUint(text.substr(0, comma), kMaxParam, &v) || v == 0) {
+  if (!ParseUint(std::string_view(text).substr(0, comma), kMaxParam, &v) ||
+      v == 0) {
     return false;
   }
   *a = static_cast<int>(v);
   if (comma == std::string::npos) return true;
   if (b == nullptr) return false;
-  if (!ParseGenUint(text.substr(comma + 1), kMaxParam, &v) || v == 0) {
+  if (!ParseUint(std::string_view(text).substr(comma + 1), kMaxParam, &v) ||
+      v == 0) {
     return false;
   }
   *b = static_cast<int>(v);
@@ -214,6 +203,35 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
                             RewriteOverSource(*mapping, query, options));
     return ExecOutcome{ResultKind::kUnionCq, rewriting.ToString() + "\n"};
   }
+  if (command == "exchange-delta") {
+    // Sessionful: the serving layer bound the session's maintained solution;
+    // append the delta and absorb it incrementally.
+    if (request.bound_maintained != nullptr) {
+      if (!request.delta.empty()) {
+        MAPINV_RETURN_NOT_OK(
+            request.bound_maintained->AppendText(request.delta).status());
+      }
+      MAPINV_ASSIGN_OR_RETURN(
+          std::string rendered,
+          request.bound_maintained->RefreshAndRender(options));
+      return ExecOutcome{ResultKind::kInstance, std::move(rendered)};
+    }
+    // Sessionless: run the full maintenance lifecycle locally — base chase,
+    // append, incremental absorb — so the CLI path exercises the same
+    // delta machinery end to end (and stays deterministic: the maintained
+    // solution owns its own symbol scope).
+    MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<const Instance> source,
+                            ResolveInstance(request, *mapping->source));
+    auto maintained = std::make_shared<MaintainedSolution>(mapping);
+    MAPINV_RETURN_NOT_OK(maintained->AppendInstance(*source).status());
+    MAPINV_RETURN_NOT_OK(maintained->RefreshAndRender(options).status());
+    if (!request.delta.empty()) {
+      MAPINV_RETURN_NOT_OK(maintained->AppendText(request.delta).status());
+    }
+    MAPINV_ASSIGN_OR_RETURN(std::string rendered,
+                            maintained->RefreshAndRender(options));
+    return ExecOutcome{ResultKind::kInstance, std::move(rendered)};
+  }
   if (command == "exchange" || command == "roundtrip") {
     MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<const Instance> source,
                             ResolveInstance(request, *mapping->source));
@@ -283,9 +301,9 @@ const char* ResultKindName(ResultKind kind) {
 
 bool IsEngineCommand(std::string_view command) {
   static constexpr std::string_view kCommands[] = {
-      "invert",   "maxrec",    "polyso",    "rewrite", "exchange",
-      "roundtrip", "so-invert", "compose",  "check",   "core",
-      "ping"};
+      "invert",    "maxrec",    "polyso",  "rewrite", "exchange",
+      "exchange-delta", "roundtrip", "so-invert", "compose", "check",
+      "core",      "ping"};
   for (std::string_view c : kCommands) {
     if (command == c) return true;
   }
@@ -387,6 +405,7 @@ Result<EngineRequest> EngineRequestFromJson(const Json& json) {
   request.mapping = json.GetString("mapping");
   request.mapping2 = json.GetString("mapping2");
   request.instance = json.GetString("instance");
+  request.delta = json.GetString("delta");
   request.query = json.GetString("query");
   request.reverse = json.GetString("reverse");
   request.instance_ref = json.GetString("instance_ref");
@@ -458,6 +477,7 @@ Json EngineRequestToJson(const EngineRequest& request) {
   if (!request.mapping.empty()) json.Set("mapping", Json(request.mapping));
   if (!request.mapping2.empty()) json.Set("mapping2", Json(request.mapping2));
   if (!request.instance.empty()) json.Set("instance", Json(request.instance));
+  if (!request.delta.empty()) json.Set("delta", Json(request.delta));
   if (!request.query.empty()) json.Set("query", Json(request.query));
   if (!request.reverse.empty()) json.Set("reverse", Json(request.reverse));
   if (!request.instance_ref.empty()) {

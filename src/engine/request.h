@@ -51,6 +51,8 @@
 
 namespace mapinv {
 
+class MaintainedSolution;
+
 /// \brief Per-request overrides of the execution knobs. Unset fields inherit
 /// the transport's base ExecutionOptions; `threads` may lower but never
 /// raise the transport's budget.
@@ -67,9 +69,9 @@ struct RequestOptions {
 };
 
 /// \brief One engine command. Compute commands: invert, maxrec, polyso,
-/// rewrite, exchange, roundtrip, so-invert, compose, check, core, ping.
-/// (Serving adds session.* / instance.put / metrics / server.stop on top;
-/// those never reach ExecuteRequest.)
+/// rewrite, exchange, exchange-delta, roundtrip, so-invert, compose, check,
+/// core, ping. (Serving adds session.* / instance.put / instance.append /
+/// metrics / server.stop on top; those never reach ExecuteRequest.)
 struct EngineRequest {
   /// Client correlation id, echoed verbatim in the response.
   int64_t id = 0;
@@ -83,6 +85,10 @@ struct EngineRequest {
   std::string mapping;
   std::string mapping2;
   std::string instance;
+  /// exchange-delta's appended source rows (instance text against the source
+  /// schema). Absorbed incrementally on top of `instance` / the bound
+  /// maintained solution; may be empty ("refresh only").
+  std::string delta;
   std::string query;
   std::string reverse;
   /// Serving-layer fields: the name of a session-held instance to use in
@@ -95,6 +101,11 @@ struct EngineRequest {
   std::shared_ptr<const TgdMapping> bound_mapping;
   std::shared_ptr<const Instance> bound_instance;
   std::shared_ptr<const ReverseMapping> bound_reverse;
+  /// exchange-delta against a session-held maintained solution: the serving
+  /// layer binds it (mutable — the command appends and refreshes it); when
+  /// null, exchange-delta builds a request-local one from `instance`, which
+  /// keeps the sessionless path on the same incremental machinery.
+  std::shared_ptr<MaintainedSolution> bound_maintained;
 
   RequestOptions options;
 };

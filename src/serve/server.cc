@@ -259,6 +259,7 @@ ExecutionOptions Server::BaseOptions(Connection* connection) {
 }
 
 EngineResponse Server::HandleServeVerb(const EngineRequest& request,
+                                       Connection* connection,
                                        bool* stop_after_reply) {
   const std::string& command = request.command;
   if (command == "session.open") {
@@ -296,6 +297,30 @@ EngineResponse Server::HandleServeVerb(const EngineRequest& request,
     return VerbResponse(request.id, Status::OK(),
                         "instance '" + request.name + "' registered in "
                         "session '" + request.session + "'");
+  }
+  if (command == "instance.append") {
+    Result<std::shared_ptr<Session>> session = sessions_.Get(request.session);
+    if (!session.ok()) return VerbResponse(request.id, session.status());
+    // The appended rows ride in "delta" ("instance" also accepted). The
+    // verb chases — incrementally — so it runs like an engine command:
+    // cancellable, under the server's execution budget.
+    const std::string& payload =
+        !request.delta.empty() ? request.delta : request.instance;
+    if (payload.empty()) {
+      return VerbResponse(
+          request.id,
+          Status::InvalidArgument("instance.append needs rows in \"delta\""));
+    }
+    connection->cancel.Reset();
+    connection->executing.store(true, std::memory_order_release);
+    std::string rendered;
+    size_t appended = 0;
+    Status status = (*session)->AppendInstance(
+        request.name, payload, BaseOptions(connection), &rendered, &appended);
+    connection->executing.store(false, std::memory_order_release);
+    if (!status.ok()) return VerbResponse(request.id, std::move(status));
+    return VerbResponse(request.id, Status::OK(), std::move(rendered),
+                        ResultKind::kInstance);
   }
   if (command == "metrics") {
     return VerbResponse(request.id, Status::OK(), MetricsJson().Serialize());
@@ -341,13 +366,26 @@ EngineResponse Server::HandleEngineCommand(EngineRequest request,
       request.bound_mapping = session->mapping();
     }
     if (!request.instance_ref.empty()) {
-      request.bound_instance = session->instance(request.instance_ref);
-      if (request.bound_instance == nullptr) {
-        inflight_.fetch_sub(1, std::memory_order_acq_rel);
-        return VerbResponse(
-            request.id,
-            Status::NotFound("no instance '" + request.instance_ref +
-                             "' in session '" + request.session + "'"));
+      if (request.command == "exchange-delta") {
+        // Bind the session's maintained solution (created on first use,
+        // seeded from the registered snapshot) instead of the immutable
+        // instance: the command appends to and refreshes it in place.
+        Result<std::shared_ptr<MaintainedSolution>> maintained =
+            session->MaintainedFor(request.instance_ref);
+        if (!maintained.ok()) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          return VerbResponse(request.id, maintained.status());
+        }
+        request.bound_maintained = *maintained;
+      } else {
+        request.bound_instance = session->instance(request.instance_ref);
+        if (request.bound_instance == nullptr) {
+          inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          return VerbResponse(
+              request.id,
+              Status::NotFound("no instance '" + request.instance_ref +
+                               "' in session '" + request.session + "'"));
+        }
       }
     }
     if (request.command == "invert" || request.command == "maxrec") {
@@ -379,6 +417,15 @@ EngineResponse Server::HandleEngineCommand(EngineRequest request,
       session->CacheInverse(request.command, response.reverse_artifact,
                             response.result);
     }
+    if (session != nullptr && response.status.ok() &&
+        request.command == "exchange-delta" &&
+        request.bound_maintained != nullptr &&
+        !request.instance_ref.empty()) {
+      // Publish the grown source so later by-ref requests (plain exchange,
+      // check, ...) see the appended rows too.
+      session->SyncRegisteredSource(request.instance_ref,
+                                    request.bound_maintained->SourceSnapshot());
+    }
   }
   inflight_.fetch_sub(1, std::memory_order_acq_rel);
   if (session != nullptr) session->RecordOutcome(response);
@@ -396,7 +443,7 @@ std::string Server::HandleRequest(const Json& request_json,
   } else if (IsEngineCommand(request->command)) {
     response = HandleEngineCommand(std::move(*request), connection);
   } else {
-    response = HandleServeVerb(*request, stop_after_reply);
+    response = HandleServeVerb(*request, connection, stop_after_reply);
   }
   if (response.status.ok()) {
     metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);

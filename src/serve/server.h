@@ -22,9 +22,11 @@
 ///     state, so cross-session corruption is structurally impossible.
 ///
 /// Protocol verbs on top of the engine commands: session.open,
-/// session.close, session.list, instance.put, metrics, server.stop (the
-/// last only when ServerConfig::allow_stop). Responses are canonical
-/// EngineResponse documents (engine/request.h).
+/// session.close, session.list, instance.put, instance.append, metrics,
+/// server.stop (the last only when ServerConfig::allow_stop). Responses are
+/// canonical EngineResponse documents (engine/request.h). instance.append
+/// and the exchange-delta engine command drive the session's incrementally
+/// maintained solutions (chase/maintained.h).
 
 #ifndef MAPINV_SERVE_SERVER_H_
 #define MAPINV_SERVE_SERVER_H_
@@ -141,6 +143,7 @@ class Server {
   std::string HandleRequest(const Json& request_json, Connection* connection,
                             bool* stop_after_reply);
   EngineResponse HandleServeVerb(const EngineRequest& request,
+                                 Connection* connection,
                                  bool* stop_after_reply);
   EngineResponse HandleEngineCommand(EngineRequest request,
                                      Connection* connection);

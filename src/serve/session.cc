@@ -25,6 +25,7 @@ Status Session::SetMapping(std::string_view spec) {
   std::lock_guard<std::mutex> lock(mu_);
   mapping_ = std::move(shared);
   instances_.clear();
+  maintained_.clear();
   inverses_.clear();
   return Status::OK();
 }
@@ -48,7 +49,66 @@ Status Session::PutInstance(const std::string& name, std::string_view text) {
   auto shared = std::make_shared<const Instance>(instance.Snapshot());
   std::lock_guard<std::mutex> lock(mu_);
   instances_[name] = std::move(shared);
+  // A put replaces the rows wholesale; any maintained solution over the old
+  // rows is no longer an extension of them.
+  maintained_.erase(name);
   return Status::OK();
+}
+
+Result<std::shared_ptr<MaintainedSolution>> Session::MaintainedFor(
+    const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        "maintained solutions need a non-empty instance name");
+  }
+  std::shared_ptr<const TgdMapping> mapping;
+  std::shared_ptr<const Instance> seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = maintained_.find(name);
+    if (it != maintained_.end()) return it->second;
+    mapping = mapping_;
+    auto reg = instances_.find(name);
+    if (reg == instances_.end()) {
+      // Parity with exchange over an instance_ref: maintaining an instance
+      // that was never put is a clean not-found, not a silent empty create.
+      return Status::NotFound("session '" + name_ + "' has no instance '" +
+                              name + "'");
+    }
+    seed = reg->second;
+  }
+  if (mapping == nullptr) {
+    return Status::InvalidArgument("session '" + name_ +
+                                   "' has no mapping; session.open must "
+                                   "supply one before maintained solutions");
+  }
+  auto maintained = std::make_shared<MaintainedSolution>(std::move(mapping));
+  if (seed != nullptr) {
+    MAPINV_RETURN_NOT_OK(maintained->AppendInstance(*seed).status());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Two racing creators: first insert wins, the loser's copy is dropped.
+  return maintained_.emplace(name, std::move(maintained)).first->second;
+}
+
+Status Session::AppendInstance(const std::string& name, std::string_view text,
+                               const ExecutionOptions& options,
+                               std::string* rendered, size_t* appended) {
+  MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<MaintainedSolution> maintained,
+                          MaintainedFor(name));
+  MAPINV_ASSIGN_OR_RETURN(size_t added, maintained->AppendText(text));
+  if (appended != nullptr) *appended = added;
+  MAPINV_ASSIGN_OR_RETURN(std::string out,
+                          maintained->RefreshAndRender(options));
+  if (rendered != nullptr) *rendered = std::move(out);
+  SyncRegisteredSource(name, maintained->SourceSnapshot());
+  return Status::OK();
+}
+
+void Session::SyncRegisteredSource(const std::string& name, Instance source) {
+  auto shared = std::make_shared<const Instance>(std::move(source));
+  std::lock_guard<std::mutex> lock(mu_);
+  instances_[name] = std::move(shared);
 }
 
 std::shared_ptr<const TgdMapping> Session::mapping() const {

@@ -33,6 +33,7 @@
 
 #include "base/json.h"
 #include "base/status.h"
+#include "chase/maintained.h"
 #include "data/instance.h"
 #include "engine/request.h"
 #include "logic/mapping.h"
@@ -75,6 +76,27 @@ class Session {
   std::shared_ptr<const Instance> instance(const std::string& name) const;
   std::vector<std::string> InstanceNames() const;
 
+  /// The maintained solution for instance `name`, created on first use
+  /// (seeded from the registered snapshot when one exists, empty otherwise).
+  /// kInvalidArgument without a session mapping. instance.put on the same
+  /// name discards the maintained state — the rows were replaced wholesale,
+  /// not appended — and SetMapping discards all of it.
+  Result<std::shared_ptr<MaintainedSolution>> MaintainedFor(
+      const std::string& name);
+
+  /// The instance.append verb: appends `text`'s facts to `name`'s maintained
+  /// source, absorbs them incrementally (ChaseDelta), re-registers the grown
+  /// source snapshot so later by-ref requests see the appended rows, and
+  /// returns the refreshed target rendering via `rendered`. `appended`
+  /// (optional) receives the count of genuinely new source rows.
+  Status AppendInstance(const std::string& name, std::string_view text,
+                        const ExecutionOptions& options, std::string* rendered,
+                        size_t* appended);
+
+  /// Replaces the registered snapshot of `name` (keeps maintained state;
+  /// used to publish a maintained solution's grown source).
+  void SyncRegisteredSource(const std::string& name, Instance source);
+
   /// The memoized inverse for `command` ("invert" or "maxrec"); nullptr on
   /// miss. `result_text` receives the cached rendering on a hit.
   std::shared_ptr<const ReverseMapping> CachedInverse(
@@ -98,6 +120,9 @@ class Session {
   mutable std::mutex mu_;
   std::shared_ptr<const TgdMapping> mapping_;
   std::map<std::string, std::shared_ptr<const Instance>> instances_;
+  /// Incrementally maintained solutions, keyed like instances_. The pointees
+  /// are internally synchronised; this map only tracks identity.
+  std::map<std::string, std::shared_ptr<MaintainedSolution>> maintained_;
   std::map<std::string, InverseEntry> inverses_;  // keyed by command
   SessionMetrics metrics_;
 };

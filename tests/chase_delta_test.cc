@@ -1,0 +1,349 @@
+// Tests for the incremental chase: ChaseDelta, CollectTriggersDelta,
+// ChaseProvenance, MaintainedSolution. The load-bearing oracle throughout is
+// differential: an incrementally maintained target must be homomorphically
+// equivalent (InstancesHomEquivalent — equality up to null renaming plus
+// hom-redundancy) to a fresh ChaseTgds over the grown source.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chase/chase_delta.h"
+#include "chase/chase_tgd.h"
+#include "chase/maintained.h"
+#include "chase/provenance.h"
+#include "engine/failpoint.h"
+#include "engine/parallel_chase.h"
+#include "eval/hom.h"
+#include "mapgen/generators.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+// Splits a generated source into (base, delta): roughly `delta_rows` rows per
+// relation land in the delta, the rest in the base. Deterministic.
+void SplitInstance(const Instance& whole, Instance* base, Instance* delta,
+                   int delta_rows) {
+  for (RelationId r = 0; r < whole.schema().relations().size(); ++r) {
+    const std::vector<Tuple> rows = whole.TuplesCopy(r);
+    const size_t keep =
+        rows.size() > static_cast<size_t>(delta_rows)
+            ? rows.size() - static_cast<size_t>(delta_rows)
+            : 0;
+    const std::string& name = whole.schema().relations()[r].name;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Instance* dest = i < keep ? base : delta;
+      ASSERT_TRUE(dest->Add(name, rows[i]).ok());
+    }
+  }
+}
+
+// Chases `base`, absorbs `delta` via ChaseDelta, and checks the result is
+// hom-equivalent to a fresh chase over base ∪ delta.
+void ExpectDeltaMatchesFresh(const TgdMapping& mapping, const Instance& base,
+                             const Instance& delta) {
+  Instance grown = base.Fork();
+  ASSERT_TRUE(grown.UnionWith(delta).ok());
+  Instance fresh = *ChaseTgds(mapping, grown);
+
+  ExecutionOptions options;
+  SymbolContext symbols;
+  options.symbols = &symbols;  // one null scope across base chase + delta
+  Instance target = *ChaseTgds(mapping, base, options);
+  Instance source = base.Fork();
+  const DeltaWatermark mark = WatermarkOf(source);
+  ASSERT_TRUE(source.UnionWith(delta).ok());
+  ChaseProvenance provenance;
+  Result<bool> complete =
+      ChaseDelta(mapping, source, mark, &target, &provenance, options);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(*complete);
+
+  Result<bool> equivalent = InstancesHomEquivalent(target, fresh);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status().ToString();
+  EXPECT_TRUE(*equivalent) << "incremental: " << target.ToString()
+                           << "\nfresh: " << fresh.ToString();
+}
+
+TEST(ChaseDeltaTest, JoinMappingDeltaMatchesFresh) {
+  // New rows complete joins across the watermark in both directions:
+  // R-delta joining old S, and S-delta joining old R.
+  TgdMapping mapping = *ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)");
+  Instance base(mapping.source);
+  ASSERT_TRUE(base.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(base.AddInts("S", {2, 5}).ok());
+  Instance delta(mapping.source);
+  ASSERT_TRUE(delta.AddInts("R", {3, 2}).ok());   // joins old S(2,5)
+  ASSERT_TRUE(delta.AddInts("S", {2, 7}).ok());   // joins old R(1,2) + new R
+  ASSERT_TRUE(delta.AddInts("R", {8, 9}).ok());   // joins nothing
+  ExpectDeltaMatchesFresh(mapping, base, delta);
+}
+
+TEST(ChaseDeltaTest, ExistentialMappingDeltaMatchesFresh) {
+  TgdMapping mapping = *ParseTgdMapping("R(x,y) -> EXISTS z . S(x,z), S(z,y)");
+  Instance base(mapping.source);
+  ASSERT_TRUE(base.AddInts("R", {1, 2}).ok());
+  Instance delta(mapping.source);
+  ASSERT_TRUE(delta.AddInts("R", {2, 3}).ok());
+  ASSERT_TRUE(delta.AddInts("R", {1, 2}).ok());  // duplicate of a base row
+  ExpectDeltaMatchesFresh(mapping, base, delta);
+}
+
+TEST(ChaseDeltaTest, DifferentialOracleOnGeneratedFamilies) {
+  struct Family {
+    const char* label;
+    TgdMapping mapping;
+  };
+  const Family families[] = {
+      {"gen:copy:2,2", CopyMapping(2, 2)},
+      {"gen:proj:3", ProjectionMapping(3)},
+      {"gen:chain:3", ChainJoinMapping(3)},
+      {"gen:exp:2,2", ExponentialFamilyMapping(2, 2)},
+  };
+  for (const Family& family : families) {
+    SCOPED_TRACE(family.label);
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      Instance whole =
+          GenerateInstance(*family.mapping.source, /*tuples_per_relation=*/12,
+                           /*domain_size=*/6, seed);
+      Instance base(family.mapping.source);
+      Instance delta(family.mapping.source);
+      SplitInstance(whole, &base, &delta, /*delta_rows=*/3);
+      ExpectDeltaMatchesFresh(family.mapping, base, delta);
+    }
+  }
+}
+
+TEST(ChaseDeltaTest, EmptyDeltaIsANoOp) {
+  TgdMapping mapping = *ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+  Instance target = *ChaseTgds(mapping, source);
+  const std::string before = target.ToString();
+  const DeltaWatermark mark = WatermarkOf(source);
+  ChaseProvenance provenance;
+  Result<bool> complete =
+      ChaseDelta(mapping, source, mark, &target, &provenance);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(*complete);
+  EXPECT_EQ(target.ToString(), before);
+  EXPECT_EQ(provenance.FiredCount(), 0u);
+}
+
+TEST(ChaseDeltaTest, DeltaWithOnlySatisfiedConclusionsAddsNothing) {
+  // S1(1) already produced T(1); the appended S2(1) triggers the second tgd
+  // but its conclusion is satisfied, so the standard chase fires nothing.
+  TgdMapping mapping = *ParseTgdMapping("S1(x) -> T(x)\nS2(x) -> T(x)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("S1", {1}).ok());
+  Instance target = *ChaseTgds(mapping, source);
+  const std::string before = target.ToString();
+  const DeltaWatermark mark = WatermarkOf(source);
+  ASSERT_TRUE(source.AddInts("S2", {1}).ok());
+  ChaseProvenance provenance;
+  Result<bool> complete =
+      ChaseDelta(mapping, source, mark, &target, &provenance);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(*complete);
+  EXPECT_EQ(target.ToString(), before);
+  EXPECT_EQ(provenance.FiredCount(), 0u);
+}
+
+TEST(ChaseDeltaTest, AllZeroWatermarkEqualsFullChase) {
+  TgdMapping mapping = *ParseTgdMapping("R(x,y), S(y,z) -> T(x,z)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("R", {3, 2}).ok());
+  ASSERT_TRUE(source.AddInts("S", {2, 5}).ok());
+  Instance fresh = *ChaseTgds(mapping, source);
+  Instance target(mapping.target);
+  ChaseProvenance provenance;
+  // Default-constructed watermark: every row counts as new.
+  Result<bool> complete =
+      ChaseDelta(mapping, source, DeltaWatermark{}, &target, &provenance);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_TRUE(*complete);
+  EXPECT_TRUE(*InstancesHomEquivalent(target, fresh));
+  EXPECT_EQ(provenance.FiredCount(), target.TotalSize());
+}
+
+TEST(ChaseDeltaTest, ProvenanceRecordsProducingTgd) {
+  // Two tgds into distinct target relations: every delta-fired row must name
+  // the tgd that produced it; pre-delta rows stay kBaseFact.
+  TgdMapping mapping = *ParseTgdMapping("A(x) -> P(x)\nB(x) -> Q(x)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("A", {1}).ok());
+  Instance target = *ChaseTgds(mapping, source);
+  const DeltaWatermark mark = WatermarkOf(source);
+  ASSERT_TRUE(source.AddInts("A", {2}).ok());
+  ASSERT_TRUE(source.AddInts("B", {3}).ok());
+  ChaseProvenance provenance;
+  ASSERT_TRUE(*ChaseDelta(mapping, source, mark, &target, &provenance));
+
+  const RelationId p = target.schema().Find("P");
+  const RelationId q = target.schema().Find("Q");
+  ASSERT_EQ(target.NumRows(p), 2u);
+  ASSERT_EQ(target.NumRows(q), 1u);
+  EXPECT_EQ(provenance.TgdFor(p, 0), ChaseProvenance::kBaseFact);  // pre-delta
+  EXPECT_EQ(provenance.TgdFor(p, 1), 0u);
+  EXPECT_EQ(provenance.TgdFor(q, 0), 1u);
+  EXPECT_EQ(provenance.FiredCount(), 2u);
+}
+
+TEST(ChaseDeltaTest, FreshNullsDoNotCollideWithExistingTargetNulls) {
+  // The base target holds nulls minted by a *different* symbol context (as
+  // when the target was chased in an earlier request). ChaseDelta must bump
+  // its context past them before minting fresh ones.
+  TgdMapping mapping = *ParseTgdMapping("R(x) -> EXISTS y . T(x,y)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("R", {1}).ok());
+  Instance target = *ChaseTgds(mapping, source);  // T(1, _0) with its own ctx
+  const DeltaWatermark mark = WatermarkOf(source);
+  ASSERT_TRUE(source.AddInts("R", {2}).ok());
+  ChaseProvenance provenance;
+  ASSERT_TRUE(*ChaseDelta(mapping, source, mark, &target, &provenance));
+  const RelationId t = target.schema().Find("T");
+  ASSERT_EQ(target.NumRows(t), 2u);
+  const std::vector<Tuple> rows = target.TuplesCopy(t);
+  ASSERT_TRUE(rows[0][1].is_null());
+  ASSERT_TRUE(rows[1][1].is_null());
+  EXPECT_NE(rows[0][1], rows[1][1]) << target.ToString();
+}
+
+TEST(ChaseDeltaTest, PartialDegradationReturnsFalseAndKeepsSoundPrefix) {
+  TgdMapping mapping = *ParseTgdMapping("R(x) -> T(x)");
+  Instance source(mapping.source);
+  Instance target = *ChaseTgds(mapping, source);
+  const DeltaWatermark mark = WatermarkOf(source);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(source.AddInts("R", {i}).ok());
+
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  options.max_new_facts = 5;
+  options.on_exhausted = OnExhausted::kPartial;
+  ChaseProvenance provenance;
+  Result<bool> complete =
+      ChaseDelta(mapping, source, mark, &target, &provenance, options);
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_FALSE(*complete);
+  EXPECT_TRUE(stats.partial.load());
+  // Sound prefix: some but not all of the 20 facts landed.
+  EXPECT_GE(target.TotalSize(), 5u);
+  EXPECT_LT(target.TotalSize(), 20u);
+
+  // With kFail the same exhaustion is an error, not a partial result.
+  ExecutionOptions fail_options;
+  fail_options.max_new_facts = 5;
+  Instance fail_target = *ChaseTgds(mapping, Instance(mapping.source));
+  EXPECT_EQ(ChaseDelta(mapping, source, mark, &fail_target, nullptr,
+                       fail_options)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ChaseDeltaTest, InjectedFailureDoesNotDegradeToPartial) {
+  // Failpoints inject kInternal, which partial mode must never mask.
+  TgdMapping mapping = *ParseTgdMapping("R(x) -> T(x)");
+  Instance source(mapping.source);
+  Instance target(mapping.target);
+  const DeltaWatermark mark = WatermarkOf(source);
+  ASSERT_TRUE(source.AddInts("R", {1}).ok());
+
+  FailPointSpec spec;
+  spec.mode = FailPointSpec::Mode::kAlways;
+  ASSERT_TRUE(
+      FailPointRegistry::Global().Activate("chase_delta/fire", spec).ok());
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  options.on_exhausted = OnExhausted::kPartial;
+  Result<bool> result =
+      ChaseDelta(mapping, source, mark, &target, nullptr, options);
+  FailPointRegistry::Global().DeactivateAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(stats.partial.load());
+}
+
+// ---------------------------------------------------------------------------
+// MaintainedSolution: the append/refresh lifecycle over ChaseDelta.
+
+TEST(MaintainedSolutionTest, AppendRefreshMatchesFreshChase) {
+  auto mapping = std::make_shared<TgdMapping>(
+      *ParseTgdMapping("R(x,y), S(y,z) -> EXISTS w . T(x,w), U(w,z)"));
+  MaintainedSolution maintained(mapping);
+
+  ASSERT_EQ(*maintained.AppendText("{ R(1,2), S(2,3) }"), 2u);
+  Result<std::string> first = maintained.RefreshAndRender({});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  ASSERT_EQ(*maintained.AppendText("{ R(4,2), S(3,5) }"), 2u);
+  ASSERT_EQ(*maintained.AppendText("{ R(1,2) }"), 0u);  // duplicate
+  Result<std::string> second = maintained.RefreshAndRender({});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  Instance fresh = *ChaseTgds(*mapping, maintained.SourceSnapshot());
+  EXPECT_TRUE(*InstancesHomEquivalent(maintained.TargetSnapshot(), fresh));
+  EXPECT_EQ(*second, maintained.TargetSnapshot().ToString() + "\n");
+
+  MaintainedSolution::Counters counters = maintained.CountersSnapshot();
+  EXPECT_EQ(counters.refreshes, 2u);
+  EXPECT_EQ(counters.partial_refreshes, 0u);
+  EXPECT_EQ(counters.appended_rows, 4u);
+  EXPECT_EQ(counters.source_rows, 4u);
+  EXPECT_EQ(counters.target_rows, maintained.TargetSnapshot().TotalSize());
+}
+
+TEST(MaintainedSolutionTest, RefreshWithNoNewRowsIsStable) {
+  auto mapping = std::make_shared<TgdMapping>(*ParseTgdMapping("R(x) -> T(x)"));
+  MaintainedSolution maintained(mapping);
+  ASSERT_EQ(*maintained.AppendText("{ R(1) }"), 1u);
+  const std::string first = *maintained.RefreshAndRender({});
+  const std::string second = *maintained.RefreshAndRender({});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(maintained.CountersSnapshot().refreshes, 2u);
+}
+
+TEST(MaintainedSolutionTest, PartialRefreshCommitsNothingAndRetries) {
+  auto mapping = std::make_shared<TgdMapping>(*ParseTgdMapping("R(x) -> T(x)"));
+  MaintainedSolution maintained(mapping);
+  Instance delta(mapping->source);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(delta.AddInts("R", {i}).ok());
+  ASSERT_EQ(*maintained.AppendInstance(delta), 20u);
+
+  ExecutionOptions tight;
+  tight.max_new_facts = 5;
+  tight.on_exhausted = OnExhausted::kPartial;
+  Result<std::string> degraded = maintained.RefreshAndRender(tight);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  // Rendered prefix is non-empty, but the commit did not happen: the
+  // maintained target is still empty and the counters say partial.
+  EXPECT_NE(*degraded, "{ }\n");
+  EXPECT_EQ(maintained.TargetSnapshot().TotalSize(), 0u);
+  MaintainedSolution::Counters counters = maintained.CountersSnapshot();
+  EXPECT_EQ(counters.refreshes, 0u);
+  EXPECT_EQ(counters.partial_refreshes, 1u);
+
+  // A later unconstrained refresh retries the whole delta and commits.
+  const std::string complete = *maintained.RefreshAndRender({});
+  EXPECT_EQ(maintained.TargetSnapshot().TotalSize(), 20u);
+  EXPECT_EQ(complete, maintained.TargetSnapshot().ToString() + "\n");
+  EXPECT_EQ(maintained.CountersSnapshot().refreshes, 1u);
+}
+
+TEST(MaintainedSolutionTest, AppendTextRejectsRowsOutsideSourceSchema) {
+  auto mapping = std::make_shared<TgdMapping>(*ParseTgdMapping("R(x) -> T(x)"));
+  MaintainedSolution maintained(mapping);
+  EXPECT_FALSE(maintained.AppendText("{ Nope(1) }").ok());
+  EXPECT_EQ(maintained.CountersSnapshot().appended_rows, 0u);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -7,6 +7,8 @@
 #include "chase/chase_so.h"
 #include "chase/chase_tgd.h"
 #include "chase/round_trip.h"
+#include "engine/execution_options.h"
+#include "engine/failpoint.h"
 #include "eval/hom.h"
 
 namespace mapinv {
@@ -110,6 +112,87 @@ TEST(ChaseTgdTest, ResourceLimitEnforced) {
   tight.max_new_facts = 10;
   EXPECT_EQ(ChaseTgds(m, big, tight).status().code(),
             StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation pins: once a fire loop degrades to a partial result, the whole
+// chase stops — later tgds must not keep firing — and ExecStats.partial is
+// always flagged.
+
+// Two independent tgds; tgd order is firing order.
+TgdMapping TwoTgdMapping() {
+  Tgd t1;
+  t1.premise = {Atom::Vars("R", {"x"})};
+  t1.conclusion = {Atom::Vars("T1", {"x"})};
+  Tgd t2;
+  t2.premise = {Atom::Vars("S", {"x"})};
+  t2.conclusion = {Atom::Vars("T2", {"x"})};
+  return TgdMapping(Schema{{"R", 1}, {"S", 1}}, Schema{{"T1", 1}, {"T2", 1}},
+                    {t1, t2});
+}
+
+TEST(ChaseTgdTest, MidTgdDegradeStopsTheOuterLoop) {
+  TgdMapping m = TwoTgdMapping();
+  Instance input(m.source);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(input.AddInts("R", {i}).ok());
+  ASSERT_TRUE(input.AddInts("S", {0}).ok());
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  options.max_new_facts = 5;
+  options.on_exhausted = OnExhausted::kPartial;
+  Instance out = *ChaseTgds(m, input, options);
+  EXPECT_TRUE(stats.partial.load());
+  // The limit struck inside tgd 1's fire loop: its output is cut short and
+  // tgd 2 never ran — no T2 facts even though its trigger is cheap.
+  EXPECT_GE(out.NumRows(out.schema().Find("T1")), 5u);
+  EXPECT_LT(out.NumRows(out.schema().Find("T1")), 20u);
+  EXPECT_EQ(out.NumRows(out.schema().Find("T2")), 0u);
+}
+
+TEST(ChaseTgdTest, PreCancelledPartialReturnsSoundPrefix) {
+  TgdMapping m = TwoTgdMapping();
+  Instance input(m.source);
+  ASSERT_TRUE(input.AddInts("R", {1}).ok());
+  CancelToken token;
+  token.Cancel();
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  options.cancel = &token;
+
+  // kFail: cancellation is an error.
+  EXPECT_EQ(ChaseTgds(m, input, options).status().code(),
+            StatusCode::kCancelled);
+
+  // kPartial: the (empty) sound prefix comes back, flagged partial.
+  stats.Reset();
+  options.on_exhausted = OnExhausted::kPartial;
+  Result<Instance> partial = ChaseTgds(m, input, options);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(stats.partial.load());
+  EXPECT_EQ(partial->TotalSize(), 0u);
+}
+
+TEST(ChaseTgdTest, InjectedInternalErrorNeverDegrades) {
+  // Partial mode masks exhaustion/cancellation only; an injected kInternal
+  // must surface as the error it is.
+  TgdMapping m = TwoTgdMapping();
+  Instance input(m.source);
+  ASSERT_TRUE(input.AddInts("R", {1}).ok());
+  FailPointSpec spec;
+  spec.mode = FailPointSpec::Mode::kAlways;
+  ASSERT_TRUE(
+      FailPointRegistry::Global().Activate("chase_tgds/fire", spec).ok());
+  ExecStats stats;
+  ExecutionOptions options;
+  options.stats = &stats;
+  options.on_exhausted = OnExhausted::kPartial;
+  Result<Instance> result = ChaseTgds(m, input, options);
+  FailPointRegistry::Global().DeactivateAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(stats.partial.load());
 }
 
 // Reverse mapping M' of Example 3.1: T(x,y) -> EXISTS u . R(x,u).

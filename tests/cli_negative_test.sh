@@ -1,33 +1,41 @@
 #!/usr/bin/env bash
-# Negative-path tests for mapinv_cli: every malformed invocation must exit
-# with the documented status (1 usage, 2 processing) and a one-line
+# Negative-path tests for the tool binaries: every malformed invocation must
+# exit with the documented status (1 usage, 2 processing) and a one-line
 # diagnostic on stderr — never a crash, never silence. Run as
-#   cli_negative_test.sh <path-to-mapinv_cli>
+#   cli_negative_test.sh <mapinv_cli> [<mapinv_serve> <mapinv_bench_serve>]
+# (the serve binaries are optional so the script still runs standalone).
 set -u
 
-CLI=${1:?usage: cli_negative_test.sh <path-to-mapinv_cli>}
+CLI=${1:?usage: cli_negative_test.sh <mapinv_cli> [<serve> <bench_serve>]}
+SERVE=${2:-}
+BENCH=${3:-}
 failures=0
 checks=0
 
-# expect <rc> <stderr-substring> -- <args...>
-expect() {
-  local want_rc=$1 want_msg=$2
-  shift 3  # rc, substring, "--"
+# expect_bin <binary> <rc> <stderr-substring> -- <args...>
+expect_bin() {
+  local bin=$1 want_rc=$2 want_msg=$3
+  shift 4  # binary, rc, substring, "--"
   local err rc
-  err=$("$CLI" "$@" 2>&1 >/dev/null)
+  err=$("$bin" "$@" 2>&1 >/dev/null)
   rc=$?
   checks=$((checks + 1))
   if [ "$rc" -ne "$want_rc" ]; then
-    echo "FAIL: mapinv_cli $* : exit $rc, want $want_rc" >&2
+    echo "FAIL: $(basename "$bin") $* : exit $rc, want $want_rc" >&2
     echo "      stderr: $err" >&2
     failures=$((failures + 1))
     return
   fi
   if [ -n "$want_msg" ] && ! grep -qF -- "$want_msg" <<<"$err"; then
-    echo "FAIL: mapinv_cli $* : stderr lacks '$want_msg'" >&2
+    echo "FAIL: $(basename "$bin") $* : stderr lacks '$want_msg'" >&2
     echo "      stderr: $err" >&2
     failures=$((failures + 1))
   fi
+}
+
+# expect <rc> <stderr-substring> -- <args...>   (mapinv_cli shorthand)
+expect() {
+  expect_bin "$CLI" "$@"
 }
 
 tmp=$(mktemp -d)
@@ -63,6 +71,15 @@ expect 2 "cannot open"                      -- invert "$tmp/no_such_file.tgd"
 expect 2 ""                                 -- invert "$tmp/garbage.tgd"
 expect 2 "cannot open"                      -- exchange gen:copy:1,1 "$tmp/no_such_file.inst"
 
+# --- incremental exchange --------------------------------------------------
+printf 'R(x,y) -> T(x,y)\n' > "$tmp/copy.tgd"
+printf '{ R(1,2) }\n' > "$tmp/base.inst"
+printf '{ R(3,4) }\n' > "$tmp/delta.inst"
+expect 1 ""             -- exchange-delta "$tmp/copy.tgd" "$tmp/base.inst"
+expect 2 "cannot open"  -- exchange-delta "$tmp/copy.tgd" "$tmp/base.inst" "$tmp/no_such.inst"
+expect 2 "cannot open"  -- exchange-delta "$tmp/copy.tgd" "$tmp/no_such.inst" "$tmp/delta.inst"
+expect 0 ""             -- exchange-delta "$tmp/copy.tgd" "$tmp/base.inst" "$tmp/delta.inst"
+
 # --- the positive control: a good invocation still works -------------------
 expect 0 ""                                 -- invert gen:copy:1,1
 
@@ -74,6 +91,27 @@ checks=$((checks + 1))
 if [ "$rc" -ne 0 ] || ! grep -qF '"partial":true' <<<"$err"; then
   echo "FAIL: cancel + --on-exhausted=partial: exit $rc, stderr: $err" >&2
   failures=$((failures + 1))
+fi
+
+# --- serve-flag rejection (same shared strict parser as the CLI) -----------
+if [ -n "$SERVE" ]; then
+  expect_bin "$SERVE" 1 "unknown flag '--frobnicate'" -- --frobnicate
+  expect_bin "$SERVE" 1 "need --unix=PATH and/or --tcp=PORT" --
+  expect_bin "$SERVE" 1 "expects a value"      -- --tcp
+  expect_bin "$SERVE" 1 "bad value '70000'"    -- --tcp=70000
+  expect_bin "$SERVE" 1 "bad value '-1'"       -- --tcp=-1
+  expect_bin "$SERVE" 1 "bad value '10x'"      -- --tcp=0 --deadline-ms=10x
+  expect_bin "$SERVE" 1 "bad value '1e9'"      -- --tcp=0 --max-facts=1e9
+  expect_bin "$SERVE" 1 "bad value '0'"        -- --tcp=0 --max-frame-bytes=0
+  expect_bin "$SERVE" 1 "bad value"            -- --tcp=0 --threads=99999999999999999999
+  expect_bin "$SERVE" 1 "--on-exhausted"       -- --tcp=0 --on-exhausted=maybe
+fi
+if [ -n "$BENCH" ]; then
+  expect_bin "$BENCH" 1 "unknown flag"         -- --frobnicate
+  expect_bin "$BENCH" 1 ""                     --
+  expect_bin "$BENCH" 1 "bad value"            -- --tcp=70000
+  expect_bin "$BENCH" 1 "bad value"            -- --tcp=0 --requests=0
+  expect_bin "$BENCH" 1 "bad value"            -- --tcp=0 --requests=abc
 fi
 
 if [ "$failures" -ne 0 ]; then

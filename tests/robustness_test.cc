@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "base/symbol_context.h"
+#include "chase/chase_delta.h"
 #include "chase/chase_tgd.h"
 #include "chase/round_trip.h"
 #include "check/properties.h"
@@ -188,6 +189,22 @@ Result<std::string> RunSweepWorkload(const TgdMapping& mapping,
   std::string out;
   MAPINV_ASSIGN_OR_RETURN(Instance chased, ChaseTgds(mapping, source, options));
   out += chased.ToString() + "\n";
+  // Incremental step (reaches the chase_delta/* sites): append rows to a
+  // fork of the source and absorb them into a fork of the chased target.
+  // Locals only — injected failures must leave the member inputs untouched.
+  Instance delta_source = source.Fork();
+  const DeltaWatermark mark = WatermarkOf(delta_source);
+  MAPINV_RETURN_NOT_OK(delta_source.AddInts("S1", {7}).status());
+  MAPINV_RETURN_NOT_OK(delta_source.AddInts("P", {7, 8}).status());
+  MAPINV_RETURN_NOT_OK(delta_source.AddInts("E", {9}).status());
+  Instance delta_target = chased.Fork();
+  ChaseProvenance provenance;
+  MAPINV_ASSIGN_OR_RETURN(
+      bool delta_complete,
+      ChaseDelta(mapping, delta_source, mark, &delta_target, &provenance,
+                 options));
+  out += std::string("delta_complete=") + (delta_complete ? "1" : "0") + "\n";
+  out += delta_target.ToString() + "\n";
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping maxrec,
                           MaximumRecovery(mapping, options));
   out += maxrec.ToString() + "\n";

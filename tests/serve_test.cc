@@ -17,6 +17,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -153,6 +155,70 @@ TEST(ProtocolTest, RejectsTruncatedFrame) {
   ::close(fds[1]);
 }
 
+TEST(ProtocolTest, ReportsHeaderTruncatedMidFourBytes) {
+  // EOF two bytes into the length prefix must be a clean truncated-header
+  // error — the partial bytes must never be interpreted as a frame length.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char header[2] = {0x00, 0x01};
+  ASSERT_EQ(::send(fds[0], header, 2, 0), 2);
+  ::close(fds[0]);
+  std::string read;
+  Result<bool> got = ReadFrame(fds[1], kDefaultMaxFrameBytes, &read);
+  EXPECT_EQ(got.status().code(), StatusCode::kMalformed);
+  EXPECT_NE(got.status().ToString().find("truncated frame header"),
+            std::string::npos)
+      << got.status().ToString();
+  ::close(fds[1]);
+}
+
+TEST(ProtocolTest, ReadFrameRetriesAcrossEintr) {
+  // A signal delivered to a thread blocked in recv (handler installed
+  // without SA_RESTART, so recv really returns EINTR) must not abort the
+  // read: ReadFrame retries and delivers the complete frame.
+  struct sigaction action = {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: recv fails with EINTR
+  struct sigaction previous = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::atomic<bool> reading{false};
+  std::string read;
+  Result<bool> got = false;
+  std::thread reader([&] {
+    reading.store(true);
+    got = ReadFrame(fds[1], kDefaultMaxFrameBytes, &read);
+  });
+  while (!reading.load()) std::this_thread::yield();
+
+  // Interrupt the blocked recv a few times, completing the frame in stages
+  // so every stage gets its own EINTR: header, then payload.
+  const std::string payload = "interrupted but intact";
+  const auto poke = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ::pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  poke();
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const unsigned char header[4] = {0, 0, static_cast<unsigned char>(length >> 8),
+                                   static_cast<unsigned char>(length)};
+  ASSERT_EQ(::send(fds[0], header, 4, 0), 4);
+  poke();
+  ASSERT_EQ(::send(fds[0], payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  reader.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(*got);
+  EXPECT_EQ(read, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_EQ(::sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
 TEST(ProtocolTest, WriteRefusesPayloadAboveLimit) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -220,6 +286,79 @@ TEST(ServerTest, InvertIsMemoizedPerSession) {
   auto session = server->sessions().Get("memo");
   ASSERT_TRUE(session.ok());
   EXPECT_EQ((*session)->MetricsSnapshot().inverse_cache_hits, 1u);
+  ::close(fd);
+}
+
+TEST(ServerTest, IncrementalMaintenanceOverSession) {
+  // instance.append + exchange-delta keep a per-session maintained target in
+  // step with its registered source. A copy mapping has no existentials, so
+  // every rendering is byte-comparable.
+  auto server = StartTcpServer();
+  const int fd = ConnectTcp(server->tcp_port());
+  Json open = MakeRequest("session.open", "inc");
+  open.Set("mapping", Json("R(x,y) -> T(x,y)"));
+  EXPECT_EQ(CallJson(fd, open).GetString("status"), "ok");
+  Json put = MakeRequest("instance.put", "inc");
+  put.Set("name", Json("db"));
+  put.Set("instance", Json("{ R(1,2) }"));
+  EXPECT_EQ(CallJson(fd, put).GetString("status"), "ok");
+
+  // First exchange-delta materialises the maintained target (full chase).
+  Json delta0 = MakeRequest("exchange-delta", "inc");
+  delta0.Set("instance_ref", Json("db"));
+  Json first = CallJson(fd, delta0);
+  EXPECT_EQ(first.GetString("status"), "ok");
+  EXPECT_EQ(first.GetString("kind"), "instance");
+  EXPECT_EQ(first.GetString("result"), "{ T(1,2) }\n");
+
+  // instance.append absorbs new rows and returns the refreshed target.
+  Json append = MakeRequest("instance.append", "inc");
+  append.Set("name", Json("db"));
+  append.Set("delta", Json("{ R(3,4) }"));
+  Json appended = CallJson(fd, append);
+  EXPECT_EQ(appended.GetString("status"), "ok");
+  EXPECT_EQ(appended.GetString("result"), "{ T(1,2), T(3,4) }\n");
+
+  // exchange-delta may carry its own delta rows.
+  Json delta1 = MakeRequest("exchange-delta", "inc");
+  delta1.Set("instance_ref", Json("db"));
+  delta1.Set("delta", Json("{ R(5,6) }"));
+  EXPECT_EQ(CallJson(fd, delta1).GetString("result"),
+            "{ T(1,2), T(3,4), T(5,6) }\n");
+
+  // The registered source grew along with the maintained one: a plain full
+  // exchange over the same ref sees every appended row.
+  Json exchange = MakeRequest("exchange", "inc");
+  exchange.Set("instance_ref", Json("db"));
+  EXPECT_EQ(CallJson(fd, exchange).GetString("result"),
+            "{ T(1,2), T(3,4), T(5,6) }\n");
+
+  // instance.put replaces rows wholesale, so the maintained state resets.
+  put.Set("instance", Json("{ R(9,9) }"));
+  EXPECT_EQ(CallJson(fd, put).GetString("status"), "ok");
+  EXPECT_EQ(CallJson(fd, delta0).GetString("result"), "{ T(9,9) }\n");
+
+  // Appends need rows and a registered name.
+  Json empty = MakeRequest("instance.append", "inc");
+  empty.Set("name", Json("db"));
+  EXPECT_EQ(CallJson(fd, empty).GetString("status"), "error");
+  Json ghost = MakeRequest("instance.append", "inc");
+  ghost.Set("name", Json("missing"));
+  ghost.Set("delta", Json("{ R(1,1) }"));
+  EXPECT_EQ(CallJson(fd, ghost).GetString("status"), "error");
+  ::close(fd);
+}
+
+TEST(ServerTest, SessionlessExchangeDeltaRunsRequestLocal) {
+  auto server = StartTcpServer();
+  const int fd = ConnectTcp(server->tcp_port());
+  Json request = MakeRequest("exchange-delta");
+  request.Set("mapping", Json("R(x,y) -> T(x,y)"));
+  request.Set("instance", Json("{ R(1,2) }"));
+  request.Set("delta", Json("{ R(3,4) }"));
+  Json response = CallJson(fd, request);
+  EXPECT_EQ(response.GetString("status"), "ok");
+  EXPECT_EQ(response.GetString("result"), "{ T(1,2), T(3,4) }\n");
   ::close(fd);
 }
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "base/json.h"
+#include "base/parse.h"
 #include "base/status.h"
 #include "serve/protocol.h"
 
@@ -71,19 +72,6 @@ int Usage() {
                "       [--connections=N] [--requests=N] [--mapping=SPEC]\n"
                "       [--out=FILE] [--shutdown] [--one]\n");
   return 1;
-}
-
-bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
-  if (text.empty()) return false;
-  uint64_t v = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') return false;
-    if (v > max / 10) return false;
-    v = v * 10 + static_cast<uint64_t>(c - '0');
-    if (v > max) return false;
-  }
-  *out = v;
-  return true;
 }
 
 bool ParseFlags(int argc, char** argv, BenchConfig* config) {

@@ -6,6 +6,8 @@
 //   mapinv_cli [flags] polyso   <mapping>                     PolySOInverse (via SO)
 //   mapinv_cli [flags] rewrite  <mapping> '<query>'           source rewriting
 //   mapinv_cli [flags] exchange <mapping> <instance-file>     forward chase
+//   mapinv_cli [flags] exchange-delta <mapping> <instance-file> <delta-file>
+//                                                incremental chase maintenance
 //   mapinv_cli [flags] roundtrip <mapping> <instance-file>    chase there and back
 //
 // Commands may also be spelled as flags (`--invert` ≡ `invert`). <mapping> is
@@ -44,12 +46,10 @@
 // success, 1 on usage errors, 2 on processing errors (including
 // kResourceExhausted from --deadline-ms and the limit flags).
 
-#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -57,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/parse.h"
 #include "engine/execution_options.h"
 #include "engine/request.h"
 #include "engine/trace.h"
@@ -77,6 +78,9 @@ int Usage() {
                "  rewrite   <mapping> '<query>'   certain-answer source "
                "rewriting\n"
                "  exchange  <mapping> <instance>  chase forward\n"
+               "  exchange-delta <mapping> <instance> <delta>\n"
+               "                                  chase, append the delta "
+               "rows, absorb incrementally\n"
                "  roundtrip <mapping> <instance>  chase forward then back "
                "through the inverse\n"
                "  so-invert <so-mapping>          PolySOInverse of a plain "
@@ -105,27 +109,11 @@ bool FlagError(const std::string& message) {
   return false;
 }
 
-// Strict non-negative integer parse: digits only (no sign, no whitespace,
-// no trailing garbage), rejecting values above `max`. strtoull alone is not
-// enough — it silently wraps negatives and saturates on ERANGE.
-bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
-  if (text.empty()) return false;
-  for (char c : text) {
-    if (c < '0' || c > '9') return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (errno == ERANGE || *end != '\0' || v > max) return false;
-  *out = v;
-  return true;
-}
-
 // The command vocabulary, shared between positional and --flag spellings.
 bool IsCommand(const std::string& name) {
-  static const char* kCommands[] = {"invert",    "maxrec",  "polyso",
-                                    "rewrite",   "exchange", "roundtrip",
-                                    "so-invert", "compose", "check", "core"};
+  static const char* kCommands[] = {
+      "invert", "maxrec",    "polyso",  "rewrite", "exchange",
+      "exchange-delta", "roundtrip", "so-invert", "compose", "check", "core"};
   for (const char* c : kCommands) {
     if (name == c) return true;
   }
@@ -335,7 +323,8 @@ int Run(int argc, char** argv) {
   // commands needing real files still require their arguments.
   const bool needs_file = command == "core" || command == "so-invert" ||
                           command == "compose" || command == "check" ||
-                          command == "exchange" || command == "roundtrip";
+                          command == "exchange" || command == "roundtrip" ||
+                          command == "exchange-delta";
   if (narg < 3 && needs_file) return Usage();
   const std::string mapping_arg = narg >= 3 ? argv[2] : "gen:exp:3,9";
 
@@ -406,6 +395,14 @@ int Run(int argc, char** argv) {
       Result<std::string> instance_text = ReadFile(argv[3]);
       if (!instance_text.ok()) return Fail(instance_text.status());
       request.instance = std::move(*instance_text);
+    } else if (command == "exchange-delta") {
+      if (narg < 5) return Usage();
+      Result<std::string> instance_text = ReadFile(argv[3]);
+      if (!instance_text.ok()) return Fail(instance_text.status());
+      request.instance = std::move(*instance_text);
+      Result<std::string> delta_text = ReadFile(argv[4]);
+      if (!delta_text.ok()) return Fail(delta_text.status());
+      request.delta = std::move(*delta_text);
     }
   }
 

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/parse.h"
 #include "serve/server.h"
 
 namespace mapinv {
@@ -59,20 +60,6 @@ int Usage() {
 bool FlagError(const std::string& message) {
   std::fprintf(stderr, "mapinv_serve: %s\n", message.c_str());
   return false;
-}
-
-// Strict non-negative integer parse: digits only, bounded (the CLI rule).
-bool ParseUint(const std::string& text, uint64_t max, uint64_t* out) {
-  if (text.empty()) return false;
-  uint64_t v = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') return false;
-    if (v > max / 10) return false;
-    v = v * 10 + static_cast<uint64_t>(c - '0');
-    if (v > max) return false;
-  }
-  *out = v;
-  return true;
 }
 
 bool ParseFlags(int argc, char** argv, ServerConfig* config) {
