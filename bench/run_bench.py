@@ -15,6 +15,10 @@ Usage:
     bench/run_bench.py --bench bench_chase_throughput bench_cqmaxrec_scaling
     bench/run_bench.py --label baseline --out BENCH_2026-08-05_baseline.json
     bench/run_bench.py --smoke                # tiny configs, correctness only
+    bench/run_bench.py --compare BASELINE.json --threshold 1.0
+                                              # per-config + geomean speedups
+                                              # vs a checked-in baseline;
+                                              # exits 1 below the thresholds
 
 Every workload seed lives in the bench sources (mapgen generators are fully
 seeded), so two runs of this script on the same machine and build flags are
@@ -109,6 +113,76 @@ def collect(report, bench_name):
     return results
 
 
+def compare(baseline_path, results, geomean_threshold, config_floor):
+    """Prints per-config and geomean speedup tables vs a baseline file.
+
+    Speedup is baseline_wall / current_wall (>1 means the current build is
+    faster). Returns a list of failure strings (empty when every threshold
+    holds). Configs present on only one side are reported, never silently
+    dropped.
+    """
+    import math
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    base = {(r["bench"], r["config"]): r["wall_ms"]
+            for r in baseline["results"]}
+    cur = {(r["bench"], r["config"]): r["wall_ms"] for r in results}
+
+    matched = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    failures = []
+    print(f"\n[compare] vs {os.path.basename(baseline_path)} "
+          f"(label='{baseline.get('label', '')}', git={baseline.get('git')})")
+    width = max((len(f"{b}:{c}") for b, c in matched), default=20)
+    print(f"  {'config'.ljust(width)}  {'base ms':>10}  {'now ms':>10}  "
+          f"{'speedup':>8}")
+    per_bench = {}
+    for key in matched:
+        b, c = key
+        base_ms, cur_ms = base[key], cur[key]
+        # Sub-microsecond configs are all timer noise; report but exclude
+        # from the geomean and the floor check.
+        noise = base_ms < 1e-3 or cur_ms < 1e-3
+        speedup = (base_ms / cur_ms) if cur_ms > 0 else float("inf")
+        tag = " (noise)" if noise else ""
+        print(f"  {f'{b}:{c}'.ljust(width)}  {base_ms:>10.3f}  "
+              f"{cur_ms:>10.3f}  {speedup:>7.2f}x{tag}")
+        if noise:
+            continue
+        per_bench.setdefault(b, []).append(speedup)
+        if config_floor is not None and speedup < config_floor:
+            failures.append(
+                f"{b}:{c} speedup {speedup:.2f}x below floor "
+                f"{config_floor:.2f}x")
+    for b, c in only_base:
+        print(f"  {f'{b}:{c}'.ljust(width)}  baseline only (not run here)")
+    for b, c in only_cur:
+        print(f"  {f'{b}:{c}'.ljust(width)}  new config (no baseline)")
+
+    print(f"\n  {'geomean speedup':<{width + 2}}")
+    all_speedups = []
+    for b in sorted(per_bench):
+        sp = per_bench[b]
+        g = math.exp(sum(math.log(s) for s in sp) / len(sp))
+        all_speedups.extend(sp)
+        print(f"  {b.ljust(width)}  {g:>7.2f}x over {len(sp)} configs")
+    if all_speedups:
+        overall = math.exp(
+            sum(math.log(s) for s in all_speedups) / len(all_speedups))
+        print(f"  {'OVERALL'.ljust(width)}  {overall:>7.2f}x over "
+              f"{len(all_speedups)} configs")
+        if geomean_threshold is not None and overall < geomean_threshold:
+            failures.append(
+                f"overall geomean {overall:.2f}x below threshold "
+                f"{geomean_threshold:.2f}x")
+    else:
+        failures.append("no comparable configs between baseline and this run")
+    return failures
+
+
 def main():
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     parser = argparse.ArgumentParser(description=__doc__)
@@ -126,6 +200,17 @@ def main():
     parser.add_argument("--smoke", action="store_true",
                         help="one small config per binary, minimal window; "
                              "exercises the bench tree without timing it")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="compare this run's wall times against a "
+                             "baseline BENCH_*.json: per-config and geomean "
+                             "speedup tables")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="with --compare: exit 1 if the overall geomean "
+                             "speedup falls below this (e.g. 1.0 = must not "
+                             "regress)")
+    parser.add_argument("--config-floor", type=float, default=None,
+                        help="with --compare: exit 1 if any single config's "
+                             "speedup falls below this")
     args = parser.parse_args()
 
     date = datetime.date.today().isoformat()
@@ -172,6 +257,11 @@ def main():
         with open(out_path, "w") as f:
             json.dump(doc, f, indent=1)
         print(f"[run_bench] wrote {out_path} ({len(doc['results'])} configs)")
+
+    if args.compare:
+        failures.extend(
+            compare(args.compare, doc["results"], args.threshold,
+                    args.config_floor))
 
     if failures:
         for f in failures:

@@ -53,10 +53,10 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
     // least one row appended past `base`. Firing cannot create new ones
     // (conclusions land in the target; premises read the source), so one
     // pass per tgd is complete, exactly as in the full chase.
-    std::vector<Assignment> triggers;
+    TriggerBatch triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers_delta");
-      Result<std::vector<Assignment>> collected =
+      Result<TriggerBatch> collected =
           CollectTriggersDelta(search, source, tgd.premise, HomConstraints{},
                                base, options, deadline);
       if (!collected.ok()) {
@@ -72,18 +72,130 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
     const std::vector<VarId> frontier_vars = tgd.FrontierVars();
     const std::vector<VarId> existential_vars = tgd.ExistentialVars();
     MAPINV_ASSIGN_OR_RETURN(
-        const std::vector<FireAtom> fire_atoms,
-        CompileFireAtoms(tgd.conclusion, target->schema(), existential_vars));
+        const std::vector<FireAtomCols> fire_atoms,
+        CompileFireAtomsCols(tgd.conclusion, target->schema(),
+                             existential_vars, triggers.vars));
+    const size_t num_ex = existential_vars.size();
+    // Bulk eligibility as in ChaseTgds: AddRows' batch dedup subsumes the
+    // per-trigger satisfaction probe for existential-free conclusions, and
+    // the oblivious chase never probes. Provenance comes from the AddRows
+    // added-flags (each new row's dense ref is reconstructed from the
+    // post-append row count), so the bulk path records exactly the rows the
+    // per-trigger loop would.
+    const bool bulk = options.vectorized && options.vector_batch > 0 &&
+                      (options.oblivious || num_ex == 0);
     std::shared_ptr<const HomPlan> conclusion_plan;
-    if (!options.oblivious && !triggers.empty()) {
+    std::vector<size_t> frontier_cols;  // fixed_vars -> trigger columns
+    if (!options.oblivious && !bulk && triggers.rows > 0) {
       MAPINV_ASSIGN_OR_RETURN(
           conclusion_plan,
           target_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
                                        frontier_vars));
+      frontier_cols.reserve(conclusion_plan->fixed_vars.size());
+      for (VarId v : conclusion_plan->fixed_vars) {
+        frontier_cols.push_back(triggers.ColumnOf(v));
+      }
+    }
+    bool cut_short = false;
+    if (bulk) {
+      const size_t fire_batch = options.vector_batch;
+      BulkFireScratch bulk_scratch =
+          MakeBulkFireScratch(fire_atoms, target->schema());
+      std::vector<Value> fresh_batch;  // num_ex nulls per trigger, in order
+      auto record = [&](RelationId rel, TupleRef ref, uint32_t) {
+        if (provenance != nullptr) {
+          provenance->Record(rel, ref, static_cast<uint32_t>(tgd_index));
+        }
+      };
+      for (size_t base_t = 0; base_t < triggers.rows && !cut_short;
+           base_t += fire_batch) {
+        const size_t bcount = std::min(fire_batch, triggers.rows - base_t);
+        if (Status poll = PollPhaseInterrupt(options, deadline, "chase_delta");
+            !poll.ok()) {
+          if (DegradeToPartial(options, poll)) {
+            cut_short = true;
+            break;
+          }
+          return poll;
+        }
+        MAPINV_FAILPOINT(fp_delta_fire);
+        if (created + bcount * fire_atoms.size() > options.max_new_facts) {
+          // Budget-edge fallback, per trigger and exact (see ChaseTgds).
+          for (size_t t = base_t; t < base_t + bcount; ++t) {
+            const Value* row = triggers.Row(t);
+            fresh.clear();
+            for (size_t i = 0; i < num_ex; ++i) {
+              fresh.push_back(Value::FreshNull(symbols));
+            }
+            bool any_added = false;
+            for (const FireAtomCols& fa : fire_atoms) {
+              BuildFireRowCols(fa, row, fresh.data(), &scratch);
+              MAPINV_ASSIGN_OR_RETURN(bool added,
+                                      target->AddRow(fa.relation, scratch));
+              if (added) {
+                ++created;
+                any_added = true;
+                record(fa.relation,
+                       static_cast<TupleRef>(target->NumRows(fa.relation) - 1),
+                       0);
+              }
+            }
+            if ((options.oblivious || any_added) && options.stats != nullptr) {
+              options.stats->chase_steps.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            }
+            if (created > options.max_new_facts) {
+              Status exhausted =
+                  PhaseExhausted("chase_delta",
+                                 "exceeded max_new_facts = " +
+                                     std::to_string(options.max_new_facts));
+              if (DegradeToPartial(options, exhausted)) {
+                cut_short = true;
+                break;
+              }
+              return exhausted;
+            }
+          }
+          continue;
+        }
+        bulk_scratch.BeginBatch(bcount);
+        fresh_batch.clear();
+        for (size_t i = 0; i < bcount * num_ex; ++i) {
+          fresh_batch.push_back(Value::FreshNull(symbols));
+        }
+        for (size_t t = 0; t < bcount; ++t) {
+          const Value* row = triggers.Row(base_t + t);
+          const Value* tf = fresh_batch.data() + t * num_ex;
+          for (size_t ai = 0; ai < fire_atoms.size(); ++ai) {
+            BuildFireRowCols(fire_atoms[ai], row, tf, &scratch);
+            bulk_scratch.Append(bulk_scratch.atom_buf[ai],
+                                static_cast<uint32_t>(t), scratch.data());
+          }
+        }
+        MAPINV_ASSIGN_OR_RETURN(size_t inserted,
+                                FlushBulkFire(target, &bulk_scratch, record));
+        created += inserted;
+        if (options.stats != nullptr) {
+          options.stats->bulk_rows_appended.fetch_add(
+              inserted, std::memory_order_relaxed);
+          uint64_t steps = 0;
+          if (options.oblivious) {
+            steps = bcount;
+          } else {
+            for (uint8_t f : bulk_scratch.fired) steps += f;
+          }
+          options.stats->chase_steps.fetch_add(steps,
+                                               std::memory_order_relaxed);
+        }
+      }
+      if (cut_short) {
+        degraded = true;
+        break;
+      }
+      continue;
     }
     std::vector<Value> frontier_values;  // ordered as conclusion_plan demands
-    bool cut_short = false;
-    for (const Assignment& h : triggers) {
+    for (size_t t = 0; t < triggers.rows; ++t) {
       if (Status poll = PollPhaseInterrupt(options, deadline, "chase_delta");
           !poll.ok()) {
         if (DegradeToPartial(options, poll)) {
@@ -93,11 +205,10 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
         return poll;
       }
       MAPINV_FAILPOINT(fp_delta_fire);
+      const Value* row = triggers.Row(t);
       if (!options.oblivious) {
         frontier_values.clear();
-        for (VarId v : conclusion_plan->fixed_vars) {
-          frontier_values.push_back(h.at(v));
-        }
+        for (size_t col : frontier_cols) frontier_values.push_back(row[col]);
         MAPINV_ASSIGN_OR_RETURN(
             bool satisfied,
             target_search.ExistsHomWithPlanValues(*conclusion_plan,
@@ -105,14 +216,14 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
         if (satisfied) continue;
       }
       fresh.clear();
-      for (size_t i = 0; i < existential_vars.size(); ++i) {
+      for (size_t i = 0; i < num_ex; ++i) {
         fresh.push_back(Value::FreshNull(symbols));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
-      for (const FireAtom& fa : fire_atoms) {
-        BuildFireRow(fa, h, fresh, &scratch);
+      for (const FireAtomCols& fa : fire_atoms) {
+        BuildFireRowCols(fa, row, fresh.data(), &scratch);
         MAPINV_ASSIGN_OR_RETURN(bool added,
                                 target->AddRow(fa.relation, scratch));
         if (added) {

@@ -1,5 +1,6 @@
 #include "chase/chase_reverse.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 
@@ -19,10 +20,14 @@ FailPoint fp_reverse_fire("chase_reverse/fire");
 FailPoint fp_reverse_fork("chase_reverse/world_fork");
 
 // True if every conclusion equality of the disjunct holds under the trigger
-// bindings (equality endpoints are premise variables by validation).
-bool EqualitiesHold(const ReverseDisjunct& disjunct, const Assignment& h) {
+// row (equality endpoints are premise variables by validation, hence
+// trigger columns).
+bool EqualitiesHold(const ReverseDisjunct& disjunct, const TriggerBatch& batch,
+                    const Value* row) {
   for (const VarPair& eq : disjunct.equalities) {
-    if (h.at(eq.first) != h.at(eq.second)) return false;
+    if (row[batch.ColumnOf(eq.first)] != row[batch.ColumnOf(eq.second)]) {
+      return false;
+    }
   }
   return true;
 }
@@ -62,16 +67,20 @@ struct WorldState {
 //   * sat_plan    — the satisfaction-check join plan, compiled once and run
 //     on any world via ExistsHomWithPlan (plans are instance-independent;
 //     per-world plan caches would recompile it per fork),
-//   * fire_atoms  — conclusion atoms with relations resolved to ids.
+//   * fixed_cols  — the sat plan's fixed variables as trigger columns,
+//   * fire_atoms  — conclusion atoms with relations resolved to ids and
+//     bound variables resolved to trigger columns.
 struct DisjunctExec {
   std::vector<VarId> shared_vars;
   std::vector<VarId> ex_vars;
   std::shared_ptr<const HomPlan> sat_plan;
-  std::vector<FireAtom> fire_atoms;
+  std::vector<size_t> fixed_cols;
+  std::vector<FireAtomCols> fire_atoms;
 };
 
 Result<DisjunctExec> CompileDisjunct(const ReverseDisjunct& disjunct,
                                      const std::vector<VarId>& premise_vars,
+                                     const std::vector<VarId>& trigger_vars,
                                      const WorldState& seed_world,
                                      const Schema& target_schema,
                                      bool oblivious) {
@@ -90,24 +99,31 @@ Result<DisjunctExec> CompileDisjunct(const ReverseDisjunct& disjunct,
         exec.sat_plan,
         seed_world.search->GetPlanForVars(disjunct.atoms, HomConstraints{},
                                           exec.shared_vars));
+    exec.fixed_cols.reserve(exec.sat_plan->fixed_vars.size());
+    for (VarId v : exec.sat_plan->fixed_vars) {
+      exec.fixed_cols.push_back(static_cast<size_t>(
+          std::lower_bound(trigger_vars.begin(), trigger_vars.end(), v) -
+          trigger_vars.begin()));
+    }
   }
   MAPINV_ASSIGN_OR_RETURN(
       exec.fire_atoms,
-      CompileFireAtoms(disjunct.atoms, target_schema, exec.ex_vars));
+      CompileFireAtomsCols(disjunct.atoms, target_schema, exec.ex_vars,
+                           trigger_vars));
   return exec;
 }
 
 // Adds the instantiated disjunct atoms to `world`; existential variables get
 // fresh nulls (in ex_vars order).
-Status FireDisjunct(const DisjunctExec& exec, const Assignment& h,
+Status FireDisjunct(const DisjunctExec& exec, const Value* row,
                     Instance* world, size_t* created, SymbolContext& symbols,
                     std::vector<Value>* fresh, std::vector<Value>* scratch) {
   fresh->clear();
   for (size_t i = 0; i < exec.ex_vars.size(); ++i) {
     fresh->push_back(Value::FreshNull(symbols));
   }
-  for (const FireAtom& fa : exec.fire_atoms) {
-    BuildFireRow(fa, h, *fresh, scratch);
+  for (const FireAtomCols& fa : exec.fire_atoms) {
+    BuildFireRowCols(fa, row, fresh->data(), scratch);
     MAPINV_ASSIGN_OR_RETURN(bool added, world->AddRow(fa.relation, *scratch));
     if (added) ++*created;
   }
@@ -151,19 +167,21 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     // shared across all worlds and triggers (plans are instance-independent,
     // and every world has the same target schema).
     const std::vector<VarId> premise_vars = CollectDistinctVars(dep.premise);
+    std::vector<VarId> trigger_vars = premise_vars;  // TriggerBatch columns
+    std::sort(trigger_vars.begin(), trigger_vars.end());
     std::vector<DisjunctExec> disjunct_exec;
     disjunct_exec.reserve(dep.disjuncts.size());
     for (const ReverseDisjunct& d : dep.disjuncts) {
       MAPINV_ASSIGN_OR_RETURN(
           DisjunctExec exec,
-          CompileDisjunct(d, premise_vars, worlds.front(), *mapping.target,
-                          options.oblivious));
+          CompileDisjunct(d, premise_vars, trigger_vars, worlds.front(),
+                          *mapping.target, options.oblivious));
       disjunct_exec.push_back(std::move(exec));
     }
-    std::vector<Assignment> triggers;
+    TriggerBatch triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      Result<std::vector<Assignment>> collected = CollectTriggers(
+      Result<TriggerBatch> collected = CollectTriggers(
           search, input, dep.premise, constraints, options, deadline);
       if (!collected.ok()) {
         if (DegradeToPartial(options, collected.status())) break;
@@ -173,7 +191,7 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     }
     ScopedTraceSpan fire_span(options, "fire");
     std::vector<Value> fixed_values;  // ordered as the sat plan demands
-    for (const Assignment& h : triggers) {
+    for (size_t t = 0; t < triggers.rows; ++t) {
       if (Status poll = PollPhaseInterrupt(options, deadline, "chase_reverse");
           !poll.ok()) {
         if (DegradeToPartial(options, poll)) {
@@ -183,13 +201,16 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         return poll;
       }
       MAPINV_FAILPOINT(fp_reverse_fire);
+      const Value* row = triggers.Row(t);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
       // Disjuncts whose equalities are consistent with the trigger.
       std::vector<size_t> applicable;
       for (size_t di = 0; di < dep.disjuncts.size(); ++di) {
-        if (EqualitiesHold(dep.disjuncts[di], h)) applicable.push_back(di);
+        if (EqualitiesHold(dep.disjuncts[di], triggers, row)) {
+          applicable.push_back(di);
+        }
       }
       std::vector<WorldState> next;
       for (WorldState& world : worlds) {
@@ -199,8 +220,8 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
           for (size_t di : applicable) {
             const DisjunctExec& exec = disjunct_exec[di];
             fixed_values.clear();
-            for (VarId v : exec.sat_plan->fixed_vars) {
-              fixed_values.push_back(h.at(v));
+            for (size_t col : exec.fixed_cols) {
+              fixed_values.push_back(row[col]);
             }
             MAPINV_ASSIGN_OR_RETURN(
                 bool sat, world.search->ExistsHomWithPlanValues(*exec.sat_plan,
@@ -224,7 +245,7 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
           WorldState fork = (ai + 1 == applicable.size())
                                 ? std::move(world)
                                 : world.Fork();
-          MAPINV_RETURN_NOT_OK(FireDisjunct(disjunct_exec[di], h,
+          MAPINV_RETURN_NOT_OK(FireDisjunct(disjunct_exec[di], row,
                                             fork.instance.get(), &created,
                                             symbols, &fresh, &scratch));
           next.push_back(std::move(fork));

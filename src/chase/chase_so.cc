@@ -1,9 +1,12 @@
 #include "chase/chase_so.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
+#include "chase/fire_plan.h"
 #include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
@@ -48,19 +51,21 @@ class SkolemTable {
   std::unordered_map<std::pair<FunctionId, Tuple>, Value, KeyHash> table_;
 };
 
-// Evaluates a conclusion term under `h`, inventing Skolem nulls per distinct
-// (function, argument-values) pair. Handles nested applications, which arise
-// from SO-tgd composition.
-Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
-                                 SkolemTable* skolems) {
+// Evaluates a conclusion term under a trigger row (columns = `vars`, the
+// TriggerBatch order), inventing Skolem nulls per distinct (function,
+// argument-values) pair. Handles nested applications, which arise from
+// SO-tgd composition.
+Result<Value> EvalConclusionTerm(const Term& term,
+                                 const std::vector<VarId>& vars,
+                                 const Value* row, SkolemTable* skolems) {
   switch (term.kind()) {
     case Term::Kind::kVariable: {
-      auto it = h.find(term.var());
-      if (it == h.end()) {
+      const auto it = std::lower_bound(vars.begin(), vars.end(), term.var());
+      if (it == vars.end() || *it != term.var()) {
         return Status::Malformed("unbound conclusion variable " +
                                  VarName(term.var()));
       }
-      return it->second;
+      return row[it - vars.begin()];
     }
     case Term::Kind::kConstant:
       return Status::Malformed("constant in SO-tgd conclusion: " +
@@ -69,7 +74,8 @@ Result<Value> EvalConclusionTerm(const Term& term, const Assignment& h,
       Tuple args;
       args.reserve(term.args().size());
       for (const Term& a : term.args()) {
-        MAPINV_ASSIGN_OR_RETURN(Value v, EvalConclusionTerm(a, h, skolems));
+        MAPINV_ASSIGN_OR_RETURN(Value v,
+                                EvalConclusionTerm(a, vars, row, skolems));
         args.push_back(v);
       }
       return skolems->Get(term.fn(), args);
@@ -98,10 +104,10 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   for (const SORule& rule : mapping.so.rules) {
     // Parallel trigger collection; the Skolem-firing phase stays sequential
     // so null labels are assigned in the canonical trigger order.
-    std::vector<Assignment> triggers;
+    TriggerBatch triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      Result<std::vector<Assignment>> collected = CollectTriggers(
+      Result<TriggerBatch> collected = CollectTriggers(
           search, source, rule.premise, HomConstraints{}, options, deadline);
       if (!collected.ok()) {
         if (DegradeToPartial(options, collected.status())) break;
@@ -121,7 +127,97 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
           target.schema().Require(RelationText(atom.relation)));
       conclusion_rels.push_back(rel);
     }
-    for (const Assignment& h : triggers) {
+    // The SO chase is always bulk-eligible under options.vectorized: it
+    // never probes satisfaction (chase_steps counts every trigger), and the
+    // Skolem memo reads only the source-side bindings, so term evaluation
+    // order — and with it every minted null label — is unchanged when rows
+    // are buffered per batch and appended with one AddRows pass per
+    // relation.
+    const bool bulk = options.vectorized && options.vector_batch > 0;
+    if (bulk) {
+      const size_t fire_batch = options.vector_batch;
+      BulkFireScratch bulk_scratch =
+          MakeBulkFireScratch(conclusion_rels, target.schema());
+      for (size_t base = 0; base < triggers.rows && !cut_short;
+           base += fire_batch) {
+        const size_t bcount = std::min(fire_batch, triggers.rows - base);
+        if (Status poll = PollPhaseInterrupt(options, deadline, "chase_so");
+            !poll.ok()) {
+          if (DegradeToPartial(options, poll)) {
+            cut_short = true;
+            break;
+          }
+          return poll;
+        }
+        MAPINV_FAILPOINT(fp_so_fire);
+        if (created + bcount * rule.conclusion.size() >
+            options.max_new_facts) {
+          // Budget-edge fallback, per trigger and exact (see ChaseTgds).
+          for (size_t t = base; t < base + bcount; ++t) {
+            const Value* row = triggers.Row(t);
+            if (options.stats != nullptr) {
+              options.stats->chase_steps.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            }
+            for (size_t ai = 0; ai < rule.conclusion.size(); ++ai) {
+              scratch.clear();
+              for (const Term& term : rule.conclusion[ai].terms) {
+                MAPINV_ASSIGN_OR_RETURN(
+                    Value v,
+                    EvalConclusionTerm(term, triggers.vars, row, &skolems));
+                scratch.push_back(v);
+              }
+              MAPINV_ASSIGN_OR_RETURN(
+                  bool added, target.AddRow(conclusion_rels[ai], scratch));
+              if (added) ++created;
+            }
+            if (created > options.max_new_facts) {
+              Status exhausted =
+                  PhaseExhausted("chase_so",
+                                 "exceeded max_new_facts = " +
+                                     std::to_string(options.max_new_facts));
+              if (DegradeToPartial(options, exhausted)) {
+                cut_short = true;
+                break;
+              }
+              return exhausted;
+            }
+          }
+          continue;
+        }
+        bulk_scratch.BeginBatch(bcount);
+        if (options.stats != nullptr) {
+          options.stats->chase_steps.fetch_add(bcount,
+                                               std::memory_order_relaxed);
+        }
+        for (size_t t = 0; t < bcount; ++t) {
+          const Value* row = triggers.Row(base + t);
+          for (size_t ai = 0; ai < rule.conclusion.size(); ++ai) {
+            scratch.clear();
+            for (const Term& term : rule.conclusion[ai].terms) {
+              MAPINV_ASSIGN_OR_RETURN(
+                  Value v,
+                  EvalConclusionTerm(term, triggers.vars, row, &skolems));
+              scratch.push_back(v);
+            }
+            bulk_scratch.Append(bulk_scratch.atom_buf[ai],
+                                static_cast<uint32_t>(t), scratch.data());
+          }
+        }
+        MAPINV_ASSIGN_OR_RETURN(
+            size_t inserted,
+            FlushBulkFire(&target, &bulk_scratch,
+                          [](RelationId, TupleRef, uint32_t) {}));
+        created += inserted;
+        if (options.stats != nullptr) {
+          options.stats->bulk_rows_appended.fetch_add(
+              inserted, std::memory_order_relaxed);
+        }
+      }
+      if (cut_short) break;
+      continue;
+    }
+    for (size_t t = 0; t < triggers.rows; ++t) {
       if (Status poll = PollPhaseInterrupt(options, deadline, "chase_so");
           !poll.ok()) {
         if (DegradeToPartial(options, poll)) {
@@ -131,6 +227,7 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
         return poll;
       }
       MAPINV_FAILPOINT(fp_so_fire);
+      const Value* row = triggers.Row(t);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
@@ -138,8 +235,8 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
         const Atom& atom = rule.conclusion[ai];
         scratch.clear();
         for (const Term& term : atom.terms) {
-          MAPINV_ASSIGN_OR_RETURN(Value v,
-                                  EvalConclusionTerm(term, h, &skolems));
+          MAPINV_ASSIGN_OR_RETURN(
+              Value v, EvalConclusionTerm(term, triggers.vars, row, &skolems));
           scratch.push_back(v);
         }
         MAPINV_ASSIGN_OR_RETURN(bool added,
@@ -265,15 +362,20 @@ struct World {
   std::vector<SymFact> facts;
 };
 
-// Evaluates a conclusion term to a node. `h` binds the premise variables ū;
-// `local` binds this firing's existential variables ȳ.
-Result<uint32_t> TermNode(const Term& term, const Assignment& h,
+// Evaluates a conclusion term to a node. The trigger row (columns = `vars`,
+// the TriggerBatch order) binds the premise variables ū; `local` binds this
+// firing's existential variables ȳ (any variable absent from the premise
+// gets a fresh node, memoised per firing).
+Result<uint32_t> TermNode(const Term& term, const std::vector<VarId>& vars,
+                          const Value* row,
                           std::unordered_map<VarId, uint32_t>* local,
                           TermStore* store) {
   switch (term.kind()) {
     case Term::Kind::kVariable: {
-      auto it = h.find(term.var());
-      if (it != h.end()) return store->NodeForValue(it->second);
+      const auto it = std::lower_bound(vars.begin(), vars.end(), term.var());
+      if (it != vars.end() && *it == term.var()) {
+        return store->NodeForValue(row[it - vars.begin()]);
+      }
       auto [lit, inserted] = local->emplace(term.var(), 0);
       if (inserted) lit->second = store->FreshNode();
       return lit->second;
@@ -286,34 +388,36 @@ Result<uint32_t> TermNode(const Term& term, const Assignment& h,
             "SO-inverse chase supports unary inverse functions applied to "
             "premise variables; got " + term.ToString());
       }
-      auto it = h.find(term.args()[0].var());
-      if (it == h.end()) {
+      const VarId arg = term.args()[0].var();
+      const auto it = std::lower_bound(vars.begin(), vars.end(), arg);
+      if (it == vars.end() || *it != arg) {
         return Status::Unsupported("inverse function applied to existential "
                                    "variable: " + term.ToString());
       }
-      return store->NodeForFn(term.fn(), it->second);
+      return store->NodeForFn(term.fn(), row[it - vars.begin()]);
     }
   }
   return Status::Internal("unreachable term kind");
 }
 
-// Tries to apply `disjunct` under trigger `h` in `world`; on success returns
-// the extended world, otherwise nullopt.
+// Tries to apply `disjunct` under a trigger row in `world`; on success
+// returns the extended world, otherwise nullopt.
 Result<std::optional<World>> ApplyDisjunct(const SOInvDisjunct& disjunct,
-                                           const Assignment& h, World world) {
+                                           const std::vector<VarId>& vars,
+                                           const Value* row, World world) {
   std::unordered_map<VarId, uint32_t> local;
   for (const TermEq& eq : disjunct.equalities) {
     MAPINV_ASSIGN_OR_RETURN(uint32_t a,
-                            TermNode(eq.lhs, h, &local, &world.store));
+                            TermNode(eq.lhs, vars, row, &local, &world.store));
     MAPINV_ASSIGN_OR_RETURN(uint32_t b,
-                            TermNode(eq.rhs, h, &local, &world.store));
+                            TermNode(eq.rhs, vars, row, &local, &world.store));
     if (!world.store.Union(a, b)) return std::optional<World>{};
   }
   for (const TermEq& ne : disjunct.inequalities) {
     MAPINV_ASSIGN_OR_RETURN(uint32_t a,
-                            TermNode(ne.lhs, h, &local, &world.store));
+                            TermNode(ne.lhs, vars, row, &local, &world.store));
     MAPINV_ASSIGN_OR_RETURN(uint32_t b,
-                            TermNode(ne.rhs, h, &local, &world.store));
+                            TermNode(ne.rhs, vars, row, &local, &world.store));
     if (!world.store.AddDisequality(a, b)) return std::optional<World>{};
   }
   for (const Atom& atom : disjunct.atoms) {
@@ -321,7 +425,8 @@ Result<std::optional<World>> ApplyDisjunct(const SOInvDisjunct& disjunct,
     f.relation = atom.relation;
     f.nodes.reserve(atom.terms.size());
     for (const Term& t : atom.terms) {
-      MAPINV_ASSIGN_OR_RETURN(uint32_t n, TermNode(t, h, &local, &world.store));
+      MAPINV_ASSIGN_OR_RETURN(
+          uint32_t n, TermNode(t, vars, row, &local, &world.store));
       f.nodes.push_back(n);
     }
     world.facts.push_back(std::move(f));
@@ -375,10 +480,10 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
     HomConstraints constraints;
     constraints.constant_vars.insert(rule.constant_vars.begin(),
                                      rule.constant_vars.end());
-    std::vector<Assignment> triggers;
+    TriggerBatch triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      Result<std::vector<Assignment>> collected = CollectTriggers(
+      Result<TriggerBatch> collected = CollectTriggers(
           search, input, {rule.premise}, constraints, options, deadline);
       if (!collected.ok()) {
         if (DegradeToPartial(options, collected.status())) break;
@@ -387,7 +492,7 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
       triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
-    for (const Assignment& h : triggers) {
+    for (size_t t = 0; t < triggers.rows; ++t) {
       if (Status poll =
               PollPhaseInterrupt(options, deadline, "chase_so_inverse");
           !poll.ok()) {
@@ -398,6 +503,7 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
         return poll;
       }
       MAPINV_FAILPOINT(fp_so_inv_fire);
+      const Value* row = triggers.Row(t);
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
@@ -417,7 +523,8 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
           }
           MAPINV_ASSIGN_OR_RETURN(
               std::optional<World> applied,
-              ApplyDisjunct(d, h, last ? std::move(world) : World(world)));
+              ApplyDisjunct(d, triggers.vars, row,
+                            last ? std::move(world) : World(world)));
           if (applied.has_value()) next.push_back(std::move(*applied));
         }
       }

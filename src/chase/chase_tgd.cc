@@ -1,5 +1,7 @@
 #include "chase/chase_tgd.h"
 
+#include <string>
+
 #include "chase/fire_plan.h"
 #include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
@@ -37,13 +39,13 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
   for (const Tgd& tgd : mapping.tgds) {
     // Collect triggers first: firing only adds target facts, so the trigger
     // set over the (source-only) premise is not affected by firing order.
-    // Collection may fan out across threads; the trigger list comes back in
+    // Collection may fan out across threads; the trigger batch comes back in
     // the canonical sequential order, and the firing phase below is
     // sequential, so fresh nulls are assigned deterministically.
-    std::vector<Assignment> triggers;
+    TriggerBatch triggers;
     {
       ScopedTraceSpan collect_span(options, "collect_triggers");
-      Result<std::vector<Assignment>> collected = CollectTriggers(
+      Result<TriggerBatch> collected = CollectTriggers(
           search, source, tgd.premise, HomConstraints{}, options, deadline);
       if (!collected.ok()) {
         if (DegradeToPartial(options, collected.status())) break;
@@ -53,23 +55,132 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
     }
     ScopedTraceSpan fire_span(options, "fire");
     // Per-tgd invariants hoisted out of the trigger loop: the frontier /
-    // existential variable sets, the compiled conclusion atoms, and the
-    // conclusion plan (compiled once against the frontier; the satisfaction
-    // check below runs it per trigger without rebuilding the plan key).
+    // existential variable sets, the compiled (column-indexed) conclusion
+    // atoms, and — on the per-trigger path — the conclusion plan (compiled
+    // once against the frontier; the satisfaction check runs it per trigger
+    // without rebuilding the plan key).
     const std::vector<VarId> frontier_vars = tgd.FrontierVars();
     const std::vector<VarId> existential_vars = tgd.ExistentialVars();
     MAPINV_ASSIGN_OR_RETURN(
-        const std::vector<FireAtom> fire_atoms,
-        CompileFireAtoms(tgd.conclusion, target.schema(), existential_vars));
+        const std::vector<FireAtomCols> fire_atoms,
+        CompileFireAtomsCols(tgd.conclusion, target.schema(), existential_vars,
+                             triggers.vars));
+    const size_t num_ex = existential_vars.size();
+    // Bulk eligibility: the batch dedup pass of AddRows subsumes the
+    // per-trigger satisfaction probe exactly when the conclusion is
+    // existential-free (a trigger is satisfied iff firing it adds nothing);
+    // the oblivious chase never probes at all. Either way the fire loop can
+    // assemble vector_batch triggers' rows and append them in one pass per
+    // relation, with identical output, chase_steps, and fresh-null labels.
+    const bool bulk = options.vectorized && options.vector_batch > 0 &&
+                      (options.oblivious || num_ex == 0);
     std::shared_ptr<const HomPlan> conclusion_plan;
-    if (!options.oblivious && !triggers.empty()) {
+    std::vector<size_t> frontier_cols;  // fixed_vars -> trigger columns
+    if (!options.oblivious && !bulk && triggers.rows > 0) {
       MAPINV_ASSIGN_OR_RETURN(
           conclusion_plan,
           target_search.GetPlanForVars(tgd.conclusion, HomConstraints{},
                                        frontier_vars));
+      frontier_cols.reserve(conclusion_plan->fixed_vars.size());
+      for (VarId v : conclusion_plan->fixed_vars) {
+        frontier_cols.push_back(triggers.ColumnOf(v));
+      }
+    }
+    if (bulk) {
+      const size_t fire_batch = options.vector_batch;
+      BulkFireScratch bulk_scratch =
+          MakeBulkFireScratch(fire_atoms, target.schema());
+      std::vector<Value> fresh_batch;  // num_ex nulls per trigger, in order
+      for (size_t base = 0; base < triggers.rows && !cut_short;
+           base += fire_batch) {
+        const size_t bcount = std::min(fire_batch, triggers.rows - base);
+        // Interrupts and failpoints at batch granularity: failure precedes
+        // the batch's mutations, so a stop is always a whole-batch prefix.
+        if (Status poll = PollPhaseInterrupt(options, deadline, "chase_tgds");
+            !poll.ok()) {
+          if (DegradeToPartial(options, poll)) {
+            cut_short = true;
+            break;
+          }
+          return poll;
+        }
+        MAPINV_FAILPOINT(fp_chase_fire);
+        if (created + bcount * fire_atoms.size() > options.max_new_facts) {
+          // Near the budget edge, fall back to per-trigger appends so the
+          // stopping trigger is exactly the scalar path's. Firing
+          // unconditionally is equivalent: a satisfied trigger's rows all
+          // dedup away, leaving created and chase_steps untouched.
+          for (size_t t = base; t < base + bcount; ++t) {
+            const Value* row = triggers.Row(t);
+            fresh.clear();
+            for (size_t i = 0; i < num_ex; ++i) {
+              fresh.push_back(Value::FreshNull(symbols));
+            }
+            bool any_added = false;
+            for (const FireAtomCols& fa : fire_atoms) {
+              BuildFireRowCols(fa, row, fresh.data(), &scratch);
+              MAPINV_ASSIGN_OR_RETURN(bool added,
+                                      target.AddRow(fa.relation, scratch));
+              if (added) {
+                ++created;
+                any_added = true;
+              }
+            }
+            if ((options.oblivious || any_added) && options.stats != nullptr) {
+              options.stats->chase_steps.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            }
+            if (created > options.max_new_facts) {
+              Status exhausted =
+                  PhaseExhausted("chase_tgds",
+                                 "exceeded max_new_facts = " +
+                                     std::to_string(options.max_new_facts));
+              if (DegradeToPartial(options, exhausted)) {
+                cut_short = true;
+                break;
+              }
+              return exhausted;
+            }
+          }
+          continue;
+        }
+        bulk_scratch.BeginBatch(bcount);
+        fresh_batch.clear();
+        for (size_t i = 0; i < bcount * num_ex; ++i) {
+          fresh_batch.push_back(Value::FreshNull(symbols));
+        }
+        for (size_t t = 0; t < bcount; ++t) {
+          const Value* row = triggers.Row(base + t);
+          const Value* tf = fresh_batch.data() + t * num_ex;
+          for (size_t ai = 0; ai < fire_atoms.size(); ++ai) {
+            BuildFireRowCols(fire_atoms[ai], row, tf, &scratch);
+            bulk_scratch.Append(bulk_scratch.atom_buf[ai],
+                                static_cast<uint32_t>(t), scratch.data());
+          }
+        }
+        MAPINV_ASSIGN_OR_RETURN(
+            size_t inserted,
+            FlushBulkFire(&target, &bulk_scratch,
+                          [](RelationId, TupleRef, uint32_t) {}));
+        created += inserted;
+        if (options.stats != nullptr) {
+          options.stats->bulk_rows_appended.fetch_add(
+              inserted, std::memory_order_relaxed);
+          uint64_t steps = 0;
+          if (options.oblivious) {
+            steps = bcount;
+          } else {
+            for (uint8_t f : bulk_scratch.fired) steps += f;
+          }
+          options.stats->chase_steps.fetch_add(steps,
+                                               std::memory_order_relaxed);
+        }
+      }
+      if (cut_short) break;
+      continue;
     }
     std::vector<Value> frontier_values;  // ordered as conclusion_plan demands
-    for (const Assignment& h : triggers) {
+    for (size_t t = 0; t < triggers.rows; ++t) {
       if (Status poll = PollPhaseInterrupt(options, deadline, "chase_tgds");
           !poll.ok()) {
         if (DegradeToPartial(options, poll)) {
@@ -79,11 +190,10 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
         return poll;
       }
       MAPINV_FAILPOINT(fp_chase_fire);
+      const Value* row = triggers.Row(t);
       if (!options.oblivious) {
         frontier_values.clear();
-        for (VarId v : conclusion_plan->fixed_vars) {
-          frontier_values.push_back(h.at(v));
-        }
+        for (size_t col : frontier_cols) frontier_values.push_back(row[col]);
         MAPINV_ASSIGN_OR_RETURN(
             bool satisfied,
             target_search.ExistsHomWithPlanValues(*conclusion_plan,
@@ -94,14 +204,14 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
       // get fresh nulls (fresh per firing, in declaration order — the same
       // order the pre-arena engine assigned them).
       fresh.clear();
-      for (size_t i = 0; i < existential_vars.size(); ++i) {
+      for (size_t i = 0; i < num_ex; ++i) {
         fresh.push_back(Value::FreshNull(symbols));
       }
       if (options.stats != nullptr) {
         options.stats->chase_steps.fetch_add(1, std::memory_order_relaxed);
       }
-      for (const FireAtom& fa : fire_atoms) {
-        BuildFireRow(fa, h, fresh, &scratch);
+      for (const FireAtomCols& fa : fire_atoms) {
+        BuildFireRowCols(fa, row, fresh.data(), &scratch);
         MAPINV_ASSIGN_OR_RETURN(bool added,
                                 target.AddRow(fa.relation, scratch));
         if (added) ++created;

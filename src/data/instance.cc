@@ -80,6 +80,63 @@ Result<bool> Instance::AddRow(RelationId relation, RowView row) {
   return true;
 }
 
+Result<size_t> Instance::AddRows(RelationId relation, const Value* rows,
+                                 size_t count, std::vector<uint8_t>* added) {
+  // One failpoint per batch, fired before any mutation: an injected failure
+  // keeps the whole-batch strong guarantee a per-row loop would give.
+  MAPINV_FAILPOINT(fp_add_row);
+  EnsureSlots();
+  if (relation >= schema_->size()) {
+    return Status::NotFound("relation id " + std::to_string(relation) +
+                            " not in schema");
+  }
+  if (added != nullptr) added->assign(count, 0);
+  if (count == 0) return size_t{0};
+  const uint32_t arity = schema_->arity(relation);
+  Store& store = Mutable(relation);
+  if (arity == 0) {
+    // 0-ary relations hold at most one (empty) row; only the first insert
+    // into an empty store adds anything.
+    if (store.num_rows > 0) return size_t{0};
+    store.dedup.emplace(HashRow(RowView{}), TupleRef{0});
+    store.num_rows = 1;
+    if (added != nullptr) (*added)[0] = 1;
+    return size_t{1};
+  }
+  store.arena.reserve(store.arena.size() + count * arity);
+  size_t inserted = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Value* row = rows + i * arity;
+    const size_t hash = HashRow(RowView(row, arity));
+    bool present = false;
+    // Probes see rows appended earlier in this same batch, so intra-batch
+    // duplicates dedup exactly as a per-row AddRow loop would.
+    auto [begin, end] = store.dedup.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (RowEquals(store.arena.data() + it->second * arity, row, arity)) {
+        present = true;
+        break;
+      }
+    }
+    if (present) continue;
+    const TupleRef ref = static_cast<TupleRef>(store.num_rows);
+    store.arena.insert(store.arena.end(), row, row + arity);
+    store.dedup.emplace(hash, ref);
+    ++store.num_rows;
+    ++inserted;
+    if (added != nullptr) (*added)[i] = 1;
+  }
+  return inserted;
+}
+
+void Instance::Reserve(RelationId relation, size_t additional_rows) {
+  EnsureSlots();
+  if (relation >= schema_->size() || additional_rows == 0) return;
+  Store& store = Mutable(relation);
+  store.arena.reserve(store.arena.size() + additional_rows * store.arity);
+  store.dedup.reserve(store.num_rows + additional_rows);
+}
+
 Result<bool> Instance::Add(std::string_view relation, Tuple tuple) {
   MAPINV_ASSIGN_OR_RETURN(RelationId id, schema_->Require(relation));
   return AddTuple(id, std::move(tuple));

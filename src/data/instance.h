@@ -148,6 +148,24 @@ class Instance {
   /// scratch buffer across firings.
   Result<bool> AddRow(RelationId relation, RowView row);
 
+  /// Bulk insert of `count` rows laid out row-major in `rows` (stride =
+  /// arity). Semantically identical to calling AddRow on each row in order —
+  /// same dedup (including against earlier rows of the same batch), same
+  /// resulting refs — but pays the failpoint, schema checks, and
+  /// copy-on-write gate once per batch instead of once per row. Returns the
+  /// number of rows that were new; if `added` is non-null it is resized to
+  /// `count` and `(*added)[i]` is 1 iff row i was inserted (so callers can
+  /// reconstruct each inserted row's TupleRef from the prefix counts).
+  Result<size_t> AddRows(RelationId relation, const Value* rows, size_t count,
+                         std::vector<uint8_t>* added = nullptr);
+
+  /// Capacity hint: pre-grows the relation's arena and dedup table for
+  /// `additional_rows` more rows, so a chase fire loop does not reallocate
+  /// mid-batch. Never shrinks; no-op for unknown relations. Takes the
+  /// copy-on-write gate like any mutation (a fork about to be written is
+  /// cloned at its current size, then grown).
+  void Reserve(RelationId relation, size_t additional_rows);
+
   /// Inserts a tuple by relation name.
   Result<bool> Add(std::string_view relation, Tuple tuple);
 

@@ -89,6 +89,10 @@ struct ExecStatsSnapshot {
   uint64_t tuples_arena_bytes = 0;
   uint64_t index_catchup_rows = 0;
   uint64_t worlds_forked = 0;
+  uint64_t vector_blocks_scanned = 0;
+  uint64_t vector_rows_scanned = 0;
+  uint64_t vector_rows_selected = 0;
+  uint64_t bulk_rows_appended = 0;
 };
 
 /// \brief Counters an execution can stream into (pass `&stats` via
@@ -130,6 +134,21 @@ struct ExecStats {
   /// Copy-on-write world forks taken by the disjunctive chase engines
   /// (reverse chase and SO-inverse worlds).
   std::atomic<uint64_t> worlds_forked{0};
+  /// Candidate blocks pushed through the vectorized executor's check/bind
+  /// micro-op pipeline (seed blocks plus expansion flushes; see
+  /// eval/vector_plan.h).
+  std::atomic<uint64_t> vector_blocks_scanned{0};
+  /// Candidate rows entering vectorized blocks. The vectorized counterpart
+  /// of hom_bucket_candidates — the two paths count into separate counters,
+  /// so either one alone describes the work its path did.
+  std::atomic<uint64_t> vector_rows_scanned{0};
+  /// Rows surviving a vectorized block's whole op pipeline (the selection
+  /// vector's final population). vector_rows_selected / vector_rows_scanned
+  /// is the selection density.
+  std::atomic<uint64_t> vector_rows_selected{0};
+  /// Rows newly inserted through the bulk Instance::AddRows fire path (the
+  /// batched counterpart of per-row AddRow inserts).
+  std::atomic<uint64_t> bulk_rows_appended{0};
   /// Set when an execution running with on_exhausted == kPartial hit a
   /// deadline/limit/cancellation and returned the best sound result so far
   /// instead of failing. Sticky across operations sharing the sink until
@@ -156,6 +175,10 @@ struct ExecStats {
     tuples_arena_bytes = 0;
     index_catchup_rows = 0;
     worlds_forked = 0;
+    vector_blocks_scanned = 0;
+    vector_rows_scanned = 0;
+    vector_rows_selected = 0;
+    bulk_rows_appended = 0;
     partial = false;
   }
 
@@ -173,6 +196,12 @@ struct ExecStats {
     s.tuples_arena_bytes = tuples_arena_bytes.load(std::memory_order_relaxed);
     s.index_catchup_rows = index_catchup_rows.load(std::memory_order_relaxed);
     s.worlds_forked = worlds_forked.load(std::memory_order_relaxed);
+    s.vector_blocks_scanned =
+        vector_blocks_scanned.load(std::memory_order_relaxed);
+    s.vector_rows_scanned = vector_rows_scanned.load(std::memory_order_relaxed);
+    s.vector_rows_selected =
+        vector_rows_selected.load(std::memory_order_relaxed);
+    s.bulk_rows_appended = bulk_rows_appended.load(std::memory_order_relaxed);
     s.partial = partial.load(std::memory_order_relaxed);
     return s;
   }
@@ -190,6 +219,12 @@ struct ExecStats {
            " tuples_arena_bytes=" + std::to_string(tuples_arena_bytes.load()) +
            " index_catchup_rows=" + std::to_string(index_catchup_rows.load()) +
            " worlds_forked=" + std::to_string(worlds_forked.load()) +
+           " vector_blocks_scanned=" +
+           std::to_string(vector_blocks_scanned.load()) +
+           " vector_rows_scanned=" + std::to_string(vector_rows_scanned.load()) +
+           " vector_rows_selected=" +
+           std::to_string(vector_rows_selected.load()) +
+           " bulk_rows_appended=" + std::to_string(bulk_rows_appended.load()) +
            " partial=" + (partial.load() ? "true" : "false");
   }
 };
@@ -302,6 +337,17 @@ struct ExecutionOptions : ResourceLimits {
   /// Degree of parallelism for trigger enumeration in ChaseTgds/ChaseSOTgd.
   /// 1 means sequential. Output is bit-identical for every thread count.
   int threads = 1;
+  /// Batch-at-a-time execution: trigger enumeration runs the compiled plan's
+  /// check/bind micro-ops over selection vectors of arena blocks, and the
+  /// fire loops append whole batches through Instance::AddRows (see
+  /// eval/vector_plan.h and docs/ENGINE.md). Output is bit-identical to the
+  /// scalar path for every batch size and thread count; the scalar path
+  /// (false) is retained as the differential oracle. Stats counters may
+  /// differ between the two paths (each path counts into its own counters).
+  bool vectorized = true;
+  /// Rows per scan/expansion block of the vectorized executor and triggers
+  /// per bulk-fire batch. Values below 1 are treated as 1.
+  size_t vector_batch = 1024;
   /// Stats sink; nullptr disables counting.
   ExecStats* stats = nullptr;
   /// Fresh-symbol scope; nullptr means the process-global context

@@ -8,6 +8,7 @@
 #include "engine/thread_pool.h"
 #include "engine/trace.h"
 #include "eval/hom_plan.h"
+#include "eval/vector_plan.h"
 
 namespace mapinv {
 
@@ -20,7 +21,8 @@ FailPoint fp_collect_chunk("collect_triggers/chunk");
 // the same eager checks ForEachHom performs: constants must match, repeated
 // variables must agree, constant-constrained variables reject nulls, and
 // fully bound inequalities must hold. Returns false if the tuple is not a
-// match for the atom.
+// match for the atom. (The vectorized path runs the identical checks through
+// the compiled SeedProgram; this is the scalar oracle.)
 bool BindCandidate(const Atom& atom, RowView tuple,
                    const HomConstraints& constraints, Assignment* out) {
   for (size_t p = 0; p < atom.terms.size(); ++p) {
@@ -50,23 +52,72 @@ bool BindCandidate(const Atom& atom, RowView tuple,
   return true;
 }
 
+// The variables the pinned atom binds — exactly the bound set BindCandidate
+// assigns, hence the bound set the remaining-premise plan compiles against.
+std::vector<VarId> PinnedVars(const Atom& atom) {
+  std::vector<VarId> vars;
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) vars.push_back(t.var());
+  }
+  return vars;
+}
+
+// The distinct premise variables in ascending VarId order — the column order
+// of every TriggerBatch built from `atoms`.
+std::vector<VarId> TriggerColumns(const std::vector<Atom>& atoms) {
+  std::vector<VarId> vars = CollectDistinctVars(atoms);
+  std::sort(vars.begin(), vars.end());
+  return vars;
+}
+
+// Maps each trigger column to the plan slot carrying its variable. Every
+// premise variable has a slot: pinned variables live in the plan's fixed
+// slots and the remaining atoms' variables are bound by steps.
+Result<std::vector<uint16_t>> ColumnSlots(const HomPlan& plan,
+                                          const std::vector<VarId>& vars) {
+  std::vector<uint16_t> slots;
+  slots.reserve(vars.size());
+  for (VarId v : vars) {
+    size_t s = 0;
+    for (; s < plan.slot_vars.size(); ++s) {
+      if (plan.slot_vars[s] == v) break;
+    }
+    if (s == plan.slot_vars.size()) {
+      return Status::Internal("premise variable v" + std::to_string(v) +
+                              " has no slot in the remaining-premise plan");
+    }
+    slots.push_back(static_cast<uint16_t>(s));
+  }
+  return slots;
+}
+
 // The shared chunked enumeration core: scans `pinned`'s candidate rows
 // [begin_row, end_row) in insertion order, binds each against the pinned
 // atom, runs the compiled remaining-premise plan, and appends every full
-// assignment passing `accept` (empty = keep all) to `out` in a deterministic
-// order. One output slot per contiguous chunk, merged in chunk order, so the
-// result is independent of scheduling and of the chunk count itself —
-// threads == 1 executes the same chunks inline.
+// trigger row passing `accept` (null = keep all; rows are in `out->vars`
+// column order) to `out` in a deterministic order. One output slot per
+// contiguous chunk, merged in chunk order, so the result is independent of
+// scheduling and of the chunk count itself — threads == 1 executes the same
+// chunks inline.
+//
+// `seed` non-null selects the vectorized path: each chunk block-scans its
+// row range through the compiled seed checks and expands survivors through
+// the selection-vector plan executor (`col_slots` maps trigger columns to
+// plan slots). Null runs the scalar tuple-at-a-time oracle. Both paths fill
+// `out` bit-identically.
 Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
                       const Atom& pinned, RelationId rel, size_t begin_row,
                       size_t end_row, const HomPlan& remaining_plan,
                       const HomConstraints& constraints,
+                      const SeedProgram* seed,
+                      const std::vector<uint16_t>& col_slots,
                       const ExecutionOptions& options,
                       const ExecDeadline& deadline,
-                      const std::function<bool(const Assignment&)>& accept,
-                      std::vector<Assignment>* out) {
+                      const std::function<bool(const Value*)>& accept,
+                      TriggerBatch* out) {
   const size_t n = end_row - begin_row;
   if (n == 0) return Status::OK();
+  const size_t stride = out->vars.size();
 
   int threads = options.threads < 1 ? 1 : options.threads;
   ThreadPool* pool = nullptr;
@@ -77,7 +128,8 @@ Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
   const size_t chunk_count =
       std::min(n, static_cast<size_t>(threads) * size_t{8});
   const size_t chunk_size = (n + chunk_count - 1) / chunk_count;
-  std::vector<std::vector<Assignment>> slots(chunk_count);
+  std::vector<std::vector<Value>> slots(chunk_count);
+  std::vector<size_t> slot_rows(chunk_count, 0);
   std::vector<Status> statuses(chunk_count, Status::OK());
   std::atomic<bool> abort{false};
   std::atomic<uint64_t> rejected{0};
@@ -90,8 +142,45 @@ Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
       abort.store(true, std::memory_order_relaxed);
       return;
     }
+    std::vector<Value>& slot = slots[c];
+    size_t rows = 0;
+    if (seed != nullptr) {
+      // Vectorized chunk: the seeded executor polls cancel/deadline once per
+      // block and books its work into the vector_* counters.
+      VectorRunStats vstats;
+      std::vector<Value> rowbuf(stride);
+      Status status = RunSeededPlanVectorized(
+          instance, *seed, begin, end, remaining_plan, options.vector_batch,
+          [&](const Value* slot_row) {
+            if (abort.load(std::memory_order_relaxed)) return false;
+            for (size_t j = 0; j < stride; ++j) {
+              rowbuf[j] = slot_row[col_slots[j]];
+            }
+            if (!accept || accept(rowbuf.data())) {
+              slot.insert(slot.end(), rowbuf.begin(), rowbuf.end());
+              ++rows;
+            }
+            return true;
+          },
+          &options, &deadline, "collect_triggers",
+          options.stats != nullptr ? &vstats : nullptr);
+      FlushVectorRunStats(vstats, options.stats);
+      if (options.stats != nullptr) {
+        // One search per seeded plan execution (the scalar branch books one
+        // per surviving seed candidate instead — the counter means "plan
+        // executions", so its magnitude is path-dependent by design).
+        options.stats->hom_searches.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!status.ok()) {
+        statuses[c] = std::move(status);
+        abort.store(true, std::memory_order_relaxed);
+      }
+      slot_rows[c] = rows;
+      return;
+    }
     uint64_t local_rejected = 0;
     Assignment bindings;  // reused per candidate; clear() keeps its buckets
+    std::vector<Value> rowbuf(stride);
     for (size_t i = begin;
          i < end && !abort.load(std::memory_order_relaxed); ++i) {
       // The cancel poll is a relaxed load; Expired() amortises its own clock
@@ -113,10 +202,15 @@ Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
         ++local_rejected;
         continue;
       }
-      Status status = search.ForEachHomWithPlan(
-          remaining_plan, bindings,
-          [&slot = slots[c], &accept](const Assignment& h) {
-            if (!accept || accept(h)) slot.push_back(h);
+      Status status = search.ForEachHomWithPlanScalar(
+          remaining_plan, bindings, [&](const Assignment& h) {
+            for (size_t j = 0; j < stride; ++j) {
+              rowbuf[j] = h.at(out->vars[j]);
+            }
+            if (!accept || accept(rowbuf.data())) {
+              slot.insert(slot.end(), rowbuf.begin(), rowbuf.end());
+              ++rows;
+            }
             return true;
           });
       if (!status.ok()) {
@@ -128,6 +222,7 @@ Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
     if (local_rejected != 0) {
       rejected.fetch_add(local_rejected, std::memory_order_relaxed);
     }
+    slot_rows[c] = rows;
   };
 
   if (pool == nullptr) {
@@ -144,28 +239,19 @@ Status ScanPinnedAtom(const HomSearch& search, const Instance& instance,
     MAPINV_RETURN_NOT_OK(status);
   }
 
-  size_t total = out->size();
-  for (const auto& slot : slots) total += slot.size();
-  out->reserve(total);
-  for (auto& slot : slots) {
-    for (Assignment& h : slot) out->push_back(std::move(h));
+  size_t total_values = out->values.size();
+  for (const auto& slot : slots) total_values += slot.size();
+  out->values.reserve(total_values);
+  for (size_t c = 0; c < chunk_count; ++c) {
+    out->values.insert(out->values.end(), slots[c].begin(), slots[c].end());
+    out->rows += slot_rows[c];
   }
   return Status::OK();
 }
 
-// The variables the pinned atom binds — exactly the bound set BindCandidate
-// assigns, hence the bound set the remaining-premise plan compiles against.
-std::vector<VarId> PinnedVars(const Atom& atom) {
-  std::vector<VarId> vars;
-  for (const Term& t : atom.terms) {
-    if (t.is_variable()) vars.push_back(t.var());
-  }
-  return vars;
-}
-
 }  // namespace
 
-Result<std::vector<Assignment>> CollectTriggers(
+Result<TriggerBatch> CollectTriggers(
     const HomSearch& search, const Instance& instance,
     const std::vector<Atom>& premise, const HomConstraints& constraints,
     const ExecutionOptions& options, const ExecDeadline& deadline) {
@@ -174,10 +260,14 @@ Result<std::vector<Assignment>> CollectTriggers(
   MAPINV_FAILPOINT(fp_collect_entry);
   MAPINV_RETURN_NOT_OK(search.Prewarm(premise));
 
+  TriggerBatch batch;
+  batch.vars = TriggerColumns(premise);
+
   if (premise.empty()) {
     // ForEachHom reports the empty assignment once (constraints over an
-    // empty assignment hold trivially).
-    return std::vector<Assignment>{Assignment{}};
+    // empty assignment hold trivially): one row with zero columns.
+    batch.rows = 1;
+    return batch;
   }
 
   // Initial atom: the plan compiler's first-step rule under the empty
@@ -213,7 +303,7 @@ Result<std::vector<Assignment>> CollectTriggers(
   MAPINV_ASSIGN_OR_RETURN(
       RelationId rel, instance.schema().Require(RelationText(first.relation)));
   const size_t n = instance.NumRows(rel);
-  if (n == 0) return std::vector<Assignment>{};
+  if (n == 0) return batch;
 
   // Compile the remaining-premise plan once, before the fan-out, so worker
   // threads execute a shared immutable plan instead of racing through the
@@ -222,11 +312,20 @@ Result<std::vector<Assignment>> CollectTriggers(
       std::shared_ptr<const HomPlan> remaining_plan,
       search.GetPlanForVars(remaining, constraints, PinnedVars(first)));
 
-  std::vector<Assignment> triggers;
-  MAPINV_RETURN_NOT_OK(ScanPinnedAtom(search, instance, first, rel, 0, n,
-                                      *remaining_plan, constraints, options,
-                                      deadline, nullptr, &triggers));
-  return triggers;
+  const bool vectorized = options.vectorized && options.vector_batch > 0 &&
+                          remaining_plan->steps.size() <= kVectorMaxPlanSteps;
+  SeedProgram seed;
+  std::vector<uint16_t> col_slots;
+  if (vectorized) {
+    MAPINV_ASSIGN_OR_RETURN(seed,
+                            CompileSeedProgram(instance, first, *remaining_plan));
+    MAPINV_ASSIGN_OR_RETURN(col_slots, ColumnSlots(*remaining_plan, batch.vars));
+  }
+  MAPINV_RETURN_NOT_OK(ScanPinnedAtom(
+      search, instance, first, rel, 0, n, *remaining_plan, constraints,
+      vectorized ? &seed : nullptr, col_slots, options, deadline, nullptr,
+      &batch));
+  return batch;
 }
 
 DeltaWatermark WatermarkOf(const Instance& instance) {
@@ -238,7 +337,7 @@ DeltaWatermark WatermarkOf(const Instance& instance) {
   return watermark;
 }
 
-Result<std::vector<Assignment>> CollectTriggersDelta(
+Result<TriggerBatch> CollectTriggersDelta(
     const HomSearch& search, const Instance& instance,
     const std::vector<Atom>& premise, const HomConstraints& constraints,
     const DeltaWatermark& watermark, const ExecutionOptions& options,
@@ -246,9 +345,12 @@ Result<std::vector<Assignment>> CollectTriggersDelta(
   MAPINV_FAILPOINT(fp_collect_entry);
   MAPINV_RETURN_NOT_OK(search.Prewarm(premise));
 
+  TriggerBatch batch;
+  batch.vars = TriggerColumns(premise);
+
   // The empty premise's single trigger (the empty assignment) touches no
   // row, so it is never a *delta* trigger.
-  if (premise.empty()) return std::vector<Assignment>{};
+  if (premise.empty()) return batch;
 
   std::vector<RelationId> rels(premise.size());
   for (size_t i = 0; i < premise.size(); ++i) {
@@ -256,7 +358,14 @@ Result<std::vector<Assignment>> CollectTriggersDelta(
         rels[i], instance.schema().Require(RelationText(premise[i].relation)));
   }
 
-  std::vector<Assignment> triggers;
+  // One image term of an earlier premise atom, pre-resolved for the accept
+  // filter: a constant or a trigger-row column.
+  struct ImgTerm {
+    bool is_const;
+    Value value;  // is_const
+    size_t col = 0;
+  };
+
   std::vector<Atom> remaining;
   for (size_t d = 0; d < premise.size(); ++d) {
     const RelationId rel = rels[d];
@@ -274,27 +383,53 @@ Result<std::vector<Assignment>> CollectTriggersDelta(
         std::shared_ptr<const HomPlan> remaining_plan,
         search.GetPlanForVars(remaining, constraints, PinnedVars(pinned)));
 
+    const bool vectorized = options.vectorized && options.vector_batch > 0 &&
+                            remaining_plan->steps.size() <= kVectorMaxPlanSteps;
+    SeedProgram seed;
+    std::vector<uint16_t> col_slots;
+    if (vectorized) {
+      MAPINV_ASSIGN_OR_RETURN(
+          seed, CompileSeedProgram(instance, pinned, *remaining_plan));
+      MAPINV_ASSIGN_OR_RETURN(col_slots,
+                              ColumnSlots(*remaining_plan, batch.vars));
+    }
+
     // Exact-partition filter: keep a candidate only when every *earlier*
     // premise atom's image row predates the watermark, so each delta trigger
     // is counted exactly once — at its first new-row position. (Later atoms
     // may bind old or new rows freely.)
-    auto accept = [&](const Assignment& h) {
+    std::vector<std::vector<ImgTerm>> earlier(d);
+    for (size_t e = 0; e < d; ++e) {
+      earlier[e].reserve(premise[e].terms.size());
+      for (const Term& t : premise[e].terms) {
+        ImgTerm it;
+        it.is_const = t.is_constant();
+        if (it.is_const) {
+          it.value = t.value();
+        } else {
+          it.col = batch.ColumnOf(t.var());
+        }
+        earlier[e].push_back(it);
+      }
+    }
+    auto accept = [&](const Value* row) {
       std::vector<Value> image;
       for (size_t e = 0; e < d; ++e) {
         image.clear();
-        for (const Term& t : premise[e].terms) {
-          image.push_back(t.is_constant() ? t.value() : h.at(t.var()));
+        for (const ImgTerm& it : earlier[e]) {
+          image.push_back(it.is_const ? it.value : row[it.col]);
         }
         const std::optional<TupleRef> ref = instance.FindRow(rels[e], image);
         if (!ref.has_value() || watermark.IsNew(rels[e], *ref)) return false;
       }
       return true;
     };
-    MAPINV_RETURN_NOT_OK(ScanPinnedAtom(search, instance, pinned, rel, mark, n,
-                                        *remaining_plan, constraints, options,
-                                        deadline, accept, &triggers));
+    MAPINV_RETURN_NOT_OK(ScanPinnedAtom(
+        search, instance, pinned, rel, mark, n, *remaining_plan, constraints,
+        vectorized ? &seed : nullptr, col_slots, options, deadline, accept,
+        &batch));
   }
-  return triggers;
+  return batch;
 }
 
 SymbolContext& ResolveSymbols(const ExecutionOptions& options,

@@ -24,6 +24,13 @@
 /// inline — which is what makes multi-thread output bit-identical to
 /// single-thread, and both identical to the historical sequential chase.
 ///
+/// Under `options.vectorized` (the default) each chunk runs batch-at-a-time:
+/// the pinned atom's seed checks and the remaining-premise plan execute
+/// through the selection-vector executor of eval/vector_plan.h, and triggers
+/// land directly in the TriggerBatch value matrix — no per-trigger hash
+/// maps. `options.vectorized = false` retains the tuple-at-a-time scan as a
+/// differential oracle; both paths produce bit-identical batches.
+///
 /// Callers must not grow the instance while a collection is in flight;
 /// CollectTriggers prewarms the search indexes and compiles the shared
 /// remaining-premise plan before fanning out, so the parallel section only
@@ -32,6 +39,7 @@
 #ifndef MAPINV_ENGINE_PARALLEL_CHASE_H_
 #define MAPINV_ENGINE_PARALLEL_CHASE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "base/status.h"
@@ -42,20 +50,55 @@
 
 namespace mapinv {
 
+/// \brief A batch of chase triggers in columnar form: one row per trigger,
+/// one column per distinct premise variable (sorted ascending by VarId).
+///
+/// The fire loops consume rows positionally — `Row(i)[ColumnOf(v)]` replaces
+/// the historical `h.at(v)` — so firing a trigger touches no hash map.
+/// AssignmentAt materialises the historical map form for callers that still
+/// want it (tests, world forks).
+struct TriggerBatch {
+  /// Distinct premise variables, sorted ascending; the column order.
+  std::vector<VarId> vars;
+  /// Row-major values, stride = vars.size().
+  std::vector<Value> values;
+  /// Number of triggers. An empty premise has one all-empty row (the empty
+  /// assignment) with zero columns.
+  size_t rows = 0;
+
+  const Value* Row(size_t i) const { return values.data() + i * vars.size(); }
+
+  /// Column index of `v`; `v` must be one of `vars`.
+  size_t ColumnOf(VarId v) const {
+    return static_cast<size_t>(
+        std::lower_bound(vars.begin(), vars.end(), v) - vars.begin());
+  }
+
+  Assignment AssignmentAt(size_t i) const {
+    Assignment h;
+    h.reserve(vars.size());
+    const Value* row = Row(i);
+    for (size_t j = 0; j < vars.size(); ++j) h.emplace(vars[j], row[j]);
+    return h;
+  }
+};
+
 /// \brief Collects every homomorphism of `premise` into `instance` (which
 /// must be the instance `search` was built over), in the exact order the
 /// sequential backtracking search reports them.
 ///
 /// `options.threads` > 1 fans the enumeration out on `options.pool` (or the
-/// process-shared pool). Fails with kResourceExhausted once `deadline`
+/// process-shared pool). `options.vectorized` selects the batch-at-a-time
+/// scan (`options.vector_batch` rows per block); the scalar path yields the
+/// same batch bit-for-bit. Fails with kResourceExhausted once `deadline`
 /// expires, and propagates validation errors (unknown relation, arity
 /// mismatch, function terms) exactly like ForEachHom.
-Result<std::vector<Assignment>> CollectTriggers(const HomSearch& search,
-                                                const Instance& instance,
-                                                const std::vector<Atom>& premise,
-                                                const HomConstraints& constraints,
-                                                const ExecutionOptions& options,
-                                                const ExecDeadline& deadline);
+Result<TriggerBatch> CollectTriggers(const HomSearch& search,
+                                     const Instance& instance,
+                                     const std::vector<Atom>& premise,
+                                     const HomConstraints& constraints,
+                                     const ExecutionOptions& options,
+                                     const ExecDeadline& deadline);
 
 /// \brief Per-relation row counts marking the frontier between "already
 /// chased" and "appended since" rows of an append-only instance. Indexed by
@@ -90,7 +133,7 @@ DeltaWatermark WatermarkOf(const Instance& instance);
 /// With an all-zero watermark this returns every trigger (position 0 takes
 /// the whole relation and later positions contribute nothing); an empty
 /// premise has no delta triggers (its one empty assignment touches no row).
-Result<std::vector<Assignment>> CollectTriggersDelta(
+Result<TriggerBatch> CollectTriggersDelta(
     const HomSearch& search, const Instance& instance,
     const std::vector<Atom>& premise, const HomConstraints& constraints,
     const DeltaWatermark& watermark, const ExecutionOptions& options,

@@ -277,6 +277,14 @@ void AccumulateInto(const ExecStatsSnapshot& s, ExecStats* sink) {
   sink->ObserveArenaBytes(s.tuples_arena_bytes);
   sink->index_catchup_rows.fetch_add(s.index_catchup_rows,
                                      std::memory_order_relaxed);
+  sink->vector_blocks_scanned.fetch_add(s.vector_blocks_scanned,
+                                        std::memory_order_relaxed);
+  sink->vector_rows_scanned.fetch_add(s.vector_rows_scanned,
+                                      std::memory_order_relaxed);
+  sink->vector_rows_selected.fetch_add(s.vector_rows_selected,
+                                       std::memory_order_relaxed);
+  sink->bulk_rows_appended.fetch_add(s.bulk_rows_appended,
+                                     std::memory_order_relaxed);
   sink->worlds_forked.fetch_add(s.worlds_forked, std::memory_order_relaxed);
   if (s.partial) sink->partial.store(true, std::memory_order_relaxed);
 }
@@ -516,6 +524,10 @@ Json StatsToJson(const ExecStatsSnapshot& s) {
   json.Set("cache_misses", Json(s.cache_misses));
   json.Set("tuples_arena_bytes", Json(s.tuples_arena_bytes));
   json.Set("index_catchup_rows", Json(s.index_catchup_rows));
+  json.Set("vector_blocks_scanned", Json(s.vector_blocks_scanned));
+  json.Set("vector_rows_scanned", Json(s.vector_rows_scanned));
+  json.Set("vector_rows_selected", Json(s.vector_rows_selected));
+  json.Set("bulk_rows_appended", Json(s.bulk_rows_appended));
   json.Set("worlds_forked", Json(s.worlds_forked));
   json.Set("partial", Json(s.partial));
   return json;

@@ -27,6 +27,12 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
   // "footprint growth observed during the span".
   d.tuples_arena_bytes = now.tuples_arena_bytes - then.tuples_arena_bytes;
   d.index_catchup_rows = now.index_catchup_rows - then.index_catchup_rows;
+  d.vector_blocks_scanned =
+      now.vector_blocks_scanned - then.vector_blocks_scanned;
+  d.vector_rows_scanned = now.vector_rows_scanned - then.vector_rows_scanned;
+  d.vector_rows_selected =
+      now.vector_rows_selected - then.vector_rows_selected;
+  d.bulk_rows_appended = now.bulk_rows_appended - then.bulk_rows_appended;
   d.worlds_forked = now.worlds_forked - then.worlds_forked;
   return d;
 }
@@ -43,6 +49,10 @@ void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
   into.cache_misses += d.cache_misses;
   into.tuples_arena_bytes += d.tuples_arena_bytes;
   into.index_catchup_rows += d.index_catchup_rows;
+  into.vector_blocks_scanned += d.vector_blocks_scanned;
+  into.vector_rows_scanned += d.vector_rows_scanned;
+  into.vector_rows_selected += d.vector_rows_selected;
+  into.bulk_rows_appended += d.bulk_rows_appended;
   into.worlds_forked += d.worlds_forked;
 }
 
@@ -71,6 +81,14 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
          std::to_string(span.stats.tuples_arena_bytes);
   out += " index_catchup_rows=" +
          std::to_string(span.stats.index_catchup_rows);
+  out += " vector_blocks_scanned=" +
+         std::to_string(span.stats.vector_blocks_scanned);
+  out += " vector_rows_scanned=" +
+         std::to_string(span.stats.vector_rows_scanned);
+  out += " vector_rows_selected=" +
+         std::to_string(span.stats.vector_rows_selected);
+  out += " bulk_rows_appended=" +
+         std::to_string(span.stats.bulk_rows_appended);
   out += " worlds_forked=" + std::to_string(span.stats.worlds_forked);
   if (span.stats.partial) out += " partial=true";
   out += "\n";
@@ -94,6 +112,14 @@ void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
          std::to_string(stats.tuples_arena_bytes);
   out += ",\"index_catchup_rows\":" +
          std::to_string(stats.index_catchup_rows);
+  out += ",\"vector_blocks_scanned\":" +
+         std::to_string(stats.vector_blocks_scanned);
+  out += ",\"vector_rows_scanned\":" +
+         std::to_string(stats.vector_rows_scanned);
+  out += ",\"vector_rows_selected\":" +
+         std::to_string(stats.vector_rows_selected);
+  out += ",\"bulk_rows_appended\":" +
+         std::to_string(stats.bulk_rows_appended);
   out += ",\"worlds_forked\":" + std::to_string(stats.worlds_forked);
   out += ",\"partial\":";
   out += stats.partial ? "true" : "false";

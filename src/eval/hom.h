@@ -99,9 +99,28 @@ class HomSearch {
   /// plan was compiled with (`plan.fixed_vars`); extra keys are copied into
   /// the callback assignment but take no part in matching. The callback
   /// contract matches ForEachHom.
+  ///
+  /// Runs batch-at-a-time through the vectorized executor (see
+  /// eval/vector_plan.h) unless set_vector_batch(0) selected the scalar
+  /// path; matches arrive in the same order either way.
   Status ForEachHomWithPlan(
       const HomPlan& plan, const Assignment& fixed,
       const std::function<bool(const Assignment&)>& callback) const;
+
+  /// Scalar tuple-at-a-time plan execution, bypassing the vectorized
+  /// executor regardless of set_vector_batch — the differential oracle for
+  /// the vectorized path, and the engine's ExecutionOptions::vectorized =
+  /// false route. Same contract and enumeration order as ForEachHomWithPlan.
+  Status ForEachHomWithPlanScalar(
+      const HomPlan& plan, const Assignment& fixed,
+      const std::function<bool(const Assignment&)>& callback) const;
+
+  /// Block size for the vectorized executor behind ForEachHom /
+  /// ForEachHomWithPlan; 0 selects the scalar tuple-at-a-time executor.
+  /// Existence checks (Exists*) always run scalar — they stop at the first
+  /// match, where batching buys nothing.
+  void set_vector_batch(size_t batch) { vector_batch_ = batch; }
+  size_t vector_batch() const { return vector_batch_; }
 
   /// Existence check on a compiled plan. Equivalent to ForEachHomWithPlan
   /// with a stop-at-first callback, but never materialises an Assignment —
@@ -158,6 +177,9 @@ class HomSearch {
 
   const Instance& instance_;
   ExecStats* stats_ = nullptr;
+  // Default matches ExecutionOptions::vector_batch; the chase engines set it
+  // from their options before collecting triggers.
+  size_t vector_batch_ = 1024;
 
   // Plan cache: key hash -> plans with that hash (full key compared to rule
   // out collisions). Guarded by plans_mutex_ so concurrent searches after

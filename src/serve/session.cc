@@ -177,6 +177,10 @@ void Session::RecordOutcome(const EngineResponse& response) {
     metrics_.totals.tuples_arena_bytes = s.tuples_arena_bytes;
   }
   metrics_.totals.index_catchup_rows += s.index_catchup_rows;
+  metrics_.totals.vector_blocks_scanned += s.vector_blocks_scanned;
+  metrics_.totals.vector_rows_scanned += s.vector_rows_scanned;
+  metrics_.totals.vector_rows_selected += s.vector_rows_selected;
+  metrics_.totals.bulk_rows_appended += s.bulk_rows_appended;
   metrics_.totals.worlds_forked += s.worlds_forked;
   if (s.partial) metrics_.totals.partial = true;
 }

@@ -290,18 +290,27 @@ TEST(ParallelChaseTest, CollectTriggersPreservesForEachHomOrder) {
                   .ok());
   ASSERT_FALSE(sequential.empty());
 
+  // The order must survive every execution shape: scalar and vectorized,
+  // single- and multi-threaded, and batch sizes that straddle block
+  // boundaries.
   for (int threads : {1, 4}) {
-    ExecutionOptions options;
-    options.threads = threads;
-    ExecDeadline deadline(0);
-    std::vector<Assignment> collected =
-        CollectTriggers(search, source, premise, constraints, options,
-                        deadline)
-            .ValueOrDie();
-    ASSERT_EQ(collected.size(), sequential.size()) << "threads = " << threads;
-    for (size_t i = 0; i < collected.size(); ++i) {
-      EXPECT_EQ(collected[i], sequential[i])
-          << "threads = " << threads << " trigger " << i;
+    for (size_t batch : {size_t{0}, size_t{1}, size_t{7}, size_t{1024}}) {
+      ExecutionOptions options;
+      options.threads = threads;
+      options.vectorized = batch != 0;
+      if (batch != 0) options.vector_batch = batch;
+      ExecDeadline deadline(0);
+      TriggerBatch collected =
+          CollectTriggers(search, source, premise, constraints, options,
+                          deadline)
+              .ValueOrDie();
+      ASSERT_EQ(collected.rows, sequential.size())
+          << "threads = " << threads << " batch = " << batch;
+      for (size_t i = 0; i < collected.rows; ++i) {
+        EXPECT_EQ(collected.AssignmentAt(i), sequential[i])
+            << "threads = " << threads << " batch = " << batch << " trigger "
+            << i;
+      }
     }
   }
 }
@@ -336,11 +345,12 @@ TEST(ParallelChaseTest, CollectTriggersEmptyPremiseYieldsOneEmptyTrigger) {
   HomSearch search(instance);
   ExecutionOptions options;
   ExecDeadline deadline(0);
-  std::vector<Assignment> collected =
+  TriggerBatch collected =
       CollectTriggers(search, instance, {}, {}, options, deadline)
           .ValueOrDie();
-  ASSERT_EQ(collected.size(), 1u);
-  EXPECT_TRUE(collected[0].empty());
+  ASSERT_EQ(collected.rows, 1u);
+  EXPECT_TRUE(collected.vars.empty());
+  EXPECT_TRUE(collected.AssignmentAt(0).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -684,6 +694,10 @@ TEST(TraceTest, TopLevelSpanStatsSumToEngineTotals) {
     sum.hom_plans_compiled += child->stats.hom_plans_compiled;
     sum.hom_bucket_candidates += child->stats.hom_bucket_candidates;
     sum.hom_slot_bindings += child->stats.hom_slot_bindings;
+    sum.vector_blocks_scanned += child->stats.vector_blocks_scanned;
+    sum.vector_rows_scanned += child->stats.vector_rows_scanned;
+    sum.vector_rows_selected += child->stats.vector_rows_selected;
+    sum.bulk_rows_appended += child->stats.bulk_rows_appended;
   }
   const ExecStatsSnapshot total = engine.stats().Snapshot();
   EXPECT_EQ(sum.chase_steps, total.chase_steps);
@@ -694,6 +708,13 @@ TEST(TraceTest, TopLevelSpanStatsSumToEngineTotals) {
   EXPECT_EQ(sum.hom_plans_compiled, total.hom_plans_compiled);
   EXPECT_EQ(sum.hom_bucket_candidates, total.hom_bucket_candidates);
   EXPECT_EQ(sum.hom_slot_bindings, total.hom_slot_bindings);
+  EXPECT_EQ(sum.vector_blocks_scanned, total.vector_blocks_scanned);
+  EXPECT_EQ(sum.vector_rows_scanned, total.vector_rows_scanned);
+  EXPECT_EQ(sum.vector_rows_selected, total.vector_rows_selected);
+  EXPECT_EQ(sum.bulk_rows_appended, total.bulk_rows_appended);
+  // The default chase is vectorized, so the new counters actually moved.
+  EXPECT_GT(total.vector_blocks_scanned, 0u);
+  EXPECT_GT(total.vector_rows_scanned, 0u);
 }
 
 // ToJson emits one syntactically well-formed JSON object line (balanced

@@ -274,10 +274,24 @@ TEST(HomPlanTest, PlanIsCachedAndCountersFlow) {
                                 [](const Assignment&) { return true; })
                     .ok());
   }
-  // One compilation, three searches; the flat-slot executor reported
-  // candidates and bindings.
+  // One compilation, three searches; the (default) vectorized executor
+  // reports its inner-loop work through the vector_* counters.
   EXPECT_EQ(stats.hom_plans_compiled.load(), 1u);
   EXPECT_EQ(stats.hom_searches.load(), 3u);
+  EXPECT_GT(stats.vector_blocks_scanned.load(), 0u);
+  EXPECT_GT(stats.vector_rows_scanned.load(), 0u);
+  EXPECT_GT(stats.vector_rows_selected.load(), 0u);
+
+  // The scalar executor (vector_batch == 0) books the classic per-candidate
+  // counters instead, against the same cached plan.
+  search.set_vector_batch(0);
+  ASSERT_TRUE(search
+                  .ForEachHom(atoms, HomConstraints{}, Assignment{},
+                              [](const Assignment&) { return true; })
+                  .ok());
+  search.set_vector_batch(1024);
+  EXPECT_EQ(stats.hom_plans_compiled.load(), 1u);
+  EXPECT_EQ(stats.hom_searches.load(), 4u);
   EXPECT_GT(stats.hom_bucket_candidates.load(), 0u);
   EXPECT_GT(stats.hom_slot_bindings.load(), 0u);
 

@@ -179,13 +179,15 @@ constexpr char kSweepSource[] = "{ S1(1), S2(2), P(1,2), E(3) }";
 // makes reruns bit-identical.
 Result<std::string> RunSweepWorkload(const TgdMapping& mapping,
                                      const TgdMapping& second,
-                                     const Instance& source) {
+                                     const Instance& source,
+                                     bool vectorized = true) {
   SymbolContext symbols;
   ExecStats stats;
   ExecutionOptions options;
   options.threads = 1;
   options.symbols = &symbols;
   options.stats = &stats;
+  options.vectorized = vectorized;
   std::string out;
   MAPINV_ASSIGN_OR_RETURN(Instance chased, ChaseTgds(mapping, source, options));
   out += chased.ToString() + "\n";
@@ -293,9 +295,15 @@ TEST_F(FailPointSweep, WorkloadCoversEveryRegisteredSite) {
   for (const std::string& name : reg.SiteNames()) {
     ASSERT_TRUE(reg.Activate(name, count).ok()) << name;
   }
-  GlobalEvalCache().Clear();
-  Result<std::string> run = RunSweepWorkload(mapping_, second_, source_);
-  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Both execution shapes must keep every site alive: the vectorized paths
+  // moved the fire/collect failpoints to batch granularity, and a site only
+  // reachable from one shape would silently lose injection coverage.
+  for (bool vectorized : {true, false}) {
+    GlobalEvalCache().Clear();
+    Result<std::string> run =
+        RunSweepWorkload(mapping_, second_, source_, vectorized);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+  }
   for (const std::string& name : reg.SiteNames()) {
     EXPECT_GT(Site(name.c_str())->hits(), 0u)
         << "site '" << name << "' is dead: the sweep workload never reaches "
@@ -305,9 +313,6 @@ TEST_F(FailPointSweep, WorkloadCoversEveryRegisteredSite) {
 
 TEST_F(FailPointSweep, EverySiteFailsCleanAndLeavesInputsUntouched) {
   FailPointRegistry& reg = FailPointRegistry::Global();
-  GlobalEvalCache().Clear();
-  Result<std::string> baseline = RunSweepWorkload(mapping_, second_, source_);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
 
   // Input fingerprints: deep renderings plus the arena data pointers of the
   // source's columnar stores — an injected failure must not even COW them.
@@ -319,35 +324,50 @@ TEST_F(FailPointSweep, EverySiteFailsCleanAndLeavesInputsUntouched) {
     if (source_.NumRows(r) > 0) arenas_before.push_back(source_.Row(r, 0).data());
   }
 
-  for (const std::string& name : reg.SiteNames()) {
-    SCOPED_TRACE("site " + name);
+  // Both execution shapes: the vectorized paths fail at batch granularity
+  // (before the batch's mutations), the scalar paths per tuple — either way
+  // the strong guarantee below must hold at every site.
+  for (bool vectorized : {true, false}) {
+    SCOPED_TRACE(vectorized ? "vectorized" : "scalar");
     reg.DeactivateAll();
     GlobalEvalCache().Clear();
-    ASSERT_TRUE(reg.Activate(name, {}).ok());  // kAlways, kInternal
-    Result<std::string> injected = RunSweepWorkload(mapping_, second_, source_);
-    ASSERT_FALSE(injected.ok());
-    EXPECT_EQ(injected.status().code(), StatusCode::kInternal);
-    EXPECT_NE(injected.status().ToString().find("failpoint '" + name + "'"),
-              std::string::npos)
-        << injected.status().ToString();
+    Result<std::string> baseline =
+        RunSweepWorkload(mapping_, second_, source_, vectorized);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
 
-    // Strong guarantee: the inputs are unchanged, byte for byte and
-    // arena for arena.
-    EXPECT_EQ(mapping_.ToString(), mapping_before);
-    EXPECT_EQ(second_.ToString(), second_before);
-    EXPECT_EQ(source_.ToString(), source_before);
-    std::vector<const Value*> arenas_after;
-    for (RelationId r = 0; r < mapping_.source->size(); ++r) {
-      if (source_.NumRows(r) > 0) arenas_after.push_back(source_.Row(r, 0).data());
+    for (const std::string& name : reg.SiteNames()) {
+      SCOPED_TRACE("site " + name);
+      reg.DeactivateAll();
+      GlobalEvalCache().Clear();
+      ASSERT_TRUE(reg.Activate(name, {}).ok());  // kAlways, kInternal
+      Result<std::string> injected =
+          RunSweepWorkload(mapping_, second_, source_, vectorized);
+      ASSERT_FALSE(injected.ok());
+      EXPECT_EQ(injected.status().code(), StatusCode::kInternal);
+      EXPECT_NE(injected.status().ToString().find("failpoint '" + name + "'"),
+                std::string::npos)
+          << injected.status().ToString();
+
+      // Strong guarantee: the inputs are unchanged, byte for byte and
+      // arena for arena.
+      EXPECT_EQ(mapping_.ToString(), mapping_before);
+      EXPECT_EQ(second_.ToString(), second_before);
+      EXPECT_EQ(source_.ToString(), source_before);
+      std::vector<const Value*> arenas_after;
+      for (RelationId r = 0; r < mapping_.source->size(); ++r) {
+        if (source_.NumRows(r) > 0) arenas_after.push_back(source_.Row(r, 0).data());
+      }
+      EXPECT_EQ(arenas_after, arenas_before);
+
+      // Engine reusable: disarm and the identical run succeeds identically.
+      ASSERT_TRUE(reg.Deactivate(name).ok());
+      GlobalEvalCache().Clear();
+      Result<std::string> rerun =
+          RunSweepWorkload(mapping_, second_, source_, vectorized);
+      ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+      EXPECT_EQ(CanonicalizeFreshNames(*rerun),
+                CanonicalizeFreshNames(*baseline));
     }
-    EXPECT_EQ(arenas_after, arenas_before);
-
-    // Engine reusable: disarm and the identical run succeeds identically.
-    ASSERT_TRUE(reg.Deactivate(name).ok());
-    GlobalEvalCache().Clear();
-    Result<std::string> rerun = RunSweepWorkload(mapping_, second_, source_);
-    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
-    EXPECT_EQ(CanonicalizeFreshNames(*rerun), CanonicalizeFreshNames(*baseline));
   }
 }
 
@@ -357,16 +377,27 @@ TEST_F(FailPointSweep, EverySiteFailsCleanAndLeavesInputsUntouched) {
 TEST(CancelTest, PreCancelledTokenStopsTheChase) {
   TgdMapping mapping = ParseTgdMapping("R(x,y) -> S(x,y)").ValueOrDie();
   Instance source = GenerateInstance(*mapping.source, 20, 10, 5);
-  CancelToken token;
-  token.Cancel();
-  ExecutionOptions options;
-  options.threads = 1;
-  options.cancel = &token;
-  Result<Instance> result = ChaseTgds(mapping, source, options);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
-  token.Reset();
-  EXPECT_TRUE(ChaseTgds(mapping, source, options).ok());
+  // Every execution shape polls the token: the scalar path per candidate,
+  // the vectorized paths per block (collection) and per batch (fire).
+  struct Shape {
+    bool vectorized;
+    size_t batch;
+  };
+  for (const Shape& shape : {Shape{false, 0}, Shape{true, 1}, Shape{true, 7},
+                             Shape{true, 1024}}) {
+    CancelToken token;
+    token.Cancel();
+    ExecutionOptions options;
+    options.threads = 1;
+    options.cancel = &token;
+    options.vectorized = shape.vectorized;
+    if (shape.batch != 0) options.vector_batch = shape.batch;
+    Result<Instance> result = ChaseTgds(mapping, source, options);
+    ASSERT_FALSE(result.ok()) << "batch=" << shape.batch;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    token.Reset();
+    EXPECT_TRUE(ChaseTgds(mapping, source, options).ok());
+  }
 }
 
 TEST(CancelTest, CancellationWinsOverAnExpiredDeadline) {
