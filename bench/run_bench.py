@@ -161,6 +161,18 @@ def compare(baseline_path, results, geomean_threshold, config_floor):
         print(f"  {f'{b}:{c}'.ljust(width)}  baseline only (not run here)")
     for b, c in only_cur:
         print(f"  {f'{b}:{c}'.ljust(width)}  new config (no baseline)")
+    if only_base or only_cur:
+        print(f"  [compare] {len(matched)} matched, {len(only_base)} baseline-"
+              f"only, {len(only_cur)} new — one-sided configs are excluded "
+              f"from the geomean")
+    if only_base and (geomean_threshold is not None
+                      or config_floor is not None):
+        # A threshold gate over a shrunken config set proves nothing: a
+        # regression can hide behind a config that simply stopped running.
+        failures.append(
+            f"{len(only_base)} baseline config(s) missing from this run "
+            f"(first: {only_base[0][0]}:{only_base[0][1]}); run the full "
+            f"bench set or rebase the baseline")
 
     print(f"\n  {'geomean speedup':<{width + 2}}")
     all_speedups = []

@@ -35,10 +35,16 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
       }
     });
   }
+  if (options.memory_budget_bytes > 0) {
+    target->SetMemoryBudget(options.memory_budget_bytes, options.spill_dir,
+                            options.stats);
+  }
   HomSearch search(source);
   search.set_stats(options.stats);
+  search.set_vector_max_plan_steps(options.vector_max_plan_steps);
   HomSearch target_search(*target);
   target_search.set_stats(options.stats);
+  target_search.set_vector_max_plan_steps(options.vector_max_plan_steps);
   size_t created = 0;
   std::vector<Value> fresh;    // per-firing nulls, one per existential var
   std::vector<Value> scratch;  // reused row buffer for AddRow
@@ -258,6 +264,7 @@ Result<bool> ChaseDelta(const TgdMapping& mapping, const Instance& source,
   }
   if (options.stats != nullptr) {
     options.stats->ObserveArenaBytes(target->ArenaBytes());
+    options.stats->ObserveResidentBytes(target->ResidentBytes());
   }
   return !degraded;
 }

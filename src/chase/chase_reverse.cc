@@ -281,8 +281,13 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   for (WorldState& world : worlds) out.push_back(std::move(*world.instance));
   if (options.stats != nullptr) {
     uint64_t bytes = 0;
-    for (const Instance& world : out) bytes += world.ArenaBytes();
+    uint64_t resident = 0;
+    for (const Instance& world : out) {
+      bytes += world.ArenaBytes();
+      resident += world.ResidentBytes();
+    }
     options.stats->ObserveArenaBytes(bytes);
+    options.stats->ObserveResidentBytes(resident);
   }
   return out;
 }

@@ -94,9 +94,14 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
+  if (options.memory_budget_bytes > 0) {
+    target.SetMemoryBudget(options.memory_budget_bytes, options.spill_dir,
+                           options.stats);
+  }
   SkolemTable skolems(symbols);
   HomSearch search(source);
   search.set_stats(options.stats);
+  search.set_vector_max_plan_steps(options.vector_max_plan_steps);
   size_t created = 0;
   std::vector<Value> scratch;  // reused row buffer for AddRow
   // kPartial degrades at whole-trigger granularity (see ChaseTgds).
@@ -261,6 +266,7 @@ Result<Instance> ChaseSOTgd(const SOTgdMapping& mapping, const Instance& source,
   }
   if (options.stats != nullptr) {
     options.stats->ObserveArenaBytes(target.ArenaBytes());
+    options.stats->ObserveResidentBytes(target.ResidentBytes());
   }
   return target;
 }
@@ -555,8 +561,13 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
   }
   if (options.stats != nullptr) {
     uint64_t bytes = 0;
-    for (const Instance& inst : out) bytes += inst.ArenaBytes();
+    uint64_t resident = 0;
+    for (const Instance& inst : out) {
+      bytes += inst.ArenaBytes();
+      resident += inst.ResidentBytes();
+    }
     options.stats->ObserveArenaBytes(bytes);
+    options.stats->ObserveResidentBytes(resident);
   }
   return out;
 }

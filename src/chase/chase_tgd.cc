@@ -24,10 +24,16 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
   const ExecDeadline& deadline = CarriedDeadline(options, entry_deadline);
   SymbolContext& symbols = ResolveSymbols(options, source);
   Instance target(mapping.target);
+  if (options.memory_budget_bytes > 0) {
+    target.SetMemoryBudget(options.memory_budget_bytes, options.spill_dir,
+                           options.stats);
+  }
   HomSearch search(source);
   search.set_stats(options.stats);
+  search.set_vector_max_plan_steps(options.vector_max_plan_steps);
   HomSearch target_search(target);
   target_search.set_stats(options.stats);
+  target_search.set_vector_max_plan_steps(options.vector_max_plan_steps);
   size_t created = 0;
   std::vector<Value> fresh;    // per-firing nulls, one per existential var
   std::vector<Value> scratch;  // reused row buffer for AddRow
@@ -235,6 +241,7 @@ Result<Instance> ChaseTgds(const TgdMapping& mapping, const Instance& source,
   }
   if (options.stats != nullptr) {
     options.stats->ObserveArenaBytes(target.ArenaBytes());
+    options.stats->ObserveResidentBytes(target.ResidentBytes());
   }
   return target;
 }

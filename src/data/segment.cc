@@ -1,0 +1,151 @@
+#include "data/segment.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "engine/execution_options.h"
+
+namespace mapinv {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open snapshot file '" + path +
+                            "': " + ::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::Internal("cannot stat snapshot file '" + path +
+                            "': " + err);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::Malformed("snapshot file '" + path + "' is empty");
+  }
+  // MAP_PRIVATE + PROT_WRITE: the loader may rewrite constant ids in place;
+  // written pages become anonymous copies, untouched pages stay file-backed.
+  void* map = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE, fd,
+                     /*offset=*/0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    return Status::Internal("cannot mmap snapshot file '" + path +
+                            "': " + ::strerror(errno));
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<uint8_t*>(map), size, /*is_mmap=*/true));
+}
+
+std::shared_ptr<MappedFile> MappedFile::FromBytes(const void* data,
+                                                  size_t size) {
+  uint8_t* copy = static_cast<uint8_t*>(::malloc(size == 0 ? 1 : size));
+  if (size > 0) ::memcpy(copy, data, size);
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(copy, size, /*is_mmap=*/false));
+}
+
+MappedFile::~MappedFile() {
+  if (is_mmap_) {
+    ::munmap(data_, size_);
+  } else {
+    ::free(data_);
+  }
+}
+
+Result<std::shared_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
+  std::string base = dir;
+  if (base.empty()) {
+    const char* tmp = ::getenv("TMPDIR");
+    base = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  std::string templ = base + "/mapinv-spill-XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  const int fd = ::mkstemp(buf.data());
+  if (fd < 0) {
+    return Status::Internal("cannot create spill file under '" + base +
+                            "': " + ::strerror(errno));
+  }
+  // Unlink immediately: the payload can never outlive the process, and a
+  // crashed run leaves nothing behind.
+  ::unlink(buf.data());
+  return std::shared_ptr<SpillFile>(new SpillFile(fd));
+}
+
+SpillFile::~SpillFile() { ::close(fd_); }
+
+Result<uint64_t> SpillFile::Append(const void* bytes, size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t offset = end_;
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pwrite(fd_, static_cast<const uint8_t*>(bytes) + done, len - done,
+                 static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill write failed: ") +
+                              ::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  end_ += len;
+  return offset;
+}
+
+Status SpillFile::ReadAt(void* out, size_t len, uint64_t offset) const {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pread(fd_, static_cast<uint8_t*>(out) + done, len - done,
+                static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill read failed: ") +
+                              ::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Internal("spill read hit EOF (truncated spill file)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+const Value* Segment::FaultIn(uint32_t arity) {
+  std::lock_guard<std::mutex> lock(mu);
+  // Double-check: another reader may have faulted the payload in while we
+  // waited for the lock.
+  const Value* resident = base.load(std::memory_order_relaxed);
+  if (resident != nullptr) return resident;
+  std::vector<Value> data(static_cast<size_t>(rows) * arity);
+  const Status read =
+      spill->ReadAt(data.data(), data.size() * sizeof(Value), spill_offset);
+  if (!read.ok()) {
+    // The unlinked spill file is the only copy of this payload; a failed
+    // read is unrecoverable data loss, not a degradable condition.
+    std::fprintf(stderr, "mapinv: fatal: segment fault-in failed: %s\n",
+                 read.ToString().c_str());
+    std::abort();
+  }
+  heap = std::move(data);
+  if (spill_state != nullptr && spill_state->stats != nullptr) {
+    spill_state->stats->segments_faulted.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+  const Value* ptr = heap.data();
+  base.store(ptr, std::memory_order_release);
+  return ptr;
+}
+
+}  // namespace mapinv

@@ -1,0 +1,167 @@
+/// \file segment.h
+/// \brief Fixed-size storage segments backing the relation arenas, plus the
+/// file primitives (read-only mmap, append-only spill file) the segmented
+/// store builds snapshots and spill-to-disk on.
+///
+/// A relation's rows no longer live in one contiguous grow-by-realloc
+/// vector; they live in a chain of fixed-capacity *segments* of
+/// kSegmentRows rows each (row-major, stride = arity). Row `ref` lives in
+/// segment `ref >> kSegmentRowShift` at local row `ref & kSegmentRowMask`.
+/// The capacity matches the vectorized executor's default 1024-row block, so
+/// a seed scan's blocks tile segment stripes exactly.
+///
+/// A segment is in exactly one of three backing states:
+///
+///   * **heap** — owns a std::vector<Value>; the only state that accepts
+///     appends (and only while it is the un-shared tail of its store);
+///   * **mapped** — points into a snapshot file mapping (MAP_PRIVATE), kept
+///     alive by a shared MappedFile; content-immutable;
+///   * **spilled** — evicted past the memory budget; payload lives at
+///     `spill_offset` of a SpillFile and `base` is null until a reader
+///     faults it back in.
+///
+/// `base` is the single source of truth for residency: readers load it with
+/// acquire and hit the fault-in slow path on null. Fault-in is double-checked
+/// under the segment's mutex, exactly like the instance index catch-up, so
+/// concurrent readers of a non-growing instance may race on it safely. All
+/// other fields are written only while the segment is exclusively owned
+/// (mutation paths) or under `mu` (fault-in).
+
+#ifndef MAPINV_DATA_SEGMENT_H_
+#define MAPINV_DATA_SEGMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/value.h"
+
+namespace mapinv {
+
+struct ExecStats;
+
+/// Rows per storage segment (must stay a power of two; the hot row-address
+/// computation is one shift and one mask).
+inline constexpr size_t kSegmentRows = 1024;
+inline constexpr uint32_t kSegmentRowShift = 10;
+inline constexpr uint32_t kSegmentRowMask = 1023;
+static_assert(kSegmentRows == size_t{1} << kSegmentRowShift);
+static_assert(kSegmentRowMask == kSegmentRows - 1);
+
+/// \brief A private, writable mmap of a snapshot file. MAP_PRIVATE: pages
+/// the loader rewrites (constant-id remapping) become anonymous copies;
+/// untouched pages stay file-backed, so an identity remap is zero-copy.
+/// Shared by every segment carved out of one snapshot (keepalive).
+class MappedFile {
+ public:
+  /// Maps `path` read-write-private. Fails (kNotFound / kInternal) without
+  /// touching the filesystem state.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  /// Wraps a heap buffer in the MappedFile interface (no file behind it);
+  /// used by the in-memory snapshot loader entry point and the fuzzer.
+  static std::shared_ptr<MappedFile> FromBytes(const void* data, size_t size);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(uint8_t* data, size_t size, bool is_mmap)
+      : data_(data), size_(size), is_mmap_(is_mmap) {}
+
+  uint8_t* data_;
+  size_t size_;
+  bool is_mmap_;
+};
+
+/// \brief The append-only spill file cold segments are evicted to. Created
+/// lazily (mkstemp under the configured directory) and unlinked immediately,
+/// so the payload can never outlive the process. Appends serialise on an
+/// internal mutex; reads are positional (pread) and lock-free.
+class SpillFile {
+ public:
+  /// Creates an anonymous spill file under `dir` (empty: $TMPDIR or /tmp).
+  static Result<std::shared_ptr<SpillFile>> Create(const std::string& dir);
+
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends `len` bytes; returns the offset they were written at.
+  Result<uint64_t> Append(const void* bytes, size_t len);
+
+  /// Reads `len` bytes from `offset` into `out` (full read or error).
+  Status ReadAt(void* out, size_t len, uint64_t offset) const;
+
+ private:
+  explicit SpillFile(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::mutex mu_;  // serialises appends (end_ is the next write offset)
+  uint64_t end_ = 0;
+};
+
+/// \brief Memory-budget configuration and counters, shared by an instance
+/// and all of its forks (the budget governs the fork family as a whole: the
+/// spill file is shared, and bytes are counted per instance at enforcement
+/// points). `stats` receives segments_spilled / segments_faulted.
+struct SpillState {
+  uint64_t budget_bytes = 0;
+  std::string dir;
+  ExecStats* stats = nullptr;
+  std::shared_ptr<SpillFile> file;  // created on first eviction, under mu
+  std::mutex mu;
+};
+
+/// \brief One fixed-capacity run of up to kSegmentRows rows of one relation.
+/// Sealed (full) segments are content-immutable and shared freely across
+/// copy-on-write forks; only the un-shared heap tail of a store accepts
+/// appends.
+struct Segment {
+  /// Owning storage while heap-backed (grown geometrically up to
+  /// kSegmentRows * arity while the segment is the tail). Empty when mapped
+  /// or spilled.
+  std::vector<Value> heap;
+  /// Keepalive + base while backed by a snapshot mapping.
+  std::shared_ptr<MappedFile> mapping;
+  const Value* mapped_base = nullptr;
+  /// Resident payload pointer; null while spilled. Readers acquire-load and
+  /// fault on null; fault-in release-stores after filling the payload.
+  std::atomic<const Value*> base{nullptr};
+  /// Spill location while (or after) being spilled.
+  std::shared_ptr<SpillFile> spill;
+  uint64_t spill_offset = 0;
+  /// Spill bookkeeping backref, set when the segment is first evicted.
+  std::shared_ptr<SpillState> spill_state;
+  /// Rows present (sealed iff rows == kSegmentRows).
+  uint32_t rows = 0;
+  /// Guards fault-in (double-checked via `base`).
+  std::mutex mu;
+
+  Segment() = default;
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  bool sealed() const { return rows == kSegmentRows; }
+  bool heap_backed() const {
+    return base.load(std::memory_order_relaxed) == heap.data() &&
+           !heap.empty();
+  }
+
+  /// Fault-in slow path: loads the payload back from the spill file. Aborts
+  /// the process on a genuine I/O failure (the unlinked spill file is the
+  /// only copy of the data; see docs/STORAGE.md). `arity` sizes the read.
+  const Value* FaultIn(uint32_t arity);
+};
+
+}  // namespace mapinv
+
+#endif  // MAPINV_DATA_SEGMENT_H_

@@ -73,6 +73,21 @@ class Value {
   /// Stable hash of the value.
   size_t Hash() const { return std::hash<uint64_t>()(bits_); }
 
+  /// Raw bit pattern, for the snapshot/spill serialisation paths only: the
+  /// constant-id half is meaningful solely relative to this process's
+  /// ConstantPool, so persisted bits must be remapped through a spelling
+  /// table (see data/snapshot.cc).
+  uint64_t bits() const { return bits_; }
+  /// Rebuilds a value from a bit pattern produced by bits() (after any
+  /// cross-process constant-id remapping).
+  static Value FromBits(uint64_t bits) {
+    Value v;
+    v.bits_ = bits;
+    return v;
+  }
+  /// The bit distinguishing labelled nulls from constants in bits().
+  static constexpr uint64_t kNullBit = 1ULL << 32;
+
  private:
   static constexpr uint64_t kNullFlag = 1ULL << 32;
 

@@ -93,6 +93,10 @@ struct ExecStatsSnapshot {
   uint64_t vector_rows_scanned = 0;
   uint64_t vector_rows_selected = 0;
   uint64_t bulk_rows_appended = 0;
+  uint64_t segments_spilled = 0;
+  uint64_t segments_faulted = 0;
+  uint64_t arena_resident_bytes = 0;
+  uint64_t vector_plan_fallbacks = 0;
 };
 
 /// \brief Counters an execution can stream into (pass `&stats` via
@@ -149,6 +153,22 @@ struct ExecStats {
   /// Rows newly inserted through the bulk Instance::AddRows fire path (the
   /// batched counterpart of per-row AddRow inserts).
   std::atomic<uint64_t> bulk_rows_appended{0};
+  /// Storage segments evicted to the spill file because an instance exceeded
+  /// its memory budget (Instance::SetMemoryBudget). A segment evicted,
+  /// faulted back, and evicted again counts twice.
+  std::atomic<uint64_t> segments_spilled{0};
+  /// Spilled segments faulted back to heap by a read.
+  std::atomic<uint64_t> segments_faulted{0};
+  /// High-water mark of Instance::ResidentBytes() — the heap-resident subset
+  /// of tuples_arena_bytes (spilled and snapshot-mapped segments excluded).
+  /// Updated via max like tuples_arena_bytes; this is the quantity
+  /// memory_budget_bytes bounds.
+  std::atomic<uint64_t> arena_resident_bytes{0};
+  /// Vectorized executions routed to the scalar interpreter because the
+  /// compiled plan exceeded ExecutionOptions::vector_max_plan_steps. A
+  /// nonzero count explains why vector_* counters stay low on a vectorized
+  /// run.
+  std::atomic<uint64_t> vector_plan_fallbacks{0};
   /// Set when an execution running with on_exhausted == kPartial hit a
   /// deadline/limit/cancellation and returned the best sound result so far
   /// instead of failing. Sticky across operations sharing the sink until
@@ -159,6 +179,14 @@ struct ExecStats {
   void ObserveArenaBytes(uint64_t bytes) {
     uint64_t seen = tuples_arena_bytes.load(std::memory_order_relaxed);
     while (seen < bytes && !tuples_arena_bytes.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Records a new resident-bytes observation (monotonic max).
+  void ObserveResidentBytes(uint64_t bytes) {
+    uint64_t seen = arena_resident_bytes.load(std::memory_order_relaxed);
+    while (seen < bytes && !arena_resident_bytes.compare_exchange_weak(
                                seen, bytes, std::memory_order_relaxed)) {
     }
   }
@@ -179,6 +207,10 @@ struct ExecStats {
     vector_rows_scanned = 0;
     vector_rows_selected = 0;
     bulk_rows_appended = 0;
+    segments_spilled = 0;
+    segments_faulted = 0;
+    arena_resident_bytes = 0;
+    vector_plan_fallbacks = 0;
     partial = false;
   }
 
@@ -202,6 +234,12 @@ struct ExecStats {
     s.vector_rows_selected =
         vector_rows_selected.load(std::memory_order_relaxed);
     s.bulk_rows_appended = bulk_rows_appended.load(std::memory_order_relaxed);
+    s.segments_spilled = segments_spilled.load(std::memory_order_relaxed);
+    s.segments_faulted = segments_faulted.load(std::memory_order_relaxed);
+    s.arena_resident_bytes =
+        arena_resident_bytes.load(std::memory_order_relaxed);
+    s.vector_plan_fallbacks =
+        vector_plan_fallbacks.load(std::memory_order_relaxed);
     s.partial = partial.load(std::memory_order_relaxed);
     return s;
   }
@@ -225,6 +263,12 @@ struct ExecStats {
            " vector_rows_selected=" +
            std::to_string(vector_rows_selected.load()) +
            " bulk_rows_appended=" + std::to_string(bulk_rows_appended.load()) +
+           " segments_spilled=" + std::to_string(segments_spilled.load()) +
+           " segments_faulted=" + std::to_string(segments_faulted.load()) +
+           " arena_resident_bytes=" +
+           std::to_string(arena_resident_bytes.load()) +
+           " vector_plan_fallbacks=" +
+           std::to_string(vector_plan_fallbacks.load()) +
            " partial=" + (partial.load() ? "true" : "false");
   }
 };
@@ -348,6 +392,22 @@ struct ExecutionOptions : ResourceLimits {
   /// Rows per scan/expansion block of the vectorized executor and triggers
   /// per bulk-fire batch. Values below 1 are treated as 1.
   size_t vector_batch = 1024;
+  /// Compiled plans longer than this many steps run on the scalar
+  /// interpreter even when `vectorized` is set (the vectorized executor's
+  /// per-step level state is sized for typical rule bodies; see
+  /// eval/vector_plan.h). Each such routing bumps
+  /// ExecStats::vector_plan_fallbacks. 0 forces the scalar path for every
+  /// plan.
+  size_t vector_max_plan_steps = 32;
+  /// Memory budget for chase *target* instances, in bytes of heap-resident
+  /// tuple payload (Instance::ResidentBytes); 0 means unlimited. When a
+  /// mutation finds the instance over budget, cold sealed storage segments
+  /// are evicted to a spill file and faulted back on access — output is
+  /// bit-identical to an unconstrained run. See docs/STORAGE.md.
+  uint64_t memory_budget_bytes = 0;
+  /// Directory for the (immediately unlinked) spill file; empty means
+  /// $TMPDIR or /tmp.
+  std::string spill_dir;
   /// Stats sink; nullptr disables counting.
   ExecStats* stats = nullptr;
   /// Fresh-symbol scope; nullptr means the process-global context

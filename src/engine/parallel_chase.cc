@@ -312,8 +312,14 @@ Result<TriggerBatch> CollectTriggers(
       std::shared_ptr<const HomPlan> remaining_plan,
       search.GetPlanForVars(remaining, constraints, PinnedVars(first)));
 
-  const bool vectorized = options.vectorized && options.vector_batch > 0 &&
-                          remaining_plan->steps.size() <= kVectorMaxPlanSteps;
+  const bool vectorized =
+      options.vectorized && options.vector_batch > 0 &&
+      remaining_plan->steps.size() <= options.vector_max_plan_steps;
+  if (!vectorized && options.vectorized && options.vector_batch > 0 &&
+      options.stats != nullptr) {
+    options.stats->vector_plan_fallbacks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
   SeedProgram seed;
   std::vector<uint16_t> col_slots;
   if (vectorized) {
@@ -383,8 +389,14 @@ Result<TriggerBatch> CollectTriggersDelta(
         std::shared_ptr<const HomPlan> remaining_plan,
         search.GetPlanForVars(remaining, constraints, PinnedVars(pinned)));
 
-    const bool vectorized = options.vectorized && options.vector_batch > 0 &&
-                            remaining_plan->steps.size() <= kVectorMaxPlanSteps;
+    const bool vectorized =
+        options.vectorized && options.vector_batch > 0 &&
+        remaining_plan->steps.size() <= options.vector_max_plan_steps;
+    if (!vectorized && options.vectorized && options.vector_batch > 0 &&
+        options.stats != nullptr) {
+      options.stats->vector_plan_fallbacks.fetch_add(1,
+                                                     std::memory_order_relaxed);
+    }
     SeedProgram seed;
     std::vector<uint16_t> col_slots;
     if (vectorized) {

@@ -67,6 +67,14 @@ ExecutionOptions EffectiveOptions(const RequestOptions& req,
   if (req.oblivious) options.oblivious = *req.oblivious;
   if (req.minimize) options.minimize = *req.minimize;
   if (req.on_exhausted) options.on_exhausted = *req.on_exhausted;
+  if (req.memory_budget_bytes) {
+    options.memory_budget_bytes = *req.memory_budget_bytes;
+  }
+  if (req.spill_dir) options.spill_dir = *req.spill_dir;
+  if (req.vector_max_plan_steps) {
+    options.vector_max_plan_steps =
+        static_cast<size_t>(*req.vector_max_plan_steps);
+  }
   return options;
 }
 
@@ -86,7 +94,21 @@ Result<std::shared_ptr<const TgdMapping>> ResolveMapping(
 // Resolves the request's instance payload against `schema`.
 Result<std::shared_ptr<const Instance>> ResolveInstance(
     const EngineRequest& request, const Schema& schema) {
-  if (request.bound_instance != nullptr) return request.bound_instance;
+  if (request.bound_instance != nullptr) {
+    // A bound instance (session-held or snapshot-loaded) carries its own
+    // schema; relation ids are positional, so it must match id-for-id or
+    // the compiled atoms would read the wrong relations.
+    const Schema& got = request.bound_instance->schema();
+    bool match = got.size() == schema.size();
+    for (RelationId r = 0; match && r < schema.size(); ++r) {
+      match = got.name(r) == schema.name(r) && got.arity(r) == schema.arity(r);
+    }
+    if (!match) {
+      return Status::InvalidArgument(
+          "bound instance schema does not match the mapping's source schema");
+    }
+    return request.bound_instance;
+  }
   if (request.instance.empty()) {
     return Status::InvalidArgument("command '" + request.command +
                                    "' needs an instance");
@@ -100,6 +122,7 @@ struct ExecOutcome {
   ResultKind kind = ResultKind::kNone;
   std::string result;
   std::shared_ptr<const ReverseMapping> reverse;
+  std::shared_ptr<const Instance> instance;
 };
 
 // The dispatch body: every compute command, rendered exactly as the CLI
@@ -122,7 +145,9 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
     MAPINV_RETURN_NOT_OK(parsed.status());
     MAPINV_ASSIGN_OR_RETURN(Instance core,
                             CoreOfInstance(*parsed, options.stats));
-    return ExecOutcome{ResultKind::kInstance, core.ToString() + "\n"};
+    ExecOutcome outcome{ResultKind::kInstance, core.ToString() + "\n"};
+    outcome.instance = std::make_shared<const Instance>(std::move(core));
+    return outcome;
   }
   if (command == "so-invert") {
     if (request.mapping.empty()) {
@@ -214,7 +239,10 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
       MAPINV_ASSIGN_OR_RETURN(
           std::string rendered,
           request.bound_maintained->RefreshAndRender(options));
-      return ExecOutcome{ResultKind::kInstance, std::move(rendered)};
+      ExecOutcome outcome{ResultKind::kInstance, std::move(rendered)};
+      outcome.instance = std::make_shared<const Instance>(
+          request.bound_maintained->TargetSnapshot());
+      return outcome;
     }
     // Sessionless: run the full maintenance lifecycle locally — base chase,
     // append, incremental absorb — so the CLI path exercises the same
@@ -230,7 +258,10 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
     }
     MAPINV_ASSIGN_OR_RETURN(std::string rendered,
                             maintained->RefreshAndRender(options));
-    return ExecOutcome{ResultKind::kInstance, std::move(rendered)};
+    ExecOutcome outcome{ResultKind::kInstance, std::move(rendered)};
+    outcome.instance =
+        std::make_shared<const Instance>(maintained->TargetSnapshot());
+    return outcome;
   }
   if (command == "exchange" || command == "roundtrip") {
     MAPINV_ASSIGN_OR_RETURN(std::shared_ptr<const Instance> source,
@@ -238,7 +269,9 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
     MAPINV_ASSIGN_OR_RETURN(Instance target,
                             ChaseTgds(*mapping, *source, options));
     if (command == "exchange") {
-      return ExecOutcome{ResultKind::kInstance, target.ToString() + "\n"};
+      ExecOutcome outcome{ResultKind::kInstance, target.ToString() + "\n"};
+      outcome.instance = std::make_shared<const Instance>(std::move(target));
+      return outcome;
     }
     std::shared_ptr<const ReverseMapping> reverse = request.bound_reverse;
     if (reverse == nullptr) {
@@ -286,6 +319,13 @@ void AccumulateInto(const ExecStatsSnapshot& s, ExecStats* sink) {
   sink->bulk_rows_appended.fetch_add(s.bulk_rows_appended,
                                      std::memory_order_relaxed);
   sink->worlds_forked.fetch_add(s.worlds_forked, std::memory_order_relaxed);
+  sink->segments_spilled.fetch_add(s.segments_spilled,
+                                   std::memory_order_relaxed);
+  sink->segments_faulted.fetch_add(s.segments_faulted,
+                                   std::memory_order_relaxed);
+  sink->ObserveResidentBytes(s.arena_resident_bytes);
+  sink->vector_plan_fallbacks.fetch_add(s.vector_plan_fallbacks,
+                                        std::memory_order_relaxed);
   if (s.partial) sink->partial.store(true, std::memory_order_relaxed);
 }
 
@@ -395,6 +435,7 @@ EngineResponse ExecuteRequest(const EngineRequest& request,
   response.kind = outcome->kind;
   response.result = std::move(outcome->result);
   response.reverse_artifact = std::move(outcome->reverse);
+  response.instance_artifact = std::move(outcome->instance);
   return response;
 }
 
@@ -418,6 +459,7 @@ Result<EngineRequest> EngineRequestFromJson(const Json& json) {
   request.reverse = json.GetString("reverse");
   request.instance_ref = json.GetString("instance_ref");
   request.name = json.GetString("name");
+  request.path = json.GetString("path");
 
   const Json* options = json.Find("options");
   if (options != nullptr) {
@@ -463,6 +505,16 @@ Result<EngineRequest> EngineRequestFromJson(const Json& json) {
       }
       request.options.minimize = v->AsBool();
     }
+    MAPINV_RETURN_NOT_OK(
+        take_uint("memory_budget_bytes", &request.options.memory_budget_bytes));
+    MAPINV_RETURN_NOT_OK(take_uint("vector_max_plan_steps",
+                                   &request.options.vector_max_plan_steps));
+    if (const Json* v = options->Find("spill_dir"); v != nullptr) {
+      if (!v->IsString()) {
+        return Status::InvalidArgument("option \"spill_dir\" must be a string");
+      }
+      request.options.spill_dir = v->AsString();
+    }
     if (const Json* v = options->Find("on_exhausted"); v != nullptr) {
       if (v->IsString() && v->AsString() == "fail") {
         request.options.on_exhausted = OnExhausted::kFail;
@@ -492,6 +544,7 @@ Json EngineRequestToJson(const EngineRequest& request) {
     json.Set("instance_ref", Json(request.instance_ref));
   }
   if (!request.name.empty()) json.Set("name", Json(request.name));
+  if (!request.path.empty()) json.Set("path", Json(request.path));
 
   Json options = Json::MakeObject();
   const RequestOptions& o = request.options;
@@ -507,6 +560,13 @@ Json EngineRequestToJson(const EngineRequest& request) {
     options.Set("on_exhausted",
                 Json(*o.on_exhausted == OnExhausted::kPartial ? "partial"
                                                               : "fail"));
+  }
+  if (o.memory_budget_bytes) {
+    options.Set("memory_budget_bytes", Json(*o.memory_budget_bytes));
+  }
+  if (o.spill_dir) options.Set("spill_dir", Json(*o.spill_dir));
+  if (o.vector_max_plan_steps) {
+    options.Set("vector_max_plan_steps", Json(*o.vector_max_plan_steps));
   }
   if (!options.AsObject().empty()) json.Set("options", std::move(options));
   return json;
@@ -529,6 +589,10 @@ Json StatsToJson(const ExecStatsSnapshot& s) {
   json.Set("vector_rows_selected", Json(s.vector_rows_selected));
   json.Set("bulk_rows_appended", Json(s.bulk_rows_appended));
   json.Set("worlds_forked", Json(s.worlds_forked));
+  json.Set("segments_spilled", Json(s.segments_spilled));
+  json.Set("segments_faulted", Json(s.segments_faulted));
+  json.Set("arena_resident_bytes", Json(s.arena_resident_bytes));
+  json.Set("vector_plan_fallbacks", Json(s.vector_plan_fallbacks));
   json.Set("partial", Json(s.partial));
   return json;
 }

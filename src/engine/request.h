@@ -66,6 +66,13 @@ struct RequestOptions {
   std::optional<bool> oblivious;
   std::optional<bool> minimize;
   std::optional<OnExhausted> on_exhausted;
+  /// Spill-to-disk: memory budget (bytes of heap-resident tuple payload) for
+  /// chase targets, and the spill-file directory. 0 budget = unlimited.
+  std::optional<uint64_t> memory_budget_bytes;
+  std::optional<std::string> spill_dir;
+  /// Vectorized-executor plan-size ceiling (ExecutionOptions::
+  /// vector_max_plan_steps); 0 forces the scalar path for every plan.
+  std::optional<uint64_t> vector_max_plan_steps;
 };
 
 /// \brief One engine command. Compute commands: invert, maxrec, polyso,
@@ -96,6 +103,10 @@ struct EngineRequest {
   /// registers its payload.
   std::string instance_ref;
   std::string name;
+  /// Filesystem path for the serving snapshot verbs (instance.save /
+  /// instance.load). Those verbs are handled by the transport — the engine
+  /// itself never touches the filesystem.
+  std::string path;
 
   // Pre-bound payloads (take precedence over the corresponding texts).
   std::shared_ptr<const TgdMapping> bound_mapping;
@@ -148,6 +159,11 @@ struct EngineResponse {
   /// session can memoize it (and feed it back as bound_reverse) without
   /// re-parsing the rendered text. Never wire-carried.
   std::shared_ptr<const ReverseMapping> reverse_artifact;
+  /// For instance-producing commands (exchange, exchange-delta, core): the
+  /// computed instance as an object, so a transport can persist it with
+  /// Instance::Save (the CLI's --save-instance) without re-parsing the
+  /// rendered text. Never wire-carried.
+  std::shared_ptr<const Instance> instance_artifact;
 };
 
 /// \brief Executes one request. `base` is the transport's standing

@@ -34,6 +34,14 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
       now.vector_rows_selected - then.vector_rows_selected;
   d.bulk_rows_appended = now.bulk_rows_appended - then.bulk_rows_appended;
   d.worlds_forked = now.worlds_forked - then.worlds_forked;
+  d.segments_spilled = now.segments_spilled - then.segments_spilled;
+  d.segments_faulted = now.segments_faulted - then.segments_faulted;
+  // Like tuples_arena_bytes: a monotonic high-water mark, so the delta is
+  // "resident-footprint growth observed during the span" and spans still
+  // telescope to the engine total.
+  d.arena_resident_bytes = now.arena_resident_bytes - then.arena_resident_bytes;
+  d.vector_plan_fallbacks =
+      now.vector_plan_fallbacks - then.vector_plan_fallbacks;
   return d;
 }
 
@@ -54,6 +62,10 @@ void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
   into.vector_rows_selected += d.vector_rows_selected;
   into.bulk_rows_appended += d.bulk_rows_appended;
   into.worlds_forked += d.worlds_forked;
+  into.segments_spilled += d.segments_spilled;
+  into.segments_faulted += d.segments_faulted;
+  into.arena_resident_bytes += d.arena_resident_bytes;
+  into.vector_plan_fallbacks += d.vector_plan_fallbacks;
 }
 
 std::string FormatMs(double ms) {
@@ -90,6 +102,12 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
   out += " bulk_rows_appended=" +
          std::to_string(span.stats.bulk_rows_appended);
   out += " worlds_forked=" + std::to_string(span.stats.worlds_forked);
+  out += " segments_spilled=" + std::to_string(span.stats.segments_spilled);
+  out += " segments_faulted=" + std::to_string(span.stats.segments_faulted);
+  out += " arena_resident_bytes=" +
+         std::to_string(span.stats.arena_resident_bytes);
+  out += " vector_plan_fallbacks=" +
+         std::to_string(span.stats.vector_plan_fallbacks);
   if (span.stats.partial) out += " partial=true";
   out += "\n";
   for (const auto& child : span.children) {
@@ -121,6 +139,12 @@ void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
   out += ",\"bulk_rows_appended\":" +
          std::to_string(stats.bulk_rows_appended);
   out += ",\"worlds_forked\":" + std::to_string(stats.worlds_forked);
+  out += ",\"segments_spilled\":" + std::to_string(stats.segments_spilled);
+  out += ",\"segments_faulted\":" + std::to_string(stats.segments_faulted);
+  out += ",\"arena_resident_bytes\":" +
+         std::to_string(stats.arena_resident_bytes);
+  out += ",\"vector_plan_fallbacks\":" +
+         std::to_string(stats.vector_plan_fallbacks);
   out += ",\"partial\":";
   out += stats.partial ? "true" : "false";
 }

@@ -109,7 +109,12 @@ const Assignment kNoFixed;
 Status HomSearch::ForEachHomWithPlan(
     const HomPlan& plan, const Assignment& fixed,
     const std::function<bool(const Assignment&)>& callback) const {
-  if (vector_batch_ == 0 || plan.steps.size() > kVectorMaxPlanSteps) {
+  if (vector_batch_ == 0 || plan.steps.size() > vector_max_plan_steps_) {
+    if (vector_batch_ != 0 && stats_ != nullptr) {
+      // Vectorization was requested but the plan is too wide: make the
+      // scalar routing observable.
+      stats_->vector_plan_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
     return RunPlan(plan, &fixed, nullptr, &callback, nullptr);
   }
   std::vector<Value> fixed_values;
@@ -191,7 +196,7 @@ Status HomSearch::RunPlan(
   // executes once per chase trigger, and heap-allocating three vectors per
   // existence check dominated small-plan run time.
   struct StepCtx {
-    const Value* data;   // row-major arena, stride `arity`
+    Instance::ArenaView view;  // segment-aware row accessor
     uint32_t arity;
     size_t rows;
     const std::vector<PositionIndex>* positions;
@@ -210,7 +215,7 @@ Status HomSearch::RunPlan(
     const RelationId rel = plan.steps[i].relation;
     const RelationIndex& idx = IndexFor(rel);
     ctx[i].positions = &idx.positions;
-    ctx[i].data = instance_.ArenaData(rel);
+    ctx[i].view = instance_.Arena(rel);
     ctx[i].arity = instance_.schema().arity(rel);
     ctx[i].rows = instance_.NumRows(rel);
   }
@@ -330,7 +335,7 @@ Status HomSearch::RunPlan(
           const uint32_t ti =
               bucket != nullptr ? (*bucket)[k] : static_cast<uint32_t>(k);
           ++candidates;
-          const Value* tuple = sc.data + static_cast<size_t>(ti) * sc.arity;
+          const Value* tuple = sc.view.row(ti);
           bool ok = true;
           for (const HomPlan::Op& op : step.ops) {
             switch (op.kind) {
@@ -452,8 +457,7 @@ Status HomSearch::ForEachHomReference(
     }
     best->done = true;
     const Atom& atom = *best->atom;
-    const Value* data = instance_.ArenaData(best->relation);
-    const uint32_t arity = instance_.schema().arity(best->relation);
+    const Instance::ArenaView view = instance_.Arena(best->relation);
     const size_t rows = instance_.NumRows(best->relation);
 
     // Candidate tuples: use the index bucket of the first bound position,
@@ -492,7 +496,7 @@ Status HomSearch::ForEachHomReference(
 
     bool keep_going = true;
     for (uint32_t idx : *bucket) {
-      const Value* tuple = data + static_cast<size_t>(idx) * arity;
+      const Value* tuple = view.row(idx);
       std::vector<VarId> newly_bound;
       bool ok = true;
       for (uint32_t p = 0; p < atom.terms.size() && ok; ++p) {

@@ -122,6 +122,15 @@ class HomSearch {
   void set_vector_batch(size_t batch) { vector_batch_ = batch; }
   size_t vector_batch() const { return vector_batch_; }
 
+  /// Plan-size ceiling for the vectorized executor: compiled plans with more
+  /// steps run scalar even when a vector batch is set (and bump
+  /// ExecStats::vector_plan_fallbacks). Defaults to kVectorMaxPlanSteps; the
+  /// chase engines set it from ExecutionOptions::vector_max_plan_steps.
+  void set_vector_max_plan_steps(size_t steps) {
+    vector_max_plan_steps_ = steps;
+  }
+  size_t vector_max_plan_steps() const { return vector_max_plan_steps_; }
+
   /// Existence check on a compiled plan. Equivalent to ForEachHomWithPlan
   /// with a stop-at-first callback, but never materialises an Assignment —
   /// the fast path for per-trigger conclusion checks, where the same plan
@@ -177,9 +186,11 @@ class HomSearch {
 
   const Instance& instance_;
   ExecStats* stats_ = nullptr;
-  // Default matches ExecutionOptions::vector_batch; the chase engines set it
-  // from their options before collecting triggers.
+  // Defaults match ExecutionOptions::vector_batch / vector_max_plan_steps;
+  // the chase engines set both from their options before collecting
+  // triggers.
   size_t vector_batch_ = 1024;
+  size_t vector_max_plan_steps_ = 32;
 
   // Plan cache: key hash -> plans with that hash (full key compared to rule
   // out collisions). Guarded by plans_mutex_ so concurrent searches after

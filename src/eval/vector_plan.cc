@@ -148,7 +148,7 @@ class Exec {
       const RelationIndex& idx = instance.IndexFor(rel, &catchup);
       if (vstats_ != nullptr) vstats_->index_catchup_rows += catchup;
       ctx_[i].positions = &idx.positions;
-      ctx_[i].data = instance.ArenaData(rel);
+      ctx_[i].view = instance.Arena(rel);
       ctx_[i].arity = instance.schema().arity(rel);
       ctx_[i].rows = instance.NumRows(rel);
       steps_.push_back(LowerStep(plan.steps[i]));
@@ -181,17 +181,26 @@ class Exec {
   }
 
   /// Seeded mode: block-scan [begin_row, end_row) of the pinned relation.
+  /// Blocks additionally split at segment boundaries, so each block's rows
+  /// sit in one contiguous segment stripe and the check loops run off a flat
+  /// base pointer. The extra splits only move block boundaries, which the
+  /// determinism contract makes invisible.
   Status RunSeeded(const SeedProgram& seed, size_t begin_row, size_t end_row) {
-    const Value* data = instance_.ArenaData(seed.relation);
+    const Instance::ArenaView view = instance_.Arena(seed.relation);
     const uint32_t arity = seed.arity;
     Level& root = levels_[0];
     std::vector<uint32_t>& refs = scratch_[0].seed_refs;
-    for (size_t off = begin_row; off < end_row && !stop_; off += batch_) {
-      const size_t block = std::min(batch_, end_row - off);
+    for (size_t off = begin_row; off < end_row && !stop_;) {
+      const size_t seg_index = off >> kSegmentRowShift;
+      const size_t seg_end = (seg_index + 1) << kSegmentRowShift;
+      const size_t block = std::min({batch_, end_row - off, seg_end - off});
       MAPINV_RETURN_NOT_OK(Poll());
+      // The segment stripe, addressed by segment-local row index.
+      const Value* data = view.segment_base(seg_index);
+      const uint32_t local = static_cast<uint32_t>(off & kSegmentRowMask);
       refs.resize(block);
       for (size_t i = 0; i < block; ++i) {
-        refs[i] = static_cast<uint32_t>(off + i);
+        refs[i] = local + static_cast<uint32_t>(i);
       }
       size_t m = block;
       // Seed checks, selection-vector style: every check is row-local.
@@ -247,6 +256,7 @@ class Exec {
           Grow(&root);
         }
       }
+      off += block;
     }
     if (!stop_ && root.rows > 0) MAPINV_RETURN_NOT_OK(Flush(0));
     return Status::OK();
@@ -254,7 +264,7 @@ class Exec {
 
  private:
   struct StepCtx {
-    const Value* data = nullptr;
+    Instance::ArenaView view;
     uint32_t arity = 0;
     size_t rows = 0;
     const std::vector<PositionIndex>* positions = nullptr;
@@ -324,8 +334,7 @@ class Exec {
     const StepCtx& sc = ctx_[si];
     Level& child = levels_[si + 1];
     Scratch& scr = scratch_[si];
-    const Value* data = sc.data;
-    const uint32_t arity = sc.arity;
+    const Instance::ArenaView view = sc.view;
     for (size_t p = 0; p < lvl.rows && !stop_; ++p) {
       const Value* parent = lvl.matrix.data() + p * num_slots_;
       // Candidate selection mirrors the scalar executor: smallest bucket
@@ -385,7 +394,7 @@ class Exec {
             case BlockOp::Kind::kConstEq: {
               const Value v = op.value;
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (t[op.pos] == v) refs[out++] = refs[i];
               }
               break;
@@ -393,21 +402,21 @@ class Exec {
             case BlockOp::Kind::kParentEq: {
               const Value v = parent[op.slot];
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (t[op.pos] == v) refs[out++] = refs[i];
               }
               break;
             }
             case BlockOp::Kind::kRowEq: {
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (t[op.pos] == t[op.other_pos]) refs[out++] = refs[i];
               }
               break;
             }
             case BlockOp::Kind::kMustConst: {
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (t[op.pos].is_constant()) refs[out++] = refs[i];
               }
               break;
@@ -415,14 +424,14 @@ class Exec {
             case BlockOp::Kind::kParentNe: {
               const Value v = parent[op.slot];
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (!(t[op.pos] == v)) refs[out++] = refs[i];
               }
               break;
             }
             case BlockOp::Kind::kRowNe: {
               for (size_t i = 0; i < m; ++i) {
-                const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+                const Value* t = view.row(refs[i]);
                 if (!(t[op.pos] == t[op.other_pos])) refs[out++] = refs[i];
               }
               break;
@@ -439,7 +448,7 @@ class Exec {
         for (size_t i = 0; i < m && !stop_; ++i) {
           EnsureCapacity(&child, child.rows + 1);
           Value* row = child.matrix.data() + child.rows * num_slots_;
-          const Value* t = data + static_cast<size_t>(refs[i]) * arity;
+          const Value* t = view.row(refs[i]);
           std::copy(parent, parent + num_slots_, row);
           for (const auto& [slot, pos] : sp.writes) row[slot] = t[pos];
           ++child.rows;

@@ -68,8 +68,10 @@ struct ExecStats;
 /// null `stats` is a no-op).
 void FlushVectorRunStats(const VectorRunStats& v, ExecStats* stats);
 
-/// Plans wider than this many steps run on the scalar executor even when
-/// vectorized execution is on. Batch execution pays a per-run cost
+/// Default for ExecutionOptions::vector_max_plan_steps: plans wider than
+/// this many steps run on the scalar executor even when vectorized execution
+/// is on (each such routing bumps ExecStats::vector_plan_fallbacks).
+/// Batch execution pays a per-run cost
 /// proportional to the step count (op lowering, one level matrix per step)
 /// and reaches its first match only after cascading a block through every
 /// level — a win when plans are small relative to the rows they scan (chase

@@ -322,6 +322,25 @@ EngineResponse Server::HandleServeVerb(const EngineRequest& request,
     return VerbResponse(request.id, Status::OK(), std::move(rendered),
                         ResultKind::kInstance);
   }
+  if (command == "instance.save") {
+    Result<std::shared_ptr<Session>> session = sessions_.Get(request.session);
+    if (!session.ok()) return VerbResponse(request.id, session.status());
+    Status saved = (*session)->SaveInstance(request.name, request.path);
+    if (!saved.ok()) return VerbResponse(request.id, std::move(saved));
+    return VerbResponse(request.id, Status::OK(),
+                        "instance '" + request.name + "' saved to '" +
+                        request.path + "'");
+  }
+  if (command == "instance.load") {
+    Result<std::shared_ptr<Session>> session = sessions_.Get(request.session);
+    if (!session.ok()) return VerbResponse(request.id, session.status());
+    Status loaded = (*session)->LoadInstance(request.name, request.path);
+    if (!loaded.ok()) return VerbResponse(request.id, std::move(loaded));
+    return VerbResponse(request.id, Status::OK(),
+                        "instance '" + request.name + "' loaded from '" +
+                        request.path + "' into session '" + request.session +
+                        "'");
+  }
   if (command == "metrics") {
     return VerbResponse(request.id, Status::OK(), MetricsJson().Serialize());
   }

@@ -22,7 +22,8 @@
 ///     state, so cross-session corruption is structurally impossible.
 ///
 /// Protocol verbs on top of the engine commands: session.open,
-/// session.close, session.list, instance.put, instance.append, metrics,
+/// session.close, session.list, instance.put, instance.append, instance.save,
+/// instance.load, metrics,
 /// server.stop (the last only when ServerConfig::allow_stop). Responses are
 /// canonical EngineResponse documents (engine/request.h). instance.append
 /// and the exchange-delta engine command drive the session's incrementally

@@ -111,6 +111,59 @@ void Session::SyncRegisteredSource(const std::string& name, Instance source) {
   instances_[name] = std::move(shared);
 }
 
+Status Session::SaveInstance(const std::string& name,
+                             const std::string& path) const {
+  if (path.empty()) {
+    return Status::InvalidArgument("instance.save needs a non-empty \"path\"");
+  }
+  std::shared_ptr<const Instance> snapshot = instance(name);
+  if (snapshot == nullptr) {
+    return Status::NotFound("session '" + name_ + "' has no instance '" +
+                            name + "'");
+  }
+  return snapshot->Save(path);
+}
+
+Status Session::LoadInstance(const std::string& name,
+                             const std::string& path) {
+  if (name.empty()) {
+    return Status::InvalidArgument("instance.load needs a non-empty \"name\"");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("instance.load needs a non-empty \"path\"");
+  }
+  std::shared_ptr<const TgdMapping> mapping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mapping = mapping_;
+  }
+  if (mapping == nullptr) {
+    return Status::InvalidArgument("session '" + name_ +
+                                   "' has no mapping; session.open must "
+                                   "supply one before instance.load");
+  }
+  MAPINV_ASSIGN_OR_RETURN(Instance loaded, Instance::Load(path));
+  // Relation ids are positional in both the snapshot directory and the
+  // mapping's compiled atoms, so the schemas must match id-for-id.
+  const Schema& want = *mapping->source;
+  const Schema& got = loaded.schema();
+  bool match = got.size() == want.size();
+  for (RelationId r = 0; match && r < want.size(); ++r) {
+    match = got.name(r) == want.name(r) && got.arity(r) == want.arity(r);
+  }
+  if (!match) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' does not match the source schema of "
+        "session '" + name_ + "'");
+  }
+  auto shared = std::make_shared<const Instance>(std::move(loaded));
+  std::lock_guard<std::mutex> lock(mu_);
+  instances_[name] = std::move(shared);
+  // Like instance.put: the rows were replaced wholesale, not appended.
+  maintained_.erase(name);
+  return Status::OK();
+}
+
 std::shared_ptr<const TgdMapping> Session::mapping() const {
   std::lock_guard<std::mutex> lock(mu_);
   return mapping_;
@@ -182,6 +235,12 @@ void Session::RecordOutcome(const EngineResponse& response) {
   metrics_.totals.vector_rows_selected += s.vector_rows_selected;
   metrics_.totals.bulk_rows_appended += s.bulk_rows_appended;
   metrics_.totals.worlds_forked += s.worlds_forked;
+  metrics_.totals.segments_spilled += s.segments_spilled;
+  metrics_.totals.segments_faulted += s.segments_faulted;
+  if (s.arena_resident_bytes > metrics_.totals.arena_resident_bytes) {
+    metrics_.totals.arena_resident_bytes = s.arena_resident_bytes;
+  }
+  metrics_.totals.vector_plan_fallbacks += s.vector_plan_fallbacks;
   if (s.partial) metrics_.totals.partial = true;
 }
 

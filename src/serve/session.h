@@ -97,6 +97,18 @@ class Session {
   /// used to publish a maintained solution's grown source).
   void SyncRegisteredSource(const std::string& name, Instance source);
 
+  /// The instance.save verb: writes the registered instance `name` to `path`
+  /// as a mapinv snapshot file (see docs/STORAGE.md). kNotFound when absent.
+  Status SaveInstance(const std::string& name, const std::string& path) const;
+
+  /// The instance.load verb: reopens a snapshot file and registers it under
+  /// `name`, replacing any previous instance of that name (and, like
+  /// instance.put, discarding its maintained state). The snapshot's schema
+  /// must structurally match the session mapping's source schema — relation
+  /// ids are positional, so a reordered or reshaped schema would silently
+  /// rebind atoms.
+  Status LoadInstance(const std::string& name, const std::string& path);
+
   /// The memoized inverse for `command` ("invert" or "maxrec"); nullptr on
   /// miss. `result_text` receives the cached rendering on a hit.
   std::shared_ptr<const ReverseMapping> CachedInverse(

@@ -80,6 +80,41 @@ expect 2 "cannot open"  -- exchange-delta "$tmp/copy.tgd" "$tmp/base.inst" "$tmp
 expect 2 "cannot open"  -- exchange-delta "$tmp/copy.tgd" "$tmp/no_such.inst" "$tmp/delta.inst"
 expect 0 ""             -- exchange-delta "$tmp/copy.tgd" "$tmp/base.inst" "$tmp/delta.inst"
 
+# --- snapshots and the memory budget ---------------------------------------
+printf '{ R0(1), R0(2) }\n' > "$tmp/r0.inst"
+printf '{ S(1,2,3) }\n' > "$tmp/wrong_schema.inst"
+printf 'not a snapshot\n' > "$tmp/garbage.snap"
+expect 1 "bad value"               -- --memory-budget-bytes=abc invert gen:copy:1,1
+expect 1 "bad value"               -- --memory-budget-bytes=-1 invert gen:copy:1,1
+expect 1 "bad value"               -- --vector-max-plan-steps=abc invert gen:copy:1,1
+expect 1 "expects a file path"     -- --save-instance= invert gen:copy:1,1
+expect 1 "expects a file path"     -- --load-instance= invert gen:copy:1,1
+expect 2 "cannot open snapshot"    -- --load-instance="$tmp/no_such.snap" exchange gen:copy:1,1
+expect 2 "snapshot:"               -- --load-instance="$tmp/garbage.snap" exchange gen:copy:1,1
+expect 2 "instance-producing"      -- --save-instance="$tmp/out.snap" invert gen:copy:1,1
+expect 2 "cannot create"           -- --save-instance=/no/such/dir/out.snap exchange gen:copy:1,1 "$tmp/r0.inst"
+# spill only engages once a segment seals (1024 rows), so build a big-enough
+# instance; an unusable --spill-dir must then fail the run cleanly
+{ printf '{ R0(0)'; for i in $(seq 1 1200); do printf ', R0(%d)' "$i"; done; printf ' }\n'; } > "$tmp/wide.inst"
+expect 2 "cannot create spill file" -- --memory-budget-bytes=1 --spill-dir=/no/such/dir exchange gen:copy:1,1 "$tmp/wide.inst"
+# budget=0 means unlimited, never an error
+expect 0 ""                        -- --memory-budget-bytes=0 exchange gen:copy:1,1 "$tmp/r0.inst"
+# a snapshot from the wrong schema is rejected before the chase touches it
+expect 0 ""                        -- --save-instance="$tmp/wrong.snap" core "$tmp/wrong_schema.inst"
+expect 2 "does not match the mapping's source schema" \
+  -- --load-instance="$tmp/wrong.snap" exchange gen:copy:1,1
+# truncated snapshots fail cleanly, whatever the cut point
+expect 0 ""                        -- --save-instance="$tmp/good.snap" core "$tmp/r0.inst"
+head -c 20 "$tmp/good.snap" > "$tmp/trunc.snap"
+expect 2 "snapshot:"               -- --load-instance="$tmp/trunc.snap" exchange gen:copy:1,1
+# and the positive twin: save -> load -> re-save round-trips byte-identically
+expect 0 ""                        -- --load-instance="$tmp/good.snap" --save-instance="$tmp/resaved.snap" core
+checks=$((checks + 1))
+if ! cmp -s "$tmp/good.snap" "$tmp/resaved.snap"; then
+  echo "FAIL: save -> load -> re-save is not byte-identical" >&2
+  failures=$((failures + 1))
+fi
+
 # --- the positive control: a good invocation still works -------------------
 expect 0 ""                                 -- invert gen:copy:1,1
 

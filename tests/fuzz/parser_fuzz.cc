@@ -3,8 +3,9 @@
 ///
 /// The first input byte selects the entry point ('T' tgd mapping, 'R'
 /// reverse mapping, 'S' SO-tgd mapping, 'Q' union query, 'C' single CQ,
-/// 'I' instance; anything else exercises the lexer alone) and the rest is
-/// fed to it as text. Two properties are checked on every input:
+/// 'I' instance, 'N' binary snapshot loader — see docs/STORAGE.md; anything
+/// else exercises the lexer alone) and the rest is fed to it as text (or,
+/// for 'N', raw bytes). Two properties are checked on every input:
 ///
 ///   1. No parse crashes, hangs, or trips ASan/UBSan — errors must come
 ///      back as Status values.
@@ -107,6 +108,17 @@ void RunOneInput(const uint8_t* data, size_t size) {
           },
           text);
       break;
+    case 'N': {
+      // Snapshot loader: arbitrary bytes must come back as a clean Status
+      // or a fully-walkable instance — the validation pass has to catch
+      // every malformed directory/page/spelling reference before anything
+      // dereferences it.
+      auto loaded = mapinv::Instance::LoadFromBytes(text.data(), text.size());
+      if (loaded.ok()) {
+        loaded.ValueOrDie().ToString();  // walks every row and spelling
+      }
+      break;
+    }
     default:
       // Unknown selector: still worth lexing — the tokeniser must reject
       // garbage with a Status, never a crash.

@@ -207,6 +207,14 @@ Result<std::string> RunSweepWorkload(const TgdMapping& mapping,
                  options));
   out += std::string("delta_complete=") + (delta_complete ? "1" : "0") + "\n";
   out += delta_target.ToString() + "\n";
+  // Spill step (reaches the instance/spill site): arm a deliberately tiny
+  // memory budget on a scratch fork and append a row, forcing the budget
+  // check to fire before the mutation. Stores shared with `chased` are never
+  // evicted, so the member inputs stay untouched either way.
+  Instance budgeted = chased.Fork();
+  budgeted.SetMemoryBudget(1, "", &stats);
+  MAPINV_RETURN_NOT_OK(budgeted.AddInts("T", {77}).status());
+  out += "budgeted=" + std::to_string(budgeted.TotalSize()) + "\n";
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping maxrec,
                           MaximumRecovery(mapping, options));
   out += maxrec.ToString() + "\n";

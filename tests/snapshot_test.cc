@@ -1,0 +1,408 @@
+// Tests for the segmented storage engine's persistence and spill paths:
+// snapshot save/load round trips, byte-stability of the file format,
+// fork-after-load isolation, spill + copy-on-write interaction, bulk
+// appends straddling segment boundaries, and clean rejection of corrupted
+// or truncated snapshot files. The deterministic-output contract is load
+// bearing throughout: in-RAM, spilled and reloaded instances must render
+// byte-identically.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/symbol_context.h"
+#include "chase/chase_delta.h"
+#include "chase/chase_tgd.h"
+#include "data/instance.h"
+#include "data/schema.h"
+#include "data/segment.h"
+#include "data/value.h"
+#include "engine/execution_options.h"
+#include "parser/parser.h"
+
+namespace mapinv {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/mapinv_snapshot_test_" + name;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// An instance big enough to seal several segments: `rows` arity-2 rows in R
+// plus a handful of S rows, mixing small ints and interned spellings.
+Instance BigInstance(size_t rows) {
+  Schema schema{{"R", 2}, {"S", 2}};
+  Instance inst(schema);
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        inst.AddInts("R", {static_cast<int>(i), static_cast<int>(i % 97)})
+            .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(inst.AddInts("S", {i, i + 1}).ok());
+  }
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round trips
+
+TEST(SnapshotTest, SaveLoadRoundTripPreservesContentAndRendering) {
+  // A chased target carries nulls; the snapshot must preserve them bit for
+  // bit (labels included), not just up to renaming.
+  TgdMapping mapping = *ParseTgdMapping("R(x,y) -> T(x,z)");
+  Instance source(mapping.source);
+  ASSERT_TRUE(source.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(source.AddInts("R", {3, 4}).ok());
+  Instance target = *ChaseTgds(mapping, source);
+
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(target.Save(path).ok());
+  Result<Instance> loaded = Instance::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->EqualTo(target));
+  EXPECT_EQ(loaded->ToString(), target.ToString());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MultiSegmentRoundTrip) {
+  // > 2 sealed segments plus a partial tail; the loader maps the sealed
+  // pages and heap-copies the tail.
+  Instance inst = BigInstance(3 * kSegmentRows + 17);
+  const std::string path = TempPath("multiseg.snap");
+  ASSERT_TRUE(inst.Save(path).ok());
+  Result<Instance> loaded = Instance::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->EqualTo(inst));
+  // Appending to the loaded instance lands in a fresh heap tail and dedups
+  // against the mapped rows.
+  EXPECT_FALSE(*loaded->AddInts("R", {0, 0}));  // row 0 already present
+  EXPECT_TRUE(*loaded->AddInts("R", {-1, -1}));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveLoadSaveIsByteStable) {
+  Instance inst = BigInstance(kSegmentRows + 100);
+  const std::string first = TempPath("stable_1.snap");
+  const std::string second = TempPath("stable_2.snap");
+  ASSERT_TRUE(inst.Save(first).ok());
+  Result<Instance> loaded = Instance::Load(first);
+  ASSERT_TRUE(loaded.ok());
+  // Skew the process-global constant pool between load and re-save: file
+  // ids are ranks in the sorted spelling table, not pool ids, so the bytes
+  // must not move.
+  Instance scratch(Schema{{"Z", 1}});
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(scratch.AddInts("Z", {1000000 + i}).ok());
+  }
+  ASSERT_TRUE(loaded->Save(second).ok());
+  EXPECT_EQ(SlurpFile(first), SlurpFile(second));
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(SnapshotTest, EmptyInstanceRoundTrip) {
+  Schema schema{{"R", 2}, {"S", 3}};
+  Instance empty(schema);
+  const std::string path = TempPath("empty.snap");
+  ASSERT_TRUE(empty.Save(path).ok());
+  Result<Instance> loaded = Instance::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->TotalSize(), 0u);
+  EXPECT_EQ(loaded->schema().size(), 2u);
+  EXPECT_TRUE(*loaded->AddInts("S", {1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fork-after-load isolation
+
+TEST(SnapshotTest, ForkAfterLoadIsolation) {
+  Instance inst = BigInstance(kSegmentRows + 50);
+  const std::string path = TempPath("fork.snap");
+  ASSERT_TRUE(inst.Save(path).ok());
+  Result<Instance> loaded = Instance::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Instance fork = loaded->Fork();
+  EXPECT_TRUE(fork.EqualTo(*loaded));
+  // Writes on either side of the fork stay invisible to the other — the
+  // mapped segments are shared, the tails are not.
+  ASSERT_TRUE(*fork.AddInts("R", {7777, 1}));
+  RelationId r = loaded->schema().Find("R");
+  EXPECT_FALSE(loaded->Contains(r, {Value::Int(7777), Value::Int(1)}));
+  ASSERT_TRUE(*loaded->AddInts("R", {8888, 1}));
+  EXPECT_FALSE(fork.Contains(r, {Value::Int(8888), Value::Int(1)}));
+  // Neither write leaked into the snapshot file (MAP_PRIVATE): a fresh load
+  // still equals the original instance.
+  Result<Instance> reloaded = Instance::Load(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->EqualTo(inst));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// AddRows across segment boundaries
+
+TEST(SnapshotTest, AddRowsBatchStraddlingSegmentsMatchesAddRowLoop) {
+  Schema schema{{"R", 2}};
+  const RelationId r = schema.Find("R");
+  // One batch spanning three segments, with duplicates both of earlier
+  // batch rows and of rows already in the store.
+  std::vector<Value> rows;
+  const size_t count = 2 * kSegmentRows + 500;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t key = i % (2 * kSegmentRows + 100);  // tail rows duplicate
+    rows.push_back(Value::Int(static_cast<int64_t>(key)));
+    rows.push_back(Value::Int(static_cast<int64_t>(key + 1)));
+  }
+
+  Instance bulk(schema);
+  ASSERT_TRUE(bulk.AddInts("R", {42, 43}).ok());  // pre-existing row
+  std::vector<uint8_t> added;
+  Result<size_t> inserted = bulk.AddRows(r, rows.data(), count, &added);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+
+  Instance loop(schema);
+  ASSERT_TRUE(loop.AddInts("R", {42, 43}).ok());
+  size_t loop_inserted = 0;
+  std::vector<uint8_t> loop_added;
+  for (size_t i = 0; i < count; ++i) {
+    Result<bool> one = loop.AddRow(r, RowView(rows.data() + 2 * i, 2));
+    ASSERT_TRUE(one.ok());
+    loop_added.push_back(*one ? 1 : 0);
+    loop_inserted += *one ? 1 : 0;
+  }
+
+  EXPECT_EQ(*inserted, loop_inserted);
+  EXPECT_EQ(added, loop_added);
+  EXPECT_TRUE(bulk.EqualTo(loop));
+  EXPECT_EQ(bulk.ToString(), loop.ToString());  // same refs, same order
+}
+
+// ---------------------------------------------------------------------------
+// Spill-to-disk + copy-on-write
+
+TEST(SnapshotTest, SpillEvictsAndFaultsBackLosslessly) {
+  Instance control = BigInstance(3 * kSegmentRows);
+  Instance budgeted = BigInstance(3 * kSegmentRows);
+
+  ExecStats stats;
+  // Budget below one sealed segment's payload: the next mutation must evict
+  // every evictable segment.
+  budgeted.SetMemoryBudget(1024, "", &stats);
+  ASSERT_TRUE(budgeted.AddInts("S", {100, 101}).ok());
+  EXPECT_GT(stats.segments_spilled.load(), 0u);
+  EXPECT_LT(budgeted.ResidentBytes(), budgeted.ArenaBytes());
+
+  ASSERT_TRUE(control.AddInts("S", {100, 101}).ok());
+  // Reading every row faults the spilled segments back in transparently.
+  EXPECT_TRUE(budgeted.EqualTo(control));
+  EXPECT_EQ(budgeted.ToString(), control.ToString());
+  EXPECT_GT(stats.segments_faulted.load(), 0u);
+}
+
+TEST(SnapshotTest, SpillSharedWithForkNeverEvicted) {
+  ExecStats stats;
+  Instance parent = BigInstance(3 * kSegmentRows);
+  parent.SetMemoryBudget(1024, "", &stats);
+  Instance fork = parent.Fork();
+
+  // Every store is now shared with the fork, so a mutation may not evict
+  // anything — correctness first, budget second.
+  const uint64_t spilled_before = stats.segments_spilled.load();
+  ASSERT_TRUE(parent.AddInts("S", {200, 201}).ok());
+  EXPECT_EQ(stats.segments_spilled.load(), spilled_before);
+
+  // The fork never sees the parent's write, and both render consistently.
+  RelationId s = parent.schema().Find("S");
+  EXPECT_FALSE(fork.Contains(s, {Value::Int(200), Value::Int(201)}));
+  EXPECT_TRUE(fork.SubsetOf(parent));
+}
+
+TEST(SnapshotTest, ForkOfSpilledInstanceReadsFaultedSegments) {
+  ExecStats stats;
+  Instance parent = BigInstance(3 * kSegmentRows);
+  // Independent control (a fork would share — and so pin — every segment).
+  Instance control = BigInstance(3 * kSegmentRows);
+  parent.SetMemoryBudget(1024, "", &stats);
+  ASSERT_TRUE(parent.AddInts("S", {300, 301}).ok());
+  ASSERT_GT(stats.segments_spilled.load(), 0u);
+
+  // Forking after the spill shares the spilled segments; the fork faults
+  // them back on read and sees exactly the parent's rows.
+  Instance fork = parent.Fork();
+  ASSERT_TRUE(control.AddInts("S", {300, 301}).ok());
+  EXPECT_TRUE(fork.EqualTo(control));
+  EXPECT_EQ(fork.ToString(), control.ToString());
+}
+
+TEST(SnapshotTest, ChaseUnderBudgetMatchesUnconstrainedByteForByte) {
+  // The acceptance-shaped differential: the same chase with and without a
+  // tiny memory budget must render byte-identically.
+  TgdMapping mapping = *ParseTgdMapping("R(x,y) -> T(x,z)\nR(x,y) -> U(y,x)");
+  Instance source(mapping.source);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(source.AddInts("R", {i, i + 1}).ok());
+  }
+  // Fresh null scope per run: the labels must match across the two chases,
+  // not just the structure.
+  SymbolContext plain_symbols;
+  ExecutionOptions plain_options;
+  plain_options.symbols = &plain_symbols;
+  Instance plain = *ChaseTgds(mapping, source, plain_options);
+
+  SymbolContext budget_symbols;
+  ExecutionOptions options;
+  options.symbols = &budget_symbols;
+  ExecStats stats;
+  options.stats = &stats;
+  options.memory_budget_bytes = 2048;
+  Instance budgeted = *ChaseTgds(mapping, source, options);
+  EXPECT_GT(stats.segments_spilled.load(), 0u);
+  EXPECT_EQ(budgeted.ToString(), plain.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Save → load → incremental append
+
+TEST(SnapshotTest, LoadThenChaseDeltaMatchesNeverPersistedTarget) {
+  TgdMapping mapping = *ParseTgdMapping("R(x,y), S(y,z) -> T(x,w)");
+  Instance base(mapping.source);
+  ASSERT_TRUE(base.AddInts("R", {1, 2}).ok());
+  ASSERT_TRUE(base.AddInts("S", {2, 3}).ok());
+
+  // Both paths chase the base with fresh, identically seeded null scopes,
+  // then absorb the same delta with ChaseDelta using its own fresh scope
+  // (ChaseDelta bumps the scope past the target's existing nulls, so the
+  // labels come out the same whether the target was persisted or not).
+  auto run = [&](bool persist) {
+    SymbolContext base_symbols;
+    ExecutionOptions base_options;
+    base_options.symbols = &base_symbols;
+    Instance target = *ChaseTgds(mapping, base, base_options);
+    if (persist) {
+      const std::string path = TempPath("delta.snap");
+      EXPECT_TRUE(target.Save(path).ok());
+      Result<Instance> loaded = Instance::Load(path);
+      EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+      target = std::move(*loaded);
+      std::remove(path.c_str());
+    }
+    Instance source = base.Fork();
+    const DeltaWatermark mark = WatermarkOf(source);
+    EXPECT_TRUE(source.AddInts("R", {9, 2}).ok());
+    EXPECT_TRUE(source.AddInts("S", {2, 8}).ok());
+    SymbolContext delta_symbols;
+    ExecutionOptions delta_options;
+    delta_options.symbols = &delta_symbols;
+    Result<bool> complete =
+        ChaseDelta(mapping, source, mark, &target, nullptr, delta_options);
+    EXPECT_TRUE(complete.ok()) << complete.status().ToString();
+    return target.ToString();
+  };
+
+  EXPECT_EQ(run(/*persist=*/true), run(/*persist=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted and truncated snapshots
+
+TEST(SnapshotTest, TruncatedSnapshotsRejectedAtEveryLength) {
+  Instance inst = BigInstance(100);
+  const std::string path = TempPath("trunc.snap");
+  ASSERT_TRUE(inst.Save(path).ok());
+  const std::string bytes = SlurpFile(path);
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 48u);
+
+  // The header's file_size field makes every strict prefix malformed.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    Result<Instance> loaded = Instance::LoadFromBytes(bytes.data(), len);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(SnapshotTest, CorruptedHeadersRejectedCleanly) {
+  Instance inst = BigInstance(kSegmentRows + 10);
+  const std::string path = TempPath("corrupt.snap");
+  ASSERT_TRUE(inst.Save(path).ok());
+  const std::string good = SlurpFile(path);
+  std::remove(path.c_str());
+
+  auto expect_reject = [&](size_t offset, uint64_t value, const char* what) {
+    std::string bad = good;
+    ASSERT_LE(offset + 8, bad.size());
+    std::memcpy(&bad[offset], &value, sizeof(value));
+    Result<Instance> loaded = Instance::LoadFromBytes(bad.data(), bad.size());
+    EXPECT_FALSE(loaded.ok()) << what;
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kMalformed) << what;
+    }
+  };
+
+  expect_reject(0, 0x4242424242424242ull, "bad magic");
+  expect_reject(8, 0xffffffff00000001ull, "huge relation count");
+  expect_reject(8, 0x0000000200000000ull, "unknown version 0");
+  expect_reject(16, good.size() + 1, "file_size mismatch");
+  expect_reject(24, good.size() + 8, "spelling table past EOF");
+  expect_reject(24, 0, "spelling table inside header");
+  expect_reject(32, uint64_t{1} << 40, "spelling count overflow");
+
+  // A directory num_rows beyond the stored pages must be caught by the
+  // bounds check, not walk off the mapping. Relation 0's num_rows sits at
+  // directory offset 48 + 8 (name_len+arity) in this fixed schema.
+  expect_reject(56, uint64_t{1} << 33, "num_rows beyond TupleRef range");
+  expect_reject(56, (uint64_t{1} << 32) - 1, "num_rows beyond stored pages");
+
+  // The original still loads — the corruptions above were the only edits.
+  Result<Instance> ok = Instance::LoadFromBytes(good.data(), good.size());
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(SnapshotTest, ByteFlipsNeverCrashTheLoader) {
+  // Deterministic single-byte corruption sweep: every outcome must be a
+  // clean Status or a well-formed instance — never a crash or a hang. This
+  // mirrors the fuzz target's property on a dense grid.
+  Instance inst = BigInstance(60);
+  const std::string path = TempPath("flip.snap");
+  ASSERT_TRUE(inst.Save(path).ok());
+  const std::string good = SlurpFile(path);
+  std::remove(path.c_str());
+
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ mask);
+      Result<Instance> loaded =
+          Instance::LoadFromBytes(bad.data(), bad.size());
+      if (loaded.ok()) {
+        // Accepted: the instance must be fully walkable.
+        loaded->ToString();
+        loaded->TotalSize();
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  Result<Instance> loaded = Instance::Load(TempPath("does_not_exist.snap"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mapinv

@@ -71,13 +71,13 @@ TEST_F(StorageTest, ForkSharesUntouchedRelationArenas) {
   Instance fork = parent.Snapshot();
   RelationId r = schema_.Find("R");
   RelationId s = schema_.Find("S");
-  // A snapshot is O(1): both relations alias the parent's arenas.
-  EXPECT_EQ(fork.ArenaData(r), parent.ArenaData(r));
-  EXPECT_EQ(fork.ArenaData(s), parent.ArenaData(s));
-  // Writing R in the fork unshares only R.
+  // A snapshot is O(1): both relations alias the parent's segments.
+  EXPECT_EQ(fork.Arena(r).row(0), parent.Arena(r).row(0));
+  EXPECT_EQ(fork.Arena(s).row(0), parent.Arena(s).row(0));
+  // Writing R in the fork unshares only R's tail segment.
   ASSERT_TRUE(*fork.AddInts("R", {5, 6}));
-  EXPECT_NE(fork.ArenaData(r), parent.ArenaData(r));
-  EXPECT_EQ(fork.ArenaData(s), parent.ArenaData(s));
+  EXPECT_NE(fork.Arena(r).row(0), parent.Arena(r).row(0));
+  EXPECT_EQ(fork.Arena(s).row(0), parent.Arena(s).row(0));
 }
 
 TEST_F(StorageTest, DuplicateAddNeverUnshares) {
@@ -87,7 +87,7 @@ TEST_F(StorageTest, DuplicateAddNeverUnshares) {
   RelationId r = schema_.Find("R");
   // Re-adding an existing row is a no-op and must not clone the store.
   EXPECT_FALSE(*fork.AddInts("R", {1, 2}));
-  EXPECT_EQ(fork.ArenaData(r), parent.ArenaData(r));
+  EXPECT_EQ(fork.Arena(r).row(0), parent.Arena(r).row(0));
 }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,19 @@
 //                      stdout instead of the rendered result
 //   --dump-request     print the EngineRequest protocol JSON to stdout and
 //                      exit without executing (feed it to mapinv_serve)
+//   --memory-budget-bytes=N       spill chase targets to disk past N bytes of
+//                      resident tuple payload (0 = unlimited, the default)
+//   --spill-dir=PATH   directory for the (unlinked) spill file; empty uses
+//                      the system temp directory
+//   --vector-max-plan-steps=N     vectorized-executor plan-size ceiling;
+//                      longer plans fall back to the scalar path (0 forces
+//                      scalar everywhere)
+//   --save-instance=PATH          after an instance-producing command
+//                      (exchange, exchange-delta, core), also persist the
+//                      result as a mapinv snapshot file (docs/STORAGE.md)
+//   --load-instance=PATH          read the <instance> payload from a snapshot
+//                      file instead of a text file; the <instance> positional
+//                      is then omitted
 //
 // Instance files contain one `{ ... }` instance. Exit status is 0 on
 // success, 1 on usage errors, 2 on processing errors (including
@@ -98,7 +111,10 @@ int Usage() {
                "--threads=N --deadline-ms=N\n"
                "       --on-exhausted=fail|partial --cancel-after-ms=N\n"
                "       --stats --stats-json --trace --trace-json\n"
-               "       --response-json --dump-request\n");
+               "       --response-json --dump-request\n"
+               "       --memory-budget-bytes=N --spill-dir=PATH "
+               "--vector-max-plan-steps=N\n"
+               "       --save-instance=PATH --load-instance=PATH\n");
   return 1;
 }
 
@@ -129,6 +145,9 @@ struct OutputFlags {
   bool dump_request = false;
   /// Delay before the CLI cancels its own call; < 0 = never.
   int64_t cancel_after_ms = -1;
+  /// Snapshot persistence (transport-side: the engine never touches files).
+  std::string save_instance_path;
+  std::string load_instance_path;
 };
 
 // Parses `--name=value` / `--name value` flags out of argv, leaving the
@@ -185,7 +204,9 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
         name == "--max-facts" || name == "--max-worlds" ||
         name == "--max-disjuncts" || name == "--threads" ||
         name == "--deadline-ms" || name == "--cancel-after-ms" ||
-        name == "--on-exhausted";
+        name == "--on-exhausted" || name == "--memory-budget-bytes" ||
+        name == "--spill-dir" || name == "--vector-max-plan-steps" ||
+        name == "--save-instance" || name == "--load-instance";
     if (!known) {
       return FlagError("unknown flag '" + name + "'");
     }
@@ -194,6 +215,18 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
         return FlagError("flag '" + name + "' expects a value");
       }
       value = argv[++i];
+    }
+    if (name == "--spill-dir") {
+      options->spill_dir = value;
+      continue;
+    }
+    if (name == "--save-instance" || name == "--load-instance") {
+      if (value.empty()) {
+        return FlagError("flag '" + name + "' expects a file path");
+      }
+      (name == "--save-instance" ? output->save_instance_path
+                                 : output->load_instance_path) = value;
+      continue;
     }
     if (name == "--on-exhausted") {
       if (value == "fail") {
@@ -229,6 +262,10 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
       options->deadline_ms = static_cast<int64_t>(n);
     } else if (name == "--cancel-after-ms") {
       output->cancel_after_ms = static_cast<int64_t>(n);
+    } else if (name == "--memory-budget-bytes") {
+      options->memory_budget_bytes = n;
+    } else if (name == "--vector-max-plan-steps") {
+      options->vector_max_plan_steps = n;
     }
   }
   return true;
@@ -319,9 +356,19 @@ int Run(int argc, char** argv) {
     return Usage();
   }
   request.command = command;
+  // --load-instance binds the instance payload from a snapshot file; the
+  // <instance> positional is then omitted and later positionals shift left.
+  const bool have_load = !output.load_instance_path.empty();
+  if (have_load) {
+    Result<Instance> loaded = Instance::Load(output.load_instance_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    request.bound_instance =
+        std::make_shared<const Instance>(std::move(*loaded));
+  }
   // Mapping-taking commands run against the exponential family by default;
   // commands needing real files still require their arguments.
-  const bool needs_file = command == "core" || command == "so-invert" ||
+  const bool needs_file = (command == "core" && !have_load) ||
+                          command == "so-invert" ||
                           command == "compose" || command == "check" ||
                           command == "exchange" || command == "roundtrip" ||
                           command == "exchange-delta";
@@ -363,9 +410,11 @@ int Run(int argc, char** argv) {
   // command keeps its historical arity checks (usage errors stay exit 1,
   // unreadable files exit 2).
   if (command == "core") {
-    Result<std::string> text = ReadFile(argv[2]);
-    if (!text.ok()) return Fail(text.status());
-    request.instance = std::move(*text);
+    if (!have_load) {
+      Result<std::string> text = ReadFile(argv[2]);
+      if (!text.ok()) return Fail(text.status());
+      request.instance = std::move(*text);
+    }
   } else if (command == "so-invert") {
     Result<std::string> text = ReadFile(argv[2]);
     if (!text.ok()) return Fail(text.status());
@@ -380,27 +429,35 @@ int Run(int argc, char** argv) {
       if (!second.ok()) return Fail(second.status());
       request.mapping2 = std::move(*second);
     } else if (command == "check") {
-      if (narg < 5) return Usage();
+      if (narg < (have_load ? 4 : 5)) return Usage();
       Result<std::string> reverse_text = ReadFile(argv[3]);
       if (!reverse_text.ok()) return Fail(reverse_text.status());
       request.reverse = std::move(*reverse_text);
-      Result<std::string> instance_text = ReadFile(argv[4]);
-      if (!instance_text.ok()) return Fail(instance_text.status());
-      request.instance = std::move(*instance_text);
+      if (!have_load) {
+        Result<std::string> instance_text = ReadFile(argv[4]);
+        if (!instance_text.ok()) return Fail(instance_text.status());
+        request.instance = std::move(*instance_text);
+      }
     } else if (command == "rewrite") {
       if (narg < 4) return Usage();
       request.query = argv[3];
     } else if (command == "exchange" || command == "roundtrip") {
-      if (narg < 4) return Usage();
-      Result<std::string> instance_text = ReadFile(argv[3]);
-      if (!instance_text.ok()) return Fail(instance_text.status());
-      request.instance = std::move(*instance_text);
+      if (!have_load) {
+        if (narg < 4) return Usage();
+        Result<std::string> instance_text = ReadFile(argv[3]);
+        if (!instance_text.ok()) return Fail(instance_text.status());
+        request.instance = std::move(*instance_text);
+      }
     } else if (command == "exchange-delta") {
-      if (narg < 5) return Usage();
-      Result<std::string> instance_text = ReadFile(argv[3]);
-      if (!instance_text.ok()) return Fail(instance_text.status());
-      request.instance = std::move(*instance_text);
-      Result<std::string> delta_text = ReadFile(argv[4]);
+      if (!have_load) {
+        if (narg < 5) return Usage();
+        Result<std::string> instance_text = ReadFile(argv[3]);
+        if (!instance_text.ok()) return Fail(instance_text.status());
+        request.instance = std::move(*instance_text);
+      }
+      const int delta_arg = have_load ? 3 : 4;
+      if (narg < delta_arg + 1) return Usage();
+      Result<std::string> delta_text = ReadFile(argv[delta_arg]);
       if (!delta_text.ok()) return Fail(delta_text.status());
       request.delta = std::move(*delta_text);
     }
@@ -414,6 +471,18 @@ int Run(int argc, char** argv) {
   }
 
   const EngineResponse response = ExecuteRequest(request, base);
+  if (!output.save_instance_path.empty() && response.status.ok()) {
+    if (response.instance_artifact == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "--save-instance needs an instance-producing command "
+          "(exchange, exchange-delta, core)"));
+    }
+    if (Status saved =
+            response.instance_artifact->Save(output.save_instance_path);
+        !saved.ok()) {
+      return Fail(saved);
+    }
+  }
   if (output.response_json) {
     const std::string wire = ResponseToJson(response).Serialize();
     std::fwrite(wire.data(), 1, wire.size(), stdout);
