@@ -49,6 +49,14 @@ class SymbolContext {
     return fn_ordinal_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// The label the next NextNullLabel() call would return. Checkpointed
+  /// enumeration persists this watermark with every commit so a resumed run
+  /// restarts fresh-null generation exactly where the killed run left off
+  /// (see src/job/job.h).
+  uint32_t NullWatermark() const {
+    return null_label_.load(std::memory_order_relaxed);
+  }
+
   /// Ensures future NextNullLabel() results are strictly above `label`.
   /// Chase entry points call this with the largest null label of their input
   /// instance, so an engine-scoped context can never re-issue a label that

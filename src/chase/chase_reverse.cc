@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_set>
 
+#include "base/symbol_context.h"
 #include "chase/fire_plan.h"
 #include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
 #include "eval/hom_plan.h"
+#include "job/job.h"
 
 namespace mapinv {
 
@@ -149,6 +153,75 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   std::vector<WorldState> worlds;
   worlds.emplace_back(Instance(mapping.target), options.stats);
   size_t created = 0;
+  // Checkpointed-job state (see src/job/job.h). The fingerprint binds the
+  // job directory to these exact inputs; the cursor names the first
+  // unprocessed (dependency, trigger) pair. Restored worlds come back
+  // through the MAPINVSN snapshot codec, whose images are a pure function of
+  // logical content — which, together with the restored null watermark, is
+  // what makes a killed-and-resumed run byte-identical to an uninterrupted
+  // one.
+  std::optional<JobCheckpointer> job;
+  size_t resume_dep = 0;
+  uint64_t resume_trigger = 0;
+  bool restored_complete = false;
+  if (!options.checkpoint_dir.empty()) {
+    const uint64_t fingerprint =
+        JobFingerprint(JobKind::kReverseWorlds, mapping.ToString(),
+                       input.ToString(), options.oblivious);
+    MAPINV_ASSIGN_OR_RETURN(
+        JobCheckpointer opened,
+        JobCheckpointer::Open(options.checkpoint_dir, JobKind::kReverseWorlds,
+                              fingerprint, options.resume));
+    job.emplace(std::move(opened));
+    if (job->resumed().has_value()) {
+      const JobResumeState& state = *job->resumed();
+      worlds.clear();
+      for (const std::string& image : state.world_images) {
+        MAPINV_ASSIGN_OR_RETURN(
+            Instance world, Instance::LoadFromBytes(image.data(), image.size()));
+        worlds.emplace_back(std::move(world), options.stats);
+      }
+      created = static_cast<size_t>(state.manifest.created);
+      resume_dep = state.manifest.dep_index;
+      resume_trigger = state.manifest.trigger_index;
+      restored_complete = state.manifest.complete;
+      // Fresh nulls must continue exactly where the killed run left off, or
+      // the facts fired after the cursor would mint labels differing from
+      // the uninterrupted run's.
+      if (state.manifest.null_watermark > 0) {
+        symbols.BumpNullPast(
+            static_cast<uint32_t>(state.manifest.null_watermark - 1));
+      }
+      if (options.stats != nullptr) {
+        options.stats->worlds_resumed.fetch_add(state.world_images.size(),
+                                                std::memory_order_relaxed);
+      }
+      // An empty frontier is only ever committed complete (the
+      // unsatisfiable outcome); honour it rather than chase from nothing.
+      if (worlds.empty()) return std::vector<Instance>{};
+    }
+  }
+  const size_t checkpoint_every = options.checkpoint_every == 0
+                                      ? kDefaultCheckpointEvery
+                                      : options.checkpoint_every;
+  size_t since_commit = 0;
+  auto commit_checkpoint = [&](size_t dep_index, uint64_t trigger_index,
+                               bool complete) -> Status {
+    if (!job.has_value()) return Status::OK();
+    std::vector<std::string> images;
+    images.reserve(worlds.size());
+    for (const WorldState& world : worlds) {
+      images.push_back(world.instance->SaveToBytes());
+    }
+    JobManifest manifest;
+    manifest.complete = complete;
+    manifest.dep_index = static_cast<uint32_t>(dep_index);
+    manifest.trigger_index = trigger_index;
+    manifest.created = created;
+    manifest.null_watermark = symbols.NullWatermark();
+    since_commit = 0;
+    return job->Commit(std::move(manifest), images, options.stats);
+  };
   std::vector<Value> fresh;
   std::vector<Value> scratch;
   // In kPartial mode exhaustion degrades at whole-trigger granularity: every
@@ -158,7 +231,11 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
   // trigger for the same reason; the overshoot is bounded by one trigger's
   // fan-out (|worlds| x |applicable disjuncts|).
   bool cut_short = false;
-  for (const ReverseDependency& dep : mapping.deps) {
+  // A resumed run re-enters the loop at the checkpointed cursor; a completed
+  // checkpoint skips it entirely (the restored worlds are the answer).
+  for (size_t dep_index = restored_complete ? mapping.deps.size() : resume_dep;
+       dep_index < mapping.deps.size(); ++dep_index) {
+    const ReverseDependency& dep = mapping.deps[dep_index];
     HomConstraints constraints;
     constraints.constant_vars.insert(dep.constant_vars.begin(),
                                      dep.constant_vars.end());
@@ -191,7 +268,12 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
     }
     ScopedTraceSpan fire_span(options, "fire");
     std::vector<Value> fixed_values;  // ordered as the sat plan demands
-    for (size_t t = 0; t < triggers.rows; ++t) {
+    // Trigger collection is deterministic for a fixed input, so the resumed
+    // run's trigger list matches the killed run's and the cursor index is
+    // meaningful across processes.
+    const size_t first_trigger =
+        dep_index == resume_dep ? static_cast<size_t>(resume_trigger) : 0;
+    for (size_t t = first_trigger; t < triggers.rows; ++t) {
       if (Status poll = PollPhaseInterrupt(options, deadline, "chase_reverse");
           !poll.ok()) {
         if (DegradeToPartial(options, poll)) {
@@ -252,7 +334,10 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         }
       }
       worlds = std::move(next);
-      if (worlds.empty()) return std::vector<Instance>{};  // unsatisfiable
+      if (worlds.empty()) {  // unsatisfiable
+        MAPINV_RETURN_NOT_OK(commit_checkpoint(dep_index, t + 1, true));
+        return std::vector<Instance>{};
+      }
       // Limit checks deferred to the end of the trigger so a partial stop
       // never leaves a world with a half-applied trigger.
       Status exhausted;
@@ -273,8 +358,21 @@ Result<std::vector<Instance>> ChaseReverseWorlds(const ReverseMapping& mapping,
         }
         return exhausted;
       }
+      // The frontier is consistent exactly at trigger boundaries (no world
+      // carries a half-applied disjunct here), so this is where the job
+      // commits; the cursor points at the next unprocessed trigger.
+      if (job.has_value() && ++since_commit >= checkpoint_every) {
+        MAPINV_RETURN_NOT_OK(commit_checkpoint(dep_index, t + 1, false));
+      }
     }
     if (cut_short) break;
+  }
+  // The final commit marks the job complete: a resume of a finished job
+  // reloads these worlds without re-chasing anything. Partial (cut-short)
+  // results commit as complete too — resuming reproduces the same sound
+  // prefix deterministically.
+  if (!restored_complete) {
+    MAPINV_RETURN_NOT_OK(commit_checkpoint(mapping.deps.size(), 0, true));
   }
   std::vector<Instance> out;
   out.reserve(worlds.size());

@@ -1,16 +1,20 @@
 #include "chase/chase_so.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
+#include "base/symbols.h"
 #include "chase/fire_plan.h"
 #include "engine/failpoint.h"
 #include "engine/parallel_chase.h"
 #include "engine/trace.h"
 #include "eval/hom.h"
+#include "job/job.h"
 
 namespace mapinv {
 
@@ -277,6 +281,108 @@ namespace {
 // Reverse chase: the PolySOInverse output language.
 // --------------------------------------------------------------------------
 
+// Checkpoint codec for symbolic worlds ("MAPINVSW"): unlike reverse-chase
+// worlds, which persist through the MAPINVSN instance snapshot, an SO-inverse
+// world is a union-find over term nodes plus symbolic facts — state with no
+// Instance representation until Materialize runs at the very end. The blob
+// stores constants and function symbols as *spellings* (never process-local
+// interner ids) and map entries sorted by node id, so a resumed process
+// rebuilds behaviourally identical memo tables. A trailing FNV-1a checksum
+// plus a fully bounds-checked loader turn any corruption into a clean
+// kMalformed error.
+
+constexpr char kWorldMagic[8] = {'M', 'A', 'P', 'I', 'N', 'V', 'S', 'W'};
+constexpr uint32_t kWorldVersion = 1;
+
+void AppendU32(std::string& buf, uint32_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string& buf, uint64_t v) {
+  buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t Fnv1a(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Status WorldMalformed(const std::string& what) {
+  return Status::Malformed("symbolic world snapshot: " + what);
+}
+
+// Bounds-checked cursor over a world image (the snapshot loader's Reader
+// idiom — see data/snapshot.cc).
+class WorldReader {
+ public:
+  WorldReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint32_t> U32() {
+    uint32_t v;
+    MAPINV_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<uint8_t> U8() {
+    uint8_t v;
+    MAPINV_RETURN_NOT_OK(Raw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::string_view> Bytes(size_t len) {
+    if (len > size_ - pos_) return WorldMalformed("truncated inside a field");
+    std::string_view view(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return view;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Raw(void* out, size_t len) {
+    if (len > size_ - pos_) return WorldMalformed("truncated inside a field");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Values travel as tag + payload: nulls by label (stable across processes),
+// constants by spelling (re-interned on load).
+void AppendValue(std::string& buf, Value v) {
+  if (v.is_null()) {
+    buf.push_back(0);
+    AppendU32(buf, v.id());
+  } else {
+    buf.push_back(1);
+    const std::string_view spelling = ConstantPool().Text(v.id());
+    AppendU32(buf, static_cast<uint32_t>(spelling.size()));
+    buf.append(spelling);
+  }
+}
+
+Result<Value> ReadValue(WorldReader* reader) {
+  MAPINV_ASSIGN_OR_RETURN(const uint8_t tag, reader->U8());
+  if (tag == 0) {
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t label, reader->U32());
+    return Value::NullWithLabel(label);
+  }
+  if (tag != 1) return WorldMalformed("unknown value tag");
+  MAPINV_ASSIGN_OR_RETURN(const uint32_t len, reader->U32());
+  MAPINV_ASSIGN_OR_RETURN(std::string_view spelling, reader->Bytes(len));
+  return Value::MakeConstant(spelling);
+}
+
 // Union-find over nodes that stand for input values and for inverse-function
 // applications f_j(v). Invariant: a class holds at most one Value (two
 // distinct input values are distinct domain elements and can never be
@@ -341,6 +447,136 @@ class TermStore {
     return class_value_[Find(n)];
   }
 
+  uint32_t NumNodes() const { return static_cast<uint32_t>(parent_.size()); }
+
+  /// Appends the store's complete state to `buf`. The memo maps go out
+  /// sorted by node id (hash-map iteration order never leaks into the blob),
+  /// disequalities in recorded order.
+  void SerializeTo(std::string* buf) const {
+    AppendU32(*buf, NumNodes());
+    for (const uint32_t p : parent_) AppendU32(*buf, p);
+    for (const uint32_t s : size_) AppendU32(*buf, s);
+    for (const std::optional<Value>& v : class_value_) {
+      if (v.has_value()) {
+        buf->push_back(1);
+        AppendValue(*buf, *v);
+      } else {
+        buf->push_back(0);
+      }
+    }
+    std::vector<std::pair<uint32_t, Value>> by_node;
+    by_node.reserve(value_nodes_.size());
+    for (const auto& [value, node] : value_nodes_) {
+      by_node.emplace_back(node, value);
+    }
+    std::sort(by_node.begin(), by_node.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    AppendU32(*buf, static_cast<uint32_t>(by_node.size()));
+    for (const auto& [node, value] : by_node) {
+      AppendValue(*buf, value);
+      AppendU32(*buf, node);
+    }
+    std::vector<std::tuple<uint32_t, FunctionId, Value>> fn_by_node;
+    fn_by_node.reserve(fn_nodes_.size());
+    for (const auto& [key, node] : fn_nodes_) {
+      fn_by_node.emplace_back(node, key.first, key.second);
+    }
+    std::sort(fn_by_node.begin(), fn_by_node.end(),
+              [](const auto& a, const auto& b) {
+                return std::get<0>(a) < std::get<0>(b);
+              });
+    AppendU32(*buf, static_cast<uint32_t>(fn_by_node.size()));
+    for (const auto& [node, fn, arg] : fn_by_node) {
+      const std::string name = FunctionName(fn);
+      AppendU32(*buf, static_cast<uint32_t>(name.size()));
+      buf->append(name);
+      AppendValue(*buf, arg);
+      AppendU32(*buf, node);
+    }
+    AppendU32(*buf, static_cast<uint32_t>(disequalities_.size()));
+    for (const auto& [a, b] : disequalities_) {
+      AppendU32(*buf, a);
+      AppendU32(*buf, b);
+    }
+  }
+
+  /// Rebuilds a store from `reader`. Function names resolve through
+  /// `fn_by_name` — the symbols of the mapping being resumed — so the memo
+  /// keys match the FunctionIds the resumed chase will probe with (a
+  /// synthetic id's printed name re-interns to a *different* id, so spelling
+  /// round-trips alone would silently empty the memo).
+  static Result<TermStore> Deserialize(
+      WorldReader* reader,
+      const std::unordered_map<std::string, FunctionId>& fn_by_name) {
+    TermStore store;
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t num_nodes, reader->U32());
+    // Each node costs at least 9 serialized bytes (parent + size + value
+    // flag); a count the remaining bytes cannot possibly hold is corruption,
+    // rejected before it can drive a huge reserve.
+    if (num_nodes > reader->remaining() / 9) {
+      return WorldMalformed("node count exceeds the image size");
+    }
+    store.parent_.reserve(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t p, reader->U32());
+      if (p >= num_nodes) return WorldMalformed("parent index out of range");
+      store.parent_.push_back(p);
+    }
+    store.size_.reserve(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t s, reader->U32());
+      store.size_.push_back(s);
+    }
+    store.class_value_.reserve(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const uint8_t has, reader->U8());
+      if (has > 1) return WorldMalformed("class-value flag is not 0/1");
+      if (has == 1) {
+        MAPINV_ASSIGN_OR_RETURN(const Value v, ReadValue(reader));
+        store.class_value_.push_back(v);
+      } else {
+        store.class_value_.emplace_back();
+      }
+    }
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t num_values, reader->U32());
+    if (num_values > num_nodes) {
+      return WorldMalformed("more value nodes than nodes");
+    }
+    for (uint32_t i = 0; i < num_values; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const Value v, ReadValue(reader));
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t node, reader->U32());
+      if (node >= num_nodes) return WorldMalformed("value node out of range");
+      store.value_nodes_.emplace(v, node);
+    }
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t num_fns, reader->U32());
+    if (num_fns > num_nodes) {
+      return WorldMalformed("more function nodes than nodes");
+    }
+    for (uint32_t i = 0; i < num_fns; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t name_len, reader->U32());
+      MAPINV_ASSIGN_OR_RETURN(std::string_view name, reader->Bytes(name_len));
+      MAPINV_ASSIGN_OR_RETURN(const Value arg, ReadValue(reader));
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t node, reader->U32());
+      if (node >= num_nodes) {
+        return WorldMalformed("function node out of range");
+      }
+      const auto it = fn_by_name.find(std::string(name));
+      const FunctionId fn =
+          it != fn_by_name.end() ? it->second : InternFunction(name);
+      store.fn_nodes_.emplace(std::make_pair(fn, arg), node);
+    }
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t num_diseq, reader->U32());
+    for (uint32_t i = 0; i < num_diseq; ++i) {
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t a, reader->U32());
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t b, reader->U32());
+      if (a >= num_nodes || b >= num_nodes) {
+        return WorldMalformed("disequality node out of range");
+      }
+      store.disequalities_.emplace_back(a, b);
+    }
+    return store;
+  }
+
  private:
   uint32_t NewNode(std::optional<Value> v) {
     uint32_t n = static_cast<uint32_t>(parent_.size());
@@ -367,6 +603,106 @@ struct World {
   TermStore store;
   std::vector<SymFact> facts;
 };
+
+std::string WorldToBytes(const World& world) {
+  std::string buf;
+  buf.append(kWorldMagic, sizeof(kWorldMagic));
+  AppendU32(buf, kWorldVersion);
+  world.store.SerializeTo(&buf);
+  AppendU32(buf, static_cast<uint32_t>(world.facts.size()));
+  for (const SymFact& f : world.facts) {
+    const std::string_view rel = RelationText(f.relation);
+    AppendU32(buf, static_cast<uint32_t>(rel.size()));
+    buf.append(rel);
+    AppendU32(buf, static_cast<uint32_t>(f.nodes.size()));
+    for (const uint32_t n : f.nodes) AppendU32(buf, n);
+  }
+  AppendU64(buf, Fnv1a(buf.data(), buf.size()));
+  return buf;
+}
+
+Result<World> WorldFromBytes(
+    std::string_view image,
+    const std::unordered_map<std::string, FunctionId>& fn_by_name) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(image.data());
+  if (image.size() < sizeof(kWorldMagic) + sizeof(uint64_t)) {
+    return WorldMalformed("image shorter than magic plus checksum");
+  }
+  uint64_t stored_sum;
+  std::memcpy(&stored_sum, bytes + image.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fnv1a(bytes, image.size() - sizeof(uint64_t)) != stored_sum) {
+    return WorldMalformed("checksum mismatch (torn or corrupted write)");
+  }
+  WorldReader reader(bytes, image.size() - sizeof(uint64_t));
+  MAPINV_ASSIGN_OR_RETURN(std::string_view magic,
+                          reader.Bytes(sizeof(kWorldMagic)));
+  if (std::memcmp(magic.data(), kWorldMagic, sizeof(kWorldMagic)) != 0) {
+    return WorldMalformed("bad magic");
+  }
+  MAPINV_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (version != kWorldVersion) {
+    return WorldMalformed("unsupported version " + std::to_string(version));
+  }
+  World world;
+  MAPINV_ASSIGN_OR_RETURN(world.store,
+                          TermStore::Deserialize(&reader, fn_by_name));
+  const uint32_t num_nodes = world.store.NumNodes();
+  MAPINV_ASSIGN_OR_RETURN(const uint32_t num_facts, reader.U32());
+  for (uint32_t i = 0; i < num_facts; ++i) {
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t rel_len, reader.U32());
+    MAPINV_ASSIGN_OR_RETURN(std::string_view rel, reader.Bytes(rel_len));
+    SymFact fact;
+    fact.relation = InternRelation(rel);
+    MAPINV_ASSIGN_OR_RETURN(const uint32_t arity, reader.U32());
+    if (arity > reader.remaining() / sizeof(uint32_t)) {
+      return WorldMalformed("fact arity exceeds the image size");
+    }
+    fact.nodes.reserve(arity);
+    for (uint32_t j = 0; j < arity; ++j) {
+      MAPINV_ASSIGN_OR_RETURN(const uint32_t node, reader.U32());
+      if (node >= num_nodes) return WorldMalformed("fact node out of range");
+      fact.nodes.push_back(node);
+    }
+    world.facts.push_back(std::move(fact));
+  }
+  if (reader.pos() != image.size() - sizeof(uint64_t)) {
+    return WorldMalformed("trailing bytes after the fact list");
+  }
+  return world;
+}
+
+// The function symbols a resumed chase will look up, keyed by printed name —
+// collected from every term of the mapping so Deserialize can map persisted
+// spellings back to the ids of *this* run's rule objects.
+void CollectFunctionNames(const Term& term,
+                          std::unordered_map<std::string, FunctionId>* out) {
+  if (term.kind() == Term::Kind::kFunction) {
+    out->emplace(FunctionName(term.fn()), term.fn());
+    for (const Term& a : term.args()) CollectFunctionNames(a, out);
+  }
+}
+
+std::unordered_map<std::string, FunctionId> MappingFunctionNames(
+    const SOInverseMapping& mapping) {
+  std::unordered_map<std::string, FunctionId> names;
+  for (const SOInverseRule& rule : mapping.inverse.rules) {
+    for (const SOInvDisjunct& d : rule.disjuncts) {
+      for (const TermEq& eq : d.equalities) {
+        CollectFunctionNames(eq.lhs, &names);
+        CollectFunctionNames(eq.rhs, &names);
+      }
+      for (const TermEq& ne : d.inequalities) {
+        CollectFunctionNames(ne.lhs, &names);
+        CollectFunctionNames(ne.rhs, &names);
+      }
+      for (const Atom& atom : d.atoms) {
+        for (const Term& t : atom.terms) CollectFunctionNames(t, &names);
+      }
+    }
+  }
+  return names;
+}
 
 // Evaluates a conclusion term to a node. The trigger row (columns = `vars`,
 // the TriggerBatch order) binds the premise variables ū; `local` binds this
@@ -479,10 +815,76 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
   HomSearch search(input);
   search.set_stats(options.stats);
   std::vector<World> worlds(1);
+  // Checkpointed-job state (see src/job/job.h and ChaseReverseWorlds, whose
+  // protocol this mirrors). Symbolic worlds persist through the MAPINVSW
+  // codec above; nulls are only minted by Materialize, after the final
+  // commit, so the restored watermark makes materialized output of a resumed
+  // run byte-identical to an uninterrupted one.
+  std::optional<JobCheckpointer> job;
+  size_t resume_rule = 0;
+  uint64_t resume_trigger = 0;
+  bool restored_complete = false;
+  if (!options.checkpoint_dir.empty()) {
+    const uint64_t fingerprint =
+        JobFingerprint(JobKind::kSOInverseWorlds, mapping.ToString(),
+                       input.ToString(), options.oblivious);
+    MAPINV_ASSIGN_OR_RETURN(
+        JobCheckpointer opened,
+        JobCheckpointer::Open(options.checkpoint_dir,
+                              JobKind::kSOInverseWorlds, fingerprint,
+                              options.resume));
+    job.emplace(std::move(opened));
+    if (job->resumed().has_value()) {
+      const JobResumeState& state = *job->resumed();
+      const std::unordered_map<std::string, FunctionId> fn_by_name =
+          MappingFunctionNames(mapping);
+      worlds.clear();
+      for (const std::string& image : state.world_images) {
+        MAPINV_ASSIGN_OR_RETURN(World world,
+                                WorldFromBytes(image, fn_by_name));
+        worlds.push_back(std::move(world));
+      }
+      resume_rule = state.manifest.dep_index;
+      resume_trigger = state.manifest.trigger_index;
+      restored_complete = state.manifest.complete;
+      if (state.manifest.null_watermark > 0) {
+        symbols.BumpNullPast(
+            static_cast<uint32_t>(state.manifest.null_watermark - 1));
+      }
+      if (options.stats != nullptr) {
+        options.stats->worlds_resumed.fetch_add(state.world_images.size(),
+                                                std::memory_order_relaxed);
+      }
+      // An empty frontier is only ever committed complete (the inconsistent
+      // outcome); honour it rather than chase from nothing.
+      if (worlds.empty()) return std::vector<Instance>{};
+    }
+  }
+  const size_t checkpoint_every = options.checkpoint_every == 0
+                                      ? kDefaultCheckpointEvery
+                                      : options.checkpoint_every;
+  size_t since_commit = 0;
+  auto commit_checkpoint = [&](size_t rule_index, uint64_t trigger_index,
+                               bool complete) -> Status {
+    if (!job.has_value()) return Status::OK();
+    std::vector<std::string> images;
+    images.reserve(worlds.size());
+    for (const World& world : worlds) images.push_back(WorldToBytes(world));
+    JobManifest manifest;
+    manifest.complete = complete;
+    manifest.dep_index = static_cast<uint32_t>(rule_index);
+    manifest.trigger_index = trigger_index;
+    manifest.null_watermark = symbols.NullWatermark();
+    since_commit = 0;
+    return job->Commit(std::move(manifest), images, options.stats);
+  };
   // kPartial degrades at whole-trigger granularity: every world finishes the
   // current trigger before the run stops (see ChaseReverseWorlds).
   bool cut_short = false;
-  for (const SOInverseRule& rule : mapping.inverse.rules) {
+  for (size_t rule_index =
+           restored_complete ? mapping.inverse.rules.size() : resume_rule;
+       rule_index < mapping.inverse.rules.size(); ++rule_index) {
+    const SOInverseRule& rule = mapping.inverse.rules[rule_index];
     HomConstraints constraints;
     constraints.constant_vars.insert(rule.constant_vars.begin(),
                                      rule.constant_vars.end());
@@ -498,7 +900,11 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
       triggers = std::move(collected).ValueOrDie();
     }
     ScopedTraceSpan fire_span(options, "fire");
-    for (size_t t = 0; t < triggers.rows; ++t) {
+    // Trigger collection is deterministic for a fixed input, so the cursor
+    // index is meaningful across processes (see ChaseReverseWorlds).
+    const size_t first_trigger =
+        rule_index == resume_rule ? static_cast<size_t>(resume_trigger) : 0;
+    for (size_t t = first_trigger; t < triggers.rows; ++t) {
       if (Status poll =
               PollPhaseInterrupt(options, deadline, "chase_so_inverse");
           !poll.ok()) {
@@ -535,7 +941,10 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
         }
       }
       worlds = std::move(next);
-      if (worlds.empty()) return std::vector<Instance>{};
+      if (worlds.empty()) {  // inconsistent in every disjunct
+        MAPINV_RETURN_NOT_OK(commit_checkpoint(rule_index, t + 1, true));
+        return std::vector<Instance>{};
+      }
       // Checked after the whole trigger (see ChaseReverseWorlds): a partial
       // stop never leaves a world with a half-applied trigger.
       if (worlds.size() > options.max_worlds) {
@@ -549,8 +958,20 @@ Result<std::vector<Instance>> ChaseSOInverseWorlds(
         }
         return exhausted;
       }
+      // The frontier is consistent exactly at trigger boundaries; commit
+      // here, with the cursor on the next unprocessed trigger.
+      if (job.has_value() && ++since_commit >= checkpoint_every) {
+        MAPINV_RETURN_NOT_OK(commit_checkpoint(rule_index, t + 1, false));
+      }
     }
     if (cut_short) break;
+  }
+  // Final commit marks the job complete — deliberately *before* Materialize
+  // mints nulls, so a resume of a finished job re-materializes from the same
+  // watermark and reproduces the output byte for byte.
+  if (!restored_complete) {
+    MAPINV_RETURN_NOT_OK(
+        commit_checkpoint(mapping.inverse.rules.size(), 0, true));
   }
   std::vector<Instance> out;
   out.reserve(worlds.size());

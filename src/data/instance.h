@@ -315,6 +315,11 @@ class Instance {
   /// Dedup tables and indexes are not persisted; Load rebuilds them lazily.
   Status Save(const std::string& path) const;
 
+  /// The snapshot image Save would write, as in-memory bytes. The job layer
+  /// (src/job) persists world snapshots through its own fsync'd commit
+  /// protocol, so it needs the image without the file write.
+  std::string SaveToBytes() const;
+
   /// Reopens a snapshot written by Save. The file is mapped MAP_PRIVATE:
   /// sealed segments point straight into the mapping (constant ids are
   /// rewritten in place only when the process interner disagrees with the

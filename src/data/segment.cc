@@ -129,13 +129,30 @@ const Value* Segment::FaultIn(uint32_t arity) {
   const Value* resident = base.load(std::memory_order_relaxed);
   if (resident != nullptr) return resident;
   std::vector<Value> data(static_cast<size_t>(rows) * arity);
-  const Status read =
-      spill->ReadAt(data.data(), data.size() * sizeof(Value), spill_offset);
+  // Bounded retry before giving up: ReadAt already restarts EINTR-interrupted
+  // syscalls internally, so a retry here covers genuinely transient I/O
+  // faults (networked tmp dirs, overloaded storage). Each extra attempt is
+  // surfaced via segment_faultin_retries.
+  constexpr int kFaultInAttempts = 3;
+  Status read = Status::OK();
+  for (int attempt = 0; attempt < kFaultInAttempts; ++attempt) {
+    if (attempt > 0 && spill_state != nullptr &&
+        spill_state->stats != nullptr) {
+      spill_state->stats->segment_faultin_retries.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    read =
+        spill->ReadAt(data.data(), data.size() * sizeof(Value), spill_offset);
+    if (read.ok()) break;
+  }
   if (!read.ok()) {
-    // The unlinked spill file is the only copy of this payload; a failed
-    // read is unrecoverable data loss, not a degradable condition.
-    std::fprintf(stderr, "mapinv: fatal: segment fault-in failed: %s\n",
-                 read.ToString().c_str());
+    // The unlinked spill file is the only copy of this payload; a read that
+    // keeps failing after the retries is unrecoverable data loss, not a
+    // degradable condition.
+    std::fprintf(stderr,
+                 "mapinv: fatal: segment fault-in failed after %d attempts: "
+                 "%s\n",
+                 kFaultInAttempts, read.ToString().c_str());
     std::abort();
   }
   heap = std::move(data);

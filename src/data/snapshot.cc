@@ -176,12 +176,11 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
 /// Friend of Instance: the only code that reaches into Store internals from
 /// outside instance.cc.
 struct SnapshotAccess {
-  static Status Save(const Instance& instance, const std::string& path);
+  static std::string SaveBytes(const Instance& instance);
   static Result<Instance> Load(std::shared_ptr<MappedFile> map);
 };
 
-Status SnapshotAccess::Save(const Instance& instance,
-                            const std::string& path) {
+std::string SnapshotAccess::SaveBytes(const Instance& instance) {
   instance.EnsureSlots();
   const Schema& schema = instance.schema();
   const size_t num_relations = schema.size();
@@ -276,8 +275,7 @@ Status SnapshotAccess::Save(const Instance& instance,
     AppendU32(buf, static_cast<uint32_t>(text.size()));
     buf.append(text);
   }
-
-  return WriteFileAtomic(path, buf);
+  return buf;
 }
 
 Result<Instance> SnapshotAccess::Load(std::shared_ptr<MappedFile> map) {
@@ -435,7 +433,11 @@ Result<Instance> SnapshotAccess::Load(std::shared_ptr<MappedFile> map) {
 }
 
 Status Instance::Save(const std::string& path) const {
-  return SnapshotAccess::Save(*this, path);
+  return WriteFileAtomic(path, SnapshotAccess::SaveBytes(*this));
+}
+
+std::string Instance::SaveToBytes() const {
+  return SnapshotAccess::SaveBytes(*this);
 }
 
 Result<Instance> Instance::Load(const std::string& path) {

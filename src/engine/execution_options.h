@@ -97,6 +97,10 @@ struct ExecStatsSnapshot {
   uint64_t segments_faulted = 0;
   uint64_t arena_resident_bytes = 0;
   uint64_t vector_plan_fallbacks = 0;
+  uint64_t segment_faultin_retries = 0;
+  uint64_t jobs_checkpointed = 0;
+  uint64_t worlds_resumed = 0;
+  uint64_t checkpoint_bytes = 0;
 };
 
 /// \brief Counters an execution can stream into (pass `&stats` via
@@ -169,6 +173,19 @@ struct ExecStats {
   /// nonzero count explains why vector_* counters stay low on a vectorized
   /// run.
   std::atomic<uint64_t> vector_plan_fallbacks{0};
+  /// Spill-file reads retried after a transient I/O failure before a segment
+  /// fault-in succeeded (or gave up — see Segment::FaultIn). A nonzero count
+  /// on a healthy run points at flaky storage under the spill directory.
+  std::atomic<uint64_t> segment_faultin_retries{0};
+  /// Durable job checkpoints committed (manifest renamed into place) by
+  /// checkpointed world enumeration (see src/job/job.h).
+  std::atomic<uint64_t> jobs_checkpointed{0};
+  /// Worlds restored from checkpoint snapshots instead of being re-derived,
+  /// when a run resumed from ExecutionOptions::checkpoint_dir.
+  std::atomic<uint64_t> worlds_resumed{0};
+  /// Bytes of checkpoint state (world snapshots + manifests) written durably
+  /// to the job directory.
+  std::atomic<uint64_t> checkpoint_bytes{0};
   /// Set when an execution running with on_exhausted == kPartial hit a
   /// deadline/limit/cancellation and returned the best sound result so far
   /// instead of failing. Sticky across operations sharing the sink until
@@ -211,6 +228,10 @@ struct ExecStats {
     segments_faulted = 0;
     arena_resident_bytes = 0;
     vector_plan_fallbacks = 0;
+    segment_faultin_retries = 0;
+    jobs_checkpointed = 0;
+    worlds_resumed = 0;
+    checkpoint_bytes = 0;
     partial = false;
   }
 
@@ -240,6 +261,11 @@ struct ExecStats {
         arena_resident_bytes.load(std::memory_order_relaxed);
     s.vector_plan_fallbacks =
         vector_plan_fallbacks.load(std::memory_order_relaxed);
+    s.segment_faultin_retries =
+        segment_faultin_retries.load(std::memory_order_relaxed);
+    s.jobs_checkpointed = jobs_checkpointed.load(std::memory_order_relaxed);
+    s.worlds_resumed = worlds_resumed.load(std::memory_order_relaxed);
+    s.checkpoint_bytes = checkpoint_bytes.load(std::memory_order_relaxed);
     s.partial = partial.load(std::memory_order_relaxed);
     return s;
   }
@@ -269,6 +295,11 @@ struct ExecStats {
            std::to_string(arena_resident_bytes.load()) +
            " vector_plan_fallbacks=" +
            std::to_string(vector_plan_fallbacks.load()) +
+           " segment_faultin_retries=" +
+           std::to_string(segment_faultin_retries.load()) +
+           " jobs_checkpointed=" + std::to_string(jobs_checkpointed.load()) +
+           " worlds_resumed=" + std::to_string(worlds_resumed.load()) +
+           " checkpoint_bytes=" + std::to_string(checkpoint_bytes.load()) +
            " partial=" + (partial.load() ? "true" : "false");
   }
 };
@@ -408,6 +439,23 @@ struct ExecutionOptions : ResourceLimits {
   /// Directory for the (immediately unlinked) spill file; empty means
   /// $TMPDIR or /tmp.
   std::string spill_dir;
+  /// Durable job directory for checkpointed world enumeration
+  /// (ChaseReverseWorlds / ChaseSOInverseWorlds and the round trips built on
+  /// them). Empty (the default) disables checkpointing. When set, the
+  /// enumeration commits its frontier — per-world snapshots plus a journaled
+  /// manifest, each via write-temp-fsync-rename — every `checkpoint_every`
+  /// triggers, so a killed process can resume to the byte-identical world
+  /// set. See docs/JOBS.md.
+  std::string checkpoint_dir;
+  /// Triggers processed between checkpoint commits; 0 picks the default
+  /// (kDefaultCheckpointEvery = 64). Only meaningful with checkpoint_dir.
+  size_t checkpoint_every = 0;
+  /// Resume from the newest valid checkpoint in checkpoint_dir instead of
+  /// starting fresh. An empty or absent job directory starts fresh; a
+  /// directory whose every manifest is corrupt is a clean error. Without
+  /// `resume`, a checkpoint_dir that already holds a manifest is refused
+  /// (kInvalidArgument) so an old job is never silently clobbered.
+  bool resume = false;
   /// Stats sink; nullptr disables counting.
   ExecStats* stats = nullptr;
   /// Fresh-symbol scope; nullptr means the process-global context

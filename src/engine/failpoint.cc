@@ -1,5 +1,9 @@
 #include "engine/failpoint.h"
 
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
 #include <algorithm>
 #include <mutex>
 
@@ -50,6 +54,18 @@ Status FailPoint::Trip() {
       fail = u < spec.rate;
       break;
     }
+    case FailPointSpec::Mode::kAbortProcess:
+      if (hit == spec.nth) {
+        // Simulated SIGKILL: no unwinding, no atexit, no flushing — the
+        // process state on disk must be whatever was durably committed
+        // before this instant. The message goes to the (unbuffered) stderr
+        // fd directly so crash-matrix logs name the site.
+        std::fprintf(stderr, "mapinv: failpoint '%s': aborting process (hit %llu)\n",
+                     name_, static_cast<unsigned long long>(hit));
+        std::raise(SIGKILL);
+        std::_Exit(137);  // unreachable unless SIGKILL is somehow blocked
+      }
+      break;
   }
   if (!fail) return Status::OK();
   trips_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +89,9 @@ Status FailPointRegistry::Activate(std::string_view name,
     return Status::InvalidArgument(
         "failpoint spec: injected code must be an error code");
   }
-  if (spec.mode == FailPointSpec::Mode::kNth && spec.nth == 0) {
+  if ((spec.mode == FailPointSpec::Mode::kNth ||
+       spec.mode == FailPointSpec::Mode::kAbortProcess) &&
+      spec.nth == 0) {
     return Status::InvalidArgument("failpoint spec: nth is 1-based");
   }
   if (spec.mode == FailPointSpec::Mode::kRandom &&

@@ -60,6 +60,13 @@ struct FailPointSpec {
     kAlways,  ///< fail every hit
     kNth,     ///< fail exactly the nth hit (1-based)
     kRandom,  ///< fail each hit with probability `rate` (seeded)
+    /// Kill the whole process on the nth hit (1-based, via `nth` — the
+    /// per-site crash schedule), simulating SIGKILL: raise(SIGKILL), so no
+    /// atexit handler, no stream flush, no stack unwinding runs. Crash-
+    /// consistency tests arm this at checkpoint-boundary sites (job/*) in a
+    /// forked child and prove that resuming from the surviving job directory
+    /// reproduces the uninterrupted run byte-for-byte (docs/JOBS.md).
+    kAbortProcess,
   };
   Mode mode = Mode::kAlways;
   /// For kNth: the 1-based hit index that fails.

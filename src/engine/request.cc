@@ -75,6 +75,11 @@ ExecutionOptions EffectiveOptions(const RequestOptions& req,
     options.vector_max_plan_steps =
         static_cast<size_t>(*req.vector_max_plan_steps);
   }
+  if (req.checkpoint_dir) options.checkpoint_dir = *req.checkpoint_dir;
+  if (req.checkpoint_every) {
+    options.checkpoint_every = static_cast<size_t>(*req.checkpoint_every);
+  }
+  if (req.resume) options.resume = *req.resume;
   return options;
 }
 
@@ -274,6 +279,14 @@ Result<ExecOutcome> Dispatch(const EngineRequest& request,
       return outcome;
     }
     std::shared_ptr<const ReverseMapping> reverse = request.bound_reverse;
+    if (reverse == nullptr && !request.reverse.empty()) {
+      // An explicit reverse mapping (e.g. maxrec output, disjunctions and
+      // all) drives the world enumeration instead of the CQ recovery.
+      MAPINV_ASSIGN_OR_RETURN(ReverseMapping parsed,
+                              ParseReverseMapping(request.reverse));
+      reverse = std::make_shared<const ReverseMapping>(
+          mapping->target, mapping->source, parsed.deps);
+    }
     if (reverse == nullptr) {
       MAPINV_ASSIGN_OR_RETURN(ReverseMapping recovery,
                               CqMaximumRecovery(*mapping, options));
@@ -326,6 +339,13 @@ void AccumulateInto(const ExecStatsSnapshot& s, ExecStats* sink) {
   sink->ObserveResidentBytes(s.arena_resident_bytes);
   sink->vector_plan_fallbacks.fetch_add(s.vector_plan_fallbacks,
                                         std::memory_order_relaxed);
+  sink->segment_faultin_retries.fetch_add(s.segment_faultin_retries,
+                                          std::memory_order_relaxed);
+  sink->jobs_checkpointed.fetch_add(s.jobs_checkpointed,
+                                    std::memory_order_relaxed);
+  sink->worlds_resumed.fetch_add(s.worlds_resumed, std::memory_order_relaxed);
+  sink->checkpoint_bytes.fetch_add(s.checkpoint_bytes,
+                                   std::memory_order_relaxed);
   if (s.partial) sink->partial.store(true, std::memory_order_relaxed);
 }
 
@@ -460,6 +480,7 @@ Result<EngineRequest> EngineRequestFromJson(const Json& json) {
   request.instance_ref = json.GetString("instance_ref");
   request.name = json.GetString("name");
   request.path = json.GetString("path");
+  request.run = json.GetString("run");
 
   const Json* options = json.Find("options");
   if (options != nullptr) {
@@ -515,6 +536,21 @@ Result<EngineRequest> EngineRequestFromJson(const Json& json) {
       }
       request.options.spill_dir = v->AsString();
     }
+    if (const Json* v = options->Find("checkpoint_dir"); v != nullptr) {
+      if (!v->IsString()) {
+        return Status::InvalidArgument(
+            "option \"checkpoint_dir\" must be a string");
+      }
+      request.options.checkpoint_dir = v->AsString();
+    }
+    MAPINV_RETURN_NOT_OK(
+        take_uint("checkpoint_every", &request.options.checkpoint_every));
+    if (const Json* v = options->Find("resume"); v != nullptr) {
+      if (!v->IsBool()) {
+        return Status::InvalidArgument("option \"resume\" must be a bool");
+      }
+      request.options.resume = v->AsBool();
+    }
     if (const Json* v = options->Find("on_exhausted"); v != nullptr) {
       if (v->IsString() && v->AsString() == "fail") {
         request.options.on_exhausted = OnExhausted::kFail;
@@ -545,6 +581,7 @@ Json EngineRequestToJson(const EngineRequest& request) {
   }
   if (!request.name.empty()) json.Set("name", Json(request.name));
   if (!request.path.empty()) json.Set("path", Json(request.path));
+  if (!request.run.empty()) json.Set("run", Json(request.run));
 
   Json options = Json::MakeObject();
   const RequestOptions& o = request.options;
@@ -568,6 +605,11 @@ Json EngineRequestToJson(const EngineRequest& request) {
   if (o.vector_max_plan_steps) {
     options.Set("vector_max_plan_steps", Json(*o.vector_max_plan_steps));
   }
+  if (o.checkpoint_dir) options.Set("checkpoint_dir", Json(*o.checkpoint_dir));
+  if (o.checkpoint_every) {
+    options.Set("checkpoint_every", Json(*o.checkpoint_every));
+  }
+  if (o.resume) options.Set("resume", Json(*o.resume));
   if (!options.AsObject().empty()) json.Set("options", std::move(options));
   return json;
 }
@@ -593,6 +635,10 @@ Json StatsToJson(const ExecStatsSnapshot& s) {
   json.Set("segments_faulted", Json(s.segments_faulted));
   json.Set("arena_resident_bytes", Json(s.arena_resident_bytes));
   json.Set("vector_plan_fallbacks", Json(s.vector_plan_fallbacks));
+  json.Set("segment_faultin_retries", Json(s.segment_faultin_retries));
+  json.Set("jobs_checkpointed", Json(s.jobs_checkpointed));
+  json.Set("worlds_resumed", Json(s.worlds_resumed));
+  json.Set("checkpoint_bytes", Json(s.checkpoint_bytes));
   json.Set("partial", Json(s.partial));
   return json;
 }

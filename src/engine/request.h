@@ -73,6 +73,13 @@ struct RequestOptions {
   /// Vectorized-executor plan-size ceiling (ExecutionOptions::
   /// vector_max_plan_steps); 0 forces the scalar path for every plan.
   std::optional<uint64_t> vector_max_plan_steps;
+  /// Durable-job knobs (ExecutionOptions::checkpoint_dir/checkpoint_every/
+  /// resume): the documented carve-out to "the engine never touches the
+  /// filesystem" — a checkpoint directory is the *product* of a durable job,
+  /// named by the caller, not a payload the engine resolves.
+  std::optional<std::string> checkpoint_dir;
+  std::optional<uint64_t> checkpoint_every;
+  std::optional<bool> resume;
 };
 
 /// \brief One engine command. Compute commands: invert, maxrec, polyso,
@@ -107,6 +114,10 @@ struct EngineRequest {
   /// instance.load). Those verbs are handled by the transport — the engine
   /// itself never touches the filesystem.
   std::string path;
+  /// Serving job verbs (job.start / job.resume): the engine command the
+  /// background job executes. The job's payloads and options ride in the
+  /// ordinary fields of the same request; `command` stays the verb.
+  std::string run;
 
   // Pre-bound payloads (take precedence over the corresponding texts).
   std::shared_ptr<const TgdMapping> bound_mapping;

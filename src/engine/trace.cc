@@ -42,6 +42,11 @@ ExecStatsSnapshot Delta(const ExecStatsSnapshot& now,
   d.arena_resident_bytes = now.arena_resident_bytes - then.arena_resident_bytes;
   d.vector_plan_fallbacks =
       now.vector_plan_fallbacks - then.vector_plan_fallbacks;
+  d.segment_faultin_retries =
+      now.segment_faultin_retries - then.segment_faultin_retries;
+  d.jobs_checkpointed = now.jobs_checkpointed - then.jobs_checkpointed;
+  d.worlds_resumed = now.worlds_resumed - then.worlds_resumed;
+  d.checkpoint_bytes = now.checkpoint_bytes - then.checkpoint_bytes;
   return d;
 }
 
@@ -66,6 +71,10 @@ void Accumulate(ExecStatsSnapshot& into, const ExecStatsSnapshot& d) {
   into.segments_faulted += d.segments_faulted;
   into.arena_resident_bytes += d.arena_resident_bytes;
   into.vector_plan_fallbacks += d.vector_plan_fallbacks;
+  into.segment_faultin_retries += d.segment_faultin_retries;
+  into.jobs_checkpointed += d.jobs_checkpointed;
+  into.worlds_resumed += d.worlds_resumed;
+  into.checkpoint_bytes += d.checkpoint_bytes;
 }
 
 std::string FormatMs(double ms) {
@@ -108,6 +117,11 @@ void AppendText(const TraceSpan& span, int depth, std::string& out) {
          std::to_string(span.stats.arena_resident_bytes);
   out += " vector_plan_fallbacks=" +
          std::to_string(span.stats.vector_plan_fallbacks);
+  out += " segment_faultin_retries=" +
+         std::to_string(span.stats.segment_faultin_retries);
+  out += " jobs_checkpointed=" + std::to_string(span.stats.jobs_checkpointed);
+  out += " worlds_resumed=" + std::to_string(span.stats.worlds_resumed);
+  out += " checkpoint_bytes=" + std::to_string(span.stats.checkpoint_bytes);
   if (span.stats.partial) out += " partial=true";
   out += "\n";
   for (const auto& child : span.children) {
@@ -145,6 +159,11 @@ void AppendStatsJson(const ExecStatsSnapshot& stats, std::string& out) {
          std::to_string(stats.arena_resident_bytes);
   out += ",\"vector_plan_fallbacks\":" +
          std::to_string(stats.vector_plan_fallbacks);
+  out += ",\"segment_faultin_retries\":" +
+         std::to_string(stats.segment_faultin_retries);
+  out += ",\"jobs_checkpointed\":" + std::to_string(stats.jobs_checkpointed);
+  out += ",\"worlds_resumed\":" + std::to_string(stats.worlds_resumed);
+  out += ",\"checkpoint_bytes\":" + std::to_string(stats.checkpoint_bytes);
   out += ",\"partial\":";
   out += stats.partial ? "true" : "false";
 }

@@ -152,6 +152,15 @@ void Server::Wait() {
   for (auto& connection : connections_) {
     if (connection->thread.joinable()) connection->thread.join();
   }
+  // Background jobs: cancel, then join. A checkpointed job unwinds at its
+  // next poll point; its directory resumes it on the next server start.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [_, job] : jobs_) job->cancel.Cancel();
+  }
+  for (auto& [_, job] : jobs_) {
+    if (job->thread.joinable()) job->thread.join();
+  }
   if (unix_fd_ >= 0) {
     ::close(unix_fd_);
     ::unlink(config_.unix_path.c_str());
@@ -229,10 +238,20 @@ void Server::AcceptLoop() {
 }
 
 void Server::WatchdogLoop() {
+  int ticks_until_sweep = 0;
   while (!stopping_.load()) {
     pollfd stop = {stop_pipe_[0], POLLIN, 0};
     ::poll(&stop, 1, 20);
     if (stopping_.load()) break;
+    // Idle-session eviction (--session-ttl-ms), roughly once a second.
+    if (config_.session_ttl_ms > 0 && --ticks_until_sweep <= 0) {
+      ticks_until_sweep = 50;
+      const size_t evicted = sessions_.EvictIdle(config_.session_ttl_ms);
+      if (evicted > 0) {
+        metrics_.sessions_evicted.fetch_add(evicted,
+                                            std::memory_order_relaxed);
+      }
+    }
     std::lock_guard<std::mutex> lock(connections_mu_);
     for (auto& connection : connections_) {
       if (!connection->executing.load(std::memory_order_acquire)) continue;
@@ -341,6 +360,10 @@ EngineResponse Server::HandleServeVerb(const EngineRequest& request,
                         request.path + "' into session '" + request.session +
                         "'");
   }
+  if (command == "job.start" || command == "job.status" ||
+      command == "job.cancel" || command == "job.resume") {
+    return HandleJobVerb(request);
+  }
   if (command == "metrics") {
     return VerbResponse(request.id, Status::OK(), MetricsJson().Serialize());
   }
@@ -352,6 +375,124 @@ EngineResponse Server::HandleServeVerb(const EngineRequest& request,
     }
     *stop_after_reply = true;
     return VerbResponse(request.id, Status::OK(), "stopping");
+  }
+  return VerbResponse(request.id, Status::InvalidArgument(
+                                      "unknown command '" + command + "'"));
+}
+
+EngineResponse Server::StartJob(const EngineRequest& request, bool resume) {
+  if (request.name.empty()) {
+    return VerbResponse(
+        request.id, Status::InvalidArgument(request.command +
+                                            " needs a job \"name\""));
+  }
+  if (request.run.empty() || !IsEngineCommand(request.run)) {
+    return VerbResponse(
+        request.id,
+        Status::InvalidArgument(request.command +
+                                " needs an engine command in \"run\""));
+  }
+  EngineRequest inner = request;
+  inner.command = inner.run;
+  inner.run.clear();
+  if (resume) inner.options.resume = true;
+  // Session payloads resolve now, on the caller's thread: the job holds
+  // shared_ptr copies, so a later session.close or idle eviction cannot
+  // yank state out from under the running enumeration.
+  if (!inner.session.empty()) {
+    Result<std::shared_ptr<Session>> found = sessions_.Get(inner.session);
+    if (!found.ok()) return VerbResponse(request.id, found.status());
+    if (inner.bound_mapping == nullptr && inner.mapping.empty()) {
+      inner.bound_mapping = (*found)->mapping();
+    }
+    if (!inner.instance_ref.empty()) {
+      inner.bound_instance = (*found)->instance(inner.instance_ref);
+      if (inner.bound_instance == nullptr) {
+        return VerbResponse(
+            request.id,
+            Status::NotFound("no instance '" + inner.instance_ref +
+                             "' in session '" + inner.session + "'"));
+      }
+    }
+  }
+  auto job = std::make_shared<Job>();
+  job->name = request.name;
+  job->request = std::move(inner);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(request.name);
+    if (it != jobs_.end()) {
+      if (!it->second->done.load(std::memory_order_acquire)) {
+        return VerbResponse(
+            request.id, Status::InvalidArgument("job '" + request.name +
+                                                "' is still running"));
+      }
+      // Reclaim the finished slot (its thread has already run to the final
+      // store; the join is immediate).
+      if (it->second->thread.joinable()) it->second->thread.join();
+      jobs_.erase(it);
+    }
+    if (jobs_.size() >= config_.max_jobs) {
+      return VerbResponse(
+          request.id,
+          Status::ResourceExhausted("job capacity reached (" +
+                                    std::to_string(config_.max_jobs) + ")"));
+    }
+    Job* raw = job.get();
+    job->thread = std::thread([this, raw] {
+      ExecutionOptions options;
+      static_cast<ResourceLimits&>(options) = config_.limits;
+      options.threads = config_.threads;
+      options.pool = pool_.get();
+      options.on_exhausted = config_.on_exhausted;
+      options.cancel = &raw->cancel;
+      raw->response = ExecuteRequest(raw->request, options);
+      raw->done.store(true, std::memory_order_release);
+      metrics_.jobs_finished.fetch_add(1, std::memory_order_relaxed);
+    });
+    jobs_[request.name] = std::move(job);
+  }
+  metrics_.jobs_started.fetch_add(1, std::memory_order_relaxed);
+  return VerbResponse(request.id, Status::OK(),
+                      "job '" + request.name + "' " +
+                          (resume ? "resuming" : "started"));
+}
+
+EngineResponse Server::HandleJobVerb(const EngineRequest& request) {
+  const std::string& command = request.command;
+  if (command == "job.start") return StartJob(request, /*resume=*/false);
+  if (command == "job.resume") return StartJob(request, /*resume=*/true);
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = jobs_.find(request.name);
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (job == nullptr) {
+    return VerbResponse(request.id,
+                        Status::NotFound("no job '" + request.name + "'"));
+  }
+  if (command == "job.status") {
+    Json json = Json::MakeObject();
+    json.Set("name", Json(job->name));
+    if (!job->done.load(std::memory_order_acquire)) {
+      json.Set("state",
+               Json(job->cancel.Cancelled() ? "cancelling" : "running"));
+    } else {
+      const EngineResponse& finished = job->response;
+      json.Set("state",
+               Json(finished.status.ok() ? "done"
+                    : finished.status.code() == StatusCode::kCancelled
+                        ? "cancelled"
+                        : "error"));
+      json.Set("response", ResponseToJson(finished));
+    }
+    return VerbResponse(request.id, Status::OK(), json.Serialize());
+  }
+  if (command == "job.cancel") {
+    job->cancel.Cancel();
+    return VerbResponse(request.id, Status::OK(),
+                        "job '" + job->name + "' cancel requested");
   }
   return VerbResponse(request.id, Status::InvalidArgument(
                                       "unknown command '" + command + "'"));
@@ -539,6 +680,12 @@ Json Server::MetricsJson() const {
              Json(m.requests_rejected.load(std::memory_order_relaxed)));
   server.Set("disconnect_cancels",
              Json(m.disconnect_cancels.load(std::memory_order_relaxed)));
+  server.Set("sessions_evicted",
+             Json(m.sessions_evicted.load(std::memory_order_relaxed)));
+  server.Set("jobs_started",
+             Json(m.jobs_started.load(std::memory_order_relaxed)));
+  server.Set("jobs_finished",
+             Json(m.jobs_finished.load(std::memory_order_relaxed)));
   server.Set("inflight",
              Json(static_cast<int64_t>(inflight_.load())));
   Json json = Json::MakeObject();

@@ -23,11 +23,21 @@
 ///
 /// Protocol verbs on top of the engine commands: session.open,
 /// session.close, session.list, instance.put, instance.append, instance.save,
-/// instance.load, metrics,
+/// instance.load, job.start, job.status, job.cancel, job.resume, metrics,
 /// server.stop (the last only when ServerConfig::allow_stop). Responses are
 /// canonical EngineResponse documents (engine/request.h). instance.append
 /// and the exchange-delta engine command drive the session's incrementally
 /// maintained solutions (chase/maintained.h).
+///
+/// Jobs (docs/JOBS.md): job.start runs an engine command (the "run" field)
+/// on a dedicated background thread with its own CancelToken, so the work
+/// survives the starting connection's disconnect — the watchdog only cancels
+/// work executing *on* a connection. Pointing the job's options at a
+/// checkpoint directory makes it durable across a server kill: job.resume
+/// re-submits the same request with options.resume forced on, and the
+/// engine's checkpointer picks up from the newest good generation. Idle
+/// sessions are evicted by the watchdog when ServerConfig::session_ttl_ms is
+/// set (sessions_evicted metric).
 
 #ifndef MAPINV_SERVE_SERVER_H_
 #define MAPINV_SERVE_SERVER_H_
@@ -35,6 +45,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -75,6 +86,13 @@ struct ServerConfig {
   /// Honor the server.stop request (handy for tests/CI; disable for
   /// long-lived daemons that should only stop on signals).
   bool allow_stop = true;
+  /// Idle-session TTL in milliseconds; 0 disables eviction. The watchdog
+  /// sweeps roughly once a second and closes every session whose last
+  /// traffic is older than this.
+  int64_t session_ttl_ms = 0;
+  /// Background jobs held at once (running or finished-but-unreaped);
+  /// job.start past the cap is refused with resource-exhausted.
+  size_t max_jobs = 64;
 };
 
 /// \brief Server-wide counters (beyond the per-session metrics).
@@ -88,6 +106,9 @@ struct ServerMetrics {
   std::atomic<uint64_t> requests_error{0};
   std::atomic<uint64_t> requests_rejected{0};  // admission control
   std::atomic<uint64_t> disconnect_cancels{0};
+  std::atomic<uint64_t> sessions_evicted{0};  // idle-TTL sweeps
+  std::atomic<uint64_t> jobs_started{0};      // job.start + job.resume
+  std::atomic<uint64_t> jobs_finished{0};     // background jobs completed
 };
 
 /// \brief The daemon. Start() binds and spawns the threads; Stop() (or a
@@ -136,6 +157,19 @@ class Server {
     std::atomic<bool> done{false};
   };
 
+  /// One background job: an engine request executing on its own thread,
+  /// detached from any connection (disconnects cannot cancel it — only
+  /// job.cancel or server shutdown fire its token).
+  struct Job {
+    std::string name;
+    EngineRequest request;  ///< the engine command the job runs
+    CancelToken cancel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+    /// Valid once done is true (release/acquire on `done` orders it).
+    EngineResponse response;
+  };
+
   void AcceptLoop();
   void WatchdogLoop();
   void ConnectionLoop(Connection* connection);
@@ -148,6 +182,11 @@ class Server {
                                  bool* stop_after_reply);
   EngineResponse HandleEngineCommand(EngineRequest request,
                                      Connection* connection);
+  /// job.start / job.status / job.cancel / job.resume.
+  EngineResponse HandleJobVerb(const EngineRequest& request);
+  /// Spawns the background thread for job.start / job.resume (`resume`
+  /// forces options.resume on the inner request).
+  EngineResponse StartJob(const EngineRequest& request, bool resume);
   ExecutionOptions BaseOptions(Connection* connection);
   void ReapFinishedConnections();
 
@@ -167,6 +206,11 @@ class Server {
   std::thread watchdog_;
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
+  /// Background jobs by name. Entries persist after completion so
+  /// job.status can report the result; a finished job's slot is reclaimed
+  /// by starting a new job under the same name.
+  std::mutex jobs_mu_;
+  std::map<std::string, std::shared_ptr<Job>> jobs_;
 
   std::mutex stopped_mu_;
   std::condition_variable stopped_cv_;

@@ -1,10 +1,20 @@
 #include "serve/session.h"
 
+#include <chrono>
 #include <utility>
 
 #include "parser/parser.h"
 
 namespace mapinv {
+namespace {
+
+int64_t MonotonicMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Json SessionMetrics::ToJson() const {
   Json json = Json::MakeObject();
@@ -241,7 +251,19 @@ void Session::RecordOutcome(const EngineResponse& response) {
     metrics_.totals.arena_resident_bytes = s.arena_resident_bytes;
   }
   metrics_.totals.vector_plan_fallbacks += s.vector_plan_fallbacks;
+  metrics_.totals.segment_faultin_retries += s.segment_faultin_retries;
+  metrics_.totals.jobs_checkpointed += s.jobs_checkpointed;
+  metrics_.totals.worlds_resumed += s.worlds_resumed;
+  metrics_.totals.checkpoint_bytes += s.checkpoint_bytes;
   if (s.partial) metrics_.totals.partial = true;
+}
+
+void Session::Touch() {
+  last_active_ms_.store(MonotonicMs(), std::memory_order_relaxed);
+}
+
+int64_t Session::IdleMs() const {
+  return MonotonicMs() - last_active_ms_.load(std::memory_order_relaxed);
 }
 
 SessionMetrics Session::MetricsSnapshot() const {
@@ -274,7 +296,22 @@ Result<std::shared_ptr<Session>> SessionManager::Get(
   if (it == sessions_.end()) {
     return Status::NotFound("no session '" + name + "'");
   }
+  it->second->Touch();
   return it->second;
+}
+
+size_t SessionManager::EvictIdle(int64_t ttl_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t evicted = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->IdleMs() > ttl_ms) {
+      it = sessions_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 Status SessionManager::Close(const std::string& name) {

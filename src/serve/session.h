@@ -24,6 +24,7 @@
 #ifndef MAPINV_SERVE_SESSION_H_
 #define MAPINV_SERVE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -58,7 +59,7 @@ struct SessionMetrics {
 /// \brief One named tenant: mapping + instances + memoized inverse.
 class Session {
  public:
-  explicit Session(std::string name) : name_(std::move(name)) {}
+  explicit Session(std::string name) : name_(std::move(name)) { Touch(); }
 
   const std::string& name() const { return name_; }
 
@@ -122,6 +123,13 @@ class Session {
 
   SessionMetrics MetricsSnapshot() const;
 
+  /// Idle-eviction clock (--session-ttl-ms): Touch() stamps the monotonic
+  /// now; IdleMs() is the time since the last touch. SessionManager::Get
+  /// touches on every lookup, so any traffic naming the session keeps it
+  /// alive.
+  void Touch();
+  int64_t IdleMs() const;
+
  private:
   struct InverseEntry {
     std::shared_ptr<const ReverseMapping> inverse;
@@ -137,6 +145,9 @@ class Session {
   std::map<std::string, std::shared_ptr<MaintainedSolution>> maintained_;
   std::map<std::string, InverseEntry> inverses_;  // keyed by command
   SessionMetrics metrics_;
+  /// Monotonic milliseconds of the last touch (atomic: touched from lookup
+  /// paths without the session mutex).
+  std::atomic<int64_t> last_active_ms_{0};
 };
 
 /// \brief The server's session directory. Thread-safe.
@@ -148,10 +159,16 @@ class SessionManager {
   /// Creates a session; kInvalidArgument if the name is empty or taken,
   /// kResourceExhausted at capacity.
   Result<std::shared_ptr<Session>> Open(const std::string& name);
-  /// kNotFound when absent.
+  /// kNotFound when absent. Touches the session's idle clock.
   Result<std::shared_ptr<Session>> Get(const std::string& name) const;
   Status Close(const std::string& name);
   std::vector<std::string> Names() const;
+
+  /// Drops every session idle for longer than `ttl_ms`; returns how many
+  /// were evicted. In-flight requests holding the shared_ptr finish
+  /// normally — eviction only unlinks the name. Called by the server's
+  /// watchdog when --session-ttl-ms is set.
+  size_t EvictIdle(int64_t ttl_ms);
 
   /// Per-session metrics as a JSON object keyed by session name.
   Json MetricsJson() const;

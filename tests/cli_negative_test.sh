@@ -115,6 +115,32 @@ if ! cmp -s "$tmp/good.snap" "$tmp/resaved.snap"; then
   failures=$((failures + 1))
 fi
 
+# --- durable-job checkpointing (docs/JOBS.md) ------------------------------
+printf 'S1(x) -> T(x)\nS2(x) -> T(x)\n' > "$tmp/disj.tgd"
+printf '{ S1(1), S2(2) }\n' > "$tmp/disj.inst"
+expect 1 "expects a directory path" -- --checkpoint-dir= roundtrip "$tmp/disj.tgd" "$tmp/disj.inst"
+expect 1 "bad value"                -- --checkpoint-every=abc roundtrip "$tmp/disj.tgd" "$tmp/disj.inst"
+expect 2 "cannot open"              -- roundtrip "$tmp/disj.tgd" "$tmp/disj.inst" "$tmp/no_such_reverse.txt"
+# a checkpointed run commits; re-running without --resume must refuse
+mkdir "$tmp/job"
+expect 0 ""       -- --checkpoint-dir="$tmp/job" --checkpoint-every=1 roundtrip "$tmp/disj.tgd" "$tmp/disj.inst"
+expect 2 "resume" -- --checkpoint-dir="$tmp/job" roundtrip "$tmp/disj.tgd" "$tmp/disj.inst"
+# resuming with mismatched inputs is refused; with matching inputs the
+# resumed output byte-equals the uncheckpointed run's
+printf '{ S1(9) }\n' > "$tmp/other.inst"
+expect 2 "different inputs" -- --checkpoint-dir="$tmp/job" --resume roundtrip "$tmp/disj.tgd" "$tmp/other.inst"
+"$CLI" roundtrip "$tmp/disj.tgd" "$tmp/disj.inst" > "$tmp/clean.out" 2>/dev/null
+"$CLI" --checkpoint-dir="$tmp/job" --resume roundtrip "$tmp/disj.tgd" "$tmp/disj.inst" > "$tmp/resumed.out" 2>/dev/null
+checks=$((checks + 1))
+if ! cmp -s "$tmp/clean.out" "$tmp/resumed.out"; then
+  echo "FAIL: resumed roundtrip output differs from the uncheckpointed run" >&2
+  failures=$((failures + 1))
+fi
+# a torn checkpoint directory is a clean error, never a crash
+mkdir "$tmp/torn"
+printf 'garbage, not a manifest' > "$tmp/torn/manifest-1"
+expect 2 "no loadable checkpoint" -- --checkpoint-dir="$tmp/torn" --resume roundtrip "$tmp/disj.tgd" "$tmp/disj.inst"
+
 # --- the positive control: a good invocation still works -------------------
 expect 0 ""                                 -- invert gen:copy:1,1
 
@@ -140,6 +166,8 @@ if [ -n "$SERVE" ]; then
   expect_bin "$SERVE" 1 "bad value '0'"        -- --tcp=0 --max-frame-bytes=0
   expect_bin "$SERVE" 1 "bad value"            -- --tcp=0 --threads=99999999999999999999
   expect_bin "$SERVE" 1 "--on-exhausted"       -- --tcp=0 --on-exhausted=maybe
+  expect_bin "$SERVE" 1 "bad value 'soon'"     -- --tcp=0 --session-ttl-ms=soon
+  expect_bin "$SERVE" 1 "bad value '-1'"       -- --tcp=0 --max-jobs=-1
 fi
 if [ -n "$BENCH" ]; then
   expect_bin "$BENCH" 1 "unknown flag"         -- --frobnicate

@@ -3,9 +3,10 @@
 ///
 /// The first input byte selects the entry point ('T' tgd mapping, 'R'
 /// reverse mapping, 'S' SO-tgd mapping, 'Q' union query, 'C' single CQ,
-/// 'I' instance, 'N' binary snapshot loader — see docs/STORAGE.md; anything
-/// else exercises the lexer alone) and the rest is fed to it as text (or,
-/// for 'N', raw bytes). Two properties are checked on every input:
+/// 'I' instance, 'N' binary snapshot loader — see docs/STORAGE.md, 'J' job
+/// manifest loader — see docs/JOBS.md; anything else exercises the lexer
+/// alone) and the rest is fed to it as text (or, for 'N'/'J', raw bytes).
+/// Two properties are checked on every input:
 ///
 ///   1. No parse crashes, hangs, or trips ASan/UBSan — errors must come
 ///      back as Status values.
@@ -26,6 +27,7 @@
 
 #include "base/status.h"
 #include "data/instance.h"
+#include "job/job.h"
 #include "logic/cq.h"
 #include "logic/mapping.h"
 #include "parser/lexer.h"
@@ -116,6 +118,23 @@ void RunOneInput(const uint8_t* data, size_t size) {
       auto loaded = mapinv::Instance::LoadFromBytes(text.data(), text.size());
       if (loaded.ok()) {
         loaded.ValueOrDie().ToString();  // walks every row and spelling
+      }
+      break;
+    }
+    case 'J': {
+      // Job-manifest loader: arbitrary bytes must parse to a clean Status
+      // or a manifest whose re-serialization reproduces the input exactly
+      // (the resume path trusts nothing a parse did not verify).
+      auto manifest =
+          mapinv::JobManifestFromBytes(text.data(), text.size());
+      if (manifest.ok()) {
+        const std::string rebytes =
+            mapinv::JobManifestToBytes(manifest.ValueOrDie());
+        if (rebytes != text) {
+          Fail("job manifest re-serialization is not the identity",
+               "accepted " + std::to_string(text.size()) + " bytes, wrote " +
+                   std::to_string(rebytes.size()));
+        }
       }
       break;
     }

@@ -5,10 +5,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -174,6 +178,21 @@ constexpr char kSweepSecond[] =
 
 constexpr char kSweepSource[] = "{ S1(1), S2(2), P(1,2), E(3) }";
 
+// Job directories are flat (manifest-<G> + w<G>-<i>.snap); one readdir pass
+// clears them.
+void RemoveJobDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
 // Runs every pipeline entry point the issue audits, concatenating the
 // results into one comparable transcript. A fresh SymbolContext per run
 // makes reruns bit-identical.
@@ -221,6 +240,24 @@ Result<std::string> RunSweepWorkload(const TgdMapping& mapping,
   MAPINV_ASSIGN_OR_RETURN(std::vector<Instance> worlds,
                           RoundTripWorlds(mapping, maxrec, source, options));
   out += "worlds=" + std::to_string(worlds.size()) + "\n";
+  // Durable-job step (reaches the job/* checkpoint sites): the same reverse
+  // enumeration, committing every trigger to a throwaway directory. A fresh
+  // mkdtemp per run keeps reruns independent (an existing checkpoint without
+  // resume is refused by design); the dir is removed on every exit path so
+  // injected failures leave no residue.
+  {
+    char tmpl[] = "/tmp/mapinv-sweep-job-XXXXXX";
+    char* dir = ::mkdtemp(tmpl);
+    if (dir == nullptr) return Status::Internal("mkdtemp failed");
+    ExecutionOptions job_options = options;
+    job_options.checkpoint_dir = dir;
+    job_options.checkpoint_every = 1;
+    Result<std::vector<Instance>> job_worlds =
+        RoundTripWorlds(mapping, maxrec, source, job_options);
+    RemoveJobDir(dir);
+    MAPINV_RETURN_NOT_OK(job_worlds.status());
+    out += "job_worlds=" + std::to_string(job_worlds->size()) + "\n";
+  }
   MAPINV_ASSIGN_OR_RETURN(ReverseMapping inverted,
                           CqMaximumRecovery(mapping, options));
   out += inverted.ToString() + "\n";

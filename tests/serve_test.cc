@@ -362,6 +362,92 @@ TEST(ServerTest, SessionlessExchangeDeltaRunsRequestLocal) {
   ::close(fd);
 }
 
+TEST(ServerTest, BackgroundJobSurvivesDisconnect) {
+  auto server = StartTcpServer();
+  int fd = ConnectTcp(server->tcp_port());
+  Json start = MakeRequest("job.start");
+  start.Set("name", Json("j1"));
+  start.Set("run", Json("roundtrip"));
+  start.Set("mapping", Json("S1(x) -> T(x)\nS2(x) -> T(x)"));
+  start.Set("instance", Json("{ S1(1), S2(2) }"));
+  EXPECT_EQ(CallJson(fd, start).GetString("status"), "ok");
+  // The job runs on its own thread with its own cancel token — the
+  // starting connection going away must not cancel it.
+  ::close(fd);
+
+  const int fd2 = ConnectTcp(server->tcp_port());
+  Json status_req = MakeRequest("job.status");
+  status_req.Set("name", Json("j1"));
+  std::string doc;
+  for (int i = 0; i < 500; ++i) {
+    Json status = CallJson(fd2, status_req);
+    ASSERT_EQ(status.GetString("status"), "ok");
+    doc = status.GetString("result");
+    if (doc.find("\"state\":\"running\"") == std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NE(doc.find("\"state\":\"done\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("recovered:"), std::string::npos) << doc;
+
+  // A finished job's name is reclaimed by the next start; unknown names
+  // and a missing run command are clean errors.
+  EXPECT_EQ(CallJson(fd2, start).GetString("status"), "ok");
+  Json ghost = MakeRequest("job.status");
+  ghost.Set("name", Json("nobody"));
+  EXPECT_EQ(CallJson(fd2, ghost).GetString("code"), "not-found");
+  Json norun = MakeRequest("job.start");
+  norun.Set("name", Json("j2"));
+  EXPECT_EQ(CallJson(fd2, norun).GetString("code"), "invalid-argument");
+  ::close(fd2);
+}
+
+TEST(ServerTest, JobCancelStopsARunningJob) {
+  auto server = StartTcpServer();
+  const int fd = ConnectTcp(server->tcp_port());
+  Json start = MakeRequest("job.start");
+  start.Set("name", Json("slow"));
+  start.Set("run", Json("invert"));
+  start.Set("mapping", Json("gen:exp:3,9"));
+  EXPECT_EQ(CallJson(fd, start).GetString("status"), "ok");
+  Json cancel = MakeRequest("job.cancel");
+  cancel.Set("name", Json("slow"));
+  EXPECT_EQ(CallJson(fd, cancel).GetString("status"), "ok");
+  Json status_req = MakeRequest("job.status");
+  status_req.Set("name", Json("slow"));
+  std::string doc;
+  for (int i = 0; i < 500; ++i) {
+    doc = CallJson(fd, status_req).GetString("result");
+    if (doc.find("\"state\":\"running\"") == std::string::npos &&
+        doc.find("\"state\":\"cancelling\"") == std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Cancellation may race completion on a fast machine; either terminal
+  // state is fine, hanging forever is not.
+  EXPECT_TRUE(doc.find("\"state\":\"cancelled\"") != std::string::npos ||
+              doc.find("\"state\":\"done\"") != std::string::npos)
+      << doc;
+  ::close(fd);
+}
+
+TEST(SessionTest, EvictIdleDropsOnlyStaleSessions) {
+  SessionManager manager;
+  ASSERT_TRUE(manager.Open("stale").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(manager.Open("fresh").ok());
+  // Only the session idle for longer than the TTL goes.
+  EXPECT_EQ(manager.EvictIdle(/*ttl_ms=*/20), 1u);
+  EXPECT_FALSE(manager.Get("stale").ok());
+  ASSERT_TRUE(manager.Get("fresh").ok());
+  // Get touches: after a touch the survivor is fresh again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(manager.Get("fresh").ok());
+  EXPECT_EQ(manager.EvictIdle(/*ttl_ms=*/20), 0u);
+  // A very long TTL evicts nothing; TTL 0 is "everything idle is stale".
+  EXPECT_EQ(manager.Names().size(), 1u);
+}
+
 TEST(ServerTest, BadJsonKeepsConnectionMalformedFrameCloses) {
   auto server = StartTcpServer();
   const int fd = ConnectTcp(server->tcp_port());

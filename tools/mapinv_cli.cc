@@ -8,7 +8,8 @@
 //   mapinv_cli [flags] exchange <mapping> <instance-file>     forward chase
 //   mapinv_cli [flags] exchange-delta <mapping> <instance-file> <delta-file>
 //                                                incremental chase maintenance
-//   mapinv_cli [flags] roundtrip <mapping> <instance-file>    chase there and back
+//   mapinv_cli [flags] roundtrip <mapping> <instance-file> [reverse-file]
+//                                                             chase there and back
 //
 // Commands may also be spelled as flags (`--invert` ≡ `invert`). <mapping> is
 // a tgd file in the parser syntax, or a synthetic generator spec:
@@ -48,6 +49,13 @@
 //   --vector-max-plan-steps=N     vectorized-executor plan-size ceiling;
 //                      longer plans fall back to the scalar path (0 forces
 //                      scalar everywhere)
+//   --checkpoint-dir=PATH         make world enumeration (roundtrip) a
+//                      durable job: commit the frontier to PATH so a killed
+//                      run can be resumed (docs/JOBS.md)
+//   --checkpoint-every=N          triggers between checkpoint commits
+//                      (default 64)
+//   --resume           continue the job in --checkpoint-dir from its newest
+//                      good checkpoint instead of refusing to overwrite it
 //   --save-instance=PATH          after an instance-producing command
 //                      (exchange, exchange-delta, core), also persist the
 //                      result as a mapinv snapshot file (docs/STORAGE.md)
@@ -94,8 +102,11 @@ int Usage() {
                "  exchange-delta <mapping> <instance> <delta>\n"
                "                                  chase, append the delta "
                "rows, absorb incrementally\n"
-               "  roundtrip <mapping> <instance>  chase forward then back "
-               "through the inverse\n"
+               "  roundtrip <mapping> <instance> [reverse]\n"
+               "                                  chase forward then back; "
+               "[reverse] (e.g. maxrec output)\n"
+               "                                  replaces the default CQ "
+               "recovery\n"
                "  so-invert <so-mapping>          PolySOInverse of a plain "
                "SO-tgd file\n"
                "  compose   <mapping1> <mapping2> SO-tgd composition by "
@@ -114,6 +125,7 @@ int Usage() {
                "       --response-json --dump-request\n"
                "       --memory-budget-bytes=N --spill-dir=PATH "
                "--vector-max-plan-steps=N\n"
+               "       --checkpoint-dir=PATH --checkpoint-every=N --resume\n"
                "       --save-instance=PATH --load-instance=PATH\n");
   return 1;
 }
@@ -200,12 +212,17 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
       output->dump_request = true;
       continue;
     }
+    if (name == "--resume") {
+      options->resume = true;
+      continue;
+    }
     const bool known =
         name == "--max-facts" || name == "--max-worlds" ||
         name == "--max-disjuncts" || name == "--threads" ||
         name == "--deadline-ms" || name == "--cancel-after-ms" ||
         name == "--on-exhausted" || name == "--memory-budget-bytes" ||
         name == "--spill-dir" || name == "--vector-max-plan-steps" ||
+        name == "--checkpoint-dir" || name == "--checkpoint-every" ||
         name == "--save-instance" || name == "--load-instance";
     if (!known) {
       return FlagError("unknown flag '" + name + "'");
@@ -218,6 +235,13 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
     }
     if (name == "--spill-dir") {
       options->spill_dir = value;
+      continue;
+    }
+    if (name == "--checkpoint-dir") {
+      if (value.empty()) {
+        return FlagError("flag '--checkpoint-dir' expects a directory path");
+      }
+      options->checkpoint_dir = value;
       continue;
     }
     if (name == "--save-instance" || name == "--load-instance") {
@@ -266,6 +290,8 @@ bool ParseFlags(int argc, char** argv, RequestOptions* options,
       options->memory_budget_bytes = n;
     } else if (name == "--vector-max-plan-steps") {
       options->vector_max_plan_steps = n;
+    } else if (name == "--checkpoint-every") {
+      options->checkpoint_every = n;
     }
   }
   return true;
@@ -447,6 +473,15 @@ int Run(int argc, char** argv) {
         Result<std::string> instance_text = ReadFile(argv[3]);
         if (!instance_text.ok()) return Fail(instance_text.status());
         request.instance = std::move(*instance_text);
+      }
+      // roundtrip [reverse]: drive the world enumeration with an explicit
+      // reverse mapping (maxrec output, disjunctions included) instead of
+      // the CQ-maximum recovery.
+      const int reverse_arg = have_load ? 3 : 4;
+      if (command == "roundtrip" && narg > reverse_arg) {
+        Result<std::string> reverse_text = ReadFile(argv[reverse_arg]);
+        if (!reverse_text.ok()) return Fail(reverse_text.status());
+        request.reverse = std::move(*reverse_text);
       }
     } else if (command == "exchange-delta") {
       if (!have_load) {

@@ -25,6 +25,9 @@
 //   --deadline-ms=N      default per-request limits (requests may override)
 //   --on-exhausted=fail|partial   default brownout policy
 //   --no-stop            refuse the server.stop request (signals only)
+//   --session-ttl-ms=N   evict sessions idle for longer than N ms (0 = never,
+//                        the default; evictions count in sessions_evicted)
+//   --max-jobs=N         background jobs held at once (default 64)
 //
 // On startup prints exactly one line to stdout:
 //   mapinv_serve: listening unix=<path> tcp=<host>:<port>
@@ -53,7 +56,8 @@ int Usage() {
       "flags: --host=ADDR --threads=N --pool-workers=N --max-connections=N\n"
       "       --max-inflight=N --max-frame-bytes=N --max-sessions=N\n"
       "       --max-facts=N --max-worlds=N --max-disjuncts=N --max-rules=N\n"
-      "       --deadline-ms=N --on-exhausted=fail|partial --no-stop\n");
+      "       --deadline-ms=N --on-exhausted=fail|partial --no-stop\n"
+      "       --session-ttl-ms=N --max-jobs=N\n");
   return 1;
 }
 
@@ -87,7 +91,8 @@ bool ParseFlags(int argc, char** argv, ServerConfig* config) {
         name == "--max-frame-bytes" || name == "--max-sessions" ||
         name == "--max-facts" || name == "--max-worlds" ||
         name == "--max-disjuncts" || name == "--max-rules" ||
-        name == "--deadline-ms" || name == "--on-exhausted";
+        name == "--deadline-ms" || name == "--on-exhausted" ||
+        name == "--session-ttl-ms" || name == "--max-jobs";
     if (!known) return FlagError("unknown flag '" + name + "'");
     if (!have_value) {
       if (i + 1 >= argc) {
@@ -151,6 +156,10 @@ bool ParseFlags(int argc, char** argv, ServerConfig* config) {
       config->limits.max_rules = static_cast<size_t>(n);
     } else if (name == "--deadline-ms") {
       config->limits.deadline_ms = static_cast<int64_t>(n);
+    } else if (name == "--session-ttl-ms") {
+      config->session_ttl_ms = static_cast<int64_t>(n);
+    } else if (name == "--max-jobs") {
+      config->max_jobs = static_cast<size_t>(n);
     }
   }
   return true;
